@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the AccMC whole-space evaluation — the kernel
+//! behind Tables 3, 5, 6, 7 and 9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::builder::{DatasetBuilder, DatasetConfig, SplitRatio};
+use mcml::accmc::AccMc;
+use mcml::backend::CounterBackend;
+use mlkit::tree::{DecisionTree, TreeConfig};
+use relspec::properties::Property;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+use std::hint::black_box;
+
+fn bench_accmc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accmc_whole_space");
+    group.sample_size(10);
+    for property in [Property::Reflexive, Property::Antisymmetric, Property::PartialOrder] {
+        let scope = 4;
+        let dataset = DatasetBuilder::new().build(
+            DatasetConfig::new(property, scope)
+                .without_symmetry()
+                .with_max_positive(500),
+        );
+        let (train, _) = dataset.split(SplitRatio::new(10));
+        let tree = DecisionTree::fit(&train, TreeConfig::default());
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let backend = CounterBackend::exact();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(property.name()),
+            &(gt, tree),
+            |b, (gt, tree)| {
+                b.iter(|| black_box(AccMc::new(&backend).evaluate(black_box(gt), black_box(tree))))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_config();
+    targets = bench_accmc);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the model counters (exact vs approximate) on
+//! ground-truth property formulas — the kernels behind Table 1 and the
+//! Section 3 ApproxMC/ProjMC anecdote.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modelcount::approx::{ApproxConfig, ApproxCounter};
+use modelcount::exact::ExactCounter;
+use relspec::properties::Property;
+use relspec::symmetry::SymmetryBreaking;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+use std::hint::black_box;
+
+fn bench_exact_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_count_property");
+    group.sample_size(10);
+    for property in [Property::Reflexive, Property::Antisymmetric, Property::Function] {
+        for scope in [3usize, 4] {
+            let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+            let cnf = gt.cnf_positive();
+            let counter = ExactCounter::new();
+            group.bench_with_input(
+                BenchmarkId::new(property.name(), scope),
+                &cnf,
+                |b, cnf| b.iter(|| black_box(counter.count(black_box(cnf)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_approx_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_count_property");
+    group.sample_size(10);
+    for property in [Property::Antisymmetric, Property::PartialOrder] {
+        let scope = 4;
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let cnf = gt.cnf_positive();
+        let counter = ApproxCounter::new(ApproxConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new(property.name(), scope),
+            &cnf,
+            |b, cnf| b.iter(|| black_box(counter.count(black_box(cnf)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_symmetry_breaking_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate_with_symmetry");
+    group.sample_size(20);
+    for scope in [4usize, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(scope), &scope, |b, &scope| {
+            b.iter(|| {
+                black_box(translate_to_cnf(
+                    &Property::PartialOrder.spec(),
+                    TranslateOptions::new(scope).with_symmetry(SymmetryBreaking::Transpositions),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_config();
+    targets =
+    bench_exact_counting,
+    bench_approx_counting,
+    bench_symmetry_breaking_translation
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the DiffMC pairwise model comparison — the
+//! kernel behind Table 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::builder::{DatasetBuilder, DatasetConfig, SplitRatio};
+use mcml::backend::CounterBackend;
+use mcml::diffmc::DiffMc;
+use mlkit::tree::{DecisionTree, TreeConfig};
+use relspec::properties::Property;
+use std::hint::black_box;
+
+fn bench_diffmc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diffmc_whole_space");
+    group.sample_size(10);
+    for property in [Property::Connex, Property::Transitive] {
+        let scope = 4;
+        let dataset = DatasetBuilder::new().build(
+            DatasetConfig::new(property, scope)
+                .without_symmetry()
+                .with_max_positive(500),
+        );
+        let (train, _) = dataset.split(SplitRatio::new(25));
+        let tree_a = DecisionTree::fit(&train, TreeConfig::default());
+        let tree_b = DecisionTree::fit(&train, TreeConfig::with_max_depth(5));
+        let backend = CounterBackend::exact();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(property.name()),
+            &(tree_a, tree_b),
+            |b, (tree_a, tree_b)| {
+                b.iter(|| {
+                    black_box(DiffMc::new(&backend).compare(black_box(tree_a), black_box(tree_b)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_config();
+    targets = bench_diffmc);
+criterion_main!(benches);

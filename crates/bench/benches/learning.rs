@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the ML substrate: dataset generation and model
+//! training — the kernels behind Tables 2 and 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::builder::{DatasetBuilder, DatasetConfig, SplitRatio};
+use mlkit::forest::{ForestConfig, RandomForest};
+use mlkit::svm::{LinearSvm, SvmConfig};
+use mlkit::tree::{DecisionTree, TreeConfig};
+use relspec::properties::Property;
+use std::hint::black_box;
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    for property in [Property::PartialOrder, Property::Function] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(property.name()),
+            &property,
+            |b, &property| {
+                b.iter(|| {
+                    black_box(DatasetBuilder::new().build(
+                        DatasetConfig::new(property, 4).with_max_positive(300),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_model_training(c: &mut Criterion) {
+    let dataset = DatasetBuilder::new()
+        .build(DatasetConfig::new(Property::PartialOrder, 4).with_max_positive(500));
+    let (train, _) = dataset.split(SplitRatio::new(75));
+
+    let mut group = c.benchmark_group("model_training");
+    group.sample_size(10);
+    group.bench_function("decision_tree", |b| {
+        b.iter(|| black_box(DecisionTree::fit(black_box(&train), TreeConfig::default())))
+    });
+    group.bench_function("random_forest_10", |b| {
+        b.iter(|| {
+            black_box(RandomForest::fit(
+                black_box(&train),
+                ForestConfig {
+                    num_trees: 10,
+                    ..ForestConfig::default()
+                },
+            ))
+        })
+    });
+    group.bench_function("linear_svm", |b| {
+        b.iter(|| {
+            black_box(LinearSvm::fit(
+                black_box(&train),
+                SvmConfig {
+                    epochs: 20,
+                    ..SvmConfig::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_config();
+    targets = bench_dataset_generation, bench_model_training);
+criterion_main!(benches);

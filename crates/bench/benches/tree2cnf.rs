@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the Tree2CNF translation and the property
+//! translation pipeline (the encoding cost the paper's Section 4 analyzes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::builder::{DatasetBuilder, DatasetConfig, SplitRatio};
+use mcml::tree2cnf::{tree_label_cnf, TreeLabel};
+use mlkit::tree::{DecisionTree, TreeConfig};
+use relspec::properties::Property;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+use std::hint::black_box;
+
+fn bench_tree2cnf(c: &mut Criterion) {
+    let dataset = DatasetBuilder::new().build(
+        DatasetConfig::new(Property::PreOrder, 4)
+            .without_symmetry()
+            .with_max_positive(800),
+    );
+    let (train, _) = dataset.split(SplitRatio::new(75));
+    let tree = DecisionTree::fit(&train, TreeConfig::default());
+
+    let mut group = c.benchmark_group("tree2cnf");
+    group.bench_with_input(
+        BenchmarkId::new("true_region", tree.num_leaves()),
+        &tree,
+        |b, tree| b.iter(|| black_box(tree_label_cnf(black_box(tree), TreeLabel::True))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("false_region", tree.num_leaves()),
+        &tree,
+        |b, tree| b.iter(|| black_box(tree_label_cnf(black_box(tree), TreeLabel::False))),
+    );
+    group.finish();
+}
+
+fn bench_property_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("property_to_cnf");
+    for property in [Property::Transitive, Property::Equivalence, Property::TotalOrder] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(property.name()),
+            &property,
+            |b, &property| {
+                b.iter(|| {
+                    black_box(translate_to_cnf(
+                        &property.spec(),
+                        TranslateOptions::new(5),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_config();
+    targets = bench_tree2cnf, bench_property_translation);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Shared driver for the AccMC tables (Tables 3, 5, 6 and 7).
+//!
+//! Each of those tables runs the same per-property experiment — train a
+//! decision tree on 10% of the balanced dataset, evaluate it on the test set
+//! and against the whole bounded space — and differs only in which symmetry
+//! settings the dataset and the ground truth use.
+
+use crate::cli::HarnessArgs;
+use mcml::framework::{Experiment, ExperimentConfig};
+use mcml::report::{format_metric, TextTable};
+use relspec::properties::Property;
+
+/// Runs one AccMC-style table and prints it.
+///
+/// `make_config` maps `(property, scope)` to the experiment configuration
+/// for the table being reproduced (e.g. [`ExperimentConfig::table3`]).
+pub fn run_accmc_table(
+    title: &str,
+    args: &HarnessArgs,
+    make_config: impl Fn(Property, usize) -> ExperimentConfig,
+) {
+    let backend = args.backend();
+    let mut table = TextTable::new(vec![
+        "Property",
+        "Acc(test)",
+        "Prec(test)",
+        "Rec(test)",
+        "F1(test)",
+        "Acc(phi)",
+        "Prec(phi)",
+        "Rec(phi)",
+        "F1(phi)",
+        "Time[s]",
+    ]);
+
+    for property in args.properties() {
+        let scope = args.scope_for(property);
+        let mut config = make_config(property, scope);
+        config.max_positive = args.max_positive;
+        config.seed = args.seed;
+        let result = Experiment::new(config).run(&backend);
+
+        let t = &result.test_metrics;
+        let (phi, time) = match &result.whole_space {
+            Some(ws) => (
+                [
+                    Some(ws.metrics.accuracy),
+                    Some(ws.metrics.precision),
+                    Some(ws.metrics.recall),
+                    Some(ws.metrics.f1),
+                ],
+                format!("{:.1}", ws.counting_time.as_secs_f64()),
+            ),
+            None => ([None, None, None, None], "-".to_string()),
+        };
+        table.push_row(vec![
+            property.name().to_string(),
+            format_metric(Some(t.accuracy)),
+            format_metric(Some(t.precision)),
+            format_metric(Some(t.recall)),
+            format_metric(Some(t.f1)),
+            format_metric(phi[0]),
+            format_metric(phi[1]),
+            format_metric(phi[2]),
+            format_metric(phi[3]),
+            time,
+        ]);
+    }
+
+    println!("{title}");
+    println!("{}", table.render());
+}

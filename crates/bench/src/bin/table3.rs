@@ -1,0 +1,16 @@
+//! Table 3: decision-tree performance on the test set (symmetry breaking on)
+//! and against the entire state space with the ground truth φ constrained by
+//! the same symmetry-breaking predicates.
+
+use mcml::framework::ExperimentConfig;
+use mcml_bench::accmc_table::run_accmc_table;
+use mcml_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    run_accmc_table(
+        "Table 3: DT on test set (SB on) vs whole space (phi with SB)",
+        &args,
+        ExperimentConfig::table3,
+    );
+}

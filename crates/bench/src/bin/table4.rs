@@ -1,0 +1,42 @@
+//! Table 4: classification results on the test set for PartialOrder with
+//! symmetry breaking turned off, across train:test ratios and all six models.
+
+use datagen::builder::{DatasetBuilder, DatasetConfig, SplitRatio};
+use mcml::framework::evaluate_all_models;
+use mcml::report::{format_metric, TextTable};
+use mcml_bench::HarnessArgs;
+use relspec::properties::Property;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let property = args.property.unwrap_or(Property::PartialOrder);
+    let scope = args.scope_for(property);
+
+    let dataset = DatasetBuilder::new().build(
+        DatasetConfig::new(property, scope)
+            .without_symmetry()
+            .with_max_positive(args.max_positive)
+            .with_seed(args.seed),
+    );
+
+    let mut table = TextTable::new(vec!["Ratio", "Model", "Accuracy", "Precision", "Recall", "F1-score"]);
+    for ratio in [SplitRatio::new(75), SplitRatio::new(25), SplitRatio::new(1)] {
+        let (train, test) = dataset.split(ratio);
+        for report in evaluate_all_models(&train, &test, args.seed) {
+            table.push_row(vec![
+                ratio.to_string(),
+                report.model.to_string(),
+                format_metric(Some(report.metrics.accuracy)),
+                format_metric(Some(report.metrics.precision)),
+                format_metric(Some(report.metrics.recall)),
+                format_metric(Some(report.metrics.f1)),
+            ]);
+        }
+    }
+
+    println!(
+        "Table 4: test-set results for {property} at scope {scope} (symmetry breaking off, {} samples)",
+        dataset.dataset.len()
+    );
+    println!("{}", table.render());
+}

@@ -1,0 +1,15 @@
+//! Table 5: decision-tree performance with symmetry breaking off everywhere
+//! (datasets and ground truth).
+
+use mcml::framework::ExperimentConfig;
+use mcml_bench::accmc_table::run_accmc_table;
+use mcml_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    run_accmc_table(
+        "Table 5: DT on test set (no SB) vs whole space (phi without SB)",
+        &args,
+        ExperimentConfig::table5,
+    );
+}

@@ -1,0 +1,58 @@
+//! Table 8: quantifying the semantic difference between two decision-tree
+//! models per property, over the entire input space (DiffMC).
+//!
+//! As in the paper, the two trees are trained on the same data with
+//! different hyper-parameters (an unrestricted CART vs a depth-limited one).
+
+use mcml::diffmc::DiffMc;
+use mcml::framework::{Experiment, ExperimentConfig};
+use mcml::report::{format_count, TextTable};
+use mcml_bench::HarnessArgs;
+use mlkit::tree::TreeConfig;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let backend = args.backend();
+
+    let mut table = TextTable::new(vec![
+        "Subject", "TT", "TF", "FT", "FF", "Diff", "Time[s]",
+    ]);
+
+    for property in args.properties() {
+        let scope = args.scope_for(property);
+        let mut config = ExperimentConfig::table3(property, scope);
+        config.max_positive = args.max_positive;
+        config.seed = args.seed;
+        let experiment = Experiment::new(config);
+        let (tree_a, _) = experiment.train_tree(TreeConfig::default());
+        let (tree_b, _) = experiment.train_tree(TreeConfig {
+            max_depth: Some(6),
+            min_samples_split: 4,
+            ..TreeConfig::default()
+        });
+
+        match DiffMc::new(&backend).compare(&tree_a, &tree_b) {
+            None => table.push_row(vec![
+                property.name().to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+            Some(r) => table.push_row(vec![
+                property.name().to_string(),
+                format_count(r.counts.tt),
+                format_count(r.counts.tf),
+                format_count(r.counts.ft),
+                format_count(r.counts.ff),
+                format!("{:.2}", r.counts.diff() * 100.0),
+                format!("{:.1}", r.counting_time.as_secs_f64()),
+            ]),
+        }
+    }
+
+    println!("Table 8: differences between two decision-tree models (Diff in % of the space)");
+    println!("{}", table.render());
+}

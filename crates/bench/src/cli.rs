@@ -1,0 +1,149 @@
+//! Minimal command-line argument handling shared by the table binaries.
+//!
+//! Every `table*` binary accepts the same small set of flags:
+//!
+//! * `--scope N` — override the per-property study scope;
+//! * `--approx` — use the approximate counter instead of the exact one;
+//! * `--max-positive N` — cap on enumerated positive samples;
+//! * `--seed N` — RNG seed;
+//! * `--property NAME` — restrict to a single property (tables 1, 3, 5–8).
+
+use mcml::backend::CounterBackend;
+use relspec::properties::Property;
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Scope override (`None` = per-property default).
+    pub scope: Option<usize>,
+    /// Use the approximate counter.
+    pub approx: bool,
+    /// Cap on enumerated positive samples.
+    pub max_positive: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Restrict to one property.
+    pub property: Option<Property>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scope: None,
+            approx: false,
+            max_positive: 2_000,
+            seed: 0,
+            property: None,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses arguments from an iterator of strings (excluding the program
+    /// name). Unknown flags abort with a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed or unknown arguments; the binaries treat that as
+    /// a usage error.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = HarnessArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scope" => {
+                    let v = iter.next().expect("--scope requires a value");
+                    out.scope = Some(v.parse().expect("--scope must be a number"));
+                }
+                "--approx" => out.approx = true,
+                "--exact" => out.approx = false,
+                "--max-positive" => {
+                    let v = iter.next().expect("--max-positive requires a value");
+                    out.max_positive = v.parse().expect("--max-positive must be a number");
+                }
+                "--seed" => {
+                    let v = iter.next().expect("--seed requires a value");
+                    out.seed = v.parse().expect("--seed must be a number");
+                }
+                "--property" => {
+                    let v = iter.next().expect("--property requires a name");
+                    out.property =
+                        Some(Property::from_name(&v).unwrap_or_else(|| {
+                            panic!("unknown property {v:?}")
+                        }));
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        HarnessArgs::parse(std::env::args().skip(1))
+    }
+
+    /// The counting backend selected by the flags. The exact backend carries
+    /// a generous node budget so a pathological instance reports "-" instead
+    /// of hanging (the analogue of the paper's 5 000 s timeout).
+    pub fn backend(&self) -> CounterBackend {
+        if self.approx {
+            CounterBackend::approx()
+        } else {
+            CounterBackend::exact_with_budget(20_000_000)
+        }
+    }
+
+    /// The properties selected (all 16 unless `--property` was given).
+    pub fn properties(&self) -> Vec<Property> {
+        match self.property {
+            Some(p) => vec![p],
+            None => Property::all().to_vec(),
+        }
+    }
+
+    /// The scope to use for a property.
+    pub fn scope_for(&self, property: Property) -> usize {
+        self.scope.unwrap_or_else(|| crate::scopes::study_scope(property))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scope, None);
+        assert!(!a.approx);
+        assert_eq!(a.properties().len(), 16);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&["--scope", "5", "--approx", "--seed", "9", "--property", "reflexive"]);
+        assert_eq!(a.scope, Some(5));
+        assert!(a.approx);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.properties(), vec![Property::Reflexive]);
+        assert_eq!(a.scope_for(Property::Reflexive), 5);
+        assert_eq!(a.backend().name(), "approx");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown property")]
+    fn unknown_property_panics() {
+        parse(&["--property", "nope"]);
+    }
+}

@@ -1,0 +1,12 @@
+//! # mcml-bench
+//!
+//! Shared helpers for the experiment harness that regenerates every table of
+//! the MCML paper. The `src/bin/table*.rs` binaries print paper-style rows;
+//! the Criterion benches in `benches/` time the underlying kernels.
+
+pub mod accmc_table;
+pub mod cli;
+pub mod scopes;
+
+pub use cli::HarnessArgs;
+pub use scopes::{study_scope, study_scope_no_sb};

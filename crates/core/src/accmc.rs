@@ -1,0 +1,257 @@
+//! AccMC: quantifying a decision tree's performance over the entire bounded
+//! input space with respect to a ground-truth formula φ.
+//!
+//! Following Section 4 of the paper, the four counts are model counts of
+//! conjunctions of (¬)φ with the CNF of the tree's positive / negative
+//! decision region:
+//!
+//! * `tp = mc(φ ∧ tree_true)`     * `fp = mc(¬φ ∧ tree_true)`
+//! * `tn = mc(¬φ ∧ tree_false)`   * `fn = mc(φ ∧ tree_false)`
+//!
+//! from which accuracy, precision, recall and F1 are derived exactly as for
+//! dataset-based evaluation — except the "dataset" is now all 2^(n²)
+//! adjacency matrices (optionally restricted by symmetry-breaking
+//! predicates baked into φ).
+
+use crate::backend::CounterBackend;
+use crate::tree2cnf::{append_tree_label, TreeLabel};
+use mlkit::metrics::BinaryMetrics;
+use mlkit::tree::DecisionTree;
+use relspec::translate::GroundTruth;
+use std::time::{Duration, Instant};
+
+/// The four whole-space counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpaceCounts {
+    /// Inputs satisfying φ that the tree classifies as positive.
+    pub tp: u128,
+    /// Inputs violating φ that the tree classifies as positive.
+    pub fp: u128,
+    /// Inputs violating φ that the tree classifies as negative.
+    pub tn: u128,
+    /// Inputs satisfying φ that the tree classifies as negative.
+    pub fn_: u128,
+}
+
+impl SpaceCounts {
+    /// Total number of inputs covered by the four counts.
+    pub fn total(&self) -> u128 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// The derived accuracy / precision / recall / F1 scores.
+    pub fn metrics(&self) -> BinaryMetrics {
+        BinaryMetrics::from_counts(self.tp, self.fp, self.tn, self.fn_)
+    }
+}
+
+/// Result of one AccMC evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccMcResult {
+    /// The four whole-space counts.
+    pub counts: SpaceCounts,
+    /// The derived scores.
+    pub metrics: BinaryMetrics,
+    /// Wall-clock time spent in the four counting calls (the paper's
+    /// "Time[s]" column).
+    pub counting_time: Duration,
+}
+
+/// The AccMC analysis, parameterized by a counting backend.
+#[derive(Debug, Clone)]
+pub struct AccMc<'a> {
+    backend: &'a CounterBackend,
+}
+
+impl<'a> AccMc<'a> {
+    /// Creates the analysis over the given backend.
+    pub fn new(backend: &'a CounterBackend) -> Self {
+        AccMc { backend }
+    }
+
+    /// Computes the whole-space confusion counts of `tree` against the
+    /// ground truth φ. Returns `None` if the backend's budget was exhausted
+    /// on any of the four counts (the paper's time-outs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree's feature count differs from the ground truth's
+    /// primary-variable count.
+    pub fn evaluate(&self, ground_truth: &GroundTruth, tree: &DecisionTree) -> Option<AccMcResult> {
+        assert_eq!(
+            tree.num_features(),
+            ground_truth.num_primary(),
+            "tree was trained on {} features but the ground truth has {} primary variables",
+            tree.num_features(),
+            ground_truth.num_primary()
+        );
+        let start = Instant::now();
+        let tp = self.count_one(ground_truth, tree, true, TreeLabel::True)?;
+        let fp = self.count_one(ground_truth, tree, false, TreeLabel::True)?;
+        let tn = self.count_one(ground_truth, tree, false, TreeLabel::False)?;
+        let fn_ = self.count_one(ground_truth, tree, true, TreeLabel::False)?;
+        let counts = SpaceCounts { tp, fp, tn, fn_ };
+        Some(AccMcResult {
+            counts,
+            metrics: counts.metrics(),
+            counting_time: start.elapsed(),
+        })
+    }
+
+    fn count_one(
+        &self,
+        ground_truth: &GroundTruth,
+        tree: &DecisionTree,
+        phi_positive: bool,
+        label: TreeLabel,
+    ) -> Option<u128> {
+        let mut cnf = if phi_positive {
+            ground_truth.cnf_positive()
+        } else {
+            ground_truth.cnf_negative()
+        };
+        append_tree_label(&mut cnf, tree, label);
+        self.backend.count(&cnf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkit::data::Dataset;
+    use mlkit::tree::TreeConfig;
+    use mlkit::Classifier;
+    use relspec::instance::RelInstance;
+    use relspec::properties::Property;
+    use relspec::symmetry::SymmetryBreaking;
+    use relspec::translate::{translate_to_cnf, TranslateOptions};
+
+    /// Brute-force whole-space counts by iterating over every adjacency
+    /// matrix at the scope.
+    fn brute_counts(
+        property: Property,
+        scope: usize,
+        symmetry: SymmetryBreaking,
+        tree: &DecisionTree,
+    ) -> SpaceCounts {
+        let mut counts = SpaceCounts::default();
+        for bits in 0u64..(1 << (scope * scope)) {
+            let inst = RelInstance::from_bits(
+                scope,
+                (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+            );
+            if !symmetry.keeps(&inst) {
+                continue;
+            }
+            let truth = property.holds(&inst);
+            let predicted = tree.predict(&inst.to_features());
+            match (truth, predicted) {
+                (true, true) => counts.tp += 1,
+                (false, true) => counts.fp += 1,
+                (false, false) => counts.tn += 1,
+                (true, false) => counts.fn_ += 1,
+            }
+        }
+        counts
+    }
+
+    fn labeled_dataset(property: Property, scope: usize) -> Dataset {
+        let mut d = Dataset::new(scope * scope);
+        for bits in 0u64..(1 << (scope * scope)) {
+            let inst = RelInstance::from_bits(
+                scope,
+                (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+            );
+            d.push(inst.to_features(), property.holds(&inst));
+        }
+        d
+    }
+
+    #[test]
+    fn counts_match_brute_force_scope3() {
+        let scope = 3;
+        for property in [Property::Reflexive, Property::Antisymmetric, Property::Function] {
+            // Train on a small subsample so the tree is imperfect, which
+            // exercises all four counts.
+            let dataset = labeled_dataset(property, scope).subsample(60, 3);
+            let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+            let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+            let backend = CounterBackend::exact();
+            let result = AccMc::new(&backend).evaluate(&gt, &tree).unwrap();
+            let brute = brute_counts(property, scope, SymmetryBreaking::None, &tree);
+            assert_eq!(result.counts, brute, "property {property}");
+            assert_eq!(result.counts.total(), 512);
+        }
+    }
+
+    #[test]
+    fn counts_match_brute_force_with_symmetry_breaking() {
+        let scope = 3;
+        let property = Property::PartialOrder;
+        let dataset = labeled_dataset(property, scope).subsample(80, 9);
+        let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+        let symmetry = SymmetryBreaking::Transpositions;
+        let gt = translate_to_cnf(
+            &property.spec(),
+            TranslateOptions::new(scope).with_symmetry(symmetry),
+        );
+        let backend = CounterBackend::exact();
+        let result = AccMc::new(&backend).evaluate(&gt, &tree).unwrap();
+        let brute = brute_counts(property, scope, symmetry, &tree);
+        assert_eq!(result.counts, brute);
+    }
+
+    #[test]
+    fn perfect_tree_scores_one() {
+        // Reflexive at scope 2 is learnable exactly from the full space.
+        let property = Property::Reflexive;
+        let dataset = labeled_dataset(property, 2);
+        let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(2));
+        let backend = CounterBackend::exact();
+        let result = AccMc::new(&backend).evaluate(&gt, &tree).unwrap();
+        assert_eq!(result.counts.fp, 0);
+        assert_eq!(result.counts.fn_, 0);
+        assert_eq!(result.metrics.accuracy, 1.0);
+        assert_eq!(result.metrics.f1, 1.0);
+    }
+
+    #[test]
+    fn approx_backend_close_to_exact() {
+        let property = Property::Antisymmetric;
+        let scope = 3;
+        let dataset = labeled_dataset(property, scope).subsample(100, 5);
+        let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let exact = CounterBackend::exact();
+        let approx = CounterBackend::approx();
+        let re = AccMc::new(&exact).evaluate(&gt, &tree).unwrap();
+        let ra = AccMc::new(&approx).evaluate(&gt, &tree).unwrap();
+        // The whole space at scope 3 is only 512, so the approximate counter
+        // enumerates exactly.
+        let close = |a: u128, b: u128| (a as f64 - b as f64).abs() <= (b as f64) * 0.6 + 8.0;
+        assert!(close(ra.counts.tp, re.counts.tp));
+        assert!(close(ra.counts.tn, re.counts.tn));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_none() {
+        let property = Property::Transitive;
+        let scope = 3;
+        let dataset = labeled_dataset(property, scope).subsample(100, 5);
+        let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let backend = CounterBackend::exact_with_budget(1);
+        assert!(AccMc::new(&backend).evaluate(&gt, &tree).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "primary variables")]
+    fn mismatched_scope_panics() {
+        let dataset = labeled_dataset(Property::Reflexive, 2);
+        let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+        let gt = translate_to_cnf(&Property::Reflexive.spec(), TranslateOptions::new(3));
+        let backend = CounterBackend::exact();
+        let _ = AccMc::new(&backend).evaluate(&gt, &tree);
+    }
+}

@@ -1,0 +1,88 @@
+//! Model-counter backend selection.
+//!
+//! MCML's tool supports two back-ends: the exact counter (ProjMC in the
+//! paper, [`modelcount::exact`] here) and the approximate counter (ApproxMC
+//! in the paper, [`modelcount::approx`] here). The metrics in [`crate::accmc`]
+//! and [`crate::diffmc`] are agnostic to which one is used.
+
+use modelcount::approx::{ApproxConfig, ApproxCounter};
+use modelcount::exact::ExactCounter;
+use satkit::cnf::Cnf;
+
+/// A projected model-counting backend.
+#[derive(Debug, Clone)]
+pub enum CounterBackend {
+    /// Exact counting (the ProjMC role). Returns `None` when the node budget
+    /// is exhausted.
+    Exact(ExactCounter),
+    /// Approximate counting (the ApproxMC role).
+    Approx(ApproxCounter),
+}
+
+impl CounterBackend {
+    /// An exact backend with no budget.
+    pub fn exact() -> Self {
+        CounterBackend::Exact(ExactCounter::new())
+    }
+
+    /// An exact backend that gives up after `max_nodes` search nodes.
+    pub fn exact_with_budget(max_nodes: u64) -> Self {
+        CounterBackend::Exact(ExactCounter::with_node_budget(max_nodes))
+    }
+
+    /// An approximate backend with default (ε, δ).
+    pub fn approx() -> Self {
+        CounterBackend::Approx(ApproxCounter::default())
+    }
+
+    /// An approximate backend with a specific configuration.
+    pub fn approx_with(config: ApproxConfig) -> Self {
+        CounterBackend::Approx(ApproxCounter::new(config))
+    }
+
+    /// Short name for reports ("ProjMC-like" exact vs "ApproxMC-like").
+    pub fn name(&self) -> &'static str {
+        match self {
+            CounterBackend::Exact(_) => "exact",
+            CounterBackend::Approx(_) => "approx",
+        }
+    }
+
+    /// Counts the models of `cnf` projected onto its effective projection
+    /// set. Returns `None` only for an exact backend whose budget ran out.
+    pub fn count(&self, cnf: &Cnf) -> Option<u128> {
+        match self {
+            CounterBackend::Exact(c) => c.count(cnf),
+            CounterBackend::Approx(c) => Some(c.count(cnf)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satkit::cnf::Lit;
+
+    #[test]
+    fn both_backends_count_a_small_formula() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        assert_eq!(CounterBackend::exact().count(&cnf), Some(6));
+        assert_eq!(CounterBackend::approx().count(&cnf), Some(6));
+    }
+
+    #[test]
+    fn budgeted_exact_backend_gives_up() {
+        let mut cnf = Cnf::new(20);
+        for i in 0..19u32 {
+            cnf.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)]);
+        }
+        assert_eq!(CounterBackend::exact_with_budget(2).count(&cnf), None);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(CounterBackend::exact().name(), "exact");
+        assert_eq!(CounterBackend::approx().name(), "approx");
+    }
+}

@@ -1,0 +1,191 @@
+//! DiffMC: quantifying the semantic difference between two decision trees
+//! over the entire input space — without any ground truth or dataset.
+//!
+//! Following Section 4 of the paper, the four counts are model counts of
+//! conjunctions of the trees' decision-region CNFs:
+//!
+//! * `tt = mc(tree1_true ∧ tree2_true)`    * `tf = mc(tree1_true ∧ tree2_false)`
+//! * `ft = mc(tree1_false ∧ tree2_true)`   * `ff = mc(tree1_false ∧ tree2_false)`
+//!
+//! and `diff = (tf + ft) / 2ⁿ`, `sim = 1 - diff`.
+
+use crate::backend::CounterBackend;
+use crate::tree2cnf::{append_tree_label, tree_label_cnf, TreeLabel};
+use mlkit::tree::DecisionTree;
+use std::time::{Duration, Instant};
+
+/// The four whole-space agreement/disagreement counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiffCounts {
+    /// Inputs both trees classify as positive.
+    pub tt: u128,
+    /// Inputs the first tree classifies as positive and the second as negative.
+    pub tf: u128,
+    /// Inputs the first tree classifies as negative and the second as positive.
+    pub ft: u128,
+    /// Inputs both trees classify as negative.
+    pub ff: u128,
+}
+
+impl DiffCounts {
+    /// Total number of inputs covered (equals 2ⁿ).
+    pub fn total(&self) -> u128 {
+        self.tt + self.tf + self.ft + self.ff
+    }
+
+    /// Fraction of inputs on which the trees disagree.
+    pub fn diff(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.tf + self.ft) as f64 / total as f64
+    }
+
+    /// Fraction of inputs on which the trees agree (`1 - diff`).
+    pub fn sim(&self) -> f64 {
+        1.0 - self.diff()
+    }
+}
+
+/// Result of one DiffMC comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffMcResult {
+    /// The four agreement/disagreement counts.
+    pub counts: DiffCounts,
+    /// Wall-clock time spent counting.
+    pub counting_time: Duration,
+}
+
+/// The DiffMC analysis, parameterized by a counting backend.
+#[derive(Debug, Clone)]
+pub struct DiffMc<'a> {
+    backend: &'a CounterBackend,
+}
+
+impl<'a> DiffMc<'a> {
+    /// Creates the analysis over the given backend.
+    pub fn new(backend: &'a CounterBackend) -> Self {
+        DiffMc { backend }
+    }
+
+    /// Computes the whole-space agreement/disagreement counts of two trees.
+    /// Returns `None` if the backend's budget was exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trees were trained over different numbers of features.
+    pub fn compare(&self, d1: &DecisionTree, d2: &DecisionTree) -> Option<DiffMcResult> {
+        assert_eq!(
+            d1.num_features(),
+            d2.num_features(),
+            "trees classify different feature spaces ({} vs {})",
+            d1.num_features(),
+            d2.num_features()
+        );
+        let start = Instant::now();
+        let tt = self.count_one(d1, TreeLabel::True, d2, TreeLabel::True)?;
+        let tf = self.count_one(d1, TreeLabel::True, d2, TreeLabel::False)?;
+        let ft = self.count_one(d1, TreeLabel::False, d2, TreeLabel::True)?;
+        let ff = self.count_one(d1, TreeLabel::False, d2, TreeLabel::False)?;
+        Some(DiffMcResult {
+            counts: DiffCounts { tt, tf, ft, ff },
+            counting_time: start.elapsed(),
+        })
+    }
+
+    fn count_one(
+        &self,
+        d1: &DecisionTree,
+        l1: TreeLabel,
+        d2: &DecisionTree,
+        l2: TreeLabel,
+    ) -> Option<u128> {
+        let mut cnf = tree_label_cnf(d1, l1);
+        append_tree_label(&mut cnf, d2, l2);
+        self.backend.count(&cnf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkit::data::Dataset;
+    use mlkit::tree::TreeConfig;
+    use mlkit::Classifier;
+
+    fn dataset_from_fn(num_features: usize, f: impl Fn(&[u8]) -> bool) -> Dataset {
+        let mut d = Dataset::new(num_features);
+        for bits in 0u32..(1 << num_features) {
+            let row: Vec<u8> = (0..num_features).map(|k| ((bits >> k) & 1) as u8).collect();
+            let label = f(&row);
+            d.push(row, label);
+        }
+        d
+    }
+
+    fn brute_diff(d1: &DecisionTree, d2: &DecisionTree) -> DiffCounts {
+        let n = d1.num_features();
+        let mut counts = DiffCounts::default();
+        for bits in 0u32..(1 << n) {
+            let features: Vec<u8> = (0..n).map(|k| ((bits >> k) & 1) as u8).collect();
+            match (d1.predict(&features), d2.predict(&features)) {
+                (true, true) => counts.tt += 1,
+                (true, false) => counts.tf += 1,
+                (false, true) => counts.ft += 1,
+                (false, false) => counts.ff += 1,
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn identical_trees_have_zero_diff() {
+        let d = dataset_from_fn(4, |x| x[0] == 1 && x[2] == 1);
+        let t1 = DecisionTree::fit(&d, TreeConfig::default());
+        let t2 = DecisionTree::fit(&d, TreeConfig::default());
+        let backend = CounterBackend::exact();
+        let r = DiffMc::new(&backend).compare(&t1, &t2).unwrap();
+        assert_eq!(r.counts.tf, 0);
+        assert_eq!(r.counts.ft, 0);
+        assert_eq!(r.counts.diff(), 0.0);
+        assert_eq!(r.counts.sim(), 1.0);
+        assert_eq!(r.counts.total(), 16);
+    }
+
+    #[test]
+    fn counts_match_brute_force_for_different_trees() {
+        let full = dataset_from_fn(5, |x| x.iter().map(|&b| b as usize).sum::<usize>() >= 3);
+        let t1 = DecisionTree::fit(&full, TreeConfig::default());
+        // Train the second tree on a subsample with a depth limit so the two
+        // trees genuinely differ.
+        let t2 = DecisionTree::fit(&full.subsample(12, 3), TreeConfig::with_max_depth(2));
+        let backend = CounterBackend::exact();
+        let r = DiffMc::new(&backend).compare(&t1, &t2).unwrap();
+        let brute = brute_diff(&t1, &t2);
+        assert_eq!(r.counts, brute);
+        assert!((r.counts.diff() + r.counts.sim() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complementary_trees_have_diff_one() {
+        let d = dataset_from_fn(3, |x| x[1] == 1);
+        let d_inv = dataset_from_fn(3, |x| x[1] == 0);
+        let t1 = DecisionTree::fit(&d, TreeConfig::default());
+        let t2 = DecisionTree::fit(&d_inv, TreeConfig::default());
+        let backend = CounterBackend::exact();
+        let r = DiffMc::new(&backend).compare(&t1, &t2).unwrap();
+        assert_eq!(r.counts.tt, 0);
+        assert_eq!(r.counts.ff, 0);
+        assert_eq!(r.counts.diff(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different feature spaces")]
+    fn mismatched_feature_counts_panic() {
+        let t1 = DecisionTree::fit(&dataset_from_fn(3, |x| x[0] == 1), TreeConfig::default());
+        let t2 = DecisionTree::fit(&dataset_from_fn(4, |x| x[0] == 1), TreeConfig::default());
+        let backend = CounterBackend::exact();
+        let _ = DiffMc::new(&backend).compare(&t1, &t2);
+    }
+}

@@ -1,0 +1,46 @@
+//! # mcml
+//!
+//! The core MCML contribution: quantifying the performance of (and semantic
+//! differences among) trained decision trees **over the entire bounded input
+//! space** by reduction to projected model counting.
+//!
+//! * [`tree2cnf`] — the auxiliary-variable-free translation of decision-tree
+//!   logic to CNF (negate the DNF of the complementary label's paths);
+//! * [`accmc`] — `AccMC`: whole-space true/false positive/negative counts of
+//!   a tree against a ground-truth formula φ, and the derived accuracy,
+//!   precision, recall and F1 metrics;
+//! * [`diffmc`] — `DiffMC`: whole-space agreement/disagreement counts of two
+//!   trees (TT / TF / FT / FF) and the derived diff/sim ratios — no ground
+//!   truth or dataset required;
+//! * [`backend`] — selection of the counting backend (exact / approximate);
+//! * [`framework`] — the end-to-end pipeline (dataset → training → test-set
+//!   metrics → whole-space metrics) used by the experiment harness;
+//! * [`report`] — plain-text table formatting shared by the harness
+//!   binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use mcml::backend::CounterBackend;
+//! use mcml::framework::{Experiment, ExperimentConfig};
+//! use relspec::properties::Property;
+//!
+//! // One row of Table 5 (no symmetry breaking) at a small scope.
+//! let config = ExperimentConfig::table5(Property::Reflexive, 3);
+//! let result = Experiment::new(config).run(&CounterBackend::exact());
+//! let whole_space = result.whole_space.expect("exact backend has no budget");
+//! assert_eq!(whole_space.counts.total(), 512);
+//! ```
+
+pub mod accmc;
+pub mod backend;
+pub mod diffmc;
+pub mod framework;
+pub mod report;
+pub mod tree2cnf;
+
+pub use accmc::{AccMc, AccMcResult, SpaceCounts};
+pub use backend::CounterBackend;
+pub use diffmc::{DiffCounts, DiffMc, DiffMcResult};
+pub use framework::{evaluate_all_models, Experiment, ExperimentConfig, ExperimentResult};
+pub use tree2cnf::{tree_label_cnf, TreeLabel};

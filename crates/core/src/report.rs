@@ -1,0 +1,131 @@
+//! Plain-text table formatting shared by the experiment harness binaries.
+//!
+//! The harness prints rows shaped like the paper's tables (fixed-width
+//! columns, scientific notation for the huge model counts, "-" for
+//! time-outs), so a reader can line the output up against the publication.
+
+use std::fmt::Write as _;
+
+/// Formats a model count the way the paper's Table 8 does, e.g. `7.86E+05`.
+pub fn format_count(count: u128) -> String {
+    if count == 0 {
+        return "0".to_string();
+    }
+    if count < 100_000 {
+        return count.to_string();
+    }
+    let value = count as f64;
+    let exponent = value.log10().floor() as i32;
+    let mantissa = value / 10f64.powi(exponent);
+    format!("{mantissa:.2}E+{exponent:02}")
+}
+
+/// Formats a metric with the paper's four decimal places, or `-` for a
+/// missing (timed-out) value.
+pub fn format_metric(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.4}"),
+        None => "-".to_string(),
+    }
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, row: &[String]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", row[i], width = widths[i]);
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_formatting_matches_paper_style() {
+        assert_eq!(format_count(0), "0");
+        assert_eq!(format_count(56_723), "56723");
+        assert_eq!(format_count(786_000), "7.86E+05");
+        assert_eq!(format_count(18_400_000_000_000_000_000), "1.84E+19");
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(format_metric(Some(0.99567)), "0.9957");
+        assert_eq!(format_metric(None), "-");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["Property", "Accuracy"]);
+        t.push_row(vec!["Reflexive", "1.0000"]);
+        t.push_row(vec!["PartialOrder", "0.9675"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Property"));
+        assert!(lines[2].starts_with("Reflexive"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Tree2CNF: translating decision-tree logic to CNF without auxiliary
+//! variables.
+//!
+//! A decision tree over binary features is a set of root-to-leaf paths; any
+//! input follows exactly one path, and each path is a conjunction of literals
+//! (feature = 0 or feature = 1). The disjunction of the paths predicting
+//! label ℓ therefore characterizes the inputs the tree classifies as ℓ — a
+//! DNF. Following the observation the paper borrows from Håstad, the *other*
+//! label's region is the negation of that DNF, which is already a CNF: one
+//! clause per opposite-label path, each clause the disjunction of the negated
+//! path literals.
+//!
+//! The translation is linear in the tree size, introduces no auxiliary
+//! variables, and therefore preserves model counts over the feature
+//! variables exactly — the key enabler of the AccMC and DiffMC metrics.
+
+use mlkit::tree::DecisionTree;
+use satkit::cnf::{Clause, Cnf, Lit, Var};
+
+/// Which decision region of the tree to characterize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TreeLabel {
+    /// The inputs the tree classifies as positive.
+    True,
+    /// The inputs the tree classifies as negative.
+    False,
+}
+
+impl TreeLabel {
+    fn as_bool(self) -> bool {
+        matches!(self, TreeLabel::True)
+    }
+}
+
+/// The clauses characterizing the inputs that `tree` classifies as `label`:
+/// one clause per path of the *opposite* label, containing the negations of
+/// that path's literals.
+pub fn tree_label_clauses(tree: &DecisionTree, label: TreeLabel) -> Vec<Clause> {
+    tree.paths()
+        .into_iter()
+        .filter(|p| p.label != label.as_bool())
+        .map(|p| {
+            p.conditions
+                .iter()
+                .map(|&(feature, value)| Lit::from_var(Var(feature as u32), !value))
+                .collect()
+        })
+        .collect()
+}
+
+/// A standalone CNF over the tree's feature variables whose models are
+/// exactly the inputs classified as `label`. The projection set is the full
+/// feature block.
+pub fn tree_label_cnf(tree: &DecisionTree, label: TreeLabel) -> Cnf {
+    let mut cnf = Cnf::new(tree.num_features());
+    cnf.set_projection((0..tree.num_features() as u32).map(Var).collect());
+    for clause in tree_label_clauses(tree, label) {
+        cnf.add_clause(clause);
+    }
+    cnf
+}
+
+/// Conjoins the tree's `label` region onto an existing CNF whose first
+/// `tree.num_features()` variables are the feature variables (as is the case
+/// for the ground-truth CNFs produced by `relspec`).
+///
+/// # Panics
+///
+/// Panics if the target CNF has fewer variables than the tree has features.
+pub fn append_tree_label(cnf: &mut Cnf, tree: &DecisionTree, label: TreeLabel) {
+    assert!(
+        cnf.num_vars() >= tree.num_features(),
+        "CNF has {} variables but the tree uses {} features",
+        cnf.num_vars(),
+        tree.num_features()
+    );
+    for clause in tree_label_clauses(tree, label) {
+        cnf.add_clause(clause);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkit::data::Dataset;
+    use mlkit::tree::TreeConfig;
+    use mlkit::Classifier;
+
+    fn dataset_from_fn(num_features: usize, f: impl Fn(&[u8]) -> bool) -> Dataset {
+        let mut d = Dataset::new(num_features);
+        for bits in 0u32..(1 << num_features) {
+            let row: Vec<u8> = (0..num_features).map(|k| ((bits >> k) & 1) as u8).collect();
+            let label = f(&row);
+            d.push(row, label);
+        }
+        d
+    }
+
+    /// The CNF of each label region must agree with the tree's own
+    /// predictions on every input.
+    fn check_cnf_matches_tree(tree: &DecisionTree) {
+        let n = tree.num_features();
+        let cnf_true = tree_label_cnf(tree, TreeLabel::True);
+        let cnf_false = tree_label_cnf(tree, TreeLabel::False);
+        for bits in 0u32..(1 << n) {
+            let features: Vec<u8> = (0..n).map(|k| ((bits >> k) & 1) as u8).collect();
+            let assignment: Vec<bool> = features.iter().map(|&b| b != 0).collect();
+            let predicted = tree.predict(&features);
+            assert_eq!(cnf_true.eval(&assignment), predicted, "true-region CNF");
+            assert_eq!(cnf_false.eval(&assignment), !predicted, "false-region CNF");
+        }
+    }
+
+    #[test]
+    fn regions_partition_the_input_space() {
+        let d = dataset_from_fn(4, |x| x[0] == 1 && (x[1] == 1 || x[3] == 0));
+        let tree = DecisionTree::fit(&d, TreeConfig::default());
+        check_cnf_matches_tree(&tree);
+    }
+
+    #[test]
+    fn works_for_constant_trees() {
+        // A pure dataset yields a single-leaf tree; one region is the whole
+        // space (no clauses), the other is empty (one empty clause).
+        let mut d = Dataset::new(2);
+        d.push(vec![0, 1], true);
+        d.push(vec![1, 0], true);
+        let tree = DecisionTree::fit(&d, TreeConfig::default());
+        let cnf_true = tree_label_cnf(&tree, TreeLabel::True);
+        let cnf_false = tree_label_cnf(&tree, TreeLabel::False);
+        assert_eq!(cnf_true.num_clauses(), 0);
+        assert_eq!(cnf_false.num_clauses(), 1);
+        assert!(cnf_false.clauses()[0].is_empty());
+    }
+
+    #[test]
+    fn xor_tree_regions() {
+        let d = dataset_from_fn(3, |x| (x[0] ^ x[1]) == 1);
+        let tree = DecisionTree::fit(&d, TreeConfig::default());
+        check_cnf_matches_tree(&tree);
+    }
+
+    #[test]
+    fn clause_count_is_linear_in_opposite_paths() {
+        let d = dataset_from_fn(4, |x| x.iter().map(|&b| b as usize).sum::<usize>() >= 2);
+        let tree = DecisionTree::fit(&d, TreeConfig::default());
+        let paths = tree.paths();
+        let true_paths = paths.iter().filter(|p| p.label).count();
+        let false_paths = paths.len() - true_paths;
+        assert_eq!(
+            tree_label_cnf(&tree, TreeLabel::True).num_clauses(),
+            false_paths
+        );
+        assert_eq!(
+            tree_label_cnf(&tree, TreeLabel::False).num_clauses(),
+            true_paths
+        );
+    }
+
+    #[test]
+    fn no_auxiliary_variables_are_introduced() {
+        let d = dataset_from_fn(5, |x| x[2] == 1 || (x[0] == 1 && x[4] == 1));
+        let tree = DecisionTree::fit(&d, TreeConfig::default());
+        let cnf = tree_label_cnf(&tree, TreeLabel::True);
+        assert_eq!(cnf.num_vars(), 5);
+        assert_eq!(cnf.projection().len(), 5);
+    }
+
+    #[test]
+    fn model_counts_of_regions_sum_to_space_size() {
+        use modelcount::exact::ExactCounter;
+        let d = dataset_from_fn(4, |x| (x[0] & x[1]) == 1 || x[3] == 0);
+        let tree = DecisionTree::fit(&d, TreeConfig::default());
+        let counter = ExactCounter::new();
+        let t = counter.count(&tree_label_cnf(&tree, TreeLabel::True)).unwrap();
+        let f = counter.count(&tree_label_cnf(&tree, TreeLabel::False)).unwrap();
+        assert_eq!(t + f, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "variables but the tree uses")]
+    fn append_rejects_narrow_cnf() {
+        let d = dataset_from_fn(3, |x| x[0] == 1);
+        let tree = DecisionTree::fit(&d, TreeConfig::default());
+        let mut cnf = Cnf::new(2);
+        append_tree_label(&mut cnf, &tree, TreeLabel::True);
+    }
+}

@@ -1,0 +1,17 @@
+//! # datagen
+//!
+//! Dataset generation for the MCML study.
+//!
+//! Reproduces the paper's data pipeline: positive samples are produced by
+//! *bounded-exhaustive enumeration* of a property's solutions via the SAT
+//! backend (with or without symmetry breaking); negative samples are drawn
+//! uniformly at random from the whole state space and checked against the
+//! property with the relational evaluator (no constraint solving); the two
+//! sets are balanced and split into train/test portions at the paper's
+//! ratios.
+
+pub mod builder;
+pub mod negative;
+pub mod positive;
+
+pub use builder::{DatasetBuilder, DatasetConfig, PropertyDataset, SplitRatio};

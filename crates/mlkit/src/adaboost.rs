@@ -1,0 +1,188 @@
+//! AdaBoost over shallow decision trees (the paper's `ABT` model).
+//!
+//! The discrete AdaBoost / SAMME algorithm: weak learners are depth-limited
+//! CART trees trained on re-weighted samples; each learner gets a vote
+//! proportional to `ln((1 - err) / err)`, and the ensemble predicts the sign
+//! of the weighted vote sum.
+
+use crate::data::Dataset;
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+
+/// Hyper-parameters of an [`AdaBoost`] ensemble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaBoostConfig {
+    /// Number of boosting rounds (weak learners).
+    pub num_rounds: usize,
+    /// Depth of each weak learner.
+    pub weak_depth: usize,
+    /// RNG seed forwarded to the weak learners.
+    pub seed: u64,
+}
+
+impl Default for AdaBoostConfig {
+    fn default() -> Self {
+        AdaBoostConfig {
+            num_rounds: 50,
+            weak_depth: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained AdaBoost ensemble.
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    learners: Vec<(f64, DecisionTree)>,
+    config: AdaBoostConfig,
+}
+
+impl AdaBoost {
+    /// Trains the ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `num_rounds` is 0.
+    pub fn fit(dataset: &Dataset, config: AdaBoostConfig) -> Self {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        assert!(config.num_rounds > 0, "need at least one boosting round");
+        let n = dataset.len();
+        let mut weights = vec![1.0 / n as f64; n];
+        let mut learners: Vec<(f64, DecisionTree)> = Vec::new();
+
+        for round in 0..config.num_rounds {
+            let tree_config = TreeConfig {
+                max_depth: Some(config.weak_depth),
+                seed: config.seed.wrapping_add(round as u64),
+                ..TreeConfig::default()
+            };
+            let tree = DecisionTree::fit_weighted(dataset, &weights, tree_config);
+            let mut err = 0.0;
+            let predictions: Vec<bool> = dataset.features().iter().map(|x| tree.predict(x)).collect();
+            for (i, (&w, &p)) in weights.iter().zip(&predictions).enumerate() {
+                if p != dataset.labels()[i] {
+                    err += w;
+                }
+            }
+            // A perfect learner ends boosting; a useless one is skipped with
+            // a small weight bump to avoid numeric blow-ups.
+            if err <= 1e-12 {
+                learners.push((10.0, tree));
+                break;
+            }
+            if err >= 0.5 {
+                break;
+            }
+            let alpha = 0.5 * ((1.0 - err) / err).ln();
+            for (i, &p) in predictions.iter().enumerate() {
+                let y = if dataset.labels()[i] { 1.0 } else { -1.0 };
+                let h = if p { 1.0 } else { -1.0 };
+                weights[i] *= (-alpha * y * h).exp();
+            }
+            let total: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= total;
+            }
+            learners.push((alpha, tree));
+        }
+
+        if learners.is_empty() {
+            // Degenerate data (e.g. a single class): fall back to one stump.
+            let tree = DecisionTree::fit(dataset, TreeConfig::with_max_depth(config.weak_depth));
+            learners.push((1.0, tree));
+        }
+
+        AdaBoost { learners, config }
+    }
+
+    /// Number of weak learners actually trained.
+    pub fn num_learners(&self) -> usize {
+        self.learners.len()
+    }
+
+    /// The ensemble's hyper-parameters.
+    pub fn config(&self) -> &AdaBoostConfig {
+        &self.config
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn predict(&self, features: &[u8]) -> bool {
+        let score: f64 = self
+            .learners
+            .iter()
+            .map(|(alpha, tree)| {
+                let h = if tree.predict(features) { 1.0 } else { -1.0 };
+                alpha * h
+            })
+            .sum();
+        score >= 0.0
+    }
+
+    fn model_name(&self) -> &'static str {
+        "ABT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_from_fn(f: impl Fn(&[u8]) -> bool) -> Dataset {
+        let mut d = Dataset::new(5);
+        for bits in 0u8..32 {
+            let row: Vec<u8> = (0..5).map(|k| (bits >> k) & 1).collect();
+            let label = f(&row);
+            d.push(row, label);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_single_feature_with_one_stump() {
+        let d = dataset_from_fn(|x| x[3] == 1);
+        let a = AdaBoost::fit(&d, AdaBoostConfig::default());
+        for (x, y) in d.iter() {
+            assert_eq!(a.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn boosting_beats_a_single_stump_on_majority() {
+        let d = dataset_from_fn(|x| x.iter().map(|&b| b as usize).sum::<usize>() >= 3);
+        let stump = DecisionTree::fit(&d, TreeConfig::with_max_depth(1));
+        let boosted = AdaBoost::fit(
+            &d,
+            AdaBoostConfig {
+                num_rounds: 100,
+                ..AdaBoostConfig::default()
+            },
+        );
+        let acc = |pred: &dyn Fn(&[u8]) -> bool| {
+            d.iter().filter(|(x, y)| pred(x) == *y).count() as f64 / d.len() as f64
+        };
+        let stump_acc = acc(&|x| stump.predict(x));
+        let boost_acc = acc(&|x| boosted.predict(x));
+        assert!(
+            boost_acc >= stump_acc,
+            "boosted {boost_acc} worse than stump {stump_acc}"
+        );
+        assert!(boost_acc >= 0.9, "boosted accuracy {boost_acc}");
+    }
+
+    #[test]
+    fn handles_single_class_dataset() {
+        let mut d = Dataset::new(2);
+        d.push(vec![0, 1], true);
+        d.push(vec![1, 1], true);
+        let a = AdaBoost::fit(&d, AdaBoostConfig::default());
+        assert!(a.predict(&[0, 1]));
+        assert!(a.num_learners() >= 1);
+    }
+
+    #[test]
+    fn model_name() {
+        let d = dataset_from_fn(|x| x[0] == 1);
+        assert_eq!(AdaBoost::fit(&d, AdaBoostConfig::default()).model_name(), "ABT");
+    }
+}

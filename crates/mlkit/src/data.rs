@@ -1,0 +1,351 @@
+//! Datasets of binary feature vectors with binary labels.
+//!
+//! A dataset row is a linearized adjacency matrix (`n * n` features valued
+//! 0/1) together with a label: 1 when the instance satisfies the relational
+//! property under study, 0 otherwise. The utilities here mirror the paper's
+//! experimental protocol: random (non-overlapping) train/test splits at
+//! several ratios, balancing, and class-ratio resampling for the Table 9
+//! sweep.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// A labeled dataset over fixed-length binary feature vectors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dataset {
+    num_features: usize,
+    features: Vec<Vec<u8>>,
+    labels: Vec<bool>,
+}
+
+/// A train/test split ratio, e.g. 75:25.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitSpec {
+    /// Percentage of samples used for training (1..=99).
+    pub train_percent: u32,
+}
+
+impl SplitSpec {
+    /// Creates a split spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= train_percent <= 99`.
+    pub fn new(train_percent: u32) -> Self {
+        assert!((1..=99).contains(&train_percent), "train percent must be in 1..=99");
+        SplitSpec { train_percent }
+    }
+
+    /// The five ratios used throughout the paper: 75:25, 50:50, 25:75, 10:90
+    /// and 1:99.
+    pub fn paper_ratios() -> [SplitSpec; 5] {
+        [
+            SplitSpec::new(75),
+            SplitSpec::new(50),
+            SplitSpec::new(25),
+            SplitSpec::new(10),
+            SplitSpec::new(1),
+        ]
+    }
+
+    /// The train fraction in `[0, 1]`.
+    pub fn train_fraction(&self) -> f64 {
+        f64::from(self.train_percent) / 100.0
+    }
+}
+
+impl fmt::Display for SplitSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.train_percent, 100 - self.train_percent)
+    }
+}
+
+impl Dataset {
+    /// An empty dataset over `num_features` features.
+    pub fn new(num_features: usize) -> Self {
+        Dataset {
+            num_features,
+            features: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Number of features per sample.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature vector has the wrong length.
+    pub fn push(&mut self, features: Vec<u8>, label: bool) {
+        assert_eq!(
+            features.len(),
+            self.num_features,
+            "expected {} features",
+            self.num_features
+        );
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// The feature matrix.
+    pub fn features(&self) -> &[Vec<u8>] {
+        &self.features
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// One sample.
+    pub fn get(&self, index: usize) -> (&[u8], bool) {
+        (&self.features[index], self.labels[index])
+    }
+
+    /// `(positives, negatives)` counts.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let pos = self.labels.iter().filter(|&&l| l).count();
+        (pos, self.len() - pos)
+    }
+
+    /// A new dataset containing the rows at `indices` (in that order).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.num_features);
+        for &i in indices {
+            out.push(self.features[i].clone(), self.labels[i]);
+        }
+        out
+    }
+
+    /// Splits the dataset into non-overlapping train and test sets by drawing
+    /// a random subset of the given fraction for training.
+    ///
+    /// The draw is stratified per class so that both splits keep the
+    /// dataset's class balance (the paper's datasets are balanced and its
+    /// splits preserve that).
+    pub fn split(&self, spec: SplitSpec, seed: u64) -> (Dataset, Dataset) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pos_idx: Vec<usize> = (0..self.len()).filter(|&i| self.labels[i]).collect();
+        let mut neg_idx: Vec<usize> = (0..self.len()).filter(|&i| !self.labels[i]).collect();
+        pos_idx.shuffle(&mut rng);
+        neg_idx.shuffle(&mut rng);
+        let frac = spec.train_fraction();
+        // Guarantee at least one training sample per non-empty class so that
+        // tiny datasets (small scopes) never produce an empty training set.
+        let cut = |len: usize| -> usize {
+            if len == 0 {
+                0
+            } else {
+                (((len as f64) * frac).round() as usize).clamp(1, len)
+            }
+        };
+        let pos_cut = cut(pos_idx.len());
+        let neg_cut = cut(neg_idx.len());
+        let mut train_idx: Vec<usize> = pos_idx[..pos_cut]
+            .iter()
+            .chain(&neg_idx[..neg_cut])
+            .copied()
+            .collect();
+        let mut test_idx: Vec<usize> = pos_idx[pos_cut..]
+            .iter()
+            .chain(&neg_idx[neg_cut..])
+            .copied()
+            .collect();
+        train_idx.shuffle(&mut rng);
+        test_idx.shuffle(&mut rng);
+        (self.select(&train_idx), self.select(&test_idx))
+    }
+
+    /// A shuffled copy.
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rng);
+        self.select(&idx)
+    }
+
+    /// A random subsample of at most `n` rows (without replacement).
+    pub fn subsample(&self, n: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(n);
+        self.select(&idx)
+    }
+
+    /// Resamples the dataset (without replacement, per class) so that the
+    /// result has approximately `positive_percent` percent positive samples
+    /// and as many total rows as possible given the available samples.
+    ///
+    /// This implements the class-ratio sweep of Table 9 (99:1 ... 1:99).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= positive_percent <= 99`, or if one of the classes
+    /// is empty.
+    pub fn with_class_ratio(&self, positive_percent: u32, seed: u64) -> Dataset {
+        assert!(
+            (1..=99).contains(&positive_percent),
+            "positive percent must be in 1..=99"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pos_idx: Vec<usize> = (0..self.len()).filter(|&i| self.labels[i]).collect();
+        let mut neg_idx: Vec<usize> = (0..self.len()).filter(|&i| !self.labels[i]).collect();
+        assert!(
+            !pos_idx.is_empty() && !neg_idx.is_empty(),
+            "both classes must be non-empty to resample"
+        );
+        pos_idx.shuffle(&mut rng);
+        neg_idx.shuffle(&mut rng);
+        let p = f64::from(positive_percent) / 100.0;
+        // Largest total size achievable with the requested ratio.
+        let total_by_pos = (pos_idx.len() as f64 / p).floor() as usize;
+        let total_by_neg = (neg_idx.len() as f64 / (1.0 - p)).floor() as usize;
+        let total = total_by_pos.min(total_by_neg).max(2);
+        let n_pos = ((total as f64) * p).round().clamp(1.0, pos_idx.len() as f64) as usize;
+        let n_neg = (total - n_pos).clamp(1, neg_idx.len());
+        let mut idx: Vec<usize> = pos_idx[..n_pos]
+            .iter()
+            .chain(&neg_idx[..n_neg])
+            .copied()
+            .collect();
+        idx.shuffle(&mut rng);
+        self.select(&idx)
+    }
+
+    /// Concatenates two datasets over the same feature space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature counts differ.
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.num_features, other.num_features);
+        let mut out = self.clone();
+        for i in 0..other.len() {
+            let (f, l) = other.get(i);
+            out.push(f.to_vec(), l);
+        }
+        out
+    }
+
+    /// Iterates over `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], bool)> {
+        self.features
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_pos: usize, n_neg: usize) -> Dataset {
+        let mut d = Dataset::new(3);
+        for i in 0..n_pos {
+            d.push(vec![1, (i % 2) as u8, 0], true);
+        }
+        for i in 0..n_neg {
+            d.push(vec![0, (i % 2) as u8, 1], false);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_counts() {
+        let d = toy(3, 5);
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.class_counts(), (3, 5));
+        assert_eq!(d.num_features(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 features")]
+    fn push_wrong_width_panics() {
+        let mut d = Dataset::new(3);
+        d.push(vec![1, 0], true);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let d = toy(40, 40);
+        let (train, test) = d.split(SplitSpec::new(25), 7);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(train.len(), 20);
+        // Stratification: both splits keep the 50/50 balance.
+        assert_eq!(train.class_counts().0, 10);
+        assert_eq!(test.class_counts().0, 30);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = toy(30, 30);
+        let (a1, b1) = d.split(SplitSpec::new(50), 3);
+        let (a2, b2) = d.split(SplitSpec::new(50), 3);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        let (a3, _) = d.split(SplitSpec::new(50), 4);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn paper_ratios_are_the_five_from_the_study() {
+        let r: Vec<String> = SplitSpec::paper_ratios().iter().map(|s| s.to_string()).collect();
+        assert_eq!(r, vec!["75:25", "50:50", "25:75", "10:90", "1:99"]);
+    }
+
+    #[test]
+    fn class_ratio_resampling() {
+        let d = toy(500, 500);
+        let skewed = d.with_class_ratio(90, 11);
+        let (pos, neg) = skewed.class_counts();
+        let frac = pos as f64 / (pos + neg) as f64;
+        assert!((frac - 0.9).abs() < 0.03, "got positive fraction {frac}");
+        let balanced = d.with_class_ratio(50, 11);
+        let (p2, n2) = balanced.class_counts();
+        assert!((p2 as i64 - n2 as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn subsample_and_shuffle_preserve_rows() {
+        let d = toy(10, 10);
+        let s = d.subsample(5, 1);
+        assert_eq!(s.len(), 5);
+        let sh = d.shuffled(2);
+        assert_eq!(sh.len(), d.len());
+        let (p, n) = sh.class_counts();
+        assert_eq!((p, n), (10, 10));
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = toy(2, 2);
+        let b = toy(1, 1);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.class_counts(), (3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "train percent")]
+    fn split_spec_rejects_zero() {
+        SplitSpec::new(0);
+    }
+}

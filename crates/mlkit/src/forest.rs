@@ -1,0 +1,152 @@
+//! Random forests: bagged CART trees with per-split feature subsampling and
+//! majority voting (the paper's `RFT` model).
+
+use crate::data::Dataset;
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Hyper-parameters of a [`RandomForest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Maximum depth of each tree (`None` = unlimited).
+    pub max_depth: Option<usize>,
+    /// Number of features considered per split (`None` = sqrt of the total).
+    pub max_features: Option<usize>,
+    /// RNG seed for bootstrap sampling and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            num_trees: 50,
+            max_depth: None,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    config: ForestConfig,
+}
+
+impl RandomForest {
+    /// Trains a forest of bootstrapped trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `num_trees` is 0.
+    pub fn fit(dataset: &Dataset, config: ForestConfig) -> Self {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        assert!(config.num_trees > 0, "forest needs at least one tree");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let max_features = config
+            .max_features
+            .unwrap_or_else(|| (dataset.num_features() as f64).sqrt().ceil() as usize)
+            .max(1);
+        let mut trees = Vec::with_capacity(config.num_trees);
+        for t in 0..config.num_trees {
+            // Bootstrap sample (with replacement) of the same size.
+            let indices: Vec<usize> = (0..dataset.len())
+                .map(|_| rng.gen_range(0..dataset.len()))
+                .collect();
+            let sample = dataset.select(&indices);
+            let tree_config = TreeConfig {
+                max_depth: config.max_depth,
+                max_features: Some(max_features),
+                seed: config.seed.wrapping_add(t as u64 + 1),
+                ..TreeConfig::default()
+            };
+            trees.push(DecisionTree::fit(&sample, tree_config));
+        }
+        RandomForest { trees, config }
+    }
+
+    /// The trees of the forest.
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// The forest's hyper-parameters.
+    pub fn config(&self) -> &ForestConfig {
+        &self.config
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict(&self, features: &[u8]) -> bool {
+        let votes = self
+            .trees
+            .iter()
+            .filter(|t| t.predict(features))
+            .count();
+        votes * 2 >= self.trees.len()
+    }
+
+    fn model_name(&self) -> &'static str {
+        "RFT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_from_fn(f: impl Fn(&[u8]) -> bool) -> Dataset {
+        let mut d = Dataset::new(5);
+        for bits in 0u8..32 {
+            let row: Vec<u8> = (0..5).map(|k| (bits >> k) & 1).collect();
+            let label = f(&row);
+            d.push(row, label);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_majority_function() {
+        let d = dataset_from_fn(|x| x.iter().map(|&b| b as usize).sum::<usize>() >= 3);
+        let f = RandomForest::fit(
+            &d,
+            ForestConfig {
+                num_trees: 30,
+                seed: 1,
+                ..ForestConfig::default()
+            },
+        );
+        let correct = d.iter().filter(|(x, y)| f.predict(x) == *y).count();
+        assert!(correct as f64 / d.len() as f64 >= 0.9, "correct: {correct}/32");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = dataset_from_fn(|x| x[0] == 1 || x[3] == 1);
+        let f1 = RandomForest::fit(&d, ForestConfig { seed: 7, num_trees: 10, ..ForestConfig::default() });
+        let f2 = RandomForest::fit(&d, ForestConfig { seed: 7, num_trees: 10, ..ForestConfig::default() });
+        for (x, _) in d.iter() {
+            assert_eq!(f1.predict(x), f2.predict(x));
+        }
+    }
+
+    #[test]
+    fn number_of_trees_respected() {
+        let d = dataset_from_fn(|x| x[2] == 1);
+        let f = RandomForest::fit(&d, ForestConfig { num_trees: 13, ..ForestConfig::default() });
+        assert_eq!(f.trees().len(), 13);
+        assert_eq!(f.model_name(), "RFT");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_panics() {
+        let d = dataset_from_fn(|x| x[0] == 1);
+        RandomForest::fit(&d, ForestConfig { num_trees: 0, ..ForestConfig::default() });
+    }
+}

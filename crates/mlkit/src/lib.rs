@@ -1,0 +1,49 @@
+//! # mlkit
+//!
+//! From-scratch machine-learning substrate for the MCML reproduction.
+//!
+//! The MCML study trains six off-the-shelf Scikit-Learn models on binary
+//! feature vectors (linearized adjacency matrices). This crate implements
+//! the same six model families natively in Rust:
+//!
+//! * [`tree`] — CART decision trees (the model family MCML's counting
+//!   metrics apply to);
+//! * [`forest`] — random forests;
+//! * [`adaboost`] — AdaBoost (SAMME) over shallow trees;
+//! * [`gbdt`] — gradient-boosted regression trees with logistic loss;
+//! * [`svm`] — a linear SVM trained with the Pegasos sub-gradient method;
+//! * [`mlp`] — a multi-layer perceptron trained with SGD;
+//!
+//! plus [`data`] (datasets, splits, class-ratio resampling) and [`metrics`]
+//! (confusion matrices, accuracy / precision / recall / F1).
+
+pub mod adaboost;
+pub mod data;
+pub mod forest;
+pub mod gbdt;
+pub mod metrics;
+pub mod mlp;
+pub mod svm;
+pub mod tree;
+
+pub use data::Dataset;
+pub use metrics::{BinaryMetrics, ConfusionMatrix};
+pub use tree::{DecisionTree, TreePath};
+
+/// A trained binary classifier over fixed-length binary feature vectors.
+///
+/// All six model families implement this trait; the MCML counting metrics
+/// additionally require access to decision-tree structure and therefore only
+/// apply to [`DecisionTree`].
+pub trait Classifier {
+    /// Predicts the label (true = positive class) for one feature vector.
+    fn predict(&self, features: &[u8]) -> bool;
+
+    /// Predicts labels for a batch of feature vectors.
+    fn predict_batch(&self, features: &[Vec<u8>]) -> Vec<bool> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// A short human-readable name for reports (e.g. `"DT"`, `"SVM"`).
+    fn model_name(&self) -> &'static str;
+}

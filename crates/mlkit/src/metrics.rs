@@ -1,0 +1,210 @@
+//! Classification metrics: confusion matrices and the four standard scores
+//! (accuracy, precision, recall, F1) used throughout the MCML study.
+//!
+//! The same scores are computed in two settings:
+//!
+//! * from *predictions on a dataset* (the traditional setting, via
+//!   [`ConfusionMatrix::from_predictions`]);
+//! * from *whole-space model counts* (the MCML setting, via
+//!   [`BinaryMetrics::from_counts`], whose inputs are `u128` counts produced
+//!   by the model counters).
+
+use std::fmt;
+
+/// Counts of true/false positives/negatives.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from parallel slices of ground-truth labels
+    /// and predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(labels: &[bool], predictions: &[bool]) -> Self {
+        assert_eq!(labels.len(), predictions.len(), "length mismatch");
+        let mut m = ConfusionMatrix::default();
+        for (&y, &p) in labels.iter().zip(predictions) {
+            match (y, p) {
+                (true, true) => m.tp += 1,
+                (false, true) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (true, false) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// The derived accuracy / precision / recall / F1 scores.
+    pub fn metrics(&self) -> BinaryMetrics {
+        BinaryMetrics::from_counts(
+            u128::from(self.tp),
+            u128::from(self.fp),
+            u128::from(self.tn),
+            u128::from(self.fn_),
+        )
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} tn={} fn={}",
+            self.tp, self.fp, self.tn, self.fn_
+        )
+    }
+}
+
+/// The four standard binary-classification scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryMetrics {
+    /// (TP + TN) / (TP + FP + TN + FN).
+    pub accuracy: f64,
+    /// TP / (TP + FP); 0 when the denominator is 0.
+    pub precision: f64,
+    /// TP / (TP + FN); 0 when the denominator is 0.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub f1: f64,
+}
+
+impl BinaryMetrics {
+    /// Computes the scores from raw counts. Counts may be whole-space model
+    /// counts (MCML) or dataset tallies (traditional evaluation).
+    ///
+    /// Divisions by zero follow the usual convention of scoring 0, matching
+    /// the paper's reported 0.0000 precisions.
+    pub fn from_counts(tp: u128, fp: u128, tn: u128, fn_: u128) -> Self {
+        let tp_f = tp as f64;
+        let fp_f = fp as f64;
+        let tn_f = tn as f64;
+        let fn_f = fn_ as f64;
+        let total = tp_f + fp_f + tn_f + fn_f;
+        let accuracy = if total > 0.0 {
+            (tp_f + tn_f) / total
+        } else {
+            0.0
+        };
+        let precision = if tp_f + fp_f > 0.0 {
+            tp_f / (tp_f + fp_f)
+        } else {
+            0.0
+        };
+        let recall = if tp_f + fn_f > 0.0 {
+            tp_f / (tp_f + fn_f)
+        } else {
+            0.0
+        };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        BinaryMetrics {
+            accuracy,
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+impl fmt::Display for BinaryMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "acc={:.4} prec={:.4} rec={:.4} f1={:.4}",
+            self.accuracy, self.precision, self.recall, self.f1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_from_predictions() {
+        let labels = [true, true, false, false, true];
+        let preds = [true, false, true, false, true];
+        let m = ConfusionMatrix::from_predictions(&labels, &preds);
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.tn, 1);
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let labels = [true, false, true];
+        let m = ConfusionMatrix::from_predictions(&labels, &labels);
+        let s = m.metrics();
+        assert_eq!(s.accuracy, 1.0);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn all_wrong_scores_zero() {
+        let labels = [true, false];
+        let preds = [false, true];
+        let s = ConfusionMatrix::from_predictions(&labels, &preds).metrics();
+        assert_eq!(s.accuracy, 0.0);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn zero_denominators_are_zero_not_nan() {
+        // Never predicts positive: precision denominator is 0.
+        let s = BinaryMetrics::from_counts(0, 0, 10, 5);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+        assert!((s.accuracy - 10.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = BinaryMetrics::from_counts(8, 2, 85, 5);
+        assert!((s.accuracy - 0.93).abs() < 1e-12);
+        assert!((s.precision - 0.8).abs() < 1e-12);
+        assert!((s.recall - 8.0 / 13.0).abs() < 1e-12);
+        let expected_f1 = 2.0 * 0.8 * (8.0 / 13.0) / (0.8 + 8.0 / 13.0);
+        assert!((s.f1 - expected_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_huge_model_counts() {
+        // Counts on the order of 2^100 must not overflow or lose the ratio.
+        let tp = 1u128 << 100;
+        let fp = 1u128 << 100;
+        let s = BinaryMetrics::from_counts(tp, fp, 0, 0);
+        assert!((s.precision - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        ConfusionMatrix::from_predictions(&[true], &[true, false]);
+    }
+}

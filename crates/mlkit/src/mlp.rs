@@ -1,0 +1,250 @@
+//! Multi-layer perceptron (the paper's `MLP` model).
+//!
+//! A feed-forward network with one ReLU hidden layer and a sigmoid output,
+//! trained by mini-batch stochastic gradient descent with momentum on the
+//! cross-entropy loss. Matches the "basic out-of-the-box" usage in the study
+//! (Scikit-Learn's `MLPClassifier` defaults, scaled down).
+
+use crate::data::Dataset;
+use crate::Classifier;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Hyper-parameters of an [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpConfig {
+    /// Number of units in the hidden layer.
+    pub hidden_units: usize,
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed for weight initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden_units: 64,
+            epochs: 60,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            batch_size: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained multi-layer perceptron.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    // Hidden layer: w1[h][d], b1[h]; output layer: w2[h], b2.
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: f64,
+    config: MlpConfig,
+}
+
+impl Mlp {
+    /// Trains the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `hidden_units`/`batch_size` is 0.
+    pub fn fit(dataset: &Dataset, config: MlpConfig) -> Self {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        assert!(config.hidden_units > 0, "need at least one hidden unit");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let d = dataset.num_features();
+        let h = config.hidden_units;
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let scale = (2.0 / d as f64).sqrt();
+        let mut w1: Vec<Vec<f64>> = (0..h)
+            .map(|_| (0..d).map(|_| rng.gen_range(-scale..scale)).collect())
+            .collect();
+        let mut b1 = vec![0.0; h];
+        let mut w2: Vec<f64> = (0..h).map(|_| rng.gen_range(-scale..scale)).collect();
+        let mut b2 = 0.0;
+
+        // Momentum buffers.
+        let mut v_w1 = vec![vec![0.0; d]; h];
+        let mut v_b1 = vec![0.0; h];
+        let mut v_w2 = vec![0.0; h];
+        let mut v_b2 = 0.0;
+
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(config.batch_size) {
+                let mut g_w1 = vec![vec![0.0; d]; h];
+                let mut g_b1 = vec![0.0; h];
+                let mut g_w2 = vec![0.0; h];
+                let mut g_b2 = 0.0;
+                for &i in batch {
+                    let (x, label) = dataset.get(i);
+                    let y = if label { 1.0 } else { 0.0 };
+                    // Forward.
+                    let hidden: Vec<f64> = (0..h)
+                        .map(|j| relu(dot(&w1[j], x) + b1[j]))
+                        .collect();
+                    let out = sigmoid(
+                        hidden.iter().zip(&w2).map(|(a, w)| a * w).sum::<f64>() + b2,
+                    );
+                    // Backward (cross-entropy + sigmoid gives a simple delta).
+                    let delta_out = out - y;
+                    g_b2 += delta_out;
+                    for j in 0..h {
+                        g_w2[j] += delta_out * hidden[j];
+                        if hidden[j] > 0.0 {
+                            let delta_h = delta_out * w2[j];
+                            g_b1[j] += delta_h;
+                            for (g, &xi) in g_w1[j].iter_mut().zip(x) {
+                                *g += delta_h * f64::from(xi);
+                            }
+                        }
+                    }
+                }
+                let scale = config.learning_rate / batch.len() as f64;
+                for j in 0..h {
+                    for k in 0..d {
+                        v_w1[j][k] = config.momentum * v_w1[j][k] - scale * g_w1[j][k];
+                        w1[j][k] += v_w1[j][k];
+                    }
+                    v_b1[j] = config.momentum * v_b1[j] - scale * g_b1[j];
+                    b1[j] += v_b1[j];
+                    v_w2[j] = config.momentum * v_w2[j] - scale * g_w2[j];
+                    w2[j] += v_w2[j];
+                }
+                v_b2 = config.momentum * v_b2 - scale * g_b2;
+                b2 += v_b2;
+            }
+        }
+        Mlp {
+            w1,
+            b1,
+            w2,
+            b2,
+            config,
+        }
+    }
+
+    /// The predicted probability of the positive class.
+    pub fn predict_proba(&self, features: &[u8]) -> f64 {
+        let hidden: Vec<f64> = self
+            .w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(w, b)| relu(dot(w, features) + b))
+            .collect();
+        sigmoid(
+            hidden
+                .iter()
+                .zip(&self.w2)
+                .map(|(a, w)| a * w)
+                .sum::<f64>()
+                + self.b2,
+        )
+    }
+
+    /// The network's hyper-parameters.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+}
+
+fn dot(w: &[f64], x: &[u8]) -> f64 {
+    w.iter().zip(x).map(|(wi, &xi)| wi * f64::from(xi)).sum()
+}
+
+fn relu(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Classifier for Mlp {
+    fn predict(&self, features: &[u8]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+
+    fn model_name(&self) -> &'static str {
+        "MLP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_from_fn(f: impl Fn(&[u8]) -> bool) -> Dataset {
+        let mut d = Dataset::new(5);
+        for bits in 0u8..32 {
+            let row: Vec<u8> = (0..5).map(|k| (bits >> k) & 1).collect();
+            let label = f(&row);
+            d.push(row, label);
+        }
+        d
+    }
+
+    fn accuracy(model: &impl Classifier, d: &Dataset) -> f64 {
+        d.iter().filter(|(x, y)| model.predict(x) == *y).count() as f64 / d.len() as f64
+    }
+
+    #[test]
+    fn learns_single_feature() {
+        let d = dataset_from_fn(|x| x[4] == 1);
+        let m = Mlp::fit(&d, MlpConfig::default());
+        assert!(accuracy(&m, &d) >= 0.95);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let d = dataset_from_fn(|x| (x[0] ^ x[1]) == 1);
+        let m = Mlp::fit(
+            &d,
+            MlpConfig {
+                epochs: 300,
+                hidden_units: 32,
+                ..MlpConfig::default()
+            },
+        );
+        assert!(accuracy(&m, &d) >= 0.9, "accuracy {}", accuracy(&m, &d));
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let d = dataset_from_fn(|x| x[0] == 1);
+        let m = Mlp::fit(&d, MlpConfig::default());
+        for (x, _) in d.iter() {
+            let p = m.predict_proba(x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = dataset_from_fn(|x| x[1] == 1 && x[2] == 1);
+        let a = Mlp::fit(&d, MlpConfig { seed: 5, epochs: 10, ..MlpConfig::default() });
+        let b = Mlp::fit(&d, MlpConfig { seed: 5, epochs: 10, ..MlpConfig::default() });
+        for (x, _) in d.iter() {
+            assert_eq!(a.predict_proba(x), b.predict_proba(x));
+        }
+        assert_eq!(a.model_name(), "MLP");
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden unit")]
+    fn zero_hidden_units_panics() {
+        let d = dataset_from_fn(|x| x[0] == 1);
+        Mlp::fit(&d, MlpConfig { hidden_units: 0, ..MlpConfig::default() });
+    }
+}

@@ -1,0 +1,477 @@
+//! CART decision trees over binary features.
+//!
+//! This is the central model family of the MCML study: decision trees are
+//! the models whose whole-space behaviour the counting metrics quantify. The
+//! implementation is a standard CART learner (Gini impurity, greedy splits)
+//! specialized to 0/1 features, so every internal node tests a single feature
+//! and each root-to-leaf path is a conjunction of literals — exactly the
+//! structure the `Tree2CNF` translation in the `mcml` crate relies on.
+
+use crate::data::Dataset;
+use crate::Classifier;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Hyper-parameters of a [`DecisionTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (`None` = unlimited).
+    pub max_depth: Option<usize>,
+    /// Minimum number of samples required to split a node further.
+    pub min_samples_split: usize,
+    /// Minimum Gini impurity decrease required to accept a split. The
+    /// default of 0.0 lets the tree keep splitting on zero-gain features
+    /// (like Scikit-Learn's default CART), which is required to fit
+    /// parity-like concepts.
+    pub min_impurity_decrease: f64,
+    /// If set, each split considers only a random subset of this many
+    /// features (used by random forests).
+    pub max_features: Option<usize>,
+    /// Seed for the feature subsampling RNG.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: None,
+            min_samples_split: 2,
+            min_impurity_decrease: 0.0,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+impl TreeConfig {
+    /// A configuration with a maximum depth.
+    pub fn with_max_depth(depth: usize) -> Self {
+        TreeConfig {
+            max_depth: Some(depth),
+            ..TreeConfig::default()
+        }
+    }
+}
+
+/// A node of the tree, stored in an arena.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    /// A leaf predicting a label.
+    Leaf { label: bool },
+    /// An internal node testing one feature: `left` is followed when the
+    /// feature is 0, `right` when it is 1.
+    Split {
+        feature: usize,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A root-to-leaf path: the conjunction of feature tests along the way and
+/// the label predicted at the leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreePath {
+    /// `(feature, value)` pairs: the path requires `features[feature] == value`.
+    pub conditions: Vec<(usize, bool)>,
+    /// The label predicted by the leaf this path reaches.
+    pub label: bool,
+}
+
+/// A trained CART decision tree over binary features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    root: usize,
+    num_features: usize,
+    config: TreeConfig,
+}
+
+impl DecisionTree {
+    /// Trains a tree on a dataset with uniform sample weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(dataset: &Dataset, config: TreeConfig) -> Self {
+        let weights = vec![1.0; dataset.len()];
+        DecisionTree::fit_weighted(dataset, &weights, config)
+    }
+
+    /// Trains a tree with per-sample weights (used by AdaBoost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or the weight vector has the wrong
+    /// length.
+    pub fn fit_weighted(dataset: &Dataset, weights: &[f64], config: TreeConfig) -> Self {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(weights.len(), dataset.len(), "one weight per sample required");
+        let mut builder = TreeBuilder {
+            dataset,
+            weights,
+            config,
+            nodes: Vec::new(),
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+        };
+        let all: Vec<usize> = (0..dataset.len()).collect();
+        let root = builder.build(&all, 0);
+        DecisionTree {
+            nodes: builder.nodes,
+            root,
+            num_features: dataset.num_features(),
+            config,
+        }
+    }
+
+    /// Number of features the tree was trained on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// The tree's hyper-parameters.
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Depth of the tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth_of(nodes, *left).max(depth_of(nodes, *right)),
+            }
+        }
+        depth_of(&self.nodes, self.root)
+    }
+
+    /// Every root-to-leaf path of the tree.
+    ///
+    /// Any input follows exactly one path; the disjunction of the true-paths
+    /// is the tree's positive-decision region. This is the interface consumed
+    /// by the MCML `Tree2CNF` translation.
+    pub fn paths(&self) -> Vec<TreePath> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(usize, Vec<(usize, bool)>)> = vec![(self.root, Vec::new())];
+        while let Some((node, conditions)) = stack.pop() {
+            match &self.nodes[node] {
+                Node::Leaf { label } => out.push(TreePath {
+                    conditions,
+                    label: *label,
+                }),
+                Node::Split {
+                    feature,
+                    left,
+                    right,
+                } => {
+                    let mut left_conditions = conditions.clone();
+                    left_conditions.push((*feature, false));
+                    let mut right_conditions = conditions;
+                    right_conditions.push((*feature, true));
+                    stack.push((*left, left_conditions));
+                    stack.push((*right, right_conditions));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, features: &[u8]) -> bool {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { label } => return *label,
+                Node::Split {
+                    feature,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] != 0 { *right } else { *left };
+                }
+            }
+        }
+    }
+
+    fn model_name(&self) -> &'static str {
+        "DT"
+    }
+}
+
+impl fmt::Display for DecisionTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DecisionTree(leaves={}, depth={})",
+            self.num_leaves(),
+            self.depth()
+        )
+    }
+}
+
+struct TreeBuilder<'a> {
+    dataset: &'a Dataset,
+    weights: &'a [f64],
+    config: TreeConfig,
+    nodes: Vec<Node>,
+    rng: ChaCha8Rng,
+}
+
+impl TreeBuilder<'_> {
+    fn build(&mut self, indices: &[usize], depth: usize) -> usize {
+        let (pos_weight, total_weight) = self.class_weights(indices);
+        let majority = pos_weight * 2.0 >= total_weight;
+
+        let pure = pos_weight <= f64::EPSILON || (total_weight - pos_weight) <= f64::EPSILON;
+        let depth_reached = self
+            .config
+            .max_depth
+            .is_some_and(|d| depth >= d);
+        if pure || depth_reached || indices.len() < self.config.min_samples_split {
+            return self.leaf(majority);
+        }
+
+        match self.best_split(indices, pos_weight, total_weight) {
+            None => self.leaf(majority),
+            Some((feature, _gain)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| self.dataset.get(i).0[feature] == 0);
+                if left_idx.is_empty() || right_idx.is_empty() {
+                    return self.leaf(majority);
+                }
+                let left = self.build(&left_idx, depth + 1);
+                let right = self.build(&right_idx, depth + 1);
+                self.nodes.push(Node::Split {
+                    feature,
+                    left,
+                    right,
+                });
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    fn leaf(&mut self, label: bool) -> usize {
+        self.nodes.push(Node::Leaf { label });
+        self.nodes.len() - 1
+    }
+
+    fn class_weights(&self, indices: &[usize]) -> (f64, f64) {
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for &i in indices {
+            let w = self.weights[i];
+            total += w;
+            if self.dataset.get(i).1 {
+                pos += w;
+            }
+        }
+        (pos, total)
+    }
+
+    /// Finds the feature whose 0/1 split maximizes the Gini impurity
+    /// decrease. Returns `None` if no split improves on the parent by at
+    /// least `min_impurity_decrease`.
+    fn best_split(
+        &mut self,
+        indices: &[usize],
+        pos_weight: f64,
+        total_weight: f64,
+    ) -> Option<(usize, f64)> {
+        let parent_gini = gini(pos_weight, total_weight);
+        let num_features = self.dataset.num_features();
+        let candidate_features: Vec<usize> = match self.config.max_features {
+            None => (0..num_features).collect(),
+            Some(k) => {
+                let mut all: Vec<usize> = (0..num_features).collect();
+                all.shuffle(&mut self.rng);
+                all.truncate(k.max(1));
+                all
+            }
+        };
+
+        let mut best: Option<(usize, f64)> = None;
+        for &f in &candidate_features {
+            let mut right_pos = 0.0;
+            let mut right_total = 0.0;
+            for &i in indices {
+                if self.dataset.get(i).0[f] != 0 {
+                    right_total += self.weights[i];
+                    if self.dataset.get(i).1 {
+                        right_pos += self.weights[i];
+                    }
+                }
+            }
+            let left_total = total_weight - right_total;
+            let left_pos = pos_weight - right_pos;
+            if left_total <= 0.0 || right_total <= 0.0 {
+                continue;
+            }
+            let weighted_child_gini = (left_total * gini(left_pos, left_total)
+                + right_total * gini(right_pos, right_total))
+                / total_weight;
+            let gain = parent_gini - weighted_child_gini;
+            if gain >= self.config.min_impurity_decrease - 1e-12
+                && best.map_or(true, |(_, g)| gain > g)
+            {
+                best = Some((f, gain));
+            }
+        }
+        best
+    }
+}
+
+fn gini(pos: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ConfusionMatrix;
+
+    /// Dataset labeled by an arbitrary boolean function of 4 binary features.
+    fn dataset_from_fn(f: impl Fn(&[u8]) -> bool) -> Dataset {
+        let mut d = Dataset::new(4);
+        for bits in 0u8..16 {
+            let row: Vec<u8> = (0..4).map(|k| (bits >> k) & 1).collect();
+            let label = f(&row);
+            d.push(row, label);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_single_feature() {
+        let d = dataset_from_fn(|x| x[2] == 1);
+        let t = DecisionTree::fit(&d, TreeConfig::default());
+        for (x, y) in d.iter() {
+            assert_eq!(t.predict(x), y);
+        }
+        assert_eq!(t.num_leaves(), 2);
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn learns_conjunction_and_disjunction() {
+        for f in [
+            (|x: &[u8]| x[0] == 1 && x[3] == 1) as fn(&[u8]) -> bool,
+            (|x: &[u8]| x[1] == 1 || x[2] == 1) as fn(&[u8]) -> bool,
+        ] {
+            let d = dataset_from_fn(f);
+            let t = DecisionTree::fit(&d, TreeConfig::default());
+            for (x, y) in d.iter() {
+                assert_eq!(t.predict(x), y);
+            }
+        }
+    }
+
+    #[test]
+    fn learns_xor_with_enough_depth() {
+        let d = dataset_from_fn(|x| (x[0] ^ x[1]) == 1);
+        let t = DecisionTree::fit(&d, TreeConfig::default());
+        let preds: Vec<bool> = d.features().iter().map(|x| t.predict(x)).collect();
+        let m = ConfusionMatrix::from_predictions(d.labels(), &preds);
+        assert_eq!(m.metrics().accuracy, 1.0, "tree: {t}");
+    }
+
+    #[test]
+    fn max_depth_limits_depth() {
+        let d = dataset_from_fn(|x| (x[0] ^ x[1] ^ x[2]) == 1);
+        let t = DecisionTree::fit(&d, TreeConfig::with_max_depth(1));
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn paths_cover_every_input_exactly_once() {
+        let d = dataset_from_fn(|x| x[0] == 1 && (x[1] == 1 || x[3] == 0));
+        let t = DecisionTree::fit(&d, TreeConfig::default());
+        let paths = t.paths();
+        assert_eq!(paths.len(), t.num_leaves());
+        for (x, _) in d.iter() {
+            let matching: Vec<&TreePath> = paths
+                .iter()
+                .filter(|p| {
+                    p.conditions
+                        .iter()
+                        .all(|&(f, v)| (x[f] != 0) == v)
+                })
+                .collect();
+            assert_eq!(matching.len(), 1, "input {x:?} matches {} paths", matching.len());
+            assert_eq!(matching[0].label, t.predict(x));
+        }
+    }
+
+    #[test]
+    fn paths_conditions_are_consistent() {
+        let d = dataset_from_fn(|x| (x[0] & x[1]) == 1 || (x[2] & x[3]) == 1);
+        let t = DecisionTree::fit(&d, TreeConfig::default());
+        for p in t.paths() {
+            // No feature appears twice on a path (binary features are used up).
+            let mut feats: Vec<usize> = p.conditions.iter().map(|&(f, _)| f).collect();
+            feats.sort_unstable();
+            feats.dedup();
+            assert_eq!(feats.len(), p.conditions.len());
+        }
+    }
+
+    #[test]
+    fn weighted_fit_respects_weights() {
+        // Two contradictory samples; the heavier one wins the leaf label.
+        let mut d = Dataset::new(1);
+        d.push(vec![1], true);
+        d.push(vec![1], false);
+        let t_pos = DecisionTree::fit_weighted(&d, &[10.0, 1.0], TreeConfig::default());
+        assert!(t_pos.predict(&[1]));
+        let t_neg = DecisionTree::fit_weighted(&d, &[1.0, 10.0], TreeConfig::default());
+        assert!(!t_neg.predict(&[1]));
+    }
+
+    #[test]
+    fn pure_dataset_yields_single_leaf() {
+        let mut d = Dataset::new(2);
+        d.push(vec![0, 1], true);
+        d.push(vec![1, 0], true);
+        let t = DecisionTree::fit(&d, TreeConfig::default());
+        assert_eq!(t.num_leaves(), 1);
+        assert!(t.predict(&[0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let d = Dataset::new(2);
+        DecisionTree::fit(&d, TreeConfig::default());
+    }
+
+    #[test]
+    fn feature_subsetting_still_learns() {
+        let d = dataset_from_fn(|x| x[1] == 1);
+        let config = TreeConfig {
+            max_features: Some(2),
+            seed: 5,
+            ..TreeConfig::default()
+        };
+        let t = DecisionTree::fit(&d, config);
+        // With feature subsetting the tree may need several levels, but it
+        // must still fit the training data exactly (it can always split on
+        // the informative feature eventually).
+        let correct = d.iter().filter(|(x, y)| t.predict(x) == *y).count();
+        assert!(correct >= 14, "only {correct}/16 correct");
+    }
+}

@@ -1,0 +1,293 @@
+//! Approximate projected model counting with XOR hashing.
+//!
+//! This plays the role ApproxMC plays in the MCML paper. The algorithm is the
+//! standard hashing-based (ε, δ) scheme of Chakraborty–Meel–Vardi:
+//!
+//! 1. pick a *pivot* from the tolerance ε;
+//! 2. add `m` random parity (XOR) constraints over the projection variables,
+//!    partitioning the projected solution space into ~2^m cells;
+//! 3. enumerate the solutions of one cell up to `pivot + 1`; search for the
+//!    smallest `m` whose cell is "small" (≤ pivot) and return
+//!    `cell_count * 2^m`;
+//! 4. repeat for `t` rounds (derived from the confidence δ) and report the
+//!    median.
+//!
+//! If the formula has at most `pivot` projected solutions the count returned
+//! is exact (the m = 0 cell is already small).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use satkit::cnf::{Cnf, Var};
+use satkit::enumerate::{enumerate_projected, EnumerateConfig};
+use satkit::xor::{add_xor_constraint, XorConstraint};
+
+/// Configuration of the approximate counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxConfig {
+    /// Tolerance ε: the estimate is within a factor `1 + ε` of the true count
+    /// with probability at least `1 - δ`.
+    pub epsilon: f64,
+    /// Confidence parameter δ.
+    pub delta: f64,
+    /// RNG seed; runs with the same seed are reproducible.
+    pub seed: u64,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            epsilon: 0.4,
+            delta: 0.2,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ApproxConfig {
+    /// The cell-size threshold ("pivot") induced by ε.
+    pub fn pivot(&self) -> usize {
+        (9.84 * (1.0 + 1.0 / self.epsilon).powi(2)).ceil() as usize
+    }
+
+    /// The number of independent rounds induced by δ.
+    pub fn rounds(&self) -> usize {
+        let t = (17.0 * (3.0 / self.delta).log2() / 10.0).ceil() as usize;
+        t.max(3) | 1 // odd, so the median is a single round's estimate
+    }
+}
+
+/// Approximate projected model counter (ApproxMC-style).
+#[derive(Debug, Clone, Default)]
+pub struct ApproxCounter {
+    config: ApproxConfig,
+}
+
+impl ApproxCounter {
+    /// Creates a counter with the given configuration.
+    pub fn new(config: ApproxConfig) -> Self {
+        ApproxCounter { config }
+    }
+
+    /// The counter's configuration.
+    pub fn config(&self) -> &ApproxConfig {
+        &self.config
+    }
+
+    /// Estimates the number of models of `cnf` projected onto its effective
+    /// projection set.
+    pub fn count(&self, cnf: &Cnf) -> u128 {
+        let projection = cnf.effective_projection();
+        let pivot = self.config.pivot();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+
+        // Base case: if the whole projected space is small, the count is exact.
+        let base = bounded_count(cnf, &projection, pivot);
+        if base <= pivot {
+            return base as u128;
+        }
+
+        let mut estimates: Vec<u128> = Vec::new();
+        let mut prev_m: usize = 1;
+        for _ in 0..self.config.rounds() {
+            if let Some(est) = self.one_round(cnf, &projection, pivot, prev_m, &mut rng) {
+                prev_m = est.1;
+                estimates.push(est.0);
+            }
+        }
+        if estimates.is_empty() {
+            // Every round failed to find a small cell (can only happen when
+            // the projection is tiny); fall back to the bounded count, which
+            // is then a lower bound.
+            return base as u128;
+        }
+        estimates.sort();
+        estimates[estimates.len() / 2]
+    }
+
+    /// One hashing round: returns `(estimate, m_used)`.
+    fn one_round(
+        &self,
+        cnf: &Cnf,
+        projection: &[Var],
+        pivot: usize,
+        start_m: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Option<(u128, usize)> {
+        let max_m = projection.len();
+        // Draw the full stack of XOR constraints for this round up front so
+        // that the cells for different m are nested (as in ApproxMC).
+        let xors: Vec<XorConstraint> = (0..max_m).map(|_| random_xor(projection, rng)).collect();
+
+        let cell = |m: usize| -> usize {
+            let mut hashed = cnf.clone();
+            for x in &xors[..m] {
+                add_xor_constraint(&mut hashed, x);
+            }
+            bounded_count(&hashed, projection, pivot)
+        };
+
+        // Galloping search upward from the previous round's m for the first
+        // m whose cell is small, then refine downward.
+        let mut m = start_m.clamp(1, max_m);
+        let mut small_m: Option<usize> = None;
+        let mut large_m: usize = 0; // largest m known to have a big cell
+        loop {
+            let c = cell(m);
+            if c <= pivot {
+                small_m = Some(m);
+                break;
+            }
+            large_m = large_m.max(m);
+            if m == max_m {
+                break;
+            }
+            m = (m * 2).min(max_m);
+        }
+        let mut hi = small_m?;
+        // Binary search in (large_m, hi] for the smallest small-cell m.
+        let mut lo = large_m;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if cell(mid) <= pivot {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let final_count = cell(hi);
+        if final_count == 0 {
+            // The chosen cell is empty; use the smallest non-empty cell seen.
+            return Some((pow2(lo as u32), hi));
+        }
+        Some(((final_count as u128).saturating_mul(pow2(hi as u32)), hi))
+    }
+}
+
+fn pow2(exp: u32) -> u128 {
+    if exp >= 128 {
+        u128::MAX
+    } else {
+        1u128 << exp
+    }
+}
+
+/// A random XOR over the projection set: each variable included with
+/// probability 1/2, random parity.
+fn random_xor(projection: &[Var], rng: &mut ChaCha8Rng) -> XorConstraint {
+    let vars: Vec<Var> = projection
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(0.5))
+        .collect();
+    XorConstraint::new(vars, rng.gen_bool(0.5))
+}
+
+/// Counts projected solutions up to `limit + 1` (so a return value of
+/// `limit + 1` means "more than limit").
+fn bounded_count(cnf: &Cnf, projection: &[Var], limit: usize) -> usize {
+    enumerate_projected(
+        cnf,
+        projection,
+        &EnumerateConfig {
+            max_solutions: limit + 1,
+        },
+    )
+    .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_count;
+    use satkit::cnf::Lit;
+
+    fn assert_within_factor(estimate: u128, exact: u128, factor: f64) {
+        let e = estimate as f64;
+        let x = exact as f64;
+        assert!(
+            e <= x * factor && e >= x / factor,
+            "estimate {estimate} not within {factor}x of exact {exact}"
+        );
+    }
+
+    #[test]
+    fn pivot_and_rounds_are_sane() {
+        let cfg = ApproxConfig::default();
+        assert!(cfg.pivot() >= 20);
+        assert!(cfg.rounds() >= 3);
+        assert_eq!(cfg.rounds() % 2, 1);
+    }
+
+    #[test]
+    fn small_formulas_are_counted_exactly() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        let approx = ApproxCounter::default();
+        assert_eq!(approx.count(&cnf), 6);
+    }
+
+    #[test]
+    fn unsat_counts_zero() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::neg(0)]);
+        assert_eq!(ApproxCounter::default().count(&cnf), 0);
+    }
+
+    #[test]
+    fn free_space_estimate_close_to_exact() {
+        // 12 unconstrained variables: 4096 projected models.
+        let cnf = Cnf::new(12);
+        let approx = ApproxCounter::default();
+        assert_within_factor(approx.count(&cnf), 4096, 1.9);
+    }
+
+    #[test]
+    fn random_cnf_estimates_close_to_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        for round in 0..5 {
+            let n = 12usize;
+            let m = rng.gen_range(2..=6usize);
+            let mut cnf = Cnf::new(n);
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = rng.gen_range(0..n) as u32;
+                    c.push(if rng.gen_bool(0.5) {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    });
+                }
+                cnf.add_clause(c);
+            }
+            let exact = brute_force_count(&cnf);
+            if exact == 0 {
+                continue;
+            }
+            let approx = ApproxCounter::new(ApproxConfig {
+                seed: round,
+                ..ApproxConfig::default()
+            });
+            assert_within_factor(approx.count(&cnf), exact, 2.0);
+        }
+    }
+
+    #[test]
+    fn property_estimate_matches_exact_counter() {
+        use crate::exact::ExactCounter;
+        use relspec::properties::Property;
+        use relspec::translate::{translate_to_cnf, TranslateOptions};
+        // Antisymmetric at scope 3 has 216 solutions in a 512-element space.
+        let gt = translate_to_cnf(
+            &Property::Antisymmetric.spec(),
+            TranslateOptions::new(3),
+        );
+        let cnf = gt.cnf_positive();
+        let exact = ExactCounter::new().count(&cnf).unwrap();
+        assert_eq!(exact, 216);
+        let approx = ApproxCounter::default().count(&cnf);
+        assert_within_factor(approx, exact, 1.8);
+    }
+}

@@ -1,0 +1,76 @@
+//! Brute-force projected model counting, used as a test oracle.
+//!
+//! Iterates over every assignment of the projection variables and asks the
+//! CDCL solver whether it can be extended to a full model. Exponential in the
+//! projection size, so only suitable for tiny formulas — which is exactly
+//! what a counting oracle for tests needs to be: independent of the clever
+//! counters it validates.
+
+use satkit::cnf::{Cnf, Lit};
+use satkit::solver::Solver;
+
+/// Counts, by exhaustive enumeration of the projection assignments, the
+/// number of assignments extendable to a model of `cnf`.
+///
+/// # Panics
+///
+/// Panics if the projection set has more than 24 variables (the brute-force
+/// oracle is not meant for anything larger).
+pub fn brute_force_count(cnf: &Cnf) -> u128 {
+    let proj = cnf.effective_projection();
+    assert!(
+        proj.len() <= 24,
+        "brute-force counting limited to 24 projection variables, got {}",
+        proj.len()
+    );
+    let mut solver = Solver::from_cnf(cnf);
+    let mut count: u128 = 0;
+    for bits in 0u64..(1u64 << proj.len()) {
+        let assumptions: Vec<Lit> = proj
+            .iter()
+            .enumerate()
+            .map(|(k, v)| Lit::from_var(*v, bits >> k & 1 == 1))
+            .collect();
+        if solver.solve_with_assumptions(&assumptions).is_sat() {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satkit::cnf::Var;
+
+    #[test]
+    fn counts_free_variables() {
+        let cnf = Cnf::new(3);
+        assert_eq!(brute_force_count(&cnf), 8);
+    }
+
+    #[test]
+    fn counts_simple_clause() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        assert_eq!(brute_force_count(&cnf), 3);
+    }
+
+    #[test]
+    fn counts_projected() {
+        // x0 <-> x2 with projection {x0, x1}: every (x0, x1) extends.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::neg(0), Lit::pos(2)]);
+        cnf.add_clause(vec![Lit::pos(0), Lit::neg(2)]);
+        cnf.set_projection(vec![Var(0), Var(1)]);
+        assert_eq!(brute_force_count(&cnf), 4);
+    }
+
+    #[test]
+    fn unsat_counts_zero() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::neg(0)]);
+        assert_eq!(brute_force_count(&cnf), 0);
+    }
+}

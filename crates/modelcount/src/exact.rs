@@ -1,0 +1,522 @@
+//! Exact projected model counting.
+//!
+//! This plays the role ProjMC plays in the MCML paper: given a CNF formula
+//! and a projection (independent-support) variable set, compute the exact
+//! number of assignments to the projection variables that can be extended to
+//! a model of the formula.
+//!
+//! The algorithm is the classic #SAT search specialized to projected
+//! counting:
+//!
+//! 1. unit-propagate the residual formula; projection variables whose clauses
+//!    all became satisfied without the variable being fixed are free and
+//!    contribute a factor of 2 each;
+//! 2. split the residual clauses into connected components (variables are
+//!    connected when they co-occur in a clause) and multiply the component
+//!    counts, caching each component's count;
+//! 3. inside a component, branch only on *projection* variables; once a
+//!    component contains no projection variable it contributes 1 or 0
+//!    depending on plain satisfiability (decided by the CDCL solver).
+//!
+//! Counts are exact `u128` values, sufficient for projection sets up to 127
+//! variables (the reproduction's scopes go up to 11 atoms = 121 variables).
+
+use satkit::cnf::{Cnf, Lit};
+use satkit::solver::Solver;
+use std::collections::{HashMap, HashSet};
+
+/// Statistics of an exact counting run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactStats {
+    /// Number of search nodes explored (branching decisions).
+    pub nodes: u64,
+    /// Number of component cache hits.
+    pub cache_hits: u64,
+    /// Number of SAT-solver calls for projection-free components.
+    pub sat_calls: u64,
+}
+
+/// Exact projected model counter.
+#[derive(Debug, Clone)]
+pub struct ExactCounter {
+    /// Maximum number of search nodes before giving up (`u64::MAX` = never).
+    max_nodes: u64,
+}
+
+impl Default for ExactCounter {
+    fn default() -> Self {
+        ExactCounter::new()
+    }
+}
+
+/// A residual formula: active clauses over not-yet-assigned variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Residual {
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Residual {
+    fn vars(&self) -> HashSet<u32> {
+        self.clauses
+            .iter()
+            .flatten()
+            .map(|l| l.var().0)
+            .collect()
+    }
+}
+
+impl ExactCounter {
+    /// A counter with no node budget.
+    pub fn new() -> Self {
+        ExactCounter {
+            max_nodes: u64::MAX,
+        }
+    }
+
+    /// A counter that aborts after exploring `max_nodes` search nodes.
+    pub fn with_node_budget(max_nodes: u64) -> Self {
+        ExactCounter { max_nodes }
+    }
+
+    /// Counts the formula's models projected onto its effective projection
+    /// set. Returns `None` if the node budget is exhausted.
+    pub fn count(&self, cnf: &Cnf) -> Option<u128> {
+        self.count_with_stats(cnf).map(|(c, _)| c)
+    }
+
+    /// Counts and also reports search statistics.
+    pub fn count_with_stats(&self, cnf: &Cnf) -> Option<(u128, ExactStats)> {
+        let projection: HashSet<u32> = cnf
+            .effective_projection()
+            .iter()
+            .map(|v| v.0)
+            .collect();
+
+        // Normalize clauses; tautological clauses are dropped.
+        let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(cnf.num_clauses());
+        for c in cnf.clauses() {
+            match c.normalized() {
+                None => continue,
+                Some(n) => {
+                    if n.is_empty() {
+                        return Some((0, ExactStats::default()));
+                    }
+                    clauses.push(n.lits().to_vec());
+                }
+            }
+        }
+        let residual = Residual { clauses };
+
+        // Projection variables never mentioned by the formula are free.
+        let mentioned = residual.vars();
+        let never_mentioned = projection
+            .iter()
+            .filter(|v| !mentioned.contains(v))
+            .count() as u32;
+        let scope: HashSet<u32> = projection
+            .iter()
+            .copied()
+            .filter(|v| mentioned.contains(v))
+            .collect();
+
+        let mut ctx = CountCtx {
+            projection,
+            cache: HashMap::new(),
+            stats: ExactStats::default(),
+            max_nodes: self.max_nodes,
+            exhausted: false,
+        };
+        let count = ctx.count_residual(residual, &scope);
+        if ctx.exhausted {
+            None
+        } else {
+            Some((
+                count.saturating_mul(pow2(never_mentioned)),
+                ctx.stats,
+            ))
+        }
+    }
+}
+
+fn pow2(exp: u32) -> u128 {
+    if exp >= 128 {
+        u128::MAX
+    } else {
+        1u128 << exp
+    }
+}
+
+struct CountCtx {
+    projection: HashSet<u32>,
+    cache: HashMap<Residual, u128>,
+    stats: ExactStats,
+    max_nodes: u64,
+    exhausted: bool,
+}
+
+impl CountCtx {
+    /// Counts assignments to the projection variables in `scope` that can be
+    /// extended to models of `residual`. Every variable of `scope` occurs in
+    /// `residual` (callers maintain this invariant).
+    fn count_residual(&mut self, residual: Residual, scope: &HashSet<u32>) -> u128 {
+        if self.exhausted {
+            return 0;
+        }
+        // Unit propagation, remembering which scope variables got fixed.
+        let (residual, fixed) = match propagate(residual) {
+            None => return 0,
+            Some(r) => r,
+        };
+        let remaining_vars = residual.vars();
+        // Scope variables that neither got fixed nor still occur are free.
+        let free = scope
+            .iter()
+            .filter(|v| !fixed.contains(v) && !remaining_vars.contains(v))
+            .count() as u32;
+        let factor = pow2(free);
+
+        if residual.clauses.is_empty() {
+            return factor;
+        }
+
+        // Component decomposition; each component's scope is the projection
+        // variables occurring in it.
+        let components = split_components(&residual);
+        let mut total: u128 = factor;
+        for comp in components {
+            let c = self.count_component(comp);
+            if c == 0 {
+                return 0;
+            }
+            total = total.saturating_mul(c);
+        }
+        total
+    }
+
+    fn count_component(&mut self, comp: Residual) -> u128 {
+        if let Some(&c) = self.cache.get(&comp) {
+            self.stats.cache_hits += 1;
+            return c;
+        }
+        // Pick the projection variable with the most occurrences.
+        let mut occurrences: HashMap<u32, usize> = HashMap::new();
+        for lit in comp.clauses.iter().flatten() {
+            let v = lit.var().0;
+            if self.projection.contains(&v) {
+                *occurrences.entry(v).or_default() += 1;
+            }
+        }
+        let comp_scope: HashSet<u32> = occurrences.keys().copied().collect();
+        let branch_var = occurrences
+            .into_iter()
+            .max_by_key(|&(v, count)| (count, std::cmp::Reverse(v)))
+            .map(|(v, _)| v);
+
+        let result = match branch_var {
+            None => {
+                // No projection variable left: the component contributes 1 if
+                // satisfiable, 0 otherwise.
+                self.stats.sat_calls += 1;
+                u128::from(is_satisfiable(&comp))
+            }
+            Some(v) => {
+                self.stats.nodes += 1;
+                if self.stats.nodes > self.max_nodes {
+                    self.exhausted = true;
+                    return 0;
+                }
+                let mut sub_scope = comp_scope;
+                sub_scope.remove(&v);
+                let mut total: u128 = 0;
+                for lit in [Lit::pos(v), Lit::neg(v)] {
+                    if let Some(r) = assign(&comp, lit) {
+                        total = total.saturating_add(self.count_residual(r, &sub_scope));
+                    }
+                }
+                total
+            }
+        };
+        self.cache.insert(comp, result);
+        result
+    }
+}
+
+/// Asserts a literal in the residual: drops satisfied clauses, removes the
+/// falsified literal from others. Returns `None` on an empty clause.
+fn assign(residual: &Residual, lit: Lit) -> Option<Residual> {
+    let mut clauses = Vec::with_capacity(residual.clauses.len());
+    for c in &residual.clauses {
+        if c.contains(&lit) {
+            continue;
+        }
+        let filtered: Vec<Lit> = c.iter().copied().filter(|&l| l != !lit).collect();
+        if filtered.is_empty() {
+            return None;
+        }
+        clauses.push(filtered);
+    }
+    Some(Residual { clauses })
+}
+
+/// Exhaustive unit propagation; returns the propagated residual and the set
+/// of variables that were fixed, or `None` on conflict.
+fn propagate(mut residual: Residual) -> Option<(Residual, HashSet<u32>)> {
+    let mut fixed = HashSet::new();
+    loop {
+        let unit = residual
+            .clauses
+            .iter()
+            .find(|c| c.len() == 1)
+            .map(|c| c[0]);
+        match unit {
+            None => return Some((residual, fixed)),
+            Some(l) => {
+                fixed.insert(l.var().0);
+                residual = assign(&residual, l)?;
+            }
+        }
+    }
+}
+
+/// Splits the residual into connected components of the variable-interaction
+/// graph.
+fn split_components(residual: &Residual) -> Vec<Residual> {
+    let mut parent: HashMap<u32, u32> = HashMap::new();
+
+    fn find(parent: &mut HashMap<u32, u32>, v: u32) -> u32 {
+        let p = *parent.entry(v).or_insert(v);
+        if p == v {
+            v
+        } else {
+            let root = find(parent, p);
+            parent.insert(v, root);
+            root
+        }
+    }
+
+    for c in &residual.clauses {
+        let first = c[0].var().0;
+        for l in &c[1..] {
+            let (a, b) = (find(&mut parent, first), find(&mut parent, l.var().0));
+            if a != b {
+                parent.insert(a, b);
+            }
+        }
+        find(&mut parent, first);
+    }
+
+    let mut groups: HashMap<u32, Vec<Vec<Lit>>> = HashMap::new();
+    for c in &residual.clauses {
+        let root = find(&mut parent, c[0].var().0);
+        groups.entry(root).or_default().push(c.clone());
+    }
+    let mut comps: Vec<Residual> = groups
+        .into_values()
+        .map(|mut clauses| {
+            clauses.sort();
+            Residual { clauses }
+        })
+        .collect();
+    comps.sort_by_key(|c| c.clauses.len());
+    comps
+}
+
+fn is_satisfiable(comp: &Residual) -> bool {
+    // Build a compact CNF over just the variables of this component.
+    let max_var = comp
+        .clauses
+        .iter()
+        .flatten()
+        .map(|l| l.var().index())
+        .max()
+        .unwrap_or(0);
+    let mut cnf = Cnf::new(max_var + 1);
+    for c in &comp.clauses {
+        cnf.add_clause(c.clone());
+    }
+    Solver::from_cnf(&cnf).solve().is_sat()
+}
+
+/// Counts models of `cnf` projected onto its effective projection set.
+///
+/// Convenience free function equivalent to [`ExactCounter::count`].
+pub fn count_projected_exact(counter: &ExactCounter, cnf: &Cnf) -> Option<u128> {
+    counter.count(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_count;
+    use satkit::cnf::{Cnf, Lit, Var};
+
+    fn count(cnf: &Cnf) -> u128 {
+        ExactCounter::new().count(cnf).expect("no budget set")
+    }
+
+    #[test]
+    fn empty_formula_counts_all_assignments() {
+        let cnf = Cnf::new(5);
+        assert_eq!(count(&cnf), 32);
+    }
+
+    #[test]
+    fn single_clause() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        // 3 models of the clause times 2 for the free variable.
+        assert_eq!(count(&cnf), 6);
+    }
+
+    #[test]
+    fn unit_then_freed_variable() {
+        // [x0] and [x0 | x1]: propagation fixes x0 and frees x1 -> count 2.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        assert_eq!(count(&cnf), 2);
+    }
+
+    #[test]
+    fn unsat_counts_zero() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::neg(0)]);
+        assert_eq!(count(&cnf), 0);
+    }
+
+    #[test]
+    fn projected_count_ignores_auxiliary_vars() {
+        // x2 <-> (x0 & x1), projection {x0, x1}: all 4 assignments extend.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::neg(2), Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::neg(2), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::pos(2), Lit::neg(0), Lit::neg(1)]);
+        cnf.set_projection(vec![Var(0), Var(1)]);
+        assert_eq!(count(&cnf), 4);
+    }
+
+    #[test]
+    fn projected_count_with_assertion() {
+        // Same defining clauses but assert x2: only (1,1) remains.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::neg(2), Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::neg(2), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::pos(2), Lit::neg(0), Lit::neg(1)]);
+        cnf.add_clause(vec![Lit::pos(2)]);
+        cnf.set_projection(vec![Var(0), Var(1)]);
+        assert_eq!(count(&cnf), 1);
+    }
+
+    #[test]
+    fn component_decomposition_multiplies() {
+        // Two independent constraints: (x0 | x1) and (x2 | x3): 3 * 3 = 9.
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::pos(2), Lit::pos(3)]);
+        assert_eq!(count(&cnf), 9);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_cnfs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        for round in 0..60 {
+            let n = rng.gen_range(3..=9usize);
+            let m = rng.gen_range(1..=20usize);
+            let mut cnf = Cnf::new(n);
+            for _ in 0..m {
+                let len = rng.gen_range(1..=3usize);
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    let v = rng.gen_range(0..n) as u32;
+                    c.push(if rng.gen_bool(0.5) {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    });
+                }
+                cnf.add_clause(c);
+            }
+            assert_eq!(
+                count(&cnf),
+                brute_force_count(&cnf),
+                "round {round}, cnf {cnf}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_projected_random_cnfs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(29);
+        for round in 0..50 {
+            let n = rng.gen_range(4..=9usize);
+            let proj_size = rng.gen_range(2..=n);
+            let m = rng.gen_range(1..=18usize);
+            let mut cnf = Cnf::new(n);
+            for _ in 0..m {
+                let len = rng.gen_range(1..=3usize);
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    let v = rng.gen_range(0..n) as u32;
+                    c.push(if rng.gen_bool(0.5) {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    });
+                }
+                cnf.add_clause(c);
+            }
+            cnf.set_projection((0..proj_size as u32).map(Var).collect());
+            assert_eq!(
+                count(&cnf),
+                brute_force_count(&cnf),
+                "round {round}, projection {proj_size}, cnf {cnf}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_budget_aborts() {
+        // A formula with a large search space and a tiny budget.
+        let mut cnf = Cnf::new(20);
+        for i in 0..19u32 {
+            cnf.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)]);
+        }
+        let counter = ExactCounter::with_node_budget(3);
+        assert_eq!(counter.count(&cnf), None);
+    }
+
+    #[test]
+    fn property_counts_scope3_match_closed_forms() {
+        use relspec::properties::Property;
+        use relspec::translate::{translate_to_cnf, TranslateOptions};
+        let expected = [
+            (Property::Reflexive, 64u128),
+            (Property::Irreflexive, 64),
+            (Property::Function, 27),
+            (Property::Equivalence, 5),
+            (Property::TotalOrder, 6),
+            (Property::Transitive, 171),
+        ];
+        for (p, want) in expected {
+            let gt = translate_to_cnf(&p.spec(), TranslateOptions::new(3));
+            let got = count(&gt.cnf_positive());
+            assert_eq!(got, want, "property {p}");
+            // Complement check: |space| - positives.
+            let got_neg = count(&gt.cnf_negative());
+            assert_eq!(got_neg, 512 - want, "negated property {p}");
+        }
+    }
+
+    #[test]
+    fn stats_report_activity() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::pos(2), Lit::pos(3)]);
+        let (c, stats) = ExactCounter::new().count_with_stats(&cnf).unwrap();
+        assert_eq!(c, 9);
+        assert!(stats.nodes > 0);
+    }
+}

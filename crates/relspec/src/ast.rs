@@ -1,0 +1,514 @@
+//! Abstract syntax of the relational first-order logic.
+//!
+//! The language is a faithful fragment of Alloy specialized to the MCML
+//! study: one signature `S` (the universe of atoms), one binary relation
+//! `r: S -> S`, first-order quantification over atoms, the usual boolean
+//! connectives, relational operators (union, intersection, difference, join,
+//! product, transpose), transitive closure, and the multiplicity tests
+//! `some` / `no` / `lone` / `one`.
+//!
+//! Expressions denote relations of arity 1 (sets of atoms) or 2 (sets of
+//! pairs); formulas denote truth values. Arity is checked structurally by
+//! [`Expr::arity`].
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A quantified variable, identified by a small index.
+///
+/// Quantifier bodies refer to variables by these indices; the evaluator and
+/// translator carry an environment mapping each variable to a concrete atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QuantVar(pub usize);
+
+impl fmt::Display for QuantVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Error produced by arity checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArityError {
+    /// Description of the ill-formed expression.
+    pub message: String,
+}
+
+impl fmt::Display for ArityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arity error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ArityError {}
+
+/// A relational expression (denotes a set of tuples of arity 1 or 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// The binary relation `r` under study.
+    Rel,
+    /// The identity relation over the universe (arity 2).
+    Iden,
+    /// The universe `S` (arity 1).
+    Univ,
+    /// The empty relation of the given arity.
+    Empty(usize),
+    /// A quantified variable, denoting the singleton set of its atom (arity 1).
+    Var(QuantVar),
+    /// Union of two expressions of equal arity.
+    Union(Rc<Expr>, Rc<Expr>),
+    /// Intersection of two expressions of equal arity.
+    Intersect(Rc<Expr>, Rc<Expr>),
+    /// Set difference of two expressions of equal arity.
+    Diff(Rc<Expr>, Rc<Expr>),
+    /// Relational join `a.b` (dot join).
+    Join(Rc<Expr>, Rc<Expr>),
+    /// Cartesian product `a -> b`.
+    Product(Rc<Expr>, Rc<Expr>),
+    /// Transpose `~a` of a binary expression.
+    Transpose(Rc<Expr>),
+    /// Transitive closure `^a` of a binary expression.
+    Closure(Rc<Expr>),
+    /// Reflexive transitive closure `*a` of a binary expression.
+    ReflClosure(Rc<Expr>),
+}
+
+impl Expr {
+    /// The relation `r`.
+    pub fn rel() -> Rc<Expr> {
+        Rc::new(Expr::Rel)
+    }
+
+    /// The identity relation.
+    pub fn iden() -> Rc<Expr> {
+        Rc::new(Expr::Iden)
+    }
+
+    /// The universe `S`.
+    pub fn univ() -> Rc<Expr> {
+        Rc::new(Expr::Univ)
+    }
+
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Rc<Expr> {
+        Rc::new(Expr::Empty(arity))
+    }
+
+    /// A quantified variable.
+    pub fn var(v: QuantVar) -> Rc<Expr> {
+        Rc::new(Expr::Var(v))
+    }
+
+    /// Union.
+    pub fn union(a: Rc<Expr>, b: Rc<Expr>) -> Rc<Expr> {
+        Rc::new(Expr::Union(a, b))
+    }
+
+    /// Intersection.
+    pub fn intersect(a: Rc<Expr>, b: Rc<Expr>) -> Rc<Expr> {
+        Rc::new(Expr::Intersect(a, b))
+    }
+
+    /// Difference.
+    pub fn diff(a: Rc<Expr>, b: Rc<Expr>) -> Rc<Expr> {
+        Rc::new(Expr::Diff(a, b))
+    }
+
+    /// Dot join `a.b`.
+    pub fn join(a: Rc<Expr>, b: Rc<Expr>) -> Rc<Expr> {
+        Rc::new(Expr::Join(a, b))
+    }
+
+    /// Cartesian product `a -> b`.
+    pub fn product(a: Rc<Expr>, b: Rc<Expr>) -> Rc<Expr> {
+        Rc::new(Expr::Product(a, b))
+    }
+
+    /// Transpose `~a`.
+    pub fn transpose(a: Rc<Expr>) -> Rc<Expr> {
+        Rc::new(Expr::Transpose(a))
+    }
+
+    /// Transitive closure `^a`.
+    pub fn closure(a: Rc<Expr>) -> Rc<Expr> {
+        Rc::new(Expr::Closure(a))
+    }
+
+    /// Reflexive transitive closure `*a`.
+    pub fn refl_closure(a: Rc<Expr>) -> Rc<Expr> {
+        Rc::new(Expr::ReflClosure(a))
+    }
+
+    /// The pair expression `a -> b` for two unary expressions (most often
+    /// quantified variables), mirroring Alloy's `s->t`.
+    pub fn pair(a: Rc<Expr>, b: Rc<Expr>) -> Rc<Expr> {
+        Expr::product(a, b)
+    }
+
+    /// Computes the arity of this expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityError`] if the expression combines sub-expressions with
+    /// incompatible arities or applies a binary-only operator to a unary
+    /// expression (or vice versa).
+    pub fn arity(&self) -> Result<usize, ArityError> {
+        match self {
+            Expr::Rel | Expr::Iden => Ok(2),
+            Expr::Univ | Expr::Var(_) => Ok(1),
+            Expr::Empty(a) => {
+                if *a == 1 || *a == 2 {
+                    Ok(*a)
+                } else {
+                    Err(ArityError {
+                        message: format!("empty relation of unsupported arity {a}"),
+                    })
+                }
+            }
+            Expr::Union(a, b) | Expr::Intersect(a, b) | Expr::Diff(a, b) => {
+                let (x, y) = (a.arity()?, b.arity()?);
+                if x == y {
+                    Ok(x)
+                } else {
+                    Err(ArityError {
+                        message: format!("set operator applied to arities {x} and {y}"),
+                    })
+                }
+            }
+            Expr::Join(a, b) => {
+                let (x, y) = (a.arity()?, b.arity()?);
+                let out = x + y - 2;
+                if out == 1 || out == 2 {
+                    Ok(out)
+                } else if out == 0 {
+                    Err(ArityError {
+                        message: "join of two unary expressions has arity 0".to_string(),
+                    })
+                } else {
+                    Err(ArityError {
+                        message: format!("join produces unsupported arity {out}"),
+                    })
+                }
+            }
+            Expr::Product(a, b) => {
+                let (x, y) = (a.arity()?, b.arity()?);
+                let out = x + y;
+                if out == 2 {
+                    Ok(2)
+                } else {
+                    Err(ArityError {
+                        message: format!("product produces unsupported arity {out}"),
+                    })
+                }
+            }
+            Expr::Transpose(a) | Expr::Closure(a) | Expr::ReflClosure(a) => {
+                let x = a.arity()?;
+                if x == 2 {
+                    Ok(2)
+                } else {
+                    Err(ArityError {
+                        message: format!("binary operator applied to arity-{x} expression"),
+                    })
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Rel => write!(f, "r"),
+            Expr::Iden => write!(f, "iden"),
+            Expr::Univ => write!(f, "S"),
+            Expr::Empty(_) => write!(f, "none"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Union(a, b) => write!(f, "({a} + {b})"),
+            Expr::Intersect(a, b) => write!(f, "({a} & {b})"),
+            Expr::Diff(a, b) => write!(f, "({a} - {b})"),
+            Expr::Join(a, b) => write!(f, "({a}.{b})"),
+            Expr::Product(a, b) => write!(f, "({a}->{b})"),
+            Expr::Transpose(a) => write!(f, "~{a}"),
+            Expr::Closure(a) => write!(f, "^{a}"),
+            Expr::ReflClosure(a) => write!(f, "*{a}"),
+        }
+    }
+}
+
+/// A formula of the relational logic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// Subset test `a in b` (both sides must have equal arity).
+    Subset(Rc<Expr>, Rc<Expr>),
+    /// Equality `a = b`.
+    Equal(Rc<Expr>, Rc<Expr>),
+    /// Non-emptiness `some e`.
+    Some(Rc<Expr>),
+    /// Emptiness `no e`.
+    No(Rc<Expr>),
+    /// At-most-one `lone e`.
+    Lone(Rc<Expr>),
+    /// Exactly-one `one e`.
+    One(Rc<Expr>),
+    /// Negation.
+    Not(Rc<Formula>),
+    /// Conjunction.
+    And(Vec<Rc<Formula>>),
+    /// Disjunction.
+    Or(Vec<Rc<Formula>>),
+    /// Implication.
+    Implies(Rc<Formula>, Rc<Formula>),
+    /// Bi-implication.
+    Iff(Rc<Formula>, Rc<Formula>),
+    /// Universal quantification of one atom variable over `S`.
+    All(QuantVar, Rc<Formula>),
+    /// Existential quantification of one atom variable over `S`.
+    Exists(QuantVar, Rc<Formula>),
+}
+
+impl Formula {
+    /// The constant true formula.
+    pub fn tru() -> Rc<Formula> {
+        Rc::new(Formula::True)
+    }
+
+    /// The constant false formula.
+    pub fn fls() -> Rc<Formula> {
+        Rc::new(Formula::False)
+    }
+
+    /// Subset test `a in b`.
+    pub fn subset(a: Rc<Expr>, b: Rc<Expr>) -> Rc<Formula> {
+        Rc::new(Formula::Subset(a, b))
+    }
+
+    /// Equality `a = b`.
+    pub fn equal(a: Rc<Expr>, b: Rc<Expr>) -> Rc<Formula> {
+        Rc::new(Formula::Equal(a, b))
+    }
+
+    /// Non-emptiness `some e`.
+    pub fn some(e: Rc<Expr>) -> Rc<Formula> {
+        Rc::new(Formula::Some(e))
+    }
+
+    /// Emptiness `no e`.
+    pub fn no(e: Rc<Expr>) -> Rc<Formula> {
+        Rc::new(Formula::No(e))
+    }
+
+    /// At-most-one `lone e`.
+    pub fn lone(e: Rc<Expr>) -> Rc<Formula> {
+        Rc::new(Formula::Lone(e))
+    }
+
+    /// Exactly-one `one e`.
+    pub fn one(e: Rc<Expr>) -> Rc<Formula> {
+        Rc::new(Formula::One(e))
+    }
+
+    /// Negation.
+    pub fn not(f: Rc<Formula>) -> Rc<Formula> {
+        Rc::new(Formula::Not(f))
+    }
+
+    /// Conjunction of a list of formulas.
+    pub fn and(fs: Vec<Rc<Formula>>) -> Rc<Formula> {
+        Rc::new(Formula::And(fs))
+    }
+
+    /// Disjunction of a list of formulas.
+    pub fn or(fs: Vec<Rc<Formula>>) -> Rc<Formula> {
+        Rc::new(Formula::Or(fs))
+    }
+
+    /// Implication `a => b`.
+    pub fn implies(a: Rc<Formula>, b: Rc<Formula>) -> Rc<Formula> {
+        Rc::new(Formula::Implies(a, b))
+    }
+
+    /// Bi-implication `a <=> b`.
+    pub fn iff(a: Rc<Formula>, b: Rc<Formula>) -> Rc<Formula> {
+        Rc::new(Formula::Iff(a, b))
+    }
+
+    /// Universal quantification `all v: S | body`.
+    pub fn all(v: QuantVar, body: Rc<Formula>) -> Rc<Formula> {
+        Rc::new(Formula::All(v, body))
+    }
+
+    /// Existential quantification `some v: S | body`.
+    pub fn exists(v: QuantVar, body: Rc<Formula>) -> Rc<Formula> {
+        Rc::new(Formula::Exists(v, body))
+    }
+
+    /// Universal quantification over several variables at once, mirroring
+    /// Alloy's `all s, t: S | body`.
+    pub fn all_many(vars: &[QuantVar], body: Rc<Formula>) -> Rc<Formula> {
+        vars.iter()
+            .rev()
+            .fold(body, |acc, &v| Formula::all(v, acc))
+    }
+
+    /// Whether the pair `(a, b)` (two unary expressions) is in `rel`,
+    /// mirroring Alloy's `a->b in rel`.
+    pub fn pair_in(a: Rc<Expr>, b: Rc<Expr>, rel: Rc<Expr>) -> Rc<Formula> {
+        Formula::subset(Expr::pair(a, b), rel)
+    }
+
+    /// Arity-checks every expression occurring in the formula.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ArityError`] encountered.
+    pub fn check_arity(&self) -> Result<(), ArityError> {
+        match self {
+            Formula::True | Formula::False => Ok(()),
+            Formula::Subset(a, b) | Formula::Equal(a, b) => {
+                let (x, y) = (a.arity()?, b.arity()?);
+                if x == y {
+                    Ok(())
+                } else {
+                    Err(ArityError {
+                        message: format!("comparison of arities {x} and {y}"),
+                    })
+                }
+            }
+            Formula::Some(e) | Formula::No(e) | Formula::Lone(e) | Formula::One(e) => {
+                e.arity().map(|_| ())
+            }
+            Formula::Not(f) => f.check_arity(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().try_for_each(|f| f.check_arity()),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.check_arity()?;
+                b.check_arity()
+            }
+            Formula::All(_, f) | Formula::Exists(_, f) => f.check_arity(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Subset(a, b) => write!(f, "{a} in {b}"),
+            Formula::Equal(a, b) => write!(f, "{a} = {b}"),
+            Formula::Some(e) => write!(f, "some {e}"),
+            Formula::No(e) => write!(f, "no {e}"),
+            Formula::Lone(e) => write!(f, "lone {e}"),
+            Formula::One(e) => write!(f, "one {e}"),
+            Formula::Not(x) => write!(f, "!({x})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} implies {b})"),
+            Formula::Iff(a, b) => write!(f, "({a} iff {b})"),
+            Formula::All(v, body) => write!(f, "(all {v}: S | {body})"),
+            Formula::Exists(v, body) => write!(f, "(some {v}: S | {body})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_of_basic_expressions() {
+        assert_eq!(Expr::rel().arity().unwrap(), 2);
+        assert_eq!(Expr::iden().arity().unwrap(), 2);
+        assert_eq!(Expr::univ().arity().unwrap(), 1);
+        assert_eq!(Expr::var(QuantVar(0)).arity().unwrap(), 1);
+    }
+
+    #[test]
+    fn arity_of_join_and_product() {
+        let s = Expr::var(QuantVar(0));
+        // s.r is unary (the image of s under r).
+        assert_eq!(Expr::join(s.clone(), Expr::rel()).arity().unwrap(), 1);
+        // r.r is binary.
+        assert_eq!(Expr::join(Expr::rel(), Expr::rel()).arity().unwrap(), 2);
+        // s->t is binary.
+        assert_eq!(
+            Expr::pair(s.clone(), Expr::var(QuantVar(1))).arity().unwrap(),
+            2
+        );
+        // Joining two unary expressions is an arity error.
+        assert!(Expr::join(s.clone(), s).arity().is_err());
+    }
+
+    #[test]
+    fn arity_error_on_mixed_union() {
+        let e = Expr::union(Expr::univ(), Expr::rel());
+        assert!(e.arity().is_err());
+    }
+
+    #[test]
+    fn closure_requires_binary() {
+        assert!(Expr::closure(Expr::univ()).arity().is_err());
+        assert!(Expr::closure(Expr::rel()).arity().is_ok());
+    }
+
+    #[test]
+    fn product_of_binary_rejected() {
+        assert!(Expr::product(Expr::rel(), Expr::rel()).arity().is_err());
+    }
+
+    #[test]
+    fn formula_arity_checking() {
+        let ok = Formula::subset(Expr::rel(), Expr::product(Expr::univ(), Expr::univ()));
+        assert!(ok.check_arity().is_ok());
+        let bad = Formula::equal(Expr::univ(), Expr::rel());
+        assert!(bad.check_arity().is_err());
+    }
+
+    #[test]
+    fn all_many_nests_quantifiers() {
+        let s = QuantVar(0);
+        let t = QuantVar(1);
+        let f = Formula::all_many(
+            &[s, t],
+            Formula::pair_in(Expr::var(s), Expr::var(t), Expr::rel()),
+        );
+        match &*f {
+            Formula::All(v, inner) => {
+                assert_eq!(*v, s);
+                assert!(matches!(&**inner, Formula::All(w, _) if *w == t));
+            }
+            other => panic!("expected nested All, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = QuantVar(0);
+        let f = Formula::all(
+            s,
+            Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()),
+        );
+        assert_eq!(format!("{f}"), "(all q0: S | (q0->q0) in r)");
+    }
+}

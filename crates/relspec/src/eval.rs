@@ -1,0 +1,446 @@
+//! Evaluation of relational formulas against concrete instances.
+//!
+//! This is the reproduction of the *Alloy Evaluator*: given a candidate
+//! adjacency matrix, decide whether a property holds by directly evaluating
+//! the formula — no constraint solving involved. The MCML data-generation
+//! pipeline uses it to label randomly sampled candidate instances as negative
+//! examples.
+
+use crate::ast::{Expr, Formula, QuantVar};
+use crate::instance::RelInstance;
+
+/// A concrete relation value of arity 1 or 2 over `n` atoms, used as the
+/// intermediate result of expression evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleSet {
+    arity: usize,
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl TupleSet {
+    /// An empty tuple set of the given arity over `n` atoms.
+    pub fn empty(arity: usize, n: usize) -> Self {
+        let size = n.pow(arity as u32);
+        TupleSet {
+            arity,
+            n,
+            bits: vec![false; size],
+        }
+    }
+
+    /// The arity (1 or 2).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| !b)
+    }
+
+    /// Membership of a unary tuple.
+    pub fn contains1(&self, i: usize) -> bool {
+        debug_assert_eq!(self.arity, 1);
+        self.bits[i]
+    }
+
+    /// Membership of a binary tuple.
+    pub fn contains2(&self, i: usize, j: usize) -> bool {
+        debug_assert_eq!(self.arity, 2);
+        self.bits[i * self.n + j]
+    }
+
+    fn set1(&mut self, i: usize, v: bool) {
+        debug_assert_eq!(self.arity, 1);
+        self.bits[i] = v;
+    }
+
+    fn set2(&mut self, i: usize, j: usize, v: bool) {
+        debug_assert_eq!(self.arity, 2);
+        self.bits[i * self.n + j] = v;
+    }
+
+    /// Whether this set is a subset of `other` (same arity assumed).
+    pub fn subset_of(&self, other: &TupleSet) -> bool {
+        debug_assert_eq!(self.arity, other.arity);
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .all(|(&a, &b)| !a || b)
+    }
+}
+
+/// An environment binding quantified variables to atoms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Env {
+    bindings: Vec<Option<usize>>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Binds variable `v` to atom `atom`, returning the extended environment.
+    pub fn bind(&self, v: QuantVar, atom: usize) -> Env {
+        let mut out = self.clone();
+        if out.bindings.len() <= v.0 {
+            out.bindings.resize(v.0 + 1, None);
+        }
+        out.bindings[v.0] = Some(atom);
+        out
+    }
+
+    /// Looks up the atom bound to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is unbound — formulas must be closed under the
+    /// environment in which they are evaluated.
+    pub fn lookup(&self, v: QuantVar) -> usize {
+        self.bindings
+            .get(v.0)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("unbound quantified variable {v}"))
+    }
+}
+
+/// Evaluates an expression to its tuple-set value.
+///
+/// # Panics
+///
+/// Panics if the expression is not arity-correct or refers to an unbound
+/// variable; use [`Formula::check_arity`](crate::ast::Formula::check_arity)
+/// to validate specs first.
+pub fn eval_expr(expr: &Expr, inst: &RelInstance, env: &Env) -> TupleSet {
+    let n = inst.num_atoms();
+    match expr {
+        Expr::Rel => {
+            let mut t = TupleSet::empty(2, n);
+            for i in 0..n {
+                for j in 0..n {
+                    t.set2(i, j, inst.contains(i, j));
+                }
+            }
+            t
+        }
+        Expr::Iden => {
+            let mut t = TupleSet::empty(2, n);
+            for i in 0..n {
+                t.set2(i, i, true);
+            }
+            t
+        }
+        Expr::Univ => {
+            let mut t = TupleSet::empty(1, n);
+            for i in 0..n {
+                t.set1(i, true);
+            }
+            t
+        }
+        Expr::Empty(a) => TupleSet::empty(*a, n),
+        Expr::Var(v) => {
+            let mut t = TupleSet::empty(1, n);
+            t.set1(env.lookup(*v), true);
+            t
+        }
+        Expr::Union(a, b) => zip_sets(expr, inst, env, a, b, |x, y| x || y),
+        Expr::Intersect(a, b) => zip_sets(expr, inst, env, a, b, |x, y| x && y),
+        Expr::Diff(a, b) => zip_sets(expr, inst, env, a, b, |x, y| x && !y),
+        Expr::Join(a, b) => {
+            let ta = eval_expr(a, inst, env);
+            let tb = eval_expr(b, inst, env);
+            join(&ta, &tb, n)
+        }
+        Expr::Product(a, b) => {
+            let ta = eval_expr(a, inst, env);
+            let tb = eval_expr(b, inst, env);
+            debug_assert_eq!(ta.arity(), 1);
+            debug_assert_eq!(tb.arity(), 1);
+            let mut t = TupleSet::empty(2, n);
+            for i in 0..n {
+                for j in 0..n {
+                    t.set2(i, j, ta.contains1(i) && tb.contains1(j));
+                }
+            }
+            t
+        }
+        Expr::Transpose(a) => {
+            let ta = eval_expr(a, inst, env);
+            let mut t = TupleSet::empty(2, n);
+            for i in 0..n {
+                for j in 0..n {
+                    t.set2(i, j, ta.contains2(j, i));
+                }
+            }
+            t
+        }
+        Expr::Closure(a) => {
+            let ta = eval_expr(a, inst, env);
+            transitive_closure(&ta, n, false)
+        }
+        Expr::ReflClosure(a) => {
+            let ta = eval_expr(a, inst, env);
+            transitive_closure(&ta, n, true)
+        }
+    }
+}
+
+fn zip_sets(
+    _expr: &Expr,
+    inst: &RelInstance,
+    env: &Env,
+    a: &Expr,
+    b: &Expr,
+    op: impl Fn(bool, bool) -> bool,
+) -> TupleSet {
+    let ta = eval_expr(a, inst, env);
+    let tb = eval_expr(b, inst, env);
+    debug_assert_eq!(ta.arity(), tb.arity());
+    let mut out = ta.clone();
+    for (o, (&x, &y)) in out.bits.iter_mut().zip(ta.bits.iter().zip(&tb.bits)) {
+        *o = op(x, y);
+    }
+    out
+}
+
+fn join(a: &TupleSet, b: &TupleSet, n: usize) -> TupleSet {
+    match (a.arity(), b.arity()) {
+        (1, 2) => {
+            let mut t = TupleSet::empty(1, n);
+            for j in 0..n {
+                let v = (0..n).any(|i| a.contains1(i) && b.contains2(i, j));
+                t.set1(j, v);
+            }
+            t
+        }
+        (2, 1) => {
+            let mut t = TupleSet::empty(1, n);
+            for i in 0..n {
+                let v = (0..n).any(|j| a.contains2(i, j) && b.contains1(j));
+                t.set1(i, v);
+            }
+            t
+        }
+        (2, 2) => {
+            let mut t = TupleSet::empty(2, n);
+            for i in 0..n {
+                for k in 0..n {
+                    let v = (0..n).any(|j| a.contains2(i, j) && b.contains2(j, k));
+                    t.set2(i, k, v);
+                }
+            }
+            t
+        }
+        (x, y) => panic!("join of arities {x} and {y} is not supported"),
+    }
+}
+
+fn transitive_closure(a: &TupleSet, n: usize, reflexive: bool) -> TupleSet {
+    debug_assert_eq!(a.arity(), 2);
+    let mut reach = vec![false; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            reach[i * n + j] = a.contains2(i, j);
+        }
+        if reflexive {
+            reach[i * n + i] = true;
+        }
+    }
+    // Floyd-Warshall style closure.
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i * n + k] {
+                for j in 0..n {
+                    if reach[k * n + j] {
+                        reach[i * n + j] = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut t = TupleSet::empty(2, n);
+    t.bits = reach;
+    t
+}
+
+/// Evaluates a closed formula against an instance.
+pub fn eval_formula(formula: &Formula, inst: &RelInstance) -> bool {
+    eval_formula_env(formula, inst, &Env::new())
+}
+
+/// Evaluates a formula against an instance under an environment.
+pub fn eval_formula_env(formula: &Formula, inst: &RelInstance, env: &Env) -> bool {
+    let n = inst.num_atoms();
+    match formula {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Subset(a, b) => {
+            eval_expr(a, inst, env).subset_of(&eval_expr(b, inst, env))
+        }
+        Formula::Equal(a, b) => eval_expr(a, inst, env) == eval_expr(b, inst, env),
+        Formula::Some(e) => !eval_expr(e, inst, env).is_empty(),
+        Formula::No(e) => eval_expr(e, inst, env).is_empty(),
+        Formula::Lone(e) => eval_expr(e, inst, env).len() <= 1,
+        Formula::One(e) => eval_expr(e, inst, env).len() == 1,
+        Formula::Not(f) => !eval_formula_env(f, inst, env),
+        Formula::And(fs) => fs.iter().all(|f| eval_formula_env(f, inst, env)),
+        Formula::Or(fs) => fs.iter().any(|f| eval_formula_env(f, inst, env)),
+        Formula::Implies(a, b) => {
+            !eval_formula_env(a, inst, env) || eval_formula_env(b, inst, env)
+        }
+        Formula::Iff(a, b) => {
+            eval_formula_env(a, inst, env) == eval_formula_env(b, inst, env)
+        }
+        Formula::All(v, body) => (0..n).all(|atom| eval_formula_env(body, inst, &env.bind(*v, atom))),
+        Formula::Exists(v, body) => {
+            (0..n).any(|atom| eval_formula_env(body, inst, &env.bind(*v, atom)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, Formula, QuantVar};
+
+    fn chain(n: usize) -> RelInstance {
+        // 0 -> 1 -> 2 -> ... -> n-1
+        let pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        RelInstance::from_pairs(n, &pairs)
+    }
+
+    #[test]
+    fn rel_and_iden_values() {
+        let inst = RelInstance::from_pairs(3, &[(0, 1)]);
+        let env = Env::new();
+        let r = eval_expr(&Expr::Rel, &inst, &env);
+        assert!(r.contains2(0, 1));
+        assert!(!r.contains2(1, 0));
+        let iden = eval_expr(&Expr::Iden, &inst, &env);
+        assert_eq!(iden.len(), 3);
+        assert!(iden.contains2(2, 2));
+    }
+
+    #[test]
+    fn join_image_of_atom() {
+        // s.r = successors of s
+        let inst = chain(4);
+        let env = Env::new().bind(QuantVar(0), 1);
+        let image = eval_expr(
+            &Expr::Join(Expr::var(QuantVar(0)), Expr::rel()),
+            &inst,
+            &env,
+        );
+        assert_eq!(image.arity(), 1);
+        assert_eq!(image.len(), 1);
+        assert!(image.contains1(2));
+    }
+
+    #[test]
+    fn transpose_join_gives_preimage() {
+        let inst = chain(4);
+        let env = Env::new().bind(QuantVar(0), 1);
+        // r.s = predecessors of s
+        let pre = eval_expr(
+            &Expr::Join(Expr::rel(), Expr::var(QuantVar(0))),
+            &inst,
+            &env,
+        );
+        assert_eq!(pre.len(), 1);
+        assert!(pre.contains1(0));
+    }
+
+    #[test]
+    fn closure_of_chain_is_strict_order() {
+        let inst = chain(4);
+        let env = Env::new();
+        let c = eval_expr(&Expr::Closure(Expr::rel()), &inst, &env);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(c.contains2(i, j), i < j, "({i},{j})");
+            }
+        }
+        let rc = eval_expr(&Expr::ReflClosure(Expr::rel()), &inst, &env);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(rc.contains2(i, j), i <= j, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn quantifiers_and_subset() {
+        // all s: S | s->s in r  (reflexivity)
+        let s = QuantVar(0);
+        let refl = Formula::all(
+            s,
+            Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()),
+        );
+        let iden3 = RelInstance::from_pairs(3, &[(0, 0), (1, 1), (2, 2)]);
+        assert!(eval_formula(&refl, &iden3));
+        let missing = RelInstance::from_pairs(3, &[(0, 0), (1, 1)]);
+        assert!(!eval_formula(&refl, &missing));
+    }
+
+    #[test]
+    fn multiplicity_operators() {
+        let inst = chain(3);
+        let env = Env::new().bind(QuantVar(0), 0);
+        let image = Expr::join(Expr::var(QuantVar(0)), Expr::rel());
+        assert!(eval_formula_env(&Formula::One(image.clone()), &inst, &env));
+        assert!(eval_formula_env(&Formula::Lone(image.clone()), &inst, &env));
+        assert!(eval_formula_env(&Formula::Some(image.clone()), &inst, &env));
+        assert!(!eval_formula_env(&Formula::No(image), &inst, &env));
+
+        // Atom 2 has no successors in the chain 0->1->2.
+        let env2 = Env::new().bind(QuantVar(0), 2);
+        let image2 = Expr::join(Expr::var(QuantVar(0)), Expr::rel());
+        assert!(eval_formula_env(&Formula::No(image2.clone()), &inst, &env2));
+        assert!(eval_formula_env(&Formula::Lone(image2.clone()), &inst, &env2));
+        assert!(!eval_formula_env(&Formula::One(image2), &inst, &env2));
+    }
+
+    #[test]
+    fn exists_quantifier() {
+        let s = QuantVar(0);
+        // some s: S | s->s in r
+        let has_loop = Formula::exists(
+            s,
+            Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()),
+        );
+        assert!(eval_formula(
+            &has_loop,
+            &RelInstance::from_pairs(3, &[(1, 1)])
+        ));
+        assert!(!eval_formula(&has_loop, &chain(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound quantified variable")]
+    fn unbound_variable_panics() {
+        let inst = chain(2);
+        eval_expr(&Expr::Var(QuantVar(3)), &inst, &Env::new());
+    }
+
+    #[test]
+    fn set_operators() {
+        let inst = RelInstance::from_pairs(3, &[(0, 1), (1, 2)]);
+        let env = Env::new();
+        let sym = Expr::union(Expr::rel(), Expr::transpose(Expr::rel()));
+        let v = eval_expr(&sym, &inst, &env);
+        assert!(v.contains2(1, 0) && v.contains2(0, 1));
+        let anti = Expr::intersect(Expr::rel(), Expr::transpose(Expr::rel()));
+        assert!(eval_expr(&anti, &inst, &env).is_empty());
+        let minus = Expr::diff(Expr::rel(), Expr::rel());
+        assert!(eval_expr(&minus, &inst, &env).is_empty());
+    }
+}

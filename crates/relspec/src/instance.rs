@@ -1,0 +1,228 @@
+//! Concrete relational instances: a binary relation over `n` atoms stored as
+//! an adjacency matrix.
+//!
+//! The MCML feature encoding is the row-major linearization of this matrix:
+//! the propositional variable (and ML feature) with index `i * n + j` is true
+//! iff the pair `(i, j)` is in the relation. Every component of the
+//! reproduction (translation, datasets, decision-tree CNF, counters) uses
+//! this same indexing.
+
+use std::fmt;
+
+/// A binary relation over atoms `0..n`, stored as a dense boolean matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RelInstance {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl RelInstance {
+    /// The empty relation over `n` atoms.
+    pub fn empty(n: usize) -> Self {
+        RelInstance {
+            n,
+            bits: vec![false; n * n],
+        }
+    }
+
+    /// Builds an instance from a list of pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any atom index is `>= n`.
+    pub fn from_pairs(n: usize, pairs: &[(usize, usize)]) -> Self {
+        let mut inst = RelInstance::empty(n);
+        for &(i, j) in pairs {
+            inst.set(i, j, true);
+        }
+        inst
+    }
+
+    /// Builds an instance from a row-major bit vector of length `n * n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != n * n`.
+    pub fn from_bits(n: usize, bits: Vec<bool>) -> Self {
+        assert_eq!(bits.len(), n * n, "expected {} bits", n * n);
+        RelInstance { n, bits }
+    }
+
+    /// Builds an instance from a row-major `u8` feature vector (0 = absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n * n`.
+    pub fn from_features(n: usize, features: &[u8]) -> Self {
+        assert_eq!(features.len(), n * n, "expected {} features", n * n);
+        RelInstance {
+            n,
+            bits: features.iter().map(|&f| f != 0).collect(),
+        }
+    }
+
+    /// Number of atoms in the universe.
+    pub fn num_atoms(&self) -> usize {
+        self.n
+    }
+
+    /// Number of propositional variables / ML features (`n * n`).
+    pub fn num_bits(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// The propositional variable index of the pair `(i, j)`.
+    pub fn var_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.n && j < self.n);
+        i * self.n + j
+    }
+
+    /// Whether the pair `(i, j)` is in the relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.n && j < self.n, "atom index out of range");
+        self.bits[i * self.n + j]
+    }
+
+    /// Adds or removes the pair `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn set(&mut self, i: usize, j: usize, present: bool) {
+        assert!(i < self.n && j < self.n, "atom index out of range");
+        self.bits[i * self.n + j] = present;
+    }
+
+    /// The underlying row-major bit vector.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The row-major `u8` feature vector used by the ML models.
+    pub fn to_features(&self) -> Vec<u8> {
+        self.bits.iter().map(|&b| u8::from(b)).collect()
+    }
+
+    /// Number of pairs in the relation.
+    pub fn len(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| !b)
+    }
+
+    /// All pairs in the relation, in row-major order.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if self.bits[i * self.n + j] {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// The instance obtained by relabeling atoms with the permutation `perm`
+    /// (atom `a` becomes `perm[a]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != n` or `perm` is not a permutation of `0..n`.
+    pub fn permuted(&self, perm: &[usize]) -> RelInstance {
+        assert_eq!(perm.len(), self.n);
+        let mut seen = vec![false; self.n];
+        for &p in perm {
+            assert!(p < self.n && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        let mut out = RelInstance::empty(self.n);
+        for (i, j) in self.pairs() {
+            out.set(perm[i], perm[j], true);
+        }
+        out
+    }
+}
+
+impl fmt::Display for RelInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                write!(f, "{}", u8::from(self.contains(i, j)))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_contains() {
+        let mut r = RelInstance::empty(3);
+        assert!(r.is_empty());
+        r.set(0, 2, true);
+        assert!(r.contains(0, 2));
+        assert!(!r.contains(2, 0));
+        assert_eq!(r.len(), 1);
+        r.set(0, 2, false);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn feature_roundtrip() {
+        let r = RelInstance::from_pairs(3, &[(0, 1), (2, 2)]);
+        let f = r.to_features();
+        assert_eq!(f.len(), 9);
+        assert_eq!(f[r.var_index(0, 1)], 1);
+        assert_eq!(f[r.var_index(2, 2)], 1);
+        let back = RelInstance::from_features(3, &f);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn var_index_is_row_major() {
+        let r = RelInstance::empty(4);
+        assert_eq!(r.var_index(0, 0), 0);
+        assert_eq!(r.var_index(1, 0), 4);
+        assert_eq!(r.var_index(2, 3), 11);
+    }
+
+    #[test]
+    fn permuted_relabels_pairs() {
+        let r = RelInstance::from_pairs(3, &[(0, 1)]);
+        let p = r.permuted(&[2, 0, 1]);
+        assert!(p.contains(2, 0));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permuted_rejects_non_permutation() {
+        let r = RelInstance::empty(3);
+        r.permuted(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn contains_out_of_range_panics() {
+        let r = RelInstance::empty(2);
+        r.contains(2, 0);
+    }
+
+    #[test]
+    fn pairs_lists_row_major() {
+        let r = RelInstance::from_pairs(3, &[(2, 0), (0, 1)]);
+        assert_eq!(r.pairs(), vec![(0, 1), (2, 0)]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # relspec
+//!
+//! An Alloy-like relational specification substrate for the MCML
+//! reproduction.
+//!
+//! The MCML study expresses relational properties (reflexive, transitive,
+//! partial order, ...) in the Alloy language over a single signature `S` and
+//! a single binary relation `r: S -> S`, and relies on the Alloy analyzer
+//! for three services:
+//!
+//! 1. evaluating a property against a concrete instance (the *Alloy
+//!    Evaluator*, used to label randomly sampled negative examples);
+//! 2. translating a property, for a bounded scope, into a propositional CNF
+//!    formula whose primary variables are the bits of the adjacency matrix
+//!    (used both for enumerating all positive solutions and as the ground
+//!    truth φ for model counting);
+//! 3. adding partial symmetry-breaking predicates.
+//!
+//! This crate provides all three from scratch:
+//!
+//! * [`ast`] — the relational first-order logic (quantifiers over atoms,
+//!   relational operators, transitive closure);
+//! * [`instance`] — concrete instances: adjacency matrices over `n` atoms;
+//! * [`eval`] — the evaluator of formulas against instances;
+//! * [`translate`] — the bounded translation to propositional logic / CNF;
+//! * [`properties`] — the 16 subject properties of the MCML study;
+//! * [`symmetry`] — lex-leader (partial) symmetry-breaking predicates.
+//!
+//! # Example
+//!
+//! ```
+//! use relspec::properties::Property;
+//! use relspec::instance::RelInstance;
+//!
+//! // The identity relation on 3 atoms is reflexive and transitive but not connex.
+//! let iden = RelInstance::from_pairs(3, &[(0, 0), (1, 1), (2, 2)]);
+//! assert!(Property::Reflexive.holds(&iden));
+//! assert!(Property::Transitive.holds(&iden));
+//! assert!(!Property::Connex.holds(&iden));
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod instance;
+pub mod parser;
+pub mod properties;
+pub mod symmetry;
+pub mod translate;
+
+pub use ast::{Expr, Formula, QuantVar};
+pub use instance::RelInstance;
+pub use parser::{parse_formula, parse_spec, Spec};
+pub use properties::Property;
+pub use symmetry::SymmetryBreaking;
+pub use translate::{translate_to_cnf, GroundTruth, TranslateOptions};

@@ -1,0 +1,755 @@
+//! A parser for an Alloy-like concrete syntax.
+//!
+//! The MCML paper writes its subject properties in Alloy (Figure 1). This
+//! module accepts the corresponding fragment of Alloy's surface syntax so
+//! specifications can be written as text and parsed into the [`crate::ast`]
+//! representation:
+//!
+//! ```text
+//! pred Reflexive { all s: S | s->s in r }
+//! pred Symmetric { all s, t: S | s->t in r implies t->s in r }
+//! pred Equivalence { Reflexive and Symmetric and Transitive }
+//! ```
+//!
+//! Supported constructs: `pred` definitions with predicate references,
+//! `all` / `some` quantifiers over `S` (with multiple binders), the boolean
+//! connectives `not`/`!`, `and`, `or`, `implies`, `iff`, the multiplicity
+//! tests `some` / `no` / `lone` / `one`, the comparisons `in`, `=`, `!=`,
+//! and the relational operators `+`, `-`, `&`, `.`, `->`, `~`, `^`, `*`,
+//! with the constants `r`, `iden`, `S` (or `univ`) and `none`.
+//!
+//! Operator precedence follows Alloy: `iff` < `implies` < `or` < `and` <
+//! unary negation < comparisons; within expressions `+`/`-` < `&` < `->` <
+//! `.` < unary `~`/`^`/`*`.
+
+use crate::ast::{Expr, Formula, QuantVar};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Error produced when parsing a specification fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the token at which the error occurred.
+    pub position: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed specification: a set of named predicates, each a closed formula
+/// (predicate references are inlined).
+#[derive(Debug, Clone, Default)]
+pub struct Spec {
+    predicates: Vec<(String, Rc<Formula>)>,
+}
+
+impl Spec {
+    /// The predicates in definition order.
+    pub fn predicates(&self) -> &[(String, Rc<Formula>)] {
+        &self.predicates
+    }
+
+    /// Looks up a predicate by name (case-sensitive).
+    pub fn get(&self, name: &str) -> Option<&Rc<Formula>> {
+        self.predicates
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| f)
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Whether the spec defines no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+}
+
+/// Parses a full specification consisting of `pred Name { body }` blocks.
+///
+/// Later predicates may reference earlier ones by name; references are
+/// inlined into the returned formulas.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors, references to undefined
+/// predicates, or duplicate predicate names.
+pub fn parse_spec(source: &str) -> Result<Spec, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser::new(tokens);
+    let mut spec = Spec::default();
+    let mut defined: HashMap<String, Rc<Formula>> = HashMap::new();
+    while !parser.at_end() {
+        parser.expect_keyword("pred")?;
+        let name = parser.expect_ident()?;
+        if defined.contains_key(&name) {
+            return Err(parser.error(format!("predicate {name:?} defined twice")));
+        }
+        parser.expect_symbol("{")?;
+        let body = parser.parse_formula(&defined, &mut Vec::new())?;
+        parser.expect_symbol("}")?;
+        defined.insert(name.clone(), Rc::clone(&body));
+        spec.predicates.push((name, body));
+    }
+    if spec.is_empty() {
+        return Err(ParseError {
+            position: 0,
+            message: "specification defines no predicates".to_string(),
+        });
+    }
+    Ok(spec)
+}
+
+/// Parses a single closed formula (no `pred` wrapper, no references).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors or trailing input.
+pub fn parse_formula(source: &str) -> Result<Rc<Formula>, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser::new(tokens);
+    let formula = parser.parse_formula(&HashMap::new(), &mut Vec::new())?;
+    if !parser.at_end() {
+        return Err(parser.error("unexpected trailing input".to_string()));
+    }
+    Ok(formula)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Symbol(String),
+}
+
+#[derive(Debug, Clone)]
+struct Positioned {
+    token: Token,
+    position: usize,
+}
+
+fn tokenize(source: &str) -> Result<Vec<Positioned>, ParseError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments, Alloy style.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] as char == '/' {
+            while i < bytes.len() && bytes[i] as char != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_')
+            {
+                i += 1;
+            }
+            tokens.push(Positioned {
+                token: Token::Ident(source[start..i].to_string()),
+                position: start,
+            });
+            continue;
+        }
+        // Multi-character symbols first.
+        let two = if i + 1 < bytes.len() { &source[i..i + 2] } else { "" };
+        if two == "->" || two == "!=" || two == "=>" || two == "<=" {
+            tokens.push(Positioned {
+                token: Token::Symbol(two.to_string()),
+                position: i,
+            });
+            i += 2;
+            continue;
+        }
+        if "(){}|:,.~^*+-&=!".contains(c) {
+            tokens.push(Positioned {
+                token: Token::Symbol(c.to_string()),
+                position: i,
+            });
+            i += 1;
+            continue;
+        }
+        return Err(ParseError {
+            position: i,
+            message: format!("unexpected character {c:?}"),
+        });
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Positioned>,
+    index: usize,
+}
+
+type Scope = Vec<(String, QuantVar)>;
+
+impl Parser {
+    fn new(tokens: Vec<Positioned>) -> Self {
+        Parser { tokens, index: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.index >= self.tokens.len()
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.index)
+            .map_or_else(|| self.tokens.last().map_or(0, |t| t.position), |t| t.position)
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError {
+            position: self.position(),
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.index).map(|t| &t.token)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.index).map(|t| t.token.clone());
+        if t.is_some() {
+            self.index += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.index += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if s == sym) {
+            self.index += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {kw:?}")))
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {sym:?}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => Err(self.error("expected an identifier".to_string())),
+        }
+    }
+
+    /// formula := iff-level
+    fn parse_formula(
+        &mut self,
+        preds: &HashMap<String, Rc<Formula>>,
+        scope: &mut Scope,
+    ) -> Result<Rc<Formula>, ParseError> {
+        self.parse_iff(preds, scope)
+    }
+
+    fn parse_iff(
+        &mut self,
+        preds: &HashMap<String, Rc<Formula>>,
+        scope: &mut Scope,
+    ) -> Result<Rc<Formula>, ParseError> {
+        let mut left = self.parse_implies(preds, scope)?;
+        while self.eat_keyword("iff") || self.eat_symbol("<=") {
+            let right = self.parse_implies(preds, scope)?;
+            left = Formula::iff(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_implies(
+        &mut self,
+        preds: &HashMap<String, Rc<Formula>>,
+        scope: &mut Scope,
+    ) -> Result<Rc<Formula>, ParseError> {
+        let left = self.parse_or(preds, scope)?;
+        if self.eat_keyword("implies") || self.eat_symbol("=>") {
+            // Right-associative, as in Alloy.
+            let right = self.parse_implies(preds, scope)?;
+            Ok(Formula::implies(left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_or(
+        &mut self,
+        preds: &HashMap<String, Rc<Formula>>,
+        scope: &mut Scope,
+    ) -> Result<Rc<Formula>, ParseError> {
+        let mut parts = vec![self.parse_and(preds, scope)?];
+        while self.eat_keyword("or") {
+            parts.push(self.parse_and(preds, scope)?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("length checked")
+        } else {
+            Formula::or(parts)
+        })
+    }
+
+    fn parse_and(
+        &mut self,
+        preds: &HashMap<String, Rc<Formula>>,
+        scope: &mut Scope,
+    ) -> Result<Rc<Formula>, ParseError> {
+        let mut parts = vec![self.parse_unary_formula(preds, scope)?];
+        while self.eat_keyword("and") {
+            parts.push(self.parse_unary_formula(preds, scope)?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("length checked")
+        } else {
+            Formula::and(parts)
+        })
+    }
+
+    fn parse_unary_formula(
+        &mut self,
+        preds: &HashMap<String, Rc<Formula>>,
+        scope: &mut Scope,
+    ) -> Result<Rc<Formula>, ParseError> {
+        // Quantifiers: `all x, y: S | body`. A leading `some` is a quantifier
+        // only when followed by `ident (, ident)* :`, otherwise it is the
+        // multiplicity test; disambiguate by lookahead.
+        if self.eat_keyword("all") {
+            return self.parse_quantifier(true, preds, scope);
+        }
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == "some") && self.is_quantifier_ahead()
+        {
+            self.index += 1;
+            return self.parse_quantifier(false, preds, scope);
+        }
+        if self.eat_keyword("not") || self.eat_symbol("!") {
+            let inner = self.parse_unary_formula(preds, scope)?;
+            return Ok(Formula::not(inner));
+        }
+        for (kw, make) in [
+            ("some", Formula::some as fn(Rc<Expr>) -> Rc<Formula>),
+            ("no", Formula::no as fn(Rc<Expr>) -> Rc<Formula>),
+            ("lone", Formula::lone as fn(Rc<Expr>) -> Rc<Formula>),
+            ("one", Formula::one as fn(Rc<Expr>) -> Rc<Formula>),
+        ] {
+            if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+                self.index += 1;
+                let expr = self.parse_expr(scope)?;
+                return Ok(make(expr));
+            }
+        }
+        // Predicate reference or constant.
+        if let Some(Token::Ident(name)) = self.peek().cloned() {
+            if name == "true" {
+                self.index += 1;
+                return Ok(Formula::tru());
+            }
+            if name == "false" {
+                self.index += 1;
+                return Ok(Formula::fls());
+            }
+            if preds.contains_key(&name) && !self.is_expression_continuation_ahead() {
+                self.index += 1;
+                return Ok(Rc::clone(&preds[&name]));
+            }
+        }
+        // Parenthesized formula (try) or a comparison between expressions.
+        if matches!(self.peek(), Some(Token::Symbol(s)) if s == "(") {
+            let saved = self.index;
+            self.index += 1;
+            if let Ok(inner) = self.parse_formula(preds, scope) {
+                if self.eat_symbol(")") && !self.is_comparison_ahead() {
+                    return Ok(inner);
+                }
+            }
+            self.index = saved;
+        }
+        self.parse_comparison(preds, scope)
+    }
+
+    /// After a leading `some`, decides whether a quantifier binder list
+    /// (`ident (, ident)* :`) follows.
+    fn is_quantifier_ahead(&self) -> bool {
+        let mut i = self.index + 1;
+        loop {
+            match self.tokens.get(i).map(|t| &t.token) {
+                Some(Token::Ident(_)) => {}
+                _ => return false,
+            }
+            i += 1;
+            match self.tokens.get(i).map(|t| &t.token) {
+                Some(Token::Symbol(s)) if s == ":" => return true,
+                Some(Token::Symbol(s)) if s == "," => i += 1,
+                _ => return false,
+            }
+        }
+    }
+
+    /// After a predicate-name identifier, decides whether it is actually the
+    /// start of a relational expression (e.g. a quantified variable used in a
+    /// comparison) rather than a bare predicate reference.
+    fn is_expression_continuation_ahead(&self) -> bool {
+        matches!(
+            self.tokens.get(self.index + 1).map(|t| &t.token),
+            Some(Token::Symbol(s))
+                if ["->", ".", "=", "!=", "+", "-", "&", "~", "^", "*"].contains(&s.as_str())
+        ) || matches!(
+            self.tokens.get(self.index + 1).map(|t| &t.token),
+            Some(Token::Ident(k)) if k == "in"
+        )
+    }
+
+    fn is_comparison_ahead(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::Symbol(s)) if ["=", "!=", "->", ".", "+", "-", "&"].contains(&s.as_str())
+        ) || matches!(self.peek(), Some(Token::Ident(k)) if k == "in")
+    }
+
+    fn parse_quantifier(
+        &mut self,
+        universal: bool,
+        preds: &HashMap<String, Rc<Formula>>,
+        scope: &mut Scope,
+    ) -> Result<Rc<Formula>, ParseError> {
+        let mut names = vec![self.expect_ident()?];
+        while self.eat_symbol(",") {
+            names.push(self.expect_ident()?);
+        }
+        self.expect_symbol(":")?;
+        let sort = self.expect_ident()?;
+        if sort != "S" && sort != "univ" {
+            return Err(self.error(format!("quantification over unknown sort {sort:?}")));
+        }
+        self.expect_symbol("|")?;
+        let base = scope.len();
+        for (offset, name) in names.iter().enumerate() {
+            scope.push((name.clone(), QuantVar(base + offset)));
+        }
+        let body = self.parse_formula(preds, scope)?;
+        let vars: Vec<QuantVar> = (0..names.len()).map(|k| QuantVar(base + k)).collect();
+        scope.truncate(base);
+        let mut out = body;
+        for &v in vars.iter().rev() {
+            out = if universal {
+                Formula::all(v, out)
+            } else {
+                Formula::exists(v, out)
+            };
+        }
+        Ok(out)
+    }
+
+    fn parse_comparison(
+        &mut self,
+        _preds: &HashMap<String, Rc<Formula>>,
+        scope: &mut Scope,
+    ) -> Result<Rc<Formula>, ParseError> {
+        let left = self.parse_expr(scope)?;
+        if self.eat_keyword("in") {
+            let right = self.parse_expr(scope)?;
+            return Ok(Formula::subset(left, right));
+        }
+        if self.eat_symbol("=") {
+            let right = self.parse_expr(scope)?;
+            return Ok(Formula::equal(left, right));
+        }
+        if self.eat_symbol("!=") {
+            let right = self.parse_expr(scope)?;
+            return Ok(Formula::not(Formula::equal(left, right)));
+        }
+        Err(self.error("expected 'in', '=' or '!=' after expression".to_string()))
+    }
+
+    /// expr := term (('+' | '-') term)*
+    fn parse_expr(&mut self, scope: &mut Scope) -> Result<Rc<Expr>, ParseError> {
+        let mut left = self.parse_intersect(scope)?;
+        loop {
+            if self.eat_symbol("+") {
+                let right = self.parse_intersect(scope)?;
+                left = Expr::union(left, right);
+            } else if self.eat_symbol("-") {
+                let right = self.parse_intersect(scope)?;
+                left = Expr::diff(left, right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_intersect(&mut self, scope: &mut Scope) -> Result<Rc<Expr>, ParseError> {
+        let mut left = self.parse_product(scope)?;
+        while self.eat_symbol("&") {
+            let right = self.parse_product(scope)?;
+            left = Expr::intersect(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_product(&mut self, scope: &mut Scope) -> Result<Rc<Expr>, ParseError> {
+        let mut left = self.parse_join(scope)?;
+        while self.eat_symbol("->") {
+            let right = self.parse_join(scope)?;
+            left = Expr::product(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_join(&mut self, scope: &mut Scope) -> Result<Rc<Expr>, ParseError> {
+        let mut left = self.parse_unary_expr(scope)?;
+        while self.eat_symbol(".") {
+            let right = self.parse_unary_expr(scope)?;
+            left = Expr::join(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary_expr(&mut self, scope: &mut Scope) -> Result<Rc<Expr>, ParseError> {
+        if self.eat_symbol("~") {
+            return Ok(Expr::transpose(self.parse_unary_expr(scope)?));
+        }
+        if self.eat_symbol("^") {
+            return Ok(Expr::closure(self.parse_unary_expr(scope)?));
+        }
+        if self.eat_symbol("*") {
+            return Ok(Expr::refl_closure(self.parse_unary_expr(scope)?));
+        }
+        self.parse_atom_expr(scope)
+    }
+
+    fn parse_atom_expr(&mut self, scope: &mut Scope) -> Result<Rc<Expr>, ParseError> {
+        if self.eat_symbol("(") {
+            let inner = self.parse_expr(scope)?;
+            self.expect_symbol(")")?;
+            return Ok(inner);
+        }
+        match self.bump() {
+            Some(Token::Ident(name)) => match name.as_str() {
+                "r" => Ok(Expr::rel()),
+                "iden" => Ok(Expr::iden()),
+                "S" | "univ" => Ok(Expr::univ()),
+                "none" => Ok(Expr::empty(1)),
+                _ => {
+                    if let Some((_, v)) = scope.iter().rev().find(|(n, _)| *n == name) {
+                        Ok(Expr::var(*v))
+                    } else {
+                        Err(self.error(format!("unknown identifier {name:?} in expression")))
+                    }
+                }
+            },
+            _ => Err(self.error("expected a relational expression".to_string())),
+        }
+    }
+}
+
+/// The paper's Figure 1 specification, as parseable source text.
+pub const FIGURE1_SPEC: &str = "
+pred Reflexive { all s: S | s->s in r }
+pred Symmetric { all s, t: S | s->t in r implies t->s in r }
+pred Transitive { all s, t, u: S | s->t in r and t->u in r implies s->u in r }
+pred Equivalence { Reflexive and Symmetric and Transitive }
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_formula;
+    use crate::instance::RelInstance;
+    use crate::properties::Property;
+
+    fn all_instances(n: usize) -> impl Iterator<Item = RelInstance> {
+        (0u64..(1 << (n * n)))
+            .map(move |bits| RelInstance::from_bits(n, (0..n * n).map(|k| bits >> k & 1 == 1).collect()))
+    }
+
+    /// Exhaustively checks two formulas for semantic equality at scope 3.
+    fn semantically_equal(a: &Formula, b: &Formula) -> bool {
+        all_instances(3).all(|inst| eval_formula(a, &inst) == eval_formula(b, &inst))
+    }
+
+    #[test]
+    fn parses_figure1_and_matches_builtin_properties() {
+        let spec = parse_spec(FIGURE1_SPEC).unwrap();
+        assert_eq!(spec.len(), 4);
+        assert!(semantically_equal(
+            spec.get("Reflexive").unwrap(),
+            &Property::Reflexive.spec()
+        ));
+        assert!(semantically_equal(
+            spec.get("Transitive").unwrap(),
+            &Property::Transitive.spec()
+        ));
+        assert!(semantically_equal(
+            spec.get("Equivalence").unwrap(),
+            &Property::Equivalence.spec()
+        ));
+    }
+
+    #[test]
+    fn parses_every_study_property_written_in_alloy_syntax() {
+        let sources: &[(Property, &str)] = &[
+            (Property::Reflexive, "all s: S | s->s in r"),
+            (Property::Irreflexive, "all s: S | !(s->s in r)"),
+            (
+                Property::Antisymmetric,
+                "all s, t: S | (s->t in r and t->s in r) implies s = t",
+            ),
+            (
+                Property::Transitive,
+                "all s, t, u: S | (s->t in r and t->u in r) implies s->u in r",
+            ),
+            (Property::Connex, "all s, t: S | s->t in r or t->s in r"),
+            (Property::Function, "all s: S | one s.r"),
+            (Property::Functional, "all s: S | lone s.r"),
+            (Property::Injective, "all s: S | one r.s"),
+            (
+                Property::Surjective,
+                "(all s: S | one s.r) and (all t: S | some r.t)",
+            ),
+            (
+                Property::Bijective,
+                "(all s: S | one s.r) and (all t: S | one r.t)",
+            ),
+            (
+                Property::PartialOrder,
+                "(all s, t: S | (s->t in r and t->s in r) implies s = t) and \
+                 (all s, t, u: S | (s->t in r and t->u in r) implies s->u in r)",
+            ),
+            (
+                Property::PreOrder,
+                "(all s: S | s->s in r) and \
+                 (all s, t, u: S | (s->t in r and t->u in r) implies s->u in r)",
+            ),
+            (
+                Property::StrictOrder,
+                "(all s: S | !(s->s in r)) and \
+                 (all s, t, u: S | (s->t in r and t->u in r) implies s->u in r)",
+            ),
+            (
+                Property::NonStrictOrder,
+                "(all s: S | s->s in r) and \
+                 (all s, t: S | (s->t in r and t->s in r) implies s = t) and \
+                 (all s, t, u: S | (s->t in r and t->u in r) implies s->u in r)",
+            ),
+            (
+                Property::TotalOrder,
+                "(all s: S | s->s in r) and \
+                 (all s, t: S | (s->t in r and t->s in r) implies s = t) and \
+                 (all s, t, u: S | (s->t in r and t->u in r) implies s->u in r) and \
+                 (all s, t: S | s->t in r or t->s in r)",
+            ),
+            (
+                Property::Equivalence,
+                "(all s: S | s->s in r) and \
+                 (all s, t: S | s->t in r implies t->s in r) and \
+                 (all s, t, u: S | (s->t in r and t->u in r) implies s->u in r)",
+            ),
+        ];
+        for (property, source) in sources {
+            let parsed = parse_formula(source)
+                .unwrap_or_else(|e| panic!("failed to parse {property}: {e}"));
+            assert!(
+                semantically_equal(&parsed, &property.spec()),
+                "parsed formula for {property} differs from the built-in spec"
+            );
+        }
+    }
+
+    #[test]
+    fn relational_operators_parse_and_evaluate() {
+        // Transitivity via closure: ^r in r.
+        let via_closure = parse_formula("^r in r").unwrap();
+        assert!(semantically_equal(&via_closure, &Property::Transitive.spec()));
+        // Symmetry via transpose: ~r in r.
+        let sym = parse_formula("~r in r").unwrap();
+        let sym_builtin = parse_formula("all s, t: S | s->t in r implies t->s in r").unwrap();
+        assert!(semantically_equal(&sym, &sym_builtin));
+        // Irreflexivity via intersection with iden.
+        let irr = parse_formula("no (r & iden)").unwrap();
+        assert!(semantically_equal(&irr, &Property::Irreflexive.spec()));
+        // Reflexive transitive closure and difference/union parse too.
+        let trivially_true = parse_formula("r in *r + none->none").unwrap();
+        assert!(all_instances(3).all(|i| eval_formula(&trivially_true, &i)));
+    }
+
+    #[test]
+    fn existential_quantifier_and_not_equal() {
+        let f = parse_formula("some s, t: S | s != t and s->t in r").unwrap();
+        // Holds exactly when some off-diagonal edge exists.
+        for inst in all_instances(3) {
+            let expected = inst.pairs().iter().any(|&(i, j)| i != j);
+            assert_eq!(eval_formula(&f, &inst), expected);
+        }
+    }
+
+    #[test]
+    fn predicate_references_are_inlined_in_order() {
+        let spec = parse_spec(
+            "pred A { all s: S | s->s in r }\n\
+             pred B { A and (all s, t: S | s->t in r implies t->s in r) }",
+        )
+        .unwrap();
+        assert!(spec.get("B").is_some());
+        assert!(spec.get("C").is_none());
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(parse_spec("").is_err());
+        assert!(parse_formula("all s: T | s->s in r").is_err()); // unknown sort
+        assert!(parse_formula("s->s in r").is_err()); // unbound variable
+        assert!(parse_formula("all s: S | s->s").is_err()); // missing comparison
+        assert!(parse_spec("pred A { true } pred A { false }").is_err()); // duplicate
+        assert!(parse_spec("pred B { C }").is_err()); // undefined reference
+        assert!(parse_formula("all s: S | s->s in r extra").is_err()); // trailing input
+        assert!(parse_formula("all s: S | s @ r").is_err()); // bad character
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let spec = parse_spec(
+            "// the running example\n pred Reflexive { // diagonal\n all s: S | s->s in r }\n",
+        )
+        .unwrap();
+        assert_eq!(spec.len(), 1);
+    }
+}

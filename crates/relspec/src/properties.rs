@@ -1,0 +1,457 @@
+//! The 16 subject relational properties of the MCML study.
+//!
+//! Each property is available in two independent forms:
+//!
+//! * [`Property::spec`] — its specification in the relational logic of
+//!   [`crate::ast`], mirroring the Alloy predicates the paper uses; and
+//! * [`Property::holds`] — a hand-written direct check over adjacency
+//!   matrices.
+//!
+//! The two forms are cross-checked exhaustively in tests (and by property
+//! tests at the workspace level); this is the reproduction's defense against
+//! a specification bug silently skewing every downstream experiment.
+
+use crate::ast::{Expr, Formula, QuantVar};
+use crate::instance::RelInstance;
+use std::fmt;
+use std::rc::Rc;
+
+/// A subject relational property over a binary relation `r: S -> S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Property {
+    /// `all s, t | (s->t in r and t->s in r) implies s = t`
+    Antisymmetric,
+    /// A function from `S` to `S` that is both injective and surjective.
+    Bijective,
+    /// `all s, t | s->t in r or t->s in r` (in particular, reflexive).
+    Connex,
+    /// Reflexive, symmetric and transitive.
+    Equivalence,
+    /// `all s | one s.r` — every atom has exactly one successor.
+    Function,
+    /// `all s | lone s.r` — every atom has at most one successor.
+    Functional,
+    /// `all s | one r.s` — every atom has exactly one predecessor.
+    Injective,
+    /// `all s | s->s not in r`.
+    Irreflexive,
+    /// Reflexive, antisymmetric and transitive (a non-strict partial order).
+    NonStrictOrder,
+    /// Antisymmetric and transitive.
+    PartialOrder,
+    /// Reflexive and transitive.
+    PreOrder,
+    /// `all s | s->s in r`.
+    Reflexive,
+    /// Irreflexive and transitive (a strict partial order).
+    StrictOrder,
+    /// A function from `S` to `S` that is surjective.
+    Surjective,
+    /// A non-strict partial order that is also connex (a linear order).
+    TotalOrder,
+    /// `all s, t, u | (s->t in r and t->u in r) implies s->u in r`.
+    Transitive,
+}
+
+impl Property {
+    /// All 16 subject properties, in the order used by the paper's tables.
+    pub fn all() -> [Property; 16] {
+        [
+            Property::Antisymmetric,
+            Property::Bijective,
+            Property::Connex,
+            Property::Equivalence,
+            Property::Function,
+            Property::Functional,
+            Property::Injective,
+            Property::Irreflexive,
+            Property::NonStrictOrder,
+            Property::PartialOrder,
+            Property::PreOrder,
+            Property::Reflexive,
+            Property::StrictOrder,
+            Property::Surjective,
+            Property::TotalOrder,
+            Property::Transitive,
+        ]
+    }
+
+    /// The property's display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Property::Antisymmetric => "Antisymmetric",
+            Property::Bijective => "Bijective",
+            Property::Connex => "Connex",
+            Property::Equivalence => "Equivalence",
+            Property::Function => "Function",
+            Property::Functional => "Functional",
+            Property::Injective => "Injective",
+            Property::Irreflexive => "Irreflexive",
+            Property::NonStrictOrder => "NonStrictOrder",
+            Property::PartialOrder => "PartialOrder",
+            Property::PreOrder => "PreOrder",
+            Property::Reflexive => "Reflexive",
+            Property::StrictOrder => "StrictOrder",
+            Property::Surjective => "Surjective",
+            Property::TotalOrder => "TotalOrder",
+            Property::Transitive => "Transitive",
+        }
+    }
+
+    /// The scope the paper uses for this property in Table 1 (with default
+    /// symmetry breaking). The reproduction harness uses smaller scopes for
+    /// the four very large subjects; see `EXPERIMENTS.md`.
+    pub fn paper_scope(&self) -> usize {
+        match self {
+            Property::Antisymmetric => 5,
+            Property::Bijective => 14,
+            Property::Connex => 6,
+            Property::Equivalence => 20,
+            Property::Function => 8,
+            Property::Functional => 8,
+            Property::Injective => 8,
+            Property::Irreflexive => 5,
+            Property::NonStrictOrder => 7,
+            Property::PartialOrder => 6,
+            Property::PreOrder => 7,
+            Property::Reflexive => 5,
+            Property::StrictOrder => 7,
+            Property::Surjective => 14,
+            Property::TotalOrder => 13,
+            Property::Transitive => 6,
+        }
+    }
+
+    /// The relational-logic specification of the property (the "Alloy
+    /// predicate").
+    pub fn spec(&self) -> Rc<Formula> {
+        let s = QuantVar(0);
+        let t = QuantVar(1);
+        match self {
+            Property::Antisymmetric => antisymmetric(),
+            Property::Bijective => Formula::and(vec![function(), injective()]),
+            Property::Connex => connex(),
+            Property::Equivalence => Formula::and(vec![reflexive(), symmetric(), transitive()]),
+            Property::Function => function(),
+            Property::Functional => {
+                Formula::all(s, Formula::lone(Expr::join(Expr::var(s), Expr::rel())))
+            }
+            Property::Injective => injective(),
+            Property::Irreflexive => Formula::all(
+                s,
+                Formula::not(Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel())),
+            ),
+            Property::NonStrictOrder => {
+                Formula::and(vec![reflexive(), antisymmetric(), transitive()])
+            }
+            Property::PartialOrder => Formula::and(vec![antisymmetric(), transitive()]),
+            Property::PreOrder => Formula::and(vec![reflexive(), transitive()]),
+            Property::Reflexive => reflexive(),
+            Property::StrictOrder => Formula::and(vec![
+                Formula::all(
+                    s,
+                    Formula::not(Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel())),
+                ),
+                transitive(),
+            ]),
+            Property::Surjective => Formula::and(vec![
+                function(),
+                Formula::all(t, Formula::some(Expr::join(Expr::rel(), Expr::var(t)))),
+            ]),
+            Property::TotalOrder => Formula::and(vec![
+                reflexive(),
+                antisymmetric(),
+                transitive(),
+                connex(),
+            ]),
+            Property::Transitive => transitive(),
+        }
+    }
+
+    /// Directly checks the property on a concrete instance, independently of
+    /// the relational AST and evaluator.
+    pub fn holds(&self, inst: &RelInstance) -> bool {
+        let n = inst.num_atoms();
+        match self {
+            Property::Antisymmetric => (0..n).all(|i| {
+                (0..n).all(|j| i == j || !(inst.contains(i, j) && inst.contains(j, i)))
+            }),
+            Property::Bijective => {
+                Property::Function.holds(inst)
+                    && (0..n).all(|j| (0..n).filter(|&i| inst.contains(i, j)).count() == 1)
+            }
+            Property::Connex => {
+                (0..n).all(|i| (0..n).all(|j| inst.contains(i, j) || inst.contains(j, i)))
+            }
+            Property::Equivalence => {
+                Property::Reflexive.holds(inst)
+                    && (0..n)
+                        .all(|i| (0..n).all(|j| inst.contains(i, j) == inst.contains(j, i)))
+                    && Property::Transitive.holds(inst)
+            }
+            Property::Function => {
+                (0..n).all(|i| (0..n).filter(|&j| inst.contains(i, j)).count() == 1)
+            }
+            Property::Functional => {
+                (0..n).all(|i| (0..n).filter(|&j| inst.contains(i, j)).count() <= 1)
+            }
+            Property::Injective => {
+                (0..n).all(|j| (0..n).filter(|&i| inst.contains(i, j)).count() == 1)
+            }
+            Property::Irreflexive => (0..n).all(|i| !inst.contains(i, i)),
+            Property::NonStrictOrder => {
+                Property::Reflexive.holds(inst)
+                    && Property::Antisymmetric.holds(inst)
+                    && Property::Transitive.holds(inst)
+            }
+            Property::PartialOrder => {
+                Property::Antisymmetric.holds(inst) && Property::Transitive.holds(inst)
+            }
+            Property::PreOrder => {
+                Property::Reflexive.holds(inst) && Property::Transitive.holds(inst)
+            }
+            Property::Reflexive => (0..n).all(|i| inst.contains(i, i)),
+            Property::StrictOrder => {
+                Property::Irreflexive.holds(inst) && Property::Transitive.holds(inst)
+            }
+            Property::Surjective => {
+                Property::Function.holds(inst)
+                    && (0..n).all(|j| (0..n).any(|i| inst.contains(i, j)))
+            }
+            Property::TotalOrder => {
+                Property::NonStrictOrder.holds(inst) && Property::Connex.holds(inst)
+            }
+            Property::Transitive => (0..n).all(|i| {
+                (0..n).all(|j| {
+                    !inst.contains(i, j)
+                        || (0..n).all(|k| !inst.contains(j, k) || inst.contains(i, k))
+                })
+            }),
+        }
+    }
+
+    /// Parses a property from its (case-insensitive) name.
+    pub fn from_name(name: &str) -> Option<Property> {
+        Property::all()
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn reflexive() -> Rc<Formula> {
+    let s = QuantVar(0);
+    Formula::all(
+        s,
+        Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()),
+    )
+}
+
+fn symmetric() -> Rc<Formula> {
+    let s = QuantVar(0);
+    let t = QuantVar(1);
+    Formula::all_many(
+        &[s, t],
+        Formula::implies(
+            Formula::pair_in(Expr::var(s), Expr::var(t), Expr::rel()),
+            Formula::pair_in(Expr::var(t), Expr::var(s), Expr::rel()),
+        ),
+    )
+}
+
+fn antisymmetric() -> Rc<Formula> {
+    let s = QuantVar(0);
+    let t = QuantVar(1);
+    Formula::all_many(
+        &[s, t],
+        Formula::implies(
+            Formula::and(vec![
+                Formula::pair_in(Expr::var(s), Expr::var(t), Expr::rel()),
+                Formula::pair_in(Expr::var(t), Expr::var(s), Expr::rel()),
+            ]),
+            Formula::equal(Expr::var(s), Expr::var(t)),
+        ),
+    )
+}
+
+fn transitive() -> Rc<Formula> {
+    let s = QuantVar(0);
+    let t = QuantVar(1);
+    let u = QuantVar(2);
+    Formula::all_many(
+        &[s, t, u],
+        Formula::implies(
+            Formula::and(vec![
+                Formula::pair_in(Expr::var(s), Expr::var(t), Expr::rel()),
+                Formula::pair_in(Expr::var(t), Expr::var(u), Expr::rel()),
+            ]),
+            Formula::pair_in(Expr::var(s), Expr::var(u), Expr::rel()),
+        ),
+    )
+}
+
+fn connex() -> Rc<Formula> {
+    let s = QuantVar(0);
+    let t = QuantVar(1);
+    Formula::all_many(
+        &[s, t],
+        Formula::or(vec![
+            Formula::pair_in(Expr::var(s), Expr::var(t), Expr::rel()),
+            Formula::pair_in(Expr::var(t), Expr::var(s), Expr::rel()),
+        ]),
+    )
+}
+
+fn function() -> Rc<Formula> {
+    let s = QuantVar(0);
+    Formula::all(s, Formula::one(Expr::join(Expr::var(s), Expr::rel())))
+}
+
+fn injective() -> Rc<Formula> {
+    let s = QuantVar(0);
+    Formula::all(s, Formula::one(Expr::join(Expr::rel(), Expr::var(s))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_formula;
+    use crate::translate::{translate_formula, translate_to_cnf, TranslateOptions};
+    use satkit::enumerate::{enumerate_projected, EnumerateConfig};
+
+    fn all_instances(n: usize) -> impl Iterator<Item = RelInstance> {
+        (0u64..(1 << (n * n)))
+            .map(move |bits| RelInstance::from_bits(n, (0..n * n).map(|k| bits >> k & 1 == 1).collect()))
+    }
+
+    /// Counts instances at scope `n` satisfying the property, using the
+    /// direct `holds` implementation.
+    fn brute_count(prop: Property, n: usize) -> usize {
+        all_instances(n).filter(|inst| prop.holds(inst)).count()
+    }
+
+    #[test]
+    fn spec_arity_checks() {
+        for p in Property::all() {
+            p.spec().check_arity().unwrap_or_else(|e| {
+                panic!("property {p} has an ill-formed spec: {e}");
+            });
+        }
+    }
+
+    #[test]
+    fn spec_agrees_with_direct_check_scope3() {
+        for p in Property::all() {
+            let spec = p.spec();
+            for inst in all_instances(3) {
+                assert_eq!(
+                    eval_formula(&spec, &inst),
+                    p.holds(&inst),
+                    "property {p} disagrees on {inst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spec_agrees_with_direct_check_scope2() {
+        for p in Property::all() {
+            let spec = p.spec();
+            for inst in all_instances(2) {
+                assert_eq!(eval_formula(&spec, &inst), p.holds(&inst), "property {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn translation_agrees_with_direct_check_scope3() {
+        for p in Property::all() {
+            let expr = translate_formula(&p.spec(), 3);
+            for inst in all_instances(3) {
+                assert_eq!(
+                    expr.eval(inst.bits()),
+                    p.holds(&inst),
+                    "translated property {p} disagrees on {inst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_counts_scope3() {
+        // Known counts of relations on a 3-element set (no symmetry
+        // breaking). These pin down the exact semantics of every property.
+        let expected = [
+            (Property::Antisymmetric, 216), // 2^3 * 3^3
+            (Property::Bijective, 6),       // 3!
+            (Property::Connex, 27),         // 3^C(3,2) with forced diagonal
+            (Property::Equivalence, 5),     // Bell(3)
+            (Property::Function, 27),       // 3^3
+            (Property::Functional, 64),     // 4^3
+            (Property::Injective, 27),      // 3^3
+            (Property::Irreflexive, 64),    // 2^6
+            (Property::NonStrictOrder, 19), // posets on 3 labeled elements
+            (Property::PartialOrder, 152),  // 2^3 * strict posets(3) = 8 * 19
+            (Property::PreOrder, 29),       // preorders on 3 labeled elements
+            (Property::Reflexive, 64),      // 2^6
+            (Property::StrictOrder, 19),    // strict posets(3)
+            (Property::Surjective, 6),      // 3!
+            (Property::TotalOrder, 6),      // 3!
+            (Property::Transitive, 171),    // transitive relations on 3 elements
+        ];
+        for (p, count) in expected {
+            assert_eq!(brute_count(p, 3), count, "property {p}");
+        }
+    }
+
+    #[test]
+    fn cnf_translation_counts_match_brute_force_scope2() {
+        for p in Property::all() {
+            let gt = translate_to_cnf(&p.spec(), TranslateOptions::new(2));
+            let sols = enumerate_projected(&gt.cnf_positive(), &[], &EnumerateConfig::default());
+            assert_eq!(sols.len(), brute_count(p, 2), "property {p}");
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for p in Property::all() {
+            assert_eq!(Property::from_name(p.name()), Some(p));
+            assert_eq!(Property::from_name(&p.name().to_lowercase()), Some(p));
+        }
+        assert_eq!(Property::from_name("NotAProperty"), None);
+    }
+
+    #[test]
+    fn paper_scopes_match_table1() {
+        assert_eq!(Property::Equivalence.paper_scope(), 20);
+        assert_eq!(Property::TotalOrder.paper_scope(), 13);
+        assert_eq!(Property::Reflexive.paper_scope(), 5);
+        assert_eq!(Property::NonStrictOrder.paper_scope(), 7);
+    }
+
+    #[test]
+    fn implications_between_properties() {
+        // Structural sanity: every total order is a non-strict order, every
+        // equivalence is a preorder, every strict order is a partial order.
+        for inst in all_instances(3) {
+            if Property::TotalOrder.holds(&inst) {
+                assert!(Property::NonStrictOrder.holds(&inst));
+            }
+            if Property::Equivalence.holds(&inst) {
+                assert!(Property::PreOrder.holds(&inst));
+            }
+            if Property::StrictOrder.holds(&inst) {
+                assert!(Property::PartialOrder.holds(&inst));
+            }
+            if Property::Bijective.holds(&inst) {
+                assert!(Property::Surjective.holds(&inst) && Property::Function.holds(&inst));
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Partial symmetry breaking via lex-leader predicates.
+//!
+//! Two instances that differ only by a relabeling of atoms are isomorphic.
+//! The Alloy analyzer adds *partial* symmetry-breaking predicates during
+//! translation: they remove many (but, in general, not all) isomorphic
+//! solutions while keeping at least one representative per isomorphism
+//! class. We reproduce the same mechanism with lex-leader constraints: for a
+//! chosen set of generator permutations π, the adjacency matrix (read as a
+//! row-major bit string) must be lexicographically ≤ its image under π.
+//!
+//! [`SymmetryBreaking`] selects how many generators are used, from none to
+//! the full symmetric group (feasible only at small scopes). The default in
+//! the MCML data pipeline is [`SymmetryBreaking::Transpositions`], which like
+//! Alloy's default breaks most — but not all — symmetries.
+
+use crate::instance::RelInstance;
+use satkit::expr::BoolExpr;
+use std::rc::Rc;
+
+/// Selects the set of generator permutations used for symmetry breaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SymmetryBreaking {
+    /// No symmetry breaking: every solution is kept.
+    None,
+    /// Adjacent transpositions `(i, i+1)` only — the weakest non-trivial
+    /// setting (n − 1 generators).
+    Adjacent,
+    /// All transpositions `(i, j)` — the default, analogous in strength to
+    /// Alloy's default partial symmetry breaking.
+    #[default]
+    Transpositions,
+    /// Every permutation of the atoms — full symmetry breaking; only
+    /// practical for small scopes (the number of generators is `n!`).
+    Full,
+}
+
+impl SymmetryBreaking {
+    /// Whether any symmetry-breaking constraint is generated.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, SymmetryBreaking::None)
+    }
+
+    /// The generator permutations for a universe of `n` atoms. Each
+    /// permutation maps atom `a` to `perm[a]`; the identity is never
+    /// included.
+    pub fn generators(&self, n: usize) -> Vec<Vec<usize>> {
+        match self {
+            SymmetryBreaking::None => Vec::new(),
+            SymmetryBreaking::Adjacent => (0..n.saturating_sub(1))
+                .map(|i| transposition(n, i, i + 1))
+                .collect(),
+            SymmetryBreaking::Transpositions => {
+                let mut out = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        out.push(transposition(n, i, j));
+                    }
+                }
+                out
+            }
+            SymmetryBreaking::Full => {
+                let mut out = Vec::new();
+                let mut perm: Vec<usize> = (0..n).collect();
+                permutations(&mut perm, 0, &mut out);
+                out.retain(|p| p.iter().enumerate().any(|(i, &x)| i != x));
+                out
+            }
+        }
+    }
+
+    /// Whether `inst` satisfies every lex-leader constraint of this setting,
+    /// i.e. whether the instance would be kept by the symmetry-breaking
+    /// predicates.
+    pub fn keeps(&self, inst: &RelInstance) -> bool {
+        let n = inst.num_atoms();
+        self.generators(n)
+            .iter()
+            .all(|perm| lex_le_concrete(inst, perm))
+    }
+}
+
+fn transposition(n: usize, i: usize, j: usize) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    p.swap(i, j);
+    p
+}
+
+fn permutations(perm: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k == perm.len() {
+        out.push(perm.clone());
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permutations(perm, k + 1, out);
+        perm.swap(k, i);
+    }
+}
+
+/// Concrete check of `vec(m) <= vec(m ∘ π)` in lexicographic order, where
+/// `(m ∘ π)(i, j) = m(π(i), π(j))`.
+pub fn lex_le_concrete(inst: &RelInstance, perm: &[usize]) -> bool {
+    let n = inst.num_atoms();
+    for i in 0..n {
+        for j in 0..n {
+            let a = inst.contains(i, j);
+            let b = inst.contains(perm[i], perm[j]);
+            if a != b {
+                return !a; // a = 0, b = 1 means strictly smaller at this position
+            }
+        }
+    }
+    true
+}
+
+/// Builds the propositional lex-leader constraint `vec(m) <= vec(m ∘ π)` over
+/// the primary variables `i * n + j`.
+pub fn lex_leader_expr(n: usize, perm: &[usize]) -> Rc<BoolExpr> {
+    assert_eq!(perm.len(), n, "permutation length must equal the scope");
+    let var = |i: usize, j: usize| BoolExpr::var((i * n + j) as u32);
+    // Build from the last position backwards:
+    // le_k = (!a_k & b_k) | ((a_k <=> b_k) & le_{k+1}), le_len = true.
+    let mut le = BoolExpr::tru();
+    for i in (0..n).rev() {
+        for j in (0..n).rev() {
+            let a = var(i, j);
+            let b = var(perm[i], perm[j]);
+            if Rc::ptr_eq(&a, &b) || (perm[i] == i && perm[j] == j) {
+                // Position maps to itself: a == b always, keep le unchanged.
+                continue;
+            }
+            let strictly_less = BoolExpr::and2(BoolExpr::not(a.clone()), b.clone());
+            let equal_here = BoolExpr::iff(a, b);
+            le = BoolExpr::or2(strictly_less, BoolExpr::and2(equal_here, le));
+        }
+    }
+    le
+}
+
+/// Builds the conjunction of lex-leader constraints for all generators of the
+/// given symmetry-breaking setting.
+pub fn symmetry_breaking_expr(n: usize, sb: SymmetryBreaking) -> Rc<BoolExpr> {
+    let constraints: Vec<Rc<BoolExpr>> = sb
+        .generators(n)
+        .iter()
+        .map(|perm| lex_leader_expr(n, perm))
+        .collect();
+    BoolExpr::and(constraints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_counts() {
+        assert_eq!(SymmetryBreaking::None.generators(4).len(), 0);
+        assert_eq!(SymmetryBreaking::Adjacent.generators(4).len(), 3);
+        assert_eq!(SymmetryBreaking::Transpositions.generators(4).len(), 6);
+        assert_eq!(SymmetryBreaking::Full.generators(4).len(), 23); // 4! - identity
+    }
+
+    #[test]
+    fn lex_le_concrete_matches_expr() {
+        // Cross-check the concrete lex check against the propositional
+        // encoding on every 3-atom instance and every transposition.
+        let n = 3;
+        let gens = SymmetryBreaking::Transpositions.generators(n);
+        for bits in 0u32..(1 << (n * n)) {
+            let vec_bits: Vec<bool> = (0..n * n).map(|k| bits >> k & 1 == 1).collect();
+            let inst = RelInstance::from_bits(n, vec_bits.clone());
+            for perm in &gens {
+                let expr = lex_leader_expr(n, perm);
+                assert_eq!(
+                    expr.eval(&vec_bits),
+                    lex_le_concrete(&inst, perm),
+                    "instance {bits:b}, perm {perm:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_like_positions_are_skipped() {
+        // A transposition of atoms 0 and 1 in a 2-atom universe fixes no
+        // off-diagonal position, but the constraint must still be a valid
+        // expression evaluable over 4 variables.
+        let expr = lex_leader_expr(2, &[1, 0]);
+        assert!(expr.max_var().unwrap_or(0) < 4);
+    }
+
+    #[test]
+    fn keeps_selects_canonical_representative() {
+        // For the single-edge instances on 2 atoms, exactly one of (0,1) and
+        // (1,0) is kept by full symmetry breaking.
+        let a = RelInstance::from_pairs(2, &[(0, 1)]);
+        let b = RelInstance::from_pairs(2, &[(1, 0)]);
+        let sb = SymmetryBreaking::Full;
+        assert_ne!(sb.keeps(&a), sb.keeps(&b));
+        // The empty and complete relations are symmetric, so always kept.
+        assert!(sb.keeps(&RelInstance::empty(2)));
+        assert!(sb.keeps(&RelInstance::from_pairs(
+            2,
+            &[(0, 0), (0, 1), (1, 0), (1, 1)]
+        )));
+    }
+
+    #[test]
+    fn none_keeps_everything() {
+        for bits in 0u32..16 {
+            let inst = RelInstance::from_bits(2, (0..4).map(|k| bits >> k & 1 == 1).collect());
+            assert!(SymmetryBreaking::None.keeps(&inst));
+        }
+    }
+
+    #[test]
+    fn stronger_settings_keep_fewer_instances() {
+        let n = 3;
+        let count = |sb: SymmetryBreaking| {
+            (0u32..(1 << (n * n)))
+                .filter(|&bits| {
+                    let inst =
+                        RelInstance::from_bits(n, (0..n * n).map(|k| bits >> k & 1 == 1).collect());
+                    sb.keeps(&inst)
+                })
+                .count()
+        };
+        let none = count(SymmetryBreaking::None);
+        let adj = count(SymmetryBreaking::Adjacent);
+        let tra = count(SymmetryBreaking::Transpositions);
+        let full = count(SymmetryBreaking::Full);
+        assert_eq!(none, 512);
+        assert!(adj <= none);
+        assert!(tra <= adj);
+        assert!(full <= tra);
+        // Full symmetry breaking keeps exactly one representative per orbit,
+        // so the kept count equals the number of isomorphism classes of
+        // directed graphs with loops on 3 nodes, which is 104.
+        assert_eq!(full, 104);
+    }
+}

@@ -1,0 +1,463 @@
+//! Core CNF data structures: variables, literals, clauses and formulas.
+//!
+//! Variables are `u32` indices starting at 0. Literals pack a variable and a
+//! sign into a single `u32` (`var * 2 + sign`), the classic MiniSat layout,
+//! which keeps watcher lists and assignment tables compact.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, identified by a zero-based index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Creates a variable from its zero-based index.
+    pub fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// Returns the zero-based index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn pos(self) -> Lit {
+        Lit::pos(self.0)
+    }
+
+    /// The negative literal of this variable.
+    pub fn neg(self) -> Lit {
+        Lit::neg(self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `var * 2 + sign` where `sign == 1` means negated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of variable `var`.
+    pub fn pos(var: u32) -> Self {
+        Lit(var << 1)
+    }
+
+    /// Negative literal of variable `var`.
+    pub fn neg(var: u32) -> Self {
+        Lit((var << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a polarity (`true` = positive).
+    pub fn from_var(var: Var, positive: bool) -> Self {
+        if positive {
+            Lit::pos(var.0)
+        } else {
+            Lit::neg(var.0)
+        }
+    }
+
+    /// Builds a literal from a DIMACS-style non-zero integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimacs == 0`.
+    pub fn from_dimacs(dimacs: i64) -> Self {
+        assert!(dimacs != 0, "DIMACS literal must be non-zero");
+        let var = (dimacs.unsigned_abs() - 1) as u32;
+        if dimacs > 0 {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// Converts this literal to its DIMACS integer representation.
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.var().0) + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// The variable underlying this literal.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is the positive occurrence of its variable.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Whether the literal is the negative occurrence of its variable.
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Raw encoded value (`var * 2 + sign`), usable as an array index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its [`code`](Self::code).
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+
+    /// Evaluates this literal under an assignment to its variable.
+    pub fn eval(self, var_value: bool) -> bool {
+        var_value == self.is_positive()
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "!")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from literals.
+    pub fn new(lits: Vec<Lit>) -> Self {
+        Clause { lits }
+    }
+
+    /// The literals of the clause.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether the clause is empty (i.e. unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Whether the clause contains the given literal.
+    pub fn contains(&self, lit: Lit) -> bool {
+        self.lits.contains(&lit)
+    }
+
+    /// Returns a normalized copy: literals sorted and deduplicated, or `None`
+    /// if the clause is a tautology (contains both `l` and `!l`).
+    pub fn normalized(&self) -> Option<Clause> {
+        let mut lits = self.lits.clone();
+        lits.sort();
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return None; // tautology
+            }
+        }
+        Some(Clause { lits })
+    }
+
+    /// Evaluates the clause under a total assignment (indexed by variable).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.lits
+            .iter()
+            .any(|l| l.eval(assignment[l.var().index()]))
+    }
+
+    /// Iterates over the literals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Lit> {
+        self.lits.iter()
+    }
+}
+
+impl From<Vec<Lit>> for Clause {
+    fn from(lits: Vec<Lit>) -> Self {
+        Clause::new(lits)
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Self {
+        Clause::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Clause {
+    type Item = &'a Lit;
+    type IntoIter = std::slice::Iter<'a, Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.iter()
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula: a conjunction of clauses over `num_vars` variables.
+///
+/// The formula also carries an optional *projection set* of variables. For
+/// projected model counting, the count is the number of assignments to the
+/// projection variables that can be extended to a model of the formula. When
+/// the projection set is empty the formula is counted over all variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    projection: Vec<Var>,
+}
+
+impl Cnf {
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+            projection: Vec::new(),
+        }
+    }
+
+    /// Number of variables in the formula.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses of the formula.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Grows the variable count to at least `num_vars`.
+    pub fn ensure_vars(&mut self, num_vars: usize) {
+        if num_vars > self.num_vars {
+            self.num_vars = num_vars;
+        }
+    }
+
+    /// Allocates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Adds a clause given as a vector of literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable outside the formula.
+    pub fn add_clause<C: Into<Clause>>(&mut self, clause: C) {
+        let clause = clause.into();
+        for l in clause.iter() {
+            assert!(
+                l.var().index() < self.num_vars,
+                "literal {l} out of range (num_vars = {})",
+                self.num_vars
+            );
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Adds a unit clause.
+    pub fn add_unit(&mut self, lit: Lit) {
+        self.add_clause(vec![lit]);
+    }
+
+    /// Appends all clauses of `other`, which must range over a compatible set
+    /// of variables (its variables are merged into this formula).
+    pub fn extend_from(&mut self, other: &Cnf) {
+        self.ensure_vars(other.num_vars);
+        self.clauses.extend(other.clauses.iter().cloned());
+    }
+
+    /// Sets the projection (independent-support) variable set.
+    pub fn set_projection(&mut self, vars: Vec<Var>) {
+        self.projection = vars;
+    }
+
+    /// The projection variable set (may be empty).
+    pub fn projection(&self) -> &[Var] {
+        &self.projection
+    }
+
+    /// The projection set if present, otherwise all variables.
+    pub fn effective_projection(&self) -> Vec<Var> {
+        if self.projection.is_empty() {
+            (0..self.num_vars as u32).map(Var).collect()
+        } else {
+            self.projection.clone()
+        }
+    }
+
+    /// Evaluates the formula under a total assignment (indexed by variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < self.num_vars()`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars);
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Returns a copy with normalized clauses: tautologies removed, duplicate
+    /// literals removed, duplicate clauses removed.
+    pub fn simplified(&self) -> Cnf {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Cnf::new(self.num_vars);
+        out.projection = self.projection.clone();
+        for c in &self.clauses {
+            if let Some(n) = c.normalized() {
+                if seen.insert(n.clone()) {
+                    out.clauses.push(n);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of literal occurrences across all clauses.
+    pub fn num_literals(&self) -> usize {
+        self.clauses.iter().map(Clause::len).sum()
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_roundtrip_dimacs() {
+        for d in [-5i64, -1, 1, 7, 42] {
+            assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn lit_from_dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lit_negation_flips_sign_only() {
+        let l = Lit::pos(3);
+        assert_eq!((!l).var(), l.var());
+        assert!((!l).is_negative());
+        assert_eq!(!!l, l);
+    }
+
+    #[test]
+    fn lit_eval_respects_polarity() {
+        assert!(Lit::pos(0).eval(true));
+        assert!(!Lit::pos(0).eval(false));
+        assert!(Lit::neg(0).eval(false));
+        assert!(!Lit::neg(0).eval(true));
+    }
+
+    #[test]
+    fn clause_normalized_dedups_and_detects_tautology() {
+        let c = Clause::new(vec![Lit::pos(1), Lit::pos(1), Lit::neg(0)]);
+        let n = c.normalized().unwrap();
+        assert_eq!(n.len(), 2);
+
+        let taut = Clause::new(vec![Lit::pos(1), Lit::neg(1)]);
+        assert!(taut.normalized().is_none());
+    }
+
+    #[test]
+    fn clause_eval() {
+        let c = Clause::new(vec![Lit::pos(0), Lit::neg(1)]);
+        assert!(c.eval(&[true, true]));
+        assert!(c.eval(&[false, false]));
+        assert!(!c.eval(&[false, true]));
+    }
+
+    #[test]
+    fn cnf_eval_and_simplify() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::pos(0), Lit::neg(0)]);
+        assert!(cnf.eval(&[true, false]));
+        assert!(!cnf.eval(&[false, false]));
+        let s = cnf.simplified();
+        assert_eq!(s.num_clauses(), 1);
+    }
+
+    #[test]
+    fn cnf_new_var_grows() {
+        let mut cnf = Cnf::new(1);
+        let v = cnf.new_var();
+        assert_eq!(v.index(), 1);
+        assert_eq!(cnf.num_vars(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cnf_add_clause_out_of_range_panics() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![Lit::pos(5)]);
+    }
+
+    #[test]
+    fn effective_projection_defaults_to_all_vars() {
+        let mut cnf = Cnf::new(3);
+        assert_eq!(cnf.effective_projection().len(), 3);
+        cnf.set_projection(vec![Var(1)]);
+        assert_eq!(cnf.effective_projection(), vec![Var(1)]);
+    }
+}

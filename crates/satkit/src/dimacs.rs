@@ -1,0 +1,211 @@
+//! DIMACS CNF serialization.
+//!
+//! Supports the standard `p cnf <vars> <clauses>` format plus the `c ind`
+//! comment lines used by projected model counters (ApproxMC, ProjMC, GANAK)
+//! to declare the projection / independent-support variable set.
+
+use crate::cnf::{Cnf, Lit, Var};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// Error produced when parsing a DIMACS document fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number at which the error occurred (0 if not applicable).
+    pub line: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Serializes a CNF to DIMACS text, including `c ind` projection lines when a
+/// projection set is present.
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    if !cnf.projection().is_empty() {
+        // Projection variables, at most 10 per `c ind` line, 0-terminated.
+        for chunk in cnf.projection().chunks(10) {
+            out.push_str("c ind");
+            for v in chunk {
+                let _ = write!(out, " {}", v.index() + 1);
+            }
+            out.push_str(" 0\n");
+        }
+    }
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses());
+    for c in cnf.clauses() {
+        for l in c.iter() {
+            let _ = write!(out, "{} ", l.to_dimacs());
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Parses DIMACS text into a [`Cnf`], honoring `c ind` projection lines.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers, literals, or clauses
+/// that reference variables beyond the declared count.
+pub fn from_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut declared_vars: Option<usize> = None;
+    let mut projection: Vec<Var> = Vec::new();
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut max_var_seen: usize = 0;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("c ind") {
+            for tok in rest.split_whitespace() {
+                let n: i64 = i64::from_str(tok).map_err(|_| ParseDimacsError {
+                    line: lineno,
+                    message: format!("invalid projection variable {tok:?}"),
+                })?;
+                if n == 0 {
+                    break;
+                }
+                if n < 0 {
+                    return Err(ParseDimacsError {
+                        line: lineno,
+                        message: "projection variables must be positive".to_string(),
+                    });
+                }
+                projection.push(Var((n - 1) as u32));
+            }
+            continue;
+        }
+        if line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 || parts[1] != "cnf" {
+                return Err(ParseDimacsError {
+                    line: lineno,
+                    message: format!("malformed problem line {line:?}"),
+                });
+            }
+            let nv = usize::from_str(parts[2]).map_err(|_| ParseDimacsError {
+                line: lineno,
+                message: format!("invalid variable count {:?}", parts[2]),
+            })?;
+            declared_vars = Some(nv);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let n: i64 = i64::from_str(tok).map_err(|_| ParseDimacsError {
+                line: lineno,
+                message: format!("invalid literal {tok:?}"),
+            })?;
+            if n == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let lit = Lit::from_dimacs(n);
+                max_var_seen = max_var_seen.max(lit.var().index() + 1);
+                current.push(lit);
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+
+    let num_vars = declared_vars.unwrap_or(max_var_seen).max(max_var_seen);
+    let mut cnf = Cnf::new(num_vars);
+    for p in &projection {
+        if p.index() >= num_vars {
+            return Err(ParseDimacsError {
+                line: 0,
+                message: format!("projection variable {} out of range", p.index() + 1),
+            });
+        }
+    }
+    cnf.set_projection(projection);
+    for c in clauses {
+        cnf.add_clause(c);
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::pos(0), Lit::neg(2)]);
+        cnf.add_clause(vec![Lit::neg(1)]);
+        cnf.set_projection(vec![Var(0), Var(1)]);
+        let text = to_dimacs(&cnf);
+        let parsed = from_dimacs(&text).unwrap();
+        assert_eq!(parsed.num_vars(), 3);
+        assert_eq!(parsed.num_clauses(), 2);
+        assert_eq!(parsed.projection(), cnf.projection());
+        assert_eq!(parsed.clauses(), cnf.clauses());
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "c a comment\n\np cnf 2 1\n1 -2 0\n";
+        let cnf = from_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars(), 2);
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn clause_spanning_multiple_lines() {
+        let text = "p cnf 3 1\n1 2\n3 0\n";
+        let cnf = from_dimacs(text).unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(from_dimacs("p dnf 2 1\n1 0\n").is_err());
+        assert!(from_dimacs("p cnf x 1\n1 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_literal() {
+        assert!(from_dimacs("p cnf 2 1\n1 foo 0\n").is_err());
+    }
+
+    #[test]
+    fn grows_var_count_beyond_header() {
+        let text = "p cnf 1 1\n1 -3 0\n";
+        let cnf = from_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+    }
+
+    #[test]
+    fn ind_lines_chunked_on_write() {
+        let mut cnf = Cnf::new(25);
+        cnf.set_projection((0..25).map(Var).collect());
+        let text = to_dimacs(&cnf);
+        let ind_lines = text.lines().filter(|l| l.starts_with("c ind")).count();
+        assert_eq!(ind_lines, 3);
+        let parsed = from_dimacs(&text).unwrap();
+        assert_eq!(parsed.projection().len(), 25);
+    }
+}

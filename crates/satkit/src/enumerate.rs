@@ -1,0 +1,172 @@
+//! All-solutions enumeration over a projection set.
+//!
+//! Given a CNF formula and a set of projection variables (for MCML these are
+//! the adjacency-matrix bits), the enumerator repeatedly solves the formula
+//! and blocks the projection of each model found, yielding every distinct
+//! assignment of the projection variables that can be extended to a full
+//! model. This mirrors how the Alloy analyzer's incremental SAT backend
+//! enumerates all solutions of a command.
+
+use crate::cnf::{Cnf, Lit, Var};
+use crate::solver::{SolveResult, Solver};
+
+/// Configuration for solution enumeration.
+#[derive(Debug, Clone)]
+pub struct EnumerateConfig {
+    /// Maximum number of solutions to produce (`usize::MAX` for unlimited).
+    pub max_solutions: usize,
+}
+
+impl Default for EnumerateConfig {
+    fn default() -> Self {
+        EnumerateConfig {
+            max_solutions: usize::MAX,
+        }
+    }
+}
+
+/// Outcome of an enumeration run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Enumeration {
+    /// The distinct projection assignments found, each a bit vector indexed
+    /// in the order of the projection variable list.
+    pub solutions: Vec<Vec<bool>>,
+    /// True when enumeration stopped because `max_solutions` was reached, so
+    /// more solutions may exist.
+    pub truncated: bool,
+}
+
+impl Enumeration {
+    /// Number of solutions found.
+    pub fn len(&self) -> usize {
+        self.solutions.len()
+    }
+
+    /// Whether no solution was found.
+    pub fn is_empty(&self) -> bool {
+        self.solutions.is_empty()
+    }
+}
+
+/// Enumerates all assignments to `projection` extendable to models of `cnf`.
+///
+/// If `projection` is empty, the CNF's own projection set is used (or all
+/// variables if that is empty too).
+pub fn enumerate_projected(
+    cnf: &Cnf,
+    projection: &[Var],
+    config: &EnumerateConfig,
+) -> Enumeration {
+    let proj: Vec<Var> = if projection.is_empty() {
+        cnf.effective_projection()
+    } else {
+        projection.to_vec()
+    };
+    let mut solver = Solver::from_cnf(cnf);
+    let mut solutions = Vec::new();
+    let mut truncated = false;
+
+    loop {
+        if solutions.len() >= config.max_solutions {
+            truncated = solver.solve().is_sat();
+            break;
+        }
+        match solver.solve() {
+            SolveResult::Unsat => break,
+            SolveResult::Sat(model) => {
+                let bits: Vec<bool> = proj.iter().map(|v| model.value(v.0)).collect();
+                // Block this projection assignment.
+                let blocking: Vec<Lit> = proj
+                    .iter()
+                    .zip(&bits)
+                    .map(|(v, &b)| Lit::from_var(*v, !b))
+                    .collect();
+                solutions.push(bits);
+                if !solver.add_clause(blocking) {
+                    break; // blocked everything
+                }
+            }
+        }
+    }
+
+    Enumeration {
+        solutions,
+        truncated,
+    }
+}
+
+/// Convenience wrapper: enumerate with no explicit projection and no limit.
+pub fn enumerate_all(cnf: &Cnf) -> Enumeration {
+    enumerate_projected(cnf, &[], &EnumerateConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Cnf, Lit};
+    use crate::expr::{BoolExpr, TseitinEncoder};
+
+    #[test]
+    fn enumerates_all_models_of_small_cnf() {
+        // (x0 | x1) over 2 vars has 3 models.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        let e = enumerate_all(&cnf);
+        assert_eq!(e.len(), 3);
+        assert!(!e.truncated);
+    }
+
+    #[test]
+    fn unconstrained_vars_enumerate_fully() {
+        let cnf = Cnf::new(3);
+        let e = enumerate_all(&cnf);
+        assert_eq!(e.len(), 8);
+    }
+
+    #[test]
+    fn respects_max_solutions() {
+        let cnf = Cnf::new(4);
+        let e = enumerate_projected(
+            &cnf,
+            &[],
+            &EnumerateConfig { max_solutions: 5 },
+        );
+        assert_eq!(e.len(), 5);
+        assert!(e.truncated);
+    }
+
+    #[test]
+    fn projection_collapses_auxiliary_vars() {
+        // Encode x0 | x1 via Tseitin (introduces aux vars), then enumerate
+        // projected onto the primaries only: still exactly 3 solutions.
+        let e = BoolExpr::or2(BoolExpr::var(0), BoolExpr::var(1));
+        let mut enc = TseitinEncoder::new(2);
+        enc.assert(&e);
+        let cnf = enc.into_cnf();
+        assert!(cnf.num_vars() > 2);
+        let en = enumerate_projected(&cnf, &[], &EnumerateConfig::default());
+        assert_eq!(en.len(), 3);
+    }
+
+    #[test]
+    fn unsat_formula_enumerates_nothing() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::neg(0)]);
+        let e = enumerate_all(&cnf);
+        assert!(e.is_empty());
+        assert!(!e.truncated);
+    }
+
+    #[test]
+    fn solutions_are_distinct() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1), Lit::pos(2), Lit::pos(3)]);
+        let e = enumerate_all(&cnf);
+        assert_eq!(e.len(), 15);
+        let mut set = std::collections::HashSet::new();
+        for s in &e.solutions {
+            assert!(set.insert(s.clone()), "duplicate solution {s:?}");
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Boolean expression AST and Tseitin CNF encoding.
+//!
+//! The relational-logic translation in the `relspec` crate produces arbitrary
+//! boolean expressions over the *primary* variables (the adjacency-matrix
+//! bits). [`TseitinEncoder`] turns such an expression into CNF, introducing
+//! one auxiliary variable per compound sub-expression. Because every
+//! auxiliary variable is functionally determined by the primary variables,
+//! model counts *projected onto the primary variables* are preserved, which
+//! is exactly the property the model counters in `modelcount` rely on.
+
+use crate::cnf::{Cnf, Lit, Var};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A boolean expression over variables identified by `u32` indices.
+///
+/// Sub-expressions are reference counted so shared sub-formulas (common in
+/// quantifier expansions) are encoded only once by the Tseitin encoder.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BoolExpr {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A propositional variable.
+    Var(u32),
+    /// Negation.
+    Not(Rc<BoolExpr>),
+    /// N-ary conjunction.
+    And(Vec<Rc<BoolExpr>>),
+    /// N-ary disjunction.
+    Or(Vec<Rc<BoolExpr>>),
+    /// Implication `lhs => rhs`.
+    Implies(Rc<BoolExpr>, Rc<BoolExpr>),
+    /// Bi-implication `lhs <=> rhs`.
+    Iff(Rc<BoolExpr>, Rc<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// A variable expression.
+    pub fn var(index: u32) -> Rc<BoolExpr> {
+        Rc::new(BoolExpr::Var(index))
+    }
+
+    /// The constant true expression.
+    pub fn tru() -> Rc<BoolExpr> {
+        Rc::new(BoolExpr::True)
+    }
+
+    /// The constant false expression.
+    pub fn fls() -> Rc<BoolExpr> {
+        Rc::new(BoolExpr::False)
+    }
+
+    /// Negation with constant folding and double-negation elimination.
+    pub fn not(e: Rc<BoolExpr>) -> Rc<BoolExpr> {
+        match &*e {
+            BoolExpr::True => BoolExpr::fls(),
+            BoolExpr::False => BoolExpr::tru(),
+            BoolExpr::Not(inner) => Rc::clone(inner),
+            _ => Rc::new(BoolExpr::Not(e)),
+        }
+    }
+
+    /// N-ary conjunction with constant folding and flattening.
+    pub fn and(es: Vec<Rc<BoolExpr>>) -> Rc<BoolExpr> {
+        let mut flat = Vec::with_capacity(es.len());
+        for e in es {
+            match &*e {
+                BoolExpr::True => {}
+                BoolExpr::False => return BoolExpr::fls(),
+                BoolExpr::And(inner) => flat.extend(inner.iter().cloned()),
+                _ => flat.push(e),
+            }
+        }
+        match flat.len() {
+            0 => BoolExpr::tru(),
+            1 => flat.pop().expect("length checked"),
+            _ => Rc::new(BoolExpr::And(flat)),
+        }
+    }
+
+    /// N-ary disjunction with constant folding and flattening.
+    pub fn or(es: Vec<Rc<BoolExpr>>) -> Rc<BoolExpr> {
+        let mut flat = Vec::with_capacity(es.len());
+        for e in es {
+            match &*e {
+                BoolExpr::False => {}
+                BoolExpr::True => return BoolExpr::tru(),
+                BoolExpr::Or(inner) => flat.extend(inner.iter().cloned()),
+                _ => flat.push(e),
+            }
+        }
+        match flat.len() {
+            0 => BoolExpr::fls(),
+            1 => flat.pop().expect("length checked"),
+            _ => Rc::new(BoolExpr::Or(flat)),
+        }
+    }
+
+    /// Binary conjunction.
+    pub fn and2(a: Rc<BoolExpr>, b: Rc<BoolExpr>) -> Rc<BoolExpr> {
+        BoolExpr::and(vec![a, b])
+    }
+
+    /// Binary disjunction.
+    pub fn or2(a: Rc<BoolExpr>, b: Rc<BoolExpr>) -> Rc<BoolExpr> {
+        BoolExpr::or(vec![a, b])
+    }
+
+    /// Implication with constant folding.
+    pub fn implies(lhs: Rc<BoolExpr>, rhs: Rc<BoolExpr>) -> Rc<BoolExpr> {
+        match (&*lhs, &*rhs) {
+            (BoolExpr::False, _) | (_, BoolExpr::True) => BoolExpr::tru(),
+            (BoolExpr::True, _) => rhs,
+            (_, BoolExpr::False) => BoolExpr::not(lhs),
+            _ => Rc::new(BoolExpr::Implies(lhs, rhs)),
+        }
+    }
+
+    /// Bi-implication with constant folding.
+    pub fn iff(lhs: Rc<BoolExpr>, rhs: Rc<BoolExpr>) -> Rc<BoolExpr> {
+        match (&*lhs, &*rhs) {
+            (BoolExpr::True, _) => rhs,
+            (_, BoolExpr::True) => lhs,
+            (BoolExpr::False, _) => BoolExpr::not(rhs),
+            (_, BoolExpr::False) => BoolExpr::not(lhs),
+            _ => Rc::new(BoolExpr::Iff(lhs, rhs)),
+        }
+    }
+
+    /// Evaluates the expression under a total assignment indexed by variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range of `assignment`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            BoolExpr::True => true,
+            BoolExpr::False => false,
+            BoolExpr::Var(v) => assignment[*v as usize],
+            BoolExpr::Not(e) => !e.eval(assignment),
+            BoolExpr::And(es) => es.iter().all(|e| e.eval(assignment)),
+            BoolExpr::Or(es) => es.iter().any(|e| e.eval(assignment)),
+            BoolExpr::Implies(a, b) => !a.eval(assignment) || b.eval(assignment),
+            BoolExpr::Iff(a, b) => a.eval(assignment) == b.eval(assignment),
+        }
+    }
+
+    /// The largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<u32> {
+        match self {
+            BoolExpr::True | BoolExpr::False => None,
+            BoolExpr::Var(v) => Some(*v),
+            BoolExpr::Not(e) => e.max_var(),
+            BoolExpr::And(es) | BoolExpr::Or(es) => es.iter().filter_map(|e| e.max_var()).max(),
+            BoolExpr::Implies(a, b) | BoolExpr::Iff(a, b) => a.max_var().max(b.max_var()),
+        }
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::True => write!(f, "true"),
+            BoolExpr::False => write!(f, "false"),
+            BoolExpr::Var(v) => write!(f, "x{v}"),
+            BoolExpr::Not(e) => write!(f, "!({e})"),
+            BoolExpr::And(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            BoolExpr::Or(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            BoolExpr::Implies(a, b) => write!(f, "({a} => {b})"),
+            BoolExpr::Iff(a, b) => write!(f, "({a} <=> {b})"),
+        }
+    }
+}
+
+/// Tseitin encoder: converts [`BoolExpr`] trees into CNF.
+///
+/// The encoder is seeded with the number of *primary* variables; auxiliary
+/// variables introduced for compound sub-expressions are allocated after the
+/// primary block, so the primary variables keep their indices and can be used
+/// directly as the projection set for model counting.
+#[derive(Debug)]
+pub struct TseitinEncoder {
+    cnf: Cnf,
+    num_primary: usize,
+    cache: HashMap<*const BoolExpr, Lit>,
+    const_true: Option<Lit>,
+}
+
+impl TseitinEncoder {
+    /// Creates an encoder over `num_primary` primary variables.
+    pub fn new(num_primary: usize) -> Self {
+        let mut cnf = Cnf::new(num_primary);
+        cnf.set_projection((0..num_primary as u32).map(Var).collect());
+        TseitinEncoder {
+            cnf,
+            num_primary,
+            cache: HashMap::new(),
+            const_true: None,
+        }
+    }
+
+    /// Number of primary variables.
+    pub fn num_primary(&self) -> usize {
+        self.num_primary
+    }
+
+    /// Encodes the expression and returns a literal that is logically
+    /// equivalent to it (given the defining clauses added to the CNF).
+    pub fn encode(&mut self, expr: &Rc<BoolExpr>) -> Lit {
+        if let Some(&l) = self.cache.get(&Rc::as_ptr(expr)) {
+            return l;
+        }
+        let lit = match &**expr {
+            BoolExpr::True => self.true_lit(),
+            BoolExpr::False => !self.true_lit(),
+            BoolExpr::Var(v) => {
+                assert!(
+                    (*v as usize) < self.num_primary,
+                    "primary variable x{v} out of declared range {}",
+                    self.num_primary
+                );
+                Lit::pos(*v)
+            }
+            BoolExpr::Not(inner) => !self.encode(inner),
+            BoolExpr::And(es) => {
+                let lits: Vec<Lit> = es.iter().map(|e| self.encode(e)).collect();
+                self.define_and(&lits)
+            }
+            BoolExpr::Or(es) => {
+                let lits: Vec<Lit> = es.iter().map(|e| self.encode(e)).collect();
+                let neg: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                !self.define_and(&neg)
+            }
+            BoolExpr::Implies(a, b) => {
+                let la = self.encode(a);
+                let lb = self.encode(b);
+                let neg = [la, !lb];
+                !self.define_and(&neg)
+            }
+            BoolExpr::Iff(a, b) => {
+                let la = self.encode(a);
+                let lb = self.encode(b);
+                self.define_iff(la, lb)
+            }
+        };
+        self.cache.insert(Rc::as_ptr(expr), lit);
+        lit
+    }
+
+    /// Encodes the expression and asserts it (adds a unit clause on its
+    /// defining literal). Returns the asserted literal.
+    pub fn assert(&mut self, expr: &Rc<BoolExpr>) -> Lit {
+        let l = self.encode(expr);
+        self.cnf.add_unit(l);
+        l
+    }
+
+    /// Encodes the expression and asserts its negation.
+    pub fn assert_not(&mut self, expr: &Rc<BoolExpr>) -> Lit {
+        let l = self.encode(expr);
+        self.cnf.add_unit(!l);
+        !l
+    }
+
+    /// Finishes encoding and returns the CNF (with the primary variables as
+    /// its projection set).
+    pub fn into_cnf(self) -> Cnf {
+        self.cnf
+    }
+
+    /// Read-only access to the CNF built so far.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// Adds an arbitrary clause over already-allocated variables.
+    pub fn add_clause(&mut self, lits: Vec<Lit>) {
+        self.cnf.add_clause(lits);
+    }
+
+    fn true_lit(&mut self) -> Lit {
+        if let Some(l) = self.const_true {
+            return l;
+        }
+        let v = self.cnf.new_var();
+        let l = v.pos();
+        self.cnf.add_unit(l);
+        self.const_true = Some(l);
+        l
+    }
+
+    /// Introduces `a <=> (l1 & l2 & ... & lk)` and returns `a`.
+    fn define_and(&mut self, lits: &[Lit]) -> Lit {
+        match lits.len() {
+            0 => self.true_lit(),
+            1 => lits[0],
+            _ => {
+                let a = self.cnf.new_var().pos();
+                // a => li for each i
+                for &l in lits {
+                    self.cnf.add_clause(vec![!a, l]);
+                }
+                // (l1 & ... & lk) => a
+                let mut big: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                big.push(a);
+                self.cnf.add_clause(big);
+                a
+            }
+        }
+    }
+
+    /// Introduces `a <=> (p <=> q)` and returns `a`.
+    fn define_iff(&mut self, p: Lit, q: Lit) -> Lit {
+        let a = self.cnf.new_var().pos();
+        self.cnf.add_clause(vec![!a, !p, q]);
+        self.cnf.add_clause(vec![!a, p, !q]);
+        self.cnf.add_clause(vec![a, !p, !q]);
+        self.cnf.add_clause(vec![a, p, q]);
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force check that for every assignment to the primary variables,
+    /// the expression is satisfied iff the Tseitin CNF (with the root
+    /// asserted) has an extension to the auxiliary variables.
+    fn check_equisat_projected(expr: &Rc<BoolExpr>, num_primary: usize) {
+        use crate::solver::{SolveResult, Solver};
+        let mut enc = TseitinEncoder::new(num_primary);
+        enc.assert(expr);
+        let cnf = enc.into_cnf();
+        for bits in 0..(1u32 << num_primary) {
+            let assignment: Vec<bool> = (0..num_primary).map(|i| bits >> i & 1 == 1).collect();
+            let expected = expr.eval(&assignment);
+            let mut solver = Solver::from_cnf(&cnf);
+            let assumptions: Vec<Lit> = (0..num_primary as u32)
+                .map(|v| Lit::from_var(Var(v), assignment[v as usize]))
+                .collect();
+            let got = matches!(
+                solver.solve_with_assumptions(&assumptions),
+                SolveResult::Sat(_)
+            );
+            assert_eq!(got, expected, "mismatch at assignment {assignment:?} for {expr}");
+        }
+    }
+
+    #[test]
+    fn constant_folding() {
+        let t = BoolExpr::tru();
+        let f = BoolExpr::fls();
+        assert_eq!(*BoolExpr::not(t.clone()), BoolExpr::False);
+        assert_eq!(*BoolExpr::and(vec![t.clone(), f.clone()]), BoolExpr::False);
+        assert_eq!(*BoolExpr::or(vec![t.clone(), f.clone()]), BoolExpr::True);
+        assert_eq!(*BoolExpr::implies(f.clone(), t.clone()), BoolExpr::True);
+        let x = BoolExpr::var(0);
+        assert_eq!(*BoolExpr::iff(t, x.clone()), *x);
+        assert_eq!(*BoolExpr::not(BoolExpr::not(x.clone())), *x);
+    }
+
+    #[test]
+    fn and_or_flattening() {
+        let x = BoolExpr::var(0);
+        let y = BoolExpr::var(1);
+        let z = BoolExpr::var(2);
+        let inner = BoolExpr::and(vec![x.clone(), y.clone()]);
+        let nested = BoolExpr::and(vec![inner, z.clone()]);
+        match &*nested {
+            BoolExpr::And(es) => assert_eq!(es.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let x = BoolExpr::var(0);
+        let y = BoolExpr::var(1);
+        let e = BoolExpr::iff(
+            BoolExpr::implies(x.clone(), y.clone()),
+            BoolExpr::or2(BoolExpr::not(x.clone()), y.clone()),
+        );
+        for a in [[false, false], [false, true], [true, false], [true, true]] {
+            assert!(e.eval(&a), "implication/or equivalence must be valid");
+        }
+    }
+
+    #[test]
+    fn tseitin_preserves_projected_semantics_small() {
+        let x = BoolExpr::var(0);
+        let y = BoolExpr::var(1);
+        let z = BoolExpr::var(2);
+        let e = BoolExpr::or(vec![
+            BoolExpr::and(vec![x.clone(), BoolExpr::not(y.clone())]),
+            BoolExpr::iff(y.clone(), z.clone()),
+            BoolExpr::implies(z.clone(), x.clone()),
+        ]);
+        check_equisat_projected(&e, 3);
+    }
+
+    #[test]
+    fn tseitin_constants() {
+        let e = BoolExpr::and(vec![BoolExpr::tru(), BoolExpr::var(0)]);
+        check_equisat_projected(&e, 1);
+        let e2 = BoolExpr::or(vec![BoolExpr::fls(), BoolExpr::var(0)]);
+        check_equisat_projected(&e2, 1);
+    }
+
+    #[test]
+    fn tseitin_projection_is_primary_block() {
+        let e = BoolExpr::and(vec![BoolExpr::var(0), BoolExpr::var(3)]);
+        let mut enc = TseitinEncoder::new(4);
+        enc.assert(&e);
+        let cnf = enc.into_cnf();
+        assert_eq!(cnf.projection().len(), 4);
+        assert!(cnf.num_vars() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of declared range")]
+    fn tseitin_rejects_out_of_range_primary() {
+        let mut enc = TseitinEncoder::new(1);
+        enc.encode(&BoolExpr::var(3));
+    }
+
+    #[test]
+    fn max_var() {
+        let e = BoolExpr::or2(BoolExpr::var(2), BoolExpr::not(BoolExpr::var(7)));
+        assert_eq!(e.max_var(), Some(7));
+        assert_eq!(BoolExpr::tru().max_var(), None);
+    }
+}

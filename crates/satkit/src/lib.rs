@@ -1,0 +1,46 @@
+//! # satkit
+//!
+//! Propositional-logic substrate for the MCML reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`cnf`] — variables, literals, clauses and CNF formulas;
+//! * [`expr`] — a small boolean-expression AST together with a Tseitin
+//!   encoder that turns arbitrary expressions into CNF while keeping track of
+//!   *primary* (projection) variables;
+//! * [`dimacs`] — DIMACS CNF reading/writing, including `c ind` projection
+//!   lines as used by projected model counters;
+//! * [`solver`] — a CDCL SAT solver (two-watched literals, VSIDS, first-UIP
+//!   learning, Luby restarts, phase saving, assumptions);
+//! * [`enumerate`] — all-solutions enumeration over a projection set using
+//!   blocking clauses;
+//! * [`xor`] — CNF encodings of parity (XOR) constraints, used by the
+//!   hashing-based approximate model counter.
+//!
+//! # Example
+//!
+//! ```
+//! use satkit::cnf::{Cnf, Lit};
+//! use satkit::solver::{Solver, SolveResult};
+//!
+//! // (x0 or x1) and (!x0 or x1) forces x1 = true.
+//! let mut cnf = Cnf::new(2);
+//! cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+//! cnf.add_clause(vec![Lit::neg(0), Lit::pos(1)]);
+//! let mut solver = Solver::from_cnf(&cnf);
+//! match solver.solve() {
+//!     SolveResult::Sat(model) => assert!(model.value(1)),
+//!     SolveResult::Unsat => unreachable!("formula is satisfiable"),
+//! }
+//! ```
+
+pub mod cnf;
+pub mod dimacs;
+pub mod enumerate;
+pub mod expr;
+pub mod solver;
+pub mod xor;
+
+pub use cnf::{Clause, Cnf, Lit, Var};
+pub use expr::{BoolExpr, TseitinEncoder};
+pub use solver::{Model, SolveResult, Solver};

@@ -1,0 +1,177 @@
+//! Indexed max-heap over variable activities (VSIDS order).
+//!
+//! The heap keeps every variable's position so that activity bumps can sift
+//! the variable up in `O(log n)` without a search.
+
+/// A binary max-heap over variables keyed by activity.
+#[derive(Debug, Clone)]
+pub struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<usize>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    position: Vec<usize>,
+    /// Activity of each variable.
+    activity: Vec<f64>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// Creates a heap containing all `num_vars` variables with zero activity.
+    pub fn new(num_vars: usize) -> Self {
+        let mut h = VarHeap {
+            heap: Vec::with_capacity(num_vars),
+            position: vec![ABSENT; num_vars],
+            activity: vec![0.0; num_vars],
+        };
+        for v in 0..num_vars {
+            h.insert(v);
+        }
+        h
+    }
+
+    /// The activity of a variable.
+    pub fn activity(&self, var: usize) -> f64 {
+        self.activity[var]
+    }
+
+    /// Whether the variable is currently in the heap.
+    pub fn contains(&self, var: usize) -> bool {
+        self.position[var] != ABSENT
+    }
+
+    /// Number of variables currently in the heap.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Inserts a variable (no-op if already present).
+    pub fn insert(&mut self, var: usize) {
+        if self.contains(var) {
+            return;
+        }
+        self.position[var] = self.heap.len();
+        self.heap.push(var);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub fn pop_max(&mut self) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        self.position[self.heap[0]] = 0;
+        self.heap.pop();
+        self.position[top] = ABSENT;
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    /// Increases a variable's activity by `amount` and restores heap order.
+    pub fn bump(&mut self, var: usize, amount: f64) {
+        self.activity[var] += amount;
+        if self.contains(var) {
+            self.sift_up(self.position[var]);
+        }
+    }
+
+    /// Multiplies all activities by `factor` (used to avoid overflow).
+    pub fn rescale(&mut self, factor: f64) {
+        for a in &mut self.activity {
+            *a *= factor;
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[i]] <= self.activity[self.heap[parent]] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < self.heap.len() && self.activity[self.heap[l]] > self.activity[self.heap[largest]]
+            {
+                largest = l;
+            }
+            if r < self.heap.len() && self.activity[self.heap[r]] > self.activity[self.heap[largest]]
+            {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i]] = i;
+        self.position[self.heap[j]] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let mut h = VarHeap::new(5);
+        h.bump(2, 10.0);
+        h.bump(0, 5.0);
+        h.bump(4, 7.5);
+        assert_eq!(h.pop_max(), Some(2));
+        assert_eq!(h.pop_max(), Some(4));
+        assert_eq!(h.pop_max(), Some(0));
+        // Remaining variables (1 and 3) have zero activity, order unspecified.
+        let mut rest = vec![h.pop_max().unwrap(), h.pop_max().unwrap()];
+        rest.sort();
+        assert_eq!(rest, vec![1, 3]);
+        assert_eq!(h.pop_max(), None);
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let mut h = VarHeap::new(3);
+        h.bump(1, 3.0);
+        assert_eq!(h.pop_max(), Some(1));
+        assert!(!h.contains(1));
+        h.insert(1);
+        assert!(h.contains(1));
+        assert_eq!(h.pop_max(), Some(1));
+    }
+
+    #[test]
+    fn rescale_preserves_order() {
+        let mut h = VarHeap::new(3);
+        h.bump(0, 100.0);
+        h.bump(1, 50.0);
+        h.rescale(1e-3);
+        assert!(h.activity(0) > h.activity(1));
+        assert_eq!(h.pop_max(), Some(0));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut h = VarHeap::new(2);
+        h.insert(0);
+        h.insert(0);
+        assert_eq!(h.len(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! The Luby restart sequence.
+
+/// Returns `base^(k)` scaled Luby value for restart round `i` (0-based).
+///
+/// The Luby sequence is 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...;
+/// this function returns `base` raised to the Luby exponent, matching the
+/// MiniSat restart schedule.
+pub fn luby(base: f64, mut i: u64) -> f64 {
+    // Find the finite subsequence that contains index i, and its size.
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        i %= size;
+    }
+    base.powi(seq as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 8.0];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(2.0, i as u64), e, "index {i}");
+        }
+    }
+
+    #[test]
+    fn luby_with_unit_base_is_constant() {
+        for i in 0..32 {
+            assert_eq!(luby(1.0, i), 1.0);
+        }
+    }
+}

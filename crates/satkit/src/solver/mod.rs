@@ -1,0 +1,925 @@
+//! A CDCL SAT solver.
+//!
+//! The design follows the MiniSat lineage: two-watched-literal propagation,
+//! first-UIP conflict analysis with clause learning, VSIDS variable
+//! activities managed in an indexed binary heap, phase saving, Luby restarts,
+//! and activity-based deletion of learnt clauses. The solver supports
+//! incremental use with assumption literals, which is how the enumerator and
+//! the model counters drive it.
+
+mod heap;
+mod luby;
+
+pub use luby::luby;
+
+use crate::cnf::{Cnf, Lit, Var};
+use heap::VarHeap;
+
+/// Three-valued assignment state of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+/// Index of a clause in the solver's clause database.
+type ClauseRef = usize;
+
+#[derive(Debug)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: ClauseRef,
+    /// The *other* watched literal, used as a fast pre-check ("blocker").
+    blocker: Lit,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VarData {
+    reason: Option<ClauseRef>,
+    level: usize,
+}
+
+/// A satisfying assignment returned by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// The value of variable `var` in the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn value(&self, var: u32) -> bool {
+        self.values[var as usize]
+    }
+
+    /// The value of a literal in the model.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        lit.eval(self.values[lit.var().index()])
+    }
+
+    /// The underlying assignment, indexed by variable.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Number of variables covered by the model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model covers zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// The formula is satisfiable; a model is provided.
+    Sat(Model),
+    /// The formula is unsatisfiable (under the given assumptions, if any).
+    Unsat,
+}
+
+impl SolveResult {
+    /// Whether the result is satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// Extracts the model if satisfiable.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+}
+
+/// Runtime statistics of a [`Solver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+}
+
+/// A CDCL SAT solver over a fixed set of variables.
+#[derive(Debug)]
+pub struct Solver {
+    num_vars: usize,
+    clauses: Vec<ClauseData>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    vardata: Vec<VarData>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    order_heap: VarHeap,
+    var_inc: f64,
+    var_decay: f64,
+    cla_inc: f64,
+    cla_decay: f64,
+    ok: bool,
+    seen: Vec<bool>,
+    stats: SolverStats,
+    num_learnts: usize,
+}
+
+impl Solver {
+    /// Creates a solver over `num_vars` variables with no clauses.
+    pub fn new(num_vars: usize) -> Self {
+        let solver = Solver {
+            num_vars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); num_vars * 2],
+            assigns: vec![LBool::Undef; num_vars],
+            polarity: vec![false; num_vars],
+            vardata: vec![
+                VarData {
+                    reason: None,
+                    level: 0
+                };
+                num_vars
+            ],
+            trail: Vec::with_capacity(num_vars),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            order_heap: VarHeap::new(num_vars),
+            var_inc: 1.0,
+            var_decay: 0.95,
+            cla_inc: 1.0,
+            cla_decay: 0.999,
+            ok: true,
+            seen: vec![false; num_vars],
+            stats: SolverStats::default(),
+            num_learnts: 0,
+        };
+        debug_assert_eq!(solver.order_heap.len(), num_vars);
+        solver
+    }
+
+    /// Creates a solver pre-loaded with all clauses of a CNF formula.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut s = Solver::new(cnf.num_vars());
+        for c in cnf.clauses() {
+            s.add_clause(c.lits().to_vec());
+        }
+        s
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Whether the clause database is already known to be unsatisfiable.
+    pub fn is_trivially_unsat(&self) -> bool {
+        !self.ok
+    }
+
+    /// Adds a clause. Returns `false` if the clause database became
+    /// unsatisfiable (e.g. by adding an empty clause or conflicting units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal refers to a variable outside the solver.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "clauses may only be added at decision level 0"
+        );
+        if !self.ok {
+            return false;
+        }
+        for l in &lits {
+            assert!(l.var().index() < self.num_vars, "literal {l} out of range");
+        }
+        // Normalize: sort, dedup, drop tautologies and false literals.
+        lits.sort();
+        lits.dedup();
+        let mut i = 0;
+        while i + 1 < lits.len() {
+            if lits[i].var() == lits[i + 1].var() {
+                return true; // tautology: l and !l
+            }
+            i += 1;
+        }
+        lits.retain(|&l| self.lit_value(l) != LBool::False);
+        if lits.iter().any(|&l| self.lit_value(l) == LBool::True) {
+            return true; // already satisfied at level 0
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(lits[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(lits, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len();
+        let w0 = Watcher {
+            clause: cref,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            clause: cref,
+            blocker: lits[0],
+        };
+        self.watches[(!lits[0]).code()].push(w0);
+        self.watches[(!lits[1]).code()].push(w1);
+        if learnt {
+            self.num_learnts += 1;
+            self.stats.learnt_clauses = self.num_learnts as u64;
+        }
+        self.clauses.push(ClauseData {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
+        cref
+    }
+
+    fn lit_value(&self, lit: Lit) -> LBool {
+        match self.assigns[lit.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if lit.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if lit.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(lit), LBool::Undef);
+        let v = lit.var().index();
+        self.assigns[v] = LBool::from_bool(lit.is_positive());
+        self.vardata[v] = VarData {
+            reason,
+            level: self.decision_level(),
+        };
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation; returns the conflicting clause if a conflict occurs.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let watchers = std::mem::take(&mut self.watches[p.code()]);
+            let mut kept: Vec<Watcher> = Vec::with_capacity(watchers.len());
+            let mut idx = 0;
+            while idx < watchers.len() {
+                let w = watchers[idx];
+                idx += 1;
+                if self.clauses[w.clause].deleted {
+                    continue;
+                }
+                // Fast path: blocker already satisfied.
+                if self.lit_value(w.blocker) == LBool::True {
+                    kept.push(w);
+                    continue;
+                }
+                let cref = w.clause;
+                // Make sure the false literal is at position 1.
+                let false_lit = !p;
+                {
+                    let lits = &mut self.clauses[cref].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    kept.push(Watcher {
+                        clause: cref,
+                        blocker: first,
+                    });
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut new_watch = None;
+                for k in 2..self.clauses[cref].lits.len() {
+                    let l = self.clauses[cref].lits[k];
+                    if self.lit_value(l) != LBool::False {
+                        new_watch = Some(k);
+                        break;
+                    }
+                }
+                match new_watch {
+                    Some(k) => {
+                        self.clauses[cref].lits.swap(1, k);
+                        let new_lit = self.clauses[cref].lits[1];
+                        self.watches[(!new_lit).code()].push(Watcher {
+                            clause: cref,
+                            blocker: first,
+                        });
+                    }
+                    None => {
+                        // Clause is unit or conflicting.
+                        kept.push(Watcher {
+                            clause: cref,
+                            blocker: first,
+                        });
+                        if self.lit_value(first) == LBool::False {
+                            // Conflict: keep remaining watchers and stop.
+                            conflict = Some(cref);
+                            self.qhead = self.trail.len();
+                            kept.extend_from_slice(&watchers[idx..]);
+                            break;
+                        } else {
+                            self.unchecked_enqueue(first, Some(cref));
+                        }
+                    }
+                }
+            }
+            self.watches[p.code()] = kept;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn var_bump_activity(&mut self, var: usize) {
+        self.order_heap.bump(var, self.var_inc);
+        if self.order_heap.activity(var) > 1e100 {
+            self.order_heap.rescale(1e-100);
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn var_decay_activity(&mut self) {
+        self.var_inc /= self.var_decay;
+    }
+
+    fn cla_bump_activity(&mut self, cref: ClauseRef) {
+        self.clauses[cref].activity += self.cla_inc;
+        if self.clauses[cref].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn cla_decay_activity(&mut self) {
+        self.cla_inc /= self.cla_decay;
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(0)]; // placeholder for asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = conflict;
+
+        loop {
+            self.cla_bump_activity(cref);
+            let start = usize::from(p.is_some());
+            // Clone literals to appease the borrow checker; clauses are short.
+            let lits = self.clauses[cref].lits.clone();
+            for &q in &lits[start..] {
+                let v = q.var().index();
+                if !self.seen[v] && self.vardata[v].level > 0 {
+                    self.seen[v] = true;
+                    self.var_bump_activity(v);
+                    if self.vardata[v].level >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to expand from the trail.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("p set above").var().index();
+            self.seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("p set above");
+                break;
+            }
+            cref = self.vardata[pv]
+                .reason
+                .expect("non-decision literal must have a reason");
+        }
+
+        // Simple clause minimization: drop literals implied by the rest.
+        let mut minimized: Vec<Lit> = vec![learnt[0]];
+        for &l in &learnt[1..] {
+            if !self.literal_redundant(l) {
+                minimized.push(l);
+            }
+        }
+
+        // Compute backtrack level = second-highest level in the clause.
+        let backtrack = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.vardata[minimized[i].var().index()].level
+                    > self.vardata[minimized[max_i].var().index()].level
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.vardata[minimized[1].var().index()].level
+        };
+
+        // Clear seen flags.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        (minimized, backtrack)
+    }
+
+    /// A literal is redundant in a learnt clause if its reason clause's other
+    /// literals are all already marked seen (a cheap, local version of
+    /// recursive minimization).
+    fn literal_redundant(&self, lit: Lit) -> bool {
+        let v = lit.var().index();
+        match self.vardata[v].reason {
+            None => false,
+            Some(cref) => self.clauses[cref].lits.iter().all(|&q| {
+                let qv = q.var().index();
+                qv == v || self.seen[qv] || self.vardata[qv].level == 0
+            }),
+        }
+    }
+
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.assigns[v] = LBool::Undef;
+            self.polarity[v] = l.is_positive();
+            self.vardata[v].reason = None;
+            self.order_heap.insert(v);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order_heap.pop_max() {
+            if self.assigns[v] == LBool::Undef {
+                return Some(Var(v as u32));
+            }
+        }
+        None
+    }
+
+    /// Deletes roughly half of the learnt clauses, keeping the most active.
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<ClauseRef> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2)
+            .map(|(i, _)| i)
+            .collect();
+        if learnt_refs.len() < 2 {
+            return;
+        }
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<bool> = learnt_refs
+            .iter()
+            .map(|&cref| {
+                let first = self.clauses[cref].lits[0];
+                self.vardata[first.var().index()].reason == Some(cref)
+                    && self.lit_value(first) == LBool::True
+            })
+            .collect();
+        let half = learnt_refs.len() / 2;
+        for (i, &cref) in learnt_refs.iter().enumerate().take(half) {
+            if !locked[i] {
+                self.clauses[cref].deleted = true;
+                self.num_learnts = self.num_learnts.saturating_sub(1);
+            }
+        }
+        self.stats.learnt_clauses = self.num_learnts as u64;
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the formula under the given assumption literals.
+    ///
+    /// The assumptions are treated as temporary decisions: the result is
+    /// relative to them, and the solver can be reused afterwards with
+    /// different assumptions.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, u64::MAX)
+            .expect("unlimited solve cannot exhaust its budget")
+    }
+
+    /// Solves under assumptions with a conflict budget. Returns `None` if the
+    /// budget was exhausted before a definitive answer was reached.
+    pub fn solve_limited(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> Option<SolveResult> {
+        if !self.ok {
+            return Some(SolveResult::Unsat);
+        }
+        self.cancel_until(0);
+        let mut restart_round = 0u64;
+        let conflict_start = self.stats.conflicts;
+        let mut max_learnts = (self.clauses.len() as f64 * 0.3).max(1000.0);
+
+        loop {
+            let budget = 100.0 * luby(2.0, restart_round);
+            restart_round += 1;
+            match self.search(assumptions, budget as u64, &mut max_learnts) {
+                SearchOutcome::Sat(m) => {
+                    self.cancel_until(0);
+                    return Some(SolveResult::Sat(m));
+                }
+                SearchOutcome::Unsat => {
+                    self.cancel_until(0);
+                    return Some(SolveResult::Unsat);
+                }
+                SearchOutcome::Restart => {
+                    self.stats.restarts += 1;
+                    if self.stats.conflicts - conflict_start > max_conflicts {
+                        self.cancel_until(0);
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        conflict_budget: u64,
+        max_learnts: &mut f64,
+    ) -> SearchOutcome {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, backtrack) = self.analyze(conflict);
+                // Never backtrack past the assumptions: if the learnt clause
+                // demands it, the assumption set itself may be inconsistent.
+                let assumption_level = assumptions.len().min(self.decision_level());
+                if backtrack < assumption_level {
+                    // Re-check feasibility from scratch below assumption level.
+                    self.cancel_until(backtrack.min(assumption_level));
+                } else {
+                    self.cancel_until(backtrack);
+                }
+                if learnt.len() == 1 {
+                    if self.decision_level() == 0 {
+                        if self.lit_value(learnt[0]) == LBool::False {
+                            self.ok = false;
+                            return SearchOutcome::Unsat;
+                        }
+                        if self.lit_value(learnt[0]) == LBool::Undef {
+                            self.unchecked_enqueue(learnt[0], None);
+                        }
+                    } else {
+                        // Backtracked only to assumption level; enqueue there.
+                        if self.lit_value(learnt[0]) == LBool::Undef {
+                            self.unchecked_enqueue(learnt[0], None);
+                        } else if self.lit_value(learnt[0]) == LBool::False {
+                            return SearchOutcome::Unsat;
+                        }
+                    }
+                } else {
+                    let cref = self.attach_clause(learnt.clone(), true);
+                    self.cla_bump_activity(cref);
+                    if self.lit_value(learnt[0]) == LBool::Undef {
+                        self.unchecked_enqueue(learnt[0], Some(cref));
+                    } else if self.lit_value(learnt[0]) == LBool::False {
+                        // The asserting literal is falsified even after
+                        // backtracking: only possible when constrained by
+                        // assumptions, meaning they are inconsistent.
+                        return SearchOutcome::Unsat;
+                    }
+                }
+                self.var_decay_activity();
+                self.cla_decay_activity();
+                if (self.num_learnts as f64) > *max_learnts {
+                    self.reduce_db();
+                    *max_learnts *= 1.1;
+                }
+            } else {
+                if conflicts_here >= conflict_budget {
+                    self.cancel_until(assumptions.len().min(self.decision_level()));
+                    return SearchOutcome::Restart;
+                }
+                // Apply assumptions as pseudo-decisions first.
+                if self.decision_level() < assumptions.len() {
+                    let a = assumptions[self.decision_level()];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already satisfied: open an empty decision level
+                            // so levels stay aligned with assumption indices.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => return SearchOutcome::Unsat,
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        let values: Vec<bool> = self
+                            .assigns
+                            .iter()
+                            .map(|&a| a == LBool::True)
+                            .collect();
+                        return SearchOutcome::Sat(Model { values });
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        let lit = Lit::from_var(v, self.polarity[v.index()]);
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks whether a total assignment satisfies all (non-deleted, original)
+    /// clauses. Intended for debugging and tests.
+    pub fn verify_model(&self, model: &Model) -> bool {
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .all(|c| c.lits.iter().any(|&l| model.lit_value(l)))
+    }
+}
+
+enum SearchOutcome {
+    Sat(Model),
+    Unsat,
+    Restart,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn trivially_sat_empty() {
+        let mut s = Solver::new(3);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new(4);
+        s.add_clause(vec![lit(1)]);
+        s.add_clause(vec![lit(-1), lit(2)]);
+        s.add_clause(vec![lit(-2), lit(3)]);
+        s.add_clause(vec![lit(-3), lit(4)]);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                assert!(m.value(0) && m.value(1) && m.value(2) && m.value(3));
+            }
+            SolveResult::Unsat => panic!("should be SAT"),
+        }
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let mut s = Solver::new(1);
+        s.add_clause(vec![lit(1)]);
+        let ok = s.add_clause(vec![lit(-1)]);
+        assert!(!ok || !s.solve().is_sat());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new(2);
+        assert!(!s.add_clause(vec![]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: p_{i,h} with i in 0..3, h in 0..2.
+        let var = |i: usize, h: usize| (i * 2 + h) as u32;
+        let mut s = Solver::new(6);
+        for i in 0..3 {
+            s.add_clause(vec![Lit::pos(var(i, 0)), Lit::pos(var(i, 1))]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(vec![Lit::neg(var(i, h)), Lit::neg(var(j, h))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_clauses() {
+        let mut cnf = Cnf::new(5);
+        cnf.add_clause(vec![lit(1), lit(2), lit(-3)]);
+        cnf.add_clause(vec![lit(-1), lit(4)]);
+        cnf.add_clause(vec![lit(3), lit(5)]);
+        cnf.add_clause(vec![lit(-2), lit(-4), lit(5)]);
+        let mut s = Solver::from_cnf(&cnf);
+        match s.solve() {
+            SolveResult::Sat(m) => assert!(cnf.eval(m.values())),
+            SolveResult::Unsat => panic!("should be SAT"),
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = Solver::new(2);
+        s.add_clause(vec![lit(1), lit(2)]);
+        assert!(s.solve_with_assumptions(&[lit(-1)]).is_sat());
+        assert!(s.solve_with_assumptions(&[lit(-1), lit(-2)]) == SolveResult::Unsat);
+        // Solver remains usable after an UNSAT-under-assumptions call.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_respected_in_model() {
+        let mut s = Solver::new(3);
+        s.add_clause(vec![lit(1), lit(2), lit(3)]);
+        match s.solve_with_assumptions(&[lit(-1), lit(-2)]) {
+            SolveResult::Sat(m) => {
+                assert!(!m.value(0));
+                assert!(!m.value(1));
+                assert!(m.value(2));
+            }
+            SolveResult::Unsat => panic!("should be SAT"),
+        }
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..60 {
+            let n = rng.gen_range(3..=8);
+            let m = rng.gen_range(2..=24);
+            let mut cnf = Cnf::new(n);
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = rng.gen_range(0..n) as u32;
+                    c.push(if rng.gen_bool(0.5) {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    });
+                }
+                cnf.add_clause(c);
+            }
+            let brute_sat = (0..(1u32 << n)).any(|bits| {
+                let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                cnf.eval(&a)
+            });
+            let mut s = Solver::from_cnf(&cnf);
+            let got = s.solve();
+            assert_eq!(got.is_sat(), brute_sat, "cnf: {cnf}");
+            if let SolveResult::Sat(m) = got {
+                assert!(cnf.eval(m.values()));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_limited_small_budget_returns_none_or_answer() {
+        // A moderately hard pigeonhole instance: 6 pigeons into 5 holes.
+        let n_p = 6usize;
+        let n_h = 5usize;
+        let var = |i: usize, h: usize| (i * n_h + h) as u32;
+        let mut s = Solver::new(n_p * n_h);
+        for i in 0..n_p {
+            let c: Vec<Lit> = (0..n_h).map(|h| Lit::pos(var(i, h))).collect();
+            s.add_clause(c);
+        }
+        for h in 0..n_h {
+            for i in 0..n_p {
+                for j in (i + 1)..n_p {
+                    s.add_clause(vec![Lit::neg(var(i, h)), Lit::neg(var(j, h))]);
+                }
+            }
+        }
+        // With an unlimited budget this is UNSAT; with a tiny budget the
+        // solver may give up, but must never claim SAT.
+        match s.solve_limited(&[], 5) {
+            None => {}
+            Some(r) => assert_eq!(r, SolveResult::Unsat),
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! CNF encodings of XOR (parity) constraints.
+//!
+//! The approximate model counter partitions the projected solution space into
+//! cells by conjoining random parity constraints `x_{i1} ^ ... ^ x_{ik} = b`.
+//! Long parity constraints are chained through auxiliary variables so that
+//! each emitted XOR has at most three inputs, keeping the clause count linear
+//! in the constraint length. Auxiliary variables are functionally determined
+//! by the constraint's inputs, so projected model counts are unaffected.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// A parity constraint: the XOR of `vars` must equal `parity`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorConstraint {
+    /// Variables participating in the parity constraint.
+    pub vars: Vec<Var>,
+    /// Required parity of the sum (true = odd).
+    pub parity: bool,
+}
+
+impl XorConstraint {
+    /// Creates a parity constraint.
+    pub fn new(vars: Vec<Var>, parity: bool) -> Self {
+        XorConstraint { vars, parity }
+    }
+
+    /// Evaluates the constraint under a total assignment indexed by variable.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        let sum = self
+            .vars
+            .iter()
+            .filter(|v| assignment[v.index()])
+            .count();
+        (sum % 2 == 1) == self.parity
+    }
+}
+
+/// Adds the CNF encoding of `constraint` to `cnf`, allocating auxiliary
+/// variables in `cnf` as needed.
+///
+/// An empty constraint with odd parity makes the formula unsatisfiable (an
+/// empty clause is added); with even parity it is a no-op.
+pub fn add_xor_constraint(cnf: &mut Cnf, constraint: &XorConstraint) {
+    match constraint.vars.len() {
+        0 => {
+            if constraint.parity {
+                cnf.add_clause(Vec::<Lit>::new());
+            }
+        }
+        1 => {
+            let v = constraint.vars[0];
+            cnf.add_unit(Lit::from_var(v, constraint.parity));
+        }
+        _ => {
+            // Chain: acc_0 = v_0, acc_i = acc_{i-1} ^ v_i, assert acc_last = parity.
+            let mut acc = Lit::from_var(constraint.vars[0], true);
+            for &v in &constraint.vars[1..] {
+                let out = cnf.new_var().pos();
+                encode_xor2(cnf, acc, Lit::from_var(v, true), out);
+                acc = out;
+            }
+            cnf.add_unit(if constraint.parity { acc } else { !acc });
+        }
+    }
+}
+
+/// Adds clauses asserting `out <=> (a ^ b)`.
+fn encode_xor2(cnf: &mut Cnf, a: Lit, b: Lit, out: Lit) {
+    cnf.add_clause(vec![!out, a, b]);
+    cnf.add_clause(vec![!out, !a, !b]);
+    cnf.add_clause(vec![out, !a, b]);
+    cnf.add_clause(vec![out, a, !b]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate_projected, EnumerateConfig};
+
+    fn count_projected(cnf: &Cnf, proj: &[Var]) -> usize {
+        enumerate_projected(cnf, proj, &EnumerateConfig::default()).len()
+    }
+
+    #[test]
+    fn xor_of_two_vars_halves_space() {
+        let mut cnf = Cnf::new(2);
+        add_xor_constraint(&mut cnf, &XorConstraint::new(vec![Var(0), Var(1)], true));
+        let proj = [Var(0), Var(1)];
+        assert_eq!(count_projected(&cnf, &proj), 2);
+    }
+
+    #[test]
+    fn xor_of_three_vars_even_parity() {
+        let mut cnf = Cnf::new(3);
+        add_xor_constraint(
+            &mut cnf,
+            &XorConstraint::new(vec![Var(0), Var(1), Var(2)], false),
+        );
+        let proj = [Var(0), Var(1), Var(2)];
+        let sols = enumerate_projected(&cnf, &proj, &EnumerateConfig::default());
+        assert_eq!(sols.len(), 4);
+        for s in &sols.solutions {
+            let ones = s.iter().filter(|&&b| b).count();
+            assert_eq!(ones % 2, 0);
+        }
+    }
+
+    #[test]
+    fn single_var_constraint_is_unit() {
+        let mut cnf = Cnf::new(1);
+        add_xor_constraint(&mut cnf, &XorConstraint::new(vec![Var(0)], true));
+        assert_eq!(count_projected(&cnf, &[Var(0)]), 1);
+    }
+
+    #[test]
+    fn empty_constraint_odd_parity_is_unsat() {
+        let mut cnf = Cnf::new(1);
+        add_xor_constraint(&mut cnf, &XorConstraint::new(vec![], true));
+        assert_eq!(count_projected(&cnf, &[Var(0)]), 0);
+    }
+
+    #[test]
+    fn empty_constraint_even_parity_is_noop() {
+        let mut cnf = Cnf::new(1);
+        add_xor_constraint(&mut cnf, &XorConstraint::new(vec![], false));
+        assert_eq!(count_projected(&cnf, &[Var(0)]), 2);
+    }
+
+    #[test]
+    fn eval_matches_encoding() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..6usize);
+            let vars: Vec<Var> = (0..n as u32).map(Var).collect();
+            let parity = rng.gen_bool(0.5);
+            let c = XorConstraint::new(vars.clone(), parity);
+            let mut cnf = Cnf::new(n);
+            add_xor_constraint(&mut cnf, &c);
+            let sols = enumerate_projected(&cnf, &vars, &EnumerateConfig::default());
+            let expected: Vec<Vec<bool>> = (0..(1u32 << n))
+                .map(|bits| (0..n).map(|i| bits >> i & 1 == 1).collect::<Vec<bool>>())
+                .filter(|a| c.eval(a))
+                .collect();
+            assert_eq!(sols.len(), expected.len());
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Varying the class ratio of the training data (the paper's Table 9).
+//!
+//! Trains decision trees for the Antisymmetric property on datasets whose
+//! valid:invalid ratio ranges from 99:1 to 1:99, and contrasts the precision
+//! reported by a same-distribution test set ("traditional") with the
+//! precision over the entire state space computed by MCML — whose true
+//! class ratio is heavily skewed toward invalid instances.
+//!
+//! Run with: `cargo run --release --example class_ratio`
+
+use datagen::builder::{DatasetBuilder, DatasetConfig, SplitRatio};
+use mcml::accmc::AccMc;
+use mcml::backend::CounterBackend;
+use mcml::framework::evaluate_classifier;
+use mcml::report::{format_metric, TextTable};
+use mlkit::tree::{DecisionTree, TreeConfig};
+use relspec::properties::Property;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+
+fn main() {
+    let property = Property::Antisymmetric;
+    let scope = 4;
+    println!("== Table 9 setting: class-ratio sweep for {property} at scope {scope} ==\n");
+
+    let pool = DatasetBuilder::new().build(
+        DatasetConfig::new(property, scope)
+            .without_symmetry()
+            .with_max_positive(3_000),
+    );
+    let ground_truth = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+    let backend = CounterBackend::exact();
+
+    let mut table = TextTable::new(vec![
+        "Valid:Invalid",
+        "Traditional Precision",
+        "MCML Precision",
+    ]);
+    for positive_percent in [99u32, 90, 75, 50, 25, 10, 1] {
+        let skewed = pool.dataset.with_class_ratio(positive_percent, 17);
+        let (train, test) = skewed.split(SplitRatio::new(75), 23);
+        let tree = DecisionTree::fit(&train, TreeConfig::default());
+        let traditional = evaluate_classifier(&tree, &test);
+        let mcml = AccMc::new(&backend)
+            .evaluate(&ground_truth, &tree)
+            .expect("exact backend has no budget");
+        table.push_row(vec![
+            format!("{positive_percent}:{}", 100 - positive_percent),
+            format_metric(Some(traditional.precision)),
+            format_metric(Some(mcml.metrics.precision)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Traditional precision stays high for every training ratio, while the MCML\n\
+         precision is low when the training distribution over-represents the positive\n\
+         class and only approaches the traditional number near the true (1:99-like)\n\
+         distribution — the paper's argument that MCML exposes what test sets hide."
+    );
+}

@@ -1,0 +1,51 @@
+//! RQ1: how effective are off-the-shelf ML models at learning relational
+//! properties? (the paper's Table 2 setting).
+//!
+//! Trains all six model families (DT, RFT, GBDT, ABT, SVM, MLP) on the
+//! PartialOrder property at several train:test ratios, including the extreme
+//! 1:99 split, and prints their test-set metrics.
+//!
+//! Run with: `cargo run --release --example learnability`
+
+use datagen::builder::{DatasetBuilder, DatasetConfig, SplitRatio};
+use mcml::framework::evaluate_all_models;
+use mcml::report::{format_metric, TextTable};
+use relspec::properties::Property;
+
+fn main() {
+    let property = Property::PartialOrder;
+    let scope = 4;
+    let dataset = DatasetBuilder::new().build(
+        DatasetConfig::new(property, scope).with_max_positive(2_000),
+    );
+    println!(
+        "== RQ1: learnability of {property} at scope {scope} ({} balanced samples) ==\n",
+        dataset.dataset.len()
+    );
+
+    let mut table = TextTable::new(vec![
+        "Ratio", "Model", "Accuracy", "Precision", "Recall", "F1-score",
+    ]);
+    for ratio in SplitRatio::paper_ratios() {
+        let (train, test) = dataset.split(ratio);
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        for report in evaluate_all_models(&train, &test, 0) {
+            table.push_row(vec![
+                ratio.to_string(),
+                report.model.to_string(),
+                format_metric(Some(report.metrics.accuracy)),
+                format_metric(Some(report.metrics.precision)),
+                format_metric(Some(report.metrics.recall)),
+                format_metric(Some(report.metrics.f1)),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Even with only 1% of the data used for training, every model family keeps\n\
+         high accuracy and F1 on the balanced test set — the \"seeming simplicity\"\n\
+         of learning relational properties that RQ2 then revisits."
+    );
+}

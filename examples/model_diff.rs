@@ -1,0 +1,64 @@
+//! RQ5: quantifying the semantic difference between two trained decision
+//! trees over the whole input space, without ground truth or datasets
+//! (the paper's Table 8 setting).
+//!
+//! Trains two trees per property with different hyper-parameters and prints
+//! their TT/TF/FT/FF counts, the Diff percentage, and — as a sanity anchor —
+//! the diff of a tree against itself (always 0).
+//!
+//! Run with: `cargo run --release --example model_diff`
+
+use mcml::backend::CounterBackend;
+use mcml::diffmc::DiffMc;
+use mcml::framework::{Experiment, ExperimentConfig};
+use mcml::report::{format_count, TextTable};
+use mlkit::tree::TreeConfig;
+use relspec::properties::Property;
+
+fn main() {
+    let scope = 4;
+    let properties = [
+        Property::Irreflexive,
+        Property::Antisymmetric,
+        Property::PartialOrder,
+        Property::PreOrder,
+        Property::Transitive,
+    ];
+    println!("== RQ5: semantic differences between two decision trees at scope {scope} ==\n");
+
+    let backend = CounterBackend::exact();
+    let mut table = TextTable::new(vec![
+        "Subject", "TT", "TF", "FT", "FF", "Diff %", "SelfDiff %",
+    ]);
+
+    for property in properties {
+        let experiment = Experiment::new(ExperimentConfig::table3(property, scope));
+        let (tree_a, _) = experiment.train_tree(TreeConfig::default());
+        let (tree_b, _) = experiment.train_tree(TreeConfig {
+            max_depth: Some(6),
+            min_samples_split: 4,
+            ..TreeConfig::default()
+        });
+        let r = DiffMc::new(&backend)
+            .compare(&tree_a, &tree_b)
+            .expect("exact backend has no budget");
+        let self_diff = DiffMc::new(&backend)
+            .compare(&tree_a, &tree_a)
+            .expect("exact backend has no budget");
+        table.push_row(vec![
+            property.name().to_string(),
+            format_count(r.counts.tt),
+            format_count(r.counts.tf),
+            format_count(r.counts.ft),
+            format_count(r.counts.ff),
+            format!("{:.2}", r.counts.diff() * 100.0),
+            format!("{:.2}", self_diff.counts.diff() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "The two differently-configured trees agree on all but a small fraction of\n\
+         the space (Diff close to 0), mirroring the paper's Table 8; a tree compared\n\
+         against itself always has Diff = 0."
+    );
+}

@@ -1,0 +1,77 @@
+//! Quickstart: the paper's running example (Figures 1 and 2) end to end.
+//!
+//! Specifies the `Equivalence` property (reflexive + symmetric + transitive),
+//! enumerates its solutions at scope 4 — with full symmetry breaking this
+//! yields exactly the 5 non-isomorphic equivalence relations of Figure 2 —
+//! then trains a decision tree on a balanced dataset and evaluates it both
+//! traditionally and against the entire bounded input space with AccMC.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use datagen::builder::{DatasetBuilder, DatasetConfig, SplitRatio};
+use datagen::positive::enumerate_positive;
+use mcml::accmc::AccMc;
+use mcml::backend::CounterBackend;
+use mcml::framework::evaluate_classifier;
+use mlkit::tree::{DecisionTree, TreeConfig};
+use relspec::properties::Property;
+use relspec::symmetry::SymmetryBreaking;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+
+fn main() {
+    let property = Property::Equivalence;
+    println!("== MCML quickstart: {property} ==\n");
+    println!("Alloy-style specification:\n  {}\n", property.spec());
+
+    // Figure 2: the 5 non-isomorphic equivalence relations at scope 4.
+    let figure2 = enumerate_positive(property, 4, SymmetryBreaking::Full, usize::MAX);
+    println!(
+        "Non-isomorphic equivalence relations at scope 4 (Figure 2): {}",
+        figure2.instances.len()
+    );
+    for (i, inst) in figure2.instances.iter().enumerate() {
+        println!("solution {}:\n{inst}", i + 1);
+    }
+
+    // Build a balanced dataset at scope 4 with the default (partial) symmetry
+    // breaking, split it 25:75 and train a decision tree.
+    let scope = 4;
+    let dataset = DatasetBuilder::new().build(DatasetConfig::new(property, scope));
+    let (train, test) = dataset.split(SplitRatio::new(25));
+    println!(
+        "dataset: {} samples ({} positive), training on {}",
+        dataset.dataset.len(),
+        dataset.num_positive,
+        train.len()
+    );
+    let tree = DecisionTree::fit(&train, TreeConfig::default());
+    println!("trained {tree}");
+
+    // Traditional evaluation on the held-out test set.
+    let test_metrics = evaluate_classifier(&tree, &test);
+    println!("test-set metrics:      {test_metrics}");
+
+    // MCML evaluation against the entire 2^(n^2) input space.
+    let ground_truth = translate_to_cnf(
+        &property.spec(),
+        TranslateOptions::new(scope).with_symmetry(SymmetryBreaking::Transpositions),
+    );
+    let backend = CounterBackend::exact();
+    let whole_space = AccMc::new(&backend)
+        .evaluate(&ground_truth, &tree)
+        .expect("exact backend has no budget");
+    println!("whole-space metrics:   {}", whole_space.metrics);
+    println!(
+        "whole-space counts:    tp={} fp={} tn={} fn={} (total {})",
+        whole_space.counts.tp,
+        whole_space.counts.fp,
+        whole_space.counts.tn,
+        whole_space.counts.fn_,
+        whole_space.counts.total()
+    );
+    println!(
+        "\nThe gap between the two precision numbers is the paper's headline finding:\n\
+         the tree looks excellent on the balanced test set but mislabels a large share\n\
+         of the (overwhelmingly negative) full input space as positive."
+    );
+}

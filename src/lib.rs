@@ -1,0 +1,20 @@
+//! Facade crate for the MCML (PLDI 2020) reproduction workspace.
+//!
+//! Re-exports the member crates so the runnable examples in `examples/` and
+//! the cross-crate integration tests in `tests/` can use a single dependency.
+//! See the individual crates for the substance:
+//!
+//! * [`satkit`] — CNF, Tseitin encoding, CDCL SAT solver, enumeration;
+//! * [`relspec`] — the Alloy-like relational logic, its evaluator, bounded
+//!   CNF translation, the 16 subject properties, symmetry breaking;
+//! * [`modelcount`] — exact and approximate projected model counters;
+//! * [`mlkit`] — the six ML model families, datasets and metrics;
+//! * [`datagen`] — the positive/negative sample generation pipeline;
+//! * [`mcml`] — Tree2CNF, AccMC, DiffMC and the experiment framework.
+
+pub use datagen;
+pub use mcml;
+pub use mlkit;
+pub use modelcount;
+pub use relspec;
+pub use satkit;

@@ -1,0 +1,232 @@
+//! Cross-crate integration tests: the full MCML pipeline exercised end to
+//! end at scopes small enough to validate every number against brute force.
+
+use datagen::builder::{DatasetBuilder, DatasetConfig, SplitRatio};
+use mcml::accmc::{AccMc, SpaceCounts};
+use mcml::backend::CounterBackend;
+use mcml::diffmc::DiffMc;
+use mcml::framework::{evaluate_all_models, Experiment, ExperimentConfig};
+use mcml::tree2cnf::{tree_label_cnf, TreeLabel};
+use mlkit::tree::{DecisionTree, TreeConfig};
+use mlkit::Classifier;
+use modelcount::approx::ApproxCounter;
+use modelcount::exact::ExactCounter;
+use relspec::instance::RelInstance;
+use relspec::properties::Property;
+use relspec::symmetry::SymmetryBreaking;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+
+fn all_instances(scope: usize) -> impl Iterator<Item = RelInstance> {
+    (0u64..(1 << (scope * scope))).map(move |bits| {
+        RelInstance::from_bits(scope, (0..scope * scope).map(|k| bits >> k & 1 == 1).collect())
+    })
+}
+
+#[test]
+fn table1_counts_match_closed_forms_at_scope_3() {
+    // The Table 1 pipeline (translate property -> count) validated against
+    // combinatorial closed forms at scope 3, for both counters.
+    let expected: &[(Property, u128)] = &[
+        (Property::Antisymmetric, 216),
+        (Property::Bijective, 6),
+        (Property::Connex, 27),
+        (Property::Equivalence, 5),
+        (Property::Function, 27),
+        (Property::Functional, 64),
+        (Property::Injective, 27),
+        (Property::Irreflexive, 64),
+        (Property::NonStrictOrder, 19),
+        (Property::PartialOrder, 152),
+        (Property::PreOrder, 29),
+        (Property::Reflexive, 64),
+        (Property::StrictOrder, 19),
+        (Property::Surjective, 6),
+        (Property::TotalOrder, 6),
+        (Property::Transitive, 171),
+    ];
+    let exact = ExactCounter::new();
+    for &(property, want) in expected {
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(3));
+        let cnf = gt.cnf_positive();
+        assert_eq!(exact.count(&cnf), Some(want), "exact count for {property}");
+        // The approximate counter is exact for counts below its pivot and
+        // within its (epsilon, delta) bound otherwise.
+        let approx = ApproxCounter::default().count(&cnf) as f64;
+        let want_f = want as f64;
+        assert!(
+            approx <= want_f * 1.8 && approx >= want_f / 1.8,
+            "approx count {approx} too far from {want} for {property}"
+        );
+    }
+}
+
+#[test]
+fn symmetry_breaking_shrinks_every_property_count() {
+    let exact = ExactCounter::new();
+    for property in Property::all() {
+        let plain = translate_to_cnf(&property.spec(), TranslateOptions::new(4));
+        let sb = translate_to_cnf(
+            &property.spec(),
+            TranslateOptions::new(4).with_symmetry(SymmetryBreaking::Transpositions),
+        );
+        let plain_count = exact.count(&plain.cnf_positive()).unwrap();
+        let sb_count = exact.count(&sb.cnf_positive()).unwrap();
+        assert!(sb_count <= plain_count, "{property}: {sb_count} > {plain_count}");
+        assert!(sb_count > 0, "{property}: symmetry breaking removed every solution");
+    }
+}
+
+#[test]
+fn accmc_equals_brute_force_for_trained_tree() {
+    let property = Property::PreOrder;
+    let scope = 3;
+    let dataset = DatasetBuilder::new().build(
+        DatasetConfig::new(property, scope)
+            .without_symmetry()
+            .with_max_positive(500),
+    );
+    let (train, _) = dataset.split(SplitRatio::new(50));
+    let tree = DecisionTree::fit(&train, TreeConfig::default());
+
+    let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+    let backend = CounterBackend::exact();
+    let result = AccMc::new(&backend).evaluate(&gt, &tree).unwrap();
+
+    let mut brute = SpaceCounts::default();
+    for inst in all_instances(scope) {
+        let truth = property.holds(&inst);
+        let predicted = tree.predict(&inst.to_features());
+        match (truth, predicted) {
+            (true, true) => brute.tp += 1,
+            (false, true) => brute.fp += 1,
+            (false, false) => brute.tn += 1,
+            (true, false) => brute.fn_ += 1,
+        }
+    }
+    assert_eq!(result.counts, brute);
+}
+
+#[test]
+fn diffmc_is_symmetric_and_self_diff_is_zero() {
+    let property = Property::Functional;
+    let scope = 3;
+    let experiment = Experiment::new(ExperimentConfig {
+        ratio: SplitRatio::new(50),
+        ..ExperimentConfig::table5(property, scope)
+    });
+    let (tree_a, _) = experiment.train_tree(TreeConfig::default());
+    let (tree_b, _) = experiment.train_tree(TreeConfig::with_max_depth(3));
+    let backend = CounterBackend::exact();
+    let diff = DiffMc::new(&backend);
+
+    let ab = diff.compare(&tree_a, &tree_b).unwrap().counts;
+    let ba = diff.compare(&tree_b, &tree_a).unwrap().counts;
+    assert_eq!(ab.tt, ba.tt);
+    assert_eq!(ab.ff, ba.ff);
+    assert_eq!(ab.tf, ba.ft);
+    assert_eq!(ab.ft, ba.tf);
+    assert_eq!(ab.total(), 1u128 << (scope * scope));
+
+    let aa = diff.compare(&tree_a, &tree_a).unwrap().counts;
+    assert_eq!(aa.tf + aa.ft, 0);
+    assert_eq!(aa.diff(), 0.0);
+}
+
+#[test]
+fn tree_regions_partition_ground_truth_counts() {
+    // For any tree and property: tp + fn = |phi| and fp + tn = |not phi|.
+    let property = Property::Antisymmetric;
+    let scope = 3;
+    let dataset = DatasetBuilder::new().build(
+        DatasetConfig::new(property, scope)
+            .without_symmetry()
+            .with_max_positive(200),
+    );
+    let (train, _) = dataset.split(SplitRatio::new(25));
+    let tree = DecisionTree::fit(&train, TreeConfig::default());
+    let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+    let backend = CounterBackend::exact();
+    let counts = AccMc::new(&backend).evaluate(&gt, &tree).unwrap().counts;
+
+    let exact = ExactCounter::new();
+    let positives = exact.count(&gt.cnf_positive()).unwrap();
+    let negatives = exact.count(&gt.cnf_negative()).unwrap();
+    assert_eq!(counts.tp + counts.fn_, positives);
+    assert_eq!(counts.fp + counts.tn, negatives);
+
+    // And the tree's own regions partition the full space.
+    let t = exact.count(&tree_label_cnf(&tree, TreeLabel::True)).unwrap();
+    let f = exact.count(&tree_label_cnf(&tree, TreeLabel::False)).unwrap();
+    assert_eq!(t + f, 1u128 << (scope * scope));
+    assert_eq!(counts.tp + counts.fp, t);
+    assert_eq!(counts.tn + counts.fn_, f);
+}
+
+#[test]
+fn all_models_learn_reflexive_well() {
+    // Every model family should comfortably learn the diagonal-only property
+    // on a balanced dataset.
+    let dataset = DatasetBuilder::new().build(
+        DatasetConfig::new(Property::Reflexive, 4)
+            .without_symmetry()
+            .with_max_positive(600),
+    );
+    let (train, test) = dataset.split(SplitRatio::new(75));
+    for report in evaluate_all_models(&train, &test, 3) {
+        assert!(
+            report.metrics.accuracy >= 0.85,
+            "{} accuracy {} too low",
+            report.model,
+            report.metrics.accuracy
+        );
+    }
+}
+
+#[test]
+fn headline_shape_precision_collapse_and_exceptions() {
+    // The paper's central qualitative claims, at scope 4:
+    // 1. test-set metrics look strong for every property;
+    // 2. whole-space precision collapses for sparse properties;
+    // 3. Reflexive and Irreflexive remain perfect.
+    let backend = CounterBackend::exact();
+    for property in [Property::Reflexive, Property::Irreflexive] {
+        let result =
+            Experiment::new(ExperimentConfig::table5(property, 4)).run(&backend);
+        let ws = result.whole_space.unwrap();
+        assert_eq!(ws.metrics.precision, 1.0, "{property}");
+        assert_eq!(ws.metrics.recall, 1.0, "{property}");
+    }
+    for property in [Property::PreOrder, Property::StrictOrder, Property::Function] {
+        let result =
+            Experiment::new(ExperimentConfig::table5(property, 4)).run(&backend);
+        let ws = result.whole_space.unwrap();
+        assert!(
+            result.test_metrics.f1 >= 0.75,
+            "{property}: test F1 {} unexpectedly low",
+            result.test_metrics.f1
+        );
+        assert!(
+            ws.metrics.precision <= 0.5,
+            "{property}: whole-space precision {} did not collapse",
+            ws.metrics.precision
+        );
+        assert!(
+            ws.metrics.recall >= 0.7,
+            "{property}: whole-space recall {} unexpectedly low",
+            ws.metrics.recall
+        );
+    }
+}
+
+#[test]
+fn dataset_labels_always_match_the_evaluator() {
+    for property in [Property::Connex, Property::StrictOrder, Property::Surjective] {
+        let pd = DatasetBuilder::new().build(
+            DatasetConfig::new(property, 4).with_max_positive(300),
+        );
+        for (features, label) in pd.dataset.iter() {
+            let inst = RelInstance::from_features(4, features);
+            assert_eq!(property.holds(&inst), label, "{property}");
+        }
+    }
+}

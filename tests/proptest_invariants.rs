@@ -1,0 +1,201 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction: solver vs brute force, counter vs brute force, Tseitin
+//! projection-preservation, evaluator vs bounded translation, Tree2CNF
+//! semantics, and metric identities.
+
+use mcml::backend::CounterBackend;
+use mcml::diffmc::DiffMc;
+use mcml::tree2cnf::{tree_label_cnf, TreeLabel};
+use mlkit::data::{Dataset, SplitSpec};
+use mlkit::metrics::BinaryMetrics;
+use mlkit::tree::{DecisionTree, TreeConfig};
+use mlkit::Classifier;
+use modelcount::brute::brute_force_count;
+use modelcount::exact::ExactCounter;
+use proptest::prelude::*;
+use relspec::instance::RelInstance;
+use relspec::properties::Property;
+use relspec::symmetry::SymmetryBreaking;
+use relspec::translate::translate_formula;
+use satkit::cnf::{Cnf, Lit};
+use satkit::solver::{SolveResult, Solver};
+
+/// Strategy: a random CNF over `max_vars` variables.
+fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let clause = prop::collection::vec((0..max_vars as u32, any::<bool>()), 1..=3);
+    prop::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
+        let mut cnf = Cnf::new(max_vars);
+        for c in clauses {
+            let lits: Vec<Lit> = c
+                .into_iter()
+                .map(|(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
+                .collect();
+            cnf.add_clause(lits);
+        }
+        cnf
+    })
+}
+
+/// Strategy: a random relational instance at the given scope.
+fn arb_instance(scope: usize) -> impl Strategy<Value = RelInstance> {
+    prop::collection::vec(any::<bool>(), scope * scope)
+        .prop_map(move |bits| RelInstance::from_bits(scope, bits))
+}
+
+/// Strategy: a random labeled dataset over `num_features` binary features.
+fn arb_dataset(num_features: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        (prop::collection::vec(0u8..=1, num_features), any::<bool>()),
+        4..40,
+    )
+    .prop_map(move |rows| {
+        let mut d = Dataset::new(num_features);
+        for (features, label) in rows {
+            d.push(features, label);
+        }
+        d
+    })
+}
+
+fn brute_sat(cnf: &Cnf) -> bool {
+    let n = cnf.num_vars();
+    (0u32..(1 << n)).any(|bits| {
+        let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        cnf.eval(&a)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(cnf in arb_cnf(7, 18)) {
+        let mut solver = Solver::from_cnf(&cnf);
+        let result = solver.solve();
+        prop_assert_eq!(result.is_sat(), brute_sat(&cnf));
+        if let SolveResult::Sat(model) = result {
+            prop_assert!(cnf.eval(model.values()));
+        }
+    }
+
+    #[test]
+    fn exact_counter_agrees_with_brute_force(cnf in arb_cnf(8, 16)) {
+        let exact = ExactCounter::new().count(&cnf).expect("no budget");
+        prop_assert_eq!(exact, brute_force_count(&cnf));
+    }
+
+    #[test]
+    fn simplified_cnf_preserves_models(cnf in arb_cnf(6, 12)) {
+        let simplified = cnf.simplified();
+        let n = cnf.num_vars();
+        for bits in 0u32..(1 << n) {
+            let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(cnf.eval(&a), simplified.eval(&a));
+        }
+    }
+
+    #[test]
+    fn property_translation_matches_evaluator(inst in arb_instance(3), idx in 0usize..16) {
+        let property = Property::all()[idx];
+        let expr = translate_formula(&property.spec(), 3);
+        prop_assert_eq!(expr.eval(inst.bits()), property.holds(&inst));
+    }
+
+    #[test]
+    fn symmetry_breaking_keeps_one_representative_per_orbit(inst in arb_instance(3)) {
+        // Some permutation of every instance is kept by full symmetry
+        // breaking (the lex-minimal one), and permuting never changes
+        // whether a property holds.
+        let perms: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2],
+            vec![1, 2, 0], vec![2, 0, 1], vec![2, 1, 0],
+        ];
+        let kept = perms.iter().any(|p| SymmetryBreaking::Full.keeps(&inst.permuted(p)));
+        prop_assert!(kept);
+        for p in &perms {
+            prop_assert_eq!(
+                Property::Transitive.holds(&inst),
+                Property::Transitive.holds(&inst.permuted(p))
+            );
+        }
+    }
+
+    #[test]
+    fn tree2cnf_regions_agree_with_predictions(dataset in arb_dataset(4)) {
+        let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+        let cnf_true = tree_label_cnf(&tree, TreeLabel::True);
+        let cnf_false = tree_label_cnf(&tree, TreeLabel::False);
+        for bits in 0u32..16 {
+            let features: Vec<u8> = (0..4).map(|k| ((bits >> k) & 1) as u8).collect();
+            let assignment: Vec<bool> = features.iter().map(|&b| b != 0).collect();
+            let predicted = tree.predict(&features);
+            prop_assert_eq!(cnf_true.eval(&assignment), predicted);
+            prop_assert_eq!(cnf_false.eval(&assignment), !predicted);
+        }
+    }
+
+    #[test]
+    fn tree_region_counts_partition_the_space(dataset in arb_dataset(5)) {
+        let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+        let counter = ExactCounter::new();
+        let t = counter.count(&tree_label_cnf(&tree, TreeLabel::True)).unwrap();
+        let f = counter.count(&tree_label_cnf(&tree, TreeLabel::False)).unwrap();
+        prop_assert_eq!(t + f, 32);
+    }
+
+    #[test]
+    fn diffmc_counts_are_consistent(a in arb_dataset(4), b in arb_dataset(4)) {
+        let tree_a = DecisionTree::fit(&a, TreeConfig::default());
+        let tree_b = DecisionTree::fit(&b, TreeConfig::default());
+        let backend = CounterBackend::exact();
+        let r = DiffMc::new(&backend).compare(&tree_a, &tree_b).unwrap().counts;
+        prop_assert_eq!(r.total(), 16);
+        prop_assert!((r.diff() + r.sim() - 1.0).abs() < 1e-12);
+        // Swapping the trees swaps TF and FT.
+        let s = DiffMc::new(&backend).compare(&tree_b, &tree_a).unwrap().counts;
+        prop_assert_eq!(r.tf, s.ft);
+        prop_assert_eq!(r.ft, s.tf);
+    }
+
+    #[test]
+    fn metrics_are_bounded_and_consistent(
+        tp in 0u64..1000, fp in 0u64..1000, tn in 0u64..1000, fn_ in 0u64..1000
+    ) {
+        let m = BinaryMetrics::from_counts(tp.into(), fp.into(), tn.into(), fn_.into());
+        for v in [m.accuracy, m.precision, m.recall, m.f1] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // F1 is the harmonic mean of precision and recall: when both are
+        // positive it lies between them.
+        if m.precision > 0.0 && m.recall > 0.0 {
+            let lo = m.precision.min(m.recall);
+            let hi = m.precision.max(m.recall);
+            prop_assert!(m.f1 >= lo - 1e-12 && m.f1 <= hi + 1e-12);
+        } else {
+            prop_assert_eq!(m.f1, 0.0);
+        }
+    }
+
+    #[test]
+    fn dataset_splits_partition_and_are_stratified(
+        dataset in arb_dataset(4), percent in 10u32..90
+    ) {
+        prop_assume!(dataset.class_counts().0 >= 2 && dataset.class_counts().1 >= 2);
+        let (train, test) = dataset.split(SplitSpec::new(percent), 7);
+        prop_assert_eq!(train.len() + test.len(), dataset.len());
+        let (p, n) = dataset.class_counts();
+        let (tp, tn) = train.class_counts();
+        let (sp, sn) = test.class_counts();
+        prop_assert_eq!(tp + sp, p);
+        prop_assert_eq!(tn + sn, n);
+    }
+
+    #[test]
+    fn negative_sampler_never_returns_positives(idx in 0usize..16, seed in 0u64..50) {
+        let property = Property::all()[idx];
+        let negatives = datagen::negative::sample_negatives(property, 3, 20, seed);
+        for inst in &negatives {
+            prop_assert!(!property.holds(inst));
+        }
+    }
+}
