@@ -13,7 +13,11 @@ use std::hint::black_box;
 fn bench_accmc(c: &mut Criterion) {
     let mut group = c.benchmark_group("accmc_whole_space");
     group.sample_size(10);
-    for property in [Property::Reflexive, Property::Antisymmetric, Property::PartialOrder] {
+    for property in [
+        Property::Reflexive,
+        Property::Antisymmetric,
+        Property::PartialOrder,
+    ] {
         let scope = 4;
         let dataset = DatasetBuilder::new().build(
             DatasetConfig::new(property, scope)

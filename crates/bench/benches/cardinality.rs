@@ -1,0 +1,92 @@
+//! Criterion benchmarks for the cardinality machinery behind the
+//! random-forest CNF encoding: raw totalizer construction in `satkit::card`
+//! and the full majority-vote encoding + projected count via `CnfEncodable`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::builder::{DatasetBuilder, DatasetConfig, SplitRatio};
+use mcml::encode::CnfEncodable;
+use mcml::tree2cnf::TreeLabel;
+use mlkit::forest::{ForestConfig, RandomForest};
+use modelcount::exact::ExactCounter;
+use relspec::properties::Property;
+use satkit::card::Totalizer;
+use satkit::cnf::{Cnf, Var};
+use std::hint::black_box;
+
+fn bench_totalizer_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("totalizer_build");
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cnf = Cnf::new(n);
+                let lits: Vec<_> = (0..n as u32).map(|v| Var(v).pos()).collect();
+                black_box(Totalizer::build(&mut cnf, &lits));
+                black_box(cnf.num_clauses())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn trained_forest(num_trees: usize) -> RandomForest {
+    let dataset = DatasetBuilder::new().build(
+        DatasetConfig::new(Property::Antisymmetric, 3)
+            .without_symmetry()
+            .with_max_positive(200),
+    );
+    let (train, _) = dataset.split(SplitRatio::new(75));
+    RandomForest::fit(
+        &train,
+        ForestConfig {
+            num_trees,
+            max_depth: Some(4),
+            seed: 1,
+            ..ForestConfig::default()
+        },
+    )
+}
+
+fn bench_forest_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_majority_encoding");
+    group.sample_size(10);
+    for num_trees in [5usize, 15, 31] {
+        let forest = trained_forest(num_trees);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_trees),
+            &forest,
+            |b, forest| b.iter(|| black_box(forest.label_cnf(TreeLabel::True))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_forest_encoded_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_encoded_count");
+    group.sample_size(10);
+    for num_trees in [5usize, 15] {
+        let forest = trained_forest(num_trees);
+        let cnf = forest.label_cnf(TreeLabel::True);
+        let counter = ExactCounter::new();
+        group.bench_with_input(BenchmarkId::from_parameter(num_trees), &cnf, |b, cnf| {
+            b.iter(|| black_box(counter.count(black_box(cnf))))
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_config();
+    targets =
+    bench_totalizer_build,
+    bench_forest_encoding,
+    bench_forest_encoded_count
+);
+criterion_main!(benches);

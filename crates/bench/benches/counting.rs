@@ -13,16 +13,18 @@ use std::hint::black_box;
 fn bench_exact_counting(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_count_property");
     group.sample_size(10);
-    for property in [Property::Reflexive, Property::Antisymmetric, Property::Function] {
+    for property in [
+        Property::Reflexive,
+        Property::Antisymmetric,
+        Property::Function,
+    ] {
         for scope in [3usize, 4] {
             let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
             let cnf = gt.cnf_positive();
             let counter = ExactCounter::new();
-            group.bench_with_input(
-                BenchmarkId::new(property.name(), scope),
-                &cnf,
-                |b, cnf| b.iter(|| black_box(counter.count(black_box(cnf)))),
-            );
+            group.bench_with_input(BenchmarkId::new(property.name(), scope), &cnf, |b, cnf| {
+                b.iter(|| black_box(counter.count(black_box(cnf))))
+            });
         }
     }
     group.finish();
@@ -36,11 +38,9 @@ fn bench_approx_counting(c: &mut Criterion) {
         let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
         let cnf = gt.cnf_positive();
         let counter = ApproxCounter::new(ApproxConfig::default());
-        group.bench_with_input(
-            BenchmarkId::new(property.name(), scope),
-            &cnf,
-            |b, cnf| b.iter(|| black_box(counter.count(black_box(cnf)))),
-        );
+        group.bench_with_input(BenchmarkId::new(property.name(), scope), &cnf, |b, cnf| {
+            b.iter(|| black_box(counter.count(black_box(cnf))))
+        });
     }
     group.finish();
 }

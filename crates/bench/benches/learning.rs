@@ -18,9 +18,10 @@ fn bench_dataset_generation(c: &mut Criterion) {
             &property,
             |b, &property| {
                 b.iter(|| {
-                    black_box(DatasetBuilder::new().build(
-                        DatasetConfig::new(property, 4).with_max_positive(300),
-                    ))
+                    black_box(
+                        DatasetBuilder::new()
+                            .build(DatasetConfig::new(property, 4).with_max_positive(300)),
+                    )
                 })
             },
         );

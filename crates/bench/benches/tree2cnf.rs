@@ -34,17 +34,16 @@ fn bench_tree2cnf(c: &mut Criterion) {
 
 fn bench_property_translation(c: &mut Criterion) {
     let mut group = c.benchmark_group("property_to_cnf");
-    for property in [Property::Transitive, Property::Equivalence, Property::TotalOrder] {
+    for property in [
+        Property::Transitive,
+        Property::Equivalence,
+        Property::TotalOrder,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(property.name()),
             &property,
             |b, &property| {
-                b.iter(|| {
-                    black_box(translate_to_cnf(
-                        &property.spec(),
-                        TranslateOptions::new(5),
-                    ))
-                })
+                b.iter(|| black_box(translate_to_cnf(&property.spec(), TranslateOptions::new(5))))
             },
         );
     }

@@ -1,12 +1,17 @@
 //! Shared driver for the AccMC tables (Tables 3, 5, 6 and 7).
 //!
 //! Each of those tables runs the same per-property experiment — train a
-//! decision tree on 10% of the balanced dataset, evaluate it on the test set
-//! and against the whole bounded space — and differs only in which symmetry
-//! settings the dataset and the ground truth use.
+//! model on the balanced dataset, evaluate it on the test set and against
+//! the whole bounded space — and differs only in which symmetry settings the
+//! dataset and the ground truth use. The rows are executed by the batch
+//! [`Runner`], which deduplicates dataset construction and ground-truth
+//! translation, shares one memoizing counter across all rows, and runs them
+//! in parallel; `--models dt,rft,abt` evaluates any subset of the
+//! CNF-encodable model families per property.
 
 use crate::cli::HarnessArgs;
-use mcml::framework::{Experiment, ExperimentConfig};
+use mcml::counter::CachedCounter;
+use mcml::framework::{ExperimentConfig, Runner};
 use mcml::report::{format_metric, TextTable};
 use relspec::properties::Property;
 
@@ -19,9 +24,27 @@ pub fn run_accmc_table(
     args: &HarnessArgs,
     make_config: impl Fn(Property, usize) -> ExperimentConfig,
 ) {
-    let backend = args.backend();
+    let backend = CachedCounter::new(args.backend());
+    let configs: Vec<ExperimentConfig> = args
+        .properties()
+        .into_iter()
+        .map(|property| {
+            let mut config = make_config(property, args.scope_for(property));
+            config.max_positive = args.max_positive;
+            config.seed = args.seed;
+            config
+        })
+        .collect();
+
+    let rows = Runner::new()
+        .families(&args.models)
+        .threads(args.threads)
+        .run(&configs, &backend)
+        .unwrap_or_else(|e| panic!("malformed experiment batch: {e}"));
+
     let mut table = TextTable::new(vec![
         "Property",
+        "Model",
         "Acc(test)",
         "Prec(test)",
         "Rec(test)",
@@ -33,15 +56,9 @@ pub fn run_accmc_table(
         "Time[s]",
     ]);
 
-    for property in args.properties() {
-        let scope = args.scope_for(property);
-        let mut config = make_config(property, scope);
-        config.max_positive = args.max_positive;
-        config.seed = args.seed;
-        let result = Experiment::new(config).run(&backend);
-
-        let t = &result.test_metrics;
-        let (phi, time) = match &result.whole_space {
+    for row in &rows {
+        let t = &row.test_metrics;
+        let (phi, time) = match &row.whole_space {
             Some(ws) => (
                 [
                     Some(ws.metrics.accuracy),
@@ -54,7 +71,8 @@ pub fn run_accmc_table(
             None => ([None, None, None, None], "-".to_string()),
         };
         table.push_row(vec![
-            property.name().to_string(),
+            row.config.property.name().to_string(),
+            row.family.name().to_string(),
             format_metric(Some(t.accuracy)),
             format_metric(Some(t.precision)),
             format_metric(Some(t.recall)),
@@ -69,4 +87,11 @@ pub fn run_accmc_table(
 
     println!("{title}");
     println!("{}", table.render());
+    let stats = backend.stats();
+    if stats.hits > 0 {
+        println!(
+            "(counter cache: {} hits / {} misses)",
+            stats.hits, stats.misses
+        );
+    }
 }

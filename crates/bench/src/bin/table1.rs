@@ -15,6 +15,7 @@ use relspec::translate::{translate_to_cnf, TranslateOptions};
 
 fn main() {
     let args = HarnessArgs::from_env();
+    args.warn_ignored_runner_flags("table1");
     let approx = CounterBackend::approx();
     let exact = CounterBackend::exact_with_budget(50_000_000);
 
@@ -46,7 +47,7 @@ fn main() {
         );
         let gt_plain = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
 
-        let fmt = |c: Option<u128>| c.map_or("-".to_string(), format_count);
+        let fmt = |c: mcml::counter::CountOutcome| c.value().map_or("-".to_string(), format_count);
         table.push_row(vec![
             property.name().to_string(),
             scope.to_string(),

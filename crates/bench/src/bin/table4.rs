@@ -9,6 +9,7 @@ use relspec::properties::Property;
 
 fn main() {
     let args = HarnessArgs::from_env();
+    args.warn_ignored_runner_flags("table4");
     let property = args.property.unwrap_or(Property::PartialOrder);
     let scope = args.scope_for(property);
 
@@ -19,7 +20,14 @@ fn main() {
             .with_seed(args.seed),
     );
 
-    let mut table = TextTable::new(vec!["Ratio", "Model", "Accuracy", "Precision", "Recall", "F1-score"]);
+    let mut table = TextTable::new(vec![
+        "Ratio",
+        "Model",
+        "Accuracy",
+        "Precision",
+        "Recall",
+        "F1-score",
+    ]);
     for ratio in [SplitRatio::new(75), SplitRatio::new(25), SplitRatio::new(1)] {
         let (train, test) = dataset.split(ratio);
         for report in evaluate_all_models(&train, &test, args.seed) {

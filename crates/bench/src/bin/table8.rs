@@ -12,11 +12,10 @@ use mlkit::tree::TreeConfig;
 
 fn main() {
     let args = HarnessArgs::from_env();
+    args.warn_ignored_runner_flags("table8");
     let backend = args.backend();
 
-    let mut table = TextTable::new(vec![
-        "Subject", "TT", "TF", "FT", "FF", "Diff", "Time[s]",
-    ]);
+    let mut table = TextTable::new(vec!["Subject", "TT", "TF", "FT", "FF", "Diff", "Time[s]"]);
 
     for property in args.properties() {
         let scope = args.scope_for(property);
@@ -31,7 +30,10 @@ fn main() {
             ..TreeConfig::default()
         });
 
-        match DiffMc::new(&backend).compare(&tree_a, &tree_b) {
+        let comparison = DiffMc::new(&backend)
+            .compare(&tree_a, &tree_b)
+            .expect("trees trained at the same scope share the feature space");
+        match comparison {
             None => table.push_row(vec![
                 property.name().to_string(),
                 "-".into(),

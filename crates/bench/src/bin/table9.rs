@@ -17,6 +17,7 @@ use relspec::translate::{translate_to_cnf, TranslateOptions};
 
 fn main() {
     let args = HarnessArgs::from_env();
+    args.warn_ignored_runner_flags("table9");
     let property = args.property.unwrap_or(Property::Antisymmetric);
     let scope = args.scope_for(property);
     let backend = args.backend();
@@ -37,12 +38,15 @@ fn main() {
     ]);
 
     for positive_percent in [99u32, 90, 75, 50, 25, 10, 1] {
-        let skewed = pool.dataset.with_class_ratio(positive_percent, args.seed + 17);
+        let skewed = pool
+            .dataset
+            .with_class_ratio(positive_percent, args.seed + 17);
         let (train, test) = skewed.split(SplitRatio::new(75), args.seed + 23);
         let tree = DecisionTree::fit(&train, TreeConfig::default());
         let traditional = evaluate_classifier(&tree, &test);
         let mcml_precision = AccMc::new(&backend)
             .evaluate(&ground_truth, &tree)
+            .expect("tree trained at the ground truth's scope")
             .map(|r| r.metrics.precision);
         table.push_row(vec![
             format!("{positive_percent}:{}", 100 - positive_percent),

@@ -6,9 +6,14 @@
 //! * `--approx` — use the approximate counter instead of the exact one;
 //! * `--max-positive N` — cap on enumerated positive samples;
 //! * `--seed N` — RNG seed;
-//! * `--property NAME` — restrict to a single property (tables 1, 3, 5–8).
+//! * `--property NAME` — restrict to a single property (tables 1, 3, 5–8);
+//! * `--models dt,rft,abt` — model families for the whole-space tables
+//!   (3, 5, 6, 7), exercising the generic `CnfEncodable` path;
+//! * `--threads N` — worker threads for the batch `Runner` (0 = one per
+//!   core).
 
 use mcml::backend::CounterBackend;
+use mcml::framework::ModelFamily;
 use relspec::properties::Property;
 
 /// Parsed harness arguments.
@@ -24,6 +29,10 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Restrict to one property.
     pub property: Option<Property>,
+    /// Model families evaluated by the whole-space tables.
+    pub models: Vec<ModelFamily>,
+    /// Worker threads for the batch runner (0 = one per core).
+    pub threads: usize,
 }
 
 impl Default for HarnessArgs {
@@ -34,6 +43,8 @@ impl Default for HarnessArgs {
             max_positive: 2_000,
             seed: 0,
             property: None,
+            models: vec![ModelFamily::Dt],
+            threads: 0,
         }
     }
 }
@@ -67,10 +78,30 @@ impl HarnessArgs {
                 }
                 "--property" => {
                     let v = iter.next().expect("--property requires a name");
-                    out.property =
-                        Some(Property::from_name(&v).unwrap_or_else(|| {
-                            panic!("unknown property {v:?}")
-                        }));
+                    out.property = Some(
+                        Property::from_name(&v).unwrap_or_else(|| panic!("unknown property {v:?}")),
+                    );
+                }
+                "--models" => {
+                    let v = iter
+                        .next()
+                        .expect("--models requires a comma-separated list");
+                    out.models = v
+                        .split(',')
+                        .map(|name| {
+                            ModelFamily::parse(name.trim()).unwrap_or_else(|| {
+                                panic!("unknown model family {name:?} (expected dt, rft or abt)")
+                            })
+                        })
+                        .collect();
+                    assert!(
+                        !out.models.is_empty(),
+                        "--models requires at least one family"
+                    );
+                }
+                "--threads" => {
+                    let v = iter.next().expect("--threads requires a value");
+                    out.threads = v.parse().expect("--threads must be a number");
                 }
                 other => panic!("unknown argument {other:?}"),
             }
@@ -81,6 +112,18 @@ impl HarnessArgs {
     /// Parses the process arguments.
     pub fn from_env() -> Self {
         HarnessArgs::parse(std::env::args().skip(1))
+    }
+
+    /// Warns on stderr when flags only honoured by the `Runner`-backed
+    /// AccMC tables (3/5/6/7) were passed to a binary that ignores them,
+    /// so an experimenter never mis-attributes a DT table to `--models`.
+    pub fn warn_ignored_runner_flags(&self, binary: &str) {
+        if self.models != vec![ModelFamily::Dt] {
+            eprintln!("warning: {binary} ignores --models (only tables 3, 5, 6 and 7 use it)");
+        }
+        if self.threads != 0 {
+            eprintln!("warning: {binary} ignores --threads (only tables 3, 5, 6 and 7 use it)");
+        }
     }
 
     /// The counting backend selected by the flags. The exact backend carries
@@ -104,7 +147,8 @@ impl HarnessArgs {
 
     /// The scope to use for a property.
     pub fn scope_for(&self, property: Property) -> usize {
-        self.scope.unwrap_or_else(|| crate::scopes::study_scope(property))
+        self.scope
+            .unwrap_or_else(|| crate::scopes::study_scope(property))
     }
 }
 
@@ -122,17 +166,39 @@ mod tests {
         assert_eq!(a.scope, None);
         assert!(!a.approx);
         assert_eq!(a.properties().len(), 16);
+        assert_eq!(a.models, vec![ModelFamily::Dt]);
+        assert_eq!(a.threads, 0);
     }
 
     #[test]
     fn parses_flags() {
-        let a = parse(&["--scope", "5", "--approx", "--seed", "9", "--property", "reflexive"]);
+        let a = parse(&[
+            "--scope",
+            "5",
+            "--approx",
+            "--seed",
+            "9",
+            "--property",
+            "reflexive",
+        ]);
         assert_eq!(a.scope, Some(5));
         assert!(a.approx);
         assert_eq!(a.seed, 9);
         assert_eq!(a.properties(), vec![Property::Reflexive]);
         assert_eq!(a.scope_for(Property::Reflexive), 5);
         assert_eq!(a.backend().name(), "approx");
+    }
+
+    #[test]
+    fn parses_model_families() {
+        let a = parse(&["--models", "dt,rft,abt", "--threads", "2"]);
+        assert_eq!(
+            a.models,
+            vec![ModelFamily::Dt, ModelFamily::Rft, ModelFamily::Abt]
+        );
+        assert_eq!(a.threads, 2);
+        let single = parse(&["--models", "RFT"]);
+        assert_eq!(single.models, vec![ModelFamily::Rft]);
     }
 
     #[test]
@@ -145,5 +211,11 @@ mod tests {
     #[should_panic(expected = "unknown property")]
     fn unknown_property_panics() {
         parse(&["--property", "nope"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model family")]
+    fn unknown_model_family_panics() {
+        parse(&["--models", "dt,svm"]);
     }
 }

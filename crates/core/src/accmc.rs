@@ -1,35 +1,42 @@
-//! AccMC: quantifying a decision tree's performance over the entire bounded
+//! AccMC: quantifying a classifier's performance over the entire bounded
 //! input space with respect to a ground-truth formula φ.
 //!
 //! Following Section 4 of the paper, the four counts are model counts of
-//! conjunctions of (¬)φ with the CNF of the tree's positive / negative
+//! conjunctions of (¬)φ with the CNF of the model's positive / negative
 //! decision region:
 //!
-//! * `tp = mc(φ ∧ tree_true)`     * `fp = mc(¬φ ∧ tree_true)`
-//! * `tn = mc(¬φ ∧ tree_false)`   * `fn = mc(φ ∧ tree_false)`
+//! * `tp = mc(φ ∧ model_true)`     * `fp = mc(¬φ ∧ model_true)`
+//! * `tn = mc(¬φ ∧ model_false)`   * `fn = mc(φ ∧ model_false)`
 //!
 //! from which accuracy, precision, recall and F1 are derived exactly as for
 //! dataset-based evaluation — except the "dataset" is now all 2^(n²)
 //! adjacency matrices (optionally restricted by symmetry-breaking
 //! predicates baked into φ).
+//!
+//! The analysis is generic on both axes: any
+//! [`CnfEncodable`](crate::encode::CnfEncodable) model family (decision
+//! trees, random forests, boosted stumps) and any
+//! [`ModelCounter`](crate::counter::ModelCounter) backend.
 
 use crate::backend::CounterBackend;
-use crate::tree2cnf::{append_tree_label, TreeLabel};
+use crate::counter::{CountOutcome, ModelCounter};
+use crate::encode::CnfEncodable;
+use crate::error::EvalError;
+use crate::tree2cnf::TreeLabel;
 use mlkit::metrics::BinaryMetrics;
-use mlkit::tree::DecisionTree;
 use relspec::translate::GroundTruth;
 use std::time::{Duration, Instant};
 
 /// The four whole-space counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SpaceCounts {
-    /// Inputs satisfying φ that the tree classifies as positive.
+    /// Inputs satisfying φ that the model classifies as positive.
     pub tp: u128,
-    /// Inputs violating φ that the tree classifies as positive.
+    /// Inputs violating φ that the model classifies as positive.
     pub fp: u128,
-    /// Inputs violating φ that the tree classifies as negative.
+    /// Inputs violating φ that the model classifies as negative.
     pub tn: u128,
-    /// Inputs satisfying φ that the tree classifies as negative.
+    /// Inputs satisfying φ that the model classifies as negative.
     pub fn_: u128,
 }
 
@@ -55,62 +62,86 @@ pub struct AccMcResult {
     /// Wall-clock time spent in the four counting calls (the paper's
     /// "Time[s]" column).
     pub counting_time: Duration,
+    /// Whether all four counts are exact (`false` when at least one came
+    /// from an approximate backend).
+    pub exact: bool,
 }
 
 /// The AccMC analysis, parameterized by a counting backend.
 #[derive(Debug, Clone)]
-pub struct AccMc<'a> {
-    backend: &'a CounterBackend,
+pub struct AccMc<'a, C: ModelCounter + ?Sized = CounterBackend> {
+    backend: &'a C,
 }
 
-impl<'a> AccMc<'a> {
+impl<'a, C: ModelCounter + ?Sized> AccMc<'a, C> {
     /// Creates the analysis over the given backend.
-    pub fn new(backend: &'a CounterBackend) -> Self {
+    pub fn new(backend: &'a C) -> Self {
         AccMc { backend }
     }
 
-    /// Computes the whole-space confusion counts of `tree` against the
-    /// ground truth φ. Returns `None` if the backend's budget was exhausted
-    /// on any of the four counts (the paper's time-outs).
+    /// Computes the whole-space confusion counts of `model` against the
+    /// ground truth φ.
     ///
-    /// # Panics
-    ///
-    /// Panics if the tree's feature count differs from the ground truth's
-    /// primary-variable count.
-    pub fn evaluate(&self, ground_truth: &GroundTruth, tree: &DecisionTree) -> Option<AccMcResult> {
-        assert_eq!(
-            tree.num_features(),
-            ground_truth.num_primary(),
-            "tree was trained on {} features but the ground truth has {} primary variables",
-            tree.num_features(),
-            ground_truth.num_primary()
-        );
+    /// Returns `Ok(None)` if the backend's budget was exhausted on any of
+    /// the four counts (the paper's time-outs), and
+    /// [`EvalError::FeatureMismatch`] if the model's feature count differs
+    /// from the ground truth's primary-variable count.
+    pub fn evaluate<M: CnfEncodable + ?Sized>(
+        &self,
+        ground_truth: &GroundTruth,
+        model: &M,
+    ) -> Result<Option<AccMcResult>, EvalError> {
+        if model.num_features() != ground_truth.num_primary() {
+            return Err(EvalError::FeatureMismatch {
+                model_features: model.num_features(),
+                expected_features: ground_truth.num_primary(),
+                context: "ground truth",
+            });
+        }
         let start = Instant::now();
-        let tp = self.count_one(ground_truth, tree, true, TreeLabel::True)?;
-        let fp = self.count_one(ground_truth, tree, false, TreeLabel::True)?;
-        let tn = self.count_one(ground_truth, tree, false, TreeLabel::False)?;
-        let fn_ = self.count_one(ground_truth, tree, true, TreeLabel::False)?;
-        let counts = SpaceCounts { tp, fp, tn, fn_ };
-        Some(AccMcResult {
+        let mut exact = true;
+        let mut values = [0u128; 4];
+        let cells = [
+            (true, TreeLabel::True),
+            (false, TreeLabel::True),
+            (false, TreeLabel::False),
+            (true, TreeLabel::False),
+        ];
+        for (slot, &(phi_positive, label)) in values.iter_mut().zip(&cells) {
+            let outcome = self.count_one(ground_truth, model, phi_positive, label);
+            match outcome.value() {
+                None => return Ok(None),
+                Some(v) => *slot = v,
+            }
+            exact &= outcome.is_exact();
+        }
+        let counts = SpaceCounts {
+            tp: values[0],
+            fp: values[1],
+            tn: values[2],
+            fn_: values[3],
+        };
+        Ok(Some(AccMcResult {
             counts,
             metrics: counts.metrics(),
             counting_time: start.elapsed(),
-        })
+            exact,
+        }))
     }
 
-    fn count_one(
+    fn count_one<M: CnfEncodable + ?Sized>(
         &self,
         ground_truth: &GroundTruth,
-        tree: &DecisionTree,
+        model: &M,
         phi_positive: bool,
         label: TreeLabel,
-    ) -> Option<u128> {
+    ) -> CountOutcome {
         let mut cnf = if phi_positive {
             ground_truth.cnf_positive()
         } else {
             ground_truth.cnf_negative()
         };
-        append_tree_label(&mut cnf, tree, label);
+        model.encode_label(&mut cnf, label);
         self.backend.count(&cnf)
     }
 }
@@ -119,7 +150,8 @@ impl<'a> AccMc<'a> {
 mod tests {
     use super::*;
     use mlkit::data::Dataset;
-    use mlkit::tree::TreeConfig;
+    use mlkit::forest::{ForestConfig, RandomForest};
+    use mlkit::tree::{DecisionTree, TreeConfig};
     use mlkit::Classifier;
     use relspec::instance::RelInstance;
     use relspec::properties::Property;
@@ -128,11 +160,11 @@ mod tests {
 
     /// Brute-force whole-space counts by iterating over every adjacency
     /// matrix at the scope.
-    fn brute_counts(
+    fn brute_counts<M: Classifier>(
         property: Property,
         scope: usize,
         symmetry: SymmetryBreaking,
-        tree: &DecisionTree,
+        model: &M,
     ) -> SpaceCounts {
         let mut counts = SpaceCounts::default();
         for bits in 0u64..(1 << (scope * scope)) {
@@ -144,7 +176,7 @@ mod tests {
                 continue;
             }
             let truth = property.holds(&inst);
-            let predicted = tree.predict(&inst.to_features());
+            let predicted = model.predict(&inst.to_features());
             match (truth, predicted) {
                 (true, true) => counts.tp += 1,
                 (false, true) => counts.fp += 1,
@@ -170,17 +202,25 @@ mod tests {
     #[test]
     fn counts_match_brute_force_scope3() {
         let scope = 3;
-        for property in [Property::Reflexive, Property::Antisymmetric, Property::Function] {
+        for property in [
+            Property::Reflexive,
+            Property::Antisymmetric,
+            Property::Function,
+        ] {
             // Train on a small subsample so the tree is imperfect, which
             // exercises all four counts.
             let dataset = labeled_dataset(property, scope).subsample(60, 3);
             let tree = DecisionTree::fit(&dataset, TreeConfig::default());
             let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
             let backend = CounterBackend::exact();
-            let result = AccMc::new(&backend).evaluate(&gt, &tree).unwrap();
+            let result = AccMc::new(&backend)
+                .evaluate(&gt, &tree)
+                .expect("scopes match")
+                .expect("no budget");
             let brute = brute_counts(property, scope, SymmetryBreaking::None, &tree);
             assert_eq!(result.counts, brute, "property {property}");
             assert_eq!(result.counts.total(), 512);
+            assert!(result.exact);
         }
     }
 
@@ -196,9 +236,36 @@ mod tests {
             TranslateOptions::new(scope).with_symmetry(symmetry),
         );
         let backend = CounterBackend::exact();
-        let result = AccMc::new(&backend).evaluate(&gt, &tree).unwrap();
+        let result = AccMc::new(&backend)
+            .evaluate(&gt, &tree)
+            .expect("scopes match")
+            .expect("no budget");
         let brute = brute_counts(property, scope, symmetry, &tree);
         assert_eq!(result.counts, brute);
+    }
+
+    #[test]
+    fn forest_counts_match_brute_force() {
+        let scope = 3;
+        let property = Property::Antisymmetric;
+        let dataset = labeled_dataset(property, scope).subsample(100, 7);
+        let forest = RandomForest::fit(
+            &dataset,
+            ForestConfig {
+                num_trees: 7,
+                seed: 5,
+                ..ForestConfig::default()
+            },
+        );
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let backend = CounterBackend::exact();
+        let result = AccMc::new(&backend)
+            .evaluate(&gt, &forest)
+            .expect("scopes match")
+            .expect("no budget");
+        let brute = brute_counts(property, scope, SymmetryBreaking::None, &forest);
+        assert_eq!(result.counts, brute);
+        assert_eq!(result.counts.total(), 512);
     }
 
     #[test]
@@ -209,7 +276,10 @@ mod tests {
         let tree = DecisionTree::fit(&dataset, TreeConfig::default());
         let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(2));
         let backend = CounterBackend::exact();
-        let result = AccMc::new(&backend).evaluate(&gt, &tree).unwrap();
+        let result = AccMc::new(&backend)
+            .evaluate(&gt, &tree)
+            .expect("scopes match")
+            .expect("no budget");
         assert_eq!(result.counts.fp, 0);
         assert_eq!(result.counts.fn_, 0);
         assert_eq!(result.metrics.accuracy, 1.0);
@@ -225,8 +295,15 @@ mod tests {
         let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
         let exact = CounterBackend::exact();
         let approx = CounterBackend::approx();
-        let re = AccMc::new(&exact).evaluate(&gt, &tree).unwrap();
-        let ra = AccMc::new(&approx).evaluate(&gt, &tree).unwrap();
+        let re = AccMc::new(&exact)
+            .evaluate(&gt, &tree)
+            .expect("scopes match")
+            .expect("no budget");
+        let ra = AccMc::new(&approx)
+            .evaluate(&gt, &tree)
+            .expect("scopes match")
+            .expect("approx always answers");
+        assert!(!ra.exact);
         // The whole space at scope 3 is only 512, so the approximate counter
         // enumerates exactly.
         let close = |a: u128, b: u128| (a as f64 - b as f64).abs() <= (b as f64) * 0.6 + 8.0;
@@ -242,16 +319,26 @@ mod tests {
         let tree = DecisionTree::fit(&dataset, TreeConfig::default());
         let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
         let backend = CounterBackend::exact_with_budget(1);
-        assert!(AccMc::new(&backend).evaluate(&gt, &tree).is_none());
+        assert_eq!(
+            AccMc::new(&backend).evaluate(&gt, &tree),
+            Ok(None),
+            "budget exhaustion is a value, not an error"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "primary variables")]
-    fn mismatched_scope_panics() {
+    fn mismatched_scope_is_a_typed_error() {
         let dataset = labeled_dataset(Property::Reflexive, 2);
         let tree = DecisionTree::fit(&dataset, TreeConfig::default());
         let gt = translate_to_cnf(&Property::Reflexive.spec(), TranslateOptions::new(3));
         let backend = CounterBackend::exact();
-        let _ = AccMc::new(&backend).evaluate(&gt, &tree);
+        assert_eq!(
+            AccMc::new(&backend).evaluate(&gt, &tree),
+            Err(EvalError::FeatureMismatch {
+                model_features: 4,
+                expected_features: 9,
+                context: "ground truth",
+            })
+        );
     }
 }

@@ -2,18 +2,23 @@
 //!
 //! MCML's tool supports two back-ends: the exact counter (ProjMC in the
 //! paper, [`modelcount::exact`] here) and the approximate counter (ApproxMC
-//! in the paper, [`modelcount::approx`] here). The metrics in [`crate::accmc`]
-//! and [`crate::diffmc`] are agnostic to which one is used.
+//! in the paper, [`modelcount::approx`] here). [`CounterBackend`] is a thin
+//! runtime selector between the two, kept for CLI-style call sites; the
+//! evaluation core itself is generic over any
+//! [`ModelCounter`](crate::counter::ModelCounter), which this enum
+//! implements. Counts are reported as structured
+//! [`CountOutcome`](crate::counter::CountOutcome) values.
 
+use crate::counter::{CountOutcome, ModelCounter};
 use modelcount::approx::{ApproxConfig, ApproxCounter};
 use modelcount::exact::ExactCounter;
 use satkit::cnf::Cnf;
 
-/// A projected model-counting backend.
+/// A projected model-counting backend selector.
 #[derive(Debug, Clone)]
 pub enum CounterBackend {
-    /// Exact counting (the ProjMC role). Returns `None` when the node budget
-    /// is exhausted.
+    /// Exact counting (the ProjMC role); reports
+    /// [`CountOutcome::BudgetExhausted`] when its node budget runs out.
     Exact(ExactCounter),
     /// Approximate counting (the ApproxMC role).
     Approx(ApproxCounter),
@@ -49,12 +54,9 @@ impl CounterBackend {
     }
 
     /// Counts the models of `cnf` projected onto its effective projection
-    /// set. Returns `None` only for an exact backend whose budget ran out.
-    pub fn count(&self, cnf: &Cnf) -> Option<u128> {
-        match self {
-            CounterBackend::Exact(c) => c.count(cnf),
-            CounterBackend::Approx(c) => Some(c.count(cnf)),
-        }
+    /// set (inherent convenience for [`ModelCounter::count`]).
+    pub fn count(&self, cnf: &Cnf) -> CountOutcome {
+        ModelCounter::count(self, cnf)
     }
 }
 
@@ -67,8 +69,9 @@ mod tests {
     fn both_backends_count_a_small_formula() {
         let mut cnf = Cnf::new(3);
         cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
-        assert_eq!(CounterBackend::exact().count(&cnf), Some(6));
-        assert_eq!(CounterBackend::approx().count(&cnf), Some(6));
+        assert_eq!(CounterBackend::exact().count(&cnf), CountOutcome::Exact(6));
+        assert_eq!(CounterBackend::approx().count(&cnf).value(), Some(6));
+        assert!(!CounterBackend::approx().count(&cnf).is_exact());
     }
 
     #[test]
@@ -77,7 +80,12 @@ mod tests {
         for i in 0..19u32 {
             cnf.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)]);
         }
-        assert_eq!(CounterBackend::exact_with_budget(2).count(&cnf), None);
+        let outcome = CounterBackend::exact_with_budget(2).count(&cnf);
+        assert!(outcome.is_budget_exhausted());
+        match outcome {
+            CountOutcome::BudgetExhausted { nodes_used } => assert!(nodes_used >= 2),
+            other => panic!("unexpected outcome {other:?}"),
+        }
     }
 
     #[test]

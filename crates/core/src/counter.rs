@@ -1,0 +1,358 @@
+//! The pluggable model-counting abstraction: the [`ModelCounter`] trait, the
+//! structured [`CountOutcome`] it returns, and the memoizing
+//! [`CachedCounter`] wrapper.
+//!
+//! Historically the evaluation core took a concrete `CounterBackend` whose
+//! `count` returned `Option<u128>` — conflating "the budget ran out" with
+//! the absence of a value and hiding whether a number was exact or an
+//! (ε, δ)-estimate. [`CountOutcome`] makes the three cases explicit, and any
+//! counter implementing [`ModelCounter`] can drive the AccMC/DiffMC metrics:
+//! the built-in exact and approximate counters, the [`CounterBackend`] enum
+//! (kept as a thin selector for CLI-style call sites), or a
+//! [`CachedCounter`] wrapping any of them so repeated formulas — e.g. the
+//! shared φ / ¬φ prefixes of the four AccMC counts across table rows — are
+//! counted once.
+
+use crate::backend::CounterBackend;
+use modelcount::approx::ApproxCounter;
+use modelcount::exact::ExactCounter;
+use satkit::cnf::Cnf;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The structured result of one projected model count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CountOutcome {
+    /// An exact count.
+    Exact(u128),
+    /// An (ε, δ)-approximate count: within a factor `1 + epsilon` of the
+    /// true count with probability at least `1 - delta`.
+    Approx {
+        /// The estimated count.
+        estimate: u128,
+        /// Tolerance ε of the estimate.
+        epsilon: f64,
+        /// Confidence parameter δ of the estimate.
+        delta: f64,
+    },
+    /// The counter gave up before producing a value (the paper's time-outs).
+    BudgetExhausted {
+        /// Search nodes explored before the budget ran out.
+        nodes_used: u64,
+    },
+}
+
+impl CountOutcome {
+    /// The counted (or estimated) value, `None` when the budget ran out.
+    pub fn value(&self) -> Option<u128> {
+        match *self {
+            CountOutcome::Exact(v) => Some(v),
+            CountOutcome::Approx { estimate, .. } => Some(estimate),
+            CountOutcome::BudgetExhausted { .. } => None,
+        }
+    }
+
+    /// Whether this outcome carries an exact count.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, CountOutcome::Exact(_))
+    }
+
+    /// Whether the counter gave up.
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(self, CountOutcome::BudgetExhausted { .. })
+    }
+}
+
+/// A projected model-counting backend usable by the evaluation core.
+///
+/// Implementations must be shareable across the threads of a
+/// [`Runner`](crate::framework::Runner), hence the `Send + Sync` supertrait.
+pub trait ModelCounter: Send + Sync {
+    /// Short name for reports (e.g. `"exact"`, `"approx"`, `"cached"`).
+    fn name(&self) -> &str;
+
+    /// Counts the models of `cnf` projected onto its effective projection
+    /// set.
+    fn count(&self, cnf: &Cnf) -> CountOutcome;
+}
+
+impl ModelCounter for ExactCounter {
+    fn name(&self) -> &str {
+        "exact"
+    }
+
+    fn count(&self, cnf: &Cnf) -> CountOutcome {
+        match self.try_count(cnf) {
+            Ok((value, _)) => CountOutcome::Exact(value),
+            Err(stats) => CountOutcome::BudgetExhausted {
+                nodes_used: stats.nodes,
+            },
+        }
+    }
+}
+
+impl ModelCounter for ApproxCounter {
+    fn name(&self) -> &str {
+        "approx"
+    }
+
+    fn count(&self, cnf: &Cnf) -> CountOutcome {
+        CountOutcome::Approx {
+            estimate: self.count(cnf),
+            epsilon: self.config().epsilon,
+            delta: self.config().delta,
+        }
+    }
+}
+
+impl ModelCounter for CounterBackend {
+    fn name(&self) -> &str {
+        match self {
+            CounterBackend::Exact(_) => "exact",
+            CounterBackend::Approx(_) => "approx",
+        }
+    }
+
+    fn count(&self, cnf: &Cnf) -> CountOutcome {
+        match self {
+            CounterBackend::Exact(c) => ModelCounter::count(c, cnf),
+            CounterBackend::Approx(c) => ModelCounter::count(c, cnf),
+        }
+    }
+}
+
+/// A 128-bit structural fingerprint of a CNF (variables, projection and
+/// clause list), used as the memoization key by [`CachedCounter`].
+///
+/// Two independently salted SipHash-1-3 passes give a 128-bit digest; a
+/// collision between distinct formulas in one process is vanishingly
+/// unlikely (birthday bound ≈ 2⁻⁶⁴ at a billion cached entries).
+pub fn cnf_fingerprint(cnf: &Cnf) -> u128 {
+    let pass = |salt: u64| -> u64 {
+        let mut h = DefaultHasher::new();
+        salt.hash(&mut h);
+        cnf.num_vars().hash(&mut h);
+        for v in cnf.projection() {
+            v.0.hash(&mut h);
+        }
+        0xffff_ffffu64.hash(&mut h); // separator between projection and clauses
+        for clause in cnf.clauses() {
+            for lit in clause.iter() {
+                lit.code().hash(&mut h);
+            }
+            u64::MAX.hash(&mut h); // clause separator
+        }
+        h.finish()
+    };
+    (u128::from(pass(0x9E37_79B9_7F4A_7C15)) << 64) | u128::from(pass(0xC2B2_AE3D_27D4_EB4F))
+}
+
+/// Hit/miss statistics of a [`CachedCounter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Counts served from the cache.
+    pub hits: u64,
+    /// Counts delegated to the inner counter.
+    pub misses: u64,
+}
+
+/// A memoizing wrapper around any [`ModelCounter`], keyed on
+/// [`cnf_fingerprint`].
+///
+/// AccMC issues four counts per evaluated model, and table harnesses repeat
+/// structurally identical formulas across rows (the φ / ¬φ ground-truth
+/// halves, identical re-trained models, …). Wrapping the backend in a
+/// `CachedCounter` makes every repeat free. The cache is internally
+/// synchronized, so one instance can serve all threads of a
+/// [`Runner`](crate::framework::Runner).
+#[derive(Debug, Default)]
+pub struct CachedCounter<C> {
+    inner: C,
+    cache: Mutex<HashMap<u128, CountOutcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<C: ModelCounter> CachedCounter<C> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: C) -> Self {
+        CachedCounter {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped counter.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Hit/miss statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct formulas cached.
+    pub fn len(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached outcomes (statistics are kept).
+    pub fn clear(&self) {
+        self.cache.lock().expect("cache poisoned").clear();
+    }
+}
+
+impl<C: ModelCounter> ModelCounter for CachedCounter<C> {
+    fn name(&self) -> &str {
+        "cached"
+    }
+
+    fn count(&self, cnf: &Cnf) -> CountOutcome {
+        let key = cnf_fingerprint(cnf);
+        if let Some(&outcome) = self.cache.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return outcome;
+        }
+        // Count outside the lock so concurrent misses on *different*
+        // formulas proceed in parallel (a duplicated count on the same
+        // formula is merely redundant work, never wrong).
+        let outcome = self.inner.count(cnf);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, outcome);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satkit::cnf::{Lit, Var};
+
+    fn clause_cnf() -> Cnf {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf
+    }
+
+    #[test]
+    fn outcome_value_accessors() {
+        assert_eq!(CountOutcome::Exact(7).value(), Some(7));
+        assert!(CountOutcome::Exact(7).is_exact());
+        let approx = CountOutcome::Approx {
+            estimate: 9,
+            epsilon: 0.4,
+            delta: 0.2,
+        };
+        assert_eq!(approx.value(), Some(9));
+        assert!(!approx.is_exact());
+        let exhausted = CountOutcome::BudgetExhausted { nodes_used: 5 };
+        assert_eq!(exhausted.value(), None);
+        assert!(exhausted.is_budget_exhausted());
+    }
+
+    #[test]
+    fn exact_counter_reports_outcomes() {
+        let cnf = clause_cnf();
+        assert_eq!(
+            ModelCounter::count(&ExactCounter::new(), &cnf),
+            CountOutcome::Exact(6)
+        );
+        let budgeted = ExactCounter::with_node_budget(0);
+        let mut chain = Cnf::new(20);
+        for i in 0..19u32 {
+            chain.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)]);
+        }
+        assert!(ModelCounter::count(&budgeted, &chain).is_budget_exhausted());
+    }
+
+    #[test]
+    fn approx_counter_reports_config() {
+        let cnf = clause_cnf();
+        match ModelCounter::count(&ApproxCounter::default(), &cnf) {
+            CountOutcome::Approx {
+                estimate,
+                epsilon,
+                delta,
+            } => {
+                assert_eq!(estimate, 6);
+                assert!(epsilon > 0.0 && delta > 0.0);
+            }
+            other => panic!("expected approx outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        let a = clause_cnf();
+        let mut b = clause_cnf();
+        b.add_clause(vec![Lit::neg(2)]);
+        assert_ne!(cnf_fingerprint(&a), cnf_fingerprint(&b));
+        assert_eq!(cnf_fingerprint(&a), cnf_fingerprint(&clause_cnf()));
+
+        // Projection changes the count, so it must change the fingerprint.
+        let mut c = clause_cnf();
+        c.set_projection(vec![Var(0)]);
+        assert_ne!(cnf_fingerprint(&a), cnf_fingerprint(&c));
+    }
+
+    #[test]
+    fn cached_counter_memoizes() {
+        let cached = CachedCounter::new(ExactCounter::new());
+        let cnf = clause_cnf();
+        assert_eq!(cached.count(&cnf).value(), Some(6));
+        assert_eq!(cached.count(&cnf).value(), Some(6));
+        assert_eq!(cached.count(&cnf).value(), Some(6));
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(cached.len(), 1);
+        cached.clear();
+        assert!(cached.is_empty());
+    }
+
+    #[test]
+    fn cached_counter_is_shareable_across_threads() {
+        let cached = CachedCounter::new(ExactCounter::new());
+        let cnf = clause_cnf();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        assert_eq!(cached.count(&cnf).value(), Some(6));
+                    }
+                });
+            }
+        });
+        let stats = cached.stats();
+        assert_eq!(stats.hits + stats.misses, 32);
+        assert!(stats.hits >= 28, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn backend_implements_model_counter() {
+        let cnf = clause_cnf();
+        let exact: &dyn ModelCounter = &CounterBackend::exact();
+        assert_eq!(exact.count(&cnf), CountOutcome::Exact(6));
+        assert_eq!(exact.name(), "exact");
+        let approx: &dyn ModelCounter = &CounterBackend::approx();
+        assert_eq!(approx.count(&cnf).value(), Some(6));
+        assert_eq!(approx.name(), "approx");
+    }
+}

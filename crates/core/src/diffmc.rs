@@ -1,29 +1,37 @@
-//! DiffMC: quantifying the semantic difference between two decision trees
+//! DiffMC: quantifying the semantic difference between two trained models
 //! over the entire input space — without any ground truth or dataset.
 //!
 //! Following Section 4 of the paper, the four counts are model counts of
-//! conjunctions of the trees' decision-region CNFs:
+//! conjunctions of the models' decision-region CNFs:
 //!
-//! * `tt = mc(tree1_true ∧ tree2_true)`    * `tf = mc(tree1_true ∧ tree2_false)`
-//! * `ft = mc(tree1_false ∧ tree2_true)`   * `ff = mc(tree1_false ∧ tree2_false)`
+//! * `tt = mc(m1_true ∧ m2_true)`    * `tf = mc(m1_true ∧ m2_false)`
+//! * `ft = mc(m1_false ∧ m2_true)`   * `ff = mc(m1_false ∧ m2_false)`
 //!
 //! and `diff = (tf + ft) / 2ⁿ`, `sim = 1 - diff`.
+//!
+//! Like AccMC, the comparison is generic over
+//! [`CnfEncodable`](crate::encode::CnfEncodable) model families — the two
+//! sides may even belong to *different* families (e.g. a decision tree
+//! against the random forest distilled from the same data).
 
 use crate::backend::CounterBackend;
-use crate::tree2cnf::{append_tree_label, tree_label_cnf, TreeLabel};
-use mlkit::tree::DecisionTree;
+use crate::counter::ModelCounter;
+use crate::encode::CnfEncodable;
+use crate::error::EvalError;
+use crate::tree2cnf::TreeLabel;
+use satkit::cnf::{Cnf, Var};
 use std::time::{Duration, Instant};
 
 /// The four whole-space agreement/disagreement counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DiffCounts {
-    /// Inputs both trees classify as positive.
+    /// Inputs both models classify as positive.
     pub tt: u128,
-    /// Inputs the first tree classifies as positive and the second as negative.
+    /// Inputs the first model classifies as positive and the second as negative.
     pub tf: u128,
-    /// Inputs the first tree classifies as negative and the second as positive.
+    /// Inputs the first model classifies as negative and the second as positive.
     pub ft: u128,
-    /// Inputs both trees classify as negative.
+    /// Inputs both models classify as negative.
     pub ff: u128,
 }
 
@@ -33,7 +41,7 @@ impl DiffCounts {
         self.tt + self.tf + self.ft + self.ff
     }
 
-    /// Fraction of inputs on which the trees disagree.
+    /// Fraction of inputs on which the models disagree.
     pub fn diff(&self) -> f64 {
         let total = self.total();
         if total == 0 {
@@ -42,7 +50,7 @@ impl DiffCounts {
         (self.tf + self.ft) as f64 / total as f64
     }
 
-    /// Fraction of inputs on which the trees agree (`1 - diff`).
+    /// Fraction of inputs on which the models agree (`1 - diff`).
     pub fn sim(&self) -> f64 {
         1.0 - self.diff()
     }
@@ -59,50 +67,70 @@ pub struct DiffMcResult {
 
 /// The DiffMC analysis, parameterized by a counting backend.
 #[derive(Debug, Clone)]
-pub struct DiffMc<'a> {
-    backend: &'a CounterBackend,
+pub struct DiffMc<'a, C: ModelCounter + ?Sized = CounterBackend> {
+    backend: &'a C,
 }
 
-impl<'a> DiffMc<'a> {
+impl<'a, C: ModelCounter + ?Sized> DiffMc<'a, C> {
     /// Creates the analysis over the given backend.
-    pub fn new(backend: &'a CounterBackend) -> Self {
+    pub fn new(backend: &'a C) -> Self {
         DiffMc { backend }
     }
 
-    /// Computes the whole-space agreement/disagreement counts of two trees.
-    /// Returns `None` if the backend's budget was exhausted.
+    /// Computes the whole-space agreement/disagreement counts of two models.
     ///
-    /// # Panics
-    ///
-    /// Panics if the trees were trained over different numbers of features.
-    pub fn compare(&self, d1: &DecisionTree, d2: &DecisionTree) -> Option<DiffMcResult> {
-        assert_eq!(
-            d1.num_features(),
-            d2.num_features(),
-            "trees classify different feature spaces ({} vs {})",
-            d1.num_features(),
-            d2.num_features()
-        );
+    /// Returns `Ok(None)` if the backend's budget was exhausted, and
+    /// [`EvalError::FeatureMismatch`] if the models classify different
+    /// feature spaces.
+    pub fn compare<A: CnfEncodable + ?Sized, B: CnfEncodable + ?Sized>(
+        &self,
+        m1: &A,
+        m2: &B,
+    ) -> Result<Option<DiffMcResult>, EvalError> {
+        if m1.num_features() != m2.num_features() {
+            return Err(EvalError::FeatureMismatch {
+                model_features: m2.num_features(),
+                expected_features: m1.num_features(),
+                context: "first model",
+            });
+        }
         let start = Instant::now();
-        let tt = self.count_one(d1, TreeLabel::True, d2, TreeLabel::True)?;
-        let tf = self.count_one(d1, TreeLabel::True, d2, TreeLabel::False)?;
-        let ft = self.count_one(d1, TreeLabel::False, d2, TreeLabel::True)?;
-        let ff = self.count_one(d1, TreeLabel::False, d2, TreeLabel::False)?;
-        Some(DiffMcResult {
-            counts: DiffCounts { tt, tf, ft, ff },
+        let mut values = [0u128; 4];
+        let cells = [
+            (TreeLabel::True, TreeLabel::True),
+            (TreeLabel::True, TreeLabel::False),
+            (TreeLabel::False, TreeLabel::True),
+            (TreeLabel::False, TreeLabel::False),
+        ];
+        for (slot, &(l1, l2)) in values.iter_mut().zip(&cells) {
+            match self.count_one(m1, l1, m2, l2).value() {
+                None => return Ok(None),
+                Some(v) => *slot = v,
+            }
+        }
+        Ok(Some(DiffMcResult {
+            counts: DiffCounts {
+                tt: values[0],
+                tf: values[1],
+                ft: values[2],
+                ff: values[3],
+            },
             counting_time: start.elapsed(),
-        })
+        }))
     }
 
-    fn count_one(
+    fn count_one<A: CnfEncodable + ?Sized, B: CnfEncodable + ?Sized>(
         &self,
-        d1: &DecisionTree,
+        m1: &A,
         l1: TreeLabel,
-        d2: &DecisionTree,
+        m2: &B,
         l2: TreeLabel,
-    ) -> Option<u128> {
-        let mut cnf = tree_label_cnf(d1, l1);
-        append_tree_label(&mut cnf, d2, l2);
+    ) -> crate::counter::CountOutcome {
+        let n = m1.num_features();
+        let mut cnf = Cnf::new(n);
+        cnf.set_projection((0..n as u32).map(Var).collect());
+        m1.encode_label(&mut cnf, l1);
+        m2.encode_label(&mut cnf, l2);
         self.backend.count(&cnf)
     }
 }
@@ -111,7 +139,8 @@ impl<'a> DiffMc<'a> {
 mod tests {
     use super::*;
     use mlkit::data::Dataset;
-    use mlkit::tree::TreeConfig;
+    use mlkit::forest::{ForestConfig, RandomForest};
+    use mlkit::tree::{DecisionTree, TreeConfig};
     use mlkit::Classifier;
 
     fn dataset_from_fn(num_features: usize, f: impl Fn(&[u8]) -> bool) -> Dataset {
@@ -124,12 +153,11 @@ mod tests {
         d
     }
 
-    fn brute_diff(d1: &DecisionTree, d2: &DecisionTree) -> DiffCounts {
-        let n = d1.num_features();
+    fn brute_diff<A: Classifier, B: Classifier>(m1: &A, m2: &B, n: usize) -> DiffCounts {
         let mut counts = DiffCounts::default();
         for bits in 0u32..(1 << n) {
             let features: Vec<u8> = (0..n).map(|k| ((bits >> k) & 1) as u8).collect();
-            match (d1.predict(&features), d2.predict(&features)) {
+            match (m1.predict(&features), m2.predict(&features)) {
                 (true, true) => counts.tt += 1,
                 (true, false) => counts.tf += 1,
                 (false, true) => counts.ft += 1,
@@ -145,7 +173,10 @@ mod tests {
         let t1 = DecisionTree::fit(&d, TreeConfig::default());
         let t2 = DecisionTree::fit(&d, TreeConfig::default());
         let backend = CounterBackend::exact();
-        let r = DiffMc::new(&backend).compare(&t1, &t2).unwrap();
+        let r = DiffMc::new(&backend)
+            .compare(&t1, &t2)
+            .expect("feature spaces match")
+            .expect("no budget");
         assert_eq!(r.counts.tf, 0);
         assert_eq!(r.counts.ft, 0);
         assert_eq!(r.counts.diff(), 0.0);
@@ -161,10 +192,36 @@ mod tests {
         // trees genuinely differ.
         let t2 = DecisionTree::fit(&full.subsample(12, 3), TreeConfig::with_max_depth(2));
         let backend = CounterBackend::exact();
-        let r = DiffMc::new(&backend).compare(&t1, &t2).unwrap();
-        let brute = brute_diff(&t1, &t2);
+        let r = DiffMc::new(&backend)
+            .compare(&t1, &t2)
+            .expect("feature spaces match")
+            .expect("no budget");
+        let brute = brute_diff(&t1, &t2, 5);
         assert_eq!(r.counts, brute);
         assert!((r.counts.diff() + r.counts.sim() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_family_diff_matches_brute_force() {
+        // A decision tree against a random forest trained on the same data.
+        let full = dataset_from_fn(4, |x| (x[0] ^ x[1]) == 1 || x[3] == 1);
+        let tree = DecisionTree::fit(&full, TreeConfig::with_max_depth(2));
+        let forest = RandomForest::fit(
+            &full,
+            ForestConfig {
+                num_trees: 5,
+                seed: 9,
+                ..ForestConfig::default()
+            },
+        );
+        let backend = CounterBackend::exact();
+        let r = DiffMc::new(&backend)
+            .compare(&tree, &forest)
+            .expect("feature spaces match")
+            .expect("no budget");
+        let brute = brute_diff(&tree, &forest, 4);
+        assert_eq!(r.counts, brute);
+        assert_eq!(r.counts.total(), 16);
     }
 
     #[test]
@@ -174,18 +231,27 @@ mod tests {
         let t1 = DecisionTree::fit(&d, TreeConfig::default());
         let t2 = DecisionTree::fit(&d_inv, TreeConfig::default());
         let backend = CounterBackend::exact();
-        let r = DiffMc::new(&backend).compare(&t1, &t2).unwrap();
+        let r = DiffMc::new(&backend)
+            .compare(&t1, &t2)
+            .expect("feature spaces match")
+            .expect("no budget");
         assert_eq!(r.counts.tt, 0);
         assert_eq!(r.counts.ff, 0);
         assert_eq!(r.counts.diff(), 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "different feature spaces")]
-    fn mismatched_feature_counts_panic() {
+    fn mismatched_feature_counts_are_a_typed_error() {
         let t1 = DecisionTree::fit(&dataset_from_fn(3, |x| x[0] == 1), TreeConfig::default());
         let t2 = DecisionTree::fit(&dataset_from_fn(4, |x| x[0] == 1), TreeConfig::default());
         let backend = CounterBackend::exact();
-        let _ = DiffMc::new(&backend).compare(&t1, &t2);
+        assert_eq!(
+            DiffMc::new(&backend).compare(&t1, &t2),
+            Err(EvalError::FeatureMismatch {
+                model_features: 4,
+                expected_features: 3,
+                context: "first model",
+            })
+        );
     }
 }

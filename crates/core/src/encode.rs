@@ -1,0 +1,396 @@
+//! The [`CnfEncodable`] abstraction: model families whose decision regions
+//! can be characterized in CNF, making them eligible for the whole-space
+//! AccMC/DiffMC metrics.
+//!
+//! The key invariant every implementation must maintain is
+//! *count preservation under projection*: for a CNF whose projection set is
+//! the feature block, an assignment of the feature variables must be
+//! extendable to a model of the appended clauses **iff** the model
+//! classifies that assignment as the requested label. Auxiliary variables
+//! are fine (projected counting ignores how many extensions exist), missing
+//! or spurious feature assignments are not.
+//!
+//! Three model families implement the trait:
+//!
+//! * [`DecisionTree`] — the original auxiliary-variable-free Tree2CNF
+//!   translation (see [`crate::tree2cnf`]);
+//! * [`RandomForest`] — one indicator variable per tree (equivalent to that
+//!   tree's positive region) plus a totalizer cardinality constraint from
+//!   [`satkit::card`] asserting the majority threshold;
+//! * [`AdaBoost`] — indicator variables per weak learner plus a
+//!   weighted-vote threshold compiled to clauses through a memoized
+//!   branching-program (BDD) expansion that mirrors the ensemble's own
+//!   floating-point vote summation bit for bit.
+
+use crate::tree2cnf::{tree_label_clauses, TreeLabel};
+use mlkit::adaboost::AdaBoost;
+use mlkit::forest::RandomForest;
+use mlkit::tree::DecisionTree;
+use satkit::card::Totalizer;
+use satkit::cnf::{Cnf, Lit, Var};
+use std::collections::HashMap;
+
+/// A trained model whose `label` decision region can be appended to a CNF.
+pub trait CnfEncodable {
+    /// Number of input features (the model's primary variables `0..n`).
+    fn num_features(&self) -> usize;
+
+    /// Appends clauses to `cnf` constraining its first
+    /// [`num_features`](Self::num_features) variables to the inputs this
+    /// model classifies as `label`. Auxiliary variables must be allocated
+    /// through [`Cnf::new_var`] so they never collide with variables already
+    /// present (e.g. the Tseitin variables of a ground-truth formula).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnf` has fewer variables than the model has features.
+    fn encode_label(&self, cnf: &mut Cnf, label: TreeLabel);
+
+    /// A standalone CNF over the feature variables whose projected models
+    /// are exactly the inputs classified as `label`; the projection set is
+    /// the full feature block.
+    fn label_cnf(&self, label: TreeLabel) -> Cnf {
+        let n = self.num_features();
+        let mut cnf = Cnf::new(n);
+        cnf.set_projection((0..n as u32).map(Var).collect());
+        self.encode_label(&mut cnf, label);
+        cnf
+    }
+}
+
+fn assert_feature_block(cnf: &Cnf, num_features: usize) {
+    assert!(
+        cnf.num_vars() >= num_features,
+        "CNF has {} variables but the model uses {} features",
+        cnf.num_vars(),
+        num_features
+    );
+}
+
+impl CnfEncodable for DecisionTree {
+    fn num_features(&self) -> usize {
+        DecisionTree::num_features(self)
+    }
+
+    fn encode_label(&self, cnf: &mut Cnf, label: TreeLabel) {
+        assert_feature_block(cnf, DecisionTree::num_features(self));
+        for clause in tree_label_clauses(self, label) {
+            cnf.add_clause(clause);
+        }
+    }
+}
+
+/// Defines a fresh variable equivalent to `tree`'s positive decision region
+/// and returns its positive literal.
+///
+/// Both implication directions are emitted — `v → region` (the region's CNF
+/// with `¬v` added to each clause) and `region → v` (the complement's CNF
+/// with `v` added) — so asserting either polarity of `v` carves out exactly
+/// the corresponding region.
+fn define_region_indicator(cnf: &mut Cnf, tree: &DecisionTree) -> Lit {
+    let v = cnf.new_var().pos();
+    for clause in tree_label_clauses(tree, TreeLabel::True) {
+        let mut lits = clause.lits().to_vec();
+        lits.push(!v);
+        cnf.add_clause(lits);
+    }
+    for clause in tree_label_clauses(tree, TreeLabel::False) {
+        let mut lits = clause.lits().to_vec();
+        lits.push(v);
+        cnf.add_clause(lits);
+    }
+    v
+}
+
+impl CnfEncodable for RandomForest {
+    fn num_features(&self) -> usize {
+        self.trees()[0].num_features()
+    }
+
+    fn encode_label(&self, cnf: &mut Cnf, label: TreeLabel) {
+        assert_feature_block(cnf, CnfEncodable::num_features(self));
+        let votes: Vec<Lit> = self
+            .trees()
+            .iter()
+            .map(|tree| define_region_indicator(cnf, tree))
+            .collect();
+        // `predict` is `votes * 2 >= num_trees`, i.e. `votes >= ceil(T / 2)`.
+        let threshold = self.trees().len().div_ceil(2);
+        let totalizer = Totalizer::build(cnf, &votes);
+        match label {
+            TreeLabel::True => totalizer.assert_at_least(cnf, threshold),
+            TreeLabel::False => totalizer.assert_at_most(cnf, threshold - 1),
+        }
+    }
+}
+
+/// A node of the weighted-vote branching program: a constant region or the
+/// defining literal of an ITE over an indicator variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VoteNode {
+    Const(bool),
+    Defined(Lit),
+}
+
+/// Compiles the AdaBoost decision `Σ αᵢ·hᵢ(x) ≥ 0` over the learner
+/// indicators into clauses, mirroring [`AdaBoost`]'s own prediction exactly:
+/// the vote is accumulated left to right in `f64`, so the compiled function
+/// agrees with `Classifier::predict` on every input, including rounding and
+/// signed-zero edge cases.
+///
+/// Memoization is keyed on `(learner index, partial-sum bits)`; ensembles
+/// whose vote weights repeat (the common case for boosted stumps over small
+/// feature spaces) collapse to a compact diagram.
+///
+/// **Complexity caveat:** with pairwise-distinct vote weights the diagram
+/// can grow exponentially in the number of rounds (up to `2^rounds` nodes),
+/// because distinct partial sums never merge. Keep whole-space ABT
+/// ensembles to a few dozen rounds at most — the [`Runner`] defaults to 10
+/// (`abt_rounds`) for exactly this reason.
+///
+/// [`Runner`]: crate::framework::Runner
+struct VoteCompiler<'a> {
+    learners: &'a [(f64, DecisionTree)],
+    indicators: &'a [Lit],
+    memo: HashMap<(usize, u64), VoteNode>,
+}
+
+impl VoteCompiler<'_> {
+    fn compile(&mut self, cnf: &mut Cnf, index: usize, acc: f64) -> VoteNode {
+        if index == self.learners.len() {
+            return VoteNode::Const(acc >= 0.0);
+        }
+        let key = (index, acc.to_bits());
+        if let Some(&node) = self.memo.get(&key) {
+            return node;
+        }
+        let alpha = self.learners[index].0;
+        // Identical arithmetic to `AdaBoost::predict`: `alpha * h` with
+        // `h = ±1.0`, accumulated in learner order.
+        let hi = self.compile(cnf, index + 1, acc + alpha * 1.0);
+        // `-alpha` is bit-identical to the predictor's `alpha * -1.0`.
+        let lo = self.compile(cnf, index + 1, acc - alpha);
+        let node = ite(cnf, self.indicators[index], hi, lo);
+        self.memo.insert(key, node);
+        node
+    }
+}
+
+/// Defines `u ↔ (v ? hi : lo)` with constant folding, returning the node
+/// standing for the ITE.
+fn ite(cnf: &mut Cnf, v: Lit, hi: VoteNode, lo: VoteNode) -> VoteNode {
+    if hi == lo {
+        return hi;
+    }
+    match (hi, lo) {
+        (VoteNode::Const(true), VoteNode::Const(false)) => return VoteNode::Defined(v),
+        (VoteNode::Const(false), VoteNode::Const(true)) => return VoteNode::Defined(!v),
+        _ => {}
+    }
+    let u = cnf.new_var().pos();
+    // u ↔ (v ∧ hi) ∨ (¬v ∧ lo), with constant branches folded away.
+    match hi {
+        VoteNode::Const(true) => cnf.add_clause(vec![u, !v]), // v → u
+        VoteNode::Const(false) => cnf.add_clause(vec![!u, !v]), // v → ¬u
+        VoteNode::Defined(h) => {
+            cnf.add_clause(vec![!u, !v, h]);
+            cnf.add_clause(vec![u, !v, !h]);
+        }
+    }
+    match lo {
+        VoteNode::Const(true) => cnf.add_clause(vec![u, v]), // ¬v → u
+        VoteNode::Const(false) => cnf.add_clause(vec![!u, v]), // ¬v → ¬u
+        VoteNode::Defined(l) => {
+            cnf.add_clause(vec![!u, v, l]);
+            cnf.add_clause(vec![u, v, !l]);
+        }
+    }
+    VoteNode::Defined(u)
+}
+
+impl CnfEncodable for AdaBoost {
+    fn num_features(&self) -> usize {
+        self.learners()[0].1.num_features()
+    }
+
+    fn encode_label(&self, cnf: &mut Cnf, label: TreeLabel) {
+        assert_feature_block(cnf, CnfEncodable::num_features(self));
+        let indicators: Vec<Lit> = self
+            .learners()
+            .iter()
+            .map(|(_, tree)| define_region_indicator(cnf, tree))
+            .collect();
+        let mut compiler = VoteCompiler {
+            learners: self.learners(),
+            indicators: &indicators,
+            memo: HashMap::new(),
+        };
+        let root = compiler.compile(cnf, 0, 0.0);
+        let wanted = matches!(label, TreeLabel::True);
+        match root {
+            VoteNode::Const(value) => {
+                if value != wanted {
+                    cnf.add_clause(Vec::new()); // the region is empty
+                }
+            }
+            VoteNode::Defined(lit) => {
+                cnf.add_unit(if wanted { lit } else { !lit });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkit::adaboost::AdaBoostConfig;
+    use mlkit::data::Dataset;
+    use mlkit::forest::ForestConfig;
+    use mlkit::tree::TreeConfig;
+    use mlkit::Classifier;
+    use modelcount::exact::ExactCounter;
+
+    fn dataset_from_fn(num_features: usize, f: impl Fn(&[u8]) -> bool) -> Dataset {
+        let mut d = Dataset::new(num_features);
+        for bits in 0u32..(1 << num_features) {
+            let row: Vec<u8> = (0..num_features).map(|k| ((bits >> k) & 1) as u8).collect();
+            let label = f(&row);
+            d.push(row, label);
+        }
+        d
+    }
+
+    /// Checks the core invariant: the projected models of `label_cnf` are
+    /// exactly the inputs the classifier maps to that label.
+    fn check_encoding_matches_predictions<M: CnfEncodable + Classifier>(model: &M) {
+        let n = CnfEncodable::num_features(model);
+        let cnf_true = model.label_cnf(TreeLabel::True);
+        let cnf_false = model.label_cnf(TreeLabel::False);
+        let counter = ExactCounter::new();
+        let mut expected_true = 0u128;
+        for bits in 0u32..(1 << n) {
+            let features: Vec<u8> = (0..n).map(|k| ((bits >> k) & 1) as u8).collect();
+            if model.predict(&features) {
+                expected_true += 1;
+            }
+        }
+        let t = counter.count(&cnf_true).expect("no budget");
+        let f = counter.count(&cnf_false).expect("no budget");
+        assert_eq!(t, expected_true, "true-region count");
+        assert_eq!(f, (1u128 << n) - expected_true, "false-region count");
+    }
+
+    #[test]
+    fn tree_encoding_matches_predictions() {
+        let d = dataset_from_fn(4, |x| x[0] == 1 && (x[1] == 1 || x[3] == 0));
+        let tree = DecisionTree::fit(&d, TreeConfig::default());
+        check_encoding_matches_predictions(&tree);
+    }
+
+    #[test]
+    fn forest_encoding_matches_predictions() {
+        for (num_trees, seed) in [(1usize, 0u64), (2, 1), (5, 2), (8, 3)] {
+            let d = dataset_from_fn(4, |x| x.iter().map(|&b| b as usize).sum::<usize>() >= 2);
+            let forest = RandomForest::fit(
+                &d,
+                ForestConfig {
+                    num_trees,
+                    seed,
+                    ..ForestConfig::default()
+                },
+            );
+            check_encoding_matches_predictions(&forest);
+        }
+    }
+
+    #[test]
+    fn adaboost_encoding_matches_predictions() {
+        for (rounds, depth, seed) in [(1usize, 1usize, 0u64), (5, 1, 1), (9, 2, 2)] {
+            let d = dataset_from_fn(4, |x| (x[0] ^ x[2]) == 1 || x[3] == 1);
+            let ensemble = AdaBoost::fit(
+                &d,
+                AdaBoostConfig {
+                    num_rounds: rounds,
+                    weak_depth: depth,
+                    seed,
+                },
+            );
+            check_encoding_matches_predictions(&ensemble);
+        }
+    }
+
+    #[test]
+    fn indicator_is_an_equivalence() {
+        // Assert the indicator both ways and compare against the region CNFs.
+        let d = dataset_from_fn(3, |x| x[0] == 1 && x[2] == 0);
+        let tree = DecisionTree::fit(&d, TreeConfig::default());
+        let counter = ExactCounter::new();
+        for (polarity, label) in [(true, TreeLabel::True), (false, TreeLabel::False)] {
+            let mut cnf = Cnf::new(3);
+            cnf.set_projection((0..3).map(Var).collect());
+            let v = define_region_indicator(&mut cnf, &tree);
+            cnf.add_unit(if polarity { v } else { !v });
+            let direct = CnfEncodable::label_cnf(&tree, label);
+            assert_eq!(
+                counter.count(&cnf).unwrap(),
+                counter.count(&direct).unwrap(),
+                "polarity {polarity}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_onto_wider_cnf_allocates_fresh_aux_vars() {
+        // Appending onto a CNF that already has extra (Tseitin-like)
+        // variables must not capture them as indicators.
+        let d = dataset_from_fn(3, |x| x[1] == 1);
+        let forest = RandomForest::fit(
+            &d,
+            ForestConfig {
+                num_trees: 3,
+                seed: 4,
+                ..ForestConfig::default()
+            },
+        );
+        let mut cnf = Cnf::new(10); // features 0..3, unrelated vars 3..10
+        cnf.set_projection((0..3).map(Var).collect());
+        forest.encode_label(&mut cnf, TreeLabel::True);
+        assert!(cnf.num_vars() > 10, "aux vars must extend the formula");
+        let count = ExactCounter::new().count(&cnf).unwrap();
+        let brute = (0u32..8)
+            .filter(|bits| {
+                let features: Vec<u8> = (0..3).map(|k| ((bits >> k) & 1) as u8).collect();
+                forest.predict(&features)
+            })
+            .count() as u128;
+        assert_eq!(count, brute);
+    }
+
+    #[test]
+    fn constant_adaboost_regions() {
+        // A single-class dataset trains a constant ensemble; one region is
+        // the full space, the other empty.
+        let mut d = Dataset::new(2);
+        d.push(vec![0, 1], true);
+        d.push(vec![1, 1], true);
+        let ensemble = AdaBoost::fit(&d, AdaBoostConfig::default());
+        let counter = ExactCounter::new();
+        let t = counter
+            .count(&CnfEncodable::label_cnf(&ensemble, TreeLabel::True))
+            .unwrap();
+        let f = counter
+            .count(&CnfEncodable::label_cnf(&ensemble, TreeLabel::False))
+            .unwrap();
+        assert_eq!(t, 4);
+        assert_eq!(f, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "variables but the model uses")]
+    fn narrow_cnf_panics() {
+        let d = dataset_from_fn(3, |x| x[0] == 1);
+        let tree = DecisionTree::fit(&d, TreeConfig::default());
+        let mut cnf = Cnf::new(2);
+        CnfEncodable::encode_label(&tree, &mut cnf, TreeLabel::True);
+    }
+}

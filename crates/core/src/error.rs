@@ -1,0 +1,68 @@
+//! Typed errors for the evaluation core.
+//!
+//! The original API `panic!`ed on malformed inputs (e.g. evaluating a model
+//! against a ground truth at a different scope). The redesigned entry
+//! points — [`AccMc::evaluate`](crate::accmc::AccMc::evaluate),
+//! [`DiffMc::compare`](crate::diffmc::DiffMc::compare) and the batch
+//! [`Runner`](crate::framework::Runner) — surface these conditions as
+//! [`EvalError`] values instead, so harnesses driving many rows can report
+//! a bad row and keep going.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised by the evaluation core before any counting happens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The model's feature count does not match the variable block it is
+    /// being evaluated against.
+    FeatureMismatch {
+        /// Features the model was trained on.
+        model_features: usize,
+        /// Primary variables of the ground truth (or features of the other
+        /// model, for DiffMC).
+        expected_features: usize,
+        /// What the expectation came from (e.g. `"ground truth"`).
+        context: &'static str,
+    },
+    /// A batch run was asked to evaluate zero model families.
+    NoModelFamilies,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::FeatureMismatch {
+                model_features,
+                expected_features,
+                context,
+            } => write!(
+                f,
+                "feature-count mismatch: the model under evaluation has {model_features} \
+                 features but the {context} expects {expected_features}"
+            ),
+            EvalError::NoModelFamilies => {
+                write!(f, "batch run configured with zero model families")
+            }
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EvalError::FeatureMismatch {
+            model_features: 9,
+            expected_features: 16,
+            context: "ground truth",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('9') && msg.contains("16") && msg.contains("ground truth"));
+        assert!(EvalError::NoModelFamilies.to_string().contains("zero"));
+    }
+}

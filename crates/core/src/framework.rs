@@ -2,17 +2,25 @@
 //!
 //! One [`Experiment`] reproduces one row of the paper's Tables 3, 5, 6 or 7:
 //! build the property dataset (with the configured symmetry-breaking
-//! setting), split it, train a decision tree, evaluate it traditionally on
-//! the held-out test set, and then evaluate it against the entire bounded
-//! input space with [`AccMc`] using a ground truth that may carry a
-//! *different* symmetry-breaking setting (the mismatch scenarios of RQ4).
+//! setting), split it, train a model, evaluate it traditionally on the
+//! held-out test set, and then evaluate it against the entire bounded input
+//! space with [`AccMc`] using a ground truth that may carry a *different*
+//! symmetry-breaking setting (the mismatch scenarios of RQ4).
+//!
+//! The batch-oriented [`Runner`] supersedes driving [`Experiment`] in a
+//! loop: it deduplicates dataset construction and ground-truth translation
+//! across rows, trains any subset of the [`ModelFamily`] encodable families
+//! per row, executes rows in parallel with `std::thread::scope`, and
+//! surfaces malformed rows as typed [`EvalError`]s instead of panicking.
 //!
 //! [`evaluate_all_models`] covers Tables 2 and 4: it trains all six model
 //! families on the same split and reports their test-set metrics.
 
 use crate::accmc::{AccMc, AccMcResult};
-use crate::backend::CounterBackend;
-use datagen::builder::{DatasetBuilder, DatasetConfig, SplitRatio};
+use crate::counter::ModelCounter;
+use crate::encode::CnfEncodable;
+use crate::error::EvalError;
+use datagen::builder::{DatasetBuilder, DatasetConfig, PropertyDataset, SplitRatio};
 use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::Dataset;
 use mlkit::forest::{ForestConfig, RandomForest};
@@ -24,10 +32,13 @@ use mlkit::tree::{DecisionTree, TreeConfig};
 use mlkit::Classifier;
 use relspec::properties::Property;
 use relspec::symmetry::SymmetryBreaking;
-use relspec::translate::{translate_to_cnf, TranslateOptions};
+use relspec::translate::{translate_to_cnf, GroundTruth, TranslateOptions};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Configuration of one decision-tree experiment (one table row).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Configuration of one whole-space experiment (one table row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExperimentConfig {
     /// The relational property under study.
     pub property: Property,
@@ -98,7 +109,31 @@ impl ExperimentConfig {
             ..ExperimentConfig::new(property, scope)
         }
     }
+
+    fn dataset_config(&self) -> DatasetConfig {
+        DatasetConfig {
+            property: self.property,
+            scope: self.scope,
+            symmetry: self.data_symmetry,
+            max_positive: self.max_positive,
+            seed: self.seed,
+        }
+    }
+
+    fn ground_truth_key(&self) -> GroundTruthKey {
+        (self.property, self.scope, self.eval_symmetry)
+    }
+
+    fn translate_ground_truth(&self) -> GroundTruth {
+        translate_to_cnf(
+            &self.property.spec(),
+            TranslateOptions::new(self.scope).with_symmetry(self.eval_symmetry),
+        )
+    }
 }
+
+/// Key identifying one distinct ground-truth translation in a batch.
+type GroundTruthKey = (Property, usize, SymmetryBreaking);
 
 /// Result of one decision-tree experiment.
 #[derive(Debug, Clone)]
@@ -138,53 +173,430 @@ impl Experiment {
     }
 
     /// Runs the experiment with the given counting backend.
-    pub fn run(&self, backend: &CounterBackend) -> ExperimentResult {
-        let c = &self.config;
-        let dataset = DatasetBuilder::new().build(
-            DatasetConfig {
-                property: c.property,
-                scope: c.scope,
-                symmetry: c.data_symmetry,
-                max_positive: c.max_positive,
-                seed: c.seed,
-            },
-        );
-        let (train, test) = dataset.split(c.ratio);
-        let tree = DecisionTree::fit(&train, TreeConfig::default());
-        let test_metrics = evaluate_classifier(&tree, &test);
-
-        let ground_truth = translate_to_cnf(
-            &c.property.spec(),
-            TranslateOptions::new(c.scope).with_symmetry(c.eval_symmetry),
-        );
-        let whole_space = AccMc::new(backend).evaluate(&ground_truth, &tree);
-
-        ExperimentResult {
-            config: *c,
-            test_metrics,
-            whole_space,
-            tree_leaves: tree.num_leaves(),
-            tree_depth: tree.depth(),
-            dataset_size: dataset.dataset.len(),
-            train_size: train.len(),
-        }
+    pub fn run<C: ModelCounter + ?Sized>(&self, backend: &C) -> ExperimentResult {
+        let dataset = DatasetBuilder::new().build(self.config.dataset_config());
+        let ground_truth = self.config.translate_ground_truth();
+        run_dt_row(&self.config, &dataset, &ground_truth, backend)
+            .expect("dataset and ground truth share the scope by construction")
     }
 
     /// Runs only the training/test part and returns the trained tree along
     /// with its test metrics (used by the DiffMC and class-ratio harnesses).
     pub fn train_tree(&self, tree_config: TreeConfig) -> (DecisionTree, BinaryMetrics) {
-        let c = &self.config;
-        let dataset = DatasetBuilder::new().build(DatasetConfig {
-            property: c.property,
-            scope: c.scope,
-            symmetry: c.data_symmetry,
-            max_positive: c.max_positive,
-            seed: c.seed,
-        });
-        let (train, test) = dataset.split(c.ratio);
+        let dataset = DatasetBuilder::new().build(self.config.dataset_config());
+        let (train, test) = dataset.split(self.config.ratio);
         let tree = DecisionTree::fit(&train, tree_config);
         let metrics = evaluate_classifier(&tree, &test);
         (tree, metrics)
+    }
+}
+
+/// Shared per-row pipeline: split, train a default decision tree, evaluate
+/// on the test set and against the whole space. Both the sequential
+/// [`Experiment::run`] and the parallel [`Runner`] call this, which is what
+/// guarantees their metrics are identical.
+fn run_dt_row<C: ModelCounter + ?Sized>(
+    config: &ExperimentConfig,
+    dataset: &PropertyDataset,
+    ground_truth: &GroundTruth,
+    backend: &C,
+) -> Result<ExperimentResult, EvalError> {
+    let (train, test) = dataset.split(config.ratio);
+    let tree = DecisionTree::fit(&train, TreeConfig::default());
+    let test_metrics = evaluate_classifier(&tree, &test);
+    let whole_space = AccMc::new(backend).evaluate(ground_truth, &tree)?;
+    Ok(ExperimentResult {
+        config: *config,
+        test_metrics,
+        whole_space,
+        tree_leaves: tree.num_leaves(),
+        tree_depth: tree.depth(),
+        dataset_size: dataset.dataset.len(),
+        train_size: train.len(),
+    })
+}
+
+/// The model families eligible for whole-space (CNF-encodable) evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// CART decision tree.
+    Dt,
+    /// Random forest (majority vote).
+    Rft,
+    /// AdaBoost over depth-limited stumps (weighted vote).
+    Abt,
+}
+
+impl ModelFamily {
+    /// All encodable families, in the order the paper's tables list them.
+    pub fn all() -> [ModelFamily; 3] {
+        [ModelFamily::Dt, ModelFamily::Rft, ModelFamily::Abt]
+    }
+
+    /// The paper's short name (`DT`, `RFT`, `ABT`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelFamily::Dt => "DT",
+            ModelFamily::Rft => "RFT",
+            ModelFamily::Abt => "ABT",
+        }
+    }
+
+    /// Parses a case-insensitive family name (`"dt"`, `"rft"`, `"abt"`).
+    pub fn parse(name: &str) -> Option<ModelFamily> {
+        match name.to_ascii_lowercase().as_str() {
+            "dt" => Some(ModelFamily::Dt),
+            "rft" => Some(ModelFamily::Rft),
+            "abt" => Some(ModelFamily::Abt),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A model trained by the [`Runner`] for one row.
+enum TrainedModel {
+    Dt(DecisionTree),
+    Rft(RandomForest),
+    Abt(AdaBoost),
+}
+
+impl TrainedModel {
+    fn as_classifier(&self) -> &dyn Classifier {
+        match self {
+            TrainedModel::Dt(m) => m,
+            TrainedModel::Rft(m) => m,
+            TrainedModel::Abt(m) => m,
+        }
+    }
+
+    fn as_encodable(&self) -> &dyn CnfEncodable {
+        match self {
+            TrainedModel::Dt(m) => m,
+            TrainedModel::Rft(m) => m,
+            TrainedModel::Abt(m) => m,
+        }
+    }
+}
+
+/// One row produced by a [`Runner`] batch: a (config, family) pair with its
+/// test-set and whole-space metrics.
+#[derive(Debug, Clone)]
+pub struct RunnerRow {
+    /// The experiment configuration of the row.
+    pub config: ExperimentConfig,
+    /// The model family trained and evaluated.
+    pub family: ModelFamily,
+    /// Traditional metrics on the held-out test set.
+    pub test_metrics: BinaryMetrics,
+    /// Whole-space AccMC result (`None` when the counter's budget ran out).
+    pub whole_space: Option<AccMcResult>,
+    /// Total size of the balanced dataset.
+    pub dataset_size: usize,
+    /// Number of training samples.
+    pub train_size: usize,
+}
+
+/// Batch executor for whole-space experiments.
+///
+/// Compared to looping over [`Experiment::run`], a `Runner`:
+///
+/// * builds each distinct dataset and translates each distinct ground truth
+///   **once**, no matter how many rows share them;
+/// * executes rows concurrently on scoped threads (work-stealing over the
+///   row list; the counting backend is shared, so a
+///   [`CachedCounter`](crate::counter::CachedCounter) also shares its memo
+///   across rows);
+/// * trains any subset of the encodable [`ModelFamily`] values per row;
+/// * returns typed [`EvalError`]s instead of panicking.
+///
+/// # Example
+///
+/// ```
+/// use mcml::backend::CounterBackend;
+/// use mcml::framework::{ExperimentConfig, ModelFamily, Runner};
+/// use relspec::properties::Property;
+///
+/// let configs = vec![
+///     ExperimentConfig::table5(Property::Reflexive, 3),
+///     ExperimentConfig::table5(Property::Function, 3),
+/// ];
+/// let backend = CounterBackend::exact();
+/// let rows = Runner::new()
+///     .families(&[ModelFamily::Dt])
+///     .run(&configs, &backend)
+///     .expect("well-formed configs");
+/// assert_eq!(rows.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Runner {
+    threads: usize,
+    families: Vec<ModelFamily>,
+    rft_trees: usize,
+    abt_rounds: usize,
+    abt_depth: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new()
+    }
+}
+
+impl Runner {
+    /// A runner with default settings: decision trees only, one thread per
+    /// available core.
+    pub fn new() -> Self {
+        Runner {
+            threads: 0,
+            families: vec![ModelFamily::Dt],
+            rft_trees: 15,
+            abt_rounds: 10,
+            abt_depth: 2,
+        }
+    }
+
+    /// Sets the number of worker threads (`0` = one per available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the model families trained and evaluated per row.
+    pub fn families(mut self, families: &[ModelFamily]) -> Self {
+        self.families = families.to_vec();
+        self
+    }
+
+    /// Number of trees per random forest (kept modest so the majority-vote
+    /// cardinality encoding stays cheap to count).
+    pub fn rft_trees(mut self, rft_trees: usize) -> Self {
+        self.rft_trees = rft_trees.max(1);
+        self
+    }
+
+    /// Number of AdaBoost rounds (bounds the weighted-vote branching
+    /// program compiled by the `ABT` encoding).
+    pub fn abt_rounds(mut self, abt_rounds: usize) -> Self {
+        self.abt_rounds = abt_rounds.max(1);
+        self
+    }
+
+    /// Depth of the AdaBoost weak learners.
+    pub fn abt_depth(mut self, abt_depth: usize) -> Self {
+        self.abt_depth = abt_depth.max(1);
+        self
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        let threads = if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        threads.clamp(1, jobs.max(1))
+    }
+
+    /// Builds every distinct dataset and ground truth exactly once, using
+    /// the same worker parallelism as row execution — dataset construction
+    /// (SAT-based positive enumeration) dominates wall-clock for large
+    /// batches and must not serialize on the caller thread.
+    fn shared_inputs(
+        &self,
+        configs: &[ExperimentConfig],
+    ) -> (
+        HashMap<DatasetConfig, PropertyDataset>,
+        HashMap<GroundTruthKey, GroundTruth>,
+    ) {
+        let mut dataset_configs: Vec<DatasetConfig> = Vec::new();
+        let mut gt_configs: Vec<ExperimentConfig> = Vec::new();
+        let mut seen_datasets = std::collections::HashSet::new();
+        let mut seen_gts = std::collections::HashSet::new();
+        for config in configs {
+            if seen_datasets.insert(config.dataset_config()) {
+                dataset_configs.push(config.dataset_config());
+            }
+            if seen_gts.insert(config.ground_truth_key()) {
+                gt_configs.push(*config);
+            }
+        }
+
+        let total_jobs = dataset_configs.len() + gt_configs.len();
+        let datasets: Mutex<HashMap<DatasetConfig, PropertyDataset>> =
+            Mutex::new(HashMap::with_capacity(dataset_configs.len()));
+        let ground_truths: Mutex<HashMap<GroundTruthKey, GroundTruth>> =
+            Mutex::new(HashMap::with_capacity(gt_configs.len()));
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.worker_count(total_jobs) {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if let Some(dc) = dataset_configs.get(index) {
+                        let built = DatasetBuilder::new().build(*dc);
+                        datasets
+                            .lock()
+                            .expect("dataset table poisoned")
+                            .insert(*dc, built);
+                    } else if let Some(config) = gt_configs.get(index - dataset_configs.len()) {
+                        let built = config.translate_ground_truth();
+                        ground_truths
+                            .lock()
+                            .expect("ground-truth table poisoned")
+                            .insert(config.ground_truth_key(), built);
+                    } else {
+                        break;
+                    }
+                });
+            }
+        });
+        (
+            datasets.into_inner().expect("dataset table poisoned"),
+            ground_truths
+                .into_inner()
+                .expect("ground-truth table poisoned"),
+        )
+    }
+
+    /// Runs all `configs × families` rows in parallel, preserving the order
+    /// `configs` outer, families inner. Fails with the first [`EvalError`]
+    /// encountered (rows are independent, so an error means the batch itself
+    /// is malformed).
+    pub fn run<C: ModelCounter + ?Sized>(
+        &self,
+        configs: &[ExperimentConfig],
+        backend: &C,
+    ) -> Result<Vec<RunnerRow>, EvalError> {
+        if self.families.is_empty() {
+            return Err(EvalError::NoModelFamilies);
+        }
+        let jobs: Vec<(ExperimentConfig, ModelFamily)> = configs
+            .iter()
+            .flat_map(|c| self.families.iter().map(move |f| (*c, *f)))
+            .collect();
+        self.execute(
+            &jobs,
+            backend,
+            |config, family, dataset, ground_truth, backend| {
+                self.run_family_row(config, family, dataset, ground_truth, backend)
+            },
+        )
+    }
+
+    /// Runs `configs` as decision-tree rows, producing results identical to
+    /// calling [`Experiment::run`] per config (same training, same metrics,
+    /// same tree statistics) while sharing work and executing in parallel.
+    pub fn run_experiments<C: ModelCounter + ?Sized>(
+        &self,
+        configs: &[ExperimentConfig],
+        backend: &C,
+    ) -> Result<Vec<ExperimentResult>, EvalError> {
+        let jobs: Vec<(ExperimentConfig, ModelFamily)> =
+            configs.iter().map(|c| (*c, ModelFamily::Dt)).collect();
+        self.execute(
+            &jobs,
+            backend,
+            |config, _family, dataset, ground_truth, backend| {
+                run_dt_row(config, dataset, ground_truth, backend)
+            },
+        )
+    }
+
+    /// Generic parallel driver over `(config, family)` jobs.
+    fn execute<C, T, F>(
+        &self,
+        jobs: &[(ExperimentConfig, ModelFamily)],
+        backend: &C,
+        job_fn: F,
+    ) -> Result<Vec<T>, EvalError>
+    where
+        C: ModelCounter + ?Sized,
+        T: Send,
+        F: Fn(
+                &ExperimentConfig,
+                ModelFamily,
+                &PropertyDataset,
+                &GroundTruth,
+                &C,
+            ) -> Result<T, EvalError>
+            + Sync,
+    {
+        let configs: Vec<ExperimentConfig> = jobs.iter().map(|(c, _)| *c).collect();
+        let (datasets, ground_truths) = self.shared_inputs(&configs);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<T, EvalError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.worker_count(jobs.len()) {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((config, family)) = jobs.get(index) else {
+                        break;
+                    };
+                    let dataset = &datasets[&config.dataset_config()];
+                    let ground_truth = &ground_truths[&config.ground_truth_key()];
+                    let outcome = job_fn(config, *family, dataset, ground_truth, backend);
+                    *slots[index].lock().expect("result slot poisoned") = Some(outcome);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job index below jobs.len() is claimed exactly once")
+            })
+            .collect()
+    }
+
+    /// Trains and evaluates one `(config, family)` row.
+    fn run_family_row<C: ModelCounter + ?Sized>(
+        &self,
+        config: &ExperimentConfig,
+        family: ModelFamily,
+        dataset: &PropertyDataset,
+        ground_truth: &GroundTruth,
+        backend: &C,
+    ) -> Result<RunnerRow, EvalError> {
+        let (train, test) = dataset.split(config.ratio);
+        let model = match family {
+            ModelFamily::Dt => TrainedModel::Dt(DecisionTree::fit(&train, TreeConfig::default())),
+            ModelFamily::Rft => TrainedModel::Rft(RandomForest::fit(
+                &train,
+                ForestConfig {
+                    num_trees: self.rft_trees,
+                    seed: config.seed,
+                    ..ForestConfig::default()
+                },
+            )),
+            ModelFamily::Abt => TrainedModel::Abt(AdaBoost::fit(
+                &train,
+                AdaBoostConfig {
+                    num_rounds: self.abt_rounds,
+                    weak_depth: self.abt_depth,
+                    seed: config.seed,
+                },
+            )),
+        };
+        let test_metrics = evaluate_classifier(model.as_classifier(), &test);
+        let whole_space = AccMc::new(backend).evaluate(ground_truth, model.as_encodable())?;
+        Ok(RunnerRow {
+            config: *config,
+            family,
+            test_metrics,
+            whole_space,
+            dataset_size: dataset.dataset.len(),
+            train_size: train.len(),
+        })
     }
 }
 
@@ -208,37 +620,76 @@ pub struct ModelReport {
 pub fn evaluate_all_models(train: &Dataset, test: &Dataset, seed: u64) -> Vec<ModelReport> {
     let mut reports = Vec::with_capacity(6);
 
-    let dt = DecisionTree::fit(train, TreeConfig { seed, ..TreeConfig::default() });
+    let dt = DecisionTree::fit(
+        train,
+        TreeConfig {
+            seed,
+            ..TreeConfig::default()
+        },
+    );
     reports.push(ModelReport {
         model: dt.model_name(),
         metrics: evaluate_classifier(&dt, test),
     });
 
-    let rft = RandomForest::fit(train, ForestConfig { seed, num_trees: 30, ..ForestConfig::default() });
+    let rft = RandomForest::fit(
+        train,
+        ForestConfig {
+            seed,
+            num_trees: 30,
+            ..ForestConfig::default()
+        },
+    );
     reports.push(ModelReport {
         model: rft.model_name(),
         metrics: evaluate_classifier(&rft, test),
     });
 
-    let gbdt = GradientBoosting::fit(train, GbdtConfig { num_rounds: 60, ..GbdtConfig::default() });
+    let gbdt = GradientBoosting::fit(
+        train,
+        GbdtConfig {
+            num_rounds: 60,
+            ..GbdtConfig::default()
+        },
+    );
     reports.push(ModelReport {
         model: gbdt.model_name(),
         metrics: evaluate_classifier(&gbdt, test),
     });
 
-    let abt = AdaBoost::fit(train, AdaBoostConfig { seed, num_rounds: 40, weak_depth: 2, ..AdaBoostConfig::default() });
+    let abt = AdaBoost::fit(
+        train,
+        AdaBoostConfig {
+            seed,
+            num_rounds: 40,
+            weak_depth: 2,
+        },
+    );
     reports.push(ModelReport {
         model: abt.model_name(),
         metrics: evaluate_classifier(&abt, test),
     });
 
-    let svm = LinearSvm::fit(train, SvmConfig { seed, ..SvmConfig::default() });
+    let svm = LinearSvm::fit(
+        train,
+        SvmConfig {
+            seed,
+            ..SvmConfig::default()
+        },
+    );
     reports.push(ModelReport {
         model: svm.model_name(),
         metrics: evaluate_classifier(&svm, test),
     });
 
-    let mlp = Mlp::fit(train, MlpConfig { seed, epochs: 40, ..MlpConfig::default() });
+    let mlp = Mlp::fit(
+        train,
+        MlpConfig {
+            seed,
+            epochs: 40,
+            ..MlpConfig::default()
+        },
+    );
     reports.push(ModelReport {
         model: mlp.model_name(),
         metrics: evaluate_classifier(&mlp, test),
@@ -250,6 +701,9 @@ pub fn evaluate_all_models(train: &Dataset, test: &Dataset, seed: u64) -> Vec<Mo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::CounterBackend;
+    use crate::counter::CachedCounter;
+    use modelcount::exact::ExactCounter;
 
     #[test]
     fn reflexive_experiment_is_perfect_everywhere() {
@@ -302,8 +756,10 @@ mod tests {
 
     #[test]
     fn all_six_models_report_metrics() {
+        // Scope 4 keeps the balanced dataset large enough (hundreds of
+        // rows) that "better than chance" is a stable expectation.
         let dataset = DatasetBuilder::new().build(
-            DatasetConfig::new(Property::Function, 3)
+            DatasetConfig::new(Property::Function, 4)
                 .without_symmetry()
                 .with_max_positive(200),
         );
@@ -330,5 +786,102 @@ mod tests {
         let (tree, metrics) = Experiment::new(config).train_tree(TreeConfig::default());
         assert!(tree.num_leaves() >= 1);
         assert!(metrics.accuracy > 0.8);
+    }
+
+    #[test]
+    fn runner_matches_sequential_experiments() {
+        let configs = vec![
+            ExperimentConfig::table5(Property::Reflexive, 3),
+            ExperimentConfig::table5(Property::Function, 3),
+            ExperimentConfig::table3(Property::Antisymmetric, 3),
+            // A duplicate row: dataset/ground-truth dedup must not change it.
+            ExperimentConfig::table5(Property::Reflexive, 3),
+        ];
+        let backend = CounterBackend::exact();
+        let parallel = Runner::new()
+            .threads(4)
+            .run_experiments(&configs, &backend)
+            .expect("well-formed configs");
+        assert_eq!(parallel.len(), configs.len());
+        for (config, row) in configs.iter().zip(&parallel) {
+            let sequential = Experiment::new(*config).run(&backend);
+            assert_eq!(row.config, *config);
+            assert_eq!(row.test_metrics, sequential.test_metrics);
+            assert_eq!(
+                row.whole_space.map(|w| w.counts),
+                sequential.whole_space.map(|w| w.counts)
+            );
+            assert_eq!(row.tree_leaves, sequential.tree_leaves);
+            assert_eq!(row.tree_depth, sequential.tree_depth);
+            assert_eq!(row.train_size, sequential.train_size);
+        }
+    }
+
+    #[test]
+    fn runner_trains_all_requested_families() {
+        let configs = vec![ExperimentConfig::table5(Property::Reflexive, 3)];
+        let backend = CounterBackend::exact();
+        let rows = Runner::new()
+            .families(&ModelFamily::all())
+            .rft_trees(5)
+            .abt_rounds(5)
+            .run(&configs, &backend)
+            .expect("well-formed configs");
+        let families: Vec<ModelFamily> = rows.iter().map(|r| r.family).collect();
+        assert_eq!(
+            families,
+            vec![ModelFamily::Dt, ModelFamily::Rft, ModelFamily::Abt]
+        );
+        for row in &rows {
+            let ws = row.whole_space.expect("no budget configured");
+            assert_eq!(ws.counts.total(), 512, "family {}", row.family);
+            assert!(
+                row.test_metrics.accuracy >= 0.9,
+                "family {} accuracy {}",
+                row.family,
+                row.test_metrics.accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn runner_shares_cached_counts_across_rows() {
+        // Two identical configs share the dataset, so they train identical
+        // trees and issue identical counting queries: the second row must be
+        // answered from the cache.
+        let configs = vec![
+            ExperimentConfig::table5(Property::Function, 3),
+            ExperimentConfig::table5(Property::Function, 3),
+        ];
+        let cached = CachedCounter::new(ExactCounter::new());
+        let rows = Runner::new()
+            .threads(1)
+            .run_experiments(&configs, &cached)
+            .expect("well-formed configs");
+        assert_eq!(
+            rows[0].whole_space.unwrap().counts,
+            rows[1].whole_space.unwrap().counts
+        );
+        let stats = cached.stats();
+        assert!(stats.hits >= 4, "cache stats: {stats:?}");
+    }
+
+    #[test]
+    fn runner_with_no_families_is_a_typed_error() {
+        let backend = CounterBackend::exact();
+        let result = Runner::new().families(&[]).run(&[], &backend);
+        assert!(matches!(result, Err(EvalError::NoModelFamilies)));
+    }
+
+    #[test]
+    fn model_family_parsing_round_trips() {
+        for family in ModelFamily::all() {
+            assert_eq!(ModelFamily::parse(family.name()), Some(family));
+            assert_eq!(
+                ModelFamily::parse(&family.name().to_ascii_lowercase()),
+                Some(family)
+            );
+        }
+        assert_eq!(ModelFamily::parse("gbdt"), None);
     }
 }

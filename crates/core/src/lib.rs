@@ -1,24 +1,41 @@
 //! # mcml
 //!
 //! The core MCML contribution: quantifying the performance of (and semantic
-//! differences among) trained decision trees **over the entire bounded input
+//! differences among) trained classifiers **over the entire bounded input
 //! space** by reduction to projected model counting.
 //!
-//! * [`tree2cnf`] — the auxiliary-variable-free translation of decision-tree
-//!   logic to CNF (negate the DNF of the complementary label's paths);
+//! The evaluation core is built around three abstractions:
+//!
+//! * [`encode`] — the [`CnfEncodable`](encode::CnfEncodable) trait for model
+//!   families whose decision regions translate to CNF, implemented by
+//!   decision trees (the auxiliary-variable-free Tree2CNF translation),
+//!   random forests (majority vote via a totalizer cardinality encoding)
+//!   and AdaBoost ensembles (weighted-vote threshold compiled to clauses);
+//! * [`counter`] — the [`ModelCounter`](counter::ModelCounter) trait with
+//!   structured [`CountOutcome`](counter::CountOutcome)s (exact / (ε, δ)
+//!   approximate / budget-exhausted) and the memoizing
+//!   [`CachedCounter`](counter::CachedCounter) wrapper;
+//! * [`framework`] — the end-to-end pipeline (dataset → training → test-set
+//!   metrics → whole-space metrics), including the parallel batch
+//!   [`Runner`](framework::Runner) used by the table harnesses.
+//!
+//! On top of those sit the metrics and plumbing:
+//!
+//! * [`tree2cnf`] — the decision-tree-specific translation (negate the DNF
+//!   of the complementary label's paths);
 //! * [`accmc`] — `AccMC`: whole-space true/false positive/negative counts of
-//!   a tree against a ground-truth formula φ, and the derived accuracy,
+//!   a model against a ground-truth formula φ, and the derived accuracy,
 //!   precision, recall and F1 metrics;
 //! * [`diffmc`] — `DiffMC`: whole-space agreement/disagreement counts of two
-//!   trees (TT / TF / FT / FF) and the derived diff/sim ratios — no ground
+//!   models (TT / TF / FT / FF) and the derived diff/sim ratios — no ground
 //!   truth or dataset required;
-//! * [`backend`] — selection of the counting backend (exact / approximate);
-//! * [`framework`] — the end-to-end pipeline (dataset → training → test-set
-//!   metrics → whole-space metrics) used by the experiment harness;
+//! * [`backend`] — the exact/approximate [`CounterBackend`] selector;
+//! * [`error`] — typed [`EvalError`](error::EvalError)s replacing the
+//!   panics of the original concrete-type API;
 //! * [`report`] — plain-text table formatting shared by the harness
 //!   binaries.
 //!
-//! # Example
+//! # Example: one table row, sequentially
 //!
 //! ```
 //! use mcml::backend::CounterBackend;
@@ -31,16 +48,50 @@
 //! let whole_space = result.whole_space.expect("exact backend has no budget");
 //! assert_eq!(whole_space.counts.total(), 512);
 //! ```
+//!
+//! # Example: a batch of rows, in parallel, with shared counting
+//!
+//! ```
+//! use mcml::counter::{CachedCounter, ModelCounter};
+//! use mcml::framework::{ExperimentConfig, ModelFamily, Runner};
+//! use modelcount::exact::ExactCounter;
+//! use relspec::properties::Property;
+//!
+//! let configs: Vec<ExperimentConfig> = [Property::Reflexive, Property::Function]
+//!     .into_iter()
+//!     .map(|p| ExperimentConfig::table5(p, 3))
+//!     .collect();
+//! let backend = CachedCounter::new(ExactCounter::new());
+//! let rows = Runner::new()
+//!     .families(&[ModelFamily::Dt, ModelFamily::Rft])
+//!     .rft_trees(5)
+//!     .run(&configs, &backend)
+//!     .expect("well-formed configs");
+//! assert_eq!(rows.len(), 4); // 2 properties x 2 model families
+//! for row in &rows {
+//!     let ws = row.whole_space.expect("exact backend has no budget");
+//!     assert_eq!(ws.counts.total(), 512);
+//! }
+//! ```
 
 pub mod accmc;
 pub mod backend;
+pub mod counter;
 pub mod diffmc;
+pub mod encode;
+pub mod error;
 pub mod framework;
 pub mod report;
 pub mod tree2cnf;
 
 pub use accmc::{AccMc, AccMcResult, SpaceCounts};
 pub use backend::CounterBackend;
+pub use counter::{CachedCounter, CountOutcome, ModelCounter};
 pub use diffmc::{DiffCounts, DiffMc, DiffMcResult};
-pub use framework::{evaluate_all_models, Experiment, ExperimentConfig, ExperimentResult};
+pub use encode::CnfEncodable;
+pub use error::EvalError;
+pub use framework::{
+    evaluate_all_models, Experiment, ExperimentConfig, ExperimentResult, ModelFamily, Runner,
+    RunnerRow,
+};
 pub use tree2cnf::{tree_label_cnf, TreeLabel};

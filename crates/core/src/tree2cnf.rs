@@ -172,8 +172,12 @@ mod tests {
         let d = dataset_from_fn(4, |x| (x[0] & x[1]) == 1 || x[3] == 0);
         let tree = DecisionTree::fit(&d, TreeConfig::default());
         let counter = ExactCounter::new();
-        let t = counter.count(&tree_label_cnf(&tree, TreeLabel::True)).unwrap();
-        let f = counter.count(&tree_label_cnf(&tree, TreeLabel::False)).unwrap();
+        let t = counter
+            .count(&tree_label_cnf(&tree, TreeLabel::True))
+            .unwrap();
+        let f = counter
+            .count(&tree_label_cnf(&tree, TreeLabel::False))
+            .unwrap();
         assert_eq!(t + f, 16);
     }
 

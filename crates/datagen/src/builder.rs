@@ -17,7 +17,7 @@ use relspec::symmetry::SymmetryBreaking;
 pub type SplitRatio = SplitSpec;
 
 /// Configuration of a property dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DatasetConfig {
     /// The relational property being learned.
     pub property: Property,

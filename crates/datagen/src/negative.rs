@@ -58,7 +58,11 @@ mod tests {
 
     #[test]
     fn negatives_violate_the_property() {
-        for prop in [Property::Reflexive, Property::Transitive, Property::Function] {
+        for prop in [
+            Property::Reflexive,
+            Property::Transitive,
+            Property::Function,
+        ] {
             let negatives = sample_negatives(prop, 4, 200, 7);
             assert_eq!(negatives.len(), 200);
             for inst in &negatives {

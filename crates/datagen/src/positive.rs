@@ -35,13 +35,7 @@ pub fn enumerate_positive(
         TranslateOptions::new(scope).with_symmetry(symmetry),
     );
     let cnf = gt.cnf_positive();
-    let enumeration = enumerate_projected(
-        &cnf,
-        &[],
-        &EnumerateConfig {
-            max_solutions,
-        },
-    );
+    let enumeration = enumerate_projected(&cnf, &[], &EnumerateConfig { max_solutions });
     let instances = enumeration
         .solutions
         .iter()
@@ -59,9 +53,12 @@ mod tests {
 
     #[test]
     fn all_enumerated_instances_satisfy_the_property() {
-        for prop in [Property::Reflexive, Property::Function, Property::PartialOrder] {
-            let samples =
-                enumerate_positive(prop, 3, SymmetryBreaking::None, usize::MAX);
+        for prop in [
+            Property::Reflexive,
+            Property::Function,
+            Property::PartialOrder,
+        ] {
+            let samples = enumerate_positive(prop, 3, SymmetryBreaking::None, usize::MAX);
             assert!(!samples.instances.is_empty());
             assert!(!samples.truncated);
             for inst in &samples.instances {
@@ -79,8 +76,7 @@ mod tests {
             (Property::Function, 27),
         ];
         for (prop, expected) in cases {
-            let samples =
-                enumerate_positive(prop, 3, SymmetryBreaking::None, usize::MAX);
+            let samples = enumerate_positive(prop, 3, SymmetryBreaking::None, usize::MAX);
             assert_eq!(samples.instances.len(), expected, "{prop}");
         }
     }
@@ -112,19 +108,14 @@ mod tests {
     fn full_symmetry_breaking_on_equivalence_scope4_yields_figure2_count() {
         // Figure 2 of the paper: the 5 non-isomorphic equivalence relations
         // over 4 atoms (= the 5 partitions of a 4-element set).
-        let samples = enumerate_positive(
-            Property::Equivalence,
-            4,
-            SymmetryBreaking::Full,
-            usize::MAX,
-        );
+        let samples =
+            enumerate_positive(Property::Equivalence, 4, SymmetryBreaking::Full, usize::MAX);
         assert_eq!(samples.instances.len(), 5);
     }
 
     #[test]
     fn truncation_is_reported() {
-        let samples =
-            enumerate_positive(Property::Reflexive, 3, SymmetryBreaking::None, 10);
+        let samples = enumerate_positive(Property::Reflexive, 3, SymmetryBreaking::None, 10);
         assert_eq!(samples.instances.len(), 10);
         assert!(samples.truncated);
     }

@@ -58,7 +58,8 @@ impl AdaBoost {
             };
             let tree = DecisionTree::fit_weighted(dataset, &weights, tree_config);
             let mut err = 0.0;
-            let predictions: Vec<bool> = dataset.features().iter().map(|x| tree.predict(x)).collect();
+            let predictions: Vec<bool> =
+                dataset.features().iter().map(|x| tree.predict(x)).collect();
             for (i, (&w, &p)) in weights.iter().zip(&predictions).enumerate() {
                 if p != dataset.labels()[i] {
                     err += w;
@@ -98,6 +99,15 @@ impl AdaBoost {
     /// Number of weak learners actually trained.
     pub fn num_learners(&self) -> usize {
         self.learners.len()
+    }
+
+    /// The trained `(vote weight, weak learner)` pairs, in boosting order.
+    ///
+    /// The ensemble predicts positive iff the weighted vote
+    /// `Σ αᵢ·hᵢ(x)` (summed in this order, `hᵢ ∈ {−1, +1}`) is ≥ 0 — the
+    /// structure the MCML `CnfEncodable` threshold encoding consumes.
+    pub fn learners(&self) -> &[(f64, DecisionTree)] {
+        &self.learners
     }
 
     /// The ensemble's hyper-parameters.
@@ -183,6 +193,9 @@ mod tests {
     #[test]
     fn model_name() {
         let d = dataset_from_fn(|x| x[0] == 1);
-        assert_eq!(AdaBoost::fit(&d, AdaBoostConfig::default()).model_name(), "ABT");
+        assert_eq!(
+            AdaBoost::fit(&d, AdaBoostConfig::default()).model_name(),
+            "ABT"
+        );
     }
 }

@@ -34,7 +34,10 @@ impl SplitSpec {
     ///
     /// Panics unless `1 <= train_percent <= 99`.
     pub fn new(train_percent: u32) -> Self {
-        assert!((1..=99).contains(&train_percent), "train percent must be in 1..=99");
+        assert!(
+            (1..=99).contains(&train_percent),
+            "train percent must be in 1..=99"
+        );
         SplitSpec { train_percent }
     }
 
@@ -218,7 +221,9 @@ impl Dataset {
         let total_by_pos = (pos_idx.len() as f64 / p).floor() as usize;
         let total_by_neg = (neg_idx.len() as f64 / (1.0 - p)).floor() as usize;
         let total = total_by_pos.min(total_by_neg).max(2);
-        let n_pos = ((total as f64) * p).round().clamp(1.0, pos_idx.len() as f64) as usize;
+        let n_pos = ((total as f64) * p)
+            .round()
+            .clamp(1.0, pos_idx.len() as f64) as usize;
         let n_neg = (total - n_pos).clamp(1, neg_idx.len());
         let mut idx: Vec<usize> = pos_idx[..n_pos]
             .iter()
@@ -307,7 +312,10 @@ mod tests {
 
     #[test]
     fn paper_ratios_are_the_five_from_the_study() {
-        let r: Vec<String> = SplitSpec::paper_ratios().iter().map(|s| s.to_string()).collect();
+        let r: Vec<String> = SplitSpec::paper_ratios()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(r, vec!["75:25", "50:50", "25:75", "10:90", "1:99"]);
     }
 

@@ -83,11 +83,7 @@ impl RandomForest {
 
 impl Classifier for RandomForest {
     fn predict(&self, features: &[u8]) -> bool {
-        let votes = self
-            .trees
-            .iter()
-            .filter(|t| t.predict(features))
-            .count();
+        let votes = self.trees.iter().filter(|t| t.predict(features)).count();
         votes * 2 >= self.trees.len()
     }
 
@@ -122,14 +118,31 @@ mod tests {
             },
         );
         let correct = d.iter().filter(|(x, y)| f.predict(x) == *y).count();
-        assert!(correct as f64 / d.len() as f64 >= 0.9, "correct: {correct}/32");
+        assert!(
+            correct as f64 / d.len() as f64 >= 0.9,
+            "correct: {correct}/32"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let d = dataset_from_fn(|x| x[0] == 1 || x[3] == 1);
-        let f1 = RandomForest::fit(&d, ForestConfig { seed: 7, num_trees: 10, ..ForestConfig::default() });
-        let f2 = RandomForest::fit(&d, ForestConfig { seed: 7, num_trees: 10, ..ForestConfig::default() });
+        let f1 = RandomForest::fit(
+            &d,
+            ForestConfig {
+                seed: 7,
+                num_trees: 10,
+                ..ForestConfig::default()
+            },
+        );
+        let f2 = RandomForest::fit(
+            &d,
+            ForestConfig {
+                seed: 7,
+                num_trees: 10,
+                ..ForestConfig::default()
+            },
+        );
         for (x, _) in d.iter() {
             assert_eq!(f1.predict(x), f2.predict(x));
         }
@@ -138,7 +151,13 @@ mod tests {
     #[test]
     fn number_of_trees_respected() {
         let d = dataset_from_fn(|x| x[2] == 1);
-        let f = RandomForest::fit(&d, ForestConfig { num_trees: 13, ..ForestConfig::default() });
+        let f = RandomForest::fit(
+            &d,
+            ForestConfig {
+                num_trees: 13,
+                ..ForestConfig::default()
+            },
+        );
         assert_eq!(f.trees().len(), 13);
         assert_eq!(f.model_name(), "RFT");
     }
@@ -147,6 +166,12 @@ mod tests {
     #[should_panic(expected = "at least one tree")]
     fn zero_trees_panics() {
         let d = dataset_from_fn(|x| x[0] == 1);
-        RandomForest::fit(&d, ForestConfig { num_trees: 0, ..ForestConfig::default() });
+        RandomForest::fit(
+            &d,
+            ForestConfig {
+                num_trees: 0,
+                ..ForestConfig::default()
+            },
+        );
     }
 }

@@ -37,8 +37,14 @@ impl Default for GbdtConfig {
 /// A regression tree node over binary features.
 #[derive(Debug, Clone, PartialEq)]
 enum RegNode {
-    Leaf { value: f64 },
-    Split { feature: usize, left: usize, right: usize },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A regression tree fit to residuals.
@@ -51,12 +57,7 @@ struct RegressionTree {
 impl RegressionTree {
     /// Fits a tree minimizing squared error on `(features, gradients)` with
     /// Newton leaf values `sum(g) / sum(h)`.
-    fn fit(
-        features: &[Vec<u8>],
-        gradients: &[f64],
-        hessians: &[f64],
-        config: &GbdtConfig,
-    ) -> Self {
+    fn fit(features: &[Vec<u8>], gradients: &[f64], hessians: &[f64], config: &GbdtConfig) -> Self {
         let mut builder = RegBuilder {
             features,
             gradients,
@@ -77,8 +78,16 @@ impl RegressionTree {
         loop {
             match &self.nodes[node] {
                 RegNode::Leaf { value } => return *value,
-                RegNode::Split { feature, left, right } => {
-                    node = if features[*feature] != 0 { *right } else { *left };
+                RegNode::Split {
+                    feature,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] != 0 {
+                        *right
+                    } else {
+                        *left
+                    };
                 }
             }
         }
@@ -111,7 +120,11 @@ impl RegBuilder<'_> {
                 }
                 let left = self.build(&left_idx, depth + 1);
                 let right = self.build(&right_idx, depth + 1);
-                self.nodes.push(RegNode::Split { feature, left, right });
+                self.nodes.push(RegNode::Split {
+                    feature,
+                    left,
+                    right,
+                });
                 self.nodes.len() - 1
             }
         }
@@ -149,7 +162,7 @@ impl RegBuilder<'_> {
                 continue;
             }
             let gain = score(g_left, h_left) + score(g_right, h_right) - parent_score;
-            if gain > -1e-9 && best.map_or(true, |(_, g)| gain > g) {
+            if gain > -1e-9 && best.is_none_or(|(_, g)| gain > g) {
                 best = Some((f, gain));
             }
         }
@@ -307,8 +320,20 @@ mod tests {
     #[test]
     fn decision_function_monotone_with_rounds() {
         let d = dataset_from_fn(|x| x[2] == 1);
-        let short = GradientBoosting::fit(&d, GbdtConfig { num_rounds: 5, ..GbdtConfig::default() });
-        let long = GradientBoosting::fit(&d, GbdtConfig { num_rounds: 100, ..GbdtConfig::default() });
+        let short = GradientBoosting::fit(
+            &d,
+            GbdtConfig {
+                num_rounds: 5,
+                ..GbdtConfig::default()
+            },
+        );
+        let long = GradientBoosting::fit(
+            &d,
+            GbdtConfig {
+                num_rounds: 100,
+                ..GbdtConfig::default()
+            },
+        );
         // More rounds should not hurt training accuracy.
         assert!(accuracy(&long, &d) >= accuracy(&short, &d));
         assert_eq!(long.model_name(), "GBDT");

@@ -91,12 +91,8 @@ impl Mlp {
                     let (x, label) = dataset.get(i);
                     let y = if label { 1.0 } else { 0.0 };
                     // Forward.
-                    let hidden: Vec<f64> = (0..h)
-                        .map(|j| relu(dot(&w1[j], x) + b1[j]))
-                        .collect();
-                    let out = sigmoid(
-                        hidden.iter().zip(&w2).map(|(a, w)| a * w).sum::<f64>() + b2,
-                    );
+                    let hidden: Vec<f64> = (0..h).map(|j| relu(dot(&w1[j], x) + b1[j])).collect();
+                    let out = sigmoid(hidden.iter().zip(&w2).map(|(a, w)| a * w).sum::<f64>() + b2);
                     // Backward (cross-entropy + sigmoid gives a simple delta).
                     let delta_out = out - y;
                     g_b2 += delta_out;
@@ -143,14 +139,7 @@ impl Mlp {
             .zip(&self.b1)
             .map(|(w, b)| relu(dot(w, features) + b))
             .collect();
-        sigmoid(
-            hidden
-                .iter()
-                .zip(&self.w2)
-                .map(|(a, w)| a * w)
-                .sum::<f64>()
-                + self.b2,
-        )
+        sigmoid(hidden.iter().zip(&self.w2).map(|(a, w)| a * w).sum::<f64>() + self.b2)
     }
 
     /// The network's hyper-parameters.
@@ -233,8 +222,22 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let d = dataset_from_fn(|x| x[1] == 1 && x[2] == 1);
-        let a = Mlp::fit(&d, MlpConfig { seed: 5, epochs: 10, ..MlpConfig::default() });
-        let b = Mlp::fit(&d, MlpConfig { seed: 5, epochs: 10, ..MlpConfig::default() });
+        let a = Mlp::fit(
+            &d,
+            MlpConfig {
+                seed: 5,
+                epochs: 10,
+                ..MlpConfig::default()
+            },
+        );
+        let b = Mlp::fit(
+            &d,
+            MlpConfig {
+                seed: 5,
+                epochs: 10,
+                ..MlpConfig::default()
+            },
+        );
         for (x, _) in d.iter() {
             assert_eq!(a.predict_proba(x), b.predict_proba(x));
         }
@@ -245,6 +248,12 @@ mod tests {
     #[should_panic(expected = "hidden unit")]
     fn zero_hidden_units_panics() {
         let d = dataset_from_fn(|x| x[0] == 1);
-        Mlp::fit(&d, MlpConfig { hidden_units: 0, ..MlpConfig::default() });
+        Mlp::fit(
+            &d,
+            MlpConfig {
+                hidden_units: 0,
+                ..MlpConfig::default()
+            },
+        );
     }
 }

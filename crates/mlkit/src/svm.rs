@@ -148,7 +148,13 @@ mod tests {
     #[test]
     fn learns_majority_function() {
         let d = dataset_from_fn(|x| x.iter().map(|&b| b as usize).sum::<usize>() >= 3);
-        let svm = LinearSvm::fit(&d, SvmConfig { epochs: 200, ..SvmConfig::default() });
+        let svm = LinearSvm::fit(
+            &d,
+            SvmConfig {
+                epochs: 200,
+                ..SvmConfig::default()
+            },
+        );
         assert!(accuracy(&svm, &d) >= 0.9);
     }
 
@@ -166,8 +172,20 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let d = dataset_from_fn(|x| x[2] == 1 || x[3] == 1);
-        let a = LinearSvm::fit(&d, SvmConfig { seed: 9, ..SvmConfig::default() });
-        let b = LinearSvm::fit(&d, SvmConfig { seed: 9, ..SvmConfig::default() });
+        let a = LinearSvm::fit(
+            &d,
+            SvmConfig {
+                seed: 9,
+                ..SvmConfig::default()
+            },
+        );
+        let b = LinearSvm::fit(
+            &d,
+            SvmConfig {
+                seed: 9,
+                ..SvmConfig::default()
+            },
+        );
         assert_eq!(a, b);
         assert_eq!(a.model_name(), "SVM");
     }

@@ -107,7 +107,11 @@ impl DecisionTree {
     /// length.
     pub fn fit_weighted(dataset: &Dataset, weights: &[f64], config: TreeConfig) -> Self {
         assert!(!dataset.is_empty(), "cannot train on an empty dataset");
-        assert_eq!(weights.len(), dataset.len(), "one weight per sample required");
+        assert_eq!(
+            weights.len(),
+            dataset.len(),
+            "one weight per sample required"
+        );
         let mut builder = TreeBuilder {
             dataset,
             weights,
@@ -148,7 +152,9 @@ impl DecisionTree {
         fn depth_of(nodes: &[Node], i: usize) -> usize {
             match &nodes[i] {
                 Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => 1 + depth_of(nodes, *left).max(depth_of(nodes, *right)),
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
             }
         }
         depth_of(&self.nodes, self.root)
@@ -197,7 +203,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if features[*feature] != 0 { *right } else { *left };
+                    node = if features[*feature] != 0 {
+                        *right
+                    } else {
+                        *left
+                    };
                 }
             }
         }
@@ -233,10 +243,7 @@ impl TreeBuilder<'_> {
         let majority = pos_weight * 2.0 >= total_weight;
 
         let pure = pos_weight <= f64::EPSILON || (total_weight - pos_weight) <= f64::EPSILON;
-        let depth_reached = self
-            .config
-            .max_depth
-            .is_some_and(|d| depth >= d);
+        let depth_reached = self.config.max_depth.is_some_and(|d| depth >= d);
         if pure || depth_reached || indices.len() < self.config.min_samples_split {
             return self.leaf(majority);
         }
@@ -323,7 +330,7 @@ impl TreeBuilder<'_> {
                 / total_weight;
             let gain = parent_gini - weighted_child_gini;
             if gain >= self.config.min_impurity_decrease - 1e-12
-                && best.map_or(true, |(_, g)| gain > g)
+                && best.is_none_or(|(_, g)| gain > g)
             {
                 best = Some((f, gain));
             }
@@ -406,13 +413,14 @@ mod tests {
         for (x, _) in d.iter() {
             let matching: Vec<&TreePath> = paths
                 .iter()
-                .filter(|p| {
-                    p.conditions
-                        .iter()
-                        .all(|&(f, v)| (x[f] != 0) == v)
-                })
+                .filter(|p| p.conditions.iter().all(|&(f, v)| (x[f] != 0) == v))
                 .collect();
-            assert_eq!(matching.len(), 1, "input {x:?} matches {} paths", matching.len());
+            assert_eq!(
+                matching.len(),
+                1,
+                "input {x:?} matches {} paths",
+                matching.len()
+            );
             assert_eq!(matching[0].label, t.predict(x));
         }
     }

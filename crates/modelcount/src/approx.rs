@@ -280,10 +280,7 @@ mod tests {
         use relspec::properties::Property;
         use relspec::translate::{translate_to_cnf, TranslateOptions};
         // Antisymmetric at scope 3 has 216 solutions in a 512-element space.
-        let gt = translate_to_cnf(
-            &Property::Antisymmetric.spec(),
-            TranslateOptions::new(3),
-        );
+        let gt = translate_to_cnf(&Property::Antisymmetric.spec(), TranslateOptions::new(3));
         let cnf = gt.cnf_positive();
         let exact = ExactCounter::new().count(&cnf).unwrap();
         assert_eq!(exact, 216);

@@ -57,11 +57,7 @@ struct Residual {
 
 impl Residual {
     fn vars(&self) -> HashSet<u32> {
-        self.clauses
-            .iter()
-            .flatten()
-            .map(|l| l.var().0)
-            .collect()
+        self.clauses.iter().flatten().map(|l| l.var().0).collect()
     }
 }
 
@@ -86,11 +82,14 @@ impl ExactCounter {
 
     /// Counts and also reports search statistics.
     pub fn count_with_stats(&self, cnf: &Cnf) -> Option<(u128, ExactStats)> {
-        let projection: HashSet<u32> = cnf
-            .effective_projection()
-            .iter()
-            .map(|v| v.0)
-            .collect();
+        self.try_count(cnf).ok()
+    }
+
+    /// Counts, reporting search statistics in both outcomes: `Ok` with the
+    /// count on success, `Err` with the statistics at the point the node
+    /// budget ran out.
+    pub fn try_count(&self, cnf: &Cnf) -> Result<(u128, ExactStats), ExactStats> {
+        let projection: HashSet<u32> = cnf.effective_projection().iter().map(|v| v.0).collect();
 
         // Normalize clauses; tautological clauses are dropped.
         let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(cnf.num_clauses());
@@ -99,7 +98,7 @@ impl ExactCounter {
                 None => continue,
                 Some(n) => {
                     if n.is_empty() {
-                        return Some((0, ExactStats::default()));
+                        return Ok((0, ExactStats::default()));
                     }
                     clauses.push(n.lits().to_vec());
                 }
@@ -109,10 +108,7 @@ impl ExactCounter {
 
         // Projection variables never mentioned by the formula are free.
         let mentioned = residual.vars();
-        let never_mentioned = projection
-            .iter()
-            .filter(|v| !mentioned.contains(v))
-            .count() as u32;
+        let never_mentioned = projection.iter().filter(|v| !mentioned.contains(v)).count() as u32;
         let scope: HashSet<u32> = projection
             .iter()
             .copied()
@@ -128,12 +124,9 @@ impl ExactCounter {
         };
         let count = ctx.count_residual(residual, &scope);
         if ctx.exhausted {
-            None
+            Err(ctx.stats)
         } else {
-            Some((
-                count.saturating_mul(pow2(never_mentioned)),
-                ctx.stats,
-            ))
+            Ok((count.saturating_mul(pow2(never_mentioned)), ctx.stats))
         }
     }
 }
@@ -263,11 +256,7 @@ fn assign(residual: &Residual, lit: Lit) -> Option<Residual> {
 fn propagate(mut residual: Residual) -> Option<(Residual, HashSet<u32>)> {
     let mut fixed = HashSet::new();
     loop {
-        let unit = residual
-            .clauses
-            .iter()
-            .find(|c| c.len() == 1)
-            .map(|c| c[0]);
+        let unit = residual.clauses.iter().find(|c| c.len() == 1).map(|c| c[0]);
         match unit {
             None => return Some((residual, fixed)),
             Some(l) => {

@@ -312,6 +312,7 @@ impl Formula {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Rc<Formula>) -> Rc<Formula> {
         Rc::new(Formula::Not(f))
     }
@@ -349,9 +350,7 @@ impl Formula {
     /// Universal quantification over several variables at once, mirroring
     /// Alloy's `all s, t: S | body`.
     pub fn all_many(vars: &[QuantVar], body: Rc<Formula>) -> Rc<Formula> {
-        vars.iter()
-            .rev()
-            .fold(body, |acc, &v| Formula::all(v, acc))
+        vars.iter().rev().fold(body, |acc, &v| Formula::all(v, acc))
     }
 
     /// Whether the pair `(a, b)` (two unary expressions) is in `rel`,
@@ -453,7 +452,9 @@ mod tests {
         assert_eq!(Expr::join(Expr::rel(), Expr::rel()).arity().unwrap(), 2);
         // s->t is binary.
         assert_eq!(
-            Expr::pair(s.clone(), Expr::var(QuantVar(1))).arity().unwrap(),
+            Expr::pair(s.clone(), Expr::var(QuantVar(1)))
+                .arity()
+                .unwrap(),
             2
         );
         // Joining two unary expressions is an arity error.
@@ -505,10 +506,7 @@ mod tests {
     #[test]
     fn display_is_readable() {
         let s = QuantVar(0);
-        let f = Formula::all(
-            s,
-            Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()),
-        );
+        let f = Formula::all(s, Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()));
         assert_eq!(format!("{f}"), "(all q0: S | (q0->q0) in r)");
     }
 }

@@ -69,10 +69,7 @@ impl TupleSet {
     /// Whether this set is a subset of `other` (same arity assumed).
     pub fn subset_of(&self, other: &TupleSet) -> bool {
         debug_assert_eq!(self.arity, other.arity);
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .all(|(&a, &b)| !a || b)
+        self.bits.iter().zip(&other.bits).all(|(&a, &b)| !a || b)
     }
 }
 
@@ -283,9 +280,7 @@ pub fn eval_formula_env(formula: &Formula, inst: &RelInstance, env: &Env) -> boo
     match formula {
         Formula::True => true,
         Formula::False => false,
-        Formula::Subset(a, b) => {
-            eval_expr(a, inst, env).subset_of(&eval_expr(b, inst, env))
-        }
+        Formula::Subset(a, b) => eval_expr(a, inst, env).subset_of(&eval_expr(b, inst, env)),
         Formula::Equal(a, b) => eval_expr(a, inst, env) == eval_expr(b, inst, env),
         Formula::Some(e) => !eval_expr(e, inst, env).is_empty(),
         Formula::No(e) => eval_expr(e, inst, env).is_empty(),
@@ -294,13 +289,11 @@ pub fn eval_formula_env(formula: &Formula, inst: &RelInstance, env: &Env) -> boo
         Formula::Not(f) => !eval_formula_env(f, inst, env),
         Formula::And(fs) => fs.iter().all(|f| eval_formula_env(f, inst, env)),
         Formula::Or(fs) => fs.iter().any(|f| eval_formula_env(f, inst, env)),
-        Formula::Implies(a, b) => {
-            !eval_formula_env(a, inst, env) || eval_formula_env(b, inst, env)
+        Formula::Implies(a, b) => !eval_formula_env(a, inst, env) || eval_formula_env(b, inst, env),
+        Formula::Iff(a, b) => eval_formula_env(a, inst, env) == eval_formula_env(b, inst, env),
+        Formula::All(v, body) => {
+            (0..n).all(|atom| eval_formula_env(body, inst, &env.bind(*v, atom)))
         }
-        Formula::Iff(a, b) => {
-            eval_formula_env(a, inst, env) == eval_formula_env(b, inst, env)
-        }
-        Formula::All(v, body) => (0..n).all(|atom| eval_formula_env(body, inst, &env.bind(*v, atom))),
         Formula::Exists(v, body) => {
             (0..n).any(|atom| eval_formula_env(body, inst, &env.bind(*v, atom)))
         }
@@ -381,10 +374,7 @@ mod tests {
     fn quantifiers_and_subset() {
         // all s: S | s->s in r  (reflexivity)
         let s = QuantVar(0);
-        let refl = Formula::all(
-            s,
-            Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()),
-        );
+        let refl = Formula::all(s, Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()));
         let iden3 = RelInstance::from_pairs(3, &[(0, 0), (1, 1), (2, 2)]);
         assert!(eval_formula(&refl, &iden3));
         let missing = RelInstance::from_pairs(3, &[(0, 0), (1, 1)]);
@@ -405,7 +395,11 @@ mod tests {
         let env2 = Env::new().bind(QuantVar(0), 2);
         let image2 = Expr::join(Expr::var(QuantVar(0)), Expr::rel());
         assert!(eval_formula_env(&Formula::No(image2.clone()), &inst, &env2));
-        assert!(eval_formula_env(&Formula::Lone(image2.clone()), &inst, &env2));
+        assert!(eval_formula_env(
+            &Formula::Lone(image2.clone()),
+            &inst,
+            &env2
+        ));
         assert!(!eval_formula_env(&Formula::One(image2), &inst, &env2));
     }
 
@@ -413,10 +407,8 @@ mod tests {
     fn exists_quantifier() {
         let s = QuantVar(0);
         // some s: S | s->s in r
-        let has_loop = Formula::exists(
-            s,
-            Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()),
-        );
+        let has_loop =
+            Formula::exists(s, Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()));
         assert!(eval_formula(
             &has_loop,
             &RelInstance::from_pairs(3, &[(1, 1)])

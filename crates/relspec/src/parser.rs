@@ -38,7 +38,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at offset {}: {}", self.position, self.message)
+        write!(
+            f,
+            "parse error at offset {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -169,7 +173,11 @@ fn tokenize(source: &str) -> Result<Vec<Positioned>, ParseError> {
             continue;
         }
         // Multi-character symbols first.
-        let two = if i + 1 < bytes.len() { &source[i..i + 2] } else { "" };
+        let two = if i + 1 < bytes.len() {
+            &source[i..i + 2]
+        } else {
+            ""
+        };
         if two == "->" || two == "!=" || two == "=>" || two == "<=" {
             tokens.push(Positioned {
                 token: Token::Symbol(two.to_string()),
@@ -211,9 +219,10 @@ impl Parser {
     }
 
     fn position(&self) -> usize {
-        self.tokens
-            .get(self.index)
-            .map_or_else(|| self.tokens.last().map_or(0, |t| t.position), |t| t.position)
+        self.tokens.get(self.index).map_or_else(
+            || self.tokens.last().map_or(0, |t| t.position),
+            |t| t.position,
+        )
     }
 
     fn error(&self, message: String) -> ParseError {
@@ -597,8 +606,9 @@ mod tests {
     use crate::properties::Property;
 
     fn all_instances(n: usize) -> impl Iterator<Item = RelInstance> {
-        (0u64..(1 << (n * n)))
-            .map(move |bits| RelInstance::from_bits(n, (0..n * n).map(|k| bits >> k & 1 == 1).collect()))
+        (0u64..(1 << (n * n))).map(move |bits| {
+            RelInstance::from_bits(n, (0..n * n).map(|k| bits >> k & 1 == 1).collect())
+        })
     }
 
     /// Exhaustively checks two formulas for semantic equality at scope 3.
@@ -685,8 +695,8 @@ mod tests {
             ),
         ];
         for (property, source) in sources {
-            let parsed = parse_formula(source)
-                .unwrap_or_else(|e| panic!("failed to parse {property}: {e}"));
+            let parsed =
+                parse_formula(source).unwrap_or_else(|e| panic!("failed to parse {property}: {e}"));
             assert!(
                 semantically_equal(&parsed, &property.spec()),
                 "parsed formula for {property} differs from the built-in spec"
@@ -698,7 +708,10 @@ mod tests {
     fn relational_operators_parse_and_evaluate() {
         // Transitivity via closure: ^r in r.
         let via_closure = parse_formula("^r in r").unwrap();
-        assert!(semantically_equal(&via_closure, &Property::Transitive.spec()));
+        assert!(semantically_equal(
+            &via_closure,
+            &Property::Transitive.spec()
+        ));
         // Symmetry via transpose: ~r in r.
         let sym = parse_formula("~r in r").unwrap();
         let sym_builtin = parse_formula("all s, t: S | s->t in r implies t->s in r").unwrap();

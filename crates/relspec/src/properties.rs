@@ -158,12 +158,9 @@ impl Property {
                 function(),
                 Formula::all(t, Formula::some(Expr::join(Expr::rel(), Expr::var(t)))),
             ]),
-            Property::TotalOrder => Formula::and(vec![
-                reflexive(),
-                antisymmetric(),
-                transitive(),
-                connex(),
-            ]),
+            Property::TotalOrder => {
+                Formula::and(vec![reflexive(), antisymmetric(), transitive(), connex()])
+            }
             Property::Transitive => transitive(),
         }
     }
@@ -173,9 +170,8 @@ impl Property {
     pub fn holds(&self, inst: &RelInstance) -> bool {
         let n = inst.num_atoms();
         match self {
-            Property::Antisymmetric => (0..n).all(|i| {
-                (0..n).all(|j| i == j || !(inst.contains(i, j) && inst.contains(j, i)))
-            }),
+            Property::Antisymmetric => (0..n)
+                .all(|i| (0..n).all(|j| i == j || !(inst.contains(i, j) && inst.contains(j, i)))),
             Property::Bijective => {
                 Property::Function.holds(inst)
                     && (0..n).all(|j| (0..n).filter(|&i| inst.contains(i, j)).count() == 1)
@@ -185,8 +181,7 @@ impl Property {
             }
             Property::Equivalence => {
                 Property::Reflexive.holds(inst)
-                    && (0..n)
-                        .all(|i| (0..n).all(|j| inst.contains(i, j) == inst.contains(j, i)))
+                    && (0..n).all(|i| (0..n).all(|j| inst.contains(i, j) == inst.contains(j, i)))
                     && Property::Transitive.holds(inst)
             }
             Property::Function => {
@@ -246,10 +241,7 @@ impl fmt::Display for Property {
 
 fn reflexive() -> Rc<Formula> {
     let s = QuantVar(0);
-    Formula::all(
-        s,
-        Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()),
-    )
+    Formula::all(s, Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()))
 }
 
 fn symmetric() -> Rc<Formula> {
@@ -325,8 +317,9 @@ mod tests {
     use satkit::enumerate::{enumerate_projected, EnumerateConfig};
 
     fn all_instances(n: usize) -> impl Iterator<Item = RelInstance> {
-        (0u64..(1 << (n * n)))
-            .map(move |bits| RelInstance::from_bits(n, (0..n * n).map(|k| bits >> k & 1 == 1).collect()))
+        (0u64..(1 << (n * n))).map(move |bits| {
+            RelInstance::from_bits(n, (0..n * n).map(|k| bits >> k & 1 == 1).collect())
+        })
     }
 
     /// Counts instances at scope `n` satisfying the property, using the

@@ -200,9 +200,7 @@ fn translate_expr(expr: &Expr, n: usize, env: &TranslateEnv) -> ExprMatrix {
         }
         Expr::Union(a, b) => zip_matrices(a, b, n, env, BoolExpr::or2),
         Expr::Intersect(a, b) => zip_matrices(a, b, n, env, BoolExpr::and2),
-        Expr::Diff(a, b) => zip_matrices(a, b, n, env, |x, y| {
-            BoolExpr::and2(x, BoolExpr::not(y))
-        }),
+        Expr::Diff(a, b) => zip_matrices(a, b, n, env, |x, y| BoolExpr::and2(x, BoolExpr::not(y))),
         Expr::Join(a, b) => {
             let ma = translate_expr(a, n, env);
             let mb = translate_expr(b, n, env);
@@ -370,10 +368,7 @@ fn translate_formula_env(formula: &Formula, n: usize, env: &TranslateEnv) -> Rc<
         }
         Formula::One(e) => {
             let m = translate_expr(e, n, env);
-            BoolExpr::and2(
-                BoolExpr::or(m.entries.clone()),
-                at_most_one(&m.entries),
-            )
+            BoolExpr::and2(BoolExpr::or(m.entries.clone()), at_most_one(&m.entries))
         }
         Formula::Not(f) => BoolExpr::not(translate_formula_env(f, n, env)),
         Formula::And(fs) => BoolExpr::and(
@@ -473,10 +468,7 @@ mod tests {
 
     fn reflexive() -> Rc<Formula> {
         let s = QuantVar(0);
-        Formula::all(
-            s,
-            Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()),
-        )
+        Formula::all(s, Formula::pair_in(Expr::var(s), Expr::var(s), Expr::rel()))
     }
 
     fn symmetric() -> Rc<Formula> {

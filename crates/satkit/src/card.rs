@@ -1,0 +1,268 @@
+//! Cardinality constraints: a totalizer encoding over arbitrary literals.
+//!
+//! The totalizer (Bailleux–Boufkhad) builds a balanced binary tree over the
+//! input literals; each node carries a unary counter `o_1 ≥ o_2 ≥ … ≥ o_m`
+//! where `o_j` is true iff at least `j` of the node's inputs are true. This
+//! implementation emits **both** implication directions, so every output is
+//! *equivalent* to its threshold — which is what projected model counting
+//! needs: after asserting `o_k` (or `¬o_k`) the encoding is satisfiable for
+//! exactly the assignments of the original literals meeting (or missing) the
+//! threshold, and each such assignment extends to exactly the truthful
+//! counter values. Model counts projected onto the original variables are
+//! therefore preserved.
+//!
+//! The encoding introduces `O(n log n)` auxiliary variables and `O(n²)`
+//! clauses; at the ensemble sizes used by the MCML whole-space metrics
+//! (tens of trees) this is negligible next to the counting itself.
+
+use crate::cnf::{Cnf, Lit};
+
+/// A built totalizer: the unary counter outputs of the root node.
+#[derive(Debug, Clone)]
+pub struct Totalizer {
+    outputs: Vec<Lit>,
+}
+
+impl Totalizer {
+    /// Builds the totalizer circuit for `inputs` into `cnf`, allocating
+    /// auxiliary variables via [`Cnf::new_var`].
+    pub fn build(cnf: &mut Cnf, inputs: &[Lit]) -> Self {
+        Totalizer {
+            outputs: build_node(cnf, inputs),
+        }
+    }
+
+    /// Number of inputs counted.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Whether the totalizer counts zero inputs.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// The output literal equivalent to "at least `k` inputs are true"
+    /// (`k ≥ 1`). Returns `None` when `k` exceeds the input count (the
+    /// threshold is then unsatisfiable).
+    pub fn at_least(&self, k: usize) -> Option<Lit> {
+        assert!(
+            k >= 1,
+            "threshold must be at least 1 (k = 0 is trivially true)"
+        );
+        self.outputs.get(k - 1).copied()
+    }
+
+    /// Asserts "at least `k` of the inputs are true" on `cnf`.
+    pub fn assert_at_least(&self, cnf: &mut Cnf, k: usize) {
+        if k == 0 {
+            return;
+        }
+        match self.at_least(k) {
+            Some(lit) => cnf.add_unit(lit),
+            None => cnf.add_clause(Vec::new()), // k > n: unsatisfiable
+        }
+    }
+
+    /// Asserts "at most `k` of the inputs are true" on `cnf`.
+    pub fn assert_at_most(&self, cnf: &mut Cnf, k: usize) {
+        if let Some(lit) = self.outputs.get(k).copied() {
+            cnf.add_unit(!lit);
+        }
+        // k >= n: trivially true, nothing to assert.
+    }
+}
+
+/// Recursively builds the counter for a slice of inputs and returns its
+/// sorted outputs (`outputs[j-1]` ⟺ at least `j` of the slice are true).
+fn build_node(cnf: &mut Cnf, inputs: &[Lit]) -> Vec<Lit> {
+    match inputs.len() {
+        0 => Vec::new(),
+        1 => vec![inputs[0]],
+        n => {
+            let (left, right) = inputs.split_at(n / 2);
+            let a = build_node(cnf, left);
+            let b = build_node(cnf, right);
+            merge(cnf, &a, &b)
+        }
+    }
+}
+
+/// Merges two sorted unary counters into one, emitting the equivalence
+/// clauses of the totalizer.
+fn merge(cnf: &mut Cnf, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let (p, q) = (a.len(), b.len());
+    let outputs: Vec<Lit> = (0..p + q).map(|_| cnf.new_var().pos()).collect();
+    // Treat a[0] / b[0] as constant true and a[p+1] / b[q+1] as constant
+    // false, per the standard formulation.
+    for i in 0..=p {
+        for j in 0..=q {
+            // sum ≥ i + j  ⇒  r_{i+j}:   (¬a_i ∨ ¬b_j ∨ r_{i+j})
+            if i + j >= 1 {
+                let mut clause = Vec::with_capacity(3);
+                if i >= 1 {
+                    clause.push(!a[i - 1]);
+                }
+                if j >= 1 {
+                    clause.push(!b[j - 1]);
+                }
+                clause.push(outputs[i + j - 1]);
+                cnf.add_clause(clause);
+            }
+            // r_{i+j+1}  ⇒  a_{i+1} ∨ b_{j+1}:   (a_{i+1} ∨ b_{j+1} ∨ ¬r_{i+j+1})
+            if i + j < p + q {
+                let mut clause = Vec::with_capacity(3);
+                if i < p {
+                    clause.push(a[i]);
+                }
+                if j < q {
+                    clause.push(b[j]);
+                }
+                clause.push(!outputs[i + j]);
+                cnf.add_clause(clause);
+            }
+        }
+    }
+    outputs
+}
+
+/// Appends clauses asserting that at least `k` of `lits` are true,
+/// allocating auxiliary variables in `cnf`.
+pub fn encode_at_least_k(cnf: &mut Cnf, lits: &[Lit], k: usize) {
+    if k == 0 {
+        return;
+    }
+    if k > lits.len() {
+        cnf.add_clause(Vec::new());
+        return;
+    }
+    let tot = Totalizer::build(cnf, lits);
+    tot.assert_at_least(cnf, k);
+}
+
+/// Appends clauses asserting that at most `k` of `lits` are true,
+/// allocating auxiliary variables in `cnf`.
+pub fn encode_at_most_k(cnf: &mut Cnf, lits: &[Lit], k: usize) {
+    if k >= lits.len() {
+        return;
+    }
+    let tot = Totalizer::build(cnf, lits);
+    tot.assert_at_most(cnf, k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Var;
+
+    /// Counts assignments of the first `n` variables that can be extended to
+    /// a model of `cnf` (brute force over all variables).
+    fn projected_count(cnf: &Cnf, n: usize) -> usize {
+        let total = cnf.num_vars();
+        let mut seen = std::collections::HashSet::new();
+        for bits in 0u64..(1 << total) {
+            let assignment: Vec<bool> = (0..total).map(|i| bits >> i & 1 == 1).collect();
+            if cnf.eval(&assignment) {
+                seen.insert(bits & ((1 << n) - 1));
+            }
+        }
+        seen.len()
+    }
+
+    fn binomial(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let k = k.min(n - k);
+        let mut result = 1u64;
+        for i in 0..k {
+            result = result * (n - i) / (i + 1);
+        }
+        result
+    }
+
+    #[test]
+    fn at_least_k_counts_binomial_tails() {
+        for n in 1usize..=5 {
+            for k in 0..=n + 1 {
+                let mut cnf = Cnf::new(n);
+                let lits: Vec<Lit> = (0..n as u32).map(|v| Var(v).pos()).collect();
+                encode_at_least_k(&mut cnf, &lits, k);
+                let expected: u64 = (k..=n).map(|j| binomial(n as u64, j as u64)).sum();
+                assert_eq!(
+                    projected_count(&cnf, n) as u64,
+                    expected,
+                    "n = {n}, k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_k_counts_binomial_heads() {
+        for n in 1usize..=5 {
+            for k in 0..=n {
+                let mut cnf = Cnf::new(n);
+                let lits: Vec<Lit> = (0..n as u32).map(|v| Var(v).pos()).collect();
+                encode_at_most_k(&mut cnf, &lits, k);
+                let expected: u64 = (0..=k).map(|j| binomial(n as u64, j as u64)).sum();
+                assert_eq!(
+                    projected_count(&cnf, n) as u64,
+                    expected,
+                    "n = {n}, k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn works_over_negated_literals() {
+        // "at least 2 of {!x0, x1, !x2}": count assignments directly.
+        let mut cnf = Cnf::new(3);
+        let lits = vec![Var(0).neg(), Var(1).pos(), Var(2).neg()];
+        encode_at_least_k(&mut cnf, &lits, 2);
+        let mut expected = 0;
+        for bits in 0u64..8 {
+            let vals = [bits & 1 == 1, bits >> 1 & 1 == 1, bits >> 2 & 1 == 1];
+            let ones = [!vals[0], vals[1], !vals[2]].iter().filter(|&&b| b).count();
+            if ones >= 2 {
+                expected += 1;
+            }
+        }
+        assert_eq!(projected_count(&cnf, 3), expected);
+    }
+
+    #[test]
+    fn outputs_are_equivalences_not_mere_implications() {
+        // Assert the *negation* of an output: exactly the assignments below
+        // the threshold must remain, which requires the reverse implication.
+        let n = 4;
+        let mut cnf = Cnf::new(n);
+        let lits: Vec<Lit> = (0..n as u32).map(|v| Var(v).pos()).collect();
+        let tot = Totalizer::build(&mut cnf, &lits);
+        tot.assert_at_most(&mut cnf, 1);
+        // C(4,0) + C(4,1) = 5 assignments with at most one bit set.
+        assert_eq!(projected_count(&cnf, n), 5);
+    }
+
+    #[test]
+    fn degenerate_thresholds() {
+        let mut cnf = Cnf::new(2);
+        let lits = vec![Var(0).pos(), Var(1).pos()];
+        encode_at_least_k(&mut cnf, &lits, 0); // no-op
+        assert_eq!(projected_count(&cnf, 2), 4);
+        encode_at_most_k(&mut cnf, &lits, 2); // no-op
+        assert_eq!(projected_count(&cnf, 2), 4);
+        encode_at_least_k(&mut cnf, &lits, 3); // unsatisfiable
+        assert_eq!(projected_count(&cnf, 2), 0);
+    }
+
+    #[test]
+    fn single_input_uses_no_aux_vars() {
+        let mut cnf = Cnf::new(1);
+        let tot = Totalizer::build(&mut cnf, &[Var(0).pos()]);
+        assert_eq!(cnf.num_vars(), 1);
+        assert_eq!(tot.at_least(1), Some(Var(0).pos()));
+        assert_eq!(tot.at_least(2), None);
+    }
+}

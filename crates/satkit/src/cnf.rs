@@ -28,6 +28,7 @@ impl Var {
     }
 
     /// The negative literal of this variable.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Lit {
         Lit::neg(self.0)
     }

@@ -52,11 +52,7 @@ impl Enumeration {
 ///
 /// If `projection` is empty, the CNF's own projection set is used (or all
 /// variables if that is empty too).
-pub fn enumerate_projected(
-    cnf: &Cnf,
-    projection: &[Var],
-    config: &EnumerateConfig,
-) -> Enumeration {
+pub fn enumerate_projected(cnf: &Cnf, projection: &[Var], config: &EnumerateConfig) -> Enumeration {
     let proj: Vec<Var> = if projection.is_empty() {
         cnf.effective_projection()
     } else {
@@ -126,11 +122,7 @@ mod tests {
     #[test]
     fn respects_max_solutions() {
         let cnf = Cnf::new(4);
-        let e = enumerate_projected(
-            &cnf,
-            &[],
-            &EnumerateConfig { max_solutions: 5 },
-        );
+        let e = enumerate_projected(&cnf, &[], &EnumerateConfig { max_solutions: 5 });
         assert_eq!(e.len(), 5);
         assert!(e.truncated);
     }

@@ -54,6 +54,7 @@ impl BoolExpr {
     }
 
     /// Negation with constant folding and double-negation elimination.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(e: Rc<BoolExpr>) -> Rc<BoolExpr> {
         match &*e {
             BoolExpr::True => BoolExpr::fls(),
@@ -364,7 +365,10 @@ mod tests {
                 solver.solve_with_assumptions(&assumptions),
                 SolveResult::Sat(_)
             );
-            assert_eq!(got, expected, "mismatch at assignment {assignment:?} for {expr}");
+            assert_eq!(
+                got, expected,
+                "mismatch at assignment {assignment:?} for {expr}"
+            );
         }
     }
 

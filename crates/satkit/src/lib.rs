@@ -15,7 +15,9 @@
 //! * [`enumerate`] — all-solutions enumeration over a projection set using
 //!   blocking clauses;
 //! * [`xor`] — CNF encodings of parity (XOR) constraints, used by the
-//!   hashing-based approximate model counter.
+//!   hashing-based approximate model counter;
+//! * [`card`] — totalizer cardinality encodings (count-preserving under
+//!   projection), used by the ensemble-model CNF encodings in `mcml`.
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 //! }
 //! ```
 
+pub mod card;
 pub mod cnf;
 pub mod dimacs;
 pub mod enumerate;

@@ -103,11 +103,13 @@ impl VarHeap {
             let l = 2 * i + 1;
             let r = 2 * i + 2;
             let mut largest = i;
-            if l < self.heap.len() && self.activity[self.heap[l]] > self.activity[self.heap[largest]]
+            if l < self.heap.len()
+                && self.activity[self.heap[l]] > self.activity[self.heap[largest]]
             {
                 largest = l;
             }
-            if r < self.heap.len() && self.activity[self.heap[r]] > self.activity[self.heap[largest]]
+            if r < self.heap.len()
+                && self.activity[self.heap[r]] > self.activity[self.heap[largest]]
             {
                 largest = r;
             }

@@ -728,11 +728,8 @@ impl Solver {
                 }
                 match self.pick_branch_var() {
                     None => {
-                        let values: Vec<bool> = self
-                            .assigns
-                            .iter()
-                            .map(|&a| a == LBool::True)
-                            .collect();
+                        let values: Vec<bool> =
+                            self.assigns.iter().map(|&a| a == LBool::True).collect();
                         return SearchOutcome::Sat(Model { values });
                     }
                     Some(v) => {
@@ -869,8 +866,8 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
         for _ in 0..60 {
-            let n = rng.gen_range(3..=8);
-            let m = rng.gen_range(2..=24);
+            let n = rng.gen_range(3..=8usize);
+            let m = rng.gen_range(2..=24usize);
             let mut cnf = Cnf::new(n);
             for _ in 0..m {
                 let mut c = Vec::new();

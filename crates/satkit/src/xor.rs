@@ -26,11 +26,7 @@ impl XorConstraint {
 
     /// Evaluates the constraint under a total assignment indexed by variable.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        let sum = self
-            .vars
-            .iter()
-            .filter(|v| assignment[v.index()])
-            .count();
+        let sum = self.vars.iter().filter(|v| assignment[v.index()]).count();
         (sum % 2 == 1) == self.parity
     }
 }

@@ -42,6 +42,7 @@ fn main() {
         let traditional = evaluate_classifier(&tree, &test);
         let mcml = AccMc::new(&backend)
             .evaluate(&ground_truth, &tree)
+            .expect("tree and ground truth share the scope")
             .expect("exact backend has no budget");
         table.push_row(vec![
             format!("{positive_percent}:{}", 100 - positive_percent),

@@ -15,16 +15,20 @@ use relspec::properties::Property;
 fn main() {
     let property = Property::PartialOrder;
     let scope = 4;
-    let dataset = DatasetBuilder::new().build(
-        DatasetConfig::new(property, scope).with_max_positive(2_000),
-    );
+    let dataset =
+        DatasetBuilder::new().build(DatasetConfig::new(property, scope).with_max_positive(2_000));
     println!(
         "== RQ1: learnability of {property} at scope {scope} ({} balanced samples) ==\n",
         dataset.dataset.len()
     );
 
     let mut table = TextTable::new(vec![
-        "Ratio", "Model", "Accuracy", "Precision", "Recall", "F1-score",
+        "Ratio",
+        "Model",
+        "Accuracy",
+        "Precision",
+        "Recall",
+        "F1-score",
     ]);
     for ratio in SplitRatio::paper_ratios() {
         let (train, test) = dataset.split(ratio);

@@ -28,7 +28,13 @@ fn main() {
 
     let backend = CounterBackend::exact();
     let mut table = TextTable::new(vec![
-        "Subject", "TT", "TF", "FT", "FF", "Diff %", "SelfDiff %",
+        "Subject",
+        "TT",
+        "TF",
+        "FT",
+        "FF",
+        "Diff %",
+        "SelfDiff %",
     ]);
 
     for property in properties {
@@ -41,9 +47,11 @@ fn main() {
         });
         let r = DiffMc::new(&backend)
             .compare(&tree_a, &tree_b)
+            .expect("trees share the feature space")
             .expect("exact backend has no budget");
         let self_diff = DiffMc::new(&backend)
             .compare(&tree_a, &tree_a)
+            .expect("trees share the feature space")
             .expect("exact backend has no budget");
         table.push_row(vec![
             property.name().to_string(),

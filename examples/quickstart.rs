@@ -59,6 +59,7 @@ fn main() {
     let backend = CounterBackend::exact();
     let whole_space = AccMc::new(&backend)
         .evaluate(&ground_truth, &tree)
+        .expect("tree and ground truth share the scope")
         .expect("exact backend has no budget");
     println!("whole-space metrics:   {}", whole_space.metrics);
     println!(

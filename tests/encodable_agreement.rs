@@ -1,0 +1,214 @@
+//! Exhaustive agreement tests for the `CnfEncodable` model families: at
+//! scopes 2–3 the whole input space (2^(n²) adjacency matrices) is small
+//! enough to enumerate, so the AccMC counts produced through the CNF
+//! encodings can be checked bit-for-bit against `Classifier::predict`.
+
+use mcml::accmc::{AccMc, SpaceCounts};
+use mcml::backend::CounterBackend;
+use mcml::counter::{CachedCounter, ModelCounter};
+use mcml::encode::CnfEncodable;
+use mcml::tree2cnf::TreeLabel;
+use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
+use mlkit::data::Dataset;
+use mlkit::forest::{ForestConfig, RandomForest};
+use mlkit::tree::{DecisionTree, TreeConfig};
+use mlkit::Classifier;
+use modelcount::exact::ExactCounter;
+use relspec::instance::RelInstance;
+use relspec::properties::Property;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+
+/// The full labeled space of a property at a scope.
+fn labeled_space(property: Property, scope: usize) -> Dataset {
+    let mut d = Dataset::new(scope * scope);
+    for bits in 0u64..(1 << (scope * scope)) {
+        let inst = RelInstance::from_bits(
+            scope,
+            (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+        );
+        d.push(inst.to_features(), property.holds(&inst));
+    }
+    d
+}
+
+/// Brute-force whole-space confusion counts from `Classifier::predict`.
+fn brute_counts<M: Classifier + ?Sized>(
+    property: Property,
+    scope: usize,
+    model: &M,
+) -> SpaceCounts {
+    let mut counts = SpaceCounts::default();
+    for bits in 0u64..(1 << (scope * scope)) {
+        let inst = RelInstance::from_bits(
+            scope,
+            (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+        );
+        match (property.holds(&inst), model.predict(&inst.to_features())) {
+            (true, true) => counts.tp += 1,
+            (false, true) => counts.fp += 1,
+            (false, false) => counts.tn += 1,
+            (true, false) => counts.fn_ += 1,
+        }
+    }
+    counts
+}
+
+/// Asserts that the encoded AccMC counts equal the brute-force counts for
+/// the model, at every scope in `scopes`.
+fn check_family<M, F>(scopes: &[usize], properties: &[Property], train: F)
+where
+    M: CnfEncodable + Classifier,
+    F: Fn(&Dataset, u64) -> M,
+{
+    let backend = CounterBackend::exact();
+    for &scope in scopes {
+        for (i, &property) in properties.iter().enumerate() {
+            // Subsampled training keeps the models imperfect so all four
+            // counts are exercised.
+            let sample = labeled_space(property, scope).subsample(70, i as u64 + 11);
+            let model = train(&sample, i as u64);
+            let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+            let result = AccMc::new(&backend)
+                .evaluate(&gt, &model)
+                .expect("scopes match")
+                .expect("exact backend has no budget");
+            let brute = brute_counts(property, scope, &model);
+            assert_eq!(
+                result.counts, brute,
+                "{property} at scope {scope} (model family mismatch)"
+            );
+            assert_eq!(result.counts.total(), 1u128 << (scope * scope));
+        }
+    }
+}
+
+const PROPERTIES: [Property; 4] = [
+    Property::Reflexive,
+    Property::Antisymmetric,
+    Property::Function,
+    Property::Transitive,
+];
+
+#[test]
+fn decision_tree_counts_match_predictions_exhaustively() {
+    check_family(&[2, 3], &PROPERTIES, |train, _seed| {
+        DecisionTree::fit(train, TreeConfig::default())
+    });
+}
+
+#[test]
+fn random_forest_counts_match_predictions_exhaustively() {
+    check_family(&[2, 3], &PROPERTIES, |train, seed| {
+        RandomForest::fit(
+            train,
+            ForestConfig {
+                num_trees: 7,
+                seed,
+                ..ForestConfig::default()
+            },
+        )
+    });
+}
+
+#[test]
+fn even_sized_forest_counts_match_predictions_exhaustively() {
+    // Even tree counts exercise the tie-breaking side of the majority
+    // threshold (`votes * 2 >= T` accepts an exact tie).
+    check_family(&[3], &PROPERTIES[..2], |train, seed| {
+        RandomForest::fit(
+            train,
+            ForestConfig {
+                num_trees: 6,
+                seed,
+                ..ForestConfig::default()
+            },
+        )
+    });
+}
+
+#[test]
+fn adaboost_counts_match_predictions_exhaustively() {
+    check_family(&[2, 3], &PROPERTIES, |train, seed| {
+        AdaBoost::fit(
+            train,
+            AdaBoostConfig {
+                num_rounds: 8,
+                weak_depth: 2,
+                seed,
+            },
+        )
+    });
+}
+
+#[test]
+fn label_regions_partition_the_space_for_every_family() {
+    let scope = 3;
+    let property = Property::PartialOrder;
+    let sample = labeled_space(property, scope).subsample(90, 3);
+    let counter = ExactCounter::new();
+    let models: Vec<(&str, Box<dyn CnfEncodable>)> = vec![
+        (
+            "DT",
+            Box::new(DecisionTree::fit(&sample, TreeConfig::default())),
+        ),
+        (
+            "RFT",
+            Box::new(RandomForest::fit(
+                &sample,
+                ForestConfig {
+                    num_trees: 5,
+                    seed: 2,
+                    ..ForestConfig::default()
+                },
+            )),
+        ),
+        (
+            "ABT",
+            Box::new(AdaBoost::fit(
+                &sample,
+                AdaBoostConfig {
+                    num_rounds: 6,
+                    weak_depth: 1,
+                    seed: 2,
+                },
+            )),
+        ),
+    ];
+    for (name, model) in &models {
+        let t = counter
+            .count(&model.label_cnf(TreeLabel::True))
+            .expect("no budget");
+        let f = counter
+            .count(&model.label_cnf(TreeLabel::False))
+            .expect("no budget");
+        assert_eq!(t + f, 512, "{name}: regions must partition the space");
+    }
+}
+
+#[test]
+fn cached_backend_reports_identical_counts() {
+    // The memoizing wrapper must be semantically invisible.
+    let property = Property::Function;
+    let scope = 3;
+    let sample = labeled_space(property, scope).subsample(60, 5);
+    let forest = RandomForest::fit(
+        &sample,
+        ForestConfig {
+            num_trees: 5,
+            seed: 0,
+            ..ForestConfig::default()
+        },
+    );
+    let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+    let plain = CounterBackend::exact();
+    let cached = CachedCounter::new(ExactCounter::new());
+    let direct = AccMc::new(&plain).evaluate(&gt, &forest).unwrap().unwrap();
+    let via_cache_cold = AccMc::new(&cached).evaluate(&gt, &forest).unwrap().unwrap();
+    let via_cache_warm = AccMc::new(&cached).evaluate(&gt, &forest).unwrap().unwrap();
+    assert_eq!(direct.counts, via_cache_cold.counts);
+    assert_eq!(direct.counts, via_cache_warm.counts);
+    let stats = cached.stats();
+    assert_eq!(stats.misses, 4, "four distinct formulas");
+    assert_eq!(stats.hits, 4, "second evaluation fully cached");
+    assert_eq!(cached.name(), "cached");
+}

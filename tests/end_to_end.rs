@@ -18,7 +18,10 @@ use relspec::translate::{translate_to_cnf, TranslateOptions};
 
 fn all_instances(scope: usize) -> impl Iterator<Item = RelInstance> {
     (0u64..(1 << (scope * scope))).map(move |bits| {
-        RelInstance::from_bits(scope, (0..scope * scope).map(|k| bits >> k & 1 == 1).collect())
+        RelInstance::from_bits(
+            scope,
+            (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+        )
     })
 }
 
@@ -71,8 +74,14 @@ fn symmetry_breaking_shrinks_every_property_count() {
         );
         let plain_count = exact.count(&plain.cnf_positive()).unwrap();
         let sb_count = exact.count(&sb.cnf_positive()).unwrap();
-        assert!(sb_count <= plain_count, "{property}: {sb_count} > {plain_count}");
-        assert!(sb_count > 0, "{property}: symmetry breaking removed every solution");
+        assert!(
+            sb_count <= plain_count,
+            "{property}: {sb_count} > {plain_count}"
+        );
+        assert!(
+            sb_count > 0,
+            "{property}: symmetry breaking removed every solution"
+        );
     }
 }
 
@@ -90,7 +99,7 @@ fn accmc_equals_brute_force_for_trained_tree() {
 
     let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
     let backend = CounterBackend::exact();
-    let result = AccMc::new(&backend).evaluate(&gt, &tree).unwrap();
+    let result = AccMc::new(&backend).evaluate(&gt, &tree).unwrap().unwrap();
 
     let mut brute = SpaceCounts::default();
     for inst in all_instances(scope) {
@@ -119,15 +128,15 @@ fn diffmc_is_symmetric_and_self_diff_is_zero() {
     let backend = CounterBackend::exact();
     let diff = DiffMc::new(&backend);
 
-    let ab = diff.compare(&tree_a, &tree_b).unwrap().counts;
-    let ba = diff.compare(&tree_b, &tree_a).unwrap().counts;
+    let ab = diff.compare(&tree_a, &tree_b).unwrap().unwrap().counts;
+    let ba = diff.compare(&tree_b, &tree_a).unwrap().unwrap().counts;
     assert_eq!(ab.tt, ba.tt);
     assert_eq!(ab.ff, ba.ff);
     assert_eq!(ab.tf, ba.ft);
     assert_eq!(ab.ft, ba.tf);
     assert_eq!(ab.total(), 1u128 << (scope * scope));
 
-    let aa = diff.compare(&tree_a, &tree_a).unwrap().counts;
+    let aa = diff.compare(&tree_a, &tree_a).unwrap().unwrap().counts;
     assert_eq!(aa.tf + aa.ft, 0);
     assert_eq!(aa.diff(), 0.0);
 }
@@ -146,7 +155,11 @@ fn tree_regions_partition_ground_truth_counts() {
     let tree = DecisionTree::fit(&train, TreeConfig::default());
     let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
     let backend = CounterBackend::exact();
-    let counts = AccMc::new(&backend).evaluate(&gt, &tree).unwrap().counts;
+    let counts = AccMc::new(&backend)
+        .evaluate(&gt, &tree)
+        .unwrap()
+        .unwrap()
+        .counts;
 
     let exact = ExactCounter::new();
     let positives = exact.count(&gt.cnf_positive()).unwrap();
@@ -155,8 +168,12 @@ fn tree_regions_partition_ground_truth_counts() {
     assert_eq!(counts.fp + counts.tn, negatives);
 
     // And the tree's own regions partition the full space.
-    let t = exact.count(&tree_label_cnf(&tree, TreeLabel::True)).unwrap();
-    let f = exact.count(&tree_label_cnf(&tree, TreeLabel::False)).unwrap();
+    let t = exact
+        .count(&tree_label_cnf(&tree, TreeLabel::True))
+        .unwrap();
+    let f = exact
+        .count(&tree_label_cnf(&tree, TreeLabel::False))
+        .unwrap();
     assert_eq!(t + f, 1u128 << (scope * scope));
     assert_eq!(counts.tp + counts.fp, t);
     assert_eq!(counts.tn + counts.fn_, f);
@@ -190,15 +207,17 @@ fn headline_shape_precision_collapse_and_exceptions() {
     // 3. Reflexive and Irreflexive remain perfect.
     let backend = CounterBackend::exact();
     for property in [Property::Reflexive, Property::Irreflexive] {
-        let result =
-            Experiment::new(ExperimentConfig::table5(property, 4)).run(&backend);
+        let result = Experiment::new(ExperimentConfig::table5(property, 4)).run(&backend);
         let ws = result.whole_space.unwrap();
         assert_eq!(ws.metrics.precision, 1.0, "{property}");
         assert_eq!(ws.metrics.recall, 1.0, "{property}");
     }
-    for property in [Property::PreOrder, Property::StrictOrder, Property::Function] {
-        let result =
-            Experiment::new(ExperimentConfig::table5(property, 4)).run(&backend);
+    for property in [
+        Property::PreOrder,
+        Property::StrictOrder,
+        Property::Function,
+    ] {
+        let result = Experiment::new(ExperimentConfig::table5(property, 4)).run(&backend);
         let ws = result.whole_space.unwrap();
         assert!(
             result.test_metrics.f1 >= 0.75,
@@ -220,10 +239,13 @@ fn headline_shape_precision_collapse_and_exceptions() {
 
 #[test]
 fn dataset_labels_always_match_the_evaluator() {
-    for property in [Property::Connex, Property::StrictOrder, Property::Surjective] {
-        let pd = DatasetBuilder::new().build(
-            DatasetConfig::new(property, 4).with_max_positive(300),
-        );
+    for property in [
+        Property::Connex,
+        Property::StrictOrder,
+        Property::Surjective,
+    ] {
+        let pd =
+            DatasetBuilder::new().build(DatasetConfig::new(property, 4).with_max_positive(300));
         for (features, label) in pd.dataset.iter() {
             let inst = RelInstance::from_features(4, features);
             assert_eq!(property.holds(&inst), label, "{property}");

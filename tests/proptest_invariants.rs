@@ -3,6 +3,7 @@
 //! projection-preservation, evaluator vs bounded translation, Tree2CNF
 //! semantics, and metric identities.
 
+use mcml::accmc::AccMc;
 use mcml::backend::CounterBackend;
 use mcml::diffmc::DiffMc;
 use mcml::tree2cnf::{tree_label_cnf, TreeLabel};
@@ -10,6 +11,7 @@ use mlkit::data::{Dataset, SplitSpec};
 use mlkit::metrics::BinaryMetrics;
 use mlkit::tree::{DecisionTree, TreeConfig};
 use mlkit::Classifier;
+use modelcount::approx::ApproxConfig;
 use modelcount::brute::brute_force_count;
 use modelcount::exact::ExactCounter;
 use proptest::prelude::*;
@@ -148,11 +150,11 @@ proptest! {
         let tree_a = DecisionTree::fit(&a, TreeConfig::default());
         let tree_b = DecisionTree::fit(&b, TreeConfig::default());
         let backend = CounterBackend::exact();
-        let r = DiffMc::new(&backend).compare(&tree_a, &tree_b).unwrap().counts;
+        let r = DiffMc::new(&backend).compare(&tree_a, &tree_b).unwrap().unwrap().counts;
         prop_assert_eq!(r.total(), 16);
         prop_assert!((r.diff() + r.sim() - 1.0).abs() < 1e-12);
         // Swapping the trees swaps TF and FT.
-        let s = DiffMc::new(&backend).compare(&tree_b, &tree_a).unwrap().counts;
+        let s = DiffMc::new(&backend).compare(&tree_b, &tree_a).unwrap().unwrap().counts;
         prop_assert_eq!(r.tf, s.ft);
         prop_assert_eq!(r.ft, s.tf);
     }
@@ -196,6 +198,52 @@ proptest! {
         let negatives = datagen::negative::sample_negatives(property, 3, 20, seed);
         for inst in &negatives {
             prop_assert!(!property.holds(inst));
+        }
+    }
+}
+
+// The AccMC partition invariant involves four projected counts per backend
+// per case, so it runs with a smaller case budget than the cheap invariants
+// above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn accmc_counts_partition_the_space_under_both_backends(
+        idx in 0usize..16, seed in 0u64..1000
+    ) {
+        let scope = 3;
+        let property = Property::all()[idx];
+        let mut dataset = Dataset::new(scope * scope);
+        for bits in 0u64..(1 << (scope * scope)) {
+            let inst = RelInstance::from_bits(
+                scope,
+                (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+            );
+            dataset.push(inst.to_features(), property.holds(&inst));
+        }
+        let tree = DecisionTree::fit(&dataset.subsample(60, seed), TreeConfig::default());
+        let gt = relspec::translate::translate_to_cnf(
+            &property.spec(),
+            relspec::translate::TranslateOptions::new(scope),
+        );
+        // A tight ε gives the approximate backend a pivot above 2⁹, so its
+        // counts are exact enumerations and the partition must hold for it
+        // just as for the exact backend.
+        let backends = [
+            CounterBackend::exact(),
+            CounterBackend::approx_with(ApproxConfig { epsilon: 0.1, ..ApproxConfig::default() }),
+        ];
+        for backend in &backends {
+            let result = AccMc::new(backend)
+                .evaluate(&gt, &tree)
+                .expect("scopes match")
+                .expect("no budget configured");
+            prop_assert_eq!(
+                result.counts.total(),
+                1u128 << tree.num_features(),
+                "backend {}", backend.name()
+            );
         }
     }
 }
