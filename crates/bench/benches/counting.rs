@@ -1,10 +1,17 @@
 //! Criterion benchmarks for the model counters (exact vs approximate) on
 //! ground-truth property formulas — the kernels behind Table 1 and the
-//! Section 3 ApproxMC/ProjMC anecdote.
+//! Section 3 ApproxMC/ProjMC anecdote — and for the classic vs compiled
+//! AccMC engines on a multi-model batch (the Table 3/5 access pattern).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcml::accmc::{AccMc, CountingEngine};
+use mcml::backend::CounterBackend;
+use mcml::counter::CompiledCounter;
+use mlkit::data::Dataset;
+use mlkit::tree::{DecisionTree, TreeConfig};
 use modelcount::approx::{ApproxConfig, ApproxCounter};
 use modelcount::exact::ExactCounter;
+use relspec::instance::RelInstance;
 use relspec::properties::Property;
 use relspec::symmetry::SymmetryBreaking;
 use relspec::translate::{translate_to_cnf, TranslateOptions};
@@ -61,6 +68,65 @@ fn bench_symmetry_breaking_translation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Trains `count` distinct decision trees on different subsamples of the
+/// full labeled space — stand-ins for the many models one (property, scope)
+/// pair meets across table rows, seeds and families.
+fn tree_batch(property: Property, scope: usize, count: usize) -> Vec<DecisionTree> {
+    let mut full = Dataset::new(scope * scope);
+    for bits in 0u64..(1 << (scope * scope)) {
+        let inst = RelInstance::from_bits(
+            scope,
+            (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+        );
+        full.push(inst.to_features(), property.holds(&inst));
+    }
+    (0..count)
+        .map(|seed| DecisionTree::fit(&full.subsample(80, seed as u64), TreeConfig::default()))
+        .collect()
+}
+
+/// Classic vs compiled engine on a ≥8-model batch per property: the classic
+/// engine re-searches four conjunctions per model, the compiled engine
+/// compiles φ / ¬φ once and conditions them on every model's regions.
+fn bench_accmc_engine_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accmc_engine_batch8");
+    group.sample_size(10);
+    let scope = 3;
+    for property in [Property::Antisymmetric, Property::Transitive] {
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let trees = tree_batch(property, scope, 8);
+        group.bench_with_input(
+            BenchmarkId::new(format!("classic/{}", property.name()), scope),
+            &trees,
+            |b, trees| {
+                b.iter(|| {
+                    let backend = CounterBackend::exact();
+                    let accmc = AccMc::new(&backend);
+                    for tree in trees {
+                        black_box(accmc.evaluate(&gt, tree).unwrap().unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("compiled/{}", property.name()), scope),
+            &trees,
+            |b, trees| {
+                b.iter(|| {
+                    // A fresh counter per iteration charges the compiled
+                    // engine its full φ / ¬φ compilation cost.
+                    let backend = CompiledCounter::new();
+                    let accmc = AccMc::with_engine(&backend, CountingEngine::Compiled);
+                    for tree in trees {
+                        black_box(accmc.evaluate(&gt, tree).unwrap().unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn fast_config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -74,6 +140,7 @@ criterion_group!(
     targets =
     bench_exact_counting,
     bench_approx_counting,
+    bench_accmc_engine_batch,
     bench_symmetry_breaking_translation
 );
 criterion_main!(benches);

@@ -7,13 +7,26 @@
 //! [`Runner`], which deduplicates dataset construction and ground-truth
 //! translation, shares one memoizing counter across all rows, and runs them
 //! in parallel; `--models dt,rft,abt` evaluates any subset of the
-//! CNF-encodable model families per property.
+//! CNF-encodable model families per property, `--engine compiled` switches
+//! the whole-space evaluation to the d-DNNF compile-once/query-many plan,
+//! and `--cache-dir DIR` persists the count cache across processes.
 
 use crate::cli::HarnessArgs;
 use mcml::counter::CachedCounter;
 use mcml::framework::{ExperimentConfig, Runner};
-use mcml::report::{format_metric, TextTable};
+use mcml::persist;
+use mcml::report::{format_count_guarantee, format_metric, TextTable};
 use relspec::properties::Property;
+use std::path::PathBuf;
+
+/// The cache file under `--cache-dir`, if configured. The file name spells
+/// out the backend so differently-configured runs (exact / approx /
+/// compiled) never read each other's outcomes.
+fn cache_file(args: &HarnessArgs) -> Option<PathBuf> {
+    args.cache_dir
+        .as_ref()
+        .map(|dir| dir.join(persist::cache_file_name(args.backend().name())))
+}
 
 /// Runs one AccMC-style table and prints it.
 ///
@@ -25,6 +38,24 @@ pub fn run_accmc_table(
     make_config: impl Fn(Property, usize) -> ExperimentConfig,
 ) {
     let backend = CachedCounter::new(args.backend());
+    if let Some(path) = cache_file(args) {
+        match persist::load_outcomes(&path, args.backend().name()) {
+            Ok(entries) => {
+                eprintln!(
+                    "(loaded {} cached counts from {})",
+                    entries.len(),
+                    path.display()
+                );
+                backend.preload(entries);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => eprintln!(
+                "warning: ignoring unreadable count cache {}: {e}",
+                path.display()
+            ),
+        }
+    }
+
     let configs: Vec<ExperimentConfig> = args
         .properties()
         .into_iter()
@@ -39,6 +70,7 @@ pub fn run_accmc_table(
     let rows = Runner::new()
         .families(&args.models)
         .threads(args.threads)
+        .engine(args.engine)
         .run(&configs, &backend)
         .unwrap_or_else(|e| panic!("malformed experiment batch: {e}"));
 
@@ -53,6 +85,7 @@ pub fn run_accmc_table(
         "Prec(phi)",
         "Rec(phi)",
         "F1(phi)",
+        "Count",
         "Time[s]",
     ]);
 
@@ -81,11 +114,13 @@ pub fn run_accmc_table(
             format_metric(phi[1]),
             format_metric(phi[2]),
             format_metric(phi[3]),
+            format_count_guarantee(row.whole_space.as_ref()),
             time,
         ]);
     }
 
     println!("{title}");
+    println!("(counting engine: {})", args.engine);
     println!("{}", table.render());
     let stats = backend.stats();
     if stats.hits > 0 {
@@ -93,5 +128,15 @@ pub fn run_accmc_table(
             "(counter cache: {} hits / {} misses)",
             stats.hits, stats.misses
         );
+    }
+
+    if let Some(path) = cache_file(args) {
+        match persist::save_outcomes(&path, args.backend().name(), &backend.snapshot()) {
+            Ok(written) => eprintln!("(saved {} cached counts to {})", written, path.display()),
+            Err(e) => eprintln!(
+                "warning: failed to save count cache {}: {e}",
+                path.display()
+            ),
+        }
     }
 }

@@ -10,11 +10,17 @@
 //! * `--models dt,rft,abt` — model families for the whole-space tables
 //!   (3, 5, 6, 7), exercising the generic `CnfEncodable` path;
 //! * `--threads N` — worker threads for the batch `Runner` (0 = one per
-//!   core).
+//!   core);
+//! * `--engine classic|compiled` — whole-space counting strategy: fresh
+//!   search per count, or d-DNNF compile-once/query-many;
+//! * `--cache-dir DIR` — persist the count cache to `DIR` and reload it on
+//!   the next run (cross-process reuse).
 
+use mcml::accmc::CountingEngine;
 use mcml::backend::CounterBackend;
 use mcml::framework::ModelFamily;
 use relspec::properties::Property;
+use std::path::PathBuf;
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone)]
@@ -33,6 +39,11 @@ pub struct HarnessArgs {
     pub models: Vec<ModelFamily>,
     /// Worker threads for the batch runner (0 = one per core).
     pub threads: usize,
+    /// Whole-space counting engine.
+    pub engine: CountingEngine,
+    /// Directory holding the persistent count cache (`None` = in-memory
+    /// only).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -45,6 +56,8 @@ impl Default for HarnessArgs {
             property: None,
             models: vec![ModelFamily::Dt],
             threads: 0,
+            engine: CountingEngine::Classic,
+            cache_dir: None,
         }
     }
 }
@@ -103,9 +116,23 @@ impl HarnessArgs {
                     let v = iter.next().expect("--threads requires a value");
                     out.threads = v.parse().expect("--threads must be a number");
                 }
+                "--engine" => {
+                    let v = iter.next().expect("--engine requires a name");
+                    out.engine = CountingEngine::parse(&v).unwrap_or_else(|| {
+                        panic!("unknown engine {v:?} (expected classic or compiled)")
+                    });
+                }
+                "--cache-dir" => {
+                    let v = iter.next().expect("--cache-dir requires a path");
+                    out.cache_dir = Some(PathBuf::from(v));
+                }
                 other => panic!("unknown argument {other:?}"),
             }
         }
+        assert!(
+            !(out.approx && out.engine == CountingEngine::Compiled),
+            "--approx is incompatible with --engine compiled (the d-DNNF engine is exact)"
+        );
         out
     }
 
@@ -126,12 +153,14 @@ impl HarnessArgs {
         }
     }
 
-    /// The counting backend selected by the flags. The exact backend carries
-    /// a generous node budget so a pathological instance reports "-" instead
-    /// of hanging (the analogue of the paper's 5 000 s timeout).
+    /// The counting backend selected by the flags. The exact and compiled
+    /// backends carry a generous budget so a pathological instance reports
+    /// "-" instead of hanging (the analogue of the paper's 5 000 s timeout).
     pub fn backend(&self) -> CounterBackend {
         if self.approx {
             CounterBackend::approx()
+        } else if self.engine == CountingEngine::Compiled {
+            CounterBackend::compiled_with_budget(20_000_000)
         } else {
             CounterBackend::exact_with_budget(20_000_000)
         }
@@ -199,6 +228,33 @@ mod tests {
         assert_eq!(a.threads, 2);
         let single = parse(&["--models", "RFT"]);
         assert_eq!(single.models, vec![ModelFamily::Rft]);
+    }
+
+    #[test]
+    fn parses_engine_and_cache_dir() {
+        let a = parse(&["--engine", "compiled", "--cache-dir", "/tmp/mcml-cache"]);
+        assert_eq!(a.engine, CountingEngine::Compiled);
+        assert_eq!(a.backend().name(), "compiled");
+        assert_eq!(
+            a.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/mcml-cache"))
+        );
+        let default = parse(&[]);
+        assert_eq!(default.engine, CountingEngine::Classic);
+        assert_eq!(default.cache_dir, None);
+        assert_eq!(parse(&["--engine", "CLASSIC"]).backend().name(), "exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown engine")]
+    fn unknown_engine_panics() {
+        parse(&["--engine", "magic"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn approx_with_compiled_engine_panics() {
+        parse(&["--approx", "--engine", "compiled"]);
     }
 
     #[test]

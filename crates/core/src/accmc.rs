@@ -14,18 +14,85 @@
 //! predicates baked into φ).
 //!
 //! The analysis is generic on both axes: any
-//! [`CnfEncodable`](crate::encode::CnfEncodable) model family (decision
+//! [`CnfEncodable`] model family (decision
 //! trees, random forests, boosted stumps) and any
-//! [`ModelCounter`](crate::counter::ModelCounter) backend.
+//! [`QueryCounter`] backend. Two evaluation
+//! strategies are selectable through [`CountingEngine`]:
+//!
+//! * [`Classic`](CountingEngine::Classic) — encode the model's decision
+//!   region into (¬)φ and run four fresh counts, exactly as above;
+//! * [`Compiled`](CountingEngine::Compiled) — a *query plan* for models
+//!   exposing [`decision_regions`](CnfEncodable::decision_regions)
+//!   (decision trees): never encode the model at all, and instead sum
+//!   `mc(φ | region-cube)` over the regions. Against a
+//!   [`CompiledCounter`](crate::counter::CompiledCounter) backend, φ and
+//!   ¬φ are compiled to d-DNNF once per (property, scope) and every model
+//!   of a batch costs only linear circuit traversals — the φ search is no
+//!   longer repeated per model. Families without region lists (RFT/ABT)
+//!   transparently fall back to the classic path.
 
 use crate::backend::CounterBackend;
-use crate::counter::{CountOutcome, ModelCounter};
+use crate::counter::{CountOutcome, QueryCounter};
 use crate::encode::CnfEncodable;
 use crate::error::EvalError;
 use crate::tree2cnf::TreeLabel;
 use mlkit::metrics::BinaryMetrics;
 use relspec::translate::GroundTruth;
 use std::time::{Duration, Instant};
+
+/// Which counting strategy an analysis uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CountingEngine {
+    /// One CNF, one search: encode the model region into (¬)φ and count
+    /// each of the four conjunctions from scratch.
+    #[default]
+    Classic,
+    /// Compile once, query many: condition a compiled φ / ¬φ on the
+    /// model's decision-region cubes and sum the per-region counts.
+    /// Models without region lists fall back to the classic path.
+    Compiled,
+}
+
+impl CountingEngine {
+    /// Parses a case-insensitive engine name (`"classic"`, `"compiled"`).
+    pub fn parse(name: &str) -> Option<CountingEngine> {
+        match name.to_ascii_lowercase().as_str() {
+            "classic" => Some(CountingEngine::Classic),
+            "compiled" => Some(CountingEngine::Compiled),
+            _ => None,
+        }
+    }
+
+    /// The engine's lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CountingEngine::Classic => "classic",
+            CountingEngine::Compiled => "compiled",
+        }
+    }
+}
+
+impl std::fmt::Display for CountingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The (ε, δ) guarantee attached to an approximate whole-space result.
+///
+/// A result built from several approximate counts only holds when *every*
+/// contributing estimate does, so ε is the largest per-count tolerance and
+/// δ is the **union bound** over the contributing counts — the sum of
+/// their failure probabilities, saturated at 1 (at which point the
+/// combined guarantee is vacuous).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxInfo {
+    /// Largest per-count tolerance ε among the approximate counts.
+    pub epsilon: f64,
+    /// Union-bound failure probability: the sum of the contributing
+    /// counts' δ parameters, capped at 1.
+    pub delta: f64,
+}
 
 /// The four whole-space counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,33 +126,90 @@ pub struct AccMcResult {
     pub counts: SpaceCounts,
     /// The derived scores.
     pub metrics: BinaryMetrics,
-    /// Wall-clock time spent in the four counting calls (the paper's
-    /// "Time[s]" column).
+    /// Wall-clock time spent in the counting calls (the paper's "Time\[s\]"
+    /// column).
     pub counting_time: Duration,
-    /// Whether all four counts are exact (`false` when at least one came
-    /// from an approximate backend).
-    pub exact: bool,
+    /// The combined (ε, δ) guarantee of the approximate counts contributing
+    /// to the result; `None` when every count is exact.
+    pub approx: Option<ApproxInfo>,
 }
 
-/// The AccMC analysis, parameterized by a counting backend.
+impl AccMcResult {
+    /// Whether every contributing count is exact.
+    pub fn is_exact(&self) -> bool {
+        self.approx.is_none()
+    }
+}
+
+/// Accumulates per-count outcome metadata — exactness, largest ε,
+/// union-bound δ — across the counts of one evaluation.
+#[derive(Debug, Default)]
+pub(crate) struct OutcomeMeta {
+    approx: Option<ApproxInfo>,
+}
+
+impl OutcomeMeta {
+    /// Folds one outcome in, returning its value (`None` = budget ran out).
+    pub(crate) fn absorb(&mut self, outcome: CountOutcome) -> Option<u128> {
+        match outcome {
+            CountOutcome::Exact(v) => Some(v),
+            CountOutcome::Approx {
+                estimate,
+                epsilon,
+                delta,
+            } => {
+                let info = self.approx.get_or_insert(ApproxInfo {
+                    epsilon: 0.0,
+                    delta: 0.0,
+                });
+                info.epsilon = info.epsilon.max(epsilon);
+                // Union bound: the joint result fails if any contributing
+                // estimate does, so failure probabilities add.
+                info.delta = (info.delta + delta).min(1.0);
+                Some(estimate)
+            }
+            CountOutcome::BudgetExhausted { .. } => None,
+        }
+    }
+
+    pub(crate) fn approx(&self) -> Option<ApproxInfo> {
+        self.approx
+    }
+}
+
+/// The AccMC analysis, parameterized by a counting backend and a
+/// [`CountingEngine`].
 #[derive(Debug, Clone)]
-pub struct AccMc<'a, C: ModelCounter + ?Sized = CounterBackend> {
+pub struct AccMc<'a, C: QueryCounter + ?Sized = CounterBackend> {
     backend: &'a C,
+    engine: CountingEngine,
 }
 
-impl<'a, C: ModelCounter + ?Sized> AccMc<'a, C> {
-    /// Creates the analysis over the given backend.
+impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
+    /// Creates the analysis over the given backend with the classic
+    /// four-conjunction strategy.
     pub fn new(backend: &'a C) -> Self {
-        AccMc { backend }
+        AccMc::with_engine(backend, CountingEngine::Classic)
+    }
+
+    /// Creates the analysis with an explicit counting engine.
+    pub fn with_engine(backend: &'a C, engine: CountingEngine) -> Self {
+        AccMc { backend, engine }
+    }
+
+    /// The engine this analysis evaluates with.
+    pub fn engine(&self) -> CountingEngine {
+        self.engine
     }
 
     /// Computes the whole-space confusion counts of `model` against the
     /// ground truth φ.
     ///
-    /// Returns `Ok(None)` if the backend's budget was exhausted on any of
-    /// the four counts (the paper's time-outs), and
-    /// [`EvalError::FeatureMismatch`] if the model's feature count differs
-    /// from the ground truth's primary-variable count.
+    /// Returns `Ok(None)` if the backend's budget was exhausted on any
+    /// count (the paper's time-outs), [`EvalError::FeatureMismatch`] if the
+    /// model's feature count differs from the ground truth's
+    /// primary-variable count, and propagates encoding errors (e.g.
+    /// [`EvalError::VoteCircuitTooLarge`]).
     pub fn evaluate<M: CnfEncodable + ?Sized>(
         &self,
         ground_truth: &GroundTruth,
@@ -99,7 +223,29 @@ impl<'a, C: ModelCounter + ?Sized> AccMc<'a, C> {
             });
         }
         let start = Instant::now();
-        let mut exact = true;
+        let mut meta = OutcomeMeta::default();
+        let counts = match self.engine {
+            CountingEngine::Compiled => match model.decision_regions() {
+                Some(regions) => self.counts_by_regions(ground_truth, &regions, &mut meta),
+                None => self.counts_classic(ground_truth, model, &mut meta)?,
+            },
+            CountingEngine::Classic => self.counts_classic(ground_truth, model, &mut meta)?,
+        };
+        Ok(counts.map(|counts| AccMcResult {
+            counts,
+            metrics: counts.metrics(),
+            counting_time: start.elapsed(),
+            approx: meta.approx(),
+        }))
+    }
+
+    /// The classic strategy: four conjunction CNFs, four counts.
+    fn counts_classic<M: CnfEncodable + ?Sized>(
+        &self,
+        ground_truth: &GroundTruth,
+        model: &M,
+        meta: &mut OutcomeMeta,
+    ) -> Result<Option<SpaceCounts>, EvalError> {
         let mut values = [0u128; 4];
         let cells = [
             (true, TreeLabel::True),
@@ -108,41 +254,58 @@ impl<'a, C: ModelCounter + ?Sized> AccMc<'a, C> {
             (true, TreeLabel::False),
         ];
         for (slot, &(phi_positive, label)) in values.iter_mut().zip(&cells) {
-            let outcome = self.count_one(ground_truth, model, phi_positive, label);
-            match outcome.value() {
+            let mut cnf = if phi_positive {
+                ground_truth.cnf_positive()
+            } else {
+                ground_truth.cnf_negative()
+            };
+            model.try_encode_label(&mut cnf, label)?;
+            // The conjunction is unique to this (model, cell) pair: count
+            // it transiently so compiling backends don't cache a circuit
+            // that can never be reused.
+            match meta.absorb(self.backend.count_transient(&cnf)) {
                 None => return Ok(None),
                 Some(v) => *slot = v,
             }
-            exact &= outcome.is_exact();
         }
-        let counts = SpaceCounts {
+        Ok(Some(SpaceCounts {
             tp: values[0],
             fp: values[1],
             tn: values[2],
             fn_: values[3],
-        };
-        Ok(Some(AccMcResult {
-            counts,
-            metrics: counts.metrics(),
-            counting_time: start.elapsed(),
-            exact,
         }))
     }
 
-    fn count_one<M: CnfEncodable + ?Sized>(
+    /// The query plan: φ and ¬φ are fixed queries, the model contributes
+    /// only condition cubes. The model's regions partition the space, so
+    /// summing `mc(φ | cube)` over the positive regions equals
+    /// `mc(φ ∧ model_true)` (and analogously for the other three cells) —
+    /// asserted by the engine-agreement regression tests.
+    fn counts_by_regions(
         &self,
         ground_truth: &GroundTruth,
-        model: &M,
-        phi_positive: bool,
-        label: TreeLabel,
-    ) -> CountOutcome {
-        let mut cnf = if phi_positive {
-            ground_truth.cnf_positive()
-        } else {
-            ground_truth.cnf_negative()
-        };
-        model.encode_label(&mut cnf, label);
-        self.backend.count(&cnf)
+        regions: &[crate::encode::DecisionRegion],
+        meta: &mut OutcomeMeta,
+    ) -> Option<SpaceCounts> {
+        let positive = ground_truth.cnf_positive();
+        let negative = ground_truth.cnf_negative();
+        let mut counts = SpaceCounts::default();
+        for region in regions {
+            let in_phi = meta.absorb(self.backend.count_conditioned(&positive, &region.cube))?;
+            let in_not_phi =
+                meta.absorb(self.backend.count_conditioned(&negative, &region.cube))?;
+            match region.label {
+                TreeLabel::True => {
+                    counts.tp += in_phi;
+                    counts.fp += in_not_phi;
+                }
+                TreeLabel::False => {
+                    counts.fn_ += in_phi;
+                    counts.tn += in_not_phi;
+                }
+            }
+        }
+        Some(counts)
     }
 }
 
@@ -220,7 +383,7 @@ mod tests {
             let brute = brute_counts(property, scope, SymmetryBreaking::None, &tree);
             assert_eq!(result.counts, brute, "property {property}");
             assert_eq!(result.counts.total(), 512);
-            assert!(result.exact);
+            assert!(result.is_exact());
         }
     }
 
@@ -303,7 +466,7 @@ mod tests {
             .evaluate(&gt, &tree)
             .expect("scopes match")
             .expect("approx always answers");
-        assert!(!ra.exact);
+        assert!(!ra.is_exact());
         // The whole space at scope 3 is only 512, so the approximate counter
         // enumerates exactly.
         let close = |a: u128, b: u128| (a as f64 - b as f64).abs() <= (b as f64) * 0.6 + 8.0;
@@ -324,6 +487,134 @@ mod tests {
             Ok(None),
             "budget exhaustion is a value, not an error"
         );
+    }
+
+    #[test]
+    fn compiled_engine_matches_classic_and_brute_force() {
+        use crate::counter::CompiledCounter;
+        let scope = 3;
+        for property in [
+            Property::Reflexive,
+            Property::Antisymmetric,
+            Property::Function,
+        ] {
+            let dataset = labeled_dataset(property, scope).subsample(60, 3);
+            let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+            let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+            let exact = CounterBackend::exact();
+            let classic = AccMc::new(&exact)
+                .evaluate(&gt, &tree)
+                .expect("scopes match")
+                .expect("no budget");
+            let compiled_backend = CompiledCounter::new();
+            let compiled = AccMc::with_engine(&compiled_backend, CountingEngine::Compiled)
+                .evaluate(&gt, &tree)
+                .expect("scopes match")
+                .expect("no budget");
+            assert_eq!(compiled.counts, classic.counts, "property {property}");
+            assert_eq!(
+                compiled.counts,
+                brute_counts(property, scope, SymmetryBreaking::None, &tree)
+            );
+            assert!(compiled.is_exact());
+            assert_eq!(compiled.approx, None);
+            // Exactly two formulas (φ and ¬φ) were compiled, regardless of
+            // how many regions the tree has.
+            assert_eq!(compiled_backend.stats().misses, 2, "property {property}");
+        }
+    }
+
+    #[test]
+    fn compiled_engine_falls_back_for_ensembles() {
+        use crate::counter::CompiledCounter;
+        let scope = 3;
+        let property = Property::Antisymmetric;
+        let dataset = labeled_dataset(property, scope).subsample(100, 7);
+        let forest = RandomForest::fit(
+            &dataset,
+            ForestConfig {
+                num_trees: 5,
+                seed: 5,
+                ..ForestConfig::default()
+            },
+        );
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let backend = CompiledCounter::new();
+        let result = AccMc::with_engine(&backend, CountingEngine::Compiled)
+            .evaluate(&gt, &forest)
+            .expect("scopes match")
+            .expect("no budget");
+        let brute = brute_counts(property, scope, SymmetryBreaking::None, &forest);
+        assert_eq!(result.counts, brute);
+        assert!(
+            backend.is_empty(),
+            "fallback conjunctions are one-shot and must not cache circuits"
+        );
+    }
+
+    #[test]
+    fn approx_metadata_reaches_the_result() {
+        let property = Property::Antisymmetric;
+        let scope = 3;
+        let dataset = labeled_dataset(property, scope).subsample(100, 5);
+        let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let approx = CounterBackend::approx();
+        let result = AccMc::new(&approx)
+            .evaluate(&gt, &tree)
+            .expect("scopes match")
+            .expect("approx always answers");
+        assert!(!result.is_exact());
+        let info = result.approx.expect("approximate runs carry (ε, δ)");
+        assert!(info.epsilon > 0.0 && info.delta > 0.0);
+
+        // An exact run carries no (ε, δ).
+        let exact = CounterBackend::exact();
+        let exact_result = AccMc::new(&exact)
+            .evaluate(&gt, &tree)
+            .expect("scopes match")
+            .expect("no budget");
+        assert!(exact_result.is_exact());
+        assert_eq!(exact_result.approx, None);
+    }
+
+    #[test]
+    fn outcome_meta_takes_max_epsilon_and_union_bound_delta() {
+        let mut meta = OutcomeMeta::default();
+        assert_eq!(meta.absorb(CountOutcome::Exact(5)), Some(5));
+        assert_eq!(meta.approx(), None);
+        for (epsilon, delta) in [(0.4, 0.2), (0.2, 0.3)] {
+            meta.absorb(CountOutcome::Approx {
+                estimate: 1,
+                epsilon,
+                delta,
+            });
+        }
+        let info = meta.approx().expect("approximate counts were absorbed");
+        assert_eq!(info.epsilon, 0.4, "largest per-count tolerance");
+        assert!(
+            (info.delta - 0.5).abs() < 1e-12,
+            "failure probabilities add (union bound), got {}",
+            info.delta
+        );
+        // The union bound saturates at 1 (a vacuous guarantee).
+        for _ in 0..4 {
+            meta.absorb(CountOutcome::Approx {
+                estimate: 1,
+                epsilon: 0.1,
+                delta: 0.3,
+            });
+        }
+        assert_eq!(meta.approx().unwrap().delta, 1.0);
+    }
+
+    #[test]
+    fn engine_parsing_round_trips() {
+        for engine in [CountingEngine::Classic, CountingEngine::Compiled] {
+            assert_eq!(CountingEngine::parse(engine.name()), Some(engine));
+        }
+        assert_eq!(CountingEngine::parse("ddnnf"), None);
+        assert_eq!(CountingEngine::default(), CountingEngine::Classic);
     }
 
     #[test]

@@ -2,14 +2,17 @@
 //!
 //! MCML's tool supports two back-ends: the exact counter (ProjMC in the
 //! paper, [`modelcount::exact`] here) and the approximate counter (ApproxMC
-//! in the paper, [`modelcount::approx`] here). [`CounterBackend`] is a thin
-//! runtime selector between the two, kept for CLI-style call sites; the
-//! evaluation core itself is generic over any
-//! [`ModelCounter`](crate::counter::ModelCounter), which this enum
-//! implements. Counts are reported as structured
-//! [`CountOutcome`](crate::counter::CountOutcome) values.
+//! in the paper, [`modelcount::approx`] here); the reproduction adds a
+//! third, the compile-once/query-many
+//! [`CompiledCounter`] built on
+//! [`satkit::ddnnf`]. [`CounterBackend`] is a thin runtime selector among
+//! them, kept for CLI-style call sites; the evaluation core itself is
+//! generic over any [`ModelCounter`] (and
+//! [`QueryCounter`](crate::counter::QueryCounter) for conditioned query
+//! plans), which this enum implements. Counts are reported as structured
+//! [`CountOutcome`] values.
 
-use crate::counter::{CountOutcome, ModelCounter};
+use crate::counter::{CompiledCounter, CountOutcome, ModelCounter};
 use modelcount::approx::{ApproxConfig, ApproxCounter};
 use modelcount::exact::ExactCounter;
 use satkit::cnf::Cnf;
@@ -22,6 +25,9 @@ pub enum CounterBackend {
     Exact(ExactCounter),
     /// Approximate counting (the ApproxMC role).
     Approx(ApproxCounter),
+    /// Exact counting through a cached d-DNNF compilation (the knowledge
+    /// compilation lineage); clones share the circuit cache.
+    Compiled(CompiledCounter),
 }
 
 impl CounterBackend {
@@ -45,11 +51,23 @@ impl CounterBackend {
         CounterBackend::Approx(ApproxCounter::new(config))
     }
 
-    /// Short name for reports ("ProjMC-like" exact vs "ApproxMC-like").
+    /// A compiled (d-DNNF) backend with no compilation budget.
+    pub fn compiled() -> Self {
+        CounterBackend::Compiled(CompiledCounter::new())
+    }
+
+    /// A compiled backend that gives up on a formula after `max_decisions`
+    /// compilation decisions.
+    pub fn compiled_with_budget(max_decisions: u64) -> Self {
+        CounterBackend::Compiled(CompiledCounter::with_decision_budget(max_decisions))
+    }
+
+    /// Short name for reports (`"exact"`, `"approx"` or `"compiled"`).
     pub fn name(&self) -> &'static str {
         match self {
             CounterBackend::Exact(_) => "exact",
             CounterBackend::Approx(_) => "approx",
+            CounterBackend::Compiled(_) => "compiled",
         }
     }
 

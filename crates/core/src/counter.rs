@@ -1,6 +1,7 @@
 //! The pluggable model-counting abstraction: the [`ModelCounter`] trait, the
-//! structured [`CountOutcome`] it returns, and the memoizing
-//! [`CachedCounter`] wrapper.
+//! structured [`CountOutcome`] it returns, the [`QueryCounter`] extension
+//! for conditioned (cube) queries, the compile-once/query-many
+//! [`CompiledCounter`], and the memoizing [`CachedCounter`] wrapper.
 //!
 //! Historically the evaluation core took a concrete `CounterBackend` whose
 //! `count` returned `Option<u128>` — conflating "the budget ran out" with
@@ -12,16 +13,26 @@
 //! [`CachedCounter`] wrapping any of them so repeated formulas — e.g. the
 //! shared φ / ¬φ prefixes of the four AccMC counts across table rows — are
 //! counted once.
+//!
+//! [`QueryCounter`] extends the contract with
+//! [`count_conditioned`](QueryCounter::count_conditioned): counting the
+//! models of a formula restricted to a cube of projection literals. Search
+//! counters answer it by re-counting the conjunction; [`CompiledCounter`]
+//! compiles the formula to a d-DNNF circuit **once** ([`satkit::ddnnf`])
+//! and answers every subsequent cube query in time linear in the circuit —
+//! the access pattern of the AccMC/DiffMC query plans, where one φ is hit
+//! with the decision regions of many models.
 
 use crate::backend::CounterBackend;
 use modelcount::approx::ApproxCounter;
 use modelcount::exact::ExactCounter;
-use satkit::cnf::Cnf;
+use satkit::cnf::{Cnf, Lit};
+use satkit::ddnnf::{CompileError, Compiler, Ddnnf};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The structured result of one projected model count.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +88,42 @@ pub trait ModelCounter: Send + Sync {
     /// Counts the models of `cnf` projected onto its effective projection
     /// set.
     fn count(&self, cnf: &Cnf) -> CountOutcome;
+
+    /// Counts a formula the caller will **not** ask about again (e.g. the
+    /// per-model conjunction CNFs of the classic AccMC/DiffMC paths).
+    ///
+    /// Most backends answer exactly like [`count`](Self::count); backends
+    /// that build a per-formula artifact ([`CompiledCounter`]'s circuits)
+    /// answer with a transient strategy instead of growing their caches
+    /// with entries that can never be reused.
+    fn count_transient(&self, cnf: &Cnf) -> CountOutcome {
+        self.count(cnf)
+    }
+}
+
+/// Conditioned counting: the extension trait behind the compiled AccMC and
+/// DiffMC query plans.
+///
+/// `count_conditioned(cnf, cube)` is semantically `count(cnf ∧ cube)` for a
+/// cube of literals over the formula's projection variables. The provided
+/// implementation literally builds that conjunction and delegates to
+/// [`ModelCounter::count`] — correct for every backend, with no sharing.
+/// [`CompiledCounter`] overrides it to answer from a circuit compiled once
+/// per formula, which is what makes region-cube query plans asymptotically
+/// cheaper than four-conjunction counting.
+pub trait QueryCounter: ModelCounter {
+    /// Counts the models of `cnf ∧ cube` projected onto the effective
+    /// projection set of `cnf`.
+    fn count_conditioned(&self, cnf: &Cnf, cube: &[Lit]) -> CountOutcome {
+        if cube.is_empty() {
+            return self.count(cnf);
+        }
+        let mut conditioned = cnf.clone();
+        for &lit in cube {
+            conditioned.add_unit(lit);
+        }
+        self.count(&conditioned)
+    }
 }
 
 impl ModelCounter for ExactCounter {
@@ -110,17 +157,195 @@ impl ModelCounter for ApproxCounter {
 
 impl ModelCounter for CounterBackend {
     fn name(&self) -> &str {
-        match self {
-            CounterBackend::Exact(_) => "exact",
-            CounterBackend::Approx(_) => "approx",
-        }
+        CounterBackend::name(self)
     }
 
     fn count(&self, cnf: &Cnf) -> CountOutcome {
         match self {
             CounterBackend::Exact(c) => ModelCounter::count(c, cnf),
             CounterBackend::Approx(c) => ModelCounter::count(c, cnf),
+            CounterBackend::Compiled(c) => ModelCounter::count(c, cnf),
         }
+    }
+
+    fn count_transient(&self, cnf: &Cnf) -> CountOutcome {
+        match self {
+            CounterBackend::Exact(c) => c.count_transient(cnf),
+            CounterBackend::Approx(c) => c.count_transient(cnf),
+            CounterBackend::Compiled(c) => c.count_transient(cnf),
+        }
+    }
+}
+
+impl QueryCounter for ExactCounter {}
+
+impl QueryCounter for ApproxCounter {}
+
+impl QueryCounter for CounterBackend {
+    fn count_conditioned(&self, cnf: &Cnf, cube: &[Lit]) -> CountOutcome {
+        match self {
+            CounterBackend::Exact(c) => QueryCounter::count_conditioned(c, cnf, cube),
+            CounterBackend::Approx(c) => QueryCounter::count_conditioned(c, cnf, cube),
+            CounterBackend::Compiled(c) => QueryCounter::count_conditioned(c, cnf, cube),
+        }
+    }
+}
+
+/// Statistics of a [`CompiledCounter`]'s compilation cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileCacheStats {
+    /// Queries served from an already-compiled circuit.
+    pub hits: u64,
+    /// Formulas compiled (including failed compilations).
+    pub misses: u64,
+}
+
+/// A compile-once/query-many counting backend built on [`satkit::ddnnf`].
+///
+/// The first count of a formula compiles it into a d-DNNF circuit; the
+/// circuit is cached (keyed on [`cnf_fingerprint`]) and every later count —
+/// plain or cube-conditioned via [`QueryCounter::count_conditioned`] — is a
+/// linear circuit traversal. This is the engine behind
+/// [`CountingEngine::Compiled`](crate::accmc::CountingEngine): AccMC
+/// compiles φ and ¬φ once per (property, scope) and then evaluates every
+/// model of the batch with per-region cube queries.
+///
+/// Cloning is cheap and **shares** the circuit cache (it lives behind an
+/// [`Arc`]), so one counter can serve all threads of a
+/// [`Runner`](crate::framework::Runner) whether shared by reference or by
+/// clone.
+///
+/// A formula whose projection set exceeds the circuit representation's
+/// 128-variable limit (beyond every scope of the study) falls back to an
+/// in-place [`ExactCounter`] search with the same node budget.
+#[derive(Debug, Clone)]
+pub struct CompiledCounter {
+    compiler: Compiler,
+    fallback: ExactCounter,
+    circuits: Arc<Mutex<CircuitCache>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+/// Fingerprint-keyed store of compilation results (shared via [`Arc`] so a
+/// hit hands out the circuit without cloning it).
+type CircuitCache = HashMap<u128, Arc<Result<Ddnnf, CompileError>>>;
+
+impl Default for CompiledCounter {
+    fn default() -> Self {
+        CompiledCounter::new()
+    }
+}
+
+impl CompiledCounter {
+    /// A compiled counter with no compilation budget.
+    pub fn new() -> Self {
+        CompiledCounter::with_budget(Compiler::new(), ExactCounter::new())
+    }
+
+    /// A compiled counter that gives up on a formula after `max_decisions`
+    /// compilation decisions (reported as
+    /// [`CountOutcome::BudgetExhausted`], like the search counters).
+    pub fn with_decision_budget(max_decisions: u64) -> Self {
+        CompiledCounter::with_budget(
+            Compiler::with_decision_budget(max_decisions),
+            ExactCounter::with_node_budget(max_decisions),
+        )
+    }
+
+    fn with_budget(compiler: Compiler, fallback: ExactCounter) -> Self {
+        CompiledCounter {
+            compiler,
+            fallback,
+            circuits: Arc::new(Mutex::new(HashMap::new())),
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Hit/miss statistics of the circuit cache.
+    pub fn stats(&self) -> CompileCacheStats {
+        CompileCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct formulas compiled (successfully or not).
+    pub fn len(&self) -> usize {
+        self.circuits.lock().expect("circuit cache poisoned").len()
+    }
+
+    /// Whether no formula has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached circuit (statistics are kept).
+    pub fn clear(&self) {
+        self.circuits
+            .lock()
+            .expect("circuit cache poisoned")
+            .clear();
+    }
+
+    /// The compiled circuit for `cnf`, compiling on first sight.
+    fn circuit(&self, cnf: &Cnf) -> Arc<Result<Ddnnf, CompileError>> {
+        let key = cnf_fingerprint(cnf);
+        if let Some(c) = self
+            .circuits
+            .lock()
+            .expect("circuit cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(c);
+        }
+        // Compile outside the lock so concurrent misses on different
+        // formulas proceed in parallel (a duplicated compile on the same
+        // formula is merely redundant work, never wrong).
+        let compiled = Arc::new(self.compiler.compile(cnf));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.circuits
+            .lock()
+            .expect("circuit cache poisoned")
+            .insert(key, Arc::clone(&compiled));
+        compiled
+    }
+
+    fn outcome(&self, cnf: &Cnf, cube: &[Lit]) -> CountOutcome {
+        match &*self.circuit(cnf) {
+            Ok(circuit) => CountOutcome::Exact(circuit.count_conditioned(cube)),
+            Err(CompileError::BudgetExhausted { decisions }) => CountOutcome::BudgetExhausted {
+                nodes_used: *decisions,
+            },
+            Err(CompileError::TooManyProjectionVars { .. }) => {
+                QueryCounter::count_conditioned(&self.fallback, cnf, cube)
+            }
+        }
+    }
+}
+
+impl ModelCounter for CompiledCounter {
+    fn name(&self) -> &str {
+        "compiled"
+    }
+
+    fn count(&self, cnf: &Cnf) -> CountOutcome {
+        self.outcome(cnf, &[])
+    }
+
+    /// One-shot formulas are answered by the search fallback (same budget)
+    /// — compiling them would cost more than the search and permanently
+    /// cache a circuit that is never queried again.
+    fn count_transient(&self, cnf: &Cnf) -> CountOutcome {
+        ModelCounter::count(&self.fallback, cnf)
+    }
+}
+
+impl QueryCounter for CompiledCounter {
+    fn count_conditioned(&self, cnf: &Cnf, cube: &[Lit]) -> CountOutcome {
+        self.outcome(cnf, cube)
     }
 }
 
@@ -131,6 +356,13 @@ impl ModelCounter for CounterBackend {
 /// collision between distinct formulas in one process is vanishingly
 /// unlikely (birthday bound ≈ 2⁻⁶⁴ at a billion cached entries).
 pub fn cnf_fingerprint(cnf: &Cnf) -> u128 {
+    cnf_cube_fingerprint(cnf, &[])
+}
+
+/// Fingerprint of `cnf ∧ cube`, used by [`CachedCounter`] to memoize
+/// conditioned queries. With an empty cube this equals [`cnf_fingerprint`],
+/// so plain and conditioned counts of the same formula share one entry.
+pub fn cnf_cube_fingerprint(cnf: &Cnf, cube: &[Lit]) -> u128 {
     let pass = |salt: u64| -> u64 {
         let mut h = DefaultHasher::new();
         salt.hash(&mut h);
@@ -144,6 +376,13 @@ pub fn cnf_fingerprint(cnf: &Cnf) -> u128 {
                 lit.code().hash(&mut h);
             }
             u64::MAX.hash(&mut h); // clause separator
+        }
+        // A cube literal hashes exactly like the equivalent unit clause, so
+        // the fingerprint of (cnf, cube) equals that of cnf ∧ cube built by
+        // appending units — cache entries are shared across both routes.
+        for lit in cube {
+            lit.code().hash(&mut h);
+            u64::MAX.hash(&mut h);
         }
         h.finish()
     };
@@ -214,6 +453,40 @@ impl<C: ModelCounter> CachedCounter<C> {
     pub fn clear(&self) {
         self.cache.lock().expect("cache poisoned").clear();
     }
+
+    /// A snapshot of the cached outcomes, e.g. for persisting to disk with
+    /// [`persist::save_outcomes`](crate::persist::save_outcomes).
+    pub fn snapshot(&self) -> HashMap<u128, CountOutcome> {
+        self.cache.lock().expect("cache poisoned").clone()
+    }
+
+    /// Seeds the cache with previously computed outcomes (e.g. loaded from
+    /// disk by [`persist::load_outcomes`](crate::persist::load_outcomes)).
+    /// Existing entries win on key collisions.
+    pub fn preload<I: IntoIterator<Item = (u128, CountOutcome)>>(&self, entries: I) {
+        let mut cache = self.cache.lock().expect("cache poisoned");
+        for (key, outcome) in entries {
+            cache.entry(key).or_insert(outcome);
+        }
+    }
+
+    /// Memoized lookup shared by the plain and conditioned count paths.
+    fn count_keyed(&self, key: u128, compute: impl FnOnce() -> CountOutcome) -> CountOutcome {
+        if let Some(&outcome) = self.cache.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return outcome;
+        }
+        // Count outside the lock so concurrent misses on *different*
+        // formulas proceed in parallel (a duplicated count on the same
+        // formula is merely redundant work, never wrong).
+        let outcome = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, outcome);
+        outcome
+    }
 }
 
 impl<C: ModelCounter> ModelCounter for CachedCounter<C> {
@@ -222,21 +495,26 @@ impl<C: ModelCounter> ModelCounter for CachedCounter<C> {
     }
 
     fn count(&self, cnf: &Cnf) -> CountOutcome {
-        let key = cnf_fingerprint(cnf);
-        if let Some(&outcome) = self.cache.lock().expect("cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return outcome;
-        }
-        // Count outside the lock so concurrent misses on *different*
-        // formulas proceed in parallel (a duplicated count on the same
-        // formula is merely redundant work, never wrong).
-        let outcome = self.inner.count(cnf);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, outcome);
-        outcome
+        self.count_keyed(cnf_fingerprint(cnf), || self.inner.count(cnf))
+    }
+
+    /// Outcomes of transient counts are still memoized (they are cheap to
+    /// keep, and identical table rows do repeat them); only the inner
+    /// counter is told not to build reusable artifacts.
+    fn count_transient(&self, cnf: &Cnf) -> CountOutcome {
+        self.count_keyed(cnf_fingerprint(cnf), || self.inner.count_transient(cnf))
+    }
+}
+
+impl<C: QueryCounter> QueryCounter for CachedCounter<C> {
+    /// Memoizes conditioned counts too, delegating cache misses to the
+    /// inner counter's *native* conditioned path — so a cached
+    /// [`CompiledCounter`] still answers misses from its compiled circuit
+    /// instead of re-counting a conjunction.
+    fn count_conditioned(&self, cnf: &Cnf, cube: &[Lit]) -> CountOutcome {
+        self.count_keyed(cnf_cube_fingerprint(cnf, cube), || {
+            self.inner.count_conditioned(cnf, cube)
+        })
     }
 }
 
@@ -354,5 +632,132 @@ mod tests {
         let approx: &dyn ModelCounter = &CounterBackend::approx();
         assert_eq!(approx.count(&cnf).value(), Some(6));
         assert_eq!(approx.name(), "approx");
+        let compiled: &dyn ModelCounter = &CounterBackend::compiled();
+        assert_eq!(compiled.count(&cnf), CountOutcome::Exact(6));
+        assert_eq!(compiled.name(), "compiled");
+    }
+
+    #[test]
+    fn compiled_counter_agrees_with_exact() {
+        let cnf = clause_cnf();
+        let compiled = CompiledCounter::new();
+        assert_eq!(compiled.count(&cnf), CountOutcome::Exact(6));
+        // Second count of the same formula is a cache hit.
+        assert_eq!(compiled.count(&cnf), CountOutcome::Exact(6));
+        let stats = compiled.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(compiled.len(), 1);
+    }
+
+    #[test]
+    fn compiled_counter_conditioned_queries_share_one_circuit() {
+        let cnf = clause_cnf();
+        let compiled = CompiledCounter::new();
+        // mc((x0 | x1) ∧ x0) = 4, mc((x0 | x1) ∧ ¬x0) = 2 over 3 vars.
+        assert_eq!(
+            compiled.count_conditioned(&cnf, &[Lit::pos(0)]),
+            CountOutcome::Exact(4)
+        );
+        assert_eq!(
+            compiled.count_conditioned(&cnf, &[Lit::neg(0)]),
+            CountOutcome::Exact(2)
+        );
+        assert_eq!(
+            compiled.count_conditioned(&cnf, &[Lit::neg(0), Lit::neg(1)]),
+            CountOutcome::Exact(0)
+        );
+        // One compile served every query.
+        assert_eq!(compiled.stats().misses, 1);
+        assert_eq!(compiled.stats().hits, 2);
+    }
+
+    #[test]
+    fn compiled_counter_transient_counts_skip_the_circuit_cache() {
+        let compiled = CompiledCounter::new();
+        let cnf = clause_cnf();
+        assert_eq!(compiled.count_transient(&cnf), CountOutcome::Exact(6));
+        assert!(
+            compiled.is_empty(),
+            "one-shot counts must not populate the circuit cache"
+        );
+        assert_eq!(compiled.count(&cnf), CountOutcome::Exact(6));
+        assert_eq!(compiled.len(), 1);
+    }
+
+    #[test]
+    fn compiled_counter_budget_reports_exhaustion() {
+        let compiled = CompiledCounter::with_decision_budget(2);
+        let mut chain = Cnf::new(20);
+        for i in 0..19u32 {
+            chain.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)]);
+        }
+        assert!(compiled.count(&chain).is_budget_exhausted());
+    }
+
+    #[test]
+    fn compiled_counter_clones_share_the_cache() {
+        let compiled = CompiledCounter::new();
+        let clone = compiled.clone();
+        assert_eq!(clone.count(&clause_cnf()), CountOutcome::Exact(6));
+        assert_eq!(compiled.len(), 1, "clone populated the shared cache");
+        assert_eq!(compiled.count(&clause_cnf()), CountOutcome::Exact(6));
+        assert_eq!(compiled.stats().hits, 1);
+    }
+
+    #[test]
+    fn query_counter_default_matches_unit_assertion() {
+        let cnf = clause_cnf();
+        let exact = ExactCounter::new();
+        let mut asserted = cnf.clone();
+        asserted.add_unit(Lit::pos(0));
+        assert_eq!(
+            QueryCounter::count_conditioned(&exact, &cnf, &[Lit::pos(0)]),
+            ModelCounter::count(&exact, &asserted)
+        );
+    }
+
+    #[test]
+    fn cube_fingerprint_matches_appended_units() {
+        let cnf = clause_cnf();
+        let cube = [Lit::pos(0), Lit::neg(2)];
+        let mut asserted = cnf.clone();
+        for &l in &cube {
+            asserted.add_unit(l);
+        }
+        assert_eq!(
+            cnf_cube_fingerprint(&cnf, &cube),
+            cnf_fingerprint(&asserted),
+            "conditioned and conjunction routes must share cache entries"
+        );
+        assert_eq!(cnf_cube_fingerprint(&cnf, &[]), cnf_fingerprint(&cnf));
+    }
+
+    #[test]
+    fn cached_counter_memoizes_conditioned_counts() {
+        let cached = CachedCounter::new(CompiledCounter::new());
+        let cnf = clause_cnf();
+        let cube = [Lit::pos(0)];
+        assert_eq!(cached.count_conditioned(&cnf, &cube).value(), Some(4));
+        assert_eq!(cached.count_conditioned(&cnf, &cube).value(), Some(4));
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn snapshot_and_preload_round_trip() {
+        let cached = CachedCounter::new(ExactCounter::new());
+        let cnf = clause_cnf();
+        assert_eq!(cached.count(&cnf).value(), Some(6));
+        let snapshot = cached.snapshot();
+        assert_eq!(snapshot.len(), 1);
+
+        let fresh = CachedCounter::new(ExactCounter::new());
+        fresh.preload(snapshot);
+        assert_eq!(fresh.count(&cnf).value(), Some(6));
+        let stats = fresh.stats();
+        assert_eq!(stats.hits, 1, "preloaded entry must serve the count");
+        assert_eq!(stats.misses, 0);
     }
 }

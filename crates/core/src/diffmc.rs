@@ -10,13 +10,18 @@
 //! and `diff = (tf + ft) / 2ⁿ`, `sim = 1 - diff`.
 //!
 //! Like AccMC, the comparison is generic over
-//! [`CnfEncodable`](crate::encode::CnfEncodable) model families — the two
+//! [`CnfEncodable`] model families — the two
 //! sides may even belong to *different* families (e.g. a decision tree
-//! against the random forest distilled from the same data).
+//! against the random forest distilled from the same data) — and over the
+//! [`CountingEngine`]: with [`CountingEngine::Compiled`], a side exposing
+//! [`decision_regions`](CnfEncodable::decision_regions) contributes
+//! condition cubes against the *other* side's compiled label circuits
+//! instead of four conjunction encodings.
 
+use crate::accmc::{ApproxInfo, CountingEngine, OutcomeMeta};
 use crate::backend::CounterBackend;
-use crate::counter::ModelCounter;
-use crate::encode::CnfEncodable;
+use crate::counter::QueryCounter;
+use crate::encode::{CnfEncodable, DecisionRegion};
 use crate::error::EvalError;
 use crate::tree2cnf::TreeLabel;
 use satkit::cnf::{Cnf, Var};
@@ -63,25 +68,45 @@ pub struct DiffMcResult {
     pub counts: DiffCounts,
     /// Wall-clock time spent counting.
     pub counting_time: Duration,
+    /// The combined (ε, δ) guarantee of the approximate counts contributing
+    /// to the comparison (largest ε, union-bound δ); `None` when every
+    /// count is exact.
+    pub approx: Option<ApproxInfo>,
 }
 
-/// The DiffMC analysis, parameterized by a counting backend.
+impl DiffMcResult {
+    /// Whether every contributing count is exact.
+    pub fn is_exact(&self) -> bool {
+        self.approx.is_none()
+    }
+}
+
+/// The DiffMC analysis, parameterized by a counting backend and a
+/// [`CountingEngine`].
 #[derive(Debug, Clone)]
-pub struct DiffMc<'a, C: ModelCounter + ?Sized = CounterBackend> {
+pub struct DiffMc<'a, C: QueryCounter + ?Sized = CounterBackend> {
     backend: &'a C,
+    engine: CountingEngine,
 }
 
-impl<'a, C: ModelCounter + ?Sized> DiffMc<'a, C> {
-    /// Creates the analysis over the given backend.
+impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
+    /// Creates the analysis over the given backend with the classic
+    /// four-conjunction strategy.
     pub fn new(backend: &'a C) -> Self {
-        DiffMc { backend }
+        DiffMc::with_engine(backend, CountingEngine::Classic)
+    }
+
+    /// Creates the analysis with an explicit counting engine.
+    pub fn with_engine(backend: &'a C, engine: CountingEngine) -> Self {
+        DiffMc { backend, engine }
     }
 
     /// Computes the whole-space agreement/disagreement counts of two models.
     ///
-    /// Returns `Ok(None)` if the backend's budget was exhausted, and
+    /// Returns `Ok(None)` if the backend's budget was exhausted,
     /// [`EvalError::FeatureMismatch`] if the models classify different
-    /// feature spaces.
+    /// feature spaces, and propagates encoding errors (e.g.
+    /// [`EvalError::VoteCircuitTooLarge`]).
     pub fn compare<A: CnfEncodable + ?Sized, B: CnfEncodable + ?Sized>(
         &self,
         m1: &A,
@@ -95,6 +120,35 @@ impl<'a, C: ModelCounter + ?Sized> DiffMc<'a, C> {
             });
         }
         let start = Instant::now();
+        let mut meta = OutcomeMeta::default();
+        let counts = match self.engine {
+            CountingEngine::Compiled => {
+                if let Some(regions) = m1.decision_regions() {
+                    self.counts_by_regions(&regions, m2, false, &mut meta)?
+                } else if let Some(regions) = m2.decision_regions() {
+                    // Conditioning on m2's regions computes the transposed
+                    // matrix; swap the disagreement cells back.
+                    self.counts_by_regions(&regions, m1, true, &mut meta)?
+                } else {
+                    self.counts_classic(m1, m2, &mut meta)?
+                }
+            }
+            CountingEngine::Classic => self.counts_classic(m1, m2, &mut meta)?,
+        };
+        Ok(counts.map(|counts| DiffMcResult {
+            counts,
+            counting_time: start.elapsed(),
+            approx: meta.approx(),
+        }))
+    }
+
+    /// The classic strategy: encode both models into one CNF per cell.
+    fn counts_classic<A: CnfEncodable + ?Sized, B: CnfEncodable + ?Sized>(
+        &self,
+        m1: &A,
+        m2: &B,
+        meta: &mut OutcomeMeta,
+    ) -> Result<Option<DiffCounts>, EvalError> {
         let mut values = [0u128; 4];
         let cells = [
             (TreeLabel::True, TreeLabel::True),
@@ -103,35 +157,62 @@ impl<'a, C: ModelCounter + ?Sized> DiffMc<'a, C> {
             (TreeLabel::False, TreeLabel::False),
         ];
         for (slot, &(l1, l2)) in values.iter_mut().zip(&cells) {
-            match self.count_one(m1, l1, m2, l2).value() {
+            let n = m1.num_features();
+            let mut cnf = Cnf::new(n);
+            cnf.set_projection((0..n as u32).map(Var).collect());
+            m1.try_encode_label(&mut cnf, l1)?;
+            m2.try_encode_label(&mut cnf, l2)?;
+            // Unique per (model pair, cell): count transiently so compiling
+            // backends don't cache one-shot circuits.
+            match meta.absorb(self.backend.count_transient(&cnf)) {
                 None => return Ok(None),
                 Some(v) => *slot = v,
             }
         }
-        Ok(Some(DiffMcResult {
-            counts: DiffCounts {
-                tt: values[0],
-                tf: values[1],
-                ft: values[2],
-                ff: values[3],
-            },
-            counting_time: start.elapsed(),
+        Ok(Some(DiffCounts {
+            tt: values[0],
+            tf: values[1],
+            ft: values[2],
+            ff: values[3],
         }))
     }
 
-    fn count_one<A: CnfEncodable + ?Sized, B: CnfEncodable + ?Sized>(
+    /// The query plan: compile `other`'s two label circuits once, then
+    /// condition them on every region cube of the region-listing side. With
+    /// `transposed`, `regions` belong to the *second* model and the
+    /// disagreement cells swap.
+    fn counts_by_regions<B: CnfEncodable + ?Sized>(
         &self,
-        m1: &A,
-        l1: TreeLabel,
-        m2: &B,
-        l2: TreeLabel,
-    ) -> crate::counter::CountOutcome {
-        let n = m1.num_features();
-        let mut cnf = Cnf::new(n);
-        cnf.set_projection((0..n as u32).map(Var).collect());
-        m1.encode_label(&mut cnf, l1);
-        m2.encode_label(&mut cnf, l2);
-        self.backend.count(&cnf)
+        regions: &[DecisionRegion],
+        other: &B,
+        transposed: bool,
+        meta: &mut OutcomeMeta,
+    ) -> Result<Option<DiffCounts>, EvalError> {
+        let other_true = other.try_label_cnf(TreeLabel::True)?;
+        let other_false = other.try_label_cnf(TreeLabel::False)?;
+        let mut counts = DiffCounts::default();
+        for region in regions {
+            let both = meta.absorb(self.backend.count_conditioned(&other_true, &region.cube));
+            let only_region =
+                meta.absorb(self.backend.count_conditioned(&other_false, &region.cube));
+            let (Some(both), Some(only_region)) = (both, only_region) else {
+                return Ok(None);
+            };
+            match region.label {
+                TreeLabel::True => {
+                    counts.tt += both;
+                    counts.tf += only_region;
+                }
+                TreeLabel::False => {
+                    counts.ft += both;
+                    counts.ff += only_region;
+                }
+            }
+        }
+        if transposed {
+            std::mem::swap(&mut counts.tf, &mut counts.ft);
+        }
+        Ok(Some(counts))
     }
 }
 
@@ -238,6 +319,77 @@ mod tests {
         assert_eq!(r.counts.tt, 0);
         assert_eq!(r.counts.ff, 0);
         assert_eq!(r.counts.diff(), 1.0);
+    }
+
+    #[test]
+    fn compiled_engine_matches_classic_for_trees() {
+        use crate::counter::CompiledCounter;
+        let full = dataset_from_fn(5, |x| x.iter().map(|&b| b as usize).sum::<usize>() >= 3);
+        let t1 = DecisionTree::fit(&full, TreeConfig::default());
+        let t2 = DecisionTree::fit(&full.subsample(12, 3), TreeConfig::with_max_depth(2));
+        let backend = CompiledCounter::new();
+        let compiled = DiffMc::with_engine(&backend, CountingEngine::Compiled)
+            .compare(&t1, &t2)
+            .expect("feature spaces match")
+            .expect("no budget");
+        assert_eq!(compiled.counts, brute_diff(&t1, &t2, 5));
+        // Only t2's two label circuits were compiled.
+        assert_eq!(backend.stats().misses, 2);
+    }
+
+    #[test]
+    fn compiled_engine_transposes_when_only_the_second_side_has_regions() {
+        use crate::counter::CompiledCounter;
+        // A forest (no regions) against a tree (regions): the tree is the
+        // second argument, exercising the transposed path.
+        let full = dataset_from_fn(4, |x| (x[0] ^ x[1]) == 1 || x[3] == 1);
+        let tree = DecisionTree::fit(&full, TreeConfig::with_max_depth(2));
+        let forest = RandomForest::fit(
+            &full,
+            ForestConfig {
+                num_trees: 5,
+                seed: 9,
+                ..ForestConfig::default()
+            },
+        );
+        let backend = CompiledCounter::new();
+        let r = DiffMc::with_engine(&backend, CountingEngine::Compiled)
+            .compare(&forest, &tree)
+            .expect("feature spaces match")
+            .expect("no budget");
+        assert_eq!(r.counts, brute_diff(&forest, &tree, 4));
+
+        // Both orders agree up to transposition of the disagreement cells.
+        let swapped = DiffMc::with_engine(&backend, CountingEngine::Compiled)
+            .compare(&tree, &forest)
+            .expect("feature spaces match")
+            .expect("no budget");
+        assert_eq!(swapped.counts.tf, r.counts.ft);
+        assert_eq!(swapped.counts.ft, r.counts.tf);
+        assert_eq!(swapped.counts.tt, r.counts.tt);
+    }
+
+    #[test]
+    fn approx_metadata_reaches_the_diff_result() {
+        let d = dataset_from_fn(4, |x| x[0] == 1 && x[2] == 1);
+        let t1 = DecisionTree::fit(&d, TreeConfig::default());
+        let t2 = DecisionTree::fit(&d, TreeConfig::with_max_depth(1));
+        let exact = CounterBackend::exact();
+        let exact_result = DiffMc::new(&exact)
+            .compare(&t1, &t2)
+            .expect("feature spaces match")
+            .expect("no budget");
+        assert!(exact_result.is_exact());
+        assert_eq!(exact_result.approx, None);
+
+        let approx = CounterBackend::approx();
+        let approx_result = DiffMc::new(&approx)
+            .compare(&t1, &t2)
+            .expect("feature spaces match")
+            .expect("approx always answers");
+        assert!(!approx_result.is_exact());
+        let info = approx_result.approx.expect("approximate runs carry (ε, δ)");
+        assert!(info.epsilon > 0.0 && info.delta > 0.0);
     }
 
     #[test]

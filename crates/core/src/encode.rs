@@ -22,6 +22,7 @@
 //!   branching-program (BDD) expansion that mirrors the ensemble's own
 //!   floating-point vote summation bit for bit.
 
+use crate::error::EvalError;
 use crate::tree2cnf::{tree_label_clauses, TreeLabel};
 use mlkit::adaboost::AdaBoost;
 use mlkit::forest::RandomForest;
@@ -29,6 +30,28 @@ use mlkit::tree::DecisionTree;
 use satkit::card::Totalizer;
 use satkit::cnf::{Cnf, Lit, Var};
 use std::collections::HashMap;
+
+/// Upper bound on the nodes of the AdaBoost weighted-vote branching
+/// program. With pairwise-distinct vote weights the diagram reaches
+/// `2^rounds` nodes (distinct partial sums never merge), so an encoding
+/// attempt beyond ~16 such rounds fails fast with
+/// [`EvalError::VoteCircuitTooLarge`] instead of exhausting memory.
+pub const MAX_VOTE_NODES: usize = 1 << 16;
+
+/// One decision region of a model: a cube of feature literals (a partial
+/// assignment every input of the region satisfies) and the label the model
+/// assigns to the region.
+///
+/// For a decision tree the regions are its root-to-leaf paths, which
+/// partition the input space — the property the compiled AccMC/DiffMC query
+/// plans rely on when they sum per-region conditioned counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionRegion {
+    /// The feature literals fixed along the region.
+    pub cube: Vec<Lit>,
+    /// The label the model assigns to every input of the region.
+    pub label: TreeLabel,
+}
 
 /// A trained model whose `label` decision region can be appended to a CNF.
 pub trait CnfEncodable {
@@ -43,8 +66,30 @@ pub trait CnfEncodable {
     ///
     /// # Panics
     ///
-    /// Panics if `cnf` has fewer variables than the model has features.
+    /// Panics if `cnf` has fewer variables than the model has features, or
+    /// if the encoding blows an internal size bound (use
+    /// [`try_encode_label`](Self::try_encode_label) for a typed error).
     fn encode_label(&self, cnf: &mut Cnf, label: TreeLabel);
+
+    /// Fallible variant of [`encode_label`](Self::encode_label): encodings
+    /// with a size hazard (the AdaBoost vote diagram) report it as a typed
+    /// [`EvalError`] instead of panicking or blowing up silently. The
+    /// default delegates to `encode_label` for encodings that cannot fail.
+    ///
+    /// On `Err`, `cnf` may hold a partial encoding and must be discarded.
+    fn try_encode_label(&self, cnf: &mut Cnf, label: TreeLabel) -> Result<(), EvalError> {
+        self.encode_label(cnf, label);
+        Ok(())
+    }
+
+    /// The model's decision regions as cubes over the feature variables, if
+    /// the family exposes them. Regions must **partition** the input space:
+    /// every input satisfies exactly one region cube. Families whose
+    /// decision boundary has no compact region list (voting ensembles)
+    /// return `None` and are evaluated through their CNF encoding instead.
+    fn decision_regions(&self) -> Option<Vec<DecisionRegion>> {
+        None
+    }
 
     /// A standalone CNF over the feature variables whose projected models
     /// are exactly the inputs classified as `label`; the projection set is
@@ -55,6 +100,15 @@ pub trait CnfEncodable {
         cnf.set_projection((0..n as u32).map(Var).collect());
         self.encode_label(&mut cnf, label);
         cnf
+    }
+
+    /// Fallible variant of [`label_cnf`](Self::label_cnf).
+    fn try_label_cnf(&self, label: TreeLabel) -> Result<Cnf, EvalError> {
+        let n = self.num_features();
+        let mut cnf = Cnf::new(n);
+        cnf.set_projection((0..n as u32).map(Var).collect());
+        self.try_encode_label(&mut cnf, label)?;
+        Ok(cnf)
     }
 }
 
@@ -77,6 +131,29 @@ impl CnfEncodable for DecisionTree {
         for clause in tree_label_clauses(self, label) {
             cnf.add_clause(clause);
         }
+    }
+
+    /// A tree's root-to-leaf paths are its decision regions: each path is a
+    /// cube of the feature tests along it, and any input follows exactly
+    /// one path.
+    fn decision_regions(&self) -> Option<Vec<DecisionRegion>> {
+        Some(
+            self.paths()
+                .into_iter()
+                .map(|p| DecisionRegion {
+                    cube: p
+                        .conditions
+                        .iter()
+                        .map(|&(feature, value)| Lit::from_var(Var(feature as u32), value))
+                        .collect(),
+                    label: if p.label {
+                        TreeLabel::True
+                    } else {
+                        TreeLabel::False
+                    },
+                })
+                .collect(),
+        )
     }
 }
 
@@ -144,35 +221,51 @@ enum VoteNode {
 ///
 /// **Complexity caveat:** with pairwise-distinct vote weights the diagram
 /// can grow exponentially in the number of rounds (up to `2^rounds` nodes),
-/// because distinct partial sums never merge. Keep whole-space ABT
-/// ensembles to a few dozen rounds at most — the [`Runner`] defaults to 10
-/// (`abt_rounds`) for exactly this reason.
+/// because distinct partial sums never merge. The compiler therefore
+/// carries a node bound ([`MAX_VOTE_NODES`] at the public entry points) and
+/// reports [`EvalError::VoteCircuitTooLarge`] instead of exhausting memory;
+/// the [`Runner`] defaults to 10 boosting rounds (`abt_rounds`), far below
+/// the bound.
 ///
 /// [`Runner`]: crate::framework::Runner
 struct VoteCompiler<'a> {
     learners: &'a [(f64, DecisionTree)],
     indicators: &'a [Lit],
     memo: HashMap<(usize, u64), VoteNode>,
+    /// ITE nodes materialized as fresh variables so far.
+    nodes: usize,
+    /// Materialization bound.
+    bound: usize,
 }
 
 impl VoteCompiler<'_> {
-    fn compile(&mut self, cnf: &mut Cnf, index: usize, acc: f64) -> VoteNode {
+    fn compile(&mut self, cnf: &mut Cnf, index: usize, acc: f64) -> Result<VoteNode, EvalError> {
         if index == self.learners.len() {
-            return VoteNode::Const(acc >= 0.0);
+            return Ok(VoteNode::Const(acc >= 0.0));
         }
         let key = (index, acc.to_bits());
         if let Some(&node) = self.memo.get(&key) {
-            return node;
+            return Ok(node);
         }
         let alpha = self.learners[index].0;
         // Identical arithmetic to `AdaBoost::predict`: `alpha * h` with
         // `h = ±1.0`, accumulated in learner order.
-        let hi = self.compile(cnf, index + 1, acc + alpha * 1.0);
+        let hi = self.compile(cnf, index + 1, acc + alpha * 1.0)?;
         // `-alpha` is bit-identical to the predictor's `alpha * -1.0`.
-        let lo = self.compile(cnf, index + 1, acc - alpha);
+        let lo = self.compile(cnf, index + 1, acc - alpha)?;
+        let before = cnf.num_vars();
         let node = ite(cnf, self.indicators[index], hi, lo);
+        if cnf.num_vars() > before {
+            self.nodes += 1;
+            if self.nodes > self.bound {
+                return Err(EvalError::VoteCircuitTooLarge {
+                    nodes: self.nodes,
+                    bound: self.bound,
+                });
+            }
+        }
         self.memo.insert(key, node);
-        node
+        Ok(node)
     }
 }
 
@@ -208,35 +301,55 @@ fn ite(cnf: &mut Cnf, v: Lit, hi: VoteNode, lo: VoteNode) -> VoteNode {
     VoteNode::Defined(u)
 }
 
+/// Encodes the AdaBoost `label` region with an explicit vote-diagram node
+/// bound. Exposed at crate level so tests can exercise the bound without
+/// training a pathologically large ensemble.
+pub(crate) fn encode_adaboost_label(
+    ensemble: &AdaBoost,
+    cnf: &mut Cnf,
+    label: TreeLabel,
+    bound: usize,
+) -> Result<(), EvalError> {
+    assert_feature_block(cnf, CnfEncodable::num_features(ensemble));
+    let indicators: Vec<Lit> = ensemble
+        .learners()
+        .iter()
+        .map(|(_, tree)| define_region_indicator(cnf, tree))
+        .collect();
+    let mut compiler = VoteCompiler {
+        learners: ensemble.learners(),
+        indicators: &indicators,
+        memo: HashMap::new(),
+        nodes: 0,
+        bound,
+    };
+    let root = compiler.compile(cnf, 0, 0.0)?;
+    let wanted = matches!(label, TreeLabel::True);
+    match root {
+        VoteNode::Const(value) => {
+            if value != wanted {
+                cnf.add_clause(Vec::new()); // the region is empty
+            }
+        }
+        VoteNode::Defined(lit) => {
+            cnf.add_unit(if wanted { lit } else { !lit });
+        }
+    }
+    Ok(())
+}
+
 impl CnfEncodable for AdaBoost {
     fn num_features(&self) -> usize {
         self.learners()[0].1.num_features()
     }
 
     fn encode_label(&self, cnf: &mut Cnf, label: TreeLabel) {
-        assert_feature_block(cnf, CnfEncodable::num_features(self));
-        let indicators: Vec<Lit> = self
-            .learners()
-            .iter()
-            .map(|(_, tree)| define_region_indicator(cnf, tree))
-            .collect();
-        let mut compiler = VoteCompiler {
-            learners: self.learners(),
-            indicators: &indicators,
-            memo: HashMap::new(),
-        };
-        let root = compiler.compile(cnf, 0, 0.0);
-        let wanted = matches!(label, TreeLabel::True);
-        match root {
-            VoteNode::Const(value) => {
-                if value != wanted {
-                    cnf.add_clause(Vec::new()); // the region is empty
-                }
-            }
-            VoteNode::Defined(lit) => {
-                cnf.add_unit(if wanted { lit } else { !lit });
-            }
-        }
+        self.try_encode_label(cnf, label)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn try_encode_label(&self, cnf: &mut Cnf, label: TreeLabel) -> Result<(), EvalError> {
+        encode_adaboost_label(self, cnf, label, MAX_VOTE_NODES)
     }
 }
 
@@ -392,5 +505,95 @@ mod tests {
         let tree = DecisionTree::fit(&d, TreeConfig::default());
         let mut cnf = Cnf::new(2);
         CnfEncodable::encode_label(&tree, &mut cnf, TreeLabel::True);
+    }
+
+    #[test]
+    fn tree_decision_regions_partition_the_space() {
+        let d = dataset_from_fn(4, |x| x[0] == 1 && (x[1] == 1 || x[3] == 0));
+        let tree = DecisionTree::fit(&d, TreeConfig::default());
+        let regions = tree.decision_regions().expect("trees expose regions");
+        for bits in 0u32..16 {
+            let features: Vec<u8> = (0..4).map(|k| ((bits >> k) & 1) as u8).collect();
+            let matching: Vec<&DecisionRegion> = regions
+                .iter()
+                .filter(|r| {
+                    r.cube
+                        .iter()
+                        .all(|l| l.eval(features[l.var().index()] != 0))
+                })
+                .collect();
+            assert_eq!(matching.len(), 1, "input {features:?} must hit one region");
+            let expected = if tree.predict(&features) {
+                TreeLabel::True
+            } else {
+                TreeLabel::False
+            };
+            assert_eq!(matching[0].label, expected);
+        }
+    }
+
+    #[test]
+    fn ensembles_expose_no_decision_regions() {
+        let d = dataset_from_fn(3, |x| x[1] == 1);
+        let forest = RandomForest::fit(
+            &d,
+            ForestConfig {
+                num_trees: 3,
+                seed: 1,
+                ..ForestConfig::default()
+            },
+        );
+        assert!(CnfEncodable::decision_regions(&forest).is_none());
+        let ensemble = AdaBoost::fit(&d, AdaBoostConfig::default());
+        assert!(CnfEncodable::decision_regions(&ensemble).is_none());
+    }
+
+    #[test]
+    fn vote_circuit_bound_is_a_typed_error() {
+        let d = dataset_from_fn(4, |x| (x[0] ^ x[2]) == 1 || x[3] == 1);
+        let ensemble = AdaBoost::fit(
+            &d,
+            AdaBoostConfig {
+                num_rounds: 9,
+                weak_depth: 2,
+                seed: 2,
+            },
+        );
+        let mut cnf = CnfEncodable::label_cnf(&ensemble, TreeLabel::True);
+        // The unbounded encoding succeeds; a bound of one node cannot.
+        assert!(ExactCounter::new().count(&cnf).is_some());
+        cnf = Cnf::new(4);
+        let err = encode_adaboost_label(&ensemble, &mut cnf, TreeLabel::True, 1)
+            .expect_err("one node cannot hold a nine-round vote diagram");
+        assert!(
+            matches!(
+                err,
+                crate::error::EvalError::VoteCircuitTooLarge { nodes: 2, bound: 1 }
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn try_encode_label_succeeds_within_the_default_bound() {
+        let d = dataset_from_fn(4, |x| (x[0] ^ x[2]) == 1 || x[3] == 1);
+        let ensemble = AdaBoost::fit(
+            &d,
+            AdaBoostConfig {
+                num_rounds: 9,
+                weak_depth: 2,
+                seed: 2,
+            },
+        );
+        let mut cnf = Cnf::new(4);
+        assert_eq!(
+            CnfEncodable::try_encode_label(&ensemble, &mut cnf, TreeLabel::True),
+            Ok(())
+        );
+        assert_eq!(
+            ExactCounter::new()
+                .count(&CnfEncodable::try_label_cnf(&ensemble, TreeLabel::True).unwrap()),
+            ExactCounter::new().count(&CnfEncodable::label_cnf(&ensemble, TreeLabel::True)),
+        );
     }
 }

@@ -27,6 +27,16 @@ pub enum EvalError {
     },
     /// A batch run was asked to evaluate zero model families.
     NoModelFamilies,
+    /// The weighted-vote branching program of an AdaBoost encoding exceeded
+    /// its node bound. With pairwise-distinct vote weights the diagram can
+    /// reach `2^rounds` nodes; the bound turns that silent blow-up into a
+    /// typed, reportable condition.
+    VoteCircuitTooLarge {
+        /// Nodes materialized before the bound was hit.
+        nodes: usize,
+        /// The configured node bound.
+        bound: usize,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -44,6 +54,12 @@ impl fmt::Display for EvalError {
             EvalError::NoModelFamilies => {
                 write!(f, "batch run configured with zero model families")
             }
+            EvalError::VoteCircuitTooLarge { nodes, bound } => write!(
+                f,
+                "weighted-vote branching program exceeded its node bound \
+                 ({nodes} nodes materialized, bound {bound}); reduce the \
+                 boosting rounds or quantize the vote weights"
+            ),
         }
     }
 }

@@ -16,8 +16,8 @@
 //! [`evaluate_all_models`] covers Tables 2 and 4: it trains all six model
 //! families on the same split and reports their test-set metrics.
 
-use crate::accmc::{AccMc, AccMcResult};
-use crate::counter::ModelCounter;
+use crate::accmc::{AccMc, AccMcResult, CountingEngine};
+use crate::counter::QueryCounter;
 use crate::encode::CnfEncodable;
 use crate::error::EvalError;
 use datagen::builder::{DatasetBuilder, DatasetConfig, PropertyDataset, SplitRatio};
@@ -172,11 +172,21 @@ impl Experiment {
         &self.config
     }
 
-    /// Runs the experiment with the given counting backend.
-    pub fn run<C: ModelCounter + ?Sized>(&self, backend: &C) -> ExperimentResult {
+    /// Runs the experiment with the given counting backend (classic
+    /// engine).
+    pub fn run<C: QueryCounter + ?Sized>(&self, backend: &C) -> ExperimentResult {
+        self.run_with_engine(backend, CountingEngine::Classic)
+    }
+
+    /// Runs the experiment with an explicit [`CountingEngine`].
+    pub fn run_with_engine<C: QueryCounter + ?Sized>(
+        &self,
+        backend: &C,
+        engine: CountingEngine,
+    ) -> ExperimentResult {
         let dataset = DatasetBuilder::new().build(self.config.dataset_config());
         let ground_truth = self.config.translate_ground_truth();
-        run_dt_row(&self.config, &dataset, &ground_truth, backend)
+        run_dt_row(&self.config, &dataset, &ground_truth, backend, engine)
             .expect("dataset and ground truth share the scope by construction")
     }
 
@@ -195,16 +205,17 @@ impl Experiment {
 /// on the test set and against the whole space. Both the sequential
 /// [`Experiment::run`] and the parallel [`Runner`] call this, which is what
 /// guarantees their metrics are identical.
-fn run_dt_row<C: ModelCounter + ?Sized>(
+fn run_dt_row<C: QueryCounter + ?Sized>(
     config: &ExperimentConfig,
     dataset: &PropertyDataset,
     ground_truth: &GroundTruth,
     backend: &C,
+    engine: CountingEngine,
 ) -> Result<ExperimentResult, EvalError> {
     let (train, test) = dataset.split(config.ratio);
     let tree = DecisionTree::fit(&train, TreeConfig::default());
     let test_metrics = evaluate_classifier(&tree, &test);
-    let whole_space = AccMc::new(backend).evaluate(ground_truth, &tree)?;
+    let whole_space = AccMc::with_engine(backend, engine).evaluate(ground_truth, &tree)?;
     Ok(ExperimentResult {
         config: *config,
         test_metrics,
@@ -337,6 +348,7 @@ pub struct RunnerRow {
 pub struct Runner {
     threads: usize,
     families: Vec<ModelFamily>,
+    engine: CountingEngine,
     rft_trees: usize,
     abt_rounds: usize,
     abt_depth: usize,
@@ -350,11 +362,12 @@ impl Default for Runner {
 
 impl Runner {
     /// A runner with default settings: decision trees only, one thread per
-    /// available core.
+    /// available core, classic counting engine.
     pub fn new() -> Self {
         Runner {
             threads: 0,
             families: vec![ModelFamily::Dt],
+            engine: CountingEngine::Classic,
             rft_trees: 15,
             abt_rounds: 10,
             abt_depth: 2,
@@ -364,6 +377,19 @@ impl Runner {
     /// Sets the number of worker threads (`0` = one per available core).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the [`CountingEngine`] used for the whole-space evaluation of
+    /// every row. With [`CountingEngine::Compiled`] and a backend that
+    /// compiles (a [`CompiledCounter`](crate::counter::CompiledCounter),
+    /// possibly wrapped in a
+    /// [`CachedCounter`](crate::counter::CachedCounter)), the φ / ¬φ
+    /// circuits are shared across all rows of the batch exactly like cached
+    /// counts — compiled once per (property, scope, symmetry), queried per
+    /// model region.
+    pub fn engine(mut self, engine: CountingEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -468,7 +494,7 @@ impl Runner {
     /// `configs` outer, families inner. Fails with the first [`EvalError`]
     /// encountered (rows are independent, so an error means the batch itself
     /// is malformed).
-    pub fn run<C: ModelCounter + ?Sized>(
+    pub fn run<C: QueryCounter + ?Sized>(
         &self,
         configs: &[ExperimentConfig],
         backend: &C,
@@ -492,7 +518,7 @@ impl Runner {
     /// Runs `configs` as decision-tree rows, producing results identical to
     /// calling [`Experiment::run`] per config (same training, same metrics,
     /// same tree statistics) while sharing work and executing in parallel.
-    pub fn run_experiments<C: ModelCounter + ?Sized>(
+    pub fn run_experiments<C: QueryCounter + ?Sized>(
         &self,
         configs: &[ExperimentConfig],
         backend: &C,
@@ -503,7 +529,7 @@ impl Runner {
             &jobs,
             backend,
             |config, _family, dataset, ground_truth, backend| {
-                run_dt_row(config, dataset, ground_truth, backend)
+                run_dt_row(config, dataset, ground_truth, backend, self.engine)
             },
         )
     }
@@ -516,7 +542,7 @@ impl Runner {
         job_fn: F,
     ) -> Result<Vec<T>, EvalError>
     where
-        C: ModelCounter + ?Sized,
+        C: QueryCounter + ?Sized,
         T: Send,
         F: Fn(
                 &ExperimentConfig,
@@ -559,7 +585,7 @@ impl Runner {
     }
 
     /// Trains and evaluates one `(config, family)` row.
-    fn run_family_row<C: ModelCounter + ?Sized>(
+    fn run_family_row<C: QueryCounter + ?Sized>(
         &self,
         config: &ExperimentConfig,
         family: ModelFamily,
@@ -588,7 +614,8 @@ impl Runner {
             )),
         };
         let test_metrics = evaluate_classifier(model.as_classifier(), &test);
-        let whole_space = AccMc::new(backend).evaluate(ground_truth, model.as_encodable())?;
+        let whole_space = AccMc::with_engine(backend, self.engine)
+            .evaluate(ground_truth, model.as_encodable())?;
         Ok(RunnerRow {
             config: *config,
             family,
@@ -864,6 +891,43 @@ mod tests {
         );
         let stats = cached.stats();
         assert!(stats.hits >= 4, "cache stats: {stats:?}");
+    }
+
+    #[test]
+    fn runner_compiled_engine_matches_classic() {
+        use crate::counter::CompiledCounter;
+        let configs = vec![
+            ExperimentConfig::table5(Property::Reflexive, 3),
+            ExperimentConfig::table5(Property::Function, 3),
+            ExperimentConfig::table3(Property::Antisymmetric, 3),
+        ];
+        let exact = CounterBackend::exact();
+        let classic = Runner::new()
+            .families(&ModelFamily::all())
+            .rft_trees(5)
+            .abt_rounds(5)
+            .run(&configs, &exact)
+            .expect("well-formed configs");
+        let compiled_backend = CachedCounter::new(CompiledCounter::new());
+        let compiled = Runner::new()
+            .families(&ModelFamily::all())
+            .rft_trees(5)
+            .abt_rounds(5)
+            .engine(CountingEngine::Compiled)
+            .run(&configs, &compiled_backend)
+            .expect("well-formed configs");
+        assert_eq!(classic.len(), compiled.len());
+        for (a, b) in classic.iter().zip(&compiled) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.family, b.family);
+            assert_eq!(
+                a.whole_space.map(|w| w.counts),
+                b.whole_space.map(|w| w.counts),
+                "family {} property {}",
+                a.family,
+                a.config.property
+            );
+        }
     }
 
     #[test]

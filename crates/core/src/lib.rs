@@ -6,18 +6,18 @@
 //!
 //! The evaluation core is built around three abstractions:
 //!
-//! * [`encode`] — the [`CnfEncodable`](encode::CnfEncodable) trait for model
+//! * [`encode`] — the [`CnfEncodable`] trait for model
 //!   families whose decision regions translate to CNF, implemented by
 //!   decision trees (the auxiliary-variable-free Tree2CNF translation),
 //!   random forests (majority vote via a totalizer cardinality encoding)
 //!   and AdaBoost ensembles (weighted-vote threshold compiled to clauses);
-//! * [`counter`] — the [`ModelCounter`](counter::ModelCounter) trait with
-//!   structured [`CountOutcome`](counter::CountOutcome)s (exact / (ε, δ)
+//! * [`counter`] — the [`ModelCounter`] trait with
+//!   structured [`CountOutcome`]s (exact / (ε, δ)
 //!   approximate / budget-exhausted) and the memoizing
-//!   [`CachedCounter`](counter::CachedCounter) wrapper;
+//!   [`CachedCounter`] wrapper;
 //! * [`framework`] — the end-to-end pipeline (dataset → training → test-set
 //!   metrics → whole-space metrics), including the parallel batch
-//!   [`Runner`](framework::Runner) used by the table harnesses.
+//!   [`Runner`] used by the table harnesses.
 //!
 //! On top of those sit the metrics and plumbing:
 //!
@@ -30,7 +30,7 @@
 //!   models (TT / TF / FT / FF) and the derived diff/sim ratios — no ground
 //!   truth or dataset required;
 //! * [`backend`] — the exact/approximate [`CounterBackend`] selector;
-//! * [`error`] — typed [`EvalError`](error::EvalError)s replacing the
+//! * [`error`] — typed [`EvalError`]s replacing the
 //!   panics of the original concrete-type API;
 //! * [`report`] — plain-text table formatting shared by the harness
 //!   binaries.
@@ -81,12 +81,13 @@ pub mod diffmc;
 pub mod encode;
 pub mod error;
 pub mod framework;
+pub mod persist;
 pub mod report;
 pub mod tree2cnf;
 
-pub use accmc::{AccMc, AccMcResult, SpaceCounts};
+pub use accmc::{AccMc, AccMcResult, ApproxInfo, CountingEngine, SpaceCounts};
 pub use backend::CounterBackend;
-pub use counter::{CachedCounter, CountOutcome, ModelCounter};
+pub use counter::{CachedCounter, CompiledCounter, CountOutcome, ModelCounter, QueryCounter};
 pub use diffmc::{DiffCounts, DiffMc, DiffMcResult};
 pub use encode::CnfEncodable;
 pub use error::EvalError;

@@ -1,0 +1,238 @@
+//! Versioned on-disk persistence for count caches.
+//!
+//! A [`CachedCounter`](crate::counter::CachedCounter) memoizes count
+//! outcomes keyed on 128-bit structural CNF fingerprints — but only within
+//! one process. Table batches re-run across processes (different tables,
+//! re-runs with more model families, CI) repeat the expensive φ / ¬φ
+//! counts from scratch. This module serializes the cache to a small
+//! versioned text file so a later run can start warm:
+//!
+//! ```text
+//! mcml-count-cache v1
+//! 0123456789abcdef0123456789abcdef E 42
+//! fedcba9876543210fedcba9876543210 A 1280 0.8 0.2
+//! ```
+//!
+//! One line per entry: the fingerprint in hex, a tag (`E`xact /
+//! `A`pproximate) and the outcome fields. [`CountOutcome::BudgetExhausted`]
+//! entries are **not** persisted — a later run may carry a larger budget
+//! and should retry them.
+//!
+//! Caches are **per backend**: the header records the backend that
+//! produced the outcomes, loading verifies it against the requesting run's
+//! backend, and [`cache_file_name`] spells the backend into the file name.
+//! Without that check, a cache written by `--approx` would silently serve
+//! estimates to an exact run. Loading rejects unknown versions, backend
+//! mismatches and malformed lines with
+//! [`std::io::ErrorKind::InvalidData`], so a stale or foreign cache file
+//! surfaces as an error instead of silently corrupting counts (callers
+//! typically warn and start cold).
+
+use crate::counter::CountOutcome;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Prefix of the header line identifying the file format and version.
+const HEADER_PREFIX: &str = "mcml-count-cache v1 backend=";
+
+/// The cache file name for a backend under `--cache-dir` (e.g.
+/// `counts.exact.v1.cache`), so differently-configured runs never collide.
+pub fn cache_file_name(backend: &str) -> String {
+    format!("counts.{backend}.v1.cache")
+}
+
+/// Writes the outcomes produced by `backend` to `path`, creating parent
+/// directories as needed, and returns the number of entries written.
+/// Budget-exhausted outcomes are skipped (they should be retried).
+pub fn save_outcomes(
+    path: &Path,
+    backend: &str,
+    entries: &HashMap<u128, CountOutcome>,
+) -> io::Result<usize> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "{HEADER_PREFIX}{backend}")?;
+    // Deterministic order keeps the file diff-friendly.
+    let mut keys: Vec<&u128> = entries.keys().collect();
+    keys.sort();
+    let mut written = 0usize;
+    for key in keys {
+        match entries[key] {
+            CountOutcome::Exact(value) => writeln!(out, "{key:032x} E {value}")?,
+            CountOutcome::Approx {
+                estimate,
+                epsilon,
+                delta,
+            } => writeln!(out, "{key:032x} A {estimate} {epsilon} {delta}")?,
+            CountOutcome::BudgetExhausted { .. } => continue,
+        }
+        written += 1;
+    }
+    out.flush()?;
+    Ok(written)
+}
+
+/// Loads a cache file previously written by [`save_outcomes`], verifying it
+/// was produced by `expected_backend`.
+pub fn load_outcomes(
+    path: &Path,
+    expected_backend: &str,
+) -> io::Result<HashMap<u128, CountOutcome>> {
+    let reader = BufReader::new(std::fs::File::open(path)?);
+    let mut lines = reader.lines();
+    let header = lines.next().transpose()?.unwrap_or_default();
+    let expected = format!("{HEADER_PREFIX}{expected_backend}");
+    if header != expected {
+        return Err(invalid(format!(
+            "unsupported cache header {header:?} (expected {expected:?})"
+        )));
+    }
+    let mut entries = HashMap::new();
+    for (number, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_ascii_whitespace();
+        let key = fields
+            .next()
+            .and_then(|f| u128::from_str_radix(f, 16).ok())
+            .ok_or_else(|| invalid(format!("line {}: bad fingerprint", number + 2)))?;
+        let outcome = match fields.next() {
+            Some("E") => CountOutcome::Exact(parse(fields.next(), number)?),
+            Some("A") => CountOutcome::Approx {
+                estimate: parse(fields.next(), number)?,
+                epsilon: parse(fields.next(), number)?,
+                delta: parse(fields.next(), number)?,
+            },
+            tag => return Err(invalid(format!("line {}: bad tag {tag:?}", number + 2))),
+        };
+        if fields.next().is_some() {
+            return Err(invalid(format!("line {}: trailing fields", number + 2)));
+        }
+        entries.insert(key, outcome);
+    }
+    Ok(entries)
+}
+
+fn invalid(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+fn parse<T: std::str::FromStr>(field: Option<&str>, number: usize) -> io::Result<T> {
+    field
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| invalid(format!("line {}: bad outcome field", number + 2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{CachedCounter, ModelCounter};
+    use modelcount::exact::ExactCounter;
+    use satkit::cnf::{Cnf, Lit};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mcml-persist-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_exact_and_approx_outcomes() {
+        let mut entries = HashMap::new();
+        entries.insert(7u128, CountOutcome::Exact(512));
+        entries.insert(
+            u128::MAX,
+            CountOutcome::Approx {
+                estimate: 1280,
+                epsilon: 0.8,
+                delta: 0.2,
+            },
+        );
+        entries.insert(9u128, CountOutcome::BudgetExhausted { nodes_used: 3 });
+        let path = temp_path("roundtrip.cache");
+        let written = save_outcomes(&path, "exact", &entries).expect("save");
+        assert_eq!(written, 2, "budget-exhausted entries are not persisted");
+        let loaded = load_outcomes(&path, "exact").expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[&7], CountOutcome::Exact(512));
+        assert_eq!(
+            loaded[&u128::MAX],
+            CountOutcome::Approx {
+                estimate: 1280,
+                epsilon: 0.8,
+                delta: 0.2
+            }
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_invalid_data() {
+        let path = temp_path("badversion.cache");
+        std::fs::write(&path, "mcml-count-cache v999 backend=exact\n").expect("write");
+        let err = load_outcomes(&path, "exact").expect_err("must reject");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn backend_mismatch_is_invalid_data() {
+        // A cache produced by the approximate backend must never seed an
+        // exact run (and vice versa).
+        let path = temp_path("foreign-backend.cache");
+        let mut entries = HashMap::new();
+        entries.insert(
+            1u128,
+            CountOutcome::Approx {
+                estimate: 100,
+                epsilon: 0.8,
+                delta: 0.2,
+            },
+        );
+        save_outcomes(&path, "approx", &entries).expect("save");
+        let err = load_outcomes(&path, "exact").expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(load_outcomes(&path, "approx").is_ok());
+        std::fs::remove_file(&path).ok();
+        assert_ne!(cache_file_name("exact"), cache_file_name("approx"));
+    }
+
+    #[test]
+    fn malformed_line_is_invalid_data() {
+        let path = temp_path("malformed.cache");
+        std::fs::write(&path, format!("{HEADER_PREFIX}exact\nnot-hex E 5\n")).expect("write");
+        let err = load_outcomes(&path, "exact").expect_err("must reject");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn cache_survives_a_process_boundary_simulation() {
+        // First "process": count, snapshot, save.
+        let path = temp_path("cross-process.cache");
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        let first = CachedCounter::new(ExactCounter::new());
+        assert_eq!(first.count(&cnf).value(), Some(6));
+        save_outcomes(&path, "exact", &first.snapshot()).expect("save");
+
+        // Second "process": preload and count without touching the inner
+        // counter.
+        let second = CachedCounter::new(ExactCounter::with_node_budget(0));
+        second.preload(load_outcomes(&path, "exact").expect("load"));
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            second.count(&cnf).value(),
+            Some(6),
+            "a zero-budget inner counter can only answer from the preload"
+        );
+        assert_eq!(second.stats().misses, 0);
+    }
+}

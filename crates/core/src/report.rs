@@ -29,6 +29,19 @@ pub fn format_metric(value: Option<f64>) -> String {
     }
 }
 
+/// Formats the counter-guarantee cell of a table row: `exact` for exact
+/// counts, the (ε, δ) parameters for approximate ones, `-` when the row
+/// timed out and carries no counts at all.
+pub fn format_count_guarantee(info: Option<&crate::accmc::AccMcResult>) -> String {
+    match info {
+        None => "-".to_string(),
+        Some(r) => match r.approx {
+            None => "exact".to_string(),
+            Some(a) => format!("ε≤{:.2} δ≤{:.2}", a.epsilon, a.delta),
+        },
+    }
+}
+
 /// A simple fixed-width text table.
 #[derive(Debug, Clone, Default)]
 pub struct TextTable {
@@ -61,13 +74,16 @@ impl TextTable {
         self.rows.len()
     }
 
-    /// Renders the table with aligned columns.
+    /// Renders the table with aligned columns. Widths are measured in
+    /// characters, not bytes, so cells with non-ASCII content (the ε/δ
+    /// guarantees) stay aligned.
     pub fn render(&self) -> String {
+        let char_len = |s: &String| s.chars().count();
         let cols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(char_len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+                widths[i] = widths[i].max(char_len(cell));
             }
         }
         let mut out = String::new();
@@ -110,6 +126,25 @@ mod tests {
     }
 
     #[test]
+    fn count_guarantee_formatting() {
+        use crate::accmc::{AccMcResult, ApproxInfo, SpaceCounts};
+        assert_eq!(format_count_guarantee(None), "-");
+        let counts = SpaceCounts::default();
+        let mut result = AccMcResult {
+            counts,
+            metrics: counts.metrics(),
+            counting_time: std::time::Duration::ZERO,
+            approx: None,
+        };
+        assert_eq!(format_count_guarantee(Some(&result)), "exact");
+        result.approx = Some(ApproxInfo {
+            epsilon: 0.8,
+            delta: 0.2,
+        });
+        assert_eq!(format_count_guarantee(Some(&result)), "ε≤0.80 δ≤0.20");
+    }
+
+    #[test]
     fn table_renders_aligned() {
         let mut t = TextTable::new(vec!["Property", "Accuracy"]);
         t.push_row(vec!["Reflexive", "1.0000"]);
@@ -120,6 +155,17 @@ mod tests {
         assert!(lines[0].starts_with("Property"));
         assert!(lines[2].starts_with("Reflexive"));
         assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn unicode_cells_stay_aligned() {
+        let mut t = TextTable::new(vec!["Property", "Count"]);
+        t.push_row(vec!["Reflexive", "ε≤0.40 δ≤0.20"]);
+        t.push_row(vec!["Function", "exact"]);
+        let s = t.render();
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert_eq!(widths[0], widths[1], "header and rule share the width");
+        assert_eq!(widths[1], widths[2], "rule and first row share the width");
     }
 
     #[test]

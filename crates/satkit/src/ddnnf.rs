@@ -1,0 +1,1036 @@
+//! Compilation of CNF formulas into deterministic decomposable NNF (d-DNNF)
+//! circuits for compile-once / query-many projected model counting.
+//!
+//! The MCML metrics ask many counting queries that share one formula: AccMC
+//! conditions the same ground truth φ on the decision region of every
+//! evaluated model, and every table row repeats the φ / ¬φ halves. A search
+//! counter pays the full #SAT cost per query; a knowledge-compilation
+//! counter (the ProjMC/D4 lineage) pays it **once**, producing a circuit on
+//! which each subsequent count is linear in the circuit size.
+//!
+//! The [`Compiler`] here is a trace-recording variant of the classic
+//! projected #SAT search (the same skeleton as `modelcount::exact`):
+//!
+//! 1. unit propagation — fixed *projection* literals become [`Lit`] leaves;
+//!    fixed auxiliary (non-projection) literals are existentially forgotten;
+//! 2. connected-component decomposition — components become the children of
+//!    a decomposable `And` node (their variable sets are disjoint by
+//!    construction);
+//! 3. branching on a projection variable — the two subtraces become the
+//!    branches of a `Decision` node (a deterministic `Or`: the branches
+//!    disagree on the branch variable);
+//! 4. a component without projection variables contributes `True` or
+//!    `False` depending on plain satisfiability, decided by the CDCL
+//!    [`Solver`] — this is the existential forgetting of the remaining
+//!    Tseitin auxiliaries, so compiled counts equal projected counts.
+//!
+//! The compiled [`Ddnnf`] supports [`count`](Ddnnf::count), conditioned
+//! counting on a cube of projection literals
+//! ([`count_conditioned`](Ddnnf::count_conditioned)), structural
+//! conditioning ([`condition`](Ddnnf::condition), which returns a smaller
+//! circuit) and model enumeration over the projection set
+//! ([`models`](Ddnnf::models)).
+//!
+//! Circuits are hash-consed DAGs: structurally identical subtraces (which
+//! the search cache detects) share one node. Projection sets are limited to
+//! 128 variables — enough for every scope of the reproduction (scope 11 has
+//! 121 primary variables) — so per-node variable sets are single `u128`
+//! bitmasks and gap ("smoothing") factors are popcounts.
+
+use crate::cnf::{Cnf, Lit, Var};
+use crate::solver::Solver;
+use std::collections::HashMap;
+
+/// Index of a node inside a [`Ddnnf`] circuit.
+pub type NodeId = usize;
+
+/// One node of a d-DNNF circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The constant true (neutral element of `And`).
+    True,
+    /// The constant false (an unsatisfiable subtrace).
+    False,
+    /// A projection literal fixed by unit propagation.
+    Lit(Lit),
+    /// Decomposable conjunction: the children's variable sets are pairwise
+    /// disjoint.
+    And(Vec<NodeId>),
+    /// Deterministic disjunction `(var ∧ hi) ∨ (¬var ∧ lo)` produced by
+    /// branching on a projection variable.
+    Decision {
+        /// The projection variable branched on.
+        var: u32,
+        /// Subcircuit under `var = true`.
+        hi: NodeId,
+        /// Subcircuit under `var = false`.
+        lo: NodeId,
+    },
+}
+
+/// Why a compilation attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileError {
+    /// The decision budget ran out before the trace was complete (the
+    /// compile-time analogue of a counting time-out).
+    BudgetExhausted {
+        /// Branching decisions recorded before giving up.
+        decisions: u64,
+    },
+    /// The formula projects onto more than 128 variables, exceeding the
+    /// `u128` bitmask representation of per-node variable sets.
+    TooManyProjectionVars {
+        /// Size of the effective projection set.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::BudgetExhausted { decisions } => {
+                write!(
+                    f,
+                    "d-DNNF compilation budget exhausted after {decisions} decisions"
+                )
+            }
+            CompileError::TooManyProjectionVars { found } => {
+                write!(
+                    f,
+                    "projection set of {found} variables exceeds the 128-variable limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Statistics of one compilation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Branching decisions recorded.
+    pub decisions: u64,
+    /// Subtrace cache hits (shared circuit nodes).
+    pub cache_hits: u64,
+    /// SAT-solver calls on projection-free components.
+    pub sat_calls: u64,
+}
+
+/// A compiled d-DNNF circuit together with its projection set.
+#[derive(Debug, Clone)]
+pub struct Ddnnf {
+    nodes: Vec<Node>,
+    /// Projection variables mentioned by node `i` (bit `k` = `proj_vars[k]`).
+    masks: Vec<u128>,
+    root: NodeId,
+    /// Sorted projection variables; bit positions in masks index this list.
+    proj_vars: Vec<u32>,
+    /// Map from variable id to bit position.
+    var_bit: HashMap<u32, u32>,
+    stats: CompileStats,
+}
+
+/// Saturating `2^exp` (projection sets may have up to 128 variables).
+fn pow2(exp: u32) -> u128 {
+    if exp >= 128 {
+        u128::MAX
+    } else {
+        1u128 << exp
+    }
+}
+
+impl Ddnnf {
+    /// Number of nodes in the circuit (including the constants).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The nodes of the circuit in topological order (children precede
+    /// parents); the last retains no special role — see [`root`](Self::root).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The projection variables of the compiled formula, sorted.
+    pub fn projection(&self) -> Vec<Var> {
+        self.proj_vars.iter().map(|&v| Var(v)).collect()
+    }
+
+    /// Statistics of the compilation that produced this circuit.
+    pub fn stats(&self) -> CompileStats {
+        self.stats
+    }
+
+    /// The number of models projected onto the projection set.
+    pub fn count(&self) -> u128 {
+        self.count_conditioned(&[])
+    }
+
+    /// The number of projected models consistent with `cube` — i.e. the
+    /// projected count of `φ ∧ cube` — in one linear pass over the circuit,
+    /// without re-running any search.
+    ///
+    /// Every literal of `cube` must be over a projection variable.
+    /// A self-contradictory cube yields 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cube literal mentions a non-projection variable.
+    pub fn count_conditioned(&self, cube: &[Lit]) -> u128 {
+        let Some((fixed, values)) = self.cube_masks(cube) else {
+            return 0;
+        };
+        let mut memo: Vec<Option<u128>> = vec![None; self.nodes.len()];
+        let root_count = self.count_node(self.root, fixed, values, &mut memo);
+        let gap = self.full_mask() & !self.masks[self.root];
+        root_count.saturating_mul(pow2((gap & !fixed).count_ones()))
+    }
+
+    /// Structural conditioning: returns the circuit of `φ ∧ cube` with the
+    /// cube variables removed from the projection set (so
+    /// `condition(c).count() == count_conditioned(c)` — the former counts
+    /// over fewer variables, but the cube variables it drops are fixed and
+    /// contribute a factor of 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cube literal mentions a non-projection variable.
+    pub fn condition(&self, cube: &[Lit]) -> Ddnnf {
+        let parsed = self.cube_masks(cube);
+        let contradictory = parsed.is_none();
+        let (fixed, values) = parsed.unwrap_or_else(|| {
+            // Contradictory cube: still drop every mentioned variable from
+            // the projection of the (False) result circuit.
+            let mut fixed = 0u128;
+            for &lit in cube {
+                fixed |= 1u128 << self.var_bit[&lit.var().0];
+            }
+            (fixed, 0)
+        });
+        let remaining: Vec<u32> = self
+            .proj_vars
+            .iter()
+            .copied()
+            .filter(|v| fixed & (1u128 << self.var_bit[v]) == 0)
+            .collect();
+        let mut builder = Builder::new(remaining);
+        if contradictory {
+            let root = builder.false_node();
+            return builder.finish(root, self.stats);
+        }
+        // Children precede parents, so one forward pass remaps every node.
+        let mut remap: Vec<NodeId> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let mapped = match node {
+                Node::True => builder.true_node(),
+                Node::False => builder.false_node(),
+                Node::Lit(l) => {
+                    let bit = 1u128 << self.var_bit[&l.var().0];
+                    if fixed & bit == 0 {
+                        builder.lit_node(*l)
+                    } else if (values & bit != 0) == l.is_positive() {
+                        builder.true_node()
+                    } else {
+                        builder.false_node()
+                    }
+                }
+                Node::And(children) => {
+                    let mapped: Vec<NodeId> = children.iter().map(|&c| remap[c]).collect();
+                    builder.and_node(mapped)
+                }
+                Node::Decision { var, hi, lo } => {
+                    let bit = 1u128 << self.var_bit[var];
+                    if fixed & bit != 0 {
+                        if values & bit != 0 {
+                            remap[*hi]
+                        } else {
+                            remap[*lo]
+                        }
+                    } else {
+                        builder.decision_node(*var, remap[*hi], remap[*lo])
+                    }
+                }
+            };
+            remap.push(mapped);
+        }
+        let root = remap[self.root];
+        builder.finish(root, self.stats)
+    }
+
+    /// Enumerates every projected model as a full assignment of the
+    /// projection variables, sorted by variable. Intended for tests and
+    /// small circuits — the output is exponential in the gap sizes.
+    pub fn models(&self) -> Vec<Vec<(Var, bool)>> {
+        let full = self.full_mask();
+        let mut out = Vec::new();
+        for (mask, values) in self.partial_models(self.root) {
+            let mut expanded = Vec::new();
+            expand_bits(full & !mask, values, &mut expanded);
+            out.extend(expanded.into_iter().map(|v| self.unpack(full, v)));
+        }
+        out.sort();
+        out
+    }
+
+    fn full_mask(&self) -> u128 {
+        if self.proj_vars.len() == 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.proj_vars.len()) - 1
+        }
+    }
+
+    /// Validates the cube and returns `(fixed, values)` bitmasks, or `None`
+    /// if the cube contradicts itself.
+    fn cube_masks(&self, cube: &[Lit]) -> Option<(u128, u128)> {
+        let mut fixed = 0u128;
+        let mut values = 0u128;
+        for &lit in cube {
+            let bit_index = *self
+                .var_bit
+                .get(&lit.var().0)
+                .unwrap_or_else(|| panic!("cube literal {lit} is not a projection variable"));
+            let bit = 1u128 << bit_index;
+            if fixed & bit != 0 {
+                if (values & bit != 0) != lit.is_positive() {
+                    return None;
+                }
+                continue;
+            }
+            fixed |= bit;
+            if lit.is_positive() {
+                values |= bit;
+            }
+        }
+        Some((fixed, values))
+    }
+
+    /// Counts models of the subcircuit at `node` over its own variable set,
+    /// weighting cube-fixed variables 1 and free variables 2 at every
+    /// smoothing gap.
+    fn count_node(
+        &self,
+        node: NodeId,
+        fixed: u128,
+        values: u128,
+        memo: &mut Vec<Option<u128>>,
+    ) -> u128 {
+        if let Some(c) = memo[node] {
+            return c;
+        }
+        let result = match &self.nodes[node] {
+            Node::True => 1,
+            Node::False => 0,
+            Node::Lit(l) => {
+                let bit = 1u128 << self.var_bit[&l.var().0];
+                if fixed & bit != 0 && (values & bit != 0) != l.is_positive() {
+                    0
+                } else {
+                    1
+                }
+            }
+            Node::And(children) => {
+                let mut total: u128 = 1;
+                for &c in children {
+                    let n = self.count_node(c, fixed, values, memo);
+                    if n == 0 {
+                        total = 0;
+                        break;
+                    }
+                    total = total.saturating_mul(n);
+                }
+                total
+            }
+            Node::Decision { var, hi, lo } => {
+                let bit = 1u128 << self.var_bit[var];
+                let scope = self.masks[node] & !bit;
+                let mut total: u128 = 0;
+                for (branch, wanted) in [(*hi, true), (*lo, false)] {
+                    if fixed & bit != 0 && (values & bit != 0) != wanted {
+                        continue;
+                    }
+                    let branch_count = self.count_node(branch, fixed, values, memo);
+                    let gap = scope & !self.masks[branch] & !fixed;
+                    total =
+                        total.saturating_add(branch_count.saturating_mul(pow2(gap.count_ones())));
+                }
+                total
+            }
+        };
+        memo[node] = Some(result);
+        result
+    }
+
+    /// Partial models of the subcircuit at `node`, as `(mask, values)`
+    /// bitmask pairs over the projection set.
+    fn partial_models(&self, node: NodeId) -> Vec<(u128, u128)> {
+        match &self.nodes[node] {
+            Node::True => vec![(0, 0)],
+            Node::False => Vec::new(),
+            Node::Lit(l) => {
+                let bit = 1u128 << self.var_bit[&l.var().0];
+                vec![(bit, if l.is_positive() { bit } else { 0 })]
+            }
+            Node::And(children) => {
+                let mut acc = vec![(0u128, 0u128)];
+                for &c in children {
+                    let child = self.partial_models(c);
+                    let mut next = Vec::with_capacity(acc.len() * child.len());
+                    for &(am, av) in &acc {
+                        for &(cm, cv) in &child {
+                            next.push((am | cm, av | cv));
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+            Node::Decision { var, hi, lo } => {
+                let bit = 1u128 << self.var_bit[var];
+                let scope = self.masks[node];
+                let mut out = Vec::new();
+                for (branch, value) in [(*hi, bit), (*lo, 0)] {
+                    for (m, v) in self.partial_models(branch) {
+                        // Smooth inside the decision scope so every partial
+                        // from this node covers the same variable set.
+                        let mut expanded = Vec::new();
+                        expand_bits(scope & !bit & !m, v | value, &mut expanded);
+                        out.extend(expanded.into_iter().map(|v| (scope, v)));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Renders the variables selected by `mask` with their `values` bits.
+    fn unpack(&self, mask: u128, values: u128) -> Vec<(Var, bool)> {
+        self.proj_vars
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| mask & (1u128 << k) != 0)
+            .map(|(k, &v)| (Var(v), values & (1u128 << k) != 0))
+            .collect()
+    }
+}
+
+/// Expands every bit of `gap` both ways, pushing the completed value masks.
+fn expand_bits(gap: u128, values: u128, out: &mut Vec<u128>) {
+    if gap == 0 {
+        out.push(values);
+        return;
+    }
+    let bit = 1u128 << gap.trailing_zeros();
+    expand_bits(gap & !bit, values, out);
+    expand_bits(gap & !bit, values | bit, out);
+}
+
+/// Hash-consing circuit builder shared by the compiler and
+/// [`Ddnnf::condition`].
+struct Builder {
+    nodes: Vec<Node>,
+    masks: Vec<u128>,
+    unique: HashMap<Node, NodeId>,
+    proj_vars: Vec<u32>,
+    var_bit: HashMap<u32, u32>,
+}
+
+impl Builder {
+    fn new(mut proj_vars: Vec<u32>) -> Self {
+        proj_vars.sort_unstable();
+        proj_vars.dedup();
+        let var_bit: HashMap<u32, u32> = proj_vars
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (v, k as u32))
+            .collect();
+        let mut b = Builder {
+            nodes: Vec::new(),
+            masks: Vec::new(),
+            unique: HashMap::new(),
+            proj_vars,
+            var_bit,
+        };
+        // Interned constants at fixed slots.
+        b.intern(Node::False, 0);
+        b.intern(Node::True, 0);
+        b
+    }
+
+    fn intern(&mut self, node: Node, mask: u128) -> NodeId {
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(node.clone());
+        self.masks.push(mask);
+        self.unique.insert(node, id);
+        id
+    }
+
+    fn false_node(&mut self) -> NodeId {
+        0
+    }
+
+    fn true_node(&mut self) -> NodeId {
+        1
+    }
+
+    fn lit_node(&mut self, lit: Lit) -> NodeId {
+        let bit = 1u128 << self.var_bit[&lit.var().0];
+        self.intern(Node::Lit(lit), bit)
+    }
+
+    /// Conjunction with constant folding and flattening of single children.
+    fn and_node(&mut self, children: Vec<NodeId>) -> NodeId {
+        let mut flat: Vec<NodeId> = Vec::with_capacity(children.len());
+        for c in children {
+            match self.nodes[c] {
+                Node::False => return self.false_node(),
+                Node::True => continue,
+                _ => flat.push(c),
+            }
+        }
+        match flat.len() {
+            0 => self.true_node(),
+            1 => flat[0],
+            _ => {
+                flat.sort_unstable();
+                flat.dedup();
+                if flat.len() == 1 {
+                    return flat[0];
+                }
+                let mask = flat.iter().fold(0u128, |m, &c| {
+                    debug_assert_eq!(m & self.masks[c], 0, "And children must be disjoint");
+                    m | self.masks[c]
+                });
+                self.intern(Node::And(flat), mask)
+            }
+        }
+    }
+
+    /// Decision node with the standard BDD-style reductions.
+    fn decision_node(&mut self, var: u32, hi: NodeId, lo: NodeId) -> NodeId {
+        if hi == lo {
+            // (v ∧ A) ∨ (¬v ∧ A) = A; v moves into the enclosing gap.
+            return hi;
+        }
+        if self.nodes[hi] == Node::True && self.nodes[lo] == Node::False {
+            return self.lit_node(Lit::pos(var));
+        }
+        if self.nodes[hi] == Node::False && self.nodes[lo] == Node::True {
+            return self.lit_node(Lit::neg(var));
+        }
+        let mask = (1u128 << self.var_bit[&var]) | self.masks[hi] | self.masks[lo];
+        self.intern(Node::Decision { var, hi, lo }, mask)
+    }
+
+    fn finish(self, root: NodeId, stats: CompileStats) -> Ddnnf {
+        Ddnnf {
+            nodes: self.nodes,
+            masks: self.masks,
+            root,
+            proj_vars: self.proj_vars,
+            var_bit: self.var_bit,
+            stats,
+        }
+    }
+}
+
+/// The d-DNNF compiler: a projected #SAT search that records its trace.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    max_decisions: u64,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new()
+    }
+}
+
+/// A residual formula: active clauses over not-yet-assigned variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Residual {
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Compiler {
+    /// A compiler with no decision budget.
+    pub fn new() -> Self {
+        Compiler {
+            max_decisions: u64::MAX,
+        }
+    }
+
+    /// A compiler that aborts after `max_decisions` branching decisions —
+    /// the compile-time analogue of [`modelcount`]'s node budget.
+    ///
+    /// [`modelcount`]: https://docs.rs/modelcount
+    pub fn with_decision_budget(max_decisions: u64) -> Self {
+        Compiler { max_decisions }
+    }
+
+    /// Compiles `cnf` into a d-DNNF circuit whose counts are projected onto
+    /// the formula's effective projection set.
+    pub fn compile(&self, cnf: &Cnf) -> Result<Ddnnf, CompileError> {
+        let projection: Vec<u32> = cnf.effective_projection().iter().map(|v| v.0).collect();
+        if projection.len() > 128 {
+            return Err(CompileError::TooManyProjectionVars {
+                found: projection.len(),
+            });
+        }
+        let mut builder = Builder::new(projection);
+
+        let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(cnf.num_clauses());
+        let mut contradiction = false;
+        for c in cnf.clauses() {
+            match c.normalized() {
+                None => continue,
+                Some(n) => {
+                    if n.is_empty() {
+                        contradiction = true;
+                        break;
+                    }
+                    clauses.push(n.lits().to_vec());
+                }
+            }
+        }
+
+        let mut ctx = CompileCtx {
+            cache: HashMap::new(),
+            stats: CompileStats::default(),
+            max_decisions: self.max_decisions,
+            exhausted: false,
+        };
+        let root = if contradiction {
+            builder.false_node()
+        } else {
+            ctx.compile_residual(Residual { clauses }, &mut builder)
+        };
+        if ctx.exhausted {
+            return Err(CompileError::BudgetExhausted {
+                decisions: ctx.stats.decisions,
+            });
+        }
+        Ok(builder.finish(root, ctx.stats))
+    }
+}
+
+struct CompileCtx {
+    cache: HashMap<Residual, NodeId>,
+    stats: CompileStats,
+    max_decisions: u64,
+    exhausted: bool,
+}
+
+impl CompileCtx {
+    /// Compiles a residual: propagate, decompose, recurse. The trace of the
+    /// projection literals fixed by propagation is kept as `Lit` leaves;
+    /// fixed non-projection literals are forgotten.
+    fn compile_residual(&mut self, residual: Residual, builder: &mut Builder) -> NodeId {
+        if self.exhausted {
+            return builder.false_node();
+        }
+        let Some((residual, fixed)) = propagate(residual) else {
+            return builder.false_node();
+        };
+        let mut children: Vec<NodeId> = Vec::new();
+        for l in fixed {
+            if builder.var_bit.contains_key(&l.var().0) {
+                children.push(builder.lit_node(l));
+            }
+        }
+        if !residual.clauses.is_empty() {
+            for comp in split_components(&residual) {
+                let child = self.compile_component(comp, builder);
+                children.push(child);
+            }
+        }
+        builder.and_node(children)
+    }
+
+    fn compile_component(&mut self, comp: Residual, builder: &mut Builder) -> NodeId {
+        if let Some(&id) = self.cache.get(&comp) {
+            self.stats.cache_hits += 1;
+            return id;
+        }
+        // Branch on the projection variable with the most occurrences (the
+        // same heuristic as the search counter, so traces stay comparable).
+        let mut occurrences: HashMap<u32, usize> = HashMap::new();
+        for lit in comp.clauses.iter().flatten() {
+            let v = lit.var().0;
+            if builder.var_bit.contains_key(&v) {
+                *occurrences.entry(v).or_default() += 1;
+            }
+        }
+        let branch_var = occurrences
+            .into_iter()
+            .max_by_key(|&(v, count)| (count, std::cmp::Reverse(v)))
+            .map(|(v, _)| v);
+
+        let id = match branch_var {
+            None => {
+                // Projection-free: existentially forget the auxiliaries by
+                // reducing the component to its satisfiability.
+                self.stats.sat_calls += 1;
+                if is_satisfiable(&comp) {
+                    builder.true_node()
+                } else {
+                    builder.false_node()
+                }
+            }
+            Some(v) => {
+                self.stats.decisions += 1;
+                if self.stats.decisions > self.max_decisions {
+                    self.exhausted = true;
+                    return builder.false_node();
+                }
+                let mut branches = [builder.false_node(); 2];
+                for (slot, lit) in branches.iter_mut().zip([Lit::pos(v), Lit::neg(v)]) {
+                    if let Some(r) = assign(&comp, lit) {
+                        *slot = self.compile_residual(r, builder);
+                    }
+                }
+                builder.decision_node(v, branches[0], branches[1])
+            }
+        };
+        self.cache.insert(comp, id);
+        id
+    }
+}
+
+/// Asserts a literal in the residual: drops satisfied clauses, removes the
+/// falsified literal from others. Returns `None` on an empty clause.
+fn assign(residual: &Residual, lit: Lit) -> Option<Residual> {
+    let mut clauses = Vec::with_capacity(residual.clauses.len());
+    for c in &residual.clauses {
+        if c.contains(&lit) {
+            continue;
+        }
+        let filtered: Vec<Lit> = c.iter().copied().filter(|&l| l != !lit).collect();
+        if filtered.is_empty() {
+            return None;
+        }
+        clauses.push(filtered);
+    }
+    Some(Residual { clauses })
+}
+
+/// Exhaustive unit propagation; returns the propagated residual and the
+/// fixed literals, or `None` on conflict.
+fn propagate(mut residual: Residual) -> Option<(Residual, Vec<Lit>)> {
+    let mut fixed = Vec::new();
+    loop {
+        let unit = residual.clauses.iter().find(|c| c.len() == 1).map(|c| c[0]);
+        match unit {
+            None => return Some((residual, fixed)),
+            Some(l) => {
+                fixed.push(l);
+                residual = assign(&residual, l)?;
+            }
+        }
+    }
+}
+
+/// Splits the residual into connected components of the variable-interaction
+/// graph (variables are connected when they co-occur in a clause).
+fn split_components(residual: &Residual) -> Vec<Residual> {
+    let mut parent: HashMap<u32, u32> = HashMap::new();
+
+    fn find(parent: &mut HashMap<u32, u32>, v: u32) -> u32 {
+        let p = *parent.entry(v).or_insert(v);
+        if p == v {
+            v
+        } else {
+            let root = find(parent, p);
+            parent.insert(v, root);
+            root
+        }
+    }
+
+    for c in &residual.clauses {
+        let first = c[0].var().0;
+        for l in &c[1..] {
+            let (a, b) = (find(&mut parent, first), find(&mut parent, l.var().0));
+            if a != b {
+                parent.insert(a, b);
+            }
+        }
+        find(&mut parent, first);
+    }
+
+    let mut groups: HashMap<u32, Vec<Vec<Lit>>> = HashMap::new();
+    for c in &residual.clauses {
+        let root = find(&mut parent, c[0].var().0);
+        groups.entry(root).or_default().push(c.clone());
+    }
+    let mut comps: Vec<Residual> = groups
+        .into_values()
+        .map(|mut clauses| {
+            clauses.sort();
+            Residual { clauses }
+        })
+        .collect();
+    comps.sort_by_key(|c| c.clauses.len());
+    comps
+}
+
+fn is_satisfiable(comp: &Residual) -> bool {
+    let max_var = comp
+        .clauses
+        .iter()
+        .flatten()
+        .map(|l| l.var().index())
+        .max()
+        .unwrap_or(0);
+    let mut cnf = Cnf::new(max_var + 1);
+    for c in &comp.clauses {
+        cnf.add_clause(c.clone());
+    }
+    Solver::from_cnf(&cnf).solve().is_sat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Var;
+
+    /// Projected brute-force count: distinct projection-variable patterns
+    /// among the models of the full formula.
+    fn brute_projected(cnf: &Cnf) -> u128 {
+        let n = cnf.num_vars();
+        assert!(n <= 20, "brute force oracle only at tiny sizes");
+        let projection: Vec<usize> = cnf
+            .effective_projection()
+            .iter()
+            .map(|v| v.index())
+            .collect();
+        let mut patterns = std::collections::HashSet::new();
+        for bits in 0u64..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|k| bits >> k & 1 == 1).collect();
+            if cnf.eval(&assignment) {
+                let pattern: Vec<bool> = projection.iter().map(|&k| assignment[k]).collect();
+                patterns.insert(pattern);
+            }
+        }
+        patterns.len() as u128
+    }
+
+    fn compile(cnf: &Cnf) -> Ddnnf {
+        Compiler::new().compile(cnf).expect("no budget configured")
+    }
+
+    fn random_cnf(rng: &mut rand_chacha::ChaCha8Rng, max_vars: usize, max_clauses: usize) -> Cnf {
+        use rand::Rng;
+        let n = rng.gen_range(3..=max_vars);
+        let m = rng.gen_range(1..=max_clauses);
+        let mut cnf = Cnf::new(n);
+        for _ in 0..m {
+            let len = rng.gen_range(1..=3usize);
+            let mut c = Vec::new();
+            for _ in 0..len {
+                let v = rng.gen_range(0..n) as u32;
+                c.push(if rng.gen_bool(0.5) {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                });
+            }
+            cnf.add_clause(c);
+        }
+        cnf
+    }
+
+    #[test]
+    fn empty_formula_counts_all_assignments() {
+        let d = compile(&Cnf::new(5));
+        assert_eq!(d.count(), 32);
+        assert_eq!(d.models().len(), 32);
+    }
+
+    #[test]
+    fn single_clause_counts_and_enumerates() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        let d = compile(&cnf);
+        assert_eq!(d.count(), 6);
+        let models = d.models();
+        assert_eq!(models.len(), 6);
+        for m in &models {
+            assert_eq!(m.len(), 3, "models are total over the projection");
+            let by_var: std::collections::HashMap<u32, bool> =
+                m.iter().map(|&(v, b)| (v.0, b)).collect();
+            assert!(by_var[&0] || by_var[&1]);
+        }
+    }
+
+    #[test]
+    fn unsat_compiles_to_false() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::neg(0)]);
+        let d = compile(&cnf);
+        assert_eq!(d.count(), 0);
+        assert!(d.models().is_empty());
+    }
+
+    #[test]
+    fn projected_count_forgets_auxiliaries() {
+        // x2 <-> (x0 & x1), projected onto {x0, x1}: all 4 assignments.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::neg(2), Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::neg(2), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::pos(2), Lit::neg(0), Lit::neg(1)]);
+        cnf.set_projection(vec![Var(0), Var(1)]);
+        let d = compile(&cnf);
+        assert_eq!(d.count(), 4);
+
+        // Asserting the auxiliary leaves exactly (1, 1).
+        let mut asserted = cnf.clone();
+        asserted.add_unit(Lit::pos(2));
+        let d = compile(&asserted);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.models(), vec![vec![(Var(0), true), (Var(1), true)]]);
+    }
+
+    #[test]
+    fn conditioning_matches_unit_assertion() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);
+        for round in 0..40 {
+            let cnf = random_cnf(&mut rng, 8, 16);
+            let d = compile(&cnf);
+            // Random cube over up to 3 projection variables.
+            let n = cnf.num_vars();
+            let cube: Vec<Lit> = (0..rng.gen_range(0..=3usize))
+                .map(|_| {
+                    let v = rng.gen_range(0..n) as u32;
+                    if rng.gen_bool(0.5) {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    }
+                })
+                .collect();
+            let mut asserted = cnf.clone();
+            for &l in &cube {
+                asserted.add_unit(l);
+            }
+            let expected = brute_projected(&asserted);
+            assert_eq!(
+                d.count_conditioned(&cube),
+                expected,
+                "round {round}, cube {cube:?}, cnf {cnf}"
+            );
+            assert_eq!(
+                d.condition(&cube).count(),
+                expected,
+                "structural conditioning, round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn contradictory_cube_counts_zero() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        let d = compile(&cnf);
+        let cube = [Lit::pos(0), Lit::neg(0)];
+        assert_eq!(d.count_conditioned(&cube), 0);
+        assert_eq!(d.condition(&cube).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a projection variable")]
+    fn conditioning_on_auxiliary_panics() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.set_projection(vec![Var(0), Var(1)]);
+        let d = compile(&cnf);
+        d.count_conditioned(&[Lit::pos(2)]);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_cnfs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        for round in 0..60 {
+            let mut cnf = random_cnf(&mut rng, 9, 20);
+            if round % 2 == 0 {
+                let proj = rng.gen_range(2..=cnf.num_vars());
+                cnf.set_projection((0..proj as u32).map(Var).collect());
+            }
+            let d = compile(&cnf);
+            assert_eq!(d.count(), brute_projected(&cnf), "round {round}, cnf {cnf}");
+            assert_eq!(
+                d.models().len() as u128,
+                d.count(),
+                "enumeration size, round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn models_satisfy_the_formula() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let cnf = random_cnf(&mut rng, 7, 12);
+        let d = compile(&cnf);
+        let mut seen = std::collections::HashSet::new();
+        for model in d.models() {
+            assert!(seen.insert(model.clone()), "duplicate model {model:?}");
+            let mut assignment = vec![false; cnf.num_vars()];
+            for (v, b) in model {
+                assignment[v.index()] = b;
+            }
+            assert!(cnf.eval(&assignment));
+        }
+    }
+
+    #[test]
+    fn decision_budget_aborts() {
+        let mut cnf = Cnf::new(20);
+        for i in 0..19u32 {
+            cnf.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)]);
+        }
+        let result = Compiler::with_decision_budget(3).compile(&cnf);
+        assert!(matches!(
+            result,
+            Err(CompileError::BudgetExhausted { decisions }) if decisions > 3
+        ));
+        assert!(Compiler::new().compile(&cnf).is_ok());
+    }
+
+    #[test]
+    fn circuit_is_a_shared_dag() {
+        // Independent identical constraints share one compiled subtrace.
+        let mut cnf = Cnf::new(6);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::pos(2), Lit::pos(3)]);
+        cnf.add_clause(vec![Lit::pos(4), Lit::pos(5)]);
+        let d = compile(&cnf);
+        assert_eq!(d.count(), 27);
+        assert!(
+            d.num_nodes() <= 12,
+            "hash-consing should keep the circuit small, got {}",
+            d.num_nodes()
+        );
+    }
+
+    #[test]
+    fn compile_stats_report_activity() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::pos(2), Lit::pos(3)]);
+        let d = compile(&cnf);
+        assert!(d.stats().decisions > 0);
+        assert_eq!(d.count(), 9);
+    }
+}

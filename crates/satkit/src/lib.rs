@@ -17,7 +17,10 @@
 //! * [`xor`] — CNF encodings of parity (XOR) constraints, used by the
 //!   hashing-based approximate model counter;
 //! * [`card`] — totalizer cardinality encodings (count-preserving under
-//!   projection), used by the ensemble-model CNF encodings in `mcml`.
+//!   projection), used by the ensemble-model CNF encodings in `mcml`;
+//! * [`ddnnf`] — compilation of CNF into deterministic decomposable NNF
+//!   circuits for compile-once / query-many projected counting (the engine
+//!   behind `mcml`'s compiled counting backend).
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 
 pub mod card;
 pub mod cnf;
+pub mod ddnnf;
 pub mod dimacs;
 pub mod enumerate;
 pub mod expr;

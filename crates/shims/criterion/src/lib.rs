@@ -147,10 +147,27 @@ pub struct Bencher {
     samples: Vec<Duration>,
 }
 
+/// Whether the benches run in smoke-test mode (`cargo bench -- --test`,
+/// mirroring upstream Criterion): every routine executes exactly once,
+/// untimed, so CI can verify benches still run without paying for warm-up
+/// and sampling.
+fn test_mode() -> bool {
+    static TEST_MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *TEST_MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 impl Bencher {
     /// Times `routine`: a warm-up phase followed by `sample_size` timed
-    /// samples (bounded by the measurement time).
+    /// samples (bounded by the measurement time). In `--test` mode the
+    /// routine runs exactly once instead.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if test_mode() {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.clear();
+            self.samples.push(start.elapsed());
+            return;
+        }
         let warm_up_end = Instant::now() + self.settings.warm_up_time;
         let mut warm_up_iters = 0u64;
         while Instant::now() < warm_up_end {
@@ -180,6 +197,10 @@ fn run_one(label: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
     f(&mut bencher);
     if bencher.samples.is_empty() {
         println!("  {label}: no samples (routine never called iter)");
+        return;
+    }
+    if test_mode() {
+        println!("  {label}: ok ({:?}, --test smoke run)", bencher.samples[0]);
         return;
     }
     let total: Duration = bencher.samples.iter().sum();

@@ -1,0 +1,190 @@
+//! Agreement tests between the counting engines: the d-DNNF
+//! `CompiledCounter` must return exactly the counts of the search-based
+//! `ExactCounter` on every formula class the reproduction produces, and the
+//! compiled AccMC query plan (sums of conditioned region counts) must
+//! reproduce the classic four-conjunction counts bit for bit.
+
+use mcml::accmc::{AccMc, CountingEngine};
+use mcml::backend::CounterBackend;
+use mcml::counter::{CompiledCounter, CountOutcome, ModelCounter, QueryCounter};
+use mcml::encode::CnfEncodable;
+use mlkit::data::Dataset;
+use mlkit::tree::{DecisionTree, TreeConfig};
+use modelcount::exact::ExactCounter;
+use proptest::prelude::*;
+use relspec::instance::RelInstance;
+use relspec::properties::Property;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+use satkit::cnf::{Cnf, Lit, Var};
+
+fn exact_count(cnf: &Cnf) -> u128 {
+    ExactCounter::new().count(cnf).expect("no budget")
+}
+
+fn compiled_count(cnf: &Cnf) -> u128 {
+    match ModelCounter::count(&CompiledCounter::new(), cnf) {
+        CountOutcome::Exact(v) => v,
+        other => panic!("compiled counter must be exact, got {other:?}"),
+    }
+}
+
+/// Strategy: a random CNF over `max_vars` variables, optionally projected
+/// onto a prefix of them.
+fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let clause = prop::collection::vec((0..max_vars as u32, any::<bool>()), 1..=3);
+    (prop::collection::vec(clause, 0..=max_clauses), 0..=max_vars).prop_map(
+        move |(clauses, proj)| {
+            let mut cnf = Cnf::new(max_vars);
+            for c in clauses {
+                let lits: Vec<Lit> = c
+                    .into_iter()
+                    .map(|(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
+                    .collect();
+                cnf.add_clause(lits);
+            }
+            if proj > 0 {
+                cnf.set_projection((0..proj as u32).map(Var).collect());
+            }
+            cnf
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CompiledCounter == ExactCounter on random (projected) CNFs.
+    #[test]
+    fn compiled_matches_exact_on_random_cnfs(cnf in arb_cnf(9, 18)) {
+        prop_assert_eq!(compiled_count(&cnf), exact_count(&cnf));
+    }
+
+    /// Conditioned circuit queries == exact counts of the conjunction.
+    #[test]
+    fn conditioned_queries_match_unit_conjunctions(
+        cnf in arb_cnf(8, 14),
+        cube_spec in prop::collection::vec((0u32..8, any::<bool>()), 0..=3),
+    ) {
+        let cube: Vec<Lit> = cube_spec
+            .into_iter()
+            .filter(|(v, _)| {
+                // Keep only projection variables (the cube contract).
+                cnf.effective_projection().contains(&Var(*v))
+            })
+            .map(|(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
+            .collect();
+        let compiled = CompiledCounter::new();
+        let conditioned = match compiled.count_conditioned(&cnf, &cube) {
+            CountOutcome::Exact(v) => v,
+            other => panic!("compiled counter must be exact, got {other:?}"),
+        };
+        let mut asserted = cnf.clone();
+        for &l in &cube {
+            asserted.add_unit(l);
+        }
+        prop_assert_eq!(conditioned, exact_count(&asserted));
+    }
+}
+
+/// Both engines on every table property at scopes 2 and 3, φ and ¬φ, with
+/// and without symmetry breaking — the exhaustive formula set of the
+/// whole-space tables.
+#[test]
+fn engines_agree_on_all_table_properties() {
+    use relspec::symmetry::SymmetryBreaking;
+    for property in Property::all() {
+        for scope in [2usize, 3] {
+            for symmetry in [SymmetryBreaking::None, SymmetryBreaking::Transpositions] {
+                let gt = translate_to_cnf(
+                    &property.spec(),
+                    TranslateOptions::new(scope).with_symmetry(symmetry),
+                );
+                for cnf in [gt.cnf_positive(), gt.cnf_negative()] {
+                    assert_eq!(
+                        compiled_count(&cnf),
+                        exact_count(&cnf),
+                        "property {property}, scope {scope}, symmetry {symmetry:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn labeled_dataset(property: Property, scope: usize) -> Dataset {
+    let mut d = Dataset::new(scope * scope);
+    for bits in 0u64..(1 << (scope * scope)) {
+        let inst = RelInstance::from_bits(
+            scope,
+            (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+        );
+        d.push(inst.to_features(), property.holds(&inst));
+    }
+    d
+}
+
+/// Regression for the compiled query plan: on every table property at scope
+/// 3, the sum of conditioned region counts must equal the classic four
+/// conjunction counts — same tp/fp/tn/fn, same derived metrics.
+#[test]
+fn region_sums_equal_classic_four_counts() {
+    for property in Property::all() {
+        let scope = 3;
+        let dataset = labeled_dataset(property, scope).subsample(70, 11);
+        let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+
+        let exact = CounterBackend::exact();
+        let classic = AccMc::new(&exact)
+            .evaluate(&gt, &tree)
+            .expect("scopes match")
+            .expect("no budget");
+
+        let compiled_backend = CompiledCounter::new();
+        let compiled = AccMc::with_engine(&compiled_backend, CountingEngine::Compiled)
+            .evaluate(&gt, &tree)
+            .expect("scopes match")
+            .expect("no budget");
+
+        assert_eq!(compiled.counts, classic.counts, "property {property}");
+        assert_eq!(compiled.metrics, classic.metrics, "property {property}");
+        assert_eq!(
+            compiled.counts.total(),
+            1u128 << (scope * scope),
+            "regions must partition the whole space (property {property})"
+        );
+        let regions = tree
+            .decision_regions()
+            .expect("decision trees expose regions");
+        assert_eq!(
+            compiled_backend.stats().misses,
+            2,
+            "φ and ¬φ compiled once for {} regions (property {property})",
+            regions.len()
+        );
+    }
+}
+
+/// The compiled engine also goes through any backend's generic conditioned
+/// path — a plain exact counter produces identical results, just without
+/// circuit reuse.
+#[test]
+fn compiled_engine_is_backend_agnostic() {
+    let property = Property::Function;
+    let scope = 3;
+    let dataset = labeled_dataset(property, scope).subsample(60, 5);
+    let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+    let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+
+    let exact = ExactCounter::new();
+    let via_search = AccMc::with_engine(&exact, CountingEngine::Compiled)
+        .evaluate(&gt, &tree)
+        .expect("scopes match")
+        .expect("no budget");
+    let compiled_backend = CompiledCounter::new();
+    let via_circuit = AccMc::with_engine(&compiled_backend, CountingEngine::Compiled)
+        .evaluate(&gt, &tree)
+        .expect("scopes match")
+        .expect("no budget");
+    assert_eq!(via_search.counts, via_circuit.counts);
+}
