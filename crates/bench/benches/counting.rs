@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcml::accmc::{AccMc, CountingEngine};
 use mcml::backend::CounterBackend;
 use mcml::counter::CompiledCounter;
+use mcml::encode::CnfEncodable;
+use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::Dataset;
+use mlkit::forest::{ForestConfig, RandomForest};
 use mlkit::tree::{DecisionTree, TreeConfig};
 use modelcount::approx::{ApproxConfig, ApproxCounter};
 use modelcount::exact::ExactCounter;
@@ -127,6 +130,82 @@ fn bench_accmc_engine_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Trains an 8-model ensemble batch — four random forests and four boosted
+/// ensembles on different subsamples — for one (property, scope) pair.
+fn ensemble_batch(property: Property, scope: usize) -> Vec<Box<dyn CnfEncodable>> {
+    let mut full = Dataset::new(scope * scope);
+    for bits in 0u64..(1 << (scope * scope)) {
+        let inst = RelInstance::from_bits(
+            scope,
+            (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+        );
+        full.push(inst.to_features(), property.holds(&inst));
+    }
+    let mut models: Vec<Box<dyn CnfEncodable>> = Vec::with_capacity(8);
+    for seed in 0..4u64 {
+        models.push(Box::new(RandomForest::fit(
+            &full.subsample(80, seed),
+            ForestConfig {
+                num_trees: 5,
+                seed,
+                ..ForestConfig::default()
+            },
+        )));
+        models.push(Box::new(AdaBoost::fit(
+            &full.subsample(80, seed + 4),
+            AdaBoostConfig {
+                num_rounds: 5,
+                weak_depth: 2,
+                seed,
+            },
+        )));
+    }
+    models
+}
+
+/// Classic vs compiled engine on an 8-model *ensemble* batch (RFT + ABT):
+/// the classic engine re-encodes every ensemble into four conjunction CNFs
+/// and searches each, the compiled engine extracts vote-BDD region cubes
+/// and conditions the φ / ¬φ circuits compiled once per property.
+fn bench_accmc_ensemble_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accmc_ensemble_batch8");
+    group.sample_size(10);
+    let scope = 3;
+    for property in [Property::Antisymmetric, Property::Function] {
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let models = ensemble_batch(property, scope);
+        group.bench_with_input(
+            BenchmarkId::new(format!("classic/{}", property.name()), scope),
+            &models,
+            |b, models| {
+                b.iter(|| {
+                    let backend = CounterBackend::exact();
+                    let accmc = AccMc::new(&backend);
+                    for model in models {
+                        black_box(accmc.evaluate(&gt, model.as_ref()).unwrap().unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("compiled/{}", property.name()), scope),
+            &models,
+            |b, models| {
+                b.iter(|| {
+                    // A fresh counter per iteration charges the compiled
+                    // engine its full φ / ¬φ compilation cost.
+                    let backend = CompiledCounter::new();
+                    let accmc = AccMc::with_engine(&backend, CountingEngine::Compiled);
+                    for model in models {
+                        black_box(accmc.evaluate(&gt, model.as_ref()).unwrap().unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn fast_config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -141,6 +220,7 @@ criterion_group!(
     bench_exact_counting,
     bench_approx_counting,
     bench_accmc_engine_batch,
+    bench_accmc_ensemble_batch,
     bench_symmetry_breaking_translation
 );
 criterion_main!(benches);

@@ -8,8 +8,10 @@
 //! translation, shares one memoizing counter across all rows, and runs them
 //! in parallel; `--models dt,rft,abt` evaluates any subset of the
 //! CNF-encodable model families per property, `--engine compiled` switches
-//! the whole-space evaluation to the d-DNNF compile-once/query-many plan,
-//! and `--cache-dir DIR` persists the count cache across processes.
+//! the whole-space evaluation to the d-DNNF compile-once/query-many plan
+//! (all three families ride it through their decision regions, with
+//! `--vote-nodes` bounding the ensemble vote circuits), and
+//! `--cache-dir DIR` persists the count cache across processes.
 
 use crate::cli::HarnessArgs;
 use mcml::counter::CachedCounter;
@@ -71,6 +73,7 @@ pub fn run_accmc_table(
         .families(&args.models)
         .threads(args.threads)
         .engine(args.engine)
+        .vote_node_bound(args.vote_nodes)
         .run(&configs, &backend)
         .unwrap_or_else(|e| panic!("malformed experiment batch: {e}"));
 

@@ -31,6 +31,7 @@ fn main() {
         });
 
         let comparison = DiffMc::new(&backend)
+            .vote_node_bound(args.vote_nodes)
             .compare(&tree_a, &tree_b)
             .expect("trees trained at the same scope share the feature space");
         match comparison {

@@ -13,6 +13,10 @@
 //!   core);
 //! * `--engine classic|compiled` — whole-space counting strategy: fresh
 //!   search per count, or d-DNNF compile-once/query-many;
+//! * `--vote-nodes N` — node budget for the ensemble vote circuits (the
+//!   compiled engine's region-extraction BDDs and the ABT CNF vote
+//!   diagram); an ensemble exceeding it fails with a typed
+//!   `VoteCircuitTooLarge` error instead of exhausting memory;
 //! * `--cache-dir DIR` — persist the count cache to `DIR` and reload it on
 //!   the next run (cross-process reuse).
 
@@ -41,6 +45,8 @@ pub struct HarnessArgs {
     pub threads: usize,
     /// Whole-space counting engine.
     pub engine: CountingEngine,
+    /// Node budget for ensemble vote circuits (region-extraction BDDs).
+    pub vote_nodes: usize,
     /// Directory holding the persistent count cache (`None` = in-memory
     /// only).
     pub cache_dir: Option<PathBuf>,
@@ -57,6 +63,7 @@ impl Default for HarnessArgs {
             models: vec![ModelFamily::Dt],
             threads: 0,
             engine: CountingEngine::Classic,
+            vote_nodes: mcml::encode::MAX_VOTE_NODES,
             cache_dir: None,
         }
     }
@@ -121,6 +128,11 @@ impl HarnessArgs {
                     out.engine = CountingEngine::parse(&v).unwrap_or_else(|| {
                         panic!("unknown engine {v:?} (expected classic or compiled)")
                     });
+                }
+                "--vote-nodes" => {
+                    let v = iter.next().expect("--vote-nodes requires a value");
+                    out.vote_nodes = v.parse().expect("--vote-nodes must be a number");
+                    assert!(out.vote_nodes > 0, "--vote-nodes must be positive");
                 }
                 "--cache-dir" => {
                     let v = iter.next().expect("--cache-dir requires a path");
@@ -228,6 +240,19 @@ mod tests {
         assert_eq!(a.threads, 2);
         let single = parse(&["--models", "RFT"]);
         assert_eq!(single.models, vec![ModelFamily::Rft]);
+    }
+
+    #[test]
+    fn parses_vote_nodes() {
+        let a = parse(&["--vote-nodes", "1024"]);
+        assert_eq!(a.vote_nodes, 1024);
+        assert_eq!(parse(&[]).vote_nodes, mcml::encode::MAX_VOTE_NODES);
+    }
+
+    #[test]
+    #[should_panic(expected = "--vote-nodes must be positive")]
+    fn zero_vote_nodes_panics() {
+        parse(&["--vote-nodes", "0"]);
     }
 
     #[test]

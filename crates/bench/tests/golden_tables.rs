@@ -1,0 +1,145 @@
+//! Golden-output snapshots for the table CLIs.
+//!
+//! `table3` and `table5` are run as real processes on a fixed seed at a
+//! tiny scope, under both counting engines, and their stdout is compared
+//! character-for-character against checked-in golden files — so the report
+//! layout, the metric formatting, the `Count` guarantee column and the
+//! engine banner can't silently drift. The wall-clock `Time[s]` cells are
+//! masked (the only non-deterministic part of the output).
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p mcml-bench --test golden_tables
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The fixed arguments of every snapshot run: scope 2 keeps all sixteen
+/// properties cheap enough that both engines finish in well under a
+/// second, and all three model families exercise the generic rows.
+const SNAPSHOT_ARGS: &[&str] = &[
+    "--scope",
+    "2",
+    "--max-positive",
+    "40",
+    "--seed",
+    "3",
+    "--models",
+    "dt,rft,abt",
+    "--threads",
+    "1",
+];
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Runs a table binary with the snapshot arguments and the given engine,
+/// returning its normalized stdout.
+fn run_table(bin: &str, engine: &str) -> String {
+    let exe = match bin {
+        "table3" => env!("CARGO_BIN_EXE_table3"),
+        "table5" => env!("CARGO_BIN_EXE_table5"),
+        other => panic!("no snapshot binary {other:?}"),
+    };
+    let output = Command::new(exe)
+        .args(SNAPSHOT_ARGS)
+        .args(["--engine", engine])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(
+        output.status.success(),
+        "{bin} --engine {engine} exited with {}: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    normalize(&String::from_utf8(output.stdout).expect("table output is UTF-8"))
+}
+
+/// Masks the wall-clock `Time[s]` cell (the last column of every data row,
+/// the only token that parses as a float at the end of a line) and strips
+/// alignment-padding trailing spaces, leaving everything else — including
+/// the engine banner and the cache-statistics footer — byte-exact.
+fn normalize(raw: &str) -> String {
+    let mut out = String::new();
+    for line in raw.lines() {
+        let line = line.trim_end();
+        match line.rsplit_once("  ") {
+            Some((head, tail)) if tail.trim().parse::<f64>().is_ok() => {
+                out.push_str(head.trim_end());
+                out.push_str("  #.#");
+            }
+            _ => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares `actual` against the golden file, or rewrites it when
+/// `UPDATE_GOLDEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(format!("{name}.txt"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 cargo test -p mcml-bench --test golden_tables",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "{name} output drifted from {}; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn table3_classic_snapshot() {
+    check_golden("table3.classic", &run_table("table3", "classic"));
+}
+
+#[test]
+fn table3_compiled_snapshot() {
+    check_golden("table3.compiled", &run_table("table3", "compiled"));
+}
+
+#[test]
+fn table5_classic_snapshot() {
+    check_golden("table5.classic", &run_table("table5", "classic"));
+}
+
+#[test]
+fn table5_compiled_snapshot() {
+    check_golden("table5.compiled", &run_table("table5", "compiled"));
+}
+
+/// The two engines must print identical *metrics* on the same seed — only
+/// the engine banner (and the masked timing) may differ. This pins the
+/// engine-conformance story at the CLI layer, on top of the API-level
+/// agreement suite.
+#[test]
+fn engines_agree_in_cli_output() {
+    for bin in ["table3", "table5"] {
+        let strip_banner = |s: String| -> String {
+            s.lines()
+                .filter(|l| {
+                    !l.starts_with("(counting engine:") && !l.starts_with("(counter cache:")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let classic = strip_banner(run_table(bin, "classic"));
+        let compiled = strip_banner(run_table(bin, "compiled"));
+        assert_eq!(classic, compiled, "{bin}: engines disagree at the CLI");
+    }
+}

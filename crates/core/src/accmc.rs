@@ -21,15 +21,18 @@
 //!
 //! * [`Classic`](CountingEngine::Classic) — encode the model's decision
 //!   region into (¬)φ and run four fresh counts, exactly as above;
-//! * [`Compiled`](CountingEngine::Compiled) — a *query plan* for models
-//!   exposing [`decision_regions`](CnfEncodable::decision_regions)
-//!   (decision trees): never encode the model at all, and instead sum
-//!   `mc(φ | region-cube)` over the regions. Against a
+//! * [`Compiled`](CountingEngine::Compiled) — a *query plan* over the
+//!   model's [`decision_regions`](CnfEncodable::decision_regions): never
+//!   encode the model at all, and instead sum `mc(φ | region-cube)` over
+//!   the regions. Against a
 //!   [`CompiledCounter`](crate::counter::CompiledCounter) backend, φ and
 //!   ¬φ are compiled to d-DNNF once per (property, scope) and every model
 //!   of a batch costs only linear circuit traversals — the φ search is no
-//!   longer repeated per model. Families without region lists (RFT/ABT)
-//!   transparently fall back to the classic path.
+//!   longer repeated per model. All three families ride this plan: trees
+//!   list their root-to-leaf paths, and the voting ensembles (RFT/ABT)
+//!   compile their vote circuits into region cube lists through
+//!   [`satkit::bdd`], guarded by a configurable
+//!   [vote-node budget](AccMc::vote_node_bound).
 
 use crate::backend::CounterBackend;
 use crate::counter::{CountOutcome, QueryCounter};
@@ -49,7 +52,7 @@ pub enum CountingEngine {
     Classic,
     /// Compile once, query many: condition a compiled φ / ¬φ on the
     /// model's decision-region cubes and sum the per-region counts.
-    /// Models without region lists fall back to the classic path.
+    /// Covers every [`CnfEncodable`] family (trees and voting ensembles).
     Compiled,
 }
 
@@ -68,6 +71,23 @@ impl CountingEngine {
         match self {
             CountingEngine::Classic => "classic",
             CountingEngine::Compiled => "compiled",
+        }
+    }
+
+    /// Reads the engine from the `MCML_ENGINE` environment variable — the
+    /// switch the CI conformance matrix uses to run the same test suite
+    /// under both engines. Unset or empty means [`CountingEngine::Classic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value, so a typo in a CI matrix fails
+    /// loudly instead of silently testing the default engine.
+    pub fn from_env() -> CountingEngine {
+        match std::env::var("MCML_ENGINE") {
+            Err(_) => CountingEngine::Classic,
+            Ok(v) if v.is_empty() => CountingEngine::Classic,
+            Ok(v) => CountingEngine::parse(&v)
+                .unwrap_or_else(|| panic!("MCML_ENGINE={v:?} is not a counting engine")),
         }
     }
 }
@@ -183,6 +203,7 @@ impl OutcomeMeta {
 pub struct AccMc<'a, C: QueryCounter + ?Sized = CounterBackend> {
     backend: &'a C,
     engine: CountingEngine,
+    vote_node_bound: usize,
 }
 
 impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
@@ -194,7 +215,22 @@ impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
 
     /// Creates the analysis with an explicit counting engine.
     pub fn with_engine(backend: &'a C, engine: CountingEngine) -> Self {
-        AccMc { backend, engine }
+        AccMc {
+            backend,
+            engine,
+            vote_node_bound: crate::encode::MAX_VOTE_NODES,
+        }
+    }
+
+    /// Sets the vote-circuit node budget (default
+    /// [`MAX_VOTE_NODES`](crate::encode::MAX_VOTE_NODES)): it bounds the
+    /// vote BDDs the compiled engine extracts decision regions from *and*
+    /// the ABT weighted-vote diagram of the classic engine's CNF encoding.
+    /// An ensemble whose diagram exceeds it reports
+    /// [`EvalError::VoteCircuitTooLarge`].
+    pub fn vote_node_bound(mut self, bound: usize) -> Self {
+        self.vote_node_bound = bound;
+        self
     }
 
     /// The engine this analysis evaluates with.
@@ -225,10 +261,10 @@ impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
         let start = Instant::now();
         let mut meta = OutcomeMeta::default();
         let counts = match self.engine {
-            CountingEngine::Compiled => match model.decision_regions() {
-                Some(regions) => self.counts_by_regions(ground_truth, &regions, &mut meta),
-                None => self.counts_classic(ground_truth, model, &mut meta)?,
-            },
+            CountingEngine::Compiled => {
+                let regions = model.decision_regions_bounded(self.vote_node_bound)?;
+                self.counts_by_regions(ground_truth, &regions, &mut meta)
+            }
             CountingEngine::Classic => self.counts_classic(ground_truth, model, &mut meta)?,
         };
         Ok(counts.map(|counts| AccMcResult {
@@ -259,7 +295,7 @@ impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
             } else {
                 ground_truth.cnf_negative()
             };
-            model.try_encode_label(&mut cnf, label)?;
+            model.try_encode_label_bounded(&mut cnf, label, self.vote_node_bound)?;
             // The conjunction is unique to this (model, cell) pair: count
             // it transiently so compiling backends don't cache a circuit
             // that can never be reused.
@@ -525,7 +561,7 @@ mod tests {
     }
 
     #[test]
-    fn compiled_engine_falls_back_for_ensembles() {
+    fn compiled_engine_covers_ensembles_by_regions() {
         use crate::counter::CompiledCounter;
         let scope = 3;
         let property = Property::Antisymmetric;
@@ -546,10 +582,67 @@ mod tests {
             .expect("no budget");
         let brute = brute_counts(property, scope, SymmetryBreaking::None, &forest);
         assert_eq!(result.counts, brute);
-        assert!(
-            backend.is_empty(),
-            "fallback conjunctions are one-shot and must not cache circuits"
+        assert_eq!(
+            backend.stats().misses,
+            2,
+            "the ensemble rides the region plan: only φ and ¬φ are compiled"
         );
+    }
+
+    #[test]
+    fn compiled_engine_vote_bound_is_a_typed_error() {
+        use crate::counter::CompiledCounter;
+        let scope = 3;
+        let property = Property::Antisymmetric;
+        let dataset = labeled_dataset(property, scope).subsample(100, 7);
+        let forest = RandomForest::fit(
+            &dataset,
+            ForestConfig {
+                num_trees: 5,
+                seed: 5,
+                ..ForestConfig::default()
+            },
+        );
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let backend = CompiledCounter::new();
+        let result = AccMc::with_engine(&backend, CountingEngine::Compiled)
+            .vote_node_bound(1)
+            .evaluate(&gt, &forest);
+        assert!(
+            matches!(result, Err(EvalError::VoteCircuitTooLarge { bound: 1, .. })),
+            "unexpected result {result:?}"
+        );
+    }
+
+    #[test]
+    fn classic_engine_honours_the_vote_node_bound() {
+        // The same knob bounds the classic path's ABT weighted-vote CNF
+        // diagram — `--vote-nodes` is never a silent no-op.
+        use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
+        let scope = 3;
+        let property = Property::Antisymmetric;
+        let dataset = labeled_dataset(property, scope).subsample(100, 7);
+        let ensemble = AdaBoost::fit(
+            &dataset,
+            AdaBoostConfig {
+                num_rounds: 4,
+                weak_depth: 1,
+                seed: 3,
+            },
+        );
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let backend = CounterBackend::exact();
+        let result = AccMc::with_engine(&backend, CountingEngine::Classic)
+            .vote_node_bound(1)
+            .evaluate(&gt, &ensemble);
+        assert!(
+            matches!(result, Err(EvalError::VoteCircuitTooLarge { bound: 1, .. })),
+            "unexpected result {result:?}"
+        );
+        assert!(AccMc::with_engine(&backend, CountingEngine::Classic)
+            .evaluate(&gt, &ensemble)
+            .expect("scopes match")
+            .is_some());
     }
 
     #[test]

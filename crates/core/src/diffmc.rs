@@ -13,10 +13,13 @@
 //! [`CnfEncodable`] model families — the two
 //! sides may even belong to *different* families (e.g. a decision tree
 //! against the random forest distilled from the same data) — and over the
-//! [`CountingEngine`]: with [`CountingEngine::Compiled`], a side exposing
-//! [`decision_regions`](CnfEncodable::decision_regions) contributes
+//! [`CountingEngine`]: with [`CountingEngine::Compiled`], the first side's
+//! [`decision_regions`](CnfEncodable::decision_regions) contribute
 //! condition cubes against the *other* side's compiled label circuits
-//! instead of four conjunction encodings.
+//! instead of four conjunction encodings. Every family exposes regions
+//! (ensembles through their vote BDDs), so no comparison falls back to the
+//! classic path; if the first side's vote circuit blows its node budget,
+//! the second side's regions are used transposed before giving up.
 
 use crate::accmc::{ApproxInfo, CountingEngine, OutcomeMeta};
 use crate::backend::CounterBackend;
@@ -87,6 +90,7 @@ impl DiffMcResult {
 pub struct DiffMc<'a, C: QueryCounter + ?Sized = CounterBackend> {
     backend: &'a C,
     engine: CountingEngine,
+    vote_node_bound: usize,
 }
 
 impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
@@ -98,7 +102,20 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
 
     /// Creates the analysis with an explicit counting engine.
     pub fn with_engine(backend: &'a C, engine: CountingEngine) -> Self {
-        DiffMc { backend, engine }
+        DiffMc {
+            backend,
+            engine,
+            vote_node_bound: crate::encode::MAX_VOTE_NODES,
+        }
+    }
+
+    /// Sets the vote-circuit node budget (default
+    /// [`MAX_VOTE_NODES`](crate::encode::MAX_VOTE_NODES)): it bounds the
+    /// region-extraction vote BDDs of the compiled engine and the ABT
+    /// weighted-vote diagrams of the classic engine's CNF encodings.
+    pub fn vote_node_bound(mut self, bound: usize) -> Self {
+        self.vote_node_bound = bound;
+        self
     }
 
     /// Computes the whole-space agreement/disagreement counts of two models.
@@ -123,14 +140,20 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
         let mut meta = OutcomeMeta::default();
         let counts = match self.engine {
             CountingEngine::Compiled => {
-                if let Some(regions) = m1.decision_regions() {
-                    self.counts_by_regions(&regions, m2, false, &mut meta)?
-                } else if let Some(regions) = m2.decision_regions() {
-                    // Conditioning on m2's regions computes the transposed
-                    // matrix; swap the disagreement cells back.
-                    self.counts_by_regions(&regions, m1, true, &mut meta)?
-                } else {
-                    self.counts_classic(m1, m2, &mut meta)?
+                match m1.decision_regions_bounded(self.vote_node_bound) {
+                    Ok(regions) => self.counts_by_regions(&regions, m2, false, &mut meta)?,
+                    // If only m1's vote circuit blows the budget, m2's
+                    // regions still carry the plan: conditioning on them
+                    // computes the transposed matrix, and the disagreement
+                    // cells are swapped back. The original error is kept
+                    // when both sides blow up.
+                    Err(e @ EvalError::VoteCircuitTooLarge { .. }) => {
+                        let regions = m2
+                            .decision_regions_bounded(self.vote_node_bound)
+                            .map_err(|_| e)?;
+                        self.counts_by_regions(&regions, m1, true, &mut meta)?
+                    }
+                    Err(e) => return Err(e),
                 }
             }
             CountingEngine::Classic => self.counts_classic(m1, m2, &mut meta)?,
@@ -160,8 +183,8 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
             let n = m1.num_features();
             let mut cnf = Cnf::new(n);
             cnf.set_projection((0..n as u32).map(Var).collect());
-            m1.try_encode_label(&mut cnf, l1)?;
-            m2.try_encode_label(&mut cnf, l2)?;
+            m1.try_encode_label_bounded(&mut cnf, l1, self.vote_node_bound)?;
+            m2.try_encode_label_bounded(&mut cnf, l2, self.vote_node_bound)?;
             // Unique per (model pair, cell): count transiently so compiling
             // backends don't cache one-shot circuits.
             match meta.absorb(self.backend.count_transient(&cnf)) {
@@ -188,8 +211,8 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
         transposed: bool,
         meta: &mut OutcomeMeta,
     ) -> Result<Option<DiffCounts>, EvalError> {
-        let other_true = other.try_label_cnf(TreeLabel::True)?;
-        let other_false = other.try_label_cnf(TreeLabel::False)?;
+        let other_true = other.try_label_cnf_bounded(TreeLabel::True, self.vote_node_bound)?;
+        let other_false = other.try_label_cnf_bounded(TreeLabel::False, self.vote_node_bound)?;
         let mut counts = DiffCounts::default();
         for region in regions {
             let both = meta.absorb(self.backend.count_conditioned(&other_true, &region.cube));
@@ -338,10 +361,10 @@ mod tests {
     }
 
     #[test]
-    fn compiled_engine_transposes_when_only_the_second_side_has_regions() {
+    fn compiled_engine_uses_ensemble_regions_directly() {
         use crate::counter::CompiledCounter;
-        // A forest (no regions) against a tree (regions): the tree is the
-        // second argument, exercising the transposed path.
+        // Both orders of a forest-vs-tree comparison ride the region plan
+        // (the first side's regions condition the other side's circuits).
         let full = dataset_from_fn(4, |x| (x[0] ^ x[1]) == 1 || x[3] == 1);
         let tree = DecisionTree::fit(&full, TreeConfig::with_max_depth(2));
         let forest = RandomForest::fit(
@@ -367,6 +390,41 @@ mod tests {
         assert_eq!(swapped.counts.tf, r.counts.ft);
         assert_eq!(swapped.counts.ft, r.counts.tf);
         assert_eq!(swapped.counts.tt, r.counts.tt);
+    }
+
+    #[test]
+    fn compiled_engine_transposes_when_the_first_vote_circuit_blows_its_budget() {
+        use crate::counter::CompiledCounter;
+        // With a one-node vote budget the forest's region extraction fails,
+        // but the tree (whose regions need no vote circuit) still carries
+        // the plan through the transposed path.
+        let full = dataset_from_fn(4, |x| (x[0] ^ x[1]) == 1 || x[3] == 1);
+        let tree = DecisionTree::fit(&full, TreeConfig::with_max_depth(2));
+        let forest = RandomForest::fit(
+            &full,
+            ForestConfig {
+                num_trees: 5,
+                seed: 9,
+                ..ForestConfig::default()
+            },
+        );
+        let backend = CompiledCounter::new();
+        let r = DiffMc::with_engine(&backend, CountingEngine::Compiled)
+            .vote_node_bound(1)
+            .compare(&forest, &tree)
+            .expect("feature spaces match")
+            .expect("no budget");
+        assert_eq!(r.counts, brute_diff(&forest, &tree, 4));
+
+        // Two budget-blown ensembles propagate the typed error.
+        let err = DiffMc::with_engine(&backend, CountingEngine::Compiled)
+            .vote_node_bound(1)
+            .compare(&forest, &forest)
+            .expect_err("both vote circuits exceed one node");
+        assert!(
+            matches!(err, EvalError::VoteCircuitTooLarge { bound: 1, .. }),
+            "unexpected error {err:?}"
+        );
     }
 
     #[test]

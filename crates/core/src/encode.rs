@@ -27,24 +27,31 @@ use crate::tree2cnf::{tree_label_clauses, TreeLabel};
 use mlkit::adaboost::AdaBoost;
 use mlkit::forest::RandomForest;
 use mlkit::tree::DecisionTree;
+use satkit::bdd::{Bdd, BddError, NodeRef};
 use satkit::card::Totalizer;
 use satkit::cnf::{Cnf, Lit, Var};
 use std::collections::HashMap;
+use std::hash::Hash;
 
-/// Upper bound on the nodes of the AdaBoost weighted-vote branching
-/// program. With pairwise-distinct vote weights the diagram reaches
-/// `2^rounds` nodes (distinct partial sums never merge), so an encoding
-/// attempt beyond ~16 such rounds fails fast with
-/// [`EvalError::VoteCircuitTooLarge`] instead of exhausting memory.
+/// Upper bound on the nodes of a vote circuit — the AdaBoost weighted-vote
+/// branching program of the CNF encoding, and the feature-space vote BDDs
+/// behind [`CnfEncodable::decision_regions`]. With pairwise-distinct vote
+/// weights a weighted-vote diagram reaches `2^rounds` nodes (distinct
+/// partial sums never merge), so an attempt beyond ~16 such rounds fails
+/// fast with [`EvalError::VoteCircuitTooLarge`] instead of exhausting
+/// memory. The same bound caps the number of extracted region cubes.
 pub const MAX_VOTE_NODES: usize = 1 << 16;
 
 /// One decision region of a model: a cube of feature literals (a partial
 /// assignment every input of the region satisfies) and the label the model
 /// assigns to the region.
 ///
-/// For a decision tree the regions are its root-to-leaf paths, which
-/// partition the input space — the property the compiled AccMC/DiffMC query
-/// plans rely on when they sum per-region conditioned counts.
+/// For a decision tree the regions are its root-to-leaf paths; for the
+/// voting ensembles they are the root-to-sink paths of the vote circuit
+/// compiled to a reduced ordered BDD over the feature variables
+/// ([`satkit::bdd`]). Either way the regions **partition** the input space —
+/// the property the compiled AccMC/DiffMC query plans rely on when they sum
+/// per-region conditioned counts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecisionRegion {
     /// The feature literals fixed along the region.
@@ -73,23 +80,53 @@ pub trait CnfEncodable {
 
     /// Fallible variant of [`encode_label`](Self::encode_label): encodings
     /// with a size hazard (the AdaBoost vote diagram) report it as a typed
-    /// [`EvalError`] instead of panicking or blowing up silently. The
-    /// default delegates to `encode_label` for encodings that cannot fail.
+    /// [`EvalError`] instead of panicking or blowing up silently, under the
+    /// default vote-circuit budget ([`MAX_VOTE_NODES`]).
     ///
     /// On `Err`, `cnf` may hold a partial encoding and must be discarded.
     fn try_encode_label(&self, cnf: &mut Cnf, label: TreeLabel) -> Result<(), EvalError> {
+        self.try_encode_label_bounded(cnf, label, MAX_VOTE_NODES)
+    }
+
+    /// [`try_encode_label`](Self::try_encode_label) with an explicit
+    /// vote-circuit node budget — the same knob
+    /// [`decision_regions_bounded`](Self::decision_regions_bounded) honours,
+    /// so `AccMc::vote_node_bound` governs the classic engine's ABT vote
+    /// diagram exactly as it governs the compiled engine's region
+    /// extraction. The default ignores the bound (encodings that cannot
+    /// blow up) and delegates to `encode_label`.
+    fn try_encode_label_bounded(
+        &self,
+        cnf: &mut Cnf,
+        label: TreeLabel,
+        vote_node_bound: usize,
+    ) -> Result<(), EvalError> {
+        let _ = vote_node_bound;
         self.encode_label(cnf, label);
         Ok(())
     }
 
-    /// The model's decision regions as cubes over the feature variables, if
-    /// the family exposes them. Regions must **partition** the input space:
-    /// every input satisfies exactly one region cube. Families whose
-    /// decision boundary has no compact region list (voting ensembles)
-    /// return `None` and are evaluated through their CNF encoding instead.
-    fn decision_regions(&self) -> Option<Vec<DecisionRegion>> {
-        None
+    /// The model's decision regions as cubes over the feature variables,
+    /// computed with the default vote-circuit budget
+    /// ([`MAX_VOTE_NODES`]). Regions **partition** the input space: every
+    /// input satisfies exactly one region cube. Every family exposes them —
+    /// trees from their root-to-leaf paths, voting ensembles by compiling
+    /// the vote circuit to a feature-space BDD and reading off its path
+    /// cubes — which is what lets the compiled AccMC/DiffMC query plans
+    /// cover DT, RFT and ABT uniformly.
+    fn decision_regions(&self) -> Result<Vec<DecisionRegion>, EvalError> {
+        self.decision_regions_bounded(MAX_VOTE_NODES)
     }
+
+    /// [`decision_regions`](Self::decision_regions) with an explicit
+    /// vote-circuit node budget. An ensemble whose vote diagram (or cube
+    /// cover) exceeds `vote_node_bound` reports
+    /// [`EvalError::VoteCircuitTooLarge`]; families whose regions need no
+    /// vote circuit (decision trees) ignore the bound.
+    fn decision_regions_bounded(
+        &self,
+        vote_node_bound: usize,
+    ) -> Result<Vec<DecisionRegion>, EvalError>;
 
     /// A standalone CNF over the feature variables whose projected models
     /// are exactly the inputs classified as `label`; the projection set is
@@ -102,12 +139,23 @@ pub trait CnfEncodable {
         cnf
     }
 
-    /// Fallible variant of [`label_cnf`](Self::label_cnf).
+    /// Fallible variant of [`label_cnf`](Self::label_cnf), under the
+    /// default vote-circuit budget.
     fn try_label_cnf(&self, label: TreeLabel) -> Result<Cnf, EvalError> {
+        self.try_label_cnf_bounded(label, MAX_VOTE_NODES)
+    }
+
+    /// [`try_label_cnf`](Self::try_label_cnf) with an explicit vote-circuit
+    /// node budget.
+    fn try_label_cnf_bounded(
+        &self,
+        label: TreeLabel,
+        vote_node_bound: usize,
+    ) -> Result<Cnf, EvalError> {
         let n = self.num_features();
         let mut cnf = Cnf::new(n);
         cnf.set_projection((0..n as u32).map(Var).collect());
-        self.try_encode_label(&mut cnf, label)?;
+        self.try_encode_label_bounded(&mut cnf, label, vote_node_bound)?;
         Ok(cnf)
     }
 }
@@ -135,26 +183,162 @@ impl CnfEncodable for DecisionTree {
 
     /// A tree's root-to-leaf paths are its decision regions: each path is a
     /// cube of the feature tests along it, and any input follows exactly
-    /// one path.
-    fn decision_regions(&self) -> Option<Vec<DecisionRegion>> {
-        Some(
-            self.paths()
-                .into_iter()
-                .map(|p| DecisionRegion {
-                    cube: p
-                        .conditions
-                        .iter()
-                        .map(|&(feature, value)| Lit::from_var(Var(feature as u32), value))
-                        .collect(),
-                    label: if p.label {
-                        TreeLabel::True
-                    } else {
-                        TreeLabel::False
-                    },
-                })
-                .collect(),
-        )
+    /// one path. No vote circuit is involved, so the bound is ignored.
+    fn decision_regions_bounded(
+        &self,
+        _vote_node_bound: usize,
+    ) -> Result<Vec<DecisionRegion>, EvalError> {
+        Ok(self
+            .paths()
+            .into_iter()
+            .map(|p| DecisionRegion {
+                cube: p
+                    .conditions
+                    .iter()
+                    .map(|&(feature, value)| Lit::from_var(Var(feature as u32), value))
+                    .collect(),
+                label: if p.label {
+                    TreeLabel::True
+                } else {
+                    TreeLabel::False
+                },
+            })
+            .collect())
     }
+}
+
+/// Compiles a decision tree into a BDD over the feature variables: the
+/// disjunction of its positive root-to-leaf path cubes. The ordered apply
+/// operations canonicalize the (arbitrary) per-path test order.
+fn tree_bdd(bdd: &mut Bdd, tree: &DecisionTree) -> Result<NodeRef, BddError> {
+    let mut f = bdd.constant(false);
+    for path in tree.paths() {
+        if !path.label {
+            continue;
+        }
+        let mut cube = bdd.constant(true);
+        for &(feature, value) in &path.conditions {
+            let lit = bdd.literal(feature as u32, value)?;
+            cube = bdd.and(cube, lit)?;
+        }
+        // True paths are disjoint, so the running disjunction stays small.
+        f = bdd.or(f, cube)?;
+    }
+    Ok(f)
+}
+
+/// Compiles an ensemble vote `decide(state after every voter)` into a BDD
+/// over the feature variables — the shared builder behind the RFT majority
+/// vote and the ABT weighted vote.
+///
+/// `voters[i]` is the BDD of voter `i`'s positive region; `cast` folds one
+/// vote into the running state (`true` = the voter fired), and `decide`
+/// maps a final state to the ensemble's output. Memoization is keyed on
+/// `(voter index, state)`, so votes whose partial tallies merge (equal
+/// counts, repeated float weights) collapse to a compact diagram.
+///
+/// The memo table itself is capped at `vote_node_bound` entries: distinct
+/// `(index, state)` pairs are exactly the nodes of the abstract vote
+/// branching program, and bounding them keeps the fold fail-fast even when
+/// every ITE collapses to a constant (the diagram stays tiny while the
+/// state space — e.g. pairwise-distinct float partial sums — still grows
+/// as `2^rounds`).
+fn vote_bdd<S: Copy + Eq + Hash>(
+    bdd: &mut Bdd,
+    voters: &[NodeRef],
+    initial: S,
+    cast: &impl Fn(usize, S, bool) -> S,
+    decide: &impl Fn(S) -> bool,
+    vote_node_bound: usize,
+) -> Result<NodeRef, BddError> {
+    /// The fold's memo table with its entry cap (the vote-node budget).
+    struct Memo<S> {
+        table: HashMap<(usize, S), NodeRef>,
+        bound: usize,
+    }
+
+    fn go<S: Copy + Eq + Hash>(
+        bdd: &mut Bdd,
+        voters: &[NodeRef],
+        index: usize,
+        state: S,
+        cast: &impl Fn(usize, S, bool) -> S,
+        decide: &impl Fn(S) -> bool,
+        memo: &mut Memo<S>,
+    ) -> Result<NodeRef, BddError> {
+        if index == voters.len() {
+            return Ok(bdd.constant(decide(state)));
+        }
+        if let Some(&r) = memo.table.get(&(index, state)) {
+            return Ok(r);
+        }
+        if memo.table.len() >= memo.bound {
+            return Err(BddError::TooManyNodes {
+                nodes: memo.table.len() + 1,
+                bound: memo.bound,
+            });
+        }
+        let hi = go(
+            bdd,
+            voters,
+            index + 1,
+            cast(index, state, true),
+            cast,
+            decide,
+            memo,
+        )?;
+        let lo = go(
+            bdd,
+            voters,
+            index + 1,
+            cast(index, state, false),
+            cast,
+            decide,
+            memo,
+        )?;
+        let r = bdd.ite(voters[index], hi, lo)?;
+        memo.table.insert((index, state), r);
+        Ok(r)
+    }
+    let mut memo = Memo {
+        table: HashMap::new(),
+        bound: vote_node_bound,
+    };
+    go(bdd, voters, 0, initial, cast, decide, &mut memo)
+}
+
+/// Extracts the decision regions of an ensemble from its vote BDD: compile
+/// each member tree, fold the votes with `cast`/`decide`, and read the
+/// root-to-sink path cubes off the reduced diagram. The cubes are disjoint
+/// and exhaustive by construction (every input follows exactly one path).
+fn ensemble_decision_regions<S: Copy + Eq + Hash>(
+    trees: impl Iterator<Item = impl std::borrow::Borrow<DecisionTree>>,
+    initial: S,
+    cast: impl Fn(usize, S, bool) -> S,
+    decide: impl Fn(S) -> bool,
+    vote_node_bound: usize,
+) -> Result<Vec<DecisionRegion>, EvalError> {
+    let mut bdd = Bdd::with_node_budget(vote_node_bound);
+    let voters: Vec<NodeRef> = trees
+        .map(|tree| tree_bdd(&mut bdd, tree.borrow()))
+        .collect::<Result<_, _>>()?;
+    let root = vote_bdd(&mut bdd, &voters, initial, &cast, &decide, vote_node_bound)?;
+    Ok(bdd
+        .cube_cover(root)?
+        .into_iter()
+        .map(|cube| DecisionRegion {
+            cube: cube
+                .lits
+                .iter()
+                .map(|&(var, positive)| Lit::from_var(Var(var), positive))
+                .collect(),
+            label: if cube.value {
+                TreeLabel::True
+            } else {
+                TreeLabel::False
+            },
+        })
+        .collect())
 }
 
 /// Defines a fresh variable equivalent to `tree`'s positive decision region
@@ -198,6 +382,24 @@ impl CnfEncodable for RandomForest {
             TreeLabel::True => totalizer.assert_at_least(cnf, threshold),
             TreeLabel::False => totalizer.assert_at_most(cnf, threshold - 1),
         }
+    }
+
+    /// Majority-vote regions: each tree is compiled to a feature-space BDD,
+    /// the running tally of positive votes is folded over them
+    /// (`votes * 2 >= num_trees`, exactly [`RandomForest`]'s `predict`),
+    /// and the reduced diagram's path cubes are the regions.
+    fn decision_regions_bounded(
+        &self,
+        vote_node_bound: usize,
+    ) -> Result<Vec<DecisionRegion>, EvalError> {
+        let num_trees = self.trees().len();
+        ensemble_decision_regions(
+            self.trees().iter(),
+            0usize,
+            |_, votes, fired| votes + usize::from(fired),
+            |votes| votes * 2 >= num_trees,
+            vote_node_bound,
+        )
     }
 }
 
@@ -348,8 +550,44 @@ impl CnfEncodable for AdaBoost {
             .unwrap_or_else(|e| panic!("{e}"));
     }
 
-    fn try_encode_label(&self, cnf: &mut Cnf, label: TreeLabel) -> Result<(), EvalError> {
-        encode_adaboost_label(self, cnf, label, MAX_VOTE_NODES)
+    fn try_encode_label_bounded(
+        &self,
+        cnf: &mut Cnf,
+        label: TreeLabel,
+        vote_node_bound: usize,
+    ) -> Result<(), EvalError> {
+        encode_adaboost_label(self, cnf, label, vote_node_bound)
+    }
+
+    /// Weighted-vote regions through the same float-exact accumulation as
+    /// [`AdaBoost`]'s `predict`: the vote state is the partial sum's `f64`
+    /// bit pattern, folded in learner order with `acc + α·(±1)`, so the
+    /// compiled diagram agrees with the predictor on every input including
+    /// rounding and signed-zero edge cases.
+    fn decision_regions_bounded(
+        &self,
+        vote_node_bound: usize,
+    ) -> Result<Vec<DecisionRegion>, EvalError> {
+        let learners = self.learners();
+        ensemble_decision_regions(
+            learners.iter().map(|(_, tree)| tree),
+            0.0f64.to_bits(),
+            |index, acc, fired| {
+                let alpha = learners[index].0;
+                let acc = f64::from_bits(acc);
+                // Identical arithmetic to `AdaBoost::predict`: `alpha * h`
+                // with `h = ±1.0`, accumulated in learner order (`-alpha`
+                // is bit-identical to `alpha * -1.0`).
+                if fired {
+                    acc + alpha * 1.0
+                } else {
+                    acc - alpha
+                }
+                .to_bits()
+            },
+            |acc| f64::from_bits(acc) >= 0.0,
+            vote_node_bound,
+        )
     }
 }
 
@@ -507,13 +745,13 @@ mod tests {
         CnfEncodable::encode_label(&tree, &mut cnf, TreeLabel::True);
     }
 
-    #[test]
-    fn tree_decision_regions_partition_the_space() {
-        let d = dataset_from_fn(4, |x| x[0] == 1 && (x[1] == 1 || x[3] == 0));
-        let tree = DecisionTree::fit(&d, TreeConfig::default());
-        let regions = tree.decision_regions().expect("trees expose regions");
-        for bits in 0u32..16 {
-            let features: Vec<u8> = (0..4).map(|k| ((bits >> k) & 1) as u8).collect();
+    /// Checks the region contract for any model: every input satisfies
+    /// exactly one region cube, and that region carries the predicted label.
+    fn check_regions_partition<M: CnfEncodable + Classifier>(model: &M) {
+        let n = CnfEncodable::num_features(model);
+        let regions = model.decision_regions().expect("within the default bound");
+        for bits in 0u32..(1 << n) {
+            let features: Vec<u8> = (0..n).map(|k| ((bits >> k) & 1) as u8).collect();
             let matching: Vec<&DecisionRegion> = regions
                 .iter()
                 .filter(|r| {
@@ -523,29 +761,112 @@ mod tests {
                 })
                 .collect();
             assert_eq!(matching.len(), 1, "input {features:?} must hit one region");
-            let expected = if tree.predict(&features) {
+            let expected = if model.predict(&features) {
                 TreeLabel::True
             } else {
                 TreeLabel::False
             };
-            assert_eq!(matching[0].label, expected);
+            assert_eq!(matching[0].label, expected, "input {features:?}");
         }
     }
 
     #[test]
-    fn ensembles_expose_no_decision_regions() {
-        let d = dataset_from_fn(3, |x| x[1] == 1);
+    fn tree_decision_regions_partition_the_space() {
+        let d = dataset_from_fn(4, |x| x[0] == 1 && (x[1] == 1 || x[3] == 0));
+        let tree = DecisionTree::fit(&d, TreeConfig::default());
+        check_regions_partition(&tree);
+    }
+
+    #[test]
+    fn forest_decision_regions_partition_the_space() {
+        for (num_trees, seed) in [(1usize, 0u64), (2, 1), (5, 2), (8, 3)] {
+            let d = dataset_from_fn(4, |x| x.iter().map(|&b| b as usize).sum::<usize>() >= 2);
+            let forest = RandomForest::fit(
+                &d,
+                ForestConfig {
+                    num_trees,
+                    seed,
+                    ..ForestConfig::default()
+                },
+            );
+            check_regions_partition(&forest);
+        }
+    }
+
+    #[test]
+    fn adaboost_decision_regions_partition_the_space() {
+        for (rounds, depth, seed) in [(1usize, 1usize, 0u64), (5, 1, 1), (9, 2, 2)] {
+            let d = dataset_from_fn(4, |x| (x[0] ^ x[2]) == 1 || x[3] == 1);
+            let ensemble = AdaBoost::fit(
+                &d,
+                AdaBoostConfig {
+                    num_rounds: rounds,
+                    weak_depth: depth,
+                    seed,
+                },
+            );
+            check_regions_partition(&ensemble);
+        }
+    }
+
+    #[test]
+    fn constant_model_regions_cover_the_space_with_one_cube() {
+        // A single-class dataset trains a constant ensemble: one region
+        // with an empty cube covering everything.
+        let mut d = Dataset::new(2);
+        d.push(vec![0, 1], true);
+        d.push(vec![1, 1], true);
+        let ensemble = AdaBoost::fit(&d, AdaBoostConfig::default());
+        let regions = ensemble.decision_regions().expect("trivial diagram");
+        assert_eq!(regions.len(), 1);
+        assert!(regions[0].cube.is_empty());
+        assert_eq!(regions[0].label, TreeLabel::True);
+    }
+
+    #[test]
+    fn vote_fold_fails_fast_even_when_the_diagram_collapses_to_a_constant() {
+        // Pairwise-distinct vote states under a constant decide(): every
+        // ITE collapses to a terminal, so the reduced diagram never grows —
+        // the memo cap must trip instead of letting the fold enumerate all
+        // 2^50 states.
+        let mut bdd = Bdd::with_node_budget(64);
+        let voters: Vec<NodeRef> = (0..50u32)
+            .map(|v| bdd.literal(v, true).expect("within budget"))
+            .collect();
+        let err = vote_bdd(
+            &mut bdd,
+            &voters,
+            0u64,
+            &|_, state, fired| (state << 1) | u64::from(fired),
+            &|_| true,
+            64,
+        )
+        .expect_err("the state space is 2^50");
+        assert!(
+            matches!(err, BddError::TooManyNodes { bound: 64, .. }),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn ensemble_region_bound_is_a_typed_error() {
+        let d = dataset_from_fn(4, |x| (x[0] ^ x[2]) == 1 || x[3] == 1);
         let forest = RandomForest::fit(
             &d,
             ForestConfig {
-                num_trees: 3,
-                seed: 1,
+                num_trees: 5,
+                seed: 2,
                 ..ForestConfig::default()
             },
         );
-        assert!(CnfEncodable::decision_regions(&forest).is_none());
-        let ensemble = AdaBoost::fit(&d, AdaBoostConfig::default());
-        assert!(CnfEncodable::decision_regions(&ensemble).is_none());
+        assert!(forest.decision_regions().is_ok());
+        let err = forest
+            .decision_regions_bounded(1)
+            .expect_err("one node cannot hold a five-tree vote diagram");
+        assert!(
+            matches!(err, EvalError::VoteCircuitTooLarge { bound: 1, .. }),
+            "unexpected error {err:?}"
+        );
     }
 
     #[test]

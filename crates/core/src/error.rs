@@ -27,12 +27,15 @@ pub enum EvalError {
     },
     /// A batch run was asked to evaluate zero model families.
     NoModelFamilies,
-    /// The weighted-vote branching program of an AdaBoost encoding exceeded
-    /// its node bound. With pairwise-distinct vote weights the diagram can
-    /// reach `2^rounds` nodes; the bound turns that silent blow-up into a
-    /// typed, reportable condition.
+    /// An ensemble vote circuit — the AdaBoost weighted-vote branching
+    /// program of the CNF encoding, or the feature-space vote BDD behind
+    /// decision-region extraction — exceeded its node bound. With
+    /// pairwise-distinct vote weights a weighted-vote diagram can reach
+    /// `2^rounds` nodes; the bound turns that silent blow-up into a typed,
+    /// reportable condition.
     VoteCircuitTooLarge {
-        /// Nodes materialized before the bound was hit.
+        /// Nodes — or, for a cube-cover blow-up, extracted region cubes —
+        /// materialized before the bound was hit.
         nodes: usize,
         /// The configured node bound.
         bound: usize,
@@ -56,15 +59,36 @@ impl fmt::Display for EvalError {
             }
             EvalError::VoteCircuitTooLarge { nodes, bound } => write!(
                 f,
-                "weighted-vote branching program exceeded its node bound \
-                 ({nodes} nodes materialized, bound {bound}); reduce the \
-                 boosting rounds or quantize the vote weights"
+                "ensemble vote circuit exceeded its budget ({nodes} diagram \
+                 nodes or region cubes materialized, bound {bound}); raise \
+                 the vote-node budget or shrink the ensemble"
             ),
         }
     }
 }
 
 impl Error for EvalError {}
+
+/// Size blow-ups inside a [`satkit::bdd`] vote compilation (too many
+/// diagram nodes, or a cube cover past the budget) all surface as
+/// [`EvalError::VoteCircuitTooLarge`] — the caller's remedy is the same:
+/// raise the vote-node budget, reduce the ensemble, or fall back to the
+/// classic engine.
+impl From<satkit::bdd::BddError> for EvalError {
+    fn from(e: satkit::bdd::BddError) -> Self {
+        match e {
+            satkit::bdd::BddError::TooManyNodes { nodes, bound } => {
+                EvalError::VoteCircuitTooLarge { nodes, bound }
+            }
+            satkit::bdd::BddError::TooManyCubes { cubes, bound } => {
+                EvalError::VoteCircuitTooLarge {
+                    nodes: cubes,
+                    bound,
+                }
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

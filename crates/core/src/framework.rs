@@ -186,8 +186,15 @@ impl Experiment {
     ) -> ExperimentResult {
         let dataset = DatasetBuilder::new().build(self.config.dataset_config());
         let ground_truth = self.config.translate_ground_truth();
-        run_dt_row(&self.config, &dataset, &ground_truth, backend, engine)
-            .expect("dataset and ground truth share the scope by construction")
+        run_dt_row(
+            &self.config,
+            &dataset,
+            &ground_truth,
+            backend,
+            engine,
+            crate::encode::MAX_VOTE_NODES,
+        )
+        .expect("dataset and ground truth share the scope by construction")
     }
 
     /// Runs only the training/test part and returns the trained tree along
@@ -211,11 +218,14 @@ fn run_dt_row<C: QueryCounter + ?Sized>(
     ground_truth: &GroundTruth,
     backend: &C,
     engine: CountingEngine,
+    vote_node_bound: usize,
 ) -> Result<ExperimentResult, EvalError> {
     let (train, test) = dataset.split(config.ratio);
     let tree = DecisionTree::fit(&train, TreeConfig::default());
     let test_metrics = evaluate_classifier(&tree, &test);
-    let whole_space = AccMc::with_engine(backend, engine).evaluate(ground_truth, &tree)?;
+    let whole_space = AccMc::with_engine(backend, engine)
+        .vote_node_bound(vote_node_bound)
+        .evaluate(ground_truth, &tree)?;
     Ok(ExperimentResult {
         config: *config,
         test_metrics,
@@ -349,6 +359,7 @@ pub struct Runner {
     threads: usize,
     families: Vec<ModelFamily>,
     engine: CountingEngine,
+    vote_node_bound: usize,
     rft_trees: usize,
     abt_rounds: usize,
     abt_depth: usize,
@@ -368,6 +379,7 @@ impl Runner {
             threads: 0,
             families: vec![ModelFamily::Dt],
             engine: CountingEngine::Classic,
+            vote_node_bound: crate::encode::MAX_VOTE_NODES,
             rft_trees: 15,
             abt_rounds: 10,
             abt_depth: 2,
@@ -390,6 +402,16 @@ impl Runner {
     /// model region.
     pub fn engine(mut self, engine: CountingEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Sets the vote-circuit node budget (default
+    /// [`MAX_VOTE_NODES`](crate::encode::MAX_VOTE_NODES)) bounding both the
+    /// compiled engine's region-extraction vote BDDs and the classic
+    /// engine's ABT vote-diagram CNF encodings. Rows whose ensembles exceed
+    /// it fail with [`EvalError::VoteCircuitTooLarge`].
+    pub fn vote_node_bound(mut self, bound: usize) -> Self {
+        self.vote_node_bound = bound;
         self
     }
 
@@ -529,7 +551,14 @@ impl Runner {
             &jobs,
             backend,
             |config, _family, dataset, ground_truth, backend| {
-                run_dt_row(config, dataset, ground_truth, backend, self.engine)
+                run_dt_row(
+                    config,
+                    dataset,
+                    ground_truth,
+                    backend,
+                    self.engine,
+                    self.vote_node_bound,
+                )
             },
         )
     }
@@ -615,6 +644,7 @@ impl Runner {
         };
         let test_metrics = evaluate_classifier(model.as_classifier(), &test);
         let whole_space = AccMc::with_engine(backend, self.engine)
+            .vote_node_bound(self.vote_node_bound)
             .evaluate(ground_truth, model.as_encodable())?;
         Ok(RunnerRow {
             config: *config,

@@ -1,0 +1,503 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) with hash-consing.
+//!
+//! The module exists for one job in the reproduction: compiling the
+//! *vote circuits* of ensemble models (random-forest majority votes,
+//! AdaBoost weighted votes) into functions of the **feature variables**, and
+//! then extracting a [`cube_cover`](Bdd::cube_cover) from the diagram — a
+//! disjoint, exhaustive list of cubes labelling every input with the
+//! ensemble's decision. Those cubes are exactly the *decision regions* the
+//! compiled AccMC/DiffMC query plans consume (`Σ mc(φ | region-cube)`), so
+//! with this module the ensembles ride the same compile-once/query-many
+//! counting path as single decision trees.
+//!
+//! Design notes:
+//!
+//! * Nodes are hash-consed into a unique table, so the diagram is *reduced*:
+//!   no duplicate `(var, lo, hi)` triples and no redundant tests
+//!   (`lo == hi` collapses). Equal functions therefore share one node.
+//! * Variables are ordered by their `u32` index; [`Bdd::ite`] is the classic
+//!   recursive if-then-else apply with a memo cache.
+//! * The manager carries a **node budget**: a vote diagram over learners
+//!   with pairwise-distinct float weights can reach `2^rounds` nodes, so
+//!   [`Bdd::ite`] (and the other constructors) report
+//!   [`BddError::TooManyNodes`] instead of exhausting memory. Cube
+//!   extraction counts root-to-sink paths first and reports
+//!   [`BddError::TooManyCubes`] before materializing an oversized cover.
+//!
+//! # Example
+//!
+//! ```
+//! use satkit::bdd::{Bdd, NodeRef};
+//!
+//! let mut bdd = Bdd::new();
+//! let x0 = bdd.literal(0, true).unwrap();
+//! let x1 = bdd.literal(1, true).unwrap();
+//! let f = bdd.or(x0, x1).unwrap(); // x0 ∨ x1
+//! assert!(bdd.eval(f, &[true, false]));
+//! assert!(!bdd.eval(f, &[false, false]));
+//! let cubes = bdd.cube_cover(f).unwrap();
+//! // Every input satisfies exactly one cube of the cover.
+//! assert_eq!(cubes.iter().map(|c| 1u128 << (2 - c.lits.len())).sum::<u128>(), 4);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to a node of a [`Bdd`] manager. The two sinks are
+/// [`Bdd::FALSE`] and [`Bdd::TRUE`]; every other handle points at a decision
+/// node owned by the manager that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef(u32);
+
+/// An interned decision node: branch on `var`, follow `lo` when it is
+/// false, `hi` when it is true.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: NodeRef,
+    hi: NodeRef,
+}
+
+/// Errors reported by the size-guarded [`Bdd`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BddError {
+    /// An operation would have materialized more decision nodes than the
+    /// manager's budget allows.
+    TooManyNodes {
+        /// Nodes alive when the bound was hit.
+        nodes: usize,
+        /// The configured node budget.
+        bound: usize,
+    },
+    /// A [`cube_cover`](Bdd::cube_cover) would contain more cubes than the
+    /// manager's budget allows.
+    TooManyCubes {
+        /// Lower bound on the cubes of the cover when extraction gave up.
+        cubes: usize,
+        /// The configured budget.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::TooManyNodes { nodes, bound } => {
+                write!(
+                    f,
+                    "BDD exceeded its node budget ({nodes} nodes, bound {bound})"
+                )
+            }
+            BddError::TooManyCubes { cubes, bound } => {
+                write!(
+                    f,
+                    "BDD cube cover exceeded its budget ({cubes}+ cubes, bound {bound})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BddError {}
+
+/// One cube of a [`Bdd::cube_cover`]: the literals fixed along a
+/// root-to-sink path (as `(variable, polarity)` pairs, in variable order)
+/// and the sink value the path reaches. Variables absent from `lits` are
+/// free — the cube covers both values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BddCube {
+    /// The `(variable, polarity)` literals of the cube.
+    pub lits: Vec<(u32, bool)>,
+    /// The function value on every input of the cube.
+    pub value: bool,
+}
+
+/// A reduced ordered BDD manager: a shared node store plus the operation
+/// caches. All nodes of one computation must come from one manager.
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeRef>,
+    ite_cache: HashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
+    bound: usize,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Bdd::new()
+    }
+}
+
+impl Bdd {
+    /// The false sink.
+    pub const FALSE: NodeRef = NodeRef(0);
+    /// The true sink.
+    pub const TRUE: NodeRef = NodeRef(1);
+
+    /// Sentinel variable index of the sinks, ordered after every real
+    /// variable.
+    const SINK_VAR: u32 = u32::MAX;
+
+    /// A manager with an effectively unlimited node budget.
+    pub fn new() -> Self {
+        Bdd::with_node_budget(usize::MAX)
+    }
+
+    /// A manager that fails any operation pushing the number of live
+    /// decision nodes (sinks excluded) past `bound`.
+    pub fn with_node_budget(bound: usize) -> Self {
+        Bdd {
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            bound,
+        }
+    }
+
+    /// Number of decision nodes materialized so far (sinks excluded).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The sink for a boolean constant.
+    pub fn constant(&self, value: bool) -> NodeRef {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    /// The function of a single literal: `var` when `positive`, `¬var`
+    /// otherwise.
+    pub fn literal(&mut self, var: u32, positive: bool) -> Result<NodeRef, BddError> {
+        assert!(var != Bdd::SINK_VAR, "variable index reserved for sinks");
+        if positive {
+            self.mk(var, Bdd::FALSE, Bdd::TRUE)
+        } else {
+            self.mk(var, Bdd::TRUE, Bdd::FALSE)
+        }
+    }
+
+    fn node(&self, r: NodeRef) -> Node {
+        self.nodes[r.0 as usize - 2]
+    }
+
+    fn var_of(&self, r: NodeRef) -> u32 {
+        if r == Bdd::FALSE || r == Bdd::TRUE {
+            Bdd::SINK_VAR
+        } else {
+            self.node(r).var
+        }
+    }
+
+    /// The cofactors of `r` with respect to `var` (identity when `r` does
+    /// not branch on `var` at its root).
+    fn cofactors(&self, r: NodeRef, var: u32) -> (NodeRef, NodeRef) {
+        if self.var_of(r) == var {
+            let n = self.node(r);
+            (n.lo, n.hi)
+        } else {
+            (r, r)
+        }
+    }
+
+    /// Interns the reduced node `(var, lo, hi)`, enforcing the node budget.
+    fn mk(&mut self, var: u32, lo: NodeRef, hi: NodeRef) -> Result<NodeRef, BddError> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return Ok(r);
+        }
+        if self.nodes.len() >= self.bound {
+            return Err(BddError::TooManyNodes {
+                nodes: self.nodes.len() + 1,
+                bound: self.bound,
+            });
+        }
+        let r = NodeRef(self.nodes.len() as u32 + 2);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        Ok(r)
+    }
+
+    /// If-then-else: the function `(f ∧ g) ∨ (¬f ∧ h)`. Every binary (and
+    /// the unary) connective reduces to this.
+    pub fn ite(&mut self, f: NodeRef, g: NodeRef, h: NodeRef) -> Result<NodeRef, BddError> {
+        if f == Bdd::TRUE {
+            return Ok(g);
+        }
+        if f == Bdd::FALSE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == Bdd::TRUE && h == Bdd::FALSE {
+            return Ok(f);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(r);
+        }
+        let var = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, var);
+        let (g0, g1) = self.cofactors(g, var);
+        let (h0, h1) = self.cofactors(h, var);
+        let lo = self.ite(f0, g0, h0)?;
+        let hi = self.ite(f1, g1, h1)?;
+        let r = self.mk(var, lo, hi)?;
+        self.ite_cache.insert((f, g, h), r);
+        Ok(r)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: NodeRef, b: NodeRef) -> Result<NodeRef, BddError> {
+        self.ite(a, b, Bdd::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: NodeRef, b: NodeRef) -> Result<NodeRef, BddError> {
+        self.ite(a, Bdd::TRUE, b)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, a: NodeRef) -> Result<NodeRef, BddError> {
+        self.ite(a, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Evaluates the function rooted at `root` under an assignment indexed
+    /// by variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable tested on the path is out of `assignment`'s
+    /// bounds.
+    pub fn eval(&self, root: NodeRef, assignment: &[bool]) -> bool {
+        let mut r = root;
+        loop {
+            if r == Bdd::TRUE {
+                return true;
+            }
+            if r == Bdd::FALSE {
+                return false;
+            }
+            let n = self.node(r);
+            r = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
+        }
+    }
+
+    /// Number of root-to-sink paths below each reachable node, saturated at
+    /// `cap` (paths, not nodes: a small DAG can have exponentially many).
+    fn path_counts(&self, root: NodeRef, cap: usize) -> HashMap<NodeRef, usize> {
+        let mut counts: HashMap<NodeRef, usize> = HashMap::new();
+        counts.insert(Bdd::FALSE, 1);
+        counts.insert(Bdd::TRUE, 1);
+        // Post-order without recursion: push children first.
+        let mut stack = vec![root];
+        while let Some(&r) = stack.last() {
+            if counts.contains_key(&r) {
+                stack.pop();
+                continue;
+            }
+            let n = self.node(r);
+            match (counts.get(&n.lo), counts.get(&n.hi)) {
+                (Some(&lo), Some(&hi)) => {
+                    counts.insert(r, lo.saturating_add(hi).min(cap));
+                    stack.pop();
+                }
+                _ => {
+                    stack.push(n.lo);
+                    stack.push(n.hi);
+                }
+            }
+        }
+        counts
+    }
+
+    /// The root-to-sink path cubes of the function: a **disjoint and
+    /// exhaustive** cover of the input space. Every assignment follows
+    /// exactly one path (the diagram is deterministic and ordered), so each
+    /// input satisfies exactly one cube, whose `value` is the function's
+    /// output on that input.
+    ///
+    /// Fails with [`BddError::TooManyCubes`] when the cover would exceed the
+    /// manager's budget — path counts can be exponential in the node count.
+    pub fn cube_cover(&self, root: NodeRef) -> Result<Vec<BddCube>, BddError> {
+        let total = self.path_counts(root, self.bound.saturating_add(1))[&root];
+        if total > self.bound {
+            return Err(BddError::TooManyCubes {
+                cubes: total,
+                bound: self.bound,
+            });
+        }
+        let mut cover = Vec::with_capacity(total);
+        let mut stack: Vec<(NodeRef, Vec<(u32, bool)>)> = vec![(root, Vec::new())];
+        while let Some((r, lits)) = stack.pop() {
+            if r == Bdd::TRUE || r == Bdd::FALSE {
+                cover.push(BddCube {
+                    lits,
+                    value: r == Bdd::TRUE,
+                });
+                continue;
+            }
+            let n = self.node(r);
+            let mut hi_lits = lits.clone();
+            hi_lits.push((n.var, true));
+            let mut lo_lits = lits;
+            lo_lits.push((n.var, false));
+            stack.push((n.hi, hi_lits));
+            stack.push((n.lo, lo_lits));
+        }
+        Ok(cover)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force check that a cover partitions `{0,1}^n` and agrees with
+    /// the diagram on every input.
+    fn assert_cover_partitions(bdd: &Bdd, root: NodeRef, n: usize) {
+        let cover = bdd.cube_cover(root).expect("within budget");
+        for bits in 0u32..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|k| bits >> k & 1 == 1).collect();
+            let matching: Vec<&BddCube> = cover
+                .iter()
+                .filter(|c| c.lits.iter().all(|&(v, p)| assignment[v as usize] == p))
+                .collect();
+            assert_eq!(matching.len(), 1, "input {assignment:?}");
+            assert_eq!(matching[0].value, bdd.eval(root, &assignment));
+        }
+    }
+
+    #[test]
+    fn literal_and_constants_evaluate() {
+        let mut bdd = Bdd::new();
+        assert_eq!(bdd.constant(true), Bdd::TRUE);
+        assert_eq!(bdd.constant(false), Bdd::FALSE);
+        let x = bdd.literal(2, true).unwrap();
+        assert!(bdd.eval(x, &[false, false, true]));
+        assert!(!bdd.eval(x, &[true, true, false]));
+        let nx = bdd.literal(2, false).unwrap();
+        assert!(bdd.eval(nx, &[false, false, false]));
+    }
+
+    #[test]
+    fn ite_implements_the_connectives() {
+        let mut bdd = Bdd::new();
+        let x = bdd.literal(0, true).unwrap();
+        let y = bdd.literal(1, true).unwrap();
+        let and = bdd.and(x, y).unwrap();
+        let or = bdd.or(x, y).unwrap();
+        let not = bdd.not(x).unwrap();
+        for bits in 0u32..4 {
+            let a = [bits & 1 == 1, bits & 2 == 2];
+            assert_eq!(bdd.eval(and, &a), a[0] && a[1]);
+            assert_eq!(bdd.eval(or, &a), a[0] || a[1]);
+            assert_eq!(bdd.eval(not, &a), !a[0]);
+        }
+    }
+
+    #[test]
+    fn hash_consing_shares_equal_functions() {
+        let mut bdd = Bdd::new();
+        let x = bdd.literal(0, true).unwrap();
+        let y = bdd.literal(1, true).unwrap();
+        let a = bdd.and(x, y).unwrap();
+        let b = bdd.and(y, x).unwrap();
+        assert_eq!(a, b, "∧ is commutative and nodes are hash-consed");
+        // De Morgan: ¬(x ∧ y) == ¬x ∨ ¬y, again a single shared node.
+        let na = bdd.not(a).unwrap();
+        let nx = bdd.not(x).unwrap();
+        let ny = bdd.not(y).unwrap();
+        let de_morgan = bdd.or(nx, ny).unwrap();
+        assert_eq!(na, de_morgan);
+    }
+
+    #[test]
+    fn reduction_removes_redundant_tests() {
+        let mut bdd = Bdd::new();
+        let x = bdd.literal(0, true).unwrap();
+        // (x ∧ y) ∨ (¬x ∧ y) reduces to y: no test on x survives.
+        let y = bdd.literal(1, true).unwrap();
+        let f = bdd.ite(x, y, y).unwrap();
+        assert_eq!(f, y);
+    }
+
+    #[test]
+    fn node_budget_is_enforced() {
+        let mut bdd = Bdd::with_node_budget(2);
+        let x = bdd.literal(0, true).unwrap();
+        let y = bdd.literal(1, true).unwrap();
+        let err = bdd.and(x, y).expect_err("third node exceeds the bound");
+        assert!(
+            matches!(err, BddError::TooManyNodes { nodes: 3, bound: 2 }),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn cube_cover_partitions_the_space() {
+        let mut bdd = Bdd::new();
+        let x0 = bdd.literal(0, true).unwrap();
+        let x1 = bdd.literal(1, true).unwrap();
+        let x2 = bdd.literal(2, true).unwrap();
+        let n1 = bdd.not(x1).unwrap();
+        let xor = bdd.ite(x0, n1, x1).unwrap();
+        let f = bdd.or(xor, x2).unwrap();
+        assert_cover_partitions(&bdd, f, 3);
+    }
+
+    #[test]
+    fn constant_cover_is_one_empty_cube() {
+        let bdd = Bdd::new();
+        let cover = bdd.cube_cover(Bdd::TRUE).unwrap();
+        assert_eq!(
+            cover,
+            vec![BddCube {
+                lits: Vec::new(),
+                value: true
+            }]
+        );
+    }
+
+    #[test]
+    fn cube_budget_is_enforced() {
+        // A parity function over k variables has 2^k paths but only k nodes
+        // per level; with a budget below the path count, extraction fails
+        // while construction succeeds.
+        let mut bdd = Bdd::with_node_budget(64);
+        let mut f = bdd.constant(false);
+        for v in 0..5 {
+            let x = bdd.literal(v, true).unwrap();
+            let nf = bdd.not(f).unwrap();
+            f = bdd.ite(x, nf, f).unwrap();
+        }
+        let mut small = bdd.clone();
+        small.bound = 8;
+        let err = small.cube_cover(f).expect_err("parity has 32 paths");
+        assert!(matches!(err, BddError::TooManyCubes { cubes: 9, bound: 8 }));
+        assert_eq!(bdd.cube_cover(f).unwrap().len(), 32);
+    }
+
+    #[test]
+    fn errors_display() {
+        let n = BddError::TooManyNodes {
+            nodes: 10,
+            bound: 5,
+        };
+        let c = BddError::TooManyCubes {
+            cubes: 10,
+            bound: 5,
+        };
+        assert!(n.to_string().contains("node budget"));
+        assert!(c.to_string().contains("cube cover"));
+    }
+}

@@ -18,6 +18,9 @@
 //!   hashing-based approximate model counter;
 //! * [`card`] — totalizer cardinality encodings (count-preserving under
 //!   projection), used by the ensemble-model CNF encodings in `mcml`;
+//! * [`bdd`] — reduced ordered binary decision diagrams with hash-consing
+//!   and a node budget, used to compile ensemble vote circuits into
+//!   disjoint decision-region cube covers;
 //! * [`ddnnf`] — compilation of CNF into deterministic decomposable NNF
 //!   circuits for compile-once / query-many projected counting (the engine
 //!   behind `mcml`'s compiled counting backend).
@@ -39,6 +42,7 @@
 //! }
 //! ```
 
+pub mod bdd;
 pub mod card;
 pub mod cnf;
 pub mod ddnnf;

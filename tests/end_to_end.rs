@@ -1,8 +1,14 @@
 //! Cross-crate integration tests: the full MCML pipeline exercised end to
 //! end at scopes small enough to validate every number against brute force.
+//!
+//! The whole-space evaluations in this suite honour the `MCML_ENGINE`
+//! environment variable (see [`CountingEngine::from_env`]): the CI
+//! conformance matrix runs the identical tests under `classic` and
+//! `compiled`, so every brute-force cross-check here doubles as an
+//! engine-conformance check.
 
 use datagen::builder::{DatasetBuilder, DatasetConfig, SplitRatio};
-use mcml::accmc::{AccMc, SpaceCounts};
+use mcml::accmc::{AccMc, CountingEngine, SpaceCounts};
 use mcml::backend::CounterBackend;
 use mcml::diffmc::DiffMc;
 use mcml::framework::{evaluate_all_models, Experiment, ExperimentConfig};
@@ -15,6 +21,12 @@ use relspec::instance::RelInstance;
 use relspec::properties::Property;
 use relspec::symmetry::SymmetryBreaking;
 use relspec::translate::{translate_to_cnf, TranslateOptions};
+
+/// The counting engine under test — `classic` unless the CI matrix (or a
+/// local run) sets `MCML_ENGINE=compiled`.
+fn engine() -> CountingEngine {
+    CountingEngine::from_env()
+}
 
 fn all_instances(scope: usize) -> impl Iterator<Item = RelInstance> {
     (0u64..(1 << (scope * scope))).map(move |bits| {
@@ -99,7 +111,10 @@ fn accmc_equals_brute_force_for_trained_tree() {
 
     let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
     let backend = CounterBackend::exact();
-    let result = AccMc::new(&backend).evaluate(&gt, &tree).unwrap().unwrap();
+    let result = AccMc::with_engine(&backend, engine())
+        .evaluate(&gt, &tree)
+        .unwrap()
+        .unwrap();
 
     let mut brute = SpaceCounts::default();
     for inst in all_instances(scope) {
@@ -126,7 +141,7 @@ fn diffmc_is_symmetric_and_self_diff_is_zero() {
     let (tree_a, _) = experiment.train_tree(TreeConfig::default());
     let (tree_b, _) = experiment.train_tree(TreeConfig::with_max_depth(3));
     let backend = CounterBackend::exact();
-    let diff = DiffMc::new(&backend);
+    let diff = DiffMc::with_engine(&backend, engine());
 
     let ab = diff.compare(&tree_a, &tree_b).unwrap().unwrap().counts;
     let ba = diff.compare(&tree_b, &tree_a).unwrap().unwrap().counts;
@@ -155,7 +170,7 @@ fn tree_regions_partition_ground_truth_counts() {
     let tree = DecisionTree::fit(&train, TreeConfig::default());
     let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
     let backend = CounterBackend::exact();
-    let counts = AccMc::new(&backend)
+    let counts = AccMc::with_engine(&backend, engine())
         .evaluate(&gt, &tree)
         .unwrap()
         .unwrap()
@@ -207,7 +222,8 @@ fn headline_shape_precision_collapse_and_exceptions() {
     // 3. Reflexive and Irreflexive remain perfect.
     let backend = CounterBackend::exact();
     for property in [Property::Reflexive, Property::Irreflexive] {
-        let result = Experiment::new(ExperimentConfig::table5(property, 4)).run(&backend);
+        let result = Experiment::new(ExperimentConfig::table5(property, 4))
+            .run_with_engine(&backend, engine());
         let ws = result.whole_space.unwrap();
         assert_eq!(ws.metrics.precision, 1.0, "{property}");
         assert_eq!(ws.metrics.recall, 1.0, "{property}");
@@ -217,7 +233,8 @@ fn headline_shape_precision_collapse_and_exceptions() {
         Property::StrictOrder,
         Property::Function,
     ] {
-        let result = Experiment::new(ExperimentConfig::table5(property, 4)).run(&backend);
+        let result = Experiment::new(ExperimentConfig::table5(property, 4))
+            .run_with_engine(&backend, engine());
         let ws = result.whole_space.unwrap();
         assert!(
             result.test_metrics.f1 >= 0.75,

@@ -8,7 +8,9 @@ use mcml::accmc::{AccMc, CountingEngine};
 use mcml::backend::CounterBackend;
 use mcml::counter::{CompiledCounter, CountOutcome, ModelCounter, QueryCounter};
 use mcml::encode::CnfEncodable;
+use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::Dataset;
+use mlkit::forest::{ForestConfig, RandomForest};
 use mlkit::tree::{DecisionTree, TreeConfig};
 use modelcount::exact::ExactCounter;
 use proptest::prelude::*;
@@ -161,6 +163,156 @@ fn region_sums_equal_classic_four_counts() {
             2,
             "φ and ¬φ compiled once for {} regions (property {property})",
             regions.len()
+        );
+    }
+}
+
+/// Trains the compact ensemble pair the conformance tests use: a
+/// three-tree majority-vote forest and a three-round boosted-stump
+/// ensemble, both small enough that the exhaustive scope sweep stays fast
+/// while still exercising the vote-BDD region extraction.
+fn fit_ensembles(train: &Dataset, seed: u64) -> (RandomForest, AdaBoost) {
+    let forest = RandomForest::fit(
+        train,
+        ForestConfig {
+            num_trees: 3,
+            seed,
+            ..ForestConfig::default()
+        },
+    );
+    let ensemble = AdaBoost::fit(
+        train,
+        AdaBoostConfig {
+            num_rounds: 3,
+            weak_depth: 1,
+            seed,
+        },
+    );
+    (forest, ensemble)
+}
+
+/// Exhaustive engine conformance for the voting ensembles: on every table
+/// property at scopes 2 and 3, a random forest and a boosted ensemble must
+/// produce bit-identical whole-space counts under the classic
+/// four-conjunction plan and the compiled region-sum plan — and the
+/// compiled plan must reach them without ever encoding the ensemble
+/// (only φ and ¬φ are compiled, shared by both models).
+#[test]
+fn ensemble_engines_agree_on_all_table_properties() {
+    for property in Property::all() {
+        for scope in [2usize, 3] {
+            let full = labeled_dataset(property, scope);
+            let train = if scope == 3 {
+                full.subsample(80, 13)
+            } else {
+                full
+            };
+            let (forest, ensemble) = fit_ensembles(&train, 7);
+            let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+
+            let exact = CounterBackend::exact();
+            let compiled_backend = CompiledCounter::new();
+            let models: [&dyn CnfEncodable; 2] = [&forest, &ensemble];
+            for (name, model) in ["RFT", "ABT"].into_iter().zip(models) {
+                let classic = AccMc::new(&exact)
+                    .evaluate(&gt, model)
+                    .expect("scopes match")
+                    .expect("no budget");
+                let compiled = AccMc::with_engine(&compiled_backend, CountingEngine::Compiled)
+                    .evaluate(&gt, model)
+                    .expect("scopes match")
+                    .expect("no budget");
+                assert_eq!(
+                    compiled.counts, classic.counts,
+                    "{name}, property {property}, scope {scope}"
+                );
+                assert_eq!(
+                    compiled.metrics, classic.metrics,
+                    "{name}, property {property}, scope {scope}"
+                );
+                assert_eq!(
+                    compiled.counts.total(),
+                    1u128 << (scope * scope),
+                    "{name} regions must partition the space \
+                     (property {property}, scope {scope})"
+                );
+            }
+            assert_eq!(
+                compiled_backend.stats().misses,
+                2,
+                "φ and ¬φ compiled once, shared by both ensembles \
+                 (property {property}, scope {scope})"
+            );
+        }
+    }
+}
+
+/// Region-sum regression per ensemble family, mirroring
+/// [`region_sums_equal_classic_four_counts`] for trees: accumulating
+/// per-region conditioned counts of φ / ¬φ by hand — the exact arithmetic
+/// the compiled query plan performs — must reproduce the classic four
+/// conjunction counts of the same trained model, and the sums must cover
+/// the whole space exactly once.
+#[test]
+fn ensemble_region_sums_equal_classic_four_counts() {
+    let property = Property::Antisymmetric;
+    let scope = 3;
+    let train = labeled_dataset(property, scope).subsample(100, 17);
+    let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+    let (forest, ensemble) = fit_ensembles(&train, 23);
+
+    let models: [(&str, &dyn CnfEncodable); 2] = [("RFT", &forest), ("ABT", &ensemble)];
+    for (name, model) in models {
+        let regions = model.decision_regions().expect("within the default bound");
+        assert!(!regions.is_empty(), "{name} must expose regions");
+
+        // The four classic conjunction counts, reconstructed per label from
+        // the model's own label CNFs: tp+fp = |model-true|, tn+fn = ...
+        let exact = CounterBackend::exact();
+        let classic = AccMc::new(&exact)
+            .evaluate(&gt, model)
+            .expect("scopes match")
+            .expect("no budget");
+
+        // The region sums, computed directly (not through AccMc): for each
+        // region, count φ and ¬φ conditioned on its cube, and accumulate
+        // into the confusion cells by region label.
+        let compiled_backend = CompiledCounter::new();
+        let (mut tp, mut fp, mut tn, mut fn_) = (0u128, 0u128, 0u128, 0u128);
+        for region in &regions {
+            let pos = match compiled_backend.count_conditioned(&gt.cnf_positive(), &region.cube) {
+                CountOutcome::Exact(v) => v,
+                other => panic!("compiled counts are exact, got {other:?}"),
+            };
+            let neg = match compiled_backend.count_conditioned(&gt.cnf_negative(), &region.cube) {
+                CountOutcome::Exact(v) => v,
+                other => panic!("compiled counts are exact, got {other:?}"),
+            };
+            match region.label {
+                mcml::tree2cnf::TreeLabel::True => {
+                    tp += pos;
+                    fp += neg;
+                }
+                mcml::tree2cnf::TreeLabel::False => {
+                    fn_ += pos;
+                    tn += neg;
+                }
+            }
+        }
+        assert_eq!(
+            (tp, fp, tn, fn_),
+            (
+                classic.counts.tp,
+                classic.counts.fp,
+                classic.counts.tn,
+                classic.counts.fn_
+            ),
+            "{name}"
+        );
+        assert_eq!(
+            tp + fp + tn + fn_,
+            1u128 << (scope * scope),
+            "{name} region sums must cover the space exactly once"
         );
     }
 }

@@ -1,0 +1,123 @@
+//! Integration round-trip for the persistent count cache: a cache warmed
+//! by a *real* whole-space evaluation is saved, reloaded into a fresh
+//! process-alike counter, and must answer the same evaluation without
+//! touching its inner counter at all — plus the backend-mismatch guard
+//! that keeps an approximate cache from silently seeding an exact run.
+
+use mcml::accmc::{AccMc, CountingEngine};
+use mcml::backend::CounterBackend;
+use mcml::counter::CachedCounter;
+use mcml::persist::{cache_file_name, load_outcomes, save_outcomes};
+use mlkit::data::Dataset;
+use mlkit::forest::{ForestConfig, RandomForest};
+use mlkit::tree::{DecisionTree, TreeConfig};
+use relspec::instance::RelInstance;
+use relspec::properties::Property;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+
+fn labeled_dataset(property: Property, scope: usize) -> Dataset {
+    let mut d = Dataset::new(scope * scope);
+    for bits in 0u64..(1 << (scope * scope)) {
+        let inst = RelInstance::from_bits(
+            scope,
+            (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+        );
+        d.push(inst.to_features(), property.holds(&inst));
+    }
+    d
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "mcml-roundtrip-{}-{}",
+        std::process::id(),
+        cache_file_name(name)
+    ));
+    p
+}
+
+/// Warm → save → load → replay. The second counter wraps a zero-budget
+/// inner backend, so any count the preload fails to cover would surface as
+/// a `BudgetExhausted` outcome (and a missing whole-space result) — equal
+/// results plus zero misses prove the whole evaluation was served from the
+/// reloaded cache.
+#[test]
+fn warmed_cache_replays_an_evaluation_across_a_process_boundary() {
+    let property = Property::Function;
+    let scope = 3;
+    let dataset = labeled_dataset(property, scope).subsample(90, 3);
+    let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+    let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+
+    // First "process": evaluate with a generously-budgeted exact backend
+    // and persist the warmed cache.
+    let path = temp_path("exact");
+    let warm = CachedCounter::new(CounterBackend::exact());
+    let first = AccMc::new(&warm)
+        .evaluate(&gt, &tree)
+        .expect("scopes match")
+        .expect("no budget");
+    let written = save_outcomes(&path, "exact", &warm.snapshot()).expect("save cache");
+    assert!(written >= 4, "the four AccMC counts must be persisted");
+
+    // Second "process": a zero-budget inner counter can only answer from
+    // the preload.
+    let cold = CachedCounter::new(CounterBackend::exact_with_budget(0));
+    cold.preload(load_outcomes(&path, "exact").expect("load cache"));
+    let second = AccMc::new(&cold)
+        .evaluate(&gt, &tree)
+        .expect("scopes match")
+        .expect("every count preloaded");
+    assert_eq!(second.counts, first.counts);
+    assert_eq!(second.metrics, first.metrics);
+    assert_eq!(
+        cold.stats().misses,
+        0,
+        "the replay must never fall through to the zero-budget counter"
+    );
+
+    // Backend mismatch: the same file must never seed a differently-backed
+    // run — and the per-backend file names keep them apart on disk too.
+    let err = load_outcomes(&path, "approx").expect_err("foreign backend must be rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert_ne!(cache_file_name("exact"), cache_file_name("approx"));
+    std::fs::remove_file(&path).ok();
+}
+
+/// The compiled engine's conditioned region counts are memoized under
+/// cube-aware fingerprints and round-trip the same way — an ensemble
+/// evaluation replays entirely from the reloaded cache.
+#[test]
+fn compiled_engine_region_counts_round_trip() {
+    let property = Property::Reflexive;
+    let scope = 3;
+    let dataset = labeled_dataset(property, scope).subsample(80, 5);
+    let forest = RandomForest::fit(
+        &dataset,
+        ForestConfig {
+            num_trees: 3,
+            seed: 11,
+            ..ForestConfig::default()
+        },
+    );
+    let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+
+    let path = temp_path("exact-compiled-engine");
+    let warm = CachedCounter::new(CounterBackend::exact());
+    let first = AccMc::with_engine(&warm, CountingEngine::Compiled)
+        .evaluate(&gt, &forest)
+        .expect("scopes match")
+        .expect("no budget");
+    save_outcomes(&path, "exact", &warm.snapshot()).expect("save cache");
+
+    let cold = CachedCounter::new(CounterBackend::exact_with_budget(0));
+    cold.preload(load_outcomes(&path, "exact").expect("load cache"));
+    let second = AccMc::with_engine(&cold, CountingEngine::Compiled)
+        .evaluate(&gt, &forest)
+        .expect("scopes match")
+        .expect("every conditioned count preloaded");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(second.counts, first.counts);
+    assert_eq!(cold.stats().misses, 0);
+}

@@ -6,8 +6,11 @@
 use mcml::accmc::AccMc;
 use mcml::backend::CounterBackend;
 use mcml::diffmc::DiffMc;
+use mcml::encode::CnfEncodable;
 use mcml::tree2cnf::{tree_label_cnf, TreeLabel};
+use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::{Dataset, SplitSpec};
+use mlkit::forest::{ForestConfig, RandomForest};
 use mlkit::metrics::BinaryMetrics;
 use mlkit::tree::{DecisionTree, TreeConfig};
 use mlkit::Classifier;
@@ -57,6 +60,39 @@ fn arb_dataset(num_features: usize) -> impl Strategy<Value = Dataset> {
         }
         d
     })
+}
+
+/// The decision-region contract behind the compiled query plan, verified
+/// by counting (mirroring [`tree_region_counts_partition_the_space`]): the
+/// extracted cubes must be pairwise disjoint — any two clash on some
+/// feature literal — and exhaustive — the model counts of a tautology
+/// conditioned on each cube sum to exactly `2^n`, so no input is covered
+/// twice or missed.
+fn check_region_cover(model: &dyn CnfEncodable) {
+    let n = model.num_features();
+    let regions = model
+        .decision_regions()
+        .expect("within the default vote-node bound");
+    for (i, a) in regions.iter().enumerate() {
+        for b in &regions[i + 1..] {
+            let clash = a.cube.iter().any(|la| {
+                b.cube
+                    .iter()
+                    .any(|lb| la.var() == lb.var() && la.is_positive() != lb.is_positive())
+            });
+            assert!(clash, "regions {a:?} and {b:?} overlap");
+        }
+    }
+    let exact = ExactCounter::new();
+    let mut covered = 0u128;
+    for region in &regions {
+        let mut tautology = Cnf::new(n);
+        for &lit in &region.cube {
+            tautology.add_unit(lit);
+        }
+        covered += exact.count(&tautology).expect("no budget");
+    }
+    assert_eq!(covered, 1u128 << n, "regions must cover every input once");
 }
 
 fn brute_sat(cnf: &Cnf) -> bool {
@@ -143,6 +179,32 @@ proptest! {
         let t = counter.count(&tree_label_cnf(&tree, TreeLabel::True)).unwrap();
         let f = counter.count(&tree_label_cnf(&tree, TreeLabel::False)).unwrap();
         prop_assert_eq!(t + f, 32);
+    }
+
+    /// Random forests → vote-BDD regions are pairwise disjoint and
+    /// exhaustive, the contract the compiled query plan sums over.
+    #[test]
+    fn forest_regions_are_disjoint_and_exhaustive(
+        dataset in arb_dataset(4), seed in 0u64..100
+    ) {
+        let forest = RandomForest::fit(
+            &dataset,
+            ForestConfig { num_trees: 3, seed, ..ForestConfig::default() },
+        );
+        check_region_cover(&forest);
+    }
+
+    /// Boosted stumps → the float-exact weighted-vote BDD yields the same
+    /// disjoint + exhaustive cube cover.
+    #[test]
+    fn boosted_stump_regions_are_disjoint_and_exhaustive(
+        dataset in arb_dataset(4), seed in 0u64..100
+    ) {
+        let ensemble = AdaBoost::fit(
+            &dataset,
+            AdaBoostConfig { num_rounds: 4, weak_depth: 1, seed },
+        );
+        check_region_cover(&ensemble);
     }
 
     #[test]
