@@ -3,7 +3,7 @@
 //! Section 3 ApproxMC/ProjMC anecdote — and for the classic vs compiled
 //! AccMC engines on a multi-model batch (the Table 3/5 access pattern).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use mcml::accmc::{AccMc, CountingEngine};
 use mcml::backend::CounterBackend;
 use mcml::counter::CompiledCounter;
@@ -223,4 +223,119 @@ criterion_group!(
     bench_accmc_ensemble_batch,
     bench_symmetry_breaking_translation
 );
-criterion_main!(benches);
+
+/// Escapes a string for embedding in a JSON document (labels are plain
+/// ASCII, but correctness is cheap).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Per-(property, scope) compile statistics of the φ / ¬φ circuits the
+/// compiled benches exercise: decisions, conflicts and component-cache hit
+/// rate, so a branching-heuristic regression is visible in the perf trail
+/// even before it shows up as slower wall-clock.
+fn compile_stats_json() -> String {
+    let scope = 3;
+    let mut entries = Vec::new();
+    for property in [
+        Property::Antisymmetric,
+        Property::Transitive,
+        Property::Function,
+    ] {
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let backend = CompiledCounter::new();
+        // Compile φ and ¬φ exactly like the compiled engine does.
+        let _ = mcml::counter::ModelCounter::count(&backend, &gt.cnf_positive());
+        let _ = mcml::counter::ModelCounter::count(&backend, &gt.cnf_negative());
+        let stats = backend.compile_stats();
+        entries.push(format!(
+            "    \"{}/{}\": {{\"decisions\": {}, \"conflicts\": {}, \"cache_hits\": {}, \
+             \"cache_lookups\": {}, \"cache_hit_rate\": {:.4}, \"sat_calls\": {}}}",
+            json_escape(property.name()),
+            scope,
+            stats.decisions,
+            stats.conflicts,
+            stats.cache_hits,
+            stats.cache_lookups,
+            stats.cache_hit_rate(),
+            stats.sat_calls,
+        ));
+    }
+    entries.join(",\n")
+}
+
+/// Classic-over-compiled wall-clock ratios for every benchmark that ran in
+/// both engine variants — the headline number the PR perf gates read.
+fn speedups_json(records: &[criterion::BenchRecord]) -> String {
+    let mut entries = Vec::new();
+    for rec in records {
+        let Some(idx) = rec.label.find("/compiled/") else {
+            continue;
+        };
+        let classic_label = format!(
+            "{}/classic/{}",
+            &rec.label[..idx],
+            &rec.label[idx + "/compiled/".len()..]
+        );
+        if let Some(classic) = records.iter().find(|r| r.label == classic_label) {
+            if rec.mean_ns > 0 {
+                entries.push(format!(
+                    "    \"{}\": {:.2}",
+                    json_escape(&rec.label),
+                    classic.mean_ns as f64 / rec.mean_ns as f64
+                ));
+            }
+        }
+    }
+    entries.join(",\n")
+}
+
+/// Writes the machine-readable bench report: per-bench mean/min/max
+/// nanoseconds, compile stats of the φ / ¬φ circuits, and the
+/// classic-vs-compiled speedup ratios.
+fn write_json_report(path: &str) {
+    let records = criterion::recorded_benches();
+    let benches: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"samples\": {}}}",
+                json_escape(&r.label),
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples
+            )
+        })
+        .collect();
+    let report = format!(
+        "{{\n  \"schema\": 1,\n  \"mode\": \"{}\",\n  \"benches\": [\n{}\n  ],\n  \
+         \"compile_stats\": {{\n{}\n  }},\n  \"speedups\": {{\n{}\n  }}\n}}\n",
+        if criterion::smoke_mode() {
+            "smoke"
+        } else {
+            "measure"
+        },
+        benches.join(",\n"),
+        compile_stats_json(),
+        speedups_json(&records),
+    );
+    std::fs::write(path, report).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+fn main() {
+    benches();
+    if let Some(path) = criterion::json_output_path("BENCH_counting.json") {
+        write_json_report(&path);
+    }
+}

@@ -41,6 +41,7 @@ use crate::error::EvalError;
 use crate::tree2cnf::TreeLabel;
 use mlkit::metrics::BinaryMetrics;
 use relspec::translate::GroundTruth;
+use satkit::cnf::Lit;
 use std::time::{Duration, Instant};
 
 /// Which counting strategy an analysis uses.
@@ -317,6 +318,11 @@ impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
     /// summing `mc(φ | cube)` over the positive regions equals
     /// `mc(φ ∧ model_true)` (and analogously for the other three cells) —
     /// asserted by the engine-agreement regression tests.
+    ///
+    /// All regions of the model are evaluated **batched**: one
+    /// [`count_cubes`](QueryCounter::count_cubes) call against φ and one
+    /// against ¬φ, which a compiled backend answers with a single
+    /// topological sweep per side instead of one circuit walk per region.
     fn counts_by_regions(
         &self,
         ground_truth: &GroundTruth,
@@ -325,11 +331,21 @@ impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
     ) -> Option<SpaceCounts> {
         let positive = ground_truth.cnf_positive();
         let negative = ground_truth.cnf_negative();
+        let cubes: Vec<&[Lit]> = regions.iter().map(|r| r.cube.as_slice()).collect();
+        // Absorb the φ side before paying for the ¬φ batch: if a count
+        // already blew the budget here, the evaluation is void and the
+        // second batch would be wasted work.
+        let phi_outcomes = self.backend.count_cubes(&positive, &cubes);
+        crate::counter::debug_assert_batch_complete(&phi_outcomes, cubes.len());
+        let mut in_phi = Vec::with_capacity(regions.len());
+        for outcome in phi_outcomes {
+            in_phi.push(meta.absorb(outcome)?);
+        }
+        let in_not_phi = self.backend.count_cubes(&negative, &cubes);
+        crate::counter::debug_assert_batch_complete(&in_not_phi, cubes.len());
         let mut counts = SpaceCounts::default();
-        for region in regions {
-            let in_phi = meta.absorb(self.backend.count_conditioned(&positive, &region.cube))?;
-            let in_not_phi =
-                meta.absorb(self.backend.count_conditioned(&negative, &region.cube))?;
+        for (region, (in_phi, not_phi)) in regions.iter().zip(in_phi.into_iter().zip(in_not_phi)) {
+            let in_not_phi = meta.absorb(not_phi)?;
             match region.label {
                 TreeLabel::True => {
                     counts.tp += in_phi;

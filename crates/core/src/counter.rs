@@ -27,7 +27,7 @@ use crate::backend::CounterBackend;
 use modelcount::approx::ApproxCounter;
 use modelcount::exact::ExactCounter;
 use satkit::cnf::{Cnf, Lit};
-use satkit::ddnnf::{CompileError, Compiler, Ddnnf};
+use satkit::ddnnf::{CompileError, CompileStats, Compiler, Ddnnf};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -124,6 +124,54 @@ pub trait QueryCounter: ModelCounter {
         }
         self.count(&conditioned)
     }
+
+    /// Counts `cnf ∧ cube` for **every** cube of a batch — the query shape
+    /// of the compiled AccMC/DiffMC region-sum plans, which evaluate one
+    /// model side with its whole decision-region cube list at once.
+    ///
+    /// The provided implementation answers cube by cube (correct for any
+    /// backend). [`CompiledCounter`] overrides it to resolve the circuit
+    /// once and evaluate the entire batch in a single topological sweep
+    /// ([`Ddnnf::count_cubes`]); [`CachedCounter`] overrides it to serve
+    /// memoized cubes from its cache and forward only the misses to the
+    /// inner counter's batch path.
+    ///
+    /// Cubes are borrowed slices so the region-sum plans can pass their
+    /// decision-region cube lists without cloning a single literal.
+    ///
+    /// A batch with a [`BudgetExhausted`](CountOutcome::BudgetExhausted)
+    /// count is void for the region-sum plans, so implementations may stop
+    /// early: the result always contains the outcomes **up to and
+    /// including the first exhausted count**, and outcomes past it may be
+    /// omitted. Callers must absorb outcomes in order and treat the
+    /// exhausted one as ending the batch.
+    fn count_cubes(&self, cnf: &Cnf, cubes: &[&[Lit]]) -> Vec<CountOutcome> {
+        let mut outcomes = Vec::with_capacity(cubes.len());
+        for cube in cubes {
+            let outcome = self.count_conditioned(cnf, cube);
+            let exhausted = matches!(outcome, CountOutcome::BudgetExhausted { .. });
+            outcomes.push(outcome);
+            if exhausted {
+                break;
+            }
+        }
+        outcomes
+    }
+}
+
+/// Debug-asserts the early-exit contract of
+/// [`QueryCounter::count_cubes`]: a batch shorter than its cube list must
+/// end in the exhausted count that voided it. The AccMC/DiffMC region-sum
+/// plans zip outcomes against their region lists, so a contract-violating
+/// short batch would otherwise silently drop regions and mis-sum the
+/// space counts.
+pub(crate) fn debug_assert_batch_complete(outcomes: &[CountOutcome], cubes: usize) {
+    debug_assert!(
+        outcomes.len() == cubes
+            || matches!(outcomes.last(), Some(CountOutcome::BudgetExhausted { .. })),
+        "count_cubes returned {} outcomes for {cubes} cubes without a trailing exhausted count",
+        outcomes.len(),
+    );
 }
 
 impl ModelCounter for ExactCounter {
@@ -187,6 +235,14 @@ impl QueryCounter for CounterBackend {
             CounterBackend::Exact(c) => QueryCounter::count_conditioned(c, cnf, cube),
             CounterBackend::Approx(c) => QueryCounter::count_conditioned(c, cnf, cube),
             CounterBackend::Compiled(c) => QueryCounter::count_conditioned(c, cnf, cube),
+        }
+    }
+
+    fn count_cubes(&self, cnf: &Cnf, cubes: &[&[Lit]]) -> Vec<CountOutcome> {
+        match self {
+            CounterBackend::Exact(c) => QueryCounter::count_cubes(c, cnf, cubes),
+            CounterBackend::Approx(c) => QueryCounter::count_cubes(c, cnf, cubes),
+            CounterBackend::Compiled(c) => QueryCounter::count_cubes(c, cnf, cubes),
         }
     }
 }
@@ -271,6 +327,27 @@ impl CompiledCounter {
         }
     }
 
+    /// The summed [`CompileStats`] of every successfully compiled circuit
+    /// in the cache — decisions, conflicts, component-cache hit counts —
+    /// the numbers the counting benches export to `BENCH_counting.json`
+    /// so branching-heuristic regressions show up in the perf trail, not
+    /// just as slower wall-clock.
+    pub fn compile_stats(&self) -> CompileStats {
+        let circuits = self.circuits.lock().expect("circuit cache poisoned");
+        let mut total = CompileStats::default();
+        for entry in circuits.values() {
+            if let Ok(circuit) = entry.as_ref() {
+                let s = circuit.stats();
+                total.decisions += s.decisions;
+                total.cache_hits += s.cache_hits;
+                total.cache_lookups += s.cache_lookups;
+                total.conflicts += s.conflicts;
+                total.sat_calls += s.sat_calls;
+            }
+        }
+        total
+    }
+
     /// Number of distinct formulas compiled (successfully or not).
     pub fn len(&self) -> usize {
         self.circuits.lock().expect("circuit cache poisoned").len()
@@ -347,6 +424,32 @@ impl QueryCounter for CompiledCounter {
     fn count_conditioned(&self, cnf: &Cnf, cube: &[Lit]) -> CountOutcome {
         self.outcome(cnf, cube)
     }
+
+    /// The whole batch is answered from **one** circuit resolution (a
+    /// single cache probe) and one topological sweep
+    /// ([`Ddnnf::count_cubes`]) — no per-cube walk, no per-cube memo.
+    fn count_cubes(&self, cnf: &Cnf, cubes: &[&[Lit]]) -> Vec<CountOutcome> {
+        if cubes.is_empty() {
+            return Vec::new();
+        }
+        match &*self.circuit(cnf) {
+            Ok(circuit) => circuit
+                .count_cubes(cubes)
+                .into_iter()
+                .map(CountOutcome::Exact)
+                .collect(),
+            // Compilation is all-or-nothing: one exhausted outcome ends
+            // the batch (the early-exit contract of the trait method).
+            Err(CompileError::BudgetExhausted { decisions }) => {
+                vec![CountOutcome::BudgetExhausted {
+                    nodes_used: *decisions,
+                }]
+            }
+            Err(CompileError::TooManyProjectionVars { .. }) => {
+                QueryCounter::count_cubes(&self.fallback, cnf, cubes)
+            }
+        }
+    }
 }
 
 /// A 128-bit structural fingerprint of a CNF (variables, projection and
@@ -363,30 +466,52 @@ pub fn cnf_fingerprint(cnf: &Cnf) -> u128 {
 /// conditioned queries. With an empty cube this equals [`cnf_fingerprint`],
 /// so plain and conditioned counts of the same formula share one entry.
 pub fn cnf_cube_fingerprint(cnf: &Cnf, cube: &[Lit]) -> u128 {
-    let pass = |salt: u64| -> u64 {
-        let mut h = DefaultHasher::new();
-        salt.hash(&mut h);
-        cnf.num_vars().hash(&mut h);
-        for v in cnf.projection() {
-            v.0.hash(&mut h);
-        }
-        0xffff_ffffu64.hash(&mut h); // separator between projection and clauses
-        for clause in cnf.clauses() {
-            for lit in clause.iter() {
-                lit.code().hash(&mut h);
+    CnfPrefixHashers::new(cnf).cube_fingerprint(cube)
+}
+
+/// The two salted hasher states of [`cnf_cube_fingerprint`] with the CNF
+/// prefix already absorbed. Batch callers hash the formula **once** and
+/// clone the states per cube, so fingerprinting a k-cube batch costs one
+/// pass over the CNF plus k passes over the (tiny) cubes — not k full
+/// formula re-hashes.
+struct CnfPrefixHashers(DefaultHasher, DefaultHasher);
+
+impl CnfPrefixHashers {
+    fn new(cnf: &Cnf) -> Self {
+        let pass = |salt: u64| -> DefaultHasher {
+            let mut h = DefaultHasher::new();
+            salt.hash(&mut h);
+            cnf.num_vars().hash(&mut h);
+            for v in cnf.projection() {
+                v.0.hash(&mut h);
             }
-            u64::MAX.hash(&mut h); // clause separator
-        }
-        // A cube literal hashes exactly like the equivalent unit clause, so
-        // the fingerprint of (cnf, cube) equals that of cnf ∧ cube built by
-        // appending units — cache entries are shared across both routes.
-        for lit in cube {
-            lit.code().hash(&mut h);
-            u64::MAX.hash(&mut h);
-        }
-        h.finish()
-    };
-    (u128::from(pass(0x9E37_79B9_7F4A_7C15)) << 64) | u128::from(pass(0xC2B2_AE3D_27D4_EB4F))
+            0xffff_ffffu64.hash(&mut h); // separator between projection and clauses
+            for clause in cnf.clauses() {
+                for lit in clause.iter() {
+                    lit.code().hash(&mut h);
+                }
+                u64::MAX.hash(&mut h); // clause separator
+            }
+            h
+        };
+        CnfPrefixHashers(pass(0x9E37_79B9_7F4A_7C15), pass(0xC2B2_AE3D_27D4_EB4F))
+    }
+
+    fn cube_fingerprint(&self, cube: &[Lit]) -> u128 {
+        let finish = |prefix: &DefaultHasher| -> u64 {
+            let mut h = prefix.clone();
+            // A cube literal hashes exactly like the equivalent unit clause,
+            // so the fingerprint of (cnf, cube) equals that of cnf ∧ cube
+            // built by appending units — cache entries are shared across
+            // both routes.
+            for lit in cube {
+                lit.code().hash(&mut h);
+                u64::MAX.hash(&mut h);
+            }
+            h.finish()
+        };
+        (u128::from(finish(&self.0)) << 64) | u128::from(finish(&self.1))
+    }
 }
 
 /// Hit/miss statistics of a [`CachedCounter`].
@@ -516,6 +641,69 @@ impl<C: QueryCounter> QueryCounter for CachedCounter<C> {
             self.inner.count_conditioned(cnf, cube)
         })
     }
+
+    /// Splits the batch into memoized and novel cubes: hits come straight
+    /// from the cache, and the misses are forwarded **together** to the
+    /// inner counter's batch path so a compiled backend still answers them
+    /// with one circuit sweep.
+    fn count_cubes(&self, cnf: &Cnf, cubes: &[&[Lit]]) -> Vec<CountOutcome> {
+        // Hash the formula once; each cube only finishes the cloned state.
+        let prefix = CnfPrefixHashers::new(cnf);
+        let keys: Vec<u128> = cubes
+            .iter()
+            .map(|cube| prefix.cube_fingerprint(cube))
+            .collect();
+        // Each resolved slot remembers whether it came from the cache, so
+        // the hit/miss statistics below count exactly the outcomes the
+        // caller receives — preserving the scalar path's invariant of one
+        // increment per delivered count even when the batch truncates.
+        let mut results: Vec<Option<(CountOutcome, bool)>> = vec![None; cubes.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("cache poisoned");
+            for (i, key) in keys.iter().enumerate() {
+                match cache.get(key) {
+                    Some(&outcome) => results[i] = Some((outcome, true)),
+                    None => missing.push(i),
+                }
+            }
+        }
+        if !missing.is_empty() {
+            // Count outside the lock, like the scalar path.
+            let novel: Vec<&[Lit]> = missing.iter().map(|&i| cubes[i]).collect();
+            let outcomes = self.inner.count_cubes(cnf, &novel);
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for (&i, outcome) in missing.iter().zip(outcomes) {
+                cache.insert(keys[i], outcome);
+                results[i] = Some((outcome, false));
+            }
+        }
+        // The inner counter may have stopped at an exhausted count,
+        // leaving later misses unresolved. Honor the trait contract by
+        // truncating at the first exhausted outcome **inclusive** — a
+        // memoized hit sitting past it must be dropped too, or the batch
+        // would end in a non-exhausted outcome while still being short.
+        let mut complete = Vec::with_capacity(results.len());
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for result in results {
+            let Some((outcome, from_cache)) = result else {
+                break;
+            };
+            if from_cache {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            let exhausted = outcome.is_budget_exhausted();
+            complete.push(outcome);
+            if exhausted {
+                break;
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        complete
+    }
 }
 
 #[cfg(test)]
@@ -553,11 +741,7 @@ mod tests {
             CountOutcome::Exact(6)
         );
         let budgeted = ExactCounter::with_node_budget(0);
-        let mut chain = Cnf::new(20);
-        for i in 0..19u32 {
-            chain.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)]);
-        }
-        assert!(ModelCounter::count(&budgeted, &chain).is_budget_exhausted());
+        assert!(ModelCounter::count(&budgeted, &chain_cnf()).is_budget_exhausted());
     }
 
     #[test]
@@ -688,11 +872,74 @@ mod tests {
     #[test]
     fn compiled_counter_budget_reports_exhaustion() {
         let compiled = CompiledCounter::with_decision_budget(2);
+        assert!(compiled.count(&chain_cnf()).is_budget_exhausted());
+    }
+
+    /// A chain CNF that exhausts any zero/low decision budget.
+    fn chain_cnf() -> Cnf {
         let mut chain = Cnf::new(20);
         for i in 0..19u32 {
             chain.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)]);
         }
-        assert!(compiled.count(&chain).is_budget_exhausted());
+        chain
+    }
+
+    #[test]
+    fn count_cubes_stops_at_the_first_exhausted_count() {
+        let budgeted = ExactCounter::with_node_budget(0);
+        let chain = chain_cnf();
+        let cube = [Lit::pos(0)];
+        let cubes: Vec<&[Lit]> = vec![&cube, &cube, &cube];
+        let outcomes = QueryCounter::count_cubes(&budgeted, &chain, &cubes);
+        assert_eq!(
+            outcomes.len(),
+            1,
+            "the batch must end at the first exhausted count"
+        );
+        assert!(outcomes[0].is_budget_exhausted());
+    }
+
+    #[test]
+    fn cached_batch_truncates_when_the_inner_counter_gives_up() {
+        let cached = CachedCounter::new(CompiledCounter::with_decision_budget(2));
+        let chain = chain_cnf();
+        let a = [Lit::pos(0)];
+        let b = [Lit::pos(1)];
+        let c = [Lit::pos(2)];
+        let cubes: Vec<&[Lit]> = vec![&a, &b, &c];
+        let outcomes = cached.count_cubes(&chain, &cubes);
+        assert_eq!(outcomes.len(), 1, "nothing past the exhausted count");
+        assert!(outcomes[0].is_budget_exhausted());
+    }
+
+    #[test]
+    fn cached_batch_drops_memoized_hits_past_the_exhausted_count() {
+        let cached = CachedCounter::new(CompiledCounter::with_decision_budget(2));
+        let chain = chain_cnf();
+        let a = [Lit::pos(0)];
+        let b = [Lit::pos(1)];
+        let c = [Lit::pos(2)];
+        // Plant a memoized success for the middle cube, as a persist
+        // preload would; the inner counter exhausts on the surrounding
+        // misses, so the batch must still end at the exhausted count —
+        // not at the stale hit behind it.
+        cached.preload([(cnf_cube_fingerprint(&chain, &b), CountOutcome::Exact(7))]);
+        let cubes: Vec<&[Lit]> = vec![&a, &b, &c];
+        let outcomes = cached.count_cubes(&chain, &cubes);
+        assert!(
+            outcomes
+                .last()
+                .expect("non-empty batch")
+                .is_budget_exhausted(),
+            "a short batch must end in the exhausted count, got {outcomes:?}"
+        );
+        assert!(outcomes.len() <= 2);
+        let stats = cached.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            outcomes.len() as u64,
+            "one hit-or-miss increment per delivered outcome, got {stats:?}"
+        );
     }
 
     #[test]

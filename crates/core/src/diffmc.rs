@@ -27,7 +27,7 @@ use crate::counter::QueryCounter;
 use crate::encode::{CnfEncodable, DecisionRegion};
 use crate::error::EvalError;
 use crate::tree2cnf::TreeLabel;
-use satkit::cnf::{Cnf, Var};
+use satkit::cnf::{Cnf, Lit, Var};
 use std::time::{Duration, Instant};
 
 /// The four whole-space agreement/disagreement counts.
@@ -201,9 +201,11 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
     }
 
     /// The query plan: compile `other`'s two label circuits once, then
-    /// condition them on every region cube of the region-listing side. With
-    /// `transposed`, `regions` belong to the *second* model and the
-    /// disagreement cells swap.
+    /// condition them on every region cube of the region-listing side —
+    /// batched, one [`count_cubes`](QueryCounter::count_cubes) call per
+    /// label circuit, so a compiled backend sweeps each circuit exactly
+    /// once for the whole model. With `transposed`, `regions` belong to
+    /// the *second* model and the disagreement cells swap.
     fn counts_by_regions<B: CnfEncodable + ?Sized>(
         &self,
         regions: &[DecisionRegion],
@@ -213,12 +215,24 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
     ) -> Result<Option<DiffCounts>, EvalError> {
         let other_true = other.try_label_cnf_bounded(TreeLabel::True, self.vote_node_bound)?;
         let other_false = other.try_label_cnf_bounded(TreeLabel::False, self.vote_node_bound)?;
+        let cubes: Vec<&[Lit]> = regions.iter().map(|r| r.cube.as_slice()).collect();
+        // Absorb the first label circuit's batch before paying for the
+        // second: if a count already blew the budget, the evaluation is
+        // void and the second batch would be wasted work.
+        let true_outcomes = self.backend.count_cubes(&other_true, &cubes);
+        crate::counter::debug_assert_batch_complete(&true_outcomes, cubes.len());
+        let mut in_true = Vec::with_capacity(regions.len());
+        for outcome in true_outcomes {
+            match meta.absorb(outcome) {
+                Some(count) => in_true.push(count),
+                None => return Ok(None),
+            }
+        }
+        let in_false = self.backend.count_cubes(&other_false, &cubes);
+        crate::counter::debug_assert_batch_complete(&in_false, cubes.len());
         let mut counts = DiffCounts::default();
-        for region in regions {
-            let both = meta.absorb(self.backend.count_conditioned(&other_true, &region.cube));
-            let only_region =
-                meta.absorb(self.backend.count_conditioned(&other_false, &region.cube));
-            let (Some(both), Some(only_region)) = (both, only_region) else {
+        for (region, (both, only_region)) in regions.iter().zip(in_true.into_iter().zip(in_false)) {
+            let Some(only_region) = meta.absorb(only_region) else {
                 return Ok(None);
             };
             match region.label {

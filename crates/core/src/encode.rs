@@ -31,7 +31,6 @@ use satkit::bdd::{Bdd, BddError, NodeRef};
 use satkit::card::Totalizer;
 use satkit::cnf::{Cnf, Lit, Var};
 use std::collections::HashMap;
-use std::hash::Hash;
 
 /// Upper bound on the nodes of a vote circuit — the AdaBoost weighted-vote
 /// branching program of the CNF encoding, and the feature-space vote BDDs
@@ -227,102 +226,27 @@ fn tree_bdd(bdd: &mut Bdd, tree: &DecisionTree) -> Result<NodeRef, BddError> {
     Ok(f)
 }
 
-/// Compiles an ensemble vote `decide(state after every voter)` into a BDD
-/// over the feature variables — the shared builder behind the RFT majority
-/// vote and the ABT weighted vote.
-///
-/// `voters[i]` is the BDD of voter `i`'s positive region; `cast` folds one
-/// vote into the running state (`true` = the voter fired), and `decide`
-/// maps a final state to the ensemble's output. Memoization is keyed on
-/// `(voter index, state)`, so votes whose partial tallies merge (equal
-/// counts, repeated float weights) collapse to a compact diagram.
-///
-/// The memo table itself is capped at `vote_node_bound` entries: distinct
-/// `(index, state)` pairs are exactly the nodes of the abstract vote
-/// branching program, and bounding them keeps the fold fail-fast even when
-/// every ITE collapses to a constant (the diagram stays tiny while the
-/// state space — e.g. pairwise-distinct float partial sums — still grows
-/// as `2^rounds`).
-fn vote_bdd<S: Copy + Eq + Hash>(
-    bdd: &mut Bdd,
-    voters: &[NodeRef],
-    initial: S,
-    cast: &impl Fn(usize, S, bool) -> S,
-    decide: &impl Fn(S) -> bool,
-    vote_node_bound: usize,
-) -> Result<NodeRef, BddError> {
-    /// The fold's memo table with its entry cap (the vote-node budget).
-    struct Memo<S> {
-        table: HashMap<(usize, S), NodeRef>,
-        bound: usize,
-    }
-
-    fn go<S: Copy + Eq + Hash>(
-        bdd: &mut Bdd,
-        voters: &[NodeRef],
-        index: usize,
-        state: S,
-        cast: &impl Fn(usize, S, bool) -> S,
-        decide: &impl Fn(S) -> bool,
-        memo: &mut Memo<S>,
-    ) -> Result<NodeRef, BddError> {
-        if index == voters.len() {
-            return Ok(bdd.constant(decide(state)));
-        }
-        if let Some(&r) = memo.table.get(&(index, state)) {
-            return Ok(r);
-        }
-        if memo.table.len() >= memo.bound {
-            return Err(BddError::TooManyNodes {
-                nodes: memo.table.len() + 1,
-                bound: memo.bound,
-            });
-        }
-        let hi = go(
-            bdd,
-            voters,
-            index + 1,
-            cast(index, state, true),
-            cast,
-            decide,
-            memo,
-        )?;
-        let lo = go(
-            bdd,
-            voters,
-            index + 1,
-            cast(index, state, false),
-            cast,
-            decide,
-            memo,
-        )?;
-        let r = bdd.ite(voters[index], hi, lo)?;
-        memo.table.insert((index, state), r);
-        Ok(r)
-    }
-    let mut memo = Memo {
-        table: HashMap::new(),
-        bound: vote_node_bound,
-    };
-    go(bdd, voters, 0, initial, cast, decide, &mut memo)
-}
-
 /// Extracts the decision regions of an ensemble from its vote BDD: compile
-/// each member tree, fold the votes with `cast`/`decide`, and read the
+/// each member tree, fold the votes with `cast`/`decide` through
+/// [`Bdd::vote_fold`] (whose memo table lives on the manager, so the
+/// allocation is shared rather than rebuilt per fold), and read the
 /// root-to-sink path cubes off the reduced diagram. The cubes are disjoint
 /// and exhaustive by construction (every input follows exactly one path).
-fn ensemble_decision_regions<S: Copy + Eq + Hash>(
+///
+/// The vote state is a `u64`: a tally fits directly (RFT) and an `f64`
+/// partial sum travels as its bit pattern (ABT).
+fn ensemble_decision_regions(
     trees: impl Iterator<Item = impl std::borrow::Borrow<DecisionTree>>,
-    initial: S,
-    cast: impl Fn(usize, S, bool) -> S,
-    decide: impl Fn(S) -> bool,
+    initial: u64,
+    cast: impl Fn(usize, u64, bool) -> u64,
+    decide: impl Fn(u64) -> bool,
     vote_node_bound: usize,
 ) -> Result<Vec<DecisionRegion>, EvalError> {
     let mut bdd = Bdd::with_node_budget(vote_node_bound);
     let voters: Vec<NodeRef> = trees
         .map(|tree| tree_bdd(&mut bdd, tree.borrow()))
         .collect::<Result<_, _>>()?;
-    let root = vote_bdd(&mut bdd, &voters, initial, &cast, &decide, vote_node_bound)?;
+    let root = bdd.vote_fold(&voters, initial, &cast, &decide, vote_node_bound)?;
     Ok(bdd
         .cube_cover(root)?
         .into_iter()
@@ -392,11 +316,11 @@ impl CnfEncodable for RandomForest {
         &self,
         vote_node_bound: usize,
     ) -> Result<Vec<DecisionRegion>, EvalError> {
-        let num_trees = self.trees().len();
+        let num_trees = self.trees().len() as u64;
         ensemble_decision_regions(
             self.trees().iter(),
-            0usize,
-            |_, votes, fired| votes + usize::from(fired),
+            0u64,
+            |_, votes, fired| votes + u64::from(fired),
             |votes| votes * 2 >= num_trees,
             vote_node_bound,
         )
@@ -833,15 +757,15 @@ mod tests {
         let voters: Vec<NodeRef> = (0..50u32)
             .map(|v| bdd.literal(v, true).expect("within budget"))
             .collect();
-        let err = vote_bdd(
-            &mut bdd,
-            &voters,
-            0u64,
-            &|_, state, fired| (state << 1) | u64::from(fired),
-            &|_| true,
-            64,
-        )
-        .expect_err("the state space is 2^50");
+        let err = bdd
+            .vote_fold(
+                &voters,
+                0u64,
+                &|_, state, fired| (state << 1) | u64::from(fired),
+                &|_| true,
+                64,
+            )
+            .expect_err("the state space is 2^50");
         assert!(
             matches!(err, BddError::TooManyNodes { bound: 64, .. }),
             "unexpected error {err:?}"

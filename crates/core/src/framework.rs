@@ -398,8 +398,11 @@ impl Runner {
     /// possibly wrapped in a
     /// [`CachedCounter`](crate::counter::CachedCounter)), the φ / ¬φ
     /// circuits are shared across all rows of the batch exactly like cached
-    /// counts — compiled once per (property, scope, symmetry), queried per
-    /// model region.
+    /// counts — compiled once per (property, scope, symmetry). Each model
+    /// then issues **one batched query per φ side**
+    /// ([`QueryCounter::count_cubes`] with its whole decision-region
+    /// list): a single topological sweep of the circuit, not one walk per
+    /// region.
     pub fn engine(mut self, engine: CountingEngine) -> Self {
         self.engine = engine;
         self

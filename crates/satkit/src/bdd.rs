@@ -40,7 +40,7 @@
 //! assert_eq!(cubes.iter().map(|c| 1u128 << (2 - c.lits.len())).sum::<u128>(), 4);
 //! ```
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 use std::fmt;
 
 /// A handle to a node of a [`Bdd`] manager. The two sinks are
@@ -117,8 +117,13 @@ pub struct BddCube {
 #[derive(Debug, Clone)]
 pub struct Bdd {
     nodes: Vec<Node>,
-    unique: HashMap<Node, NodeRef>,
-    ite_cache: HashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
+    unique: FxHashMap<Node, NodeRef>,
+    ite_cache: FxHashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
+    /// Memo table of [`vote_fold`](Bdd::vote_fold), keyed on
+    /// `(voter index, vote state)`. Owned by the manager so repeated folds
+    /// on one manager reuse the allocation instead of building a fresh map
+    /// per fold.
+    vote_memo: FxHashMap<(u32, u64), NodeRef>,
     bound: usize,
 }
 
@@ -148,8 +153,9 @@ impl Bdd {
     pub fn with_node_budget(bound: usize) -> Self {
         Bdd {
             nodes: Vec::new(),
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
+            unique: FxHashMap::default(),
+            ite_cache: FxHashMap::default(),
+            vote_memo: FxHashMap::default(),
             bound,
         }
     }
@@ -292,10 +298,96 @@ impl Bdd {
         }
     }
 
+    /// Compiles an ensemble vote `decide(state after every voter)` into the
+    /// diagram — the builder behind the random-forest majority vote and the
+    /// AdaBoost weighted vote.
+    ///
+    /// `voters[i]` is the diagram of voter `i`'s positive region; `cast`
+    /// folds one vote into the running `u64` state (`true` = the voter
+    /// fired; a tally fits directly, an `f64` partial sum travels as its
+    /// bit pattern), and `decide` maps a final state to the ensemble's
+    /// output. Memoization is keyed on `(voter index, state)`, so votes
+    /// whose partial tallies merge (equal counts, repeated float weights)
+    /// collapse to a compact diagram.
+    ///
+    /// The memo table is **owned by the manager** — cleared, allocation
+    /// kept — so any further folds on the same manager reuse it instead of
+    /// allocating afresh (today's ensemble builders fold once per manager;
+    /// the field costs them nothing and keeps multi-fold callers, like a
+    /// future GBDT stage compiler, allocation-free). It is also capped at
+    /// `vote_node_bound` entries: distinct
+    /// `(index, state)` pairs are exactly the nodes of the abstract vote
+    /// branching program, and bounding them keeps the fold fail-fast even
+    /// when every ITE collapses to a constant (the diagram stays tiny
+    /// while the state space — e.g. pairwise-distinct float partial sums —
+    /// still grows as `2^rounds`).
+    pub fn vote_fold(
+        &mut self,
+        voters: &[NodeRef],
+        initial: u64,
+        cast: &impl Fn(usize, u64, bool) -> u64,
+        decide: &impl Fn(u64) -> bool,
+        vote_node_bound: usize,
+    ) -> Result<NodeRef, BddError> {
+        let mut memo = std::mem::take(&mut self.vote_memo);
+        memo.clear();
+        let result =
+            self.vote_fold_rec(voters, 0, initial, cast, decide, vote_node_bound, &mut memo);
+        // Hand the allocation back to the manager even on failure.
+        self.vote_memo = memo;
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn vote_fold_rec(
+        &mut self,
+        voters: &[NodeRef],
+        index: usize,
+        state: u64,
+        cast: &impl Fn(usize, u64, bool) -> u64,
+        decide: &impl Fn(u64) -> bool,
+        bound: usize,
+        memo: &mut FxHashMap<(u32, u64), NodeRef>,
+    ) -> Result<NodeRef, BddError> {
+        if index == voters.len() {
+            return Ok(self.constant(decide(state)));
+        }
+        if let Some(&r) = memo.get(&(index as u32, state)) {
+            return Ok(r);
+        }
+        if memo.len() >= bound {
+            return Err(BddError::TooManyNodes {
+                nodes: memo.len() + 1,
+                bound,
+            });
+        }
+        let hi = self.vote_fold_rec(
+            voters,
+            index + 1,
+            cast(index, state, true),
+            cast,
+            decide,
+            bound,
+            memo,
+        )?;
+        let lo = self.vote_fold_rec(
+            voters,
+            index + 1,
+            cast(index, state, false),
+            cast,
+            decide,
+            bound,
+            memo,
+        )?;
+        let r = self.ite(voters[index], hi, lo)?;
+        memo.insert((index as u32, state), r);
+        Ok(r)
+    }
+
     /// Number of root-to-sink paths below each reachable node, saturated at
     /// `cap` (paths, not nodes: a small DAG can have exponentially many).
-    fn path_counts(&self, root: NodeRef, cap: usize) -> HashMap<NodeRef, usize> {
-        let mut counts: HashMap<NodeRef, usize> = HashMap::new();
+    fn path_counts(&self, root: NodeRef, cap: usize) -> FxHashMap<NodeRef, usize> {
+        let mut counts: FxHashMap<NodeRef, usize> = FxHashMap::default();
         counts.insert(Bdd::FALSE, 1);
         counts.insert(Bdd::TRUE, 1);
         // Post-order without recursion: push children first.
@@ -337,22 +429,30 @@ impl Bdd {
             });
         }
         let mut cover = Vec::with_capacity(total);
-        let mut stack: Vec<(NodeRef, Vec<(u32, bool)>)> = vec![(root, Vec::new())];
-        while let Some((r, lits)) = stack.pop() {
+        // DFS over one shared literal prefix: each entry restores the
+        // prefix to its depth and appends its own literal, so only the
+        // emitted cubes are materialized — no per-node prefix clones.
+        // A frame: the node to visit, the prefix depth to restore, and the
+        // literal this edge contributes (None at the root).
+        type CoverFrame = (NodeRef, usize, Option<(u32, bool)>);
+        let mut lits: Vec<(u32, bool)> = Vec::new();
+        let mut stack: Vec<CoverFrame> = vec![(root, 0, None)];
+        while let Some((r, depth, lit)) = stack.pop() {
+            lits.truncate(depth);
+            if let Some(l) = lit {
+                lits.push(l);
+            }
             if r == Bdd::TRUE || r == Bdd::FALSE {
                 cover.push(BddCube {
-                    lits,
+                    lits: lits.clone(),
                     value: r == Bdd::TRUE,
                 });
                 continue;
             }
             let n = self.node(r);
-            let mut hi_lits = lits.clone();
-            hi_lits.push((n.var, true));
-            let mut lo_lits = lits;
-            lo_lits.push((n.var, false));
-            stack.push((n.hi, hi_lits));
-            stack.push((n.lo, lo_lits));
+            let depth = lits.len();
+            stack.push((n.hi, depth, Some((n.var, true))));
+            stack.push((n.lo, depth, Some((n.var, false))));
         }
         Ok(cover)
     }

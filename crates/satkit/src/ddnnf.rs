@@ -24,12 +24,34 @@
 //!    [`Solver`] — this is the existential forgetting of the remaining
 //!    Tseitin auxiliaries, so compiled counts equal projected counts.
 //!
+//! The hot paths are engineered sharpSAT-style rather than naively:
+//!
+//! * **Interned components.** Clauses live once in a flat arena; the search
+//!   never materializes residual formulas. A component is a sorted list of
+//!   arena [`ClauseId`]s plus the sorted list of its free variables (which
+//!   together determine the residual exactly: in an unsatisfied clause every
+//!   assigned variable has a falsified literal, so the residual clause is
+//!   its literals over free variables). The component cache hashes a
+//!   precomputed 64-bit signature of that pair — a cache probe never clones
+//!   or re-hashes literal vectors.
+//! * **Occurrence lists.** Per-literal clause lists drive counter-based unit
+//!   propagation (satisfier / free-literal counters with trail-based undo)
+//!   and the stamp-based component walk, so neither ever scans the whole
+//!   clause set.
+//! * **Activity-guided branching.** VSIDS-style variable activities (seeded
+//!   from occurrence counts, bumped on conflicts and on decisions whose
+//!   propagation splits the component, decayed per decision) replace pure
+//!   occurrence counting. [`CompileStats`] exposes decisions, conflicts and
+//!   the component-cache hit rate so heuristic regressions are measurable.
+//!
 //! The compiled [`Ddnnf`] supports [`count`](Ddnnf::count), conditioned
 //! counting on a cube of projection literals
-//! ([`count_conditioned`](Ddnnf::count_conditioned)), structural
-//! conditioning ([`condition`](Ddnnf::condition), which returns a smaller
-//! circuit) and model enumeration over the projection set
-//! ([`models`](Ddnnf::models)).
+//! ([`count_conditioned`](Ddnnf::count_conditioned)), **batched** cube
+//! counting ([`count_cubes`](Ddnnf::count_cubes): all cubes of a region
+//! list in one iterative topological sweep — the query the AccMC/DiffMC
+//! region-sum plans issue per model side), structural conditioning
+//! ([`condition`](Ddnnf::condition), which returns a smaller circuit) and
+//! model enumeration over the projection set ([`models`](Ddnnf::models)).
 //!
 //! Circuits are hash-consed DAGs: structurally identical subtraces (which
 //! the search cache detects) share one node. Projection sets are limited to
@@ -38,11 +60,16 @@
 //! bitmasks and gap ("smoothing") factors are popcounts.
 
 use crate::cnf::{Cnf, Lit, Var};
+use crate::fxhash::FxHashMap;
 use crate::solver::Solver;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// Index of a node inside a [`Ddnnf`] circuit.
 pub type NodeId = usize;
+
+/// Index of a clause in the compiler's clause arena.
+pub type ClauseId = u32;
 
 /// One node of a d-DNNF circuit.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -111,10 +138,27 @@ impl std::error::Error for CompileError {}
 pub struct CompileStats {
     /// Branching decisions recorded.
     pub decisions: u64,
-    /// Subtrace cache hits (shared circuit nodes).
+    /// Component-cache probes that found a shared subtrace.
     pub cache_hits: u64,
+    /// Total component-cache probes (hits + misses).
+    pub cache_lookups: u64,
+    /// Conflicts found by unit propagation (each one bumps the activities
+    /// of the conflicting clause's variables).
+    pub conflicts: u64,
     /// SAT-solver calls on projection-free components.
     pub sat_calls: u64,
+}
+
+impl CompileStats {
+    /// Fraction of component-cache probes answered from the cache
+    /// (`0.0` when no probe was made).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
 }
 
 /// A compiled d-DNNF circuit together with its projection set.
@@ -124,6 +168,12 @@ pub struct Ddnnf {
     /// Projection variables mentioned by node `i` (bit `k` = `proj_vars[k]`).
     masks: Vec<u128>,
     root: NodeId,
+    /// Nodes reachable from the root in topological order (children precede
+    /// parents) — the evaluation schedule of the iterative count sweep.
+    order: Vec<u32>,
+    /// Maps a [`NodeId`] to its position in `order` (`u32::MAX` when the
+    /// node is unreachable from the root).
+    dense: Vec<u32>,
     /// Sorted projection variables; bit positions in masks index this list.
     proj_vars: Vec<u32>,
     /// Map from variable id to bit position.
@@ -183,13 +233,38 @@ impl Ddnnf {
     ///
     /// Panics if a cube literal mentions a non-projection variable.
     pub fn count_conditioned(&self, cube: &[Lit]) -> u128 {
-        let Some((fixed, values)) = self.cube_masks(cube) else {
-            return 0;
-        };
-        let mut memo: Vec<Option<u128>> = vec![None; self.nodes.len()];
-        let root_count = self.count_node(self.root, fixed, values, &mut memo);
-        let gap = self.full_mask() & !self.masks[self.root];
-        root_count.saturating_mul(pow2((gap & !fixed).count_ones()))
+        self.sweep(&[self.cube_masks(cube)], &mut Vec::new())[0]
+    }
+
+    /// The conditioned counts of **all** `cubes` in iterative topological
+    /// sweeps over the circuit: `result[i]` equals
+    /// `count_conditioned(&cubes[i])`, but the circuit is traversed once
+    /// per chunk of up to 64 cubes — every node evaluates the whole chunk
+    /// before the sweep moves on — over one scratch buffer shared by the
+    /// chunk. Chunking bounds the scratch at `64 × |circuit|` counts no
+    /// matter how wide the batch: a region list of any width against a
+    /// large circuit costs `⌈k / 64⌉` linear passes, never a
+    /// `k × |circuit|` allocation.
+    ///
+    /// This is the query the compiled AccMC/DiffMC region-sum plans issue:
+    /// one call per (model, φ-side) with the model's full decision-region
+    /// cube list, instead of one circuit walk (and one memo allocation) per
+    /// region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cube literal mentions a non-projection variable.
+    pub fn count_cubes<C: AsRef<[Lit]>>(&self, cubes: &[C]) -> Vec<u128> {
+        const SWEEP_CHUNK: usize = 64;
+        let mut counts = Vec::with_capacity(cubes.len());
+        // One scratch buffer for the whole batch, reused across chunks.
+        let mut scratch = Vec::new();
+        for chunk in cubes.chunks(SWEEP_CHUNK) {
+            let parsed: Vec<Option<(u128, u128)>> =
+                chunk.iter().map(|c| self.cube_masks(c.as_ref())).collect();
+            counts.extend(self.sweep(&parsed, &mut scratch));
+        }
+        counts
     }
 
     /// Structural conditioning: returns the circuit of `φ ∧ cube` with the
@@ -311,60 +386,92 @@ impl Ddnnf {
         Some((fixed, values))
     }
 
-    /// Counts models of the subcircuit at `node` over its own variable set,
-    /// weighting cube-fixed variables 1 and free variables 2 at every
-    /// smoothing gap.
-    fn count_node(
-        &self,
-        node: NodeId,
-        fixed: u128,
-        values: u128,
-        memo: &mut Vec<Option<u128>>,
-    ) -> u128 {
-        if let Some(c) = memo[node] {
-            return c;
+    /// The batched evaluation core: one forward pass over the reachable
+    /// nodes in topological order, computing the count of every cube at
+    /// every node before moving on. No recursion, no per-query memo —
+    /// one flat scratch buffer sized `reachable nodes × cubes`, owned by
+    /// the caller so chunked batches reuse its allocation.
+    ///
+    /// `parsed[j]` is the `(fixed, values)` mask pair of cube `j`, or
+    /// `None` for a self-contradictory cube (whose count is 0).
+    fn sweep(&self, parsed: &[Option<(u128, u128)>], scratch: &mut Vec<u128>) -> Vec<u128> {
+        let k = parsed.len();
+        if k == 0 {
+            return Vec::new();
         }
-        let result = match &self.nodes[node] {
-            Node::True => 1,
-            Node::False => 0,
-            Node::Lit(l) => {
-                let bit = 1u128 << self.var_bit[&l.var().0];
-                if fixed & bit != 0 && (values & bit != 0) != l.is_positive() {
-                    0
-                } else {
-                    1
-                }
-            }
-            Node::And(children) => {
-                let mut total: u128 = 1;
-                for &c in children {
-                    let n = self.count_node(c, fixed, values, memo);
-                    if n == 0 {
-                        total = 0;
-                        break;
+        scratch.clear();
+        scratch.resize(self.order.len() * k, 0);
+        for (oi, &id) in self.order.iter().enumerate() {
+            let base = oi * k;
+            match &self.nodes[id as usize] {
+                Node::False => {}
+                Node::True => {
+                    for slot in &mut scratch[base..base + k] {
+                        *slot = 1;
                     }
-                    total = total.saturating_mul(n);
                 }
-                total
-            }
-            Node::Decision { var, hi, lo } => {
-                let bit = 1u128 << self.var_bit[var];
-                let scope = self.masks[node] & !bit;
-                let mut total: u128 = 0;
-                for (branch, wanted) in [(*hi, true), (*lo, false)] {
-                    if fixed & bit != 0 && (values & bit != 0) != wanted {
-                        continue;
+                Node::Lit(l) => {
+                    let bit = 1u128 << self.var_bit[&l.var().0];
+                    for (j, p) in parsed.iter().enumerate() {
+                        let Some((fixed, values)) = *p else { continue };
+                        scratch[base + j] =
+                            if fixed & bit != 0 && (values & bit != 0) != l.is_positive() {
+                                0
+                            } else {
+                                1
+                            };
                     }
-                    let branch_count = self.count_node(branch, fixed, values, memo);
-                    let gap = scope & !self.masks[branch] & !fixed;
-                    total =
-                        total.saturating_add(branch_count.saturating_mul(pow2(gap.count_ones())));
                 }
-                total
+                Node::And(children) => {
+                    for j in 0..k {
+                        if parsed[j].is_none() {
+                            continue;
+                        }
+                        let mut total: u128 = 1;
+                        for &c in children {
+                            let n = scratch[self.dense[c] as usize * k + j];
+                            if n == 0 {
+                                total = 0;
+                                break;
+                            }
+                            total = total.saturating_mul(n);
+                        }
+                        scratch[base + j] = total;
+                    }
+                }
+                Node::Decision { var, hi, lo } => {
+                    let bit = 1u128 << self.var_bit[var];
+                    let scope = self.masks[id as usize] & !bit;
+                    for (j, p) in parsed.iter().enumerate() {
+                        let Some((fixed, values)) = *p else { continue };
+                        let mut total: u128 = 0;
+                        for (branch, wanted) in [(*hi, true), (*lo, false)] {
+                            if fixed & bit != 0 && (values & bit != 0) != wanted {
+                                continue;
+                            }
+                            let branch_count = scratch[self.dense[branch] as usize * k + j];
+                            let gap = scope & !self.masks[branch] & !fixed;
+                            total = total.saturating_add(
+                                branch_count.saturating_mul(pow2(gap.count_ones())),
+                            );
+                        }
+                        scratch[base + j] = total;
+                    }
+                }
             }
-        };
-        memo[node] = Some(result);
-        result
+        }
+        let root_base = self.dense[self.root] as usize * k;
+        let root_gap = self.full_mask() & !self.masks[self.root];
+        parsed
+            .iter()
+            .enumerate()
+            .map(|(j, p)| match *p {
+                None => 0,
+                Some((fixed, _)) => {
+                    scratch[root_base + j].saturating_mul(pow2((root_gap & !fixed).count_ones()))
+                }
+            })
+            .collect()
     }
 
     /// Partial models of the subcircuit at `node`, as `(mask, values)`
@@ -436,7 +543,7 @@ fn expand_bits(gap: u128, values: u128, out: &mut Vec<u128>) {
 struct Builder {
     nodes: Vec<Node>,
     masks: Vec<u128>,
-    unique: HashMap<Node, NodeId>,
+    unique: FxHashMap<Node, NodeId>,
     proj_vars: Vec<u32>,
     var_bit: HashMap<u32, u32>,
 }
@@ -453,7 +560,7 @@ impl Builder {
         let mut b = Builder {
             nodes: Vec::new(),
             masks: Vec::new(),
-            unique: HashMap::new(),
+            unique: FxHashMap::default(),
             proj_vars,
             var_bit,
         };
@@ -532,10 +639,43 @@ impl Builder {
     }
 
     fn finish(self, root: NodeId, stats: CompileStats) -> Ddnnf {
+        // Mark the nodes reachable from the root. Children are always
+        // interned before their parents, so a single high-to-low pass
+        // settles reachability, and the ascending id order of the marked
+        // nodes is a topological evaluation schedule.
+        let mut reachable = vec![false; self.nodes.len()];
+        reachable[root] = true;
+        for id in (0..self.nodes.len()).rev() {
+            if !reachable[id] {
+                continue;
+            }
+            match &self.nodes[id] {
+                Node::And(children) => {
+                    for &c in children {
+                        reachable[c] = true;
+                    }
+                }
+                Node::Decision { hi, lo, .. } => {
+                    reachable[*hi] = true;
+                    reachable[*lo] = true;
+                }
+                _ => {}
+            }
+        }
+        let mut order = Vec::new();
+        let mut dense = vec![u32::MAX; self.nodes.len()];
+        for (id, &r) in reachable.iter().enumerate() {
+            if r {
+                dense[id] = order.len() as u32;
+                order.push(id as u32);
+            }
+        }
         Ddnnf {
             nodes: self.nodes,
             masks: self.masks,
             root,
+            order,
+            dense,
             proj_vars: self.proj_vars,
             var_bit: self.var_bit,
             stats,
@@ -553,12 +693,6 @@ impl Default for Compiler {
     fn default() -> Self {
         Compiler::new()
     }
-}
-
-/// A residual formula: active clauses over not-yet-assigned variables.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct Residual {
-    clauses: Vec<Vec<Lit>>,
 }
 
 impl Compiler {
@@ -588,7 +722,9 @@ impl Compiler {
         }
         let mut builder = Builder::new(projection);
 
-        let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(cnf.num_clauses());
+        // Intern the normalized clauses into the flat arena.
+        let mut pool: Vec<Lit> = Vec::with_capacity(cnf.num_literals());
+        let mut starts: Vec<u32> = vec![0];
         let mut contradiction = false;
         for c in cnf.clauses() {
             match c.normalized() {
@@ -598,89 +734,418 @@ impl Compiler {
                         contradiction = true;
                         break;
                     }
-                    clauses.push(n.lits().to_vec());
+                    pool.extend_from_slice(n.lits());
+                    starts.push(pool.len() as u32);
                 }
             }
         }
+        if contradiction {
+            let root = builder.false_node();
+            return Ok(builder.finish(root, CompileStats::default()));
+        }
 
-        let mut ctx = CompileCtx {
-            cache: HashMap::new(),
+        let num_vars = cnf.num_vars();
+        let num_clauses = starts.len() - 1;
+        let mut occ: Vec<Vec<ClauseId>> = vec![Vec::new(); 2 * num_vars];
+        let mut free_count: Vec<u32> = Vec::with_capacity(num_clauses);
+        let mut activity: Vec<f64> = vec![0.0; num_vars];
+        for c in 0..num_clauses {
+            let lits = &pool[starts[c] as usize..starts[c + 1] as usize];
+            free_count.push(lits.len() as u32);
+            for &l in lits {
+                occ[l.code()].push(c as ClauseId);
+                // Seed activities from occurrence counts, so the very first
+                // branchings reproduce the classic most-occurrences pick.
+                activity[l.var().index()] += 1.0;
+            }
+        }
+        let mut is_proj = vec![false; num_vars];
+        for &v in &builder.proj_vars {
+            if (v as usize) < num_vars {
+                is_proj[v as usize] = true;
+            }
+        }
+
+        let mut search = Search {
+            pool,
+            starts,
+            occ,
+            is_proj,
+            value: vec![UNASSIGNED; num_vars],
+            free_count,
+            satisfier: vec![NO_SATISFIER; num_clauses],
+            trail: Vec::with_capacity(num_vars),
+            activity,
+            var_inc: 1.0,
+            clause_stamp: vec![0; num_clauses],
+            var_stamp: vec![0; num_vars],
+            stamp: 0,
+            cache: FxHashMap::default(),
             stats: CompileStats::default(),
             max_decisions: self.max_decisions,
             exhausted: false,
         };
-        let root = if contradiction {
-            builder.false_node()
-        } else {
-            ctx.compile_residual(Residual { clauses }, &mut builder)
-        };
-        if ctx.exhausted {
+        let all_clauses: Vec<ClauseId> = (0..num_clauses as ClauseId).collect();
+        let initial_units: Vec<ClauseId> = all_clauses
+            .iter()
+            .copied()
+            .filter(|&c| search.free_count[c as usize] == 1)
+            .collect();
+        let root = search.compile_subproblem(&all_clauses, initial_units, None, &mut builder);
+        if search.exhausted {
             return Err(CompileError::BudgetExhausted {
-                decisions: ctx.stats.decisions,
+                decisions: search.stats.decisions,
             });
         }
-        Ok(builder.finish(root, ctx.stats))
+        Ok(builder.finish(root, search.stats))
     }
 }
 
-struct CompileCtx {
-    cache: HashMap<Residual, NodeId>,
+const UNASSIGNED: u8 = 2;
+const NO_SATISFIER: u32 = u32::MAX;
+
+/// Cache key of one interned component: the sorted arena clause ids plus
+/// the sorted free variables, with a precomputed 64-bit signature. Hashing
+/// writes only the signature (an O(1) probe); equality compares the full
+/// key, so a signature collision can never corrupt a count.
+struct CompKey {
+    sig: u64,
+    clauses: Box<[ClauseId]>,
+    vars: Box<[u32]>,
+}
+
+impl CompKey {
+    fn new(clauses: Vec<ClauseId>, vars: Vec<u32>) -> Self {
+        let mut sig: u64 = 0x243F_6A88_85A3_08D3;
+        for &c in &clauses {
+            sig = splitmix64(sig ^ (u64::from(c) + 1));
+        }
+        sig = splitmix64(sig ^ 0x9E37_79B9_7F4A_7C15);
+        for &v in &vars {
+            sig = splitmix64(sig ^ (u64::from(v) + 1));
+        }
+        CompKey {
+            sig,
+            clauses: clauses.into_boxed_slice(),
+            vars: vars.into_boxed_slice(),
+        }
+    }
+}
+
+impl Hash for CompKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.sig);
+    }
+}
+
+impl PartialEq for CompKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.sig == other.sig && self.clauses == other.clauses && self.vars == other.vars
+    }
+}
+
+impl Eq for CompKey {}
+
+/// One stage of splitmix64 — the signature mixer of [`CompKey`].
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A connected component of the residual formula under the current
+/// assignment: sorted active clause ids and sorted free variables.
+struct Component {
+    clauses: Vec<ClauseId>,
+    vars: Vec<u32>,
+}
+
+/// The compiler's search state: clause arena, occurrence lists, the
+/// counter-based assignment trail, VSIDS-style activities and the
+/// signature-keyed component cache.
+struct Search {
+    /// Flat literal arena; clause `c` is `pool[starts[c]..starts[c+1]]`.
+    pool: Vec<Lit>,
+    starts: Vec<u32>,
+    /// `occ[lit.code()]` lists the clauses containing `lit`.
+    occ: Vec<Vec<ClauseId>>,
+    is_proj: Vec<bool>,
+    /// Per-variable assignment (false / true / [`UNASSIGNED`]).
+    value: Vec<u8>,
+    /// Per-clause count of unassigned literals.
+    free_count: Vec<u32>,
+    /// Per-clause first satisfying variable ([`NO_SATISFIER`] = active).
+    satisfier: Vec<u32>,
+    trail: Vec<Lit>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Generation stamps of the component walk (no per-split allocation).
+    clause_stamp: Vec<u32>,
+    var_stamp: Vec<u32>,
+    stamp: u32,
+    cache: FxHashMap<CompKey, NodeId>,
     stats: CompileStats,
     max_decisions: u64,
     exhausted: bool,
 }
 
-impl CompileCtx {
-    /// Compiles a residual: propagate, decompose, recurse. The trace of the
-    /// projection literals fixed by propagation is kept as `Lit` leaves;
-    /// fixed non-projection literals are forgotten.
-    fn compile_residual(&mut self, residual: Residual, builder: &mut Builder) -> NodeId {
+impl Search {
+    fn clause_range(&self, c: ClauseId) -> (usize, usize) {
+        (
+            self.starts[c as usize] as usize,
+            self.starts[c as usize + 1] as usize,
+        )
+    }
+
+    /// Asserts `lit`: marks newly satisfied clauses, decrements free
+    /// counters on the falsified side, queues clauses that became unit and
+    /// reports the first clause falsified outright. Counters stay
+    /// consistent even on conflict, so [`undo_to`](Self::undo_to) always
+    /// restores the prior state exactly.
+    fn assign(&mut self, lit: Lit, pending: &mut Vec<ClauseId>) -> Result<(), ClauseId> {
+        let v = lit.var().index();
+        debug_assert_eq!(self.value[v], UNASSIGNED);
+        self.value[v] = u8::from(lit.is_positive());
+        self.trail.push(lit);
+        let code = lit.code();
+        for i in 0..self.occ[code].len() {
+            let c = self.occ[code][i] as usize;
+            if self.satisfier[c] == NO_SATISFIER {
+                self.satisfier[c] = v as u32;
+            }
+        }
+        let ncode = (!lit).code();
+        let mut conflict = None;
+        for i in 0..self.occ[ncode].len() {
+            let c = self.occ[ncode][i];
+            let cu = c as usize;
+            self.free_count[cu] -= 1;
+            if self.satisfier[cu] == NO_SATISFIER {
+                match self.free_count[cu] {
+                    0 if conflict.is_none() => conflict = Some(c),
+                    1 => pending.push(c),
+                    _ => {}
+                }
+            }
+        }
+        match conflict {
+            Some(c) => Err(c),
+            None => Ok(()),
+        }
+    }
+
+    /// Exhaustive unit propagation from the queued unit clauses.
+    fn propagate(&mut self, mut pending: Vec<ClauseId>) -> Result<(), ClauseId> {
+        let mut i = 0;
+        while i < pending.len() {
+            let c = pending[i];
+            i += 1;
+            let cu = c as usize;
+            if self.satisfier[cu] != NO_SATISFIER || self.free_count[cu] != 1 {
+                continue;
+            }
+            let (s, e) = self.clause_range(c);
+            let lit = self.pool[s..e]
+                .iter()
+                .copied()
+                .find(|&l| self.value[l.var().index()] == UNASSIGNED)
+                .expect("a unit clause has exactly one unassigned literal");
+            self.assign(lit, &mut pending)?;
+        }
+        Ok(())
+    }
+
+    /// Unwinds the trail to `mark`, restoring satisfier marks and free
+    /// counters (reverse order guarantees first-satisfier bookkeeping).
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let lit = self.trail.pop().expect("trail is longer than mark");
+            let v = lit.var().index();
+            self.value[v] = UNASSIGNED;
+            let code = lit.code();
+            for i in 0..self.occ[code].len() {
+                let c = self.occ[code][i] as usize;
+                if self.satisfier[c] == v as u32 {
+                    self.satisfier[c] = NO_SATISFIER;
+                }
+            }
+            let ncode = (!lit).code();
+            for i in 0..self.occ[ncode].len() {
+                let c = self.occ[ncode][i] as usize;
+                self.free_count[c] += 1;
+            }
+        }
+    }
+
+    /// Bumps a variable's activity, rescaling on overflow.
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// Records a conflict: bump every variable of the falsified clause.
+    fn on_conflict(&mut self, c: ClauseId) {
+        self.stats.conflicts += 1;
+        let (s, e) = self.clause_range(c);
+        for i in s..e {
+            let v = self.pool[i].var().index();
+            self.bump(v);
+        }
+    }
+
+    /// Per-decision activity decay (implemented as inverse increment
+    /// growth, MiniSat-style).
+    fn decay(&mut self) {
+        self.var_inc *= 1.0 / 0.95;
+    }
+
+    /// Splits the active clauses of the current subproblem into connected
+    /// components of the free-variable interaction graph, walking the
+    /// occurrence lists under generation stamps (no per-split hash maps).
+    fn split_components(&mut self, clauses: &[ClauseId]) -> Vec<Component> {
+        if self.stamp == u32::MAX {
+            self.clause_stamp.fill(0);
+            self.var_stamp.fill(0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut comps: Vec<Component> = Vec::new();
+        let mut queue: Vec<ClauseId> = Vec::new();
+        for &seed in clauses {
+            if self.satisfier[seed as usize] != NO_SATISFIER
+                || self.clause_stamp[seed as usize] == stamp
+            {
+                continue;
+            }
+            self.clause_stamp[seed as usize] = stamp;
+            queue.clear();
+            queue.push(seed);
+            let mut comp_clauses: Vec<ClauseId> = Vec::new();
+            let mut comp_vars: Vec<u32> = Vec::new();
+            while let Some(c) = queue.pop() {
+                comp_clauses.push(c);
+                let (s, e) = self.clause_range(c);
+                for i in s..e {
+                    let l = self.pool[i];
+                    let v = l.var().index();
+                    if self.value[v] != UNASSIGNED || self.var_stamp[v] == stamp {
+                        continue;
+                    }
+                    self.var_stamp[v] = stamp;
+                    comp_vars.push(v as u32);
+                    for code in [Lit::pos(v as u32).code(), Lit::neg(v as u32).code()] {
+                        for j in 0..self.occ[code].len() {
+                            let c2 = self.occ[code][j];
+                            if self.satisfier[c2 as usize] != NO_SATISFIER
+                                || self.clause_stamp[c2 as usize] == stamp
+                            {
+                                continue;
+                            }
+                            self.clause_stamp[c2 as usize] = stamp;
+                            queue.push(c2);
+                        }
+                    }
+                }
+            }
+            comp_clauses.sort_unstable();
+            comp_vars.sort_unstable();
+            comps.push(Component {
+                clauses: comp_clauses,
+                vars: comp_vars,
+            });
+        }
+        // Smallest components first, like the original compiler, so an
+        // early False child short-circuits the expensive siblings.
+        comps.sort_by_key(|c| c.clauses.len());
+        comps
+    }
+
+    /// Compiles a subproblem (a clause set plus queued units): propagate,
+    /// turn fixed projection literals into leaves, decompose, recurse.
+    /// `split_credit` names the decision variable to reward when its
+    /// propagation decomposed the component.
+    fn compile_subproblem(
+        &mut self,
+        clauses: &[ClauseId],
+        pending: Vec<ClauseId>,
+        split_credit: Option<u32>,
+        builder: &mut Builder,
+    ) -> NodeId {
         if self.exhausted {
             return builder.false_node();
         }
-        let Some((residual, fixed)) = propagate(residual) else {
+        let mark = self.trail.len();
+        if let Err(c) = self.propagate(pending) {
+            self.on_conflict(c);
+            self.undo_to(mark);
             return builder.false_node();
-        };
+        }
         let mut children: Vec<NodeId> = Vec::new();
-        for l in fixed {
-            if builder.var_bit.contains_key(&l.var().0) {
+        for i in mark..self.trail.len() {
+            let l = self.trail[i];
+            if self.is_proj[l.var().index()] {
                 children.push(builder.lit_node(l));
             }
         }
-        if !residual.clauses.is_empty() {
-            for comp in split_components(&residual) {
-                let child = self.compile_component(comp, builder);
-                children.push(child);
+        let comps = self.split_components(clauses);
+        if comps.len() > 1 {
+            if let Some(v) = split_credit {
+                self.bump(v as usize);
             }
         }
+        for comp in comps {
+            let child = self.compile_component(comp, builder);
+            children.push(child);
+            if child == builder.false_node() {
+                // A False child annihilates the conjunction; skip siblings.
+                break;
+            }
+        }
+        self.undo_to(mark);
         builder.and_node(children)
     }
 
-    fn compile_component(&mut self, comp: Residual, builder: &mut Builder) -> NodeId {
-        if let Some(&id) = self.cache.get(&comp) {
+    /// Compiles one component: probe the signature-keyed cache, pick the
+    /// highest-activity projection variable, branch (or SAT-check a
+    /// projection-free component), cache the node.
+    fn compile_component(&mut self, comp: Component, builder: &mut Builder) -> NodeId {
+        if self.exhausted {
+            return builder.false_node();
+        }
+        let key = CompKey::new(comp.clauses, comp.vars);
+        self.stats.cache_lookups += 1;
+        if let Some(&id) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
             return id;
         }
-        // Branch on the projection variable with the most occurrences (the
-        // same heuristic as the search counter, so traces stay comparable).
-        let mut occurrences: HashMap<u32, usize> = HashMap::new();
-        for lit in comp.clauses.iter().flatten() {
-            let v = lit.var().0;
-            if builder.var_bit.contains_key(&v) {
-                *occurrences.entry(v).or_default() += 1;
+        let mut branch: Option<u32> = None;
+        for &v in key.vars.iter() {
+            if !self.is_proj[v as usize] {
+                continue;
+            }
+            match branch {
+                None => branch = Some(v),
+                // Strict `>` with ascending iteration = smallest id on ties.
+                Some(b) => {
+                    if self.activity[v as usize] > self.activity[b as usize] {
+                        branch = Some(v);
+                    }
+                }
             }
         }
-        let branch_var = occurrences
-            .into_iter()
-            .max_by_key(|&(v, count)| (count, std::cmp::Reverse(v)))
-            .map(|(v, _)| v);
-
-        let id = match branch_var {
+        let id = match branch {
             None => {
                 // Projection-free: existentially forget the auxiliaries by
                 // reducing the component to its satisfiability.
                 self.stats.sat_calls += 1;
-                if is_satisfiable(&comp) {
+                if self.component_satisfiable(&key.clauses) {
                     builder.true_node()
                 } else {
                     builder.false_node()
@@ -692,109 +1157,54 @@ impl CompileCtx {
                     self.exhausted = true;
                     return builder.false_node();
                 }
+                self.decay();
                 let mut branches = [builder.false_node(); 2];
                 for (slot, lit) in branches.iter_mut().zip([Lit::pos(v), Lit::neg(v)]) {
-                    if let Some(r) = assign(&comp, lit) {
-                        *slot = self.compile_residual(r, builder);
+                    let mark = self.trail.len();
+                    let mut pending = Vec::new();
+                    match self.assign(lit, &mut pending) {
+                        Err(c) => self.on_conflict(c),
+                        Ok(()) => {
+                            *slot =
+                                self.compile_subproblem(&key.clauses, pending, Some(v), builder);
+                        }
                     }
+                    self.undo_to(mark);
                 }
                 builder.decision_node(v, branches[0], branches[1])
             }
         };
-        self.cache.insert(comp, id);
+        if !self.exhausted {
+            self.cache.insert(key, id);
+        }
         id
     }
-}
 
-/// Asserts a literal in the residual: drops satisfied clauses, removes the
-/// falsified literal from others. Returns `None` on an empty clause.
-fn assign(residual: &Residual, lit: Lit) -> Option<Residual> {
-    let mut clauses = Vec::with_capacity(residual.clauses.len());
-    for c in &residual.clauses {
-        if c.contains(&lit) {
-            continue;
-        }
-        let filtered: Vec<Lit> = c.iter().copied().filter(|&l| l != !lit).collect();
-        if filtered.is_empty() {
-            return None;
-        }
-        clauses.push(filtered);
-    }
-    Some(Residual { clauses })
-}
-
-/// Exhaustive unit propagation; returns the propagated residual and the
-/// fixed literals, or `None` on conflict.
-fn propagate(mut residual: Residual) -> Option<(Residual, Vec<Lit>)> {
-    let mut fixed = Vec::new();
-    loop {
-        let unit = residual.clauses.iter().find(|c| c.len() == 1).map(|c| c[0]);
-        match unit {
-            None => return Some((residual, fixed)),
-            Some(l) => {
-                fixed.push(l);
-                residual = assign(&residual, l)?;
+    /// Plain satisfiability of a projection-free component: materialize the
+    /// residual clauses (the unassigned literals of each active clause —
+    /// assigned literals of an active clause are always falsified) and run
+    /// the CDCL solver.
+    fn component_satisfiable(&self, clauses: &[ClauseId]) -> bool {
+        let mut max_var = 0usize;
+        let mut residual: Vec<Vec<Lit>> = Vec::with_capacity(clauses.len());
+        for &c in clauses {
+            let (s, e) = self.clause_range(c);
+            let lits: Vec<Lit> = self.pool[s..e]
+                .iter()
+                .copied()
+                .filter(|&l| self.value[l.var().index()] == UNASSIGNED)
+                .collect();
+            for &l in &lits {
+                max_var = max_var.max(l.var().index());
             }
+            residual.push(lits);
         }
-    }
-}
-
-/// Splits the residual into connected components of the variable-interaction
-/// graph (variables are connected when they co-occur in a clause).
-fn split_components(residual: &Residual) -> Vec<Residual> {
-    let mut parent: HashMap<u32, u32> = HashMap::new();
-
-    fn find(parent: &mut HashMap<u32, u32>, v: u32) -> u32 {
-        let p = *parent.entry(v).or_insert(v);
-        if p == v {
-            v
-        } else {
-            let root = find(parent, p);
-            parent.insert(v, root);
-            root
+        let mut cnf = Cnf::new(max_var + 1);
+        for lits in residual {
+            cnf.add_clause(lits);
         }
+        Solver::from_cnf(&cnf).solve().is_sat()
     }
-
-    for c in &residual.clauses {
-        let first = c[0].var().0;
-        for l in &c[1..] {
-            let (a, b) = (find(&mut parent, first), find(&mut parent, l.var().0));
-            if a != b {
-                parent.insert(a, b);
-            }
-        }
-        find(&mut parent, first);
-    }
-
-    let mut groups: HashMap<u32, Vec<Vec<Lit>>> = HashMap::new();
-    for c in &residual.clauses {
-        let root = find(&mut parent, c[0].var().0);
-        groups.entry(root).or_default().push(c.clone());
-    }
-    let mut comps: Vec<Residual> = groups
-        .into_values()
-        .map(|mut clauses| {
-            clauses.sort();
-            Residual { clauses }
-        })
-        .collect();
-    comps.sort_by_key(|c| c.clauses.len());
-    comps
-}
-
-fn is_satisfiable(comp: &Residual) -> bool {
-    let max_var = comp
-        .clauses
-        .iter()
-        .flatten()
-        .map(|l| l.var().index())
-        .max()
-        .unwrap_or(0);
-    let mut cnf = Cnf::new(max_var + 1);
-    for c in &comp.clauses {
-        cnf.add_clause(c.clone());
-    }
-    Solver::from_cnf(&cnf).solve().is_sat()
 }
 
 #[cfg(test)]
@@ -938,6 +1348,59 @@ mod tests {
     }
 
     #[test]
+    fn count_cubes_agrees_with_per_cube_conditioning() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(97);
+        for round in 0..30 {
+            let cnf = random_cnf(&mut rng, 9, 18);
+            let d = compile(&cnf);
+            let n = cnf.num_vars();
+            // A batch of random cubes, including an occasionally
+            // self-contradictory one.
+            let cubes: Vec<Vec<Lit>> = (0..rng.gen_range(1..=6usize))
+                .map(|_| {
+                    (0..rng.gen_range(0..=4usize))
+                        .map(|_| {
+                            let v = rng.gen_range(0..n) as u32;
+                            if rng.gen_bool(0.5) {
+                                Lit::pos(v)
+                            } else {
+                                Lit::neg(v)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let batched = d.count_cubes(&cubes);
+            assert_eq!(batched.len(), cubes.len());
+            for (j, cube) in cubes.iter().enumerate() {
+                assert_eq!(
+                    batched[j],
+                    d.count_conditioned(cube),
+                    "round {round}, cube {cube:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_cubes_handles_empty_batches_and_empty_cubes() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        let d = compile(&cnf);
+        assert!(d.count_cubes::<Vec<Lit>>(&[]).is_empty());
+        assert_eq!(d.count_cubes(&[Vec::new()]), vec![6]);
+        assert_eq!(
+            d.count_cubes(&[
+                vec![Lit::pos(0)],
+                vec![Lit::neg(0)],
+                vec![Lit::pos(0), Lit::neg(0)]
+            ]),
+            vec![4, 2, 0]
+        );
+    }
+
+    #[test]
     fn contradictory_cube_counts_zero() {
         let mut cnf = Cnf::new(2);
         cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
@@ -1031,6 +1494,34 @@ mod tests {
         cnf.add_clause(vec![Lit::pos(2), Lit::pos(3)]);
         let d = compile(&cnf);
         assert!(d.stats().decisions > 0);
+        assert!(d.stats().cache_lookups > 0);
+        assert!(d.stats().cache_hits <= d.stats().cache_lookups);
+        let rate = d.stats().cache_hit_rate();
+        assert!((0.0..=1.0).contains(&rate));
         assert_eq!(d.count(), 9);
+    }
+
+    #[test]
+    fn component_cache_hits_on_repeated_subtraces() {
+        // A chain of implications branches into identical residual tails
+        // from both sides of early decisions, so the signature-keyed
+        // component cache must report hits.
+        let mut cnf = Cnf::new(10);
+        for i in 0..9u32 {
+            cnf.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)]);
+            cnf.add_clause(vec![Lit::neg(i), Lit::pos(i + 1), Lit::pos((i + 5) % 10)]);
+        }
+        let d = compile(&cnf);
+        assert_eq!(d.count(), brute_projected(&cnf));
+        assert!(
+            d.stats().cache_hits > 0,
+            "expected component-cache hits, stats {:?}",
+            d.stats()
+        );
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_zero() {
+        assert_eq!(CompileStats::default().cache_hit_rate(), 0.0);
     }
 }

@@ -1,0 +1,111 @@
+//! A minimal multiply-rotate hasher for the hot hash tables of the kit.
+//!
+//! The compilation hot paths — BDD unique/ITE tables, d-DNNF hash-consing,
+//! the component cache — probe hash maps once per node operation, and the
+//! standard library's DoS-resistant SipHash costs more than the table work
+//! it guards. These tables are keyed on process-internal integers (node
+//! handles, precomputed signatures), not attacker-controlled input, so the
+//! classic `rotate-xor-multiply` scheme used by rustc ("FxHash") is the
+//! right trade: a couple of cycles per word, good-enough dispersion for
+//! pointer-like keys.
+//!
+//! Implemented locally because the build is hermetic (no crates.io); the
+//! algorithm is the well-known public-domain one, not a vendored crate.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc `FxHasher`: one rotate, one xor, one multiply per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let mut map: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for a in 0..50u32 {
+            for b in 0..50u32 {
+                map.insert((a, b), a * 100 + b);
+            }
+        }
+        assert_eq!(map.len(), 2500);
+        assert_eq!(map[&(7, 31)], 731);
+    }
+
+    #[test]
+    fn byte_stream_matches_chunked_words() {
+        // write() must consume trailing bytes, not drop them.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -18,6 +18,8 @@
 //!   hashing-based approximate model counter;
 //! * [`card`] — totalizer cardinality encodings (count-preserving under
 //!   projection), used by the ensemble-model CNF encodings in `mcml`;
+//! * [`fxhash`] — the rustc multiply-rotate hasher for the process-internal
+//!   hot hash tables (BDD unique/ITE tables, d-DNNF caches);
 //! * [`bdd`] — reduced ordered binary decision diagrams with hash-consing
 //!   and a node budget, used to compile ensemble vote circuits into
 //!   disjoint decision-region cube covers;
@@ -49,6 +51,7 @@ pub mod ddnnf;
 pub mod dimacs;
 pub mod enumerate;
 pub mod expr;
+pub mod fxhash;
 pub mod solver;
 pub mod xor;
 

@@ -447,9 +447,11 @@ impl Solver {
         loop {
             self.cla_bump_activity(cref);
             let start = usize::from(p.is_some());
-            // Clone literals to appease the borrow checker; clauses are short.
-            let lits = self.clauses[cref].lits.clone();
-            for &q in &lits[start..] {
+            // Walk the clause by index: bumping activities needs `&mut self`,
+            // so holding a borrow of the clause arena (or cloning its
+            // literals, as this loop once did) is off the table.
+            for i in start..self.clauses[cref].lits.len() {
+                let q = self.clauses[cref].lits[i];
                 let v = q.var().index();
                 if !self.seen[v] && self.vardata[v].level > 0 {
                     self.seen[v] = true;

@@ -1,0 +1,118 @@
+//! Compile-stats regression tests: pin the branching-decision counts and
+//! component-cache hit rates of the d-DNNF compiler on fixed ground-truth
+//! formulas at scopes 2–3.
+//!
+//! The activity-guided branching heuristic and the signature-keyed
+//! component cache are pure performance machinery — a bug in either would
+//! not change any count, only make compilation quietly slower (more
+//! decisions, fewer cache hits). Pinning the exact trace statistics makes
+//! such a regression fail loudly instead. The compiler is fully
+//! deterministic (activity seeding, tie-breaking and component ordering
+//! are all defined without hash-iteration or randomness), so exact
+//! equality is safe to assert across platforms.
+//!
+//! If an *intentional* heuristic change shifts these numbers, re-pin them
+//! — and record the before/after `BENCH_counting.json` so the trade is
+//! visible in the perf trail.
+
+use modelcount::exact::ExactCounter;
+use relspec::properties::Property;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+use satkit::ddnnf::Compiler;
+
+/// One pinned compilation: φ of `property` at `scope`, with the expected
+/// `(decisions, cache_lookups, cache_hits)` trace statistics.
+struct Pin {
+    property: Property,
+    scope: usize,
+    decisions: u64,
+    cache_lookups: u64,
+    cache_hits: u64,
+}
+
+fn check(pin: &Pin) {
+    let gt = translate_to_cnf(&pin.property.spec(), TranslateOptions::new(pin.scope));
+    let cnf = gt.cnf_positive();
+    let circuit = Compiler::new().compile(&cnf).expect("no budget configured");
+    let stats = circuit.stats();
+    assert_eq!(
+        (stats.decisions, stats.cache_lookups, stats.cache_hits),
+        (pin.decisions, pin.cache_lookups, pin.cache_hits),
+        "compile-stats drift for {} at scope {} (got {stats:?}); if the \
+         heuristic change is intentional, re-pin and record the bench delta",
+        pin.property.name(),
+        pin.scope,
+    );
+    let rate = stats.cache_hit_rate();
+    if pin.cache_lookups > 0 {
+        assert_eq!(rate, pin.cache_hits as f64 / pin.cache_lookups as f64);
+    } else {
+        assert_eq!(rate, 0.0, "no probes means a zero hit rate by definition");
+    }
+    assert!((0.0..=1.0).contains(&rate));
+    // The trace statistics are only meaningful for a correct circuit.
+    assert_eq!(
+        circuit.count(),
+        ExactCounter::new().count(&cnf).expect("no budget"),
+        "compiled count must match the search counter for {}",
+        pin.property.name(),
+    );
+}
+
+#[test]
+fn pinned_compile_stats_scope2() {
+    for pin in [
+        Pin {
+            property: Property::Reflexive,
+            scope: 2,
+            decisions: 0,
+            cache_lookups: 0,
+            cache_hits: 0,
+        },
+        Pin {
+            property: Property::Antisymmetric,
+            scope: 2,
+            decisions: 1,
+            cache_lookups: 1,
+            cache_hits: 0,
+        },
+        Pin {
+            property: Property::Transitive,
+            scope: 2,
+            decisions: 9,
+            cache_lookups: 9,
+            cache_hits: 0,
+        },
+    ] {
+        check(&pin);
+    }
+}
+
+#[test]
+fn pinned_compile_stats_scope3() {
+    for pin in [
+        Pin {
+            property: Property::Antisymmetric,
+            scope: 3,
+            decisions: 3,
+            cache_lookups: 3,
+            cache_hits: 0,
+        },
+        Pin {
+            property: Property::Transitive,
+            scope: 3,
+            decisions: 55,
+            cache_lookups: 82,
+            cache_hits: 27,
+        },
+        Pin {
+            property: Property::Function,
+            scope: 3,
+            decisions: 6,
+            cache_lookups: 6,
+            cache_hits: 0,
+        },
+    ] {
+        check(&pin);
+    }
+}

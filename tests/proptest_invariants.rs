@@ -158,6 +158,42 @@ proptest! {
         }
     }
 
+    /// The batched circuit query must be indistinguishable from issuing
+    /// the cubes one at a time — and both must equal a fresh search count
+    /// of the conjunction.
+    #[test]
+    fn count_cubes_agrees_with_per_cube_conditioning(
+        cnf in arb_cnf(7, 14),
+        cubes in prop::collection::vec(
+            prop::collection::vec((0..7u32, any::<bool>()), 0..=4),
+            1..=6,
+        )
+    ) {
+        let circuit = satkit::ddnnf::Compiler::new().compile(&cnf).expect("no budget");
+        let cubes: Vec<Vec<Lit>> = cubes
+            .into_iter()
+            .map(|c| {
+                c.into_iter()
+                    .map(|(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
+                    .collect()
+            })
+            .collect();
+        let batched = circuit.count_cubes(&cubes);
+        prop_assert_eq!(batched.len(), cubes.len());
+        let exact = ExactCounter::new();
+        for (j, cube) in cubes.iter().enumerate() {
+            prop_assert_eq!(batched[j], circuit.count_conditioned(cube), "cube {:?}", cube);
+            let mut conjunction = cnf.clone();
+            for &lit in cube {
+                conjunction.add_unit(lit);
+            }
+            // A self-contradictory cube makes the conjunction unsatisfiable,
+            // so the search count is 0 exactly like the circuit's answer.
+            let searched = exact.count(&conjunction).expect("no budget");
+            prop_assert_eq!(batched[j], searched, "cube {:?}", cube);
+        }
+    }
+
     #[test]
     fn tree2cnf_regions_agree_with_predictions(dataset in arb_dataset(4)) {
         let tree = DecisionTree::fit(&dataset, TreeConfig::default());
