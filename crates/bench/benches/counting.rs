@@ -11,6 +11,7 @@ use mcml::encode::CnfEncodable;
 use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::Dataset;
 use mlkit::forest::{ForestConfig, RandomForest};
+use mlkit::gbdt::{GbdtConfig, GradientBoosting};
 use mlkit::tree::{DecisionTree, TreeConfig};
 use modelcount::approx::{ApproxConfig, ApproxCounter};
 use modelcount::exact::ExactCounter;
@@ -206,6 +207,76 @@ fn bench_accmc_ensemble_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Trains an 8-model GBDT batch on different subsamples for one
+/// (property, scope) pair. Six rounds of depth-2 trees keeps the staged
+/// additive-score fold comfortably inside the default vote-node budget.
+fn gbdt_batch(property: Property, scope: usize) -> Vec<GradientBoosting> {
+    let mut full = Dataset::new(scope * scope);
+    for bits in 0u64..(1 << (scope * scope)) {
+        let inst = RelInstance::from_bits(
+            scope,
+            (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+        );
+        full.push(inst.to_features(), property.holds(&inst));
+    }
+    (0..8u64)
+        .map(|seed| {
+            GradientBoosting::fit(
+                &full.subsample(80, seed),
+                GbdtConfig {
+                    num_rounds: 6,
+                    max_depth: 2,
+                    ..GbdtConfig::default()
+                },
+            )
+        })
+        .collect()
+}
+
+/// Classic vs compiled engine on an 8-model *GBDT* batch: the classic
+/// engine compiles each ensemble's additive-score branching program into
+/// four conjunction CNFs and searches them, the compiled engine folds the
+/// per-tree leaf stages into a feature-space BDD (sifting on budget
+/// pressure) and conditions the φ / ¬φ circuits compiled once per property.
+fn bench_accmc_gbdt_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accmc_gbdt_batch8");
+    group.sample_size(10);
+    let scope = 3;
+    for property in [Property::Antisymmetric, Property::Function] {
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let models = gbdt_batch(property, scope);
+        group.bench_with_input(
+            BenchmarkId::new(format!("classic/{}", property.name()), scope),
+            &models,
+            |b, models| {
+                b.iter(|| {
+                    let backend = CounterBackend::exact();
+                    let accmc = AccMc::new(&backend);
+                    for model in models {
+                        black_box(accmc.evaluate(&gt, model).unwrap().unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("compiled/{}", property.name()), scope),
+            &models,
+            |b, models| {
+                b.iter(|| {
+                    // A fresh counter per iteration charges the compiled
+                    // engine its full φ / ¬φ compilation cost.
+                    let backend = CompiledCounter::new();
+                    let accmc = AccMc::with_engine(&backend, CountingEngine::Compiled);
+                    for model in models {
+                        black_box(accmc.evaluate(&gt, model).unwrap().unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn fast_config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -221,6 +292,7 @@ criterion_group!(
     bench_approx_counting,
     bench_accmc_engine_batch,
     bench_accmc_ensemble_batch,
+    bench_accmc_gbdt_batch,
     bench_symmetry_breaking_translation
 );
 

@@ -6,10 +6,10 @@
 //! dataset and the ground truth use. The rows are executed by the batch
 //! [`Runner`], which deduplicates dataset construction and ground-truth
 //! translation, shares one memoizing counter across all rows, and runs them
-//! in parallel; `--models dt,rft,abt` evaluates any subset of the
+//! in parallel; `--models dt,rft,abt,gbdt` evaluates any subset of the
 //! CNF-encodable model families per property, `--engine compiled` switches
 //! the whole-space evaluation to the d-DNNF compile-once/query-many plan
-//! (all three families ride it through their decision regions, with
+//! (all four families ride it through their decision regions, with
 //! `--vote-nodes` bounding the ensemble vote circuits), and
 //! `--cache-dir DIR` persists the count cache across processes.
 

@@ -7,8 +7,8 @@
 //! * `--max-positive N` — cap on enumerated positive samples;
 //! * `--seed N` — RNG seed;
 //! * `--property NAME` — restrict to a single property (tables 1, 3, 5–8);
-//! * `--models dt,rft,abt` — model families for the whole-space tables
-//!   (3, 5, 6, 7), exercising the generic `CnfEncodable` path;
+//! * `--models dt,rft,abt,gbdt` — model families for the whole-space
+//!   tables (3, 5, 6, 7), exercising the generic `CnfEncodable` path;
 //! * `--threads N` — worker threads for the batch `Runner` (0 = one per
 //!   core);
 //! * `--engine classic|compiled` — whole-space counting strategy: fresh
@@ -110,7 +110,10 @@ impl HarnessArgs {
                         .split(',')
                         .map(|name| {
                             ModelFamily::parse(name.trim()).unwrap_or_else(|| {
-                                panic!("unknown model family {name:?} (expected dt, rft or abt)")
+                                panic!(
+                                    "unknown model family {name:?} \
+                                     (expected dt, rft, gbdt or abt)"
+                                )
                             })
                         })
                         .collect();
@@ -232,14 +235,13 @@ mod tests {
 
     #[test]
     fn parses_model_families() {
-        let a = parse(&["--models", "dt,rft,abt", "--threads", "2"]);
-        assert_eq!(
-            a.models,
-            vec![ModelFamily::Dt, ModelFamily::Rft, ModelFamily::Abt]
-        );
+        let a = parse(&["--models", "dt,rft,gbdt,abt", "--threads", "2"]);
+        assert_eq!(a.models, ModelFamily::all().to_vec());
         assert_eq!(a.threads, 2);
         let single = parse(&["--models", "RFT"]);
         assert_eq!(single.models, vec![ModelFamily::Rft]);
+        let boosted = parse(&["--models", "GBDT"]);
+        assert_eq!(boosted.models, vec![ModelFamily::Gbdt]);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::process::Command;
 
 /// The fixed arguments of every snapshot run: scope 2 keeps all sixteen
 /// properties cheap enough that both engines finish in well under a
-/// second, and all three model families exercise the generic rows.
+/// second, and all four model families exercise the generic rows.
 const SNAPSHOT_ARGS: &[&str] = &[
     "--scope",
     "2",
@@ -27,7 +27,7 @@ const SNAPSHOT_ARGS: &[&str] = &[
     "--seed",
     "3",
     "--models",
-    "dt,rft,abt",
+    "dt,rft,gbdt,abt",
     "--threads",
     "1",
 ];

@@ -28,8 +28,8 @@
 //!   [`CompiledCounter`](crate::counter::CompiledCounter) backend, φ and
 //!   ¬φ are compiled to d-DNNF once per (property, scope) and every model
 //!   of a batch costs only linear circuit traversals — the φ search is no
-//!   longer repeated per model. All three families ride this plan: trees
-//!   list their root-to-leaf paths, and the voting ensembles (RFT/ABT)
+//!   longer repeated per model. All four families ride this plan: trees
+//!   list their root-to-leaf paths, and the ensembles (RFT/GBDT/ABT)
 //!   compile their vote circuits into region cube lists through
 //!   [`satkit::bdd`], guarded by a configurable
 //!   [vote-node budget](AccMc::vote_node_bound).

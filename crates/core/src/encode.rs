@@ -10,7 +10,7 @@
 //! are fine (projected counting ignores how many extensions exist), missing
 //! or spurious feature assignments are not.
 //!
-//! Three model families implement the trait:
+//! Four model families implement the trait:
 //!
 //! * [`DecisionTree`] — the original auxiliary-variable-free Tree2CNF
 //!   translation (see [`crate::tree2cnf`]);
@@ -18,27 +18,40 @@
 //!   tree's positive region) plus a totalizer cardinality constraint from
 //!   [`satkit::card`] asserting the majority threshold;
 //! * [`AdaBoost`] — indicator variables per weak learner plus a
-//!   weighted-vote threshold compiled to clauses through a memoized
-//!   branching-program (BDD) expansion that mirrors the ensemble's own
-//!   floating-point vote summation bit for bit.
+//!   weighted-vote threshold compiled to clauses through the memoized
+//!   additive-score branching program below, mirroring the ensemble's own
+//!   floating-point vote summation bit for bit;
+//! * [`GradientBoosting`] — indicator variables per regression-tree *leaf*
+//!   plus the same additive-score compiler folding each firing leaf's
+//!   shrunken value into the running score, thresholded through the
+//!   ensemble's own sigmoid comparison
+//!   ([`GradientBoosting::predict_from_tree_sum`]), again bit for bit.
+//!
+//! Both vote-based encodings share one machinery: the **additive-score
+//! vote compiler** (the private `AdditiveVoteCompiler` here for CNF, and
+//! [`Bdd::vote_fold`] for the feature-space decision-region diagrams),
+//! whose state is a `u64` carrying either a tally or an `f64` partial sum
+//! as its bit pattern.
 
 use crate::error::EvalError;
 use crate::tree2cnf::{tree_label_clauses, TreeLabel};
 use mlkit::adaboost::AdaBoost;
 use mlkit::forest::RandomForest;
+use mlkit::gbdt::GradientBoosting;
 use mlkit::tree::DecisionTree;
-use satkit::bdd::{Bdd, BddError, NodeRef};
+use satkit::bdd::{Bdd, BddError, NodeRef, ReorderPolicy};
 use satkit::card::Totalizer;
 use satkit::cnf::{Cnf, Lit, Var};
 use std::collections::HashMap;
 
-/// Upper bound on the nodes of a vote circuit — the AdaBoost weighted-vote
-/// branching program of the CNF encoding, and the feature-space vote BDDs
-/// behind [`CnfEncodable::decision_regions`]. With pairwise-distinct vote
-/// weights a weighted-vote diagram reaches `2^rounds` nodes (distinct
-/// partial sums never merge), so an attempt beyond ~16 such rounds fails
-/// fast with [`EvalError::VoteCircuitTooLarge`] instead of exhausting
-/// memory. The same bound caps the number of extracted region cubes.
+/// Upper bound on the nodes of a vote circuit — the additive-score
+/// branching programs of the ABT/GBDT CNF encodings, and the feature-space
+/// vote BDDs behind [`CnfEncodable::decision_regions`]. With
+/// pairwise-distinct vote weights a weighted-vote diagram reaches
+/// `2^rounds` nodes — and a GBDT score fold `Πₜ leavesₜ` (shrinkage keeps
+/// leaf contributions distinct) — so oversized ensembles fail fast with
+/// [`EvalError::VoteCircuitTooLarge`] instead of exhausting memory. The
+/// same bound caps the number of extracted region cubes.
 pub const MAX_VOTE_NODES: usize = 1 << 16;
 
 /// One decision region of a model: a cube of feature literals (a partial
@@ -112,7 +125,7 @@ pub trait CnfEncodable {
     /// trees from their root-to-leaf paths, voting ensembles by compiling
     /// the vote circuit to a feature-space BDD and reading off its path
     /// cubes — which is what lets the compiled AccMC/DiffMC query plans
-    /// cover DT, RFT and ABT uniformly.
+    /// cover DT, RFT, GBDT and ABT uniformly.
     fn decision_regions(&self) -> Result<Vec<DecisionRegion>, EvalError> {
         self.decision_regions_bounded(MAX_VOTE_NODES)
     }
@@ -226,27 +239,10 @@ fn tree_bdd(bdd: &mut Bdd, tree: &DecisionTree) -> Result<NodeRef, BddError> {
     Ok(f)
 }
 
-/// Extracts the decision regions of an ensemble from its vote BDD: compile
-/// each member tree, fold the votes with `cast`/`decide` through
-/// [`Bdd::vote_fold`] (whose memo table lives on the manager, so the
-/// allocation is shared rather than rebuilt per fold), and read the
-/// root-to-sink path cubes off the reduced diagram. The cubes are disjoint
-/// and exhaustive by construction (every input follows exactly one path).
-///
-/// The vote state is a `u64`: a tally fits directly (RFT) and an `f64`
-/// partial sum travels as its bit pattern (ABT).
-fn ensemble_decision_regions(
-    trees: impl Iterator<Item = impl std::borrow::Borrow<DecisionTree>>,
-    initial: u64,
-    cast: impl Fn(usize, u64, bool) -> u64,
-    decide: impl Fn(u64) -> bool,
-    vote_node_bound: usize,
-) -> Result<Vec<DecisionRegion>, EvalError> {
-    let mut bdd = Bdd::with_node_budget(vote_node_bound);
-    let voters: Vec<NodeRef> = trees
-        .map(|tree| tree_bdd(&mut bdd, tree.borrow()))
-        .collect::<Result<_, _>>()?;
-    let root = bdd.vote_fold(&voters, initial, &cast, &decide, vote_node_bound)?;
+/// Reads the root-to-sink path cubes of a compiled vote diagram off as
+/// [`DecisionRegion`]s. The cubes are disjoint and exhaustive by
+/// construction (every input follows exactly one path).
+fn regions_from_diagram(bdd: &Bdd, root: NodeRef) -> Result<Vec<DecisionRegion>, EvalError> {
     Ok(bdd
         .cube_cover(root)?
         .into_iter()
@@ -263,6 +259,142 @@ fn ensemble_decision_regions(
             },
         })
         .collect())
+}
+
+/// Extracts the decision regions of a tree ensemble from its vote BDD:
+/// compile each member tree to a feature-space diagram, fold the votes with
+/// `cast`/`decide` through [`Bdd::vote_fold`] (whose memo table lives on
+/// the manager, so the allocation is shared rather than rebuilt per fold),
+/// and read the path cubes off the reduced diagram. Production callers pass
+/// [`ReorderPolicy::OnPressure`], so a fold whose diagram outgrows the
+/// budget under the static feature order is sifted before the typed error
+/// surfaces; the parameter is explicit so tests can pin the static-order
+/// behaviour.
+///
+/// The vote state is a `u64`: a tally fits directly (RFT) and an `f64`
+/// partial sum travels as its bit pattern (ABT).
+fn ensemble_decision_regions(
+    trees: impl Iterator<Item = impl std::borrow::Borrow<DecisionTree>>,
+    initial: u64,
+    cast: impl Fn(usize, u64, bool) -> u64,
+    decide: impl Fn(u64) -> bool,
+    vote_node_bound: usize,
+    policy: ReorderPolicy,
+) -> Result<Vec<DecisionRegion>, EvalError> {
+    let mut bdd = Bdd::with_node_budget(vote_node_bound).with_reorder_policy(policy);
+    let voters: Vec<NodeRef> = trees
+        .map(|tree| tree_bdd(&mut bdd, tree.borrow()))
+        .collect::<Result<_, _>>()?;
+    let root = bdd.vote_fold(&voters, initial, &cast, &decide, vote_node_bound)?;
+    regions_from_diagram(&bdd, root)
+}
+
+/// One stage of the GBDT additive-score fold: the guard leaf paths of one
+/// regression tree (all but the last leaf — the cubes partition the feature
+/// space, so the last leaf is the stage's implicit "otherwise" branch) and
+/// the shrunken contribution of **every** leaf, indexed by alternative.
+struct GbdtStage {
+    guard_paths: Vec<mlkit::gbdt::RegressionPath>,
+    contributions: Vec<f64>,
+}
+
+/// The single source of truth for the GBDT fold semantics, shared by the
+/// classic engine's CNF compiler ([`encode_gbdt_label`]) and the compiled
+/// engine's region extraction ([`gbdt_decision_regions`]) — both paths must
+/// run the *same* float arithmetic in the same order, or the
+/// classic-vs-compiled bit-identical agreement the conformance suite pins
+/// breaks. Only the guard materialization (indicator [`Lit`]s vs
+/// feature-space BDD cubes) differs between the two callers.
+struct GbdtFoldPlan {
+    stages: Vec<GbdtStage>,
+}
+
+impl GbdtFoldPlan {
+    /// The fold starts from an exact `0.0`, like the predictor's sum.
+    const INITIAL: u64 = 0.0f64.to_bits();
+
+    fn of(model: &GradientBoosting) -> GbdtFoldPlan {
+        let learning_rate = model.config().learning_rate;
+        GbdtFoldPlan {
+            stages: model
+                .tree_paths()
+                .into_iter()
+                .map(|mut paths| {
+                    // The same product the predictor computes per firing
+                    // leaf, recorded for every alternative (incl. the last).
+                    let contributions = paths.iter().map(|p| learning_rate * p.value).collect();
+                    paths.pop(); // the last leaf is the "otherwise" branch
+                    GbdtStage {
+                        guard_paths: paths,
+                        contributions,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// The state-advance closure: add the chosen leaf's shrunken value to
+    /// the running `f64` sum, travelling as its bit pattern.
+    fn cast(&self) -> impl Fn(usize, usize, u64) -> u64 + '_ {
+        move |stage, alternative, acc| {
+            (f64::from_bits(acc) + self.stages[stage].contributions[alternative]).to_bits()
+        }
+    }
+
+    /// The decision closure: the predictor's own sigmoid threshold.
+    fn decide<'m>(&self, model: &'m GradientBoosting) -> impl Fn(u64) -> bool + 'm {
+        move |acc| model.predict_from_tree_sum(f64::from_bits(acc))
+    }
+}
+
+/// Extracts the decision regions of a gradient-boosting ensemble through
+/// [`Bdd::staged_vote_fold`]: one **stage per regression tree**, whose
+/// alternatives are the tree's leaf cubes (pairwise disjoint, exhaustive —
+/// the last leaf is the stage's "otherwise" branch), with the fold adding
+/// the chosen leaf's shrunken value to the running `f64` score and the
+/// final state thresholded by
+/// [`GradientBoosting::predict_from_tree_sum`]. Exactly one leaf per tree
+/// fires on any input, so the folded sum reproduces
+/// [`GradientBoosting::tree_sum`] bit for bit, in training order.
+///
+/// Staging matters: folding leaves as independent binary voters would
+/// enumerate abstract *subsets* of leaves (`2^leaves` fold states); the
+/// staged fold only visits states one firing leaf per tree can reach —
+/// still exponential in the rounds when shrinkage keeps partial sums
+/// pairwise distinct, which is exactly what the vote-node budget and the
+/// pressure-triggered sifting are for.
+///
+/// Exposed at crate level (with an explicit [`ReorderPolicy`]) so tests can
+/// contrast the static feature order against sifting; the trait
+/// implementation always passes [`ReorderPolicy::OnPressure`].
+pub(crate) fn gbdt_decision_regions(
+    model: &GradientBoosting,
+    vote_node_bound: usize,
+    policy: ReorderPolicy,
+) -> Result<Vec<DecisionRegion>, EvalError> {
+    let mut bdd = Bdd::with_node_budget(vote_node_bound).with_reorder_policy(policy);
+    let plan = GbdtFoldPlan::of(model);
+    let mut stages = Vec::with_capacity(plan.stages.len());
+    for stage in &plan.stages {
+        let mut guards = Vec::with_capacity(stage.guard_paths.len());
+        for path in &stage.guard_paths {
+            let mut cube = bdd.constant(true);
+            for &(feature, value) in &path.conditions {
+                let lit = bdd.literal(feature as u32, value)?;
+                cube = bdd.and(cube, lit)?;
+            }
+            guards.push(cube);
+        }
+        stages.push(guards);
+    }
+    let root = bdd.staged_vote_fold(
+        &stages,
+        GbdtFoldPlan::INITIAL,
+        &plan.cast(),
+        &plan.decide(model),
+        vote_node_bound,
+    )?;
+    regions_from_diagram(&bdd, root)
 }
 
 /// Defines a fresh variable equivalent to `tree`'s positive decision region
@@ -284,6 +416,23 @@ fn define_region_indicator(cnf: &mut Cnf, tree: &DecisionTree) -> Lit {
         lits.push(v);
         cnf.add_clause(lits);
     }
+    v
+}
+
+/// Defines a fresh variable equivalent to a conjunction of feature
+/// literals (a regression-tree leaf's path cube) and returns its positive
+/// literal: `v → lᵢ` for every condition, plus `l₁ ∧ … ∧ lₖ → v`. An empty
+/// cube (a single-leaf tree) defines `v ↔ ⊤`.
+fn define_cube_indicator(cnf: &mut Cnf, conditions: &[(usize, bool)]) -> Lit {
+    let v = cnf.new_var().pos();
+    let mut cube_implies_v = Vec::with_capacity(conditions.len() + 1);
+    cube_implies_v.push(v);
+    for &(feature, value) in conditions {
+        let l = Lit::from_var(Var(feature as u32), value);
+        cnf.add_clause(vec![!v, l]);
+        cube_implies_v.push(!l);
+    }
+    cnf.add_clause(cube_implies_v);
     v
 }
 
@@ -323,6 +472,7 @@ impl CnfEncodable for RandomForest {
             |_, votes, fired| votes + u64::from(fired),
             |votes| votes * 2 >= num_trees,
             vote_node_bound,
+            ReorderPolicy::OnPressure,
         )
     }
 }
@@ -335,63 +485,129 @@ enum VoteNode {
     Defined(Lit),
 }
 
-/// Compiles the AdaBoost decision `Σ αᵢ·hᵢ(x) ≥ 0` over the learner
-/// indicators into clauses, mirroring [`AdaBoost`]'s own prediction exactly:
-/// the vote is accumulated left to right in `f64`, so the compiled function
-/// agrees with `Classifier::predict` on every input, including rounding and
-/// signed-zero edge cases.
+/// The additive-score vote compiler: expands a **staged** vote branching
+/// program over indicator literals into CNF clauses, one ITE definition per
+/// materialized node. Stage `t` chooses among `stages[t].len() + 1`
+/// mutually exclusive alternatives — alternative `j < stages[t].len()` is
+/// guarded by the indicator literal `stages[t][j]`, the last alternative is
+/// the implicit "otherwise" branch — and `cast(stage, alternative, state)`
+/// advances the `u64` fold state (a tally directly, or an `f64` partial sum
+/// as its bit pattern) exactly like [`Bdd::staged_vote_fold`] advances the
+/// feature-space diagrams, so the CNF (classic-engine) and region
+/// (compiled-engine) paths of one ensemble run the *same* arithmetic in the
+/// same order.
 ///
-/// Memoization is keyed on `(learner index, partial-sum bits)`; ensembles
-/// whose vote weights repeat (the common case for boosted stumps over small
-/// feature spaces) collapse to a compact diagram.
+/// Instantiated by [`AdaBoost`] (one two-alternative stage per learner:
+/// fired `acc + α`, otherwise `acc - α`) and by [`GradientBoosting`] (one
+/// stage per regression tree whose alternatives are its leaf indicators,
+/// the chosen leaf adding `lr·leaf`), each mirroring its predictor's
+/// accumulation bit for bit. Staging is what keeps the GBDT tractable:
+/// leaves folded as independent binary voters would enumerate abstract
+/// *subsets* of leaves, while a stage visits only the states one firing
+/// leaf per tree can reach.
 ///
-/// **Complexity caveat:** with pairwise-distinct vote weights the diagram
-/// can grow exponentially in the number of rounds (up to `2^rounds` nodes),
-/// because distinct partial sums never merge. The compiler therefore
-/// carries a node bound ([`MAX_VOTE_NODES`] at the public entry points) and
-/// reports [`EvalError::VoteCircuitTooLarge`] instead of exhausting memory;
-/// the [`Runner`] defaults to 10 boosting rounds (`abt_rounds`), far below
-/// the bound.
-///
-/// [`Runner`]: crate::framework::Runner
-struct VoteCompiler<'a> {
-    learners: &'a [(f64, DecisionTree)],
-    indicators: &'a [Lit],
+/// **Complexity caveat:** with pairwise-distinct contributions the state
+/// space still grows exponentially in the number of stages (distinct
+/// partial sums never merge). The compiler therefore bounds both the
+/// materialized ITE nodes *and* the memo table at `bound`
+/// ([`MAX_VOTE_NODES`] at the public entry points) and reports
+/// [`EvalError::VoteCircuitTooLarge`] instead of exhausting memory — the
+/// memo cap keeps the failure fast even when every ITE collapses to a
+/// constant and no variable is ever materialized.
+struct AdditiveVoteCompiler<'a, Cast, Decide>
+where
+    Cast: Fn(usize, usize, u64) -> u64,
+    Decide: Fn(u64) -> bool,
+{
+    /// Per stage: the guard literals of all but the last alternative.
+    stages: &'a [Vec<Lit>],
+    cast: Cast,
+    decide: Decide,
     memo: HashMap<(usize, u64), VoteNode>,
     /// ITE nodes materialized as fresh variables so far.
     nodes: usize,
-    /// Materialization bound.
+    /// Materialization (and memo) bound.
     bound: usize,
 }
 
-impl VoteCompiler<'_> {
-    fn compile(&mut self, cnf: &mut Cnf, index: usize, acc: f64) -> Result<VoteNode, EvalError> {
-        if index == self.learners.len() {
-            return Ok(VoteNode::Const(acc >= 0.0));
+impl<Cast, Decide> AdditiveVoteCompiler<'_, Cast, Decide>
+where
+    Cast: Fn(usize, usize, u64) -> u64,
+    Decide: Fn(u64) -> bool,
+{
+    fn new(
+        stages: &[Vec<Lit>],
+        cast: Cast,
+        decide: Decide,
+        bound: usize,
+    ) -> AdditiveVoteCompiler<'_, Cast, Decide> {
+        AdditiveVoteCompiler {
+            stages,
+            cast,
+            decide,
+            memo: HashMap::new(),
+            nodes: 0,
+            bound,
         }
-        let key = (index, acc.to_bits());
+    }
+
+    fn compile(&mut self, cnf: &mut Cnf, stage: usize, state: u64) -> Result<VoteNode, EvalError> {
+        if stage == self.stages.len() {
+            return Ok(VoteNode::Const((self.decide)(state)));
+        }
+        let key = (stage, state);
         if let Some(&node) = self.memo.get(&key) {
             return Ok(node);
         }
-        let alpha = self.learners[index].0;
-        // Identical arithmetic to `AdaBoost::predict`: `alpha * h` with
-        // `h = ±1.0`, accumulated in learner order.
-        let hi = self.compile(cnf, index + 1, acc + alpha * 1.0)?;
-        // `-alpha` is bit-identical to the predictor's `alpha * -1.0`.
-        let lo = self.compile(cnf, index + 1, acc - alpha)?;
-        let before = cnf.num_vars();
-        let node = ite(cnf, self.indicators[index], hi, lo);
-        if cnf.num_vars() > before {
-            self.nodes += 1;
-            if self.nodes > self.bound {
-                return Err(EvalError::VoteCircuitTooLarge {
-                    nodes: self.nodes,
-                    bound: self.bound,
-                });
+        if self.memo.len() >= self.bound {
+            return Err(EvalError::VoteCircuitTooLarge {
+                nodes: self.memo.len() + 1,
+                bound: self.bound,
+            });
+        }
+        let guards = &self.stages[stage];
+        // Build the if-then-else chain from the otherwise-branch backwards:
+        // acc = g₀ ? s₀ : (g₁ ? s₁ : (… : s_otherwise)).
+        let mut acc = self.compile(cnf, stage + 1, (self.cast)(stage, guards.len(), state))?;
+        for j in (0..guards.len()).rev() {
+            let sub = self.compile(cnf, stage + 1, (self.cast)(stage, j, state))?;
+            let before = cnf.num_vars();
+            acc = ite(cnf, guards[j], sub, acc);
+            if cnf.num_vars() > before {
+                self.nodes += 1;
+                if self.nodes > self.bound {
+                    return Err(EvalError::VoteCircuitTooLarge {
+                        nodes: self.nodes,
+                        bound: self.bound,
+                    });
+                }
             }
         }
-        self.memo.insert(key, node);
-        Ok(node)
+        self.memo.insert(key, acc);
+        Ok(acc)
+    }
+
+    /// Compiles the whole program from `initial` and asserts that the CNF's
+    /// models are exactly the inputs the program maps to `label`.
+    fn assert_label(
+        &mut self,
+        cnf: &mut Cnf,
+        initial: u64,
+        label: TreeLabel,
+    ) -> Result<(), EvalError> {
+        let root = self.compile(cnf, 0, initial)?;
+        let wanted = matches!(label, TreeLabel::True);
+        match root {
+            VoteNode::Const(value) => {
+                if value != wanted {
+                    cnf.add_clause(Vec::new()); // the region is empty
+                }
+            }
+            VoteNode::Defined(lit) => {
+                cnf.add_unit(if wanted { lit } else { !lit });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -428,8 +644,11 @@ fn ite(cnf: &mut Cnf, v: Lit, hi: VoteNode, lo: VoteNode) -> VoteNode {
 }
 
 /// Encodes the AdaBoost `label` region with an explicit vote-diagram node
-/// bound. Exposed at crate level so tests can exercise the bound without
-/// training a pathologically large ensemble.
+/// bound: the decision `Σ αᵢ·hᵢ(x) ≥ 0` over per-learner indicators,
+/// accumulated left to right in `f64` exactly like `AdaBoost::predict`
+/// (`-alpha` is bit-identical to the predictor's `alpha * -1.0`). Exposed
+/// at crate level so tests can exercise the bound without training a
+/// pathologically large ensemble.
 pub(crate) fn encode_adaboost_label(
     ensemble: &AdaBoost,
     cnf: &mut Cnf,
@@ -437,31 +656,62 @@ pub(crate) fn encode_adaboost_label(
     bound: usize,
 ) -> Result<(), EvalError> {
     assert_feature_block(cnf, CnfEncodable::num_features(ensemble));
-    let indicators: Vec<Lit> = ensemble
+    // One two-alternative stage per learner: alternative 0 (the indicator)
+    // fires, the otherwise-alternative does not.
+    let stages: Vec<Vec<Lit>> = ensemble
         .learners()
         .iter()
-        .map(|(_, tree)| define_region_indicator(cnf, tree))
+        .map(|(_, tree)| vec![define_region_indicator(cnf, tree)])
         .collect();
-    let mut compiler = VoteCompiler {
-        learners: ensemble.learners(),
-        indicators: &indicators,
-        memo: HashMap::new(),
-        nodes: 0,
-        bound,
-    };
-    let root = compiler.compile(cnf, 0, 0.0)?;
-    let wanted = matches!(label, TreeLabel::True);
-    match root {
-        VoteNode::Const(value) => {
-            if value != wanted {
-                cnf.add_clause(Vec::new()); // the region is empty
+    let learners = ensemble.learners();
+    let mut compiler = AdditiveVoteCompiler::new(
+        &stages,
+        |stage, alternative, acc| {
+            let alpha = learners[stage].0;
+            let acc = f64::from_bits(acc);
+            if alternative == 0 {
+                acc + alpha * 1.0
+            } else {
+                acc - alpha
             }
-        }
-        VoteNode::Defined(lit) => {
-            cnf.add_unit(if wanted { lit } else { !lit });
-        }
-    }
-    Ok(())
+            .to_bits()
+        },
+        |acc| f64::from_bits(acc) >= 0.0,
+        bound,
+    );
+    compiler.assert_label(cnf, 0.0f64.to_bits(), label)
+}
+
+/// Encodes the GBDT `label` region with an explicit vote-diagram node
+/// bound: one stage per regression tree, whose alternatives are indicators
+/// of the tree's leaf cubes (the last leaf is the stage's implicit
+/// "otherwise" branch — the cubes partition the feature space, so when no
+/// other leaf fires the last one must, and it needs no indicator
+/// variable). The additive-score compiler adds the chosen leaf's shrunken
+/// value per stage — exactly one leaf per tree fires, so the final state
+/// reproduces [`GradientBoosting::tree_sum`] bit for bit — and thresholds
+/// through the predictor's own sigmoid comparison.
+pub(crate) fn encode_gbdt_label(
+    model: &GradientBoosting,
+    cnf: &mut Cnf,
+    label: TreeLabel,
+    bound: usize,
+) -> Result<(), EvalError> {
+    assert_feature_block(cnf, GradientBoosting::num_features(model));
+    let plan = GbdtFoldPlan::of(model);
+    let stages: Vec<Vec<Lit>> = plan
+        .stages
+        .iter()
+        .map(|stage| {
+            stage
+                .guard_paths
+                .iter()
+                .map(|path| define_cube_indicator(cnf, &path.conditions))
+                .collect()
+        })
+        .collect();
+    let mut compiler = AdditiveVoteCompiler::new(&stages, plan.cast(), plan.decide(model), bound);
+    compiler.assert_label(cnf, GbdtFoldPlan::INITIAL, label)
 }
 
 impl CnfEncodable for AdaBoost {
@@ -511,7 +761,47 @@ impl CnfEncodable for AdaBoost {
             },
             |acc| f64::from_bits(acc) >= 0.0,
             vote_node_bound,
+            ReorderPolicy::OnPressure,
         )
+    }
+}
+
+impl CnfEncodable for GradientBoosting {
+    fn num_features(&self) -> usize {
+        GradientBoosting::num_features(self)
+    }
+
+    fn encode_label(&self, cnf: &mut Cnf, label: TreeLabel) {
+        self.try_encode_label(cnf, label)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn try_encode_label_bounded(
+        &self,
+        cnf: &mut Cnf,
+        label: TreeLabel,
+        vote_node_bound: usize,
+    ) -> Result<(), EvalError> {
+        encode_gbdt_label(self, cnf, label, vote_node_bound)
+    }
+
+    /// Additive-score regions through the same float-exact accumulation as
+    /// [`GradientBoosting`]'s `predict`: the vote state is the partial
+    /// sum's `f64` bit pattern, one voter per regression-tree leaf adds its
+    /// shrunken value in training order, and the final state is thresholded
+    /// by the predictor's own sigmoid comparison — so the compiled diagram
+    /// agrees with the predictor on every input including rounding and the
+    /// near-zero scores where `sigmoid(F) ≥ 0.5` and `F ≥ 0` differ.
+    ///
+    /// Because shrinkage makes leaf contributions pairwise-distinct floats,
+    /// deep ensembles stress the node budget; the extraction manager runs
+    /// with [`ReorderPolicy::OnPressure`], sifting the diagram into a
+    /// cheaper variable order before giving up on the budget.
+    fn decision_regions_bounded(
+        &self,
+        vote_node_bound: usize,
+    ) -> Result<Vec<DecisionRegion>, EvalError> {
+        gbdt_decision_regions(self, vote_node_bound, ReorderPolicy::OnPressure)
     }
 }
 
@@ -745,6 +1035,134 @@ mod tests {
         assert_eq!(regions.len(), 1);
         assert!(regions[0].cube.is_empty());
         assert_eq!(regions[0].label, TreeLabel::True);
+    }
+
+    #[test]
+    fn gbdt_encoding_matches_predictions() {
+        use mlkit::gbdt::{GbdtConfig, GradientBoosting};
+        for (rounds, depth) in [(1usize, 2usize), (4, 2), (8, 2), (6, 3)] {
+            let d = dataset_from_fn(4, |x| (x[0] ^ x[2]) == 1 || x[3] == 1);
+            let model = GradientBoosting::fit(
+                &d,
+                GbdtConfig {
+                    num_rounds: rounds,
+                    max_depth: depth,
+                    ..GbdtConfig::default()
+                },
+            );
+            check_encoding_matches_predictions(&model);
+        }
+    }
+
+    #[test]
+    fn gbdt_decision_regions_partition_the_space() {
+        use mlkit::gbdt::{GbdtConfig, GradientBoosting};
+        for (rounds, depth) in [(1usize, 2usize), (4, 2), (8, 2), (6, 3)] {
+            let d = dataset_from_fn(4, |x| x.iter().map(|&b| b as usize).sum::<usize>() >= 2);
+            let model = GradientBoosting::fit(
+                &d,
+                GbdtConfig {
+                    num_rounds: rounds,
+                    max_depth: depth,
+                    ..GbdtConfig::default()
+                },
+            );
+            check_regions_partition(&model);
+        }
+    }
+
+    #[test]
+    fn gbdt_region_bound_is_a_typed_error() {
+        use mlkit::gbdt::{GbdtConfig, GradientBoosting};
+        let d = dataset_from_fn(4, |x| (x[0] ^ x[2]) == 1 || x[3] == 1);
+        let model = GradientBoosting::fit(
+            &d,
+            GbdtConfig {
+                num_rounds: 4,
+                max_depth: 2,
+                ..GbdtConfig::default()
+            },
+        );
+        assert!(model.decision_regions().is_ok());
+        let err = model
+            .decision_regions_bounded(1)
+            .expect_err("one node cannot hold a four-round score fold");
+        assert!(
+            matches!(err, EvalError::VoteCircuitTooLarge { bound: 1, .. }),
+            "unexpected error {err:?}"
+        );
+        let mut cnf = Cnf::new(4);
+        let err = encode_gbdt_label(&model, &mut cnf, TreeLabel::True, 1)
+            .expect_err("one node cannot hold the CNF score fold either");
+        assert!(
+            matches!(err, EvalError::VoteCircuitTooLarge { bound: 1, .. }),
+            "unexpected error {err:?}"
+        );
+    }
+
+    /// The sifting acceptance scenario: a GBDT whose score-fold diagram
+    /// outgrows the vote-node budget under the static (index) variable
+    /// order, but fits it once the on-pressure sifting regroups the paired
+    /// features. The label pairs feature `i` with feature `i + 6`, so the
+    /// index order interleaves every pair — the classic order-sensitive
+    /// family — while the trained trees test both halves.
+    #[test]
+    fn gbdt_budget_blown_by_static_order_succeeds_with_sifting() {
+        use mlkit::gbdt::{GbdtConfig, GradientBoosting};
+        let n = 12usize;
+        let mut d = Dataset::new(n);
+        for bits in 0u32..(1 << n) {
+            let row: Vec<u8> = (0..n).map(|k| ((bits >> k) & 1) as u8).collect();
+            let label = (0..n / 2)
+                .filter(|&i| row[i] != 0 && row[i + n / 2] != 0)
+                .count()
+                % 2
+                == 1;
+            d.push(row, label);
+        }
+        let model = GradientBoosting::fit(
+            &d,
+            GbdtConfig {
+                num_rounds: 5,
+                max_depth: 2,
+                learning_rate: 0.5,
+                ..GbdtConfig::default()
+            },
+        );
+        // Empirically the static-order fold needs ~900 live nodes and the
+        // sifted one fits under 400; 512 sits inside the window with slack
+        // on both sides.
+        let bound = 512;
+        let err = gbdt_decision_regions(&model, bound, ReorderPolicy::Off)
+            .expect_err("the static order must exhaust the budget");
+        assert!(
+            matches!(err, EvalError::VoteCircuitTooLarge { bound: 512, .. }),
+            "unexpected error {err:?}"
+        );
+        let regions = gbdt_decision_regions(&model, bound, ReorderPolicy::OnPressure)
+            .expect("sifting must fit the same budget");
+        // The production path (always on-pressure) agrees under the same
+        // budget, and the reordered regions still partition the space with
+        // the predictor's labels.
+        assert!(model.decision_regions_bounded(bound).is_ok());
+        for bits in 0u32..(1 << n) {
+            let features: Vec<u8> = (0..n).map(|k| ((bits >> k) & 1) as u8).collect();
+            let matching: Vec<&DecisionRegion> = regions
+                .iter()
+                .filter(|r| {
+                    r.cube
+                        .iter()
+                        .all(|l| l.eval(features[l.var().index()] != 0))
+                })
+                .collect();
+            assert_eq!(matching.len(), 1, "input {features:?} must hit one region");
+            let expected = if model.predict(&features) {
+                TreeLabel::True
+            } else {
+                TreeLabel::False
+            };
+            assert_eq!(matching[0].label, expected, "input {features:?}");
+        }
     }
 
     #[test]

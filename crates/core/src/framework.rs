@@ -244,30 +244,43 @@ pub enum ModelFamily {
     Dt,
     /// Random forest (majority vote).
     Rft,
+    /// Gradient-boosted regression trees (additive score).
+    Gbdt,
     /// AdaBoost over depth-limited stumps (weighted vote).
     Abt,
 }
 
 impl ModelFamily {
-    /// All encodable families, in the order the paper's tables list them.
-    pub fn all() -> [ModelFamily; 3] {
-        [ModelFamily::Dt, ModelFamily::Rft, ModelFamily::Abt]
+    /// All encodable families, in the order the paper's tables list them
+    /// (DT, RFT, GBDT, ABT). Returned as a slice so call sites iterate the
+    /// roster instead of pattern-matching a fixed arity — adding a family
+    /// extends every `all()` consumer automatically.
+    pub fn all() -> &'static [ModelFamily] {
+        &[
+            ModelFamily::Dt,
+            ModelFamily::Rft,
+            ModelFamily::Gbdt,
+            ModelFamily::Abt,
+        ]
     }
 
-    /// The paper's short name (`DT`, `RFT`, `ABT`).
+    /// The paper's short name (`DT`, `RFT`, `GBDT`, `ABT`).
     pub fn name(&self) -> &'static str {
         match self {
             ModelFamily::Dt => "DT",
             ModelFamily::Rft => "RFT",
+            ModelFamily::Gbdt => "GBDT",
             ModelFamily::Abt => "ABT",
         }
     }
 
-    /// Parses a case-insensitive family name (`"dt"`, `"rft"`, `"abt"`).
+    /// Parses a case-insensitive family name (`"dt"`, `"rft"`, `"gbdt"`,
+    /// `"abt"`).
     pub fn parse(name: &str) -> Option<ModelFamily> {
         match name.to_ascii_lowercase().as_str() {
             "dt" => Some(ModelFamily::Dt),
             "rft" => Some(ModelFamily::Rft),
+            "gbdt" => Some(ModelFamily::Gbdt),
             "abt" => Some(ModelFamily::Abt),
             _ => None,
         }
@@ -284,6 +297,7 @@ impl std::fmt::Display for ModelFamily {
 enum TrainedModel {
     Dt(DecisionTree),
     Rft(RandomForest),
+    Gbdt(GradientBoosting),
     Abt(AdaBoost),
 }
 
@@ -292,6 +306,7 @@ impl TrainedModel {
         match self {
             TrainedModel::Dt(m) => m,
             TrainedModel::Rft(m) => m,
+            TrainedModel::Gbdt(m) => m,
             TrainedModel::Abt(m) => m,
         }
     }
@@ -300,6 +315,7 @@ impl TrainedModel {
         match self {
             TrainedModel::Dt(m) => m,
             TrainedModel::Rft(m) => m,
+            TrainedModel::Gbdt(m) => m,
             TrainedModel::Abt(m) => m,
         }
     }
@@ -363,6 +379,8 @@ pub struct Runner {
     rft_trees: usize,
     abt_rounds: usize,
     abt_depth: usize,
+    gbdt_rounds: usize,
+    gbdt_depth: usize,
 }
 
 impl Default for Runner {
@@ -383,6 +401,8 @@ impl Runner {
             rft_trees: 15,
             abt_rounds: 10,
             abt_depth: 2,
+            gbdt_rounds: 6,
+            gbdt_depth: 2,
         }
     }
 
@@ -441,6 +461,22 @@ impl Runner {
     /// Depth of the AdaBoost weak learners.
     pub fn abt_depth(mut self, abt_depth: usize) -> Self {
         self.abt_depth = abt_depth.max(1);
+        self
+    }
+
+    /// Number of GBDT boosting rounds. With shrinkage producing
+    /// pairwise-distinct leaf contributions, the additive-score fold can
+    /// reach `Πₜ leavesₜ` abstract states, so the default (6 rounds of
+    /// depth-2 trees, ≈5.5k worst-case fold states) keeps an order of
+    /// magnitude of headroom under the default vote-node budget (2¹⁶).
+    pub fn gbdt_rounds(mut self, gbdt_rounds: usize) -> Self {
+        self.gbdt_rounds = gbdt_rounds.max(1);
+        self
+    }
+
+    /// Depth of the GBDT regression trees.
+    pub fn gbdt_depth(mut self, gbdt_depth: usize) -> Self {
+        self.gbdt_depth = gbdt_depth.max(1);
         self
     }
 
@@ -634,6 +670,14 @@ impl Runner {
                     num_trees: self.rft_trees,
                     seed: config.seed,
                     ..ForestConfig::default()
+                },
+            )),
+            ModelFamily::Gbdt => TrainedModel::Gbdt(GradientBoosting::fit(
+                &train,
+                GbdtConfig {
+                    num_rounds: self.gbdt_rounds,
+                    max_depth: self.gbdt_depth,
+                    ..GbdtConfig::default()
                 },
             )),
             ModelFamily::Abt => TrainedModel::Abt(AdaBoost::fit(
@@ -882,16 +926,14 @@ mod tests {
         let configs = vec![ExperimentConfig::table5(Property::Reflexive, 3)];
         let backend = CounterBackend::exact();
         let rows = Runner::new()
-            .families(&ModelFamily::all())
+            .families(ModelFamily::all())
             .rft_trees(5)
             .abt_rounds(5)
+            .gbdt_rounds(4)
             .run(&configs, &backend)
             .expect("well-formed configs");
         let families: Vec<ModelFamily> = rows.iter().map(|r| r.family).collect();
-        assert_eq!(
-            families,
-            vec![ModelFamily::Dt, ModelFamily::Rft, ModelFamily::Abt]
-        );
+        assert_eq!(families, ModelFamily::all().to_vec());
         for row in &rows {
             let ws = row.whole_space.expect("no budget configured");
             assert_eq!(ws.counts.total(), 512, "family {}", row.family);
@@ -936,16 +978,18 @@ mod tests {
         ];
         let exact = CounterBackend::exact();
         let classic = Runner::new()
-            .families(&ModelFamily::all())
+            .families(ModelFamily::all())
             .rft_trees(5)
             .abt_rounds(5)
+            .gbdt_rounds(4)
             .run(&configs, &exact)
             .expect("well-formed configs");
         let compiled_backend = CachedCounter::new(CompiledCounter::new());
         let compiled = Runner::new()
-            .families(&ModelFamily::all())
+            .families(ModelFamily::all())
             .rft_trees(5)
             .abt_rounds(5)
+            .gbdt_rounds(4)
             .engine(CountingEngine::Compiled)
             .run(&configs, &compiled_backend)
             .expect("well-formed configs");
@@ -972,13 +1016,15 @@ mod tests {
 
     #[test]
     fn model_family_parsing_round_trips() {
-        for family in ModelFamily::all() {
+        assert_eq!(ModelFamily::all().len(), 4, "the four-family roster");
+        for &family in ModelFamily::all() {
             assert_eq!(ModelFamily::parse(family.name()), Some(family));
             assert_eq!(
                 ModelFamily::parse(&family.name().to_ascii_lowercase()),
                 Some(family)
             );
         }
-        assert_eq!(ModelFamily::parse("gbdt"), None);
+        assert_eq!(ModelFamily::parse("gbdt"), Some(ModelFamily::Gbdt));
+        assert_eq!(ModelFamily::parse("svm"), None, "SVMs are not encodable");
     }
 }

@@ -47,6 +47,18 @@ enum RegNode {
     },
 }
 
+/// A root-to-leaf path of one regression tree: the feature conditions
+/// (`(feature, value)` — the split sends `value != 0` right) along the path
+/// and the leaf value it reaches. The paths of one tree are pairwise
+/// disjoint and exhaustive: every input follows exactly one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionPath {
+    /// The `(feature, branch)` tests fixed along the path.
+    pub conditions: Vec<(usize, bool)>,
+    /// The leaf value (the tree's contribution *before* shrinkage).
+    pub value: f64,
+}
+
 /// A regression tree fit to residuals.
 #[derive(Debug, Clone, PartialEq)]
 struct RegressionTree {
@@ -89,6 +101,41 @@ impl RegressionTree {
                         *left
                     };
                 }
+            }
+        }
+    }
+
+    /// Enumerates the tree's root-to-leaf paths (depth-first, left before
+    /// right).
+    fn paths(&self) -> Vec<RegressionPath> {
+        let mut out = Vec::new();
+        let mut conditions = Vec::new();
+        self.collect_paths(self.root, &mut conditions, &mut out);
+        out
+    }
+
+    fn collect_paths(
+        &self,
+        node: usize,
+        conditions: &mut Vec<(usize, bool)>,
+        out: &mut Vec<RegressionPath>,
+    ) {
+        match &self.nodes[node] {
+            RegNode::Leaf { value } => out.push(RegressionPath {
+                conditions: conditions.clone(),
+                value: *value,
+            }),
+            RegNode::Split {
+                feature,
+                left,
+                right,
+            } => {
+                conditions.push((*feature, false));
+                self.collect_paths(*left, conditions, out);
+                conditions.pop();
+                conditions.push((*feature, true));
+                self.collect_paths(*right, conditions, out);
+                conditions.pop();
             }
         }
     }
@@ -196,6 +243,7 @@ pub struct GradientBoosting {
     base_score: f64,
     trees: Vec<RegressionTree>,
     config: GbdtConfig,
+    num_features: usize,
 }
 
 impl GradientBoosting {
@@ -233,17 +281,62 @@ impl GradientBoosting {
             base_score,
             trees,
             config,
+            num_features: dataset.num_features(),
         }
     }
 
     /// The raw additive score `F(x)` before the sigmoid.
     pub fn decision_function(&self, features: &[u8]) -> f64 {
+        self.base_score + self.tree_sum(features)
+    }
+
+    /// The shrunken tree contributions `Σᵢ lr·treeᵢ(x)`, accumulated in
+    /// training order from `0.0` — the quantity the CNF/BDD additive-score
+    /// compilers fold symbolically, so its accumulation order is part of
+    /// the bit-exactness contract with [`predict_from_tree_sum`][p].
+    ///
+    /// [p]: GradientBoosting::predict_from_tree_sum
+    pub fn tree_sum(&self, features: &[u8]) -> f64 {
+        self.trees
+            .iter()
+            .map(|t| self.config.learning_rate * t.predict(features))
+            .sum::<f64>()
+    }
+
+    /// The ensemble's prediction given a value of [`tree_sum`][t],
+    /// bit-identical to [`Classifier::predict`]: the same base score, the
+    /// same sigmoid, the same `>= 0.5` threshold. (The threshold is *not*
+    /// equivalent to `F(x) >= 0`: for scores within one ulp of zero the
+    /// sigmoid rounds to exactly 0.5, so a symbolic encoder must thread the
+    /// final state through this method rather than compare the raw score.)
+    ///
+    /// [t]: GradientBoosting::tree_sum
+    pub fn predict_from_tree_sum(&self, tree_sum: f64) -> bool {
+        sigmoid(self.base_score + tree_sum) >= 0.5
+    }
+
+    /// Number of input features the ensemble was trained on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// The initial log-odds score every prediction starts from.
+    pub fn base_score(&self) -> f64 {
         self.base_score
-            + self
-                .trees
-                .iter()
-                .map(|t| self.config.learning_rate * t.predict(features))
-                .sum::<f64>()
+    }
+
+    /// Number of boosting rounds actually trained.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The root-to-leaf paths of every regression tree, in training order
+    /// (the accumulation order of [`tree_sum`](GradientBoosting::tree_sum)).
+    /// Within one tree the paths partition the input space; the leaf values
+    /// are pre-shrinkage (multiply by `config().learning_rate` for the
+    /// contribution a firing leaf adds to the score).
+    pub fn tree_paths(&self) -> Vec<Vec<RegressionPath>> {
+        self.trees.iter().map(RegressionTree::paths).collect()
     }
 
     /// The ensemble's hyper-parameters.
@@ -254,7 +347,7 @@ impl GradientBoosting {
 
 impl Classifier for GradientBoosting {
     fn predict(&self, features: &[u8]) -> bool {
-        sigmoid(self.decision_function(features)) >= 0.5
+        self.predict_from_tree_sum(self.tree_sum(features))
     }
 
     fn model_name(&self) -> &'static str {
@@ -315,6 +408,61 @@ mod tests {
         d.push(vec![1, 1], false);
         let g = GradientBoosting::fit(&d, GbdtConfig::default());
         assert!(!g.predict(&[0, 1]));
+    }
+
+    #[test]
+    fn tree_paths_partition_and_reproduce_the_sum() {
+        let d = dataset_from_fn(|x| (x[0] ^ x[1]) == 1 || x[3] == 1);
+        let g = GradientBoosting::fit(
+            &d,
+            GbdtConfig {
+                num_rounds: 12,
+                max_depth: 2,
+                ..GbdtConfig::default()
+            },
+        );
+        assert_eq!(g.num_features(), 5);
+        assert_eq!(g.num_trees(), 12);
+        let per_tree = g.tree_paths();
+        assert_eq!(per_tree.len(), g.num_trees());
+        let lr = g.config().learning_rate;
+        for bits in 0u8..32 {
+            let row: Vec<u8> = (0..5).map(|k| (bits >> k) & 1).collect();
+            // Exactly one path per tree fires, and replaying the shrunken
+            // leaf values in training order is bit-identical to tree_sum.
+            let mut sum = 0.0f64;
+            for paths in &per_tree {
+                let firing: Vec<&RegressionPath> = paths
+                    .iter()
+                    .filter(|p| p.conditions.iter().all(|&(f, v)| (row[f] != 0) == v))
+                    .collect();
+                assert_eq!(firing.len(), 1, "input {row:?}");
+                sum += lr * firing[0].value;
+            }
+            assert_eq!(sum.to_bits(), g.tree_sum(&row).to_bits(), "input {row:?}");
+            assert_eq!(g.predict_from_tree_sum(sum), g.predict(&row));
+            assert_eq!(
+                (g.base_score() + sum).to_bits(),
+                g.decision_function(&row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sigmoid_threshold_differs_from_raw_sign_near_zero() {
+        // The contract predict_from_tree_sum documents: within one ulp of
+        // zero the sigmoid rounds to exactly 0.5, so thresholding the raw
+        // score at zero would misclassify tiny negative scores.
+        let mut d = Dataset::new(2);
+        d.push(vec![0, 0], false);
+        d.push(vec![1, 1], true);
+        let g = GradientBoosting::fit(&d, GbdtConfig::default());
+        let tiny = -1e-17 - g.base_score(); // base + tiny ≈ -1e-17 < 0
+        assert!(g.base_score() + tiny < 0.0);
+        assert!(
+            g.predict_from_tree_sum(tiny),
+            "sigmoid(-1e-17) rounds to 0.5"
+        );
     }
 
     #[test]

@@ -1,28 +1,57 @@
-//! Reduced ordered binary decision diagrams (ROBDDs) with hash-consing.
+//! Reduced ordered binary decision diagrams (ROBDDs) with hash-consing and
+//! dynamic variable reordering.
 //!
 //! The module exists for one job in the reproduction: compiling the
 //! *vote circuits* of ensemble models (random-forest majority votes,
-//! AdaBoost weighted votes) into functions of the **feature variables**, and
-//! then extracting a [`cube_cover`](Bdd::cube_cover) from the diagram — a
-//! disjoint, exhaustive list of cubes labelling every input with the
-//! ensemble's decision. Those cubes are exactly the *decision regions* the
-//! compiled AccMC/DiffMC query plans consume (`Σ mc(φ | region-cube)`), so
-//! with this module the ensembles ride the same compile-once/query-many
-//! counting path as single decision trees.
+//! AdaBoost weighted votes, GBDT additive score folds) into functions of
+//! the **feature variables**, and then extracting a
+//! [`cube_cover`](Bdd::cube_cover) from the diagram — a disjoint,
+//! exhaustive list of cubes labelling every input with the ensemble's
+//! decision. Those cubes are exactly the *decision regions* the compiled
+//! AccMC/DiffMC query plans consume (`Σ mc(φ | region-cube)`), so with this
+//! module the ensembles ride the same compile-once/query-many counting path
+//! as single decision trees.
 //!
 //! Design notes:
 //!
 //! * Nodes are hash-consed into a unique table, so the diagram is *reduced*:
 //!   no duplicate `(var, lo, hi)` triples and no redundant tests
 //!   (`lo == hi` collapses). Equal functions therefore share one node.
-//! * Variables are ordered by their `u32` index; [`Bdd::ite`] is the classic
-//!   recursive if-then-else apply with a memo cache.
+//! * Variables are ordered by **level**, not by index: the manager carries a
+//!   var ↔ level permutation (initially the identity, so the default order
+//!   is by `u32` index exactly as before reordering existed). [`Bdd::ite`]
+//!   is the classic recursive if-then-else apply with a memo cache,
+//!   branching on the topmost level among its operands.
 //! * The manager carries a **node budget**: a vote diagram over learners
 //!   with pairwise-distinct float weights can reach `2^rounds` nodes, so
 //!   [`Bdd::ite`] (and the other constructors) report
-//!   [`BddError::TooManyNodes`] instead of exhausting memory. Cube
-//!   extraction counts root-to-sink paths first and reports
+//!   [`BddError::TooManyNodes`] instead of exhausting memory. The budget
+//!   counts *live* nodes: slots reclaimed by garbage collection are reused.
+//!   Cube extraction counts root-to-sink paths first and reports
 //!   [`BddError::TooManyCubes`] before materializing an oversized cover.
+//!
+//! # Dynamic reordering (sifting)
+//!
+//! A fixed variable order can be exponentially worse than the best one
+//! (the classic example: `(x₀∧x₃) ∨ (x₁∧x₄) ∨ (x₂∧x₅)` is linear when the
+//! pairs are adjacent and exponential when they interleave). The manager
+//! therefore supports **in-place reordering**:
+//!
+//! * [`Bdd::swap_adjacent_levels`] exchanges two adjacent levels in place.
+//!   Nodes are rewritten *without changing their [`NodeRef`]s*: every
+//!   handle keeps denoting the same boolean function across swaps, so
+//!   callers' roots, memo tables and caches stay valid.
+//! * [`Bdd::sift`] runs Rudell's sifting: each variable (densest first) is
+//!   moved through every level by adjacent swaps and parked where the
+//!   reachable-node count is smallest. Sifting garbage-collects first
+//!   (only nodes reachable from the caller's `roots` survive — any other
+//!   handle is dangling afterwards) and again at the end, so the budget
+//!   measures the live diagram.
+//! * [`ReorderPolicy`] selects when reordering happens automatically:
+//!   [`Off`](ReorderPolicy::Off) (never — explicit [`Bdd::sift`] calls
+//!   remain available), or [`OnPressure`](ReorderPolicy::OnPressure) —
+//!   [`Bdd::vote_fold`] responds to a blown node budget by sifting and
+//!   retrying instead of failing, so wider ensembles fit smaller budgets.
 //!
 //! # Example
 //!
@@ -45,7 +74,10 @@ use std::fmt;
 
 /// A handle to a node of a [`Bdd`] manager. The two sinks are
 /// [`Bdd::FALSE`] and [`Bdd::TRUE`]; every other handle points at a decision
-/// node owned by the manager that created it.
+/// node owned by the manager that created it. Reordering rewrites nodes in
+/// place, so a handle keeps denoting the same boolean function across
+/// [`Bdd::swap_adjacent_levels`] and [`Bdd::sift`] — but [`Bdd::sift`]
+/// garbage-collects, so only handles reachable from its `roots` survive it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeRef(u32);
 
@@ -56,6 +88,25 @@ struct Node {
     var: u32,
     lo: NodeRef,
     hi: NodeRef,
+}
+
+/// When a [`Bdd`] manager reorders its variables automatically.
+///
+/// Explicit reordering — calling [`Bdd::sift`] directly — is available
+/// under every policy; the policy only governs what the manager does on its
+/// own when a [`vote_fold`](Bdd::vote_fold) hits the node budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReorderPolicy {
+    /// Never reorder automatically: a blown node budget is reported as
+    /// [`BddError::TooManyNodes`] immediately (the pre-reordering
+    /// behaviour).
+    #[default]
+    Off,
+    /// Reorder under budget pressure: when a [`vote_fold`](Bdd::vote_fold)
+    /// step exceeds the node budget, garbage-collect, sift, and retry the
+    /// step; the error only surfaces if the reordered diagram still does
+    /// not fit.
+    OnPressure,
 }
 
 /// Errors reported by the size-guarded [`Bdd`] operations.
@@ -101,9 +152,9 @@ impl fmt::Display for BddError {
 impl std::error::Error for BddError {}
 
 /// One cube of a [`Bdd::cube_cover`]: the literals fixed along a
-/// root-to-sink path (as `(variable, polarity)` pairs, in variable order)
-/// and the sink value the path reaches. Variables absent from `lits` are
-/// free — the cube covers both values.
+/// root-to-sink path (as `(variable, polarity)` pairs, in the diagram's
+/// current level order) and the sink value the path reaches. Variables
+/// absent from `lits` are free — the cube covers both values.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BddCube {
     /// The `(variable, polarity)` literals of the cube.
@@ -112,11 +163,30 @@ pub struct BddCube {
     pub value: bool,
 }
 
+/// Cap on the automatic sift-and-retry attempts of one
+/// [`vote_fold`](Bdd::vote_fold) under [`ReorderPolicy::OnPressure`] — a
+/// fold whose diagram keeps outgrowing the budget after this many
+/// reorderings is genuinely too large, and each extra sift only delays the
+/// typed error.
+const MAX_FOLD_SIFTS: usize = 32;
+
+impl Node {
+    /// Sentinel filling a garbage-collected arena slot. Never interned:
+    /// real nodes cannot carry the reserved sink variable.
+    const FREE: Node = Node {
+        var: u32::MAX,
+        lo: NodeRef(0),
+        hi: NodeRef(0),
+    };
+}
+
 /// A reduced ordered BDD manager: a shared node store plus the operation
 /// caches. All nodes of one computation must come from one manager.
 #[derive(Debug, Clone)]
 pub struct Bdd {
     nodes: Vec<Node>,
+    /// Arena indices of garbage-collected slots, reused by allocation.
+    free: Vec<u32>,
     unique: FxHashMap<Node, NodeRef>,
     ite_cache: FxHashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
     /// Memo table of [`vote_fold`](Bdd::vote_fold), keyed on
@@ -124,7 +194,15 @@ pub struct Bdd {
     /// on one manager reuse the allocation instead of building a fresh map
     /// per fold.
     vote_memo: FxHashMap<(u32, u64), NodeRef>,
+    /// `level_of[var]` — the level a variable currently sits at (smaller =
+    /// closer to the root). Initially the identity permutation.
+    level_of: Vec<u32>,
+    /// `var_at[level]` — the inverse permutation.
+    var_at: Vec<u32>,
     bound: usize,
+    policy: ReorderPolicy,
+    /// Automatic sifts performed by the current [`vote_fold`](Bdd::vote_fold).
+    fold_sifts: usize,
 }
 
 impl Default for Bdd {
@@ -143,26 +221,55 @@ impl Bdd {
     /// variable.
     const SINK_VAR: u32 = u32::MAX;
 
+    /// Sentinel level of the sinks, below every real level.
+    const SINK_LEVEL: u32 = u32::MAX;
+
     /// A manager with an effectively unlimited node budget.
     pub fn new() -> Self {
         Bdd::with_node_budget(usize::MAX)
     }
 
     /// A manager that fails any operation pushing the number of live
-    /// decision nodes (sinks excluded) past `bound`.
+    /// decision nodes (sinks excluded, garbage-collected slots reusable)
+    /// past `bound`.
     pub fn with_node_budget(bound: usize) -> Self {
         Bdd {
             nodes: Vec::new(),
+            free: Vec::new(),
             unique: FxHashMap::default(),
             ite_cache: FxHashMap::default(),
             vote_memo: FxHashMap::default(),
+            level_of: Vec::new(),
+            var_at: Vec::new(),
             bound,
+            policy: ReorderPolicy::Off,
+            fold_sifts: 0,
         }
     }
 
-    /// Number of decision nodes materialized so far (sinks excluded).
+    /// Sets the automatic-reordering policy (default
+    /// [`ReorderPolicy::Off`]).
+    pub fn with_reorder_policy(mut self, policy: ReorderPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The manager's automatic-reordering policy.
+    pub fn reorder_policy(&self) -> ReorderPolicy {
+        self.policy
+    }
+
+    /// Number of live decision nodes (sinks and garbage-collected slots
+    /// excluded) — the quantity the node budget bounds.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.free.len()
+    }
+
+    /// The current variable order, root level first. Starts as the
+    /// identity over the variables seen so far; [`sift`](Bdd::sift) and
+    /// [`swap_adjacent_levels`](Bdd::swap_adjacent_levels) permute it.
+    pub fn variable_order(&self) -> &[u32] {
+        &self.var_at
     }
 
     /// The sink for a boolean constant.
@@ -174,10 +281,21 @@ impl Bdd {
         }
     }
 
+    /// Registers `var` (and any smaller index not yet seen) at the bottom
+    /// of the order, keeping the default index order for fresh managers.
+    fn ensure_var(&mut self, var: u32) {
+        assert!(var != Bdd::SINK_VAR, "variable index reserved for sinks");
+        while self.level_of.len() <= var as usize {
+            let v = self.level_of.len() as u32;
+            self.level_of.push(v);
+            self.var_at.push(v);
+        }
+    }
+
     /// The function of a single literal: `var` when `positive`, `¬var`
     /// otherwise.
     pub fn literal(&mut self, var: u32, positive: bool) -> Result<NodeRef, BddError> {
-        assert!(var != Bdd::SINK_VAR, "variable index reserved for sinks");
+        self.ensure_var(var);
         if positive {
             self.mk(var, Bdd::FALSE, Bdd::TRUE)
         } else {
@@ -186,7 +304,9 @@ impl Bdd {
     }
 
     fn node(&self, r: NodeRef) -> Node {
-        self.nodes[r.0 as usize - 2]
+        let n = self.nodes[r.0 as usize - 2];
+        debug_assert!(n != Node::FREE, "dangling NodeRef into a collected slot");
+        n
     }
 
     fn var_of(&self, r: NodeRef) -> u32 {
@@ -194,6 +314,16 @@ impl Bdd {
             Bdd::SINK_VAR
         } else {
             self.node(r).var
+        }
+    }
+
+    /// The level `r` branches at ([`SINK_LEVEL`](Self::SINK_LEVEL) for the
+    /// sinks, which sit below every variable).
+    fn level_of_ref(&self, r: NodeRef) -> u32 {
+        if r == Bdd::FALSE || r == Bdd::TRUE {
+            Bdd::SINK_LEVEL
+        } else {
+            self.level_of[self.node(r).var as usize]
         }
     }
 
@@ -208,6 +338,23 @@ impl Bdd {
         }
     }
 
+    /// Stores a fresh node, reusing a garbage-collected slot when one is
+    /// available, and interns it in the unique table.
+    fn alloc(&mut self, node: Node) -> NodeRef {
+        let r = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                NodeRef(slot + 2)
+            }
+            None => {
+                self.nodes.push(node);
+                NodeRef(self.nodes.len() as u32 + 1)
+            }
+        };
+        self.unique.insert(node, r);
+        r
+    }
+
     /// Interns the reduced node `(var, lo, hi)`, enforcing the node budget.
     fn mk(&mut self, var: u32, lo: NodeRef, hi: NodeRef) -> Result<NodeRef, BddError> {
         if lo == hi {
@@ -217,16 +364,28 @@ impl Bdd {
         if let Some(&r) = self.unique.get(&node) {
             return Ok(r);
         }
-        if self.nodes.len() >= self.bound {
+        if self.node_count() >= self.bound {
             return Err(BddError::TooManyNodes {
-                nodes: self.nodes.len() + 1,
+                nodes: self.node_count() + 1,
                 bound: self.bound,
             });
         }
-        let r = NodeRef(self.nodes.len() as u32 + 2);
-        self.nodes.push(node);
-        self.unique.insert(node, r);
-        Ok(r)
+        Ok(self.alloc(node))
+    }
+
+    /// [`mk`](Self::mk) without the budget check — used by the reordering
+    /// swaps, whose transient growth is governed by the sifting loop (and
+    /// undone by the garbage collection that brackets it) rather than by
+    /// the construction budget.
+    fn mk_unbounded(&mut self, var: u32, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        self.alloc(node)
     }
 
     /// If-then-else: the function `(f ∧ g) ∨ (¬f ∧ h)`. Every binary (and
@@ -247,7 +406,11 @@ impl Bdd {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return Ok(r);
         }
-        let var = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let level = self
+            .level_of_ref(f)
+            .min(self.level_of_ref(g))
+            .min(self.level_of_ref(h));
+        let var = self.var_at[level as usize];
         let (f0, f1) = self.cofactors(f, var);
         let (g0, g1) = self.cofactors(g, var);
         let (h0, h1) = self.cofactors(h, var);
@@ -298,6 +461,195 @@ impl Bdd {
         }
     }
 
+    /// Exchanges the variables at `level` and `level + 1` **in place**,
+    /// preserving every live handle's function and the reduced/hash-consed
+    /// invariants.
+    ///
+    /// Only nodes at `level` whose children test the variable below are
+    /// rewritten (their content changes, their [`NodeRef`] does not); every
+    /// other node is untouched. Nodes created by the rewrite bypass the
+    /// construction budget — swap growth is transient and bounded by the
+    /// sifting loop that drives it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both `level` and `level + 1` are occupied levels.
+    pub fn swap_adjacent_levels(&mut self, level: usize) {
+        assert!(
+            level + 1 < self.var_at.len(),
+            "swap needs two adjacent levels, got level {level} of {}",
+            self.var_at.len()
+        );
+        let x = self.var_at[level];
+        let y = self.var_at[level + 1];
+        // Nodes testing x above a y-child change structure; everything else
+        // just changes level, which is recorded only in the permutation.
+        let rewrite: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.var == x && (self.var_of(n.lo) == y || self.var_of(n.hi) == y))
+            .map(|(i, _)| i)
+            .collect();
+        // Reorder the permutation first so `mk` places x below y.
+        self.var_at.swap(level, level + 1);
+        self.level_of.swap(x as usize, y as usize);
+        // Drop the stale unique-table entries before any `mk` can observe
+        // them; rewritten contents are re-interned below.
+        for &i in &rewrite {
+            self.unique.remove(&self.nodes[i]);
+        }
+        for &i in &rewrite {
+            let n = self.nodes[i];
+            // f = x ? (y ? hi1 : hi0) : (y ? lo1 : lo0)
+            //   = y ? (x ? hi1 : lo1) : (x ? hi0 : lo0)
+            let (lo0, lo1) = self.cofactors(n.lo, y);
+            let (hi0, hi1) = self.cofactors(n.hi, y);
+            let new_lo = self.mk_unbounded(x, lo0, hi0);
+            let new_hi = self.mk_unbounded(x, lo1, hi1);
+            // With full reduction the rewritten content is provably fresh:
+            // at least one child is an x-node (otherwise the original node
+            // was redundant), and no pre-existing node can have an x-child
+            // at this point in the order.
+            let rewritten = Node {
+                var: y,
+                lo: new_lo,
+                hi: new_hi,
+            };
+            self.nodes[i] = rewritten;
+            self.unique.insert(rewritten, NodeRef(i as u32 + 2));
+        }
+    }
+
+    /// Marks every decision node reachable from `roots`. The returned
+    /// bitmap is indexed by arena slot.
+    fn mark_reachable(&self, roots: &[NodeRef]) -> Vec<bool> {
+        let mut marked = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeRef> = roots
+            .iter()
+            .copied()
+            .filter(|&r| r != Bdd::FALSE && r != Bdd::TRUE)
+            .collect();
+        while let Some(r) = stack.pop() {
+            let slot = r.0 as usize - 2;
+            if marked[slot] {
+                continue;
+            }
+            marked[slot] = true;
+            let n = self.nodes[slot];
+            for child in [n.lo, n.hi] {
+                if child != Bdd::FALSE && child != Bdd::TRUE {
+                    stack.push(child);
+                }
+            }
+        }
+        marked
+    }
+
+    /// Number of decision nodes reachable from `roots` — the size metric
+    /// sifting minimizes (the arena may additionally hold garbage awaiting
+    /// collection).
+    pub fn reachable_count(&self, roots: &[NodeRef]) -> usize {
+        self.mark_reachable(roots).iter().filter(|&&m| m).count()
+    }
+
+    /// Reclaims every node not reachable from `roots`: the slot goes onto
+    /// the free list (reused by later allocations) and its unique-table
+    /// entry disappears. The operation caches are cleared — they may hold
+    /// collected handles.
+    ///
+    /// Any [`NodeRef`] not reachable from `roots` is dangling afterwards.
+    pub fn collect_garbage(&mut self, roots: &[NodeRef]) {
+        let marked = self.mark_reachable(roots);
+        for (i, keep) in marked.iter().enumerate() {
+            if !keep && self.nodes[i] != Node::FREE {
+                self.unique.remove(&self.nodes[i]);
+                self.nodes[i] = Node::FREE;
+                self.free.push(i as u32);
+            }
+        }
+        self.ite_cache.clear();
+        self.vote_memo.clear();
+    }
+
+    /// Rudell-style sifting: garbage-collects down to `roots`, then moves
+    /// each variable (densest first) through every level by
+    /// [adjacent swaps](Bdd::swap_adjacent_levels) and parks it at the
+    /// position minimizing the reachable-node count. A sweep direction is
+    /// abandoned early when the diagram doubles past the best size seen.
+    ///
+    /// Handles in `roots` remain valid and keep their functions; every
+    /// other handle must be considered dangling (the collection reclaims
+    /// it). Sifting never fails — if no better order exists the diagram is
+    /// simply left at the best (possibly original) position per variable.
+    pub fn sift(&mut self, roots: &[NodeRef]) {
+        self.collect_garbage(roots);
+        let levels = self.var_at.len();
+        if levels < 2 {
+            return;
+        }
+        let mut population = vec![0usize; levels];
+        for n in &self.nodes {
+            if *n != Node::FREE {
+                population[n.var as usize] += 1;
+            }
+        }
+        let mut vars: Vec<u32> = (0..levels as u32)
+            .filter(|&v| population[v as usize] > 0)
+            .collect();
+        vars.sort_by_key(|&v| std::cmp::Reverse(population[v as usize]));
+        for var in vars {
+            // Keep the arena lean: each variable's sweep creates transient
+            // nodes the next sweep should not have to walk around.
+            self.collect_garbage(roots);
+            self.sift_var(var, roots);
+        }
+        self.collect_garbage(roots);
+    }
+
+    /// Sifts one variable: down to the bottom, up to the top, then back to
+    /// the best level seen.
+    fn sift_var(&mut self, var: u32, roots: &[NodeRef]) {
+        let levels = self.var_at.len();
+        let mut cur = self.level_of[var as usize] as usize;
+        let mut best = cur;
+        let mut best_size = self.reachable_count(roots);
+        // Abandon a sweep direction once the diagram doubles past the best
+        // size seen (Rudell's max-growth heuristic).
+        let grow_limit = best_size.saturating_mul(2).max(16);
+        while cur + 1 < levels {
+            self.swap_adjacent_levels(cur);
+            cur += 1;
+            let size = self.reachable_count(roots);
+            if size < best_size {
+                best_size = size;
+                best = cur;
+            }
+            if size > grow_limit {
+                break;
+            }
+        }
+        while cur > 0 {
+            self.swap_adjacent_levels(cur - 1);
+            cur -= 1;
+            let size = self.reachable_count(roots);
+            if size < best_size {
+                best_size = size;
+                best = cur;
+            }
+            if size > grow_limit {
+                break;
+            }
+        }
+        // Every visited position is at or below `cur` when a sweep
+        // abandons, so the best level is always reachable by settling
+        // downward.
+        while cur < best {
+            self.swap_adjacent_levels(cur);
+            cur += 1;
+        }
+    }
+
     /// Compiles an ensemble vote `decide(state after every voter)` into the
     /// diagram — the builder behind the random-forest majority vote and the
     /// AdaBoost weighted vote.
@@ -306,21 +658,12 @@ impl Bdd {
     /// folds one vote into the running `u64` state (`true` = the voter
     /// fired; a tally fits directly, an `f64` partial sum travels as its
     /// bit pattern), and `decide` maps a final state to the ensemble's
-    /// output. Memoization is keyed on `(voter index, state)`, so votes
-    /// whose partial tallies merge (equal counts, repeated float weights)
-    /// collapse to a compact diagram.
-    ///
-    /// The memo table is **owned by the manager** — cleared, allocation
-    /// kept — so any further folds on the same manager reuse it instead of
-    /// allocating afresh (today's ensemble builders fold once per manager;
-    /// the field costs them nothing and keeps multi-fold callers, like a
-    /// future GBDT stage compiler, allocation-free). It is also capped at
-    /// `vote_node_bound` entries: distinct
-    /// `(index, state)` pairs are exactly the nodes of the abstract vote
-    /// branching program, and bounding them keeps the fold fail-fast even
-    /// when every ITE collapses to a constant (the diagram stays tiny
-    /// while the state space — e.g. pairwise-distinct float partial sums —
-    /// still grows as `2^rounds`).
+    /// output. This is the two-alternative case of
+    /// [`staged_vote_fold`](Bdd::staged_vote_fold) — one stage per voter,
+    /// whose guard is the voter's region and whose "otherwise" branch is
+    /// the vote not firing — and shares all of its machinery: the
+    /// manager-owned memo table, the state-space cap, and the
+    /// [`ReorderPolicy::OnPressure`] sift-and-retry on budget pressure.
     pub fn vote_fold(
         &mut self,
         voters: &[NodeRef],
@@ -329,30 +672,98 @@ impl Bdd {
         decide: &impl Fn(u64) -> bool,
         vote_node_bound: usize,
     ) -> Result<NodeRef, BddError> {
+        let stages: Vec<Vec<NodeRef>> = voters.iter().map(|&v| vec![v]).collect();
+        self.staged_vote_fold(
+            &stages,
+            initial,
+            &|stage, alternative, state| cast(stage, state, alternative == 0),
+            decide,
+            vote_node_bound,
+        )
+    }
+
+    /// Compiles a **staged** vote `decide(state after every stage)` into
+    /// the diagram — the general additive-score fold behind
+    /// [`vote_fold`](Bdd::vote_fold) and the GBDT leaf fold.
+    ///
+    /// Stage `t` chooses among `stages[t].len() + 1` mutually exclusive
+    /// alternatives: alternative `j < stages[t].len()` is guarded by the
+    /// diagram `stages[t][j]`, and the last alternative (index
+    /// `stages[t].len()`) is the implicit *otherwise* branch, taken when no
+    /// guard holds. The guards of one stage must be **pairwise disjoint**
+    /// (so the chained if-then-else tests are order-independent); when they
+    /// are also exhaustive with the otherwise-alternative (a regression
+    /// tree's leaf cubes), every input takes exactly one alternative per
+    /// stage. `cast(stage, alternative, state)` advances the `u64` state —
+    /// a tally directly, or an `f64` partial sum as its bit pattern.
+    ///
+    /// Staging is what keeps multi-way voters tractable: a gradient-boosted
+    /// tree with `k` leaves folded as `k` independent binary voters would
+    /// enumerate abstract subsets of leaves (`2^k` states per tree), while
+    /// one stage with `k` alternatives enumerates only the states one
+    /// firing leaf per tree can reach.
+    ///
+    /// Memoization is keyed on `(stage, state)` in a table **owned by the
+    /// manager** — cleared, allocation kept — so repeated folds on one
+    /// manager reuse the allocation. The table is capped at
+    /// `vote_node_bound` entries: distinct `(stage, state)` pairs are
+    /// exactly the nodes of the abstract vote branching program, and
+    /// bounding them keeps the fold fail-fast even when every ITE collapses
+    /// to a constant (the diagram stays tiny while the state space — e.g.
+    /// pairwise-distinct float partial sums — still grows exponentially).
+    ///
+    /// Under [`ReorderPolicy::OnPressure`], a fold step that blows the node
+    /// budget garbage-collects, [sifts](Bdd::sift) and retries before
+    /// reporting [`BddError::TooManyNodes`] — the state-space cap above is
+    /// never retried (reordering cannot merge distinct vote states).
+    pub fn staged_vote_fold(
+        &mut self,
+        stages: &[Vec<NodeRef>],
+        initial: u64,
+        cast: &impl Fn(usize, usize, u64) -> u64,
+        decide: &impl Fn(u64) -> bool,
+        vote_node_bound: usize,
+    ) -> Result<NodeRef, BddError> {
         let mut memo = std::mem::take(&mut self.vote_memo);
         memo.clear();
-        let result =
-            self.vote_fold_rec(voters, 0, initial, cast, decide, vote_node_bound, &mut memo);
+        let guards: Vec<NodeRef> = stages.iter().flatten().copied().collect();
+        // Intermediate fold results alive across recursive calls; the
+        // pressure sift must treat them as roots.
+        let mut protect: Vec<NodeRef> = Vec::new();
+        self.fold_sifts = 0;
+        let result = self.staged_fold_rec(
+            stages,
+            &guards,
+            0,
+            initial,
+            cast,
+            decide,
+            vote_node_bound,
+            &mut memo,
+            &mut protect,
+        );
         // Hand the allocation back to the manager even on failure.
         self.vote_memo = memo;
         result
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn vote_fold_rec(
+    fn staged_fold_rec(
         &mut self,
-        voters: &[NodeRef],
-        index: usize,
+        stages: &[Vec<NodeRef>],
+        guards: &[NodeRef],
+        stage: usize,
         state: u64,
-        cast: &impl Fn(usize, u64, bool) -> u64,
+        cast: &impl Fn(usize, usize, u64) -> u64,
         decide: &impl Fn(u64) -> bool,
         bound: usize,
         memo: &mut FxHashMap<(u32, u64), NodeRef>,
+        protect: &mut Vec<NodeRef>,
     ) -> Result<NodeRef, BddError> {
-        if index == voters.len() {
+        if stage == stages.len() {
             return Ok(self.constant(decide(state)));
         }
-        if let Some(&r) = memo.get(&(index as u32, state)) {
+        if let Some(&r) = memo.get(&(stage as u32, state)) {
             return Ok(r);
         }
         if memo.len() >= bound {
@@ -361,27 +772,72 @@ impl Bdd {
                 bound,
             });
         }
-        let hi = self.vote_fold_rec(
-            voters,
-            index + 1,
-            cast(index, state, true),
+        let alts = &stages[stage];
+        // Build the if-then-else chain from the otherwise-branch backwards:
+        // acc = g₀ ? s₀ : (g₁ ? s₁ : (… : s_otherwise)).
+        let mut acc = self.staged_fold_rec(
+            stages,
+            guards,
+            stage + 1,
+            cast(stage, alts.len(), state),
             cast,
             decide,
             bound,
             memo,
+            protect,
         )?;
-        let lo = self.vote_fold_rec(
-            voters,
-            index + 1,
-            cast(index, state, false),
-            cast,
-            decide,
-            bound,
-            memo,
-        )?;
-        let r = self.ite(voters[index], hi, lo)?;
-        memo.insert((index as u32, state), r);
-        Ok(r)
+        for j in (0..alts.len()).rev() {
+            // `acc` must survive any pressure sift happening below `sub`.
+            protect.push(acc);
+            let sub = self.staged_fold_rec(
+                stages,
+                guards,
+                stage + 1,
+                cast(stage, j, state),
+                cast,
+                decide,
+                bound,
+                memo,
+                protect,
+            );
+            protect.pop();
+            acc = self.pressure_ite(alts[j], sub?, acc, guards, memo, protect)?;
+        }
+        memo.insert((stage as u32, state), acc);
+        Ok(acc)
+    }
+
+    /// [`ite`](Bdd::ite) with the fold's budget-pressure response: under
+    /// [`ReorderPolicy::OnPressure`], a blown node budget triggers one
+    /// garbage-collecting [sift](Bdd::sift) over everything the fold still
+    /// needs — the stage guards, every memoized partial diagram, the
+    /// in-flight intermediates, and this step's operands — and one retry.
+    fn pressure_ite(
+        &mut self,
+        f: NodeRef,
+        g: NodeRef,
+        h: NodeRef,
+        guards: &[NodeRef],
+        memo: &FxHashMap<(u32, u64), NodeRef>,
+        protect: &[NodeRef],
+    ) -> Result<NodeRef, BddError> {
+        match self.ite(f, g, h) {
+            Ok(r) => Ok(r),
+            Err(BddError::TooManyNodes { .. })
+                if self.policy == ReorderPolicy::OnPressure && self.fold_sifts < MAX_FOLD_SIFTS =>
+            {
+                self.fold_sifts += 1;
+                let mut roots: Vec<NodeRef> =
+                    Vec::with_capacity(guards.len() + memo.len() + protect.len() + 3);
+                roots.extend_from_slice(guards);
+                roots.extend(memo.values().copied());
+                roots.extend_from_slice(protect);
+                roots.extend([f, g, h]);
+                self.sift(&roots);
+                self.ite(f, g, h)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Number of root-to-sink paths below each reachable node, saturated at
@@ -475,6 +931,46 @@ mod tests {
             assert_eq!(matching.len(), 1, "input {assignment:?}");
             assert_eq!(matching[0].value, bdd.eval(root, &assignment));
         }
+    }
+
+    /// Asserts the reduced/hash-consed invariants over the live nodes:
+    /// no redundant tests, no duplicated contents, children strictly below
+    /// their parent in the current order, and a consistent unique table.
+    fn assert_reduced(bdd: &Bdd) {
+        let mut seen = std::collections::HashSet::new();
+        for (i, n) in bdd.nodes.iter().enumerate() {
+            if *n == Node::FREE {
+                continue;
+            }
+            assert_ne!(n.lo, n.hi, "redundant test survived at slot {i}");
+            assert!(seen.insert(*n), "duplicate content {n:?} at slot {i}");
+            let parent_level = bdd.level_of[n.var as usize];
+            for child in [n.lo, n.hi] {
+                assert!(
+                    bdd.level_of_ref(child) > parent_level,
+                    "child above parent at slot {i}"
+                );
+            }
+            assert_eq!(
+                bdd.unique.get(n),
+                Some(&NodeRef(i as u32 + 2)),
+                "unique table out of sync at slot {i}"
+            );
+        }
+    }
+
+    /// The classic order-sensitive function: `(x0∧x3) ∨ (x1∧x4) ∨ (x2∧x5)`.
+    /// Under the identity (interleaved) order its diagram is exponential in
+    /// the number of pairs; with the pairs adjacent it is linear.
+    fn disjoint_pairs(bdd: &mut Bdd, pairs: u32) -> NodeRef {
+        let mut f = bdd.constant(false);
+        for i in 0..pairs {
+            let a = bdd.literal(i, true).unwrap();
+            let b = bdd.literal(i + pairs, true).unwrap();
+            let both = bdd.and(a, b).unwrap();
+            f = bdd.or(f, both).unwrap();
+        }
+        f
     }
 
     #[test]
@@ -599,5 +1095,229 @@ mod tests {
         };
         assert!(n.to_string().contains("node budget"));
         assert!(c.to_string().contains("cube cover"));
+    }
+
+    #[test]
+    fn adjacent_swap_preserves_semantics_and_reduction() {
+        let mut bdd = Bdd::new();
+        let f = disjoint_pairs(&mut bdd, 3);
+        let expected: Vec<bool> = (0u32..64)
+            .map(|bits| {
+                let a: Vec<bool> = (0..6).map(|k| bits >> k & 1 == 1).collect();
+                (a[0] && a[3]) || (a[1] && a[4]) || (a[2] && a[5])
+            })
+            .collect();
+        // Walk a few swaps up and down the order, checking after each that
+        // the handle still denotes the same function and the diagram stays
+        // reduced and hash-consed.
+        for level in [0usize, 2, 4, 1, 3, 0, 0, 4] {
+            bdd.swap_adjacent_levels(level);
+            assert_reduced(&bdd);
+            for (bits, want) in expected.iter().enumerate() {
+                let a: Vec<bool> = (0..6).map(|k| bits >> k & 1 == 1).collect();
+                assert_eq!(bdd.eval(f, &a), *want, "input {a:?} after swap {level}");
+            }
+        }
+        let mut order = bdd.variable_order().to_vec();
+        order.sort_unstable();
+        assert_eq!(
+            order,
+            (0..6).collect::<Vec<u32>>(),
+            "order is a permutation"
+        );
+    }
+
+    #[test]
+    fn garbage_collection_reclaims_unreachable_nodes() {
+        let mut bdd = Bdd::new();
+        let f = disjoint_pairs(&mut bdd, 3);
+        let live_before = bdd.reachable_count(&[f]);
+        assert!(bdd.node_count() > live_before, "construction left garbage");
+        bdd.collect_garbage(&[f]);
+        assert_eq!(bdd.node_count(), live_before);
+        assert_reduced(&bdd);
+        // Collected slots are reused by later allocations.
+        let before = bdd.nodes.len();
+        let x = bdd.literal(1, true).unwrap();
+        let y = bdd.literal(4, true).unwrap();
+        bdd.and(x, y).unwrap();
+        assert_eq!(bdd.nodes.len(), before, "allocation must reuse free slots");
+    }
+
+    #[test]
+    fn sifting_preserves_cube_cover_semantics() {
+        let mut bdd = Bdd::new();
+        let f = disjoint_pairs(&mut bdd, 3);
+        let before: Vec<bool> = (0u32..64)
+            .map(|bits| {
+                let a: Vec<bool> = (0..6).map(|k| bits >> k & 1 == 1).collect();
+                bdd.eval(f, &a)
+            })
+            .collect();
+        bdd.sift(&[f]);
+        assert_reduced(&bdd);
+        // Same satisfying set, and the reordered cover still partitions.
+        for (bits, want) in before.iter().enumerate() {
+            let a: Vec<bool> = (0..6).map(|k| bits >> k & 1 == 1).collect();
+            assert_eq!(bdd.eval(f, &a), *want, "input {a:?}");
+        }
+        assert_cover_partitions(&bdd, f, 6);
+    }
+
+    /// Regression pin for the sifting win on a fixed vote circuit: the
+    /// interleaved disjoint-pairs majority-style vote (`decide` fires when
+    /// any pair voted) must shrink measurably under sifting. The pinned
+    /// sizes fail loudly if the sweep heuristic regresses.
+    #[test]
+    fn sifting_shrinks_the_interleaved_pairs_vote_circuit() {
+        let pairs = 4u32;
+        let mut bdd = Bdd::new();
+        let voters: Vec<NodeRef> = (0..pairs)
+            .map(|i| {
+                let a = bdd.literal(i, true).unwrap();
+                let b = bdd.literal(i + pairs, true).unwrap();
+                bdd.and(a, b).unwrap()
+            })
+            .collect();
+        let root = bdd
+            .vote_fold(
+                &voters,
+                0,
+                &|_, tally, fired| tally + u64::from(fired),
+                &|tally| tally >= 1,
+                1 << 16,
+            )
+            .unwrap();
+        let before = bdd.reachable_count(&[root]);
+        bdd.sift(&[root]);
+        let after = bdd.reachable_count(&[root]);
+        assert!(
+            after < before,
+            "sifting must shrink {before} nodes, got {after}"
+        );
+        // Interleaved order: 2·(2^pairs - 1) nodes (the top half remembers
+        // every subset of first elements); pairs-adjacent order: 2 per pair.
+        assert_eq!(before, 30, "interleaved size drifted — update the pin");
+        assert_eq!(after, 8, "sifted size drifted — update the pin");
+        assert_reduced(&bdd);
+        for bits in 0u32..(1 << (2 * pairs)) {
+            let a: Vec<bool> = (0..2 * pairs).map(|k| bits >> k & 1 == 1).collect();
+            let want = (0..pairs).any(|i| a[i as usize] && a[(i + pairs) as usize]);
+            assert_eq!(bdd.eval(root, &a), want);
+        }
+    }
+
+    #[test]
+    fn on_pressure_fold_succeeds_where_off_fails() {
+        // Six interleaved pairs: the identity order needs 2^6 + … nodes,
+        // the pairs-adjacent order only 12. A budget between the two makes
+        // the static fold fail and the sifting fold succeed.
+        let pairs = 6u32;
+        let build = |policy: ReorderPolicy, bound: usize| {
+            let mut bdd = Bdd::with_node_budget(bound).with_reorder_policy(policy);
+            let voters: Vec<NodeRef> = (0..pairs)
+                .map(|i| {
+                    let a = bdd.literal(i, true).unwrap();
+                    let b = bdd.literal(i + pairs, true).unwrap();
+                    bdd.and(a, b).unwrap()
+                })
+                .collect();
+            let root = bdd.vote_fold(
+                &voters,
+                0,
+                &|_, tally, fired| tally + u64::from(fired),
+                &|tally| tally >= 1,
+                bound,
+            )?;
+            Ok((bdd, root))
+        };
+        let bound = 48;
+        let err = build(ReorderPolicy::Off, bound).map(|_| ()).unwrap_err();
+        assert!(
+            matches!(err, BddError::TooManyNodes { bound: 48, .. }),
+            "unexpected error {err:?}"
+        );
+        let (bdd, root) = build(ReorderPolicy::OnPressure, bound).expect("sifting must fit");
+        assert!(bdd.node_count() <= bound);
+        for bits in [0u32, 1, 65, 4095, 2080, 33] {
+            let a: Vec<bool> = (0..2 * pairs).map(|k| bits >> k & 1 == 1).collect();
+            let want = (0..pairs).any(|i| a[i as usize] && a[(i + pairs) as usize]);
+            assert_eq!(bdd.eval(root, &a), want, "input bits {bits}");
+        }
+    }
+
+    #[test]
+    fn staged_fold_matches_direct_evaluation() {
+        // Two three-way stages mimicking depth-1 regression trees: stage 0
+        // splits on (x0, x1), stage 1 on (x2, x3); each alternative adds a
+        // distinct weight and the decision thresholds the total.
+        let mut bdd = Bdd::new();
+        let x0 = bdd.literal(0, true).unwrap();
+        let x1 = bdd.literal(1, true).unwrap();
+        let nx1 = bdd.literal(1, false).unwrap();
+        let x2 = bdd.literal(2, true).unwrap();
+        let x3 = bdd.literal(3, true).unwrap();
+        let nx3 = bdd.literal(3, false).unwrap();
+        // Guards per stage are disjoint and, with the otherwise branch,
+        // exhaustive: {x0∧x1, x0∧¬x1, otherwise ¬x0}.
+        let s0a = bdd.and(x0, x1).unwrap();
+        let s0b = bdd.and(x0, nx1).unwrap();
+        let s1a = bdd.and(x2, x3).unwrap();
+        let s1b = bdd.and(x2, nx3).unwrap();
+        let stages = vec![vec![s0a, s0b], vec![s1a, s1b]];
+        let weights = [[5i64, 2, -3], [1, -4, 2]];
+        let root = bdd
+            .staged_vote_fold(
+                &stages,
+                0u64,
+                &|stage, alt, state| (state as i64 + weights[stage][alt]) as u64,
+                &|state| (state as i64) >= 2,
+                1 << 12,
+            )
+            .unwrap();
+        for bits in 0u32..16 {
+            let a: Vec<bool> = (0..4).map(|k| bits >> k & 1 == 1).collect();
+            let pick = |stage: usize| {
+                let (hi, lo) = (a[2 * stage], a[2 * stage + 1]);
+                if hi && lo {
+                    0
+                } else if hi {
+                    1
+                } else {
+                    2
+                }
+            };
+            let total = weights[0][pick(0)] + weights[1][pick(1)];
+            assert_eq!(bdd.eval(root, &a), total >= 2, "input {a:?}");
+        }
+        assert_cover_partitions(&bdd, root, 4);
+    }
+
+    #[test]
+    fn vote_fold_state_cap_is_not_retried_by_reordering() {
+        // Pairwise-distinct vote states under a constant decide(): every
+        // ITE collapses to a terminal, so the reduced diagram never grows —
+        // the memo cap must trip instead of letting the fold enumerate all
+        // 2^50 states, even under OnPressure (reordering cannot merge
+        // abstract vote states).
+        for policy in [ReorderPolicy::Off, ReorderPolicy::OnPressure] {
+            let mut bdd = Bdd::with_node_budget(64).with_reorder_policy(policy);
+            let voters: Vec<NodeRef> = (0..50u32)
+                .map(|v| bdd.literal(v, true).expect("within budget"))
+                .collect();
+            let err = bdd
+                .vote_fold(
+                    &voters,
+                    0u64,
+                    &|_, state, fired| (state << 1) | u64::from(fired),
+                    &|_| true,
+                    64,
+                )
+                .expect_err("the state space is 2^50");
+            assert!(
+                matches!(err, BddError::TooManyNodes { bound: 64, .. }),
+                "unexpected error {err:?} under {policy:?}"
+            );
+        }
     }
 }

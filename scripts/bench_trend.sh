@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Bench-trend gate: compares a fresh BENCH_counting.json against the
+# baseline downloaded from the previous CI run's artifact and fails when
+# any benchmark's mean wall-clock regressed by more than FACTOR.
+#
+# Usage: bench_trend.sh BASELINE.json FRESH.json [FACTOR]
+#
+#   BASELINE.json  the previous run's report (missing file => first run:
+#                  the gate warns loudly and passes vacuously)
+#   FRESH.json     the report this run just wrote
+#   FACTOR         regression threshold on mean_ns (default 1.5)
+#
+# Reports in smoke mode (`cargo bench -- --test`, single-shot timings) are
+# too noisy for a 1.5x gate, so when either side is a smoke report the
+# threshold is relaxed to at least 3.0 — a real hot-path regression still
+# trips it, scheduler jitter does not.
+#
+# Benchmarks present on only one side (added or removed) are listed for
+# information but never fail the gate.
+set -euo pipefail
+
+baseline="${1:?usage: bench_trend.sh BASELINE.json FRESH.json [FACTOR]}"
+fresh="${2:?usage: bench_trend.sh BASELINE.json FRESH.json [FACTOR]}"
+factor="${3:-1.5}"
+
+if [ ! -f "$fresh" ]; then
+    echo "bench-trend: fresh report $fresh not found" >&2
+    exit 2
+fi
+
+if [ ! -f "$baseline" ]; then
+    echo "::warning::bench-trend: no baseline report at $baseline — first run (or expired artifact), nothing to compare against. The gate passes vacuously; the next run will use this run's artifact as its baseline."
+    exit 0
+fi
+
+modes=$(jq -r '.mode' "$baseline" "$fresh" | sort -u | paste -sd, -)
+if jq -e -r '.mode' "$baseline" "$fresh" | grep -qx smoke; then
+    relaxed=$(awk -v f="$factor" 'BEGIN { print (f < 3.0) ? 3.0 : f }')
+    if [ "$relaxed" != "$factor" ]; then
+        echo "bench-trend: smoke-mode timings detected (modes: $modes); relaxing threshold ${factor}x -> ${relaxed}x"
+        factor="$relaxed"
+    fi
+fi
+
+# name<TAB>old_mean<TAB>new_mean<TAB>ratio for every benchmark present in
+# both reports, sorted by ratio descending.
+table=$(jq -r -n --slurpfile old "$baseline" --slurpfile new "$fresh" '
+    ($old[0].benches | map({(.name): .mean_ns}) | add // {}) as $base
+    | $new[0].benches[]
+    | select($base[.name] != null and $base[.name] > 0)
+    | [.name, $base[.name], .mean_ns, (.mean_ns / $base[.name])]
+    | @tsv' | sort -t"$(printf '\t')" -k4 -nr)
+
+if [ -z "$table" ]; then
+    echo "::warning::bench-trend: the reports share no benchmark names — nothing to compare"
+    exit 0
+fi
+
+new_only=$(jq -r -n --slurpfile old "$baseline" --slurpfile new "$fresh" '
+    ($old[0].benches | map(.name)) as $names
+    | $new[0].benches[] | select(.name as $n | $names | index($n) | not) | .name')
+[ -n "$new_only" ] && printf 'bench-trend: new benchmarks (no baseline): %s\n' "$(echo "$new_only" | paste -sd' ' -)"
+
+status=0
+while IFS=$'\t' read -r name old_ns new_ns ratio; do
+    flagged=$(awk -v r="$ratio" -v f="$factor" 'BEGIN { print (r > f) ? 1 : 0 }')
+    pretty=$(awk -v r="$ratio" 'BEGIN { printf "%.2f", r }')
+    if [ "$flagged" = 1 ]; then
+        echo "::error::bench-trend: $name regressed ${pretty}x (mean ${old_ns}ns -> ${new_ns}ns, threshold ${factor}x)"
+        status=1
+    else
+        echo "bench-trend: $name ${pretty}x (mean ${old_ns}ns -> ${new_ns}ns)"
+    fi
+done <<< "$table"
+
+if [ "$status" -ne 0 ]; then
+    echo "bench-trend: FAILED — at least one benchmark regressed past ${factor}x" >&2
+else
+    echo "bench-trend: ok — no benchmark regressed past ${factor}x"
+fi
+exit "$status"

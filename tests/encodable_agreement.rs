@@ -11,6 +11,7 @@ use mcml::tree2cnf::TreeLabel;
 use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::Dataset;
 use mlkit::forest::{ForestConfig, RandomForest};
+use mlkit::gbdt::{GbdtConfig, GradientBoosting};
 use mlkit::tree::{DecisionTree, TreeConfig};
 use mlkit::Classifier;
 use modelcount::exact::ExactCounter;
@@ -127,6 +128,20 @@ fn even_sized_forest_counts_match_predictions_exhaustively() {
 }
 
 #[test]
+fn gbdt_counts_match_predictions_exhaustively() {
+    check_family(&[2, 3], &PROPERTIES, |train, _seed| {
+        GradientBoosting::fit(
+            train,
+            GbdtConfig {
+                num_rounds: 6,
+                max_depth: 2,
+                ..GbdtConfig::default()
+            },
+        )
+    });
+}
+
+#[test]
 fn adaboost_counts_match_predictions_exhaustively() {
     check_family(&[2, 3], &PROPERTIES, |train, seed| {
         AdaBoost::fit(
@@ -159,6 +174,17 @@ fn label_regions_partition_the_space_for_every_family() {
                     num_trees: 5,
                     seed: 2,
                     ..ForestConfig::default()
+                },
+            )),
+        ),
+        (
+            "GBDT",
+            Box::new(GradientBoosting::fit(
+                &sample,
+                GbdtConfig {
+                    num_rounds: 6,
+                    max_depth: 2,
+                    ..GbdtConfig::default()
                 },
             )),
         ),

@@ -11,6 +11,7 @@ use mcml::encode::CnfEncodable;
 use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::Dataset;
 use mlkit::forest::{ForestConfig, RandomForest};
+use mlkit::gbdt::{GbdtConfig, GradientBoosting};
 use mlkit::tree::{DecisionTree, TreeConfig};
 use modelcount::exact::ExactCounter;
 use proptest::prelude::*;
@@ -167,11 +168,13 @@ fn region_sums_equal_classic_four_counts() {
     }
 }
 
-/// Trains the compact ensemble pair the conformance tests use: a
-/// three-tree majority-vote forest and a three-round boosted-stump
-/// ensemble, both small enough that the exhaustive scope sweep stays fast
-/// while still exercising the vote-BDD region extraction.
-fn fit_ensembles(train: &Dataset, seed: u64) -> (RandomForest, AdaBoost) {
+/// Trains the compact ensemble trio the conformance tests use: a
+/// three-tree majority-vote forest, a three-round boosted-stump ensemble,
+/// and a three-round gradient-boosting ensemble — all small enough that
+/// the exhaustive scope sweep stays fast while still exercising the
+/// vote-BDD region extraction (binary folds for RFT/ABT, the staged
+/// additive-score fold for GBDT).
+fn fit_ensembles(train: &Dataset, seed: u64) -> (RandomForest, AdaBoost, GradientBoosting) {
     let forest = RandomForest::fit(
         train,
         ForestConfig {
@@ -188,15 +191,24 @@ fn fit_ensembles(train: &Dataset, seed: u64) -> (RandomForest, AdaBoost) {
             seed,
         },
     );
-    (forest, ensemble)
+    let boosted = GradientBoosting::fit(
+        train,
+        GbdtConfig {
+            num_rounds: 3,
+            max_depth: 2,
+            ..GbdtConfig::default()
+        },
+    );
+    (forest, ensemble, boosted)
 }
 
 /// Exhaustive engine conformance for the voting ensembles: on every table
-/// property at scopes 2 and 3, a random forest and a boosted ensemble must
-/// produce bit-identical whole-space counts under the classic
-/// four-conjunction plan and the compiled region-sum plan — and the
-/// compiled plan must reach them without ever encoding the ensemble
-/// (only φ and ¬φ are compiled, shared by both models).
+/// property at scopes 2 and 3, a random forest, a boosted ensemble and a
+/// gradient-boosting ensemble must produce bit-identical whole-space
+/// counts under the classic four-conjunction plan and the compiled
+/// region-sum plan — and the compiled plan must reach them without ever
+/// encoding the ensemble (only φ and ¬φ are compiled, shared by all three
+/// models).
 #[test]
 fn ensemble_engines_agree_on_all_table_properties() {
     for property in Property::all() {
@@ -207,13 +219,13 @@ fn ensemble_engines_agree_on_all_table_properties() {
             } else {
                 full
             };
-            let (forest, ensemble) = fit_ensembles(&train, 7);
+            let (forest, ensemble, boosted) = fit_ensembles(&train, 7);
             let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
 
             let exact = CounterBackend::exact();
             let compiled_backend = CompiledCounter::new();
-            let models: [&dyn CnfEncodable; 2] = [&forest, &ensemble];
-            for (name, model) in ["RFT", "ABT"].into_iter().zip(models) {
+            let models: [&dyn CnfEncodable; 3] = [&forest, &ensemble, &boosted];
+            for (name, model) in ["RFT", "ABT", "GBDT"].into_iter().zip(models) {
                 let classic = AccMc::new(&exact)
                     .evaluate(&gt, model)
                     .expect("scopes match")
@@ -240,7 +252,7 @@ fn ensemble_engines_agree_on_all_table_properties() {
             assert_eq!(
                 compiled_backend.stats().misses,
                 2,
-                "φ and ¬φ compiled once, shared by both ensembles \
+                "φ and ¬φ compiled once, shared by all three ensembles \
                  (property {property}, scope {scope})"
             );
         }
@@ -259,9 +271,10 @@ fn ensemble_region_sums_equal_classic_four_counts() {
     let scope = 3;
     let train = labeled_dataset(property, scope).subsample(100, 17);
     let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
-    let (forest, ensemble) = fit_ensembles(&train, 23);
+    let (forest, ensemble, boosted) = fit_ensembles(&train, 23);
 
-    let models: [(&str, &dyn CnfEncodable); 2] = [("RFT", &forest), ("ABT", &ensemble)];
+    let models: [(&str, &dyn CnfEncodable); 3] =
+        [("RFT", &forest), ("ABT", &ensemble), ("GBDT", &boosted)];
     for (name, model) in models {
         let regions = model.decision_regions().expect("within the default bound");
         assert!(!regions.is_empty(), "{name} must expose regions");

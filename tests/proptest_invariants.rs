@@ -11,6 +11,7 @@ use mcml::tree2cnf::{tree_label_cnf, TreeLabel};
 use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::{Dataset, SplitSpec};
 use mlkit::forest::{ForestConfig, RandomForest};
+use mlkit::gbdt::{GbdtConfig, GradientBoosting};
 use mlkit::metrics::BinaryMetrics;
 use mlkit::tree::{DecisionTree, TreeConfig};
 use mlkit::Classifier;
@@ -241,6 +242,20 @@ proptest! {
             AdaBoostConfig { num_rounds: 4, weak_depth: 1, seed },
         );
         check_region_cover(&ensemble);
+    }
+
+    /// Gradient boosting → the staged additive-score fold yields the same
+    /// disjoint + exhaustive cube cover (training is deterministic, so the
+    /// dataset strategy provides the variation).
+    #[test]
+    fn gbdt_regions_are_disjoint_and_exhaustive(
+        dataset in arb_dataset(4), rounds in 1usize..6
+    ) {
+        let model = GradientBoosting::fit(
+            &dataset,
+            GbdtConfig { num_rounds: rounds, max_depth: 2, ..GbdtConfig::default() },
+        );
+        check_region_cover(&model);
     }
 
     #[test]
