@@ -12,8 +12,13 @@
 //! (all four families ride it through their decision regions, with
 //! `--vote-nodes` bounding the ensemble vote circuits), and
 //! `--cache-dir DIR` persists the count cache across processes.
+//! `--artifact-dir DIR` (compiled engine only) additionally persists the
+//! compiled circuits and decision-region covers — preloaded on the next
+//! run, and the warm store the `mcml-serve` query service reads.
 
 use crate::cli::HarnessArgs;
+use mcml::accmc::CountingEngine;
+use mcml::artifact;
 use mcml::counter::CachedCounter;
 use mcml::framework::{ExperimentConfig, Runner};
 use mcml::persist;
@@ -30,6 +35,18 @@ fn cache_file(args: &HarnessArgs) -> Option<PathBuf> {
         .map(|dir| dir.join(persist::cache_file_name(args.backend().name())))
 }
 
+/// The circuit-artifact file under `--artifact-dir`, if configured and
+/// meaningful: only the compiled engine has circuits to persist, so the
+/// flag warns and is ignored otherwise.
+fn artifact_file(args: &HarnessArgs) -> Option<PathBuf> {
+    let dir = args.artifact_dir.as_ref()?;
+    if args.engine != CountingEngine::Compiled {
+        eprintln!("warning: --artifact-dir is ignored without --engine compiled");
+        return None;
+    }
+    Some(dir.join(artifact::artifact_file_name("compiled")))
+}
+
 /// Runs one AccMC-style table and prints it.
 ///
 /// `make_config` maps `(property, scope)` to the experiment configuration
@@ -39,7 +56,30 @@ pub fn run_accmc_table(
     args: &HarnessArgs,
     make_config: impl Fn(Property, usize) -> ExperimentConfig,
 ) {
-    let backend = CachedCounter::new(args.backend());
+    let inner = args.backend();
+    // A clone of the compiled counter shares its circuit cache, so holding
+    // one here lets the artifact path preload/snapshot the same cache the
+    // runner counts through.
+    let compiled = inner.as_compiled().cloned();
+    let artifact_path = artifact_file(args);
+    if let (Some(path), Some(counter)) = (&artifact_path, &compiled) {
+        match artifact::load_artifact(path, "compiled") {
+            Ok(loaded) => {
+                eprintln!(
+                    "(preloaded {} compiled circuits from {})",
+                    loaded.circuits.len(),
+                    path.display()
+                );
+                counter.preload_circuits(loaded.circuits);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => eprintln!(
+                "warning: ignoring unreadable circuit artifact {}: {e}",
+                path.display()
+            ),
+        }
+    }
+    let backend = CachedCounter::new(inner);
     if let Some(path) = cache_file(args) {
         match persist::load_outcomes(&path, args.backend().name()) {
             Ok(entries) => {
@@ -69,11 +109,12 @@ pub fn run_accmc_table(
         })
         .collect();
 
-    let rows = Runner::new()
+    let runner = Runner::new()
         .families(&args.models)
         .threads(args.threads)
         .engine(args.engine)
-        .vote_node_bound(args.vote_nodes)
+        .vote_node_bound(args.vote_nodes);
+    let rows = runner
         .run(&configs, &backend)
         .unwrap_or_else(|e| panic!("malformed experiment batch: {e}"));
 
@@ -140,6 +181,24 @@ pub fn run_accmc_table(
                 "warning: failed to save count cache {}: {e}",
                 path.display()
             ),
+        }
+    }
+
+    if let (Some(path), Some(counter)) = (&artifact_path, &compiled) {
+        match runner.build_artifact(&configs, counter) {
+            Ok(built) => match artifact::save_artifact(path, &built) {
+                Ok(written) => eprintln!(
+                    "(saved {} compiled circuits and {} region covers to {})",
+                    written,
+                    built.covers.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!(
+                    "warning: failed to save circuit artifact {}: {e}",
+                    path.display()
+                ),
+            },
+            Err(e) => eprintln!("warning: failed to build circuit artifact: {e}"),
         }
     }
 }

@@ -18,7 +18,11 @@
 //!   diagram); an ensemble exceeding it fails with a typed
 //!   `VoteCircuitTooLarge` error instead of exhausting memory;
 //! * `--cache-dir DIR` — persist the count cache to `DIR` and reload it on
-//!   the next run (cross-process reuse).
+//!   the next run (cross-process reuse);
+//! * `--artifact-dir DIR` — with `--engine compiled`, persist the compiled
+//!   circuits and decision-region covers to `DIR` (one
+//!   `circuits.compiled.v1.bin` per run, overwritten) and preload them on
+//!   the next run — the warm store `mcml-serve` reads at startup.
 
 use mcml::accmc::CountingEngine;
 use mcml::backend::CounterBackend;
@@ -50,6 +54,9 @@ pub struct HarnessArgs {
     /// Directory holding the persistent count cache (`None` = in-memory
     /// only).
     pub cache_dir: Option<PathBuf>,
+    /// Directory holding the circuit artifact store (`None` = no circuit
+    /// persistence). Only meaningful with the compiled engine.
+    pub artifact_dir: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -65,6 +72,7 @@ impl Default for HarnessArgs {
             engine: CountingEngine::Classic,
             vote_nodes: mcml::encode::MAX_VOTE_NODES,
             cache_dir: None,
+            artifact_dir: None,
         }
     }
 }
@@ -140,6 +148,10 @@ impl HarnessArgs {
                 "--cache-dir" => {
                     let v = iter.next().expect("--cache-dir requires a path");
                     out.cache_dir = Some(PathBuf::from(v));
+                }
+                "--artifact-dir" => {
+                    let v = iter.next().expect("--artifact-dir requires a path");
+                    out.artifact_dir = Some(PathBuf::from(v));
                 }
                 other => panic!("unknown argument {other:?}"),
             }
@@ -270,6 +282,21 @@ mod tests {
         assert_eq!(default.engine, CountingEngine::Classic);
         assert_eq!(default.cache_dir, None);
         assert_eq!(parse(&["--engine", "CLASSIC"]).backend().name(), "exact");
+    }
+
+    #[test]
+    fn parses_artifact_dir() {
+        let a = parse(&[
+            "--engine",
+            "compiled",
+            "--artifact-dir",
+            "/tmp/mcml-artifacts",
+        ]);
+        assert_eq!(
+            a.artifact_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/mcml-artifacts"))
+        );
+        assert_eq!(parse(&[]).artifact_dir, None);
     }
 
     #[test]

@@ -1,0 +1,472 @@
+//! Versioned on-disk persistence for compiled circuits and region covers.
+//!
+//! [`crate::persist`] caches count *outcomes*; this module caches the
+//! expensive intermediates behind them — compiled d-DNNF circuits and the
+//! decision-region cube covers of trained models — so a later process (a
+//! table re-run, or the `mcml-serve` query service) starts warm: zero
+//! compilation decisions, straight to batched `count_cubes` sweeps.
+//!
+//! One [`CircuitArtifact`] file per backend lives under `--artifact-dir`:
+//!
+//! ```text
+//! mcml-circuits v1 backend=compiled encoder=0123456789abcdef
+//! <u64 checksum> <u64 payload length> <binary payload>
+//! ```
+//!
+//! The ASCII header follows the [`crate::persist`] store discipline (kind,
+//! schema version and producing backend spelled out, mismatches rejected
+//! with [`std::io::ErrorKind::InvalidData`]) and additionally pins the
+//! **encoder fingerprint**: a hash over the cache-key fingerprints of
+//! canonical CNFs and the byte image of a canonically compiled circuit.
+//! Circuit-cache keys come from [`cnf_fingerprint`], which is built on the
+//! standard library's unstable-by-contract `DefaultHasher` — if a toolchain
+//! bump (or a compiler/serializer change) shifts either, the fingerprint
+//! shifts, and stale artifacts are rejected instead of silently missing
+//! (or worse, mis-keying) every lookup.
+//!
+//! The binary payload is length-prefixed throughout and guarded by a
+//! checksum, so corruption and truncation surface as `InvalidData` before
+//! any circuit is decoded; each circuit blob is then revalidated
+//! structurally by [`Ddnnf::from_bytes`].
+
+use crate::counter::cnf_fingerprint;
+use crate::encode::DecisionRegion;
+use crate::persist::{invalid, store_file_name, store_header};
+use crate::tree2cnf::TreeLabel;
+use satkit::cnf::{Cnf, Lit};
+use satkit::ddnnf::{Compiler, Ddnnf};
+use std::io;
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// The decision-region cover of one trained model, keyed by the experiment
+/// coordinates the serving layer routes on, plus the circuit-cache
+/// fingerprints of the ground truth's φ and ¬φ CNFs — everything an
+/// accuracy or diff query needs once the fingerprinted circuits are warm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionCover {
+    /// Property name as spelled by `relspec::properties::Property::name`.
+    pub property: String,
+    /// Relational scope the cover was extracted at.
+    pub scope: usize,
+    /// Model family name as spelled by `ModelFamily::name` (`DT`, `RFT`, …).
+    pub family: String,
+    /// Circuit-cache fingerprint of the property's φ CNF.
+    pub phi: u128,
+    /// Circuit-cache fingerprint of the property's ¬φ CNF.
+    pub not_phi: u128,
+    /// The model's decision regions partitioning the input space.
+    pub regions: Vec<DecisionRegion>,
+}
+
+/// Everything a warm start needs: the compiled circuits of one backend's
+/// circuit cache (keyed by CNF fingerprint) and the region covers of the
+/// models evaluated against them.
+#[derive(Debug, Clone)]
+pub struct CircuitArtifact {
+    /// Name of the backend whose cache these circuits came from.
+    pub backend: String,
+    /// Fingerprint-keyed compiled circuits, sorted by key on disk.
+    pub circuits: Vec<(u128, Ddnnf)>,
+    /// Region covers of the trained models, in evaluation order.
+    pub covers: Vec<RegionCover>,
+}
+
+/// The artifact file name for a backend under `--artifact-dir` (e.g.
+/// `circuits.compiled.v1.bin`).
+pub fn artifact_file_name(backend: &str) -> String {
+    store_file_name("circuits", backend, "bin")
+}
+
+/// Fingerprint of the fingerprint-and-compile pipeline itself, pinned into
+/// every artifact header. Combines the [`cnf_fingerprint`] of canonical
+/// CNFs (catching `DefaultHasher` drift across toolchains — the circuit
+/// cache keys would silently change) with a hash of a canonically compiled
+/// circuit's byte image (catching compiler or serializer drift).
+/// Compilation is deterministic, so the value is stable within a build.
+pub fn encoder_fingerprint() -> u64 {
+    static FINGERPRINT: OnceLock<u64> = OnceLock::new();
+    *FINGERPRINT.get_or_init(|| {
+        let mut cnf = Cnf::new(6);
+        cnf.add_clause(vec![Lit::pos(0), Lit::neg(1)]);
+        cnf.add_clause(vec![Lit::pos(1), Lit::pos(2), Lit::neg(3)]);
+        cnf.add_clause(vec![Lit::neg(4), Lit::pos(5)]);
+        cnf.add_clause(vec![Lit::neg(0), Lit::pos(3), Lit::pos(4)]);
+        let key = cnf_fingerprint(&cnf);
+        let circuit = Compiler::new()
+            .compile(&cnf)
+            .expect("the canonical fingerprint CNF compiles without a budget");
+        let mut h = splitmix64((key >> 64) as u64 ^ key as u64);
+        h = splitmix64(h ^ payload_checksum(&circuit.to_bytes()));
+        h
+    })
+}
+
+/// Writes `artifact` to `path`, creating parent directories as needed, and
+/// returns the number of circuits written. The current process's
+/// [`encoder_fingerprint`] is stamped into the header; circuits are sorted
+/// by fingerprint so identical caches produce identical files.
+pub fn save_artifact(path: &Path, artifact: &CircuitArtifact) -> io::Result<usize> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut circuits: Vec<&(u128, Ddnnf)> = artifact.circuits.iter().collect();
+    circuits.sort_by_key(|(key, _)| *key);
+
+    let mut payload = Vec::new();
+    push_u32(&mut payload, circuits.len())?;
+    for (key, circuit) in &circuits {
+        payload.extend_from_slice(&key.to_le_bytes());
+        let blob = circuit.to_bytes();
+        payload.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&blob);
+    }
+    push_u32(&mut payload, artifact.covers.len())?;
+    for cover in &artifact.covers {
+        push_str(&mut payload, &cover.property)?;
+        push_u32(&mut payload, cover.scope)?;
+        push_str(&mut payload, &cover.family)?;
+        payload.extend_from_slice(&cover.phi.to_le_bytes());
+        payload.extend_from_slice(&cover.not_phi.to_le_bytes());
+        push_u32(&mut payload, cover.regions.len())?;
+        for region in &cover.regions {
+            payload.push(match region.label {
+                TreeLabel::False => 0,
+                TreeLabel::True => 1,
+            });
+            let len = u16::try_from(region.cube.len())
+                .map_err(|_| invalid(format!("cube of {} literals", region.cube.len())))?;
+            payload.extend_from_slice(&len.to_le_bytes());
+            for lit in &region.cube {
+                push_u32(&mut payload, lit.code())?;
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(payload.len() + 96);
+    out.extend_from_slice(header_line(&artifact.backend).as_bytes());
+    out.extend_from_slice(&payload_checksum(&payload).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    std::fs::write(path, out)?;
+    Ok(circuits.len())
+}
+
+/// Loads an artifact previously written by [`save_artifact`], verifying the
+/// header (kind, schema version, backend **and** encoder fingerprint) and
+/// the payload checksum before decoding; every circuit blob is then
+/// structurally revalidated by [`Ddnnf::from_bytes`]. Any mismatch,
+/// corruption or truncation is [`std::io::ErrorKind::InvalidData`].
+pub fn load_artifact(path: &Path, expected_backend: &str) -> io::Result<CircuitArtifact> {
+    let bytes = std::fs::read(path)?;
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| invalid("missing artifact header line".to_string()))?;
+    let header = std::str::from_utf8(&bytes[..=newline])
+        .map_err(|_| invalid("non-UTF-8 artifact header".to_string()))?;
+    let expected = header_line(expected_backend);
+    if header != expected {
+        return Err(invalid(format!(
+            "unsupported artifact header {:?} (expected {:?})",
+            header.trim_end(),
+            expected.trim_end()
+        )));
+    }
+
+    let mut r = ByteReader {
+        bytes: &bytes[newline + 1..],
+        pos: 0,
+    };
+    let checksum = r.u64()?;
+    let payload_len = r.u64()? as usize;
+    let payload = r.take(payload_len)?;
+    if r.pos != r.bytes.len() {
+        return Err(invalid(format!(
+            "{} trailing bytes after the payload",
+            r.bytes.len() - r.pos
+        )));
+    }
+    if payload_checksum(payload) != checksum {
+        return Err(invalid("payload checksum mismatch".to_string()));
+    }
+
+    let mut r = ByteReader {
+        bytes: payload,
+        pos: 0,
+    };
+    let num_circuits = r.u32()? as usize;
+    let mut circuits = Vec::with_capacity(num_circuits.min(1 << 16));
+    for _ in 0..num_circuits {
+        let key = r.u128()?;
+        let blob_len = r.u64()? as usize;
+        let blob = r.take(blob_len)?;
+        let circuit =
+            Ddnnf::from_bytes(blob).map_err(|e| invalid(format!("circuit {key:032x}: {e}")))?;
+        circuits.push((key, circuit));
+    }
+    let num_covers = r.u32()? as usize;
+    let mut covers = Vec::with_capacity(num_covers.min(1 << 16));
+    for _ in 0..num_covers {
+        let property = r.string()?;
+        let scope = r.u32()? as usize;
+        let family = r.string()?;
+        let phi = r.u128()?;
+        let not_phi = r.u128()?;
+        let num_regions = r.u32()? as usize;
+        let mut regions = Vec::with_capacity(num_regions.min(1 << 20));
+        for _ in 0..num_regions {
+            let label = match r.u8()? {
+                0 => TreeLabel::False,
+                1 => TreeLabel::True,
+                tag => return Err(invalid(format!("unknown region label tag {tag}"))),
+            };
+            let cube_len = r.u16()? as usize;
+            let mut cube = Vec::with_capacity(cube_len);
+            for _ in 0..cube_len {
+                cube.push(Lit::from_code(r.u32()? as usize));
+            }
+            regions.push(DecisionRegion { cube, label });
+        }
+        covers.push(RegionCover {
+            property,
+            scope,
+            family,
+            phi,
+            not_phi,
+            regions,
+        });
+    }
+    if r.pos != payload.len() {
+        return Err(invalid(format!(
+            "{} trailing payload bytes after the cover list",
+            payload.len() - r.pos
+        )));
+    }
+    Ok(CircuitArtifact {
+        backend: expected_backend.to_string(),
+        circuits,
+        covers,
+    })
+}
+
+/// The artifact's full header line, newline included.
+fn header_line(backend: &str) -> String {
+    format!(
+        "{} encoder={:016x}\n",
+        store_header("circuits", backend),
+        encoder_fingerprint()
+    )
+}
+
+fn push_u32(out: &mut Vec<u8>, value: usize) -> io::Result<()> {
+    let value =
+        u32::try_from(value).map_err(|_| invalid(format!("count {value} overflows u32")))?;
+    out.extend_from_slice(&value.to_le_bytes());
+    Ok(())
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) -> io::Result<()> {
+    let len =
+        u16::try_from(s.len()).map_err(|_| invalid(format!("string of {} bytes", s.len())))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Little-endian cursor over artifact bytes; every read maps out-of-bounds
+/// to `InvalidData` so truncation never panics.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| invalid(format!("truncated artifact at byte {}", self.pos)))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> io::Result<u128> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| invalid("non-UTF-8 string in artifact".to_string()))
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Order-sensitive checksum over the payload: splitmix64 folded over
+/// little-endian 8-byte words plus the length, so bit flips, swaps and
+/// truncation all shift the digest.
+fn payload_checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xA076_1D64_78BD_642F_u64;
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = splitmix64(h ^ u64::from_le_bytes(word));
+    }
+    splitmix64(h ^ bytes.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mcml-artifact-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample_artifact() -> CircuitArtifact {
+        let mut phi = Cnf::new(4);
+        phi.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        phi.add_clause(vec![Lit::neg(2), Lit::pos(3)]);
+        let mut not_phi = Cnf::new(4);
+        not_phi.add_clause(vec![Lit::neg(0)]);
+        not_phi.add_clause(vec![Lit::neg(1)]);
+        let compile = |cnf: &Cnf| Compiler::new().compile(cnf).expect("no budget");
+        CircuitArtifact {
+            backend: "compiled".to_string(),
+            circuits: vec![
+                (cnf_fingerprint(&phi), compile(&phi)),
+                (cnf_fingerprint(&not_phi), compile(&not_phi)),
+            ],
+            covers: vec![RegionCover {
+                property: "function".to_string(),
+                scope: 2,
+                family: "DT".to_string(),
+                phi: cnf_fingerprint(&phi),
+                not_phi: cnf_fingerprint(&not_phi),
+                regions: vec![
+                    DecisionRegion {
+                        cube: vec![Lit::pos(0), Lit::neg(3)],
+                        label: TreeLabel::True,
+                    },
+                    DecisionRegion {
+                        cube: vec![Lit::neg(0)],
+                        label: TreeLabel::False,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_circuits_and_covers() {
+        let artifact = sample_artifact();
+        let path = temp_path("roundtrip.bin");
+        let written = save_artifact(&path, &artifact).expect("save");
+        assert_eq!(written, 2);
+        let loaded = load_artifact(&path, "compiled").expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.backend, "compiled");
+        assert_eq!(loaded.covers, artifact.covers);
+        assert_eq!(loaded.circuits.len(), artifact.circuits.len());
+        let mut expected: Vec<&(u128, Ddnnf)> = artifact.circuits.iter().collect();
+        expected.sort_by_key(|(key, _)| *key);
+        for ((lk, lc), (ek, ec)) in loaded.circuits.iter().zip(expected) {
+            assert_eq!(lk, ek);
+            assert_eq!(lc.count(), ec.count());
+            assert_eq!(lc.to_bytes(), ec.to_bytes());
+        }
+    }
+
+    #[test]
+    fn backend_and_encoder_mismatches_are_invalid_data() {
+        let artifact = sample_artifact();
+        let path = temp_path("mismatch.bin");
+        save_artifact(&path, &artifact).expect("save");
+
+        let err = load_artifact(&path, "exact").expect_err("foreign backend");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Forge a drifted encoder fingerprint in an otherwise valid file.
+        let mut bytes = std::fs::read(&path).expect("read back");
+        let newline = bytes.iter().position(|&b| b == b'\n').unwrap();
+        let header = String::from_utf8(bytes[..newline].to_vec()).unwrap();
+        let forged = format!("{}cafe\n", &header[..header.len() - 4]);
+        assert_ne!(
+            forged.as_bytes(),
+            &bytes[..=newline],
+            "test must actually drift"
+        );
+        let mut drifted = forged.into_bytes();
+        drifted.extend_from_slice(&bytes[newline + 1..]);
+        std::fs::write(&path, &drifted).expect("rewrite");
+        let err = load_artifact(&path, "compiled").expect_err("drifted encoder");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        std::fs::write(&path, &mut bytes).expect("restore");
+        assert!(load_artifact(&path, "compiled").is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_invalid_data() {
+        let artifact = sample_artifact();
+        let path = temp_path("corrupt.bin");
+        save_artifact(&path, &artifact).expect("save");
+        let bytes = std::fs::read(&path).expect("read back");
+        let newline = bytes.iter().position(|&b| b == b'\n').unwrap();
+
+        // Flip one payload byte: the checksum must catch it.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        std::fs::write(&path, &flipped).expect("rewrite");
+        let err = load_artifact(&path, "compiled").expect_err("bit flip");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Truncate at a few points past the header: never a panic, always
+        // InvalidData.
+        for cut in [newline + 1, newline + 9, newline + 17, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).expect("rewrite");
+            let err = load_artifact(&path, "compiled").expect_err("truncation");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn artifact_naming_follows_the_store_policy() {
+        assert_eq!(artifact_file_name("compiled"), "circuits.compiled.v1.bin");
+        // One fingerprint per process, stable across calls.
+        assert_eq!(encoder_fingerprint(), encoder_fingerprint());
+    }
+}

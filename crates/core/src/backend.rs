@@ -71,6 +71,16 @@ impl CounterBackend {
         }
     }
 
+    /// The inner [`CompiledCounter`] when this is the compiled backend —
+    /// the handle the artifact warm-start path needs for
+    /// preloading/snapshotting circuits (a clone of it shares the cache).
+    pub fn as_compiled(&self) -> Option<&CompiledCounter> {
+        match self {
+            CounterBackend::Compiled(c) => Some(c),
+            _ => None,
+        }
+    }
+
     /// Counts the models of `cnf` projected onto its effective projection
     /// set (inherent convenience for [`ModelCounter::count`]).
     pub fn count(&self, cnf: &Cnf) -> CountOutcome {

@@ -284,8 +284,16 @@ pub struct CompiledCounter {
 }
 
 /// Fingerprint-keyed store of compilation results (shared via [`Arc`] so a
-/// hit hands out the circuit without cloning it).
-type CircuitCache = HashMap<u128, Arc<Result<Ddnnf, CompileError>>>;
+/// hit hands out the circuit without cloning it). Each entry remembers
+/// whether the circuit was compiled by this process or seeded from a
+/// persisted artifact, so warm-start claims stay verifiable.
+type CircuitCache = HashMap<u128, CachedCircuit>;
+
+#[derive(Debug, Clone)]
+struct CachedCircuit {
+    result: Arc<Result<Ddnnf, CompileError>>,
+    preloaded: bool,
+}
 
 impl Default for CompiledCounter {
     fn default() -> Self {
@@ -327,16 +335,23 @@ impl CompiledCounter {
         }
     }
 
-    /// The summed [`CompileStats`] of every successfully compiled circuit
-    /// in the cache — decisions, conflicts, component-cache hit counts —
-    /// the numbers the counting benches export to `BENCH_counting.json`
-    /// so branching-heuristic regressions show up in the perf trail, not
-    /// just as slower wall-clock.
+    /// The summed [`CompileStats`] of every circuit **compiled by this
+    /// process** — decisions, conflicts, component-cache hit counts — the
+    /// numbers the counting benches export to `BENCH_counting.json` so
+    /// branching-heuristic regressions show up in the perf trail, not just
+    /// as slower wall-clock. Circuits seeded by
+    /// [`preload_circuits`](Self::preload_circuits) are excluded: their
+    /// work was paid by an earlier process, so a fully warm start reports
+    /// zero decisions here (the warm-start proof the artifact tests
+    /// assert).
     pub fn compile_stats(&self) -> CompileStats {
         let circuits = self.circuits.lock().expect("circuit cache poisoned");
         let mut total = CompileStats::default();
         for entry in circuits.values() {
-            if let Ok(circuit) = entry.as_ref() {
+            if entry.preloaded {
+                continue;
+            }
+            if let Ok(circuit) = entry.result.as_ref() {
                 let s = circuit.stats();
                 total.decisions += s.decisions;
                 total.cache_hits += s.cache_hits;
@@ -346,6 +361,52 @@ impl CompiledCounter {
             }
         }
         total
+    }
+
+    /// Seeds the circuit cache with circuits deserialized from an
+    /// artifact. Entries already in the cache win (a circuit this process
+    /// compiled is at least as fresh as the artifact's copy), and
+    /// preloaded circuits are excluded from
+    /// [`compile_stats`](Self::compile_stats).
+    pub fn preload_circuits<I: IntoIterator<Item = (u128, Ddnnf)>>(&self, circuits: I) {
+        use std::collections::hash_map::Entry;
+        let mut cache = self.circuits.lock().expect("circuit cache poisoned");
+        for (key, circuit) in circuits {
+            if let Entry::Vacant(slot) = cache.entry(key) {
+                slot.insert(CachedCircuit {
+                    result: Arc::new(Ok(circuit)),
+                    preloaded: true,
+                });
+            }
+        }
+    }
+
+    /// Number of cached circuits that were seeded by
+    /// [`preload_circuits`](Self::preload_circuits) rather than compiled
+    /// by this process.
+    pub fn preloaded_len(&self) -> usize {
+        self.circuits
+            .lock()
+            .expect("circuit cache poisoned")
+            .values()
+            .filter(|entry| entry.preloaded)
+            .count()
+    }
+
+    /// A clone of every successfully compiled circuit in the cache,
+    /// process-compiled and preloaded alike, keyed by fingerprint — the
+    /// payload [`crate::artifact::save_artifact`] persists. Failed
+    /// compilations are never persisted: a later run may carry a larger
+    /// budget and should retry them.
+    pub fn snapshot_circuits(&self) -> Vec<(u128, Ddnnf)> {
+        let cache = self.circuits.lock().expect("circuit cache poisoned");
+        let mut out = Vec::new();
+        for (key, entry) in cache.iter() {
+            if let Ok(circuit) = entry.result.as_ref() {
+                out.push((*key, circuit.clone()));
+            }
+        }
+        out
     }
 
     /// Number of distinct formulas compiled (successfully or not).
@@ -376,7 +437,7 @@ impl CompiledCounter {
             .get(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(c);
+            return Arc::clone(&c.result);
         }
         // Compile outside the lock so concurrent misses on different
         // formulas proceed in parallel (a duplicated compile on the same
@@ -386,7 +447,13 @@ impl CompiledCounter {
         self.circuits
             .lock()
             .expect("circuit cache poisoned")
-            .insert(key, Arc::clone(&compiled));
+            .insert(
+                key,
+                CachedCircuit {
+                    result: Arc::clone(&compiled),
+                    preloaded: false,
+                },
+            );
         compiled
     }
 
@@ -1006,5 +1073,36 @@ mod tests {
         let stats = fresh.stats();
         assert_eq!(stats.hits, 1, "preloaded entry must serve the count");
         assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn preloaded_circuits_are_excluded_from_compile_stats() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::neg(2), Lit::pos(3)]);
+
+        // First "process" compiles and reports its own decisions.
+        let warm = CompiledCounter::new();
+        let expected = warm.count(&cnf);
+        assert!(warm.compile_stats().decisions > 0);
+        assert_eq!(warm.preloaded_len(), 0);
+
+        // Second "process" preloads the snapshot into a zero-budget
+        // counter: the count is served, yet compile_stats stays empty —
+        // the compilation work verifiably happened elsewhere.
+        let cold = CompiledCounter::with_decision_budget(0);
+        cold.preload_circuits(warm.snapshot_circuits());
+        assert_eq!(cold.preloaded_len(), 1);
+        assert_eq!(cold.count(&cnf), expected);
+        assert_eq!(cold.compile_stats(), CompileStats::default());
+        assert_eq!(cold.stats().misses, 0);
+
+        // A process-compiled entry wins over a later preload of the same
+        // key, and keeps counting as compiled-here.
+        let compiled_first = CompiledCounter::new();
+        compiled_first.count(&cnf);
+        compiled_first.preload_circuits(warm.snapshot_circuits());
+        assert_eq!(compiled_first.preloaded_len(), 0);
+        assert!(compiled_first.compile_stats().decisions > 0);
     }
 }

@@ -17,7 +17,8 @@
 //! families on the same split and reports their test-set metrics.
 
 use crate::accmc::{AccMc, AccMcResult, CountingEngine};
-use crate::counter::QueryCounter;
+use crate::artifact::{CircuitArtifact, RegionCover};
+use crate::counter::{cnf_fingerprint, CompiledCounter, ModelCounter, QueryCounter};
 use crate::encode::CnfEncodable;
 use crate::error::EvalError;
 use datagen::builder::{DatasetBuilder, DatasetConfig, PropertyDataset, SplitRatio};
@@ -414,7 +415,7 @@ impl Runner {
 
     /// Sets the [`CountingEngine`] used for the whole-space evaluation of
     /// every row. With [`CountingEngine::Compiled`] and a backend that
-    /// compiles (a [`CompiledCounter`](crate::counter::CompiledCounter),
+    /// compiles (a [`CompiledCounter`],
     /// possibly wrapped in a
     /// [`CachedCounter`](crate::counter::CachedCounter)), the φ / ¬φ
     /// circuits are shared across all rows of the batch exactly like cached
@@ -652,6 +653,100 @@ impl Runner {
             .collect()
     }
 
+    /// Trains one `(config, family)` model with the runner's
+    /// hyper-parameters and the config's seed. Training is deterministic
+    /// in those inputs, which is what lets
+    /// [`build_artifact`](Self::build_artifact) reproduce the exact models
+    /// a [`run`](Self::run) batch evaluated.
+    fn train_model(
+        &self,
+        config: &ExperimentConfig,
+        family: ModelFamily,
+        train: &Dataset,
+    ) -> TrainedModel {
+        match family {
+            ModelFamily::Dt => TrainedModel::Dt(DecisionTree::fit(train, TreeConfig::default())),
+            ModelFamily::Rft => TrainedModel::Rft(RandomForest::fit(
+                train,
+                ForestConfig {
+                    num_trees: self.rft_trees,
+                    seed: config.seed,
+                    ..ForestConfig::default()
+                },
+            )),
+            ModelFamily::Gbdt => TrainedModel::Gbdt(GradientBoosting::fit(
+                train,
+                GbdtConfig {
+                    num_rounds: self.gbdt_rounds,
+                    max_depth: self.gbdt_depth,
+                    ..GbdtConfig::default()
+                },
+            )),
+            ModelFamily::Abt => TrainedModel::Abt(AdaBoost::fit(
+                train,
+                AdaBoostConfig {
+                    num_rounds: self.abt_rounds,
+                    weak_depth: self.abt_depth,
+                    seed: config.seed,
+                },
+            )),
+        }
+    }
+
+    /// Re-trains the batch's models and packages everything a warm start
+    /// needs into a [`CircuitArtifact`]: each model's decision-region
+    /// cover, the φ / ¬φ circuit fingerprints they are counted against,
+    /// and a snapshot of `counter`'s circuit cache with those circuits
+    /// force-compiled. Training goes through the same
+    /// `train_model` path as [`run`](Self::run) —
+    /// deterministic hyper-parameters and seeds — so the covers reproduce
+    /// the evaluated models exactly and served results can match batch
+    /// rows bit for bit. Failed compilations are not persisted (the
+    /// snapshot skips them).
+    pub fn build_artifact(
+        &self,
+        configs: &[ExperimentConfig],
+        counter: &CompiledCounter,
+    ) -> Result<CircuitArtifact, EvalError> {
+        if self.families.is_empty() {
+            return Err(EvalError::NoModelFamilies);
+        }
+        let jobs: Vec<(ExperimentConfig, ModelFamily)> = configs
+            .iter()
+            .flat_map(|c| self.families.iter().map(move |f| (*c, *f)))
+            .collect();
+        let covers = self.execute(
+            &jobs,
+            counter,
+            |config, family, dataset, ground_truth, counter| {
+                let (train, _test) = dataset.split(config.ratio);
+                let model = self.train_model(config, family, &train);
+                let regions = model
+                    .as_encodable()
+                    .decision_regions_bounded(self.vote_node_bound)?;
+                let phi_cnf = ground_truth.cnf_positive();
+                let not_phi_cnf = ground_truth.cnf_negative();
+                // Force both circuits into the cache; a budget-exhausted
+                // compilation simply stays out of the snapshot.
+                let _ = ModelCounter::count(counter, &phi_cnf);
+                let _ = ModelCounter::count(counter, &not_phi_cnf);
+                Ok(RegionCover {
+                    property: config.property.name().to_string(),
+                    scope: config.scope,
+                    family: family.name().to_string(),
+                    phi: cnf_fingerprint(&phi_cnf),
+                    not_phi: cnf_fingerprint(&not_phi_cnf),
+                    regions,
+                })
+            },
+        )?;
+        Ok(CircuitArtifact {
+            backend: "compiled".to_string(),
+            circuits: counter.snapshot_circuits(),
+            covers,
+        })
+    }
+
     /// Trains and evaluates one `(config, family)` row.
     fn run_family_row<C: QueryCounter + ?Sized>(
         &self,
@@ -662,33 +757,7 @@ impl Runner {
         backend: &C,
     ) -> Result<RunnerRow, EvalError> {
         let (train, test) = dataset.split(config.ratio);
-        let model = match family {
-            ModelFamily::Dt => TrainedModel::Dt(DecisionTree::fit(&train, TreeConfig::default())),
-            ModelFamily::Rft => TrainedModel::Rft(RandomForest::fit(
-                &train,
-                ForestConfig {
-                    num_trees: self.rft_trees,
-                    seed: config.seed,
-                    ..ForestConfig::default()
-                },
-            )),
-            ModelFamily::Gbdt => TrainedModel::Gbdt(GradientBoosting::fit(
-                &train,
-                GbdtConfig {
-                    num_rounds: self.gbdt_rounds,
-                    max_depth: self.gbdt_depth,
-                    ..GbdtConfig::default()
-                },
-            )),
-            ModelFamily::Abt => TrainedModel::Abt(AdaBoost::fit(
-                &train,
-                AdaBoostConfig {
-                    num_rounds: self.abt_rounds,
-                    weak_depth: self.abt_depth,
-                    seed: config.seed,
-                },
-            )),
-        };
+        let model = self.train_model(config, family, &train);
         let test_metrics = evaluate_classifier(model.as_classifier(), &test);
         let whole_space = AccMc::with_engine(backend, self.engine)
             .vote_node_bound(self.vote_node_bound)

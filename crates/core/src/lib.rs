@@ -75,6 +75,7 @@
 //! ```
 
 pub mod accmc;
+pub mod artifact;
 pub mod backend;
 pub mod counter;
 pub mod diffmc;
@@ -86,6 +87,7 @@ pub mod report;
 pub mod tree2cnf;
 
 pub use accmc::{AccMc, AccMcResult, ApproxInfo, CountingEngine, SpaceCounts};
+pub use artifact::{CircuitArtifact, RegionCover};
 pub use backend::CounterBackend;
 pub use counter::{CachedCounter, CompiledCounter, CountOutcome, ModelCounter, QueryCounter};
 pub use diffmc::{DiffCounts, DiffMc, DiffMcResult};

@@ -33,13 +33,30 @@ use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-/// Prefix of the header line identifying the file format and version.
-const HEADER_PREFIX: &str = "mcml-count-cache v1 backend=";
+/// Schema version shared by every mcml on-disk store (the count cache here
+/// and the circuit artifact store in [`crate::artifact`]). Bump it when any
+/// store's layout changes incompatibly; both file names and headers spell
+/// it, so stale files fail the header check instead of being misread.
+pub const STORE_VERSION: u32 = 1;
 
-/// The cache file name for a backend under `--cache-dir` (e.g.
+/// The on-disk file name for a store of `kind` produced by `backend`, e.g.
+/// `counts.exact.v1.cache` — kind, backend and schema version all spelled
+/// out so differently-configured runs never collide on disk.
+pub fn store_file_name(kind: &str, backend: &str, ext: &str) -> String {
+    format!("{kind}.{backend}.v{STORE_VERSION}.{ext}")
+}
+
+/// The header line identifying a store's format, version and producing
+/// backend, e.g. `mcml-count-cache v1 backend=exact`. Every store writes
+/// it first and verifies it (string-equal) on load.
+pub fn store_header(kind: &str, backend: &str) -> String {
+    format!("mcml-{kind} v{STORE_VERSION} backend={backend}")
+}
+
+/// The count-cache file name for a backend under `--cache-dir` (e.g.
 /// `counts.exact.v1.cache`), so differently-configured runs never collide.
 pub fn cache_file_name(backend: &str) -> String {
-    format!("counts.{backend}.v1.cache")
+    store_file_name("counts", backend, "cache")
 }
 
 /// Writes the outcomes produced by `backend` to `path`, creating parent
@@ -56,7 +73,7 @@ pub fn save_outcomes(
         }
     }
     let mut out = BufWriter::new(std::fs::File::create(path)?);
-    writeln!(out, "{HEADER_PREFIX}{backend}")?;
+    writeln!(out, "{}", store_header("count-cache", backend))?;
     // Deterministic order keeps the file diff-friendly.
     let mut keys: Vec<&u128> = entries.keys().collect();
     keys.sort();
@@ -86,7 +103,7 @@ pub fn load_outcomes(
     let reader = BufReader::new(std::fs::File::open(path)?);
     let mut lines = reader.lines();
     let header = lines.next().transpose()?.unwrap_or_default();
-    let expected = format!("{HEADER_PREFIX}{expected_backend}");
+    let expected = store_header("count-cache", expected_backend);
     if header != expected {
         return Err(invalid(format!(
             "unsupported cache header {header:?} (expected {expected:?})"
@@ -120,7 +137,9 @@ pub fn load_outcomes(
     Ok(entries)
 }
 
-fn invalid(message: String) -> io::Error {
+/// Wraps a store-format violation in the `InvalidData` error every mcml
+/// store loader reports, so callers can uniformly warn-and-start-cold.
+pub(crate) fn invalid(message: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
 }
 
@@ -141,6 +160,17 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("mcml-persist-test-{}-{name}", std::process::id()));
         p
+    }
+
+    #[test]
+    fn store_naming_is_pinned() {
+        // Existing cache files must keep loading across this refactor: the
+        // shared helpers must reproduce the v1 strings byte for byte.
+        assert_eq!(cache_file_name("exact"), "counts.exact.v1.cache");
+        assert_eq!(
+            store_header("count-cache", "exact"),
+            "mcml-count-cache v1 backend=exact"
+        );
     }
 
     #[test]
@@ -207,7 +237,8 @@ mod tests {
     #[test]
     fn malformed_line_is_invalid_data() {
         let path = temp_path("malformed.cache");
-        std::fs::write(&path, format!("{HEADER_PREFIX}exact\nnot-hex E 5\n")).expect("write");
+        let header = store_header("count-cache", "exact");
+        std::fs::write(&path, format!("{header}\nnot-hex E 5\n")).expect("write");
         let err = load_outcomes(&path, "exact").expect_err("must reject");
         std::fs::remove_file(&path).ok();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);

@@ -1,0 +1,19 @@
+//! A one-shot scripting client: connect, send one request frame, return
+//! the reply text. The `mcml-serve client` subcommand wraps [`query`].
+
+use crate::protocol::{read_frame, write_frame};
+use std::io;
+use std::net::TcpStream;
+
+/// Sends `request` to the server at `addr` and returns the reply text
+/// (`ok ...` or `err ...`).
+pub fn query(addr: &str, request: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, request)?;
+    read_frame(&mut stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection without replying",
+        )
+    })
+}

@@ -1,0 +1,29 @@
+//! # mcml-serve
+//!
+//! A long-running conditioned-count query service over persisted MCML
+//! circuit artifacts — the online counterpart of the batch table binaries.
+//!
+//! The batch harnesses pay d-DNNF compilation and decision-region
+//! extraction on every run. `mcml-serve` moves that cost entirely offline:
+//! a table run with `--engine compiled --artifact-dir DIR` persists its
+//! compiled circuits and region covers (see [`mcml::artifact`]); the server
+//! preloads them at startup into a [`store::CircuitStore`], shards the warm
+//! units across worker threads, and answers accuracy / diff /
+//! conditioned-count queries over a length-prefixed TCP line protocol —
+//! each query resolved through batched
+//! [`count_cubes`](satkit::ddnnf::Ddnnf::count_cubes) sweeps, with zero
+//! compilation on the serving path.
+//!
+//! * [`protocol`] — `u32`-length-prefixed UTF-8 frames;
+//! * [`store`] — artifacts resolved into `(property, scope, family)` units;
+//! * [`server`] — the sharded workers, request grammar and query plans;
+//! * [`client`] — the one-shot scripting client.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::query;
+pub use server::{start, ServerHandle};
+pub use store::{CircuitStore, Unit, UnitKey};

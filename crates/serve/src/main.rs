@@ -1,0 +1,124 @@
+//! The `mcml-serve` binary: `serve` preloads an artifact directory and
+//! answers queries until a client sends `shutdown`; `client` sends one
+//! request and prints the reply.
+
+use mcml_serve::{client, server, store::CircuitStore};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  mcml-serve serve --artifact-dir DIR [--addr 127.0.0.1:7171] [--workers N]
+  mcml-serve client [--addr 127.0.0.1:7171] REQUEST WORDS...
+
+requests: ping | accuracy PROP SCOPE FAMILY | diff PROP SCOPE FAM_A FAM_B |
+          count PROP SCOPE phi|nphi [LIT...] | shutdown";
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => run_serve(&args[1..]),
+        Some("client") => run_client(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut artifact_dir: Option<PathBuf> = None;
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--artifact-dir" => {
+                artifact_dir = Some(PathBuf::from(
+                    iter.next().expect("--artifact-dir requires a path"),
+                ));
+            }
+            "--addr" => addr = iter.next().expect("--addr requires HOST:PORT").clone(),
+            "--workers" => {
+                workers = iter
+                    .next()
+                    .expect("--workers requires a value")
+                    .parse()
+                    .expect("--workers must be a number");
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(dir) = artifact_dir else {
+        eprintln!("serve requires --artifact-dir\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let store = match CircuitStore::load_dir(&dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("failed to load artifacts from {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "(preloaded {} units from {}{})",
+        store.len(),
+        dir.display(),
+        if store.skipped_covers() > 0 {
+            format!(", skipped {} unservable covers", store.skipped_covers())
+        } else {
+            String::new()
+        }
+    );
+    for (property, scope, family) in store.keys() {
+        eprintln!("  {property} scope={scope} {family}");
+    }
+    match server::start(store, &addr, workers) {
+        Ok(handle) => {
+            // The smoke script and tests wait for this line to connect.
+            println!("listening on {}", handle.addr());
+            handle.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_client(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut words: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = iter.next().expect("--addr requires HOST:PORT").clone(),
+            _ => words.push(arg.clone()),
+        }
+    }
+    if words.is_empty() {
+        eprintln!("client requires a request\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    match client::query(&addr, &words.join(" ")) {
+        Ok(reply) => {
+            println!("{reply}");
+            if reply.starts_with("ok") {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

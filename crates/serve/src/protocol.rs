@@ -1,0 +1,88 @@
+//! The wire protocol: length-prefixed UTF-8 text frames.
+//!
+//! Each frame is a big-endian `u32` byte length followed by that many bytes
+//! of UTF-8 text. Requests and replies are single frames; the text itself
+//! is a line of space-separated words (see [`crate::server`] for the
+//! request grammar). Length-prefixing keeps framing trivial for scripting
+//! clients in any language — no escaping, no delimiter ambiguity — while
+//! the payload stays human-readable.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame's payload, protecting the server from a
+/// garbage length prefix (a paper-scope query is a few hundred bytes).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Writes `text` as one frame and flushes.
+pub fn write_frame<W: Write>(w: &mut W, text: &str) -> io::Result<()> {
+    let len = u32::try_from(text.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+    if len as usize > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte bound"),
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(text.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean end-of-stream at a frame
+/// boundary (the peer closed the connection), an error on a torn frame,
+/// an oversized length or non-UTF-8 payload.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte bound"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 frame payload"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "accuracy function 3 DT").expect("write");
+        write_frame(&mut buf, "").expect("write empty");
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).expect("read").as_deref(),
+            Some("accuracy function 3 DT")
+        );
+        assert_eq!(read_frame(&mut cursor).expect("read").as_deref(), Some(""));
+        assert_eq!(read_frame(&mut cursor).expect("eof"), None);
+    }
+
+    #[test]
+    fn torn_and_oversized_frames_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "ping").expect("write");
+        buf.truncate(buf.len() - 1);
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err(), "torn frame must error");
+
+        let huge = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        let mut cursor = io::Cursor::new(huge);
+        assert!(
+            read_frame(&mut cursor).is_err(),
+            "oversized length must error"
+        );
+    }
+}

@@ -1,0 +1,406 @@
+//! The query server: sharded workers over a warm circuit store.
+//!
+//! [`start`] shards the store's units across worker threads by
+//! `(property, scope)` — so a diff query's two families always live on one
+//! shard — and accepts TCP connections, each handled by its own thread
+//! that parses frames, routes queries to the owning shard over an mpsc
+//! channel, and writes the reply frame back.
+//!
+//! # Request grammar
+//!
+//! One request per frame (see [`crate::protocol`]), space-separated words:
+//!
+//! ```text
+//! ping
+//! accuracy <property> <scope> <family>
+//! diff     <property> <scope> <familyA> <familyB>
+//! count    <property> <scope> phi|nphi [lit ...]
+//! shutdown
+//! ```
+//!
+//! Cube literals are signed 1-indexed DIMACS over the feature variables
+//! (`3` = feature 2 true, `-1` = feature 0 false). Replies are
+//! `ok <fields...>` or `err <message>`:
+//!
+//! ```text
+//! accuracy → ok <tp> <fp> <tn> <fn> <accuracy> <precision> <recall> <f1>
+//! diff     → ok <tt> <tf> <ft> <ff> <diff> <sim>
+//! count    → ok <count>
+//! ```
+//!
+//! Counts are exact `u128` sums; derived metrics are printed with Rust's
+//! shortest-round-trip float formatting, so parsing a reply back yields
+//! the bit-identical `f64` the batch `Runner` computed from the same
+//! counts.
+//!
+//! # Query plans
+//!
+//! Every query resolves through batched [`Ddnnf::count_cubes`] sweeps over
+//! preloaded circuits — the serving path performs **zero** compilation.
+//! Accuracy is the AccMC region-sum plan (one batch against φ, one against
+//! ¬φ). Diff counts each pairwise region intersection `cube_a ∧ cube_b`
+//! as `mc(φ | cube) + mc(¬φ | cube)`: φ and ¬φ partition the space the
+//! ground truth constrains, so the sum is the intersection's size
+//! (contradictory concatenations count 0). With an unconstrained ground
+//! truth (no symmetry breaking) this equals `DiffMc` over the full feature
+//! space — the conformance tests pin that; under symmetry breaking the
+//! served diff is restricted to the symmetry-constrained space.
+
+use crate::protocol::{read_frame, write_frame};
+use crate::store::{CircuitStore, Unit, UnitKey};
+use mcml::diffmc::DiffCounts;
+use mcml::tree2cnf::TreeLabel;
+use mlkit::metrics::BinaryMetrics;
+use satkit::cnf::Lit;
+use satkit::ddnnf::Ddnnf;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// A running server: the bound address and the acceptor to join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server shuts down (a client sent `shutdown`).
+    pub fn join(self) {
+        self.acceptor.join().expect("acceptor thread panicked");
+    }
+}
+
+/// Binds `addr`, shards `store` across `workers` worker threads (at least
+/// one), and starts accepting connections in the background.
+pub fn start(store: CircuitStore, addr: &str, workers: usize) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let workers = workers.max(1);
+
+    let mut shards: Vec<Shard> = (0..workers).map(|_| Shard::default()).collect();
+    for (key, unit) in store.into_units() {
+        let shard = &mut shards[shard_of(&key.0, key.1, workers)];
+        shard
+            .truths
+            .entry((key.0.clone(), key.1))
+            .or_insert_with(|| (Arc::clone(&unit.phi), Arc::clone(&unit.not_phi)));
+        shard.units.insert(key, unit);
+    }
+
+    let mut senders = Vec::with_capacity(workers);
+    let mut worker_handles = Vec::with_capacity(workers);
+    for shard in shards {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        senders.push(sender);
+        worker_handles.push(std::thread::spawn(move || {
+            while let Ok(job) = receiver.recv() {
+                let _ = job.reply.send(shard.answer(&job.query));
+            }
+        }));
+    }
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let acceptor = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let senders = senders.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                // A torn frame or reset connection only ends that
+                // connection; the server keeps serving.
+                let _ = handle_connection(stream, &senders, &shutdown, local);
+            });
+        }
+        drop(senders);
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+    });
+    Ok(ServerHandle {
+        addr: local,
+        acceptor,
+    })
+}
+
+/// One worker's slice of the store: its units plus a `(property, scope)`
+/// index of the ground-truth circuit pairs for `count` queries.
+#[derive(Default)]
+struct Shard {
+    units: HashMap<UnitKey, Unit>,
+    truths: HashMap<(String, usize), (Arc<Ddnnf>, Arc<Ddnnf>)>,
+}
+
+impl Shard {
+    fn answer(&self, query: &Query) -> String {
+        match query {
+            Query::Accuracy { key } => match self.units.get(key) {
+                Some(unit) => accuracy_reply(unit),
+                None => format!("err unknown unit {} {} {}", key.0, key.1, key.2),
+            },
+            Query::Diff {
+                property,
+                scope,
+                family_a,
+                family_b,
+            } => {
+                let a = self
+                    .units
+                    .get(&(property.clone(), *scope, family_a.clone()));
+                let b = self
+                    .units
+                    .get(&(property.clone(), *scope, family_b.clone()));
+                match (a, b) {
+                    (Some(a), Some(b)) => diff_reply(a, b),
+                    (None, _) => format!("err unknown unit {property} {scope} {family_a}"),
+                    (_, None) => format!("err unknown unit {property} {scope} {family_b}"),
+                }
+            }
+            Query::Count {
+                property,
+                scope,
+                negated,
+                cube,
+            } => match self.truths.get(&(property.clone(), *scope)) {
+                Some((phi, not_phi)) => {
+                    conditioned_reply(if *negated { not_phi } else { phi }, cube)
+                }
+                None => format!("err unknown property/scope {property} {scope}"),
+            },
+        }
+    }
+}
+
+/// The AccMC region-sum plan over preloaded circuits: one batched sweep
+/// against φ, one against ¬φ, summed by region label.
+fn accuracy_reply(unit: &Unit) -> String {
+    let cubes: Vec<&[Lit]> = unit.regions.iter().map(|r| r.cube.as_slice()).collect();
+    let in_phi = unit.phi.count_cubes(&cubes);
+    let in_not_phi = unit.not_phi.count_cubes(&cubes);
+    let (mut tp, mut fp, mut tn, mut fn_) = (0u128, 0u128, 0u128, 0u128);
+    for (region, (p, n)) in unit.regions.iter().zip(in_phi.into_iter().zip(in_not_phi)) {
+        match region.label {
+            TreeLabel::True => {
+                tp += p;
+                fp += n;
+            }
+            TreeLabel::False => {
+                fn_ += p;
+                tn += n;
+            }
+        }
+    }
+    let m = BinaryMetrics::from_counts(tp, fp, tn, fn_);
+    format!(
+        "ok {tp} {fp} {tn} {fn_} {} {} {} {}",
+        m.accuracy, m.precision, m.recall, m.f1
+    )
+}
+
+/// Pairwise region intersections, each sized as
+/// `mc(φ | cube_a ∧ cube_b) + mc(¬φ | cube_a ∧ cube_b)` in two batched
+/// sweeps (φ / ¬φ partition the constrained space; a contradictory
+/// concatenation counts 0 on both sides).
+fn diff_reply(a: &Unit, b: &Unit) -> String {
+    let mut cubes = Vec::with_capacity(a.regions.len() * b.regions.len());
+    let mut labels = Vec::with_capacity(cubes.capacity());
+    for ra in a.regions.iter() {
+        for rb in b.regions.iter() {
+            let mut cube = ra.cube.clone();
+            cube.extend_from_slice(&rb.cube);
+            cubes.push(cube);
+            labels.push((ra.label, rb.label));
+        }
+    }
+    let in_phi = a.phi.count_cubes(&cubes);
+    let in_not_phi = a.not_phi.count_cubes(&cubes);
+    let mut counts = DiffCounts::default();
+    for ((la, lb), (p, n)) in labels.iter().zip(in_phi.into_iter().zip(in_not_phi)) {
+        let size = p + n;
+        match (la, lb) {
+            (TreeLabel::True, TreeLabel::True) => counts.tt += size,
+            (TreeLabel::True, TreeLabel::False) => counts.tf += size,
+            (TreeLabel::False, TreeLabel::True) => counts.ft += size,
+            (TreeLabel::False, TreeLabel::False) => counts.ff += size,
+        }
+    }
+    format!(
+        "ok {} {} {} {} {} {}",
+        counts.tt,
+        counts.tf,
+        counts.ft,
+        counts.ff,
+        counts.diff(),
+        counts.sim()
+    )
+}
+
+/// One conditioned count. The cube is validated against the circuit's
+/// projection first — [`Ddnnf::count_conditioned`] panics on foreign
+/// variables, and a malformed query must never take the server down.
+fn conditioned_reply(circuit: &Ddnnf, cube: &[Lit]) -> String {
+    let projection: HashSet<usize> = circuit.projection().iter().map(|v| v.index()).collect();
+    for lit in cube {
+        if !projection.contains(&lit.var().index()) {
+            return format!(
+                "err literal {} is outside the circuit's projection",
+                lit.var().index() + 1
+            );
+        }
+    }
+    format!("ok {}", circuit.count_conditioned(cube))
+}
+
+/// A parsed query with its reply channel, sent to the owning shard.
+struct Job {
+    query: Query,
+    reply: mpsc::Sender<String>,
+}
+
+enum Query {
+    Accuracy {
+        key: UnitKey,
+    },
+    Diff {
+        property: String,
+        scope: usize,
+        family_a: String,
+        family_b: String,
+    },
+    Count {
+        property: String,
+        scope: usize,
+        negated: bool,
+        cube: Vec<Lit>,
+    },
+}
+
+impl Query {
+    fn parse(words: &[&str]) -> Result<Query, String> {
+        let scope = |word: &str| {
+            word.parse::<usize>()
+                .map_err(|_| format!("bad scope {word:?}"))
+        };
+        match words {
+            ["accuracy", property, s, family] => Ok(Query::Accuracy {
+                key: (property.to_string(), scope(s)?, family.to_string()),
+            }),
+            ["diff", property, s, family_a, family_b] => Ok(Query::Diff {
+                property: property.to_string(),
+                scope: scope(s)?,
+                family_a: family_a.to_string(),
+                family_b: family_b.to_string(),
+            }),
+            ["count", property, s, side, lits @ ..] => {
+                let negated = match *side {
+                    "phi" => false,
+                    "nphi" => true,
+                    other => return Err(format!("bad side {other:?} (expected phi or nphi)")),
+                };
+                let cube = lits
+                    .iter()
+                    .map(|w| parse_dimacs_lit(w))
+                    .collect::<Result<Vec<Lit>, String>>()?;
+                Ok(Query::Count {
+                    property: property.to_string(),
+                    scope: scope(s)?,
+                    negated,
+                    cube,
+                })
+            }
+            [verb, ..] => Err(format!(
+                "unknown request {verb:?} (expected ping, accuracy, diff, count or shutdown)"
+            )),
+            [] => Err("empty request".to_string()),
+        }
+    }
+
+    fn route(&self) -> (&str, usize) {
+        match self {
+            Query::Accuracy { key } => (&key.0, key.1),
+            Query::Diff {
+                property, scope, ..
+            }
+            | Query::Count {
+                property, scope, ..
+            } => (property, *scope),
+        }
+    }
+}
+
+/// A signed 1-indexed DIMACS literal (`3` / `-1`) as a [`Lit`].
+fn parse_dimacs_lit(word: &str) -> Result<Lit, String> {
+    let value: i64 = word.parse().map_err(|_| format!("bad literal {word:?}"))?;
+    let var = u32::try_from(value.unsigned_abs().wrapping_sub(1))
+        .map_err(|_| format!("literal {word} out of range"))?;
+    match value {
+        0 => Err("literal 0 is not valid DIMACS".to_string()),
+        v if v > 0 => Ok(Lit::pos(var)),
+        _ => Ok(Lit::neg(var)),
+    }
+}
+
+/// The shard owning a `(property, scope)` — both sides of a diff share it.
+fn shard_of(property: &str, scope: usize, workers: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    (property, scope).hash(&mut hasher);
+    (hasher.finish() % workers as u64) as usize
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    senders: &[mpsc::Sender<Job>],
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) -> io::Result<()> {
+    while let Some(request) = read_frame(&mut stream)? {
+        let words: Vec<&str> = request.split_ascii_whitespace().collect();
+        if words.first() == Some(&"ping") {
+            write_frame(&mut stream, "ok pong")?;
+            continue;
+        }
+        if words.first() == Some(&"shutdown") {
+            shutdown.store(true, Ordering::SeqCst);
+            // The acceptor is blocked in accept(); a self-connection wakes
+            // it so it observes the flag and drains.
+            let _ = TcpStream::connect(local);
+            write_frame(&mut stream, "ok bye")?;
+            return Ok(());
+        }
+        let reply = match Query::parse(&words) {
+            Err(message) => format!("err {message}"),
+            Ok(query) => {
+                let (property, scope) = query.route();
+                let index = shard_of(property, scope, senders.len());
+                let (reply_sender, reply_receiver) = mpsc::channel();
+                if senders[index]
+                    .send(Job {
+                        query,
+                        reply: reply_sender,
+                    })
+                    .is_err()
+                {
+                    "err server is shutting down".to_string()
+                } else {
+                    reply_receiver
+                        .recv()
+                        .unwrap_or_else(|_| "err worker unavailable".to_string())
+                }
+            }
+        };
+        write_frame(&mut stream, &reply)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! The warm circuit store: artifacts resolved into servable units.
+//!
+//! A [`CircuitStore`] is a [`CircuitArtifact`]
+//! with its fingerprint indirection resolved: every region cover is joined
+//! to its φ / ¬φ circuits, producing one [`Unit`] per
+//! `(property, scope, family)` — exactly the coordinates a query addresses.
+//! Circuits are shared via [`Arc`], so the 16-property store holds each
+//! property's two circuits once no matter how many model families cover
+//! them.
+
+use mcml::artifact::{self, CircuitArtifact};
+use mcml::encode::DecisionRegion;
+use satkit::ddnnf::Ddnnf;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Query coordinates: `(property, scope, family)`.
+pub type UnitKey = (String, usize, String);
+
+/// One servable model evaluation: the ground truth's circuits and the
+/// model's decision-region cover, everything an accuracy / diff /
+/// conditioned-count query touches.
+#[derive(Clone)]
+pub struct Unit {
+    /// Compiled circuit of the property's φ.
+    pub phi: Arc<Ddnnf>,
+    /// Compiled circuit of the property's ¬φ.
+    pub not_phi: Arc<Ddnnf>,
+    /// The model's decision regions partitioning the input space.
+    pub regions: Arc<Vec<DecisionRegion>>,
+}
+
+/// The preloaded units of one artifact, keyed by query coordinates.
+pub struct CircuitStore {
+    units: HashMap<UnitKey, Unit>,
+    skipped_covers: usize,
+}
+
+impl CircuitStore {
+    /// Loads the compiled-backend artifact under `dir` (the file
+    /// `--artifact-dir` runs write) and resolves it into units.
+    pub fn load_dir(dir: &Path) -> io::Result<CircuitStore> {
+        let path = dir.join(artifact::artifact_file_name("compiled"));
+        CircuitStore::from_artifact(artifact::load_artifact(&path, "compiled")?)
+    }
+
+    /// Resolves an in-memory artifact. A cover whose φ or ¬φ circuit is
+    /// missing (its compilation blew the budget during the artifact build,
+    /// so it was never persisted) is skipped, not fatal — the remaining
+    /// units still serve; [`skipped_covers`](Self::skipped_covers) reports
+    /// how many were dropped.
+    pub fn from_artifact(artifact: CircuitArtifact) -> io::Result<CircuitStore> {
+        let circuits: HashMap<u128, Arc<Ddnnf>> = artifact
+            .circuits
+            .into_iter()
+            .map(|(key, circuit)| (key, Arc::new(circuit)))
+            .collect();
+        let mut units = HashMap::new();
+        let mut skipped_covers = 0usize;
+        for cover in artifact.covers {
+            let (Some(phi), Some(not_phi)) =
+                (circuits.get(&cover.phi), circuits.get(&cover.not_phi))
+            else {
+                skipped_covers += 1;
+                continue;
+            };
+            units.insert(
+                (cover.property, cover.scope, cover.family),
+                Unit {
+                    phi: Arc::clone(phi),
+                    not_phi: Arc::clone(not_phi),
+                    regions: Arc::new(cover.regions),
+                },
+            );
+        }
+        Ok(CircuitStore {
+            units,
+            skipped_covers,
+        })
+    }
+
+    /// Number of servable units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the store has no servable unit.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Covers dropped because their circuits were not persisted.
+    pub fn skipped_covers(&self) -> usize {
+        self.skipped_covers
+    }
+
+    /// The sorted unit keys (for startup logging).
+    pub fn keys(&self) -> Vec<UnitKey> {
+        let mut keys: Vec<UnitKey> = self.units.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Consumes the store into its unit map (the server shards it).
+    pub fn into_units(self) -> HashMap<UnitKey, Unit> {
+        self.units
+    }
+}

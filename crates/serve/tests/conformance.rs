@@ -1,0 +1,219 @@
+//! Serving-vs-batch conformance: a query answered by `mcml-serve` from a
+//! preloaded artifact must reproduce the batch evaluation **bit for bit**
+//! — same `u128` counts, same `f64` metrics (compared via `to_bits`) —
+//! under whichever engine `MCML_ENGINE` selects for the batch side. The
+//! serving side always runs the compiled region-sum plan, so these tests
+//! double as engine-conformance coverage for the serve crate.
+
+use mcml::accmc::CountingEngine;
+use mcml::artifact::{CircuitArtifact, RegionCover};
+use mcml::backend::CounterBackend;
+use mcml::counter::{cnf_fingerprint, CompiledCounter, ModelCounter};
+use mcml::diffmc::DiffMc;
+use mcml::encode::CnfEncodable;
+use mcml::framework::{ExperimentConfig, ModelFamily, Runner};
+use mcml_serve::{client, server, CircuitStore};
+use mlkit::data::Dataset;
+use mlkit::forest::{ForestConfig, RandomForest};
+use mlkit::tree::{DecisionTree, TreeConfig};
+use relspec::instance::RelInstance;
+use relspec::properties::Property;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+
+fn labeled_dataset(property: Property, scope: usize) -> Dataset {
+    let mut d = Dataset::new(scope * scope);
+    for bits in 0u64..(1 << (scope * scope)) {
+        let inst = RelInstance::from_bits(
+            scope,
+            (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+        );
+        d.push(inst.to_features(), property.holds(&inst));
+    }
+    d
+}
+
+fn ok_fields(reply: &str) -> Vec<String> {
+    let fields: Vec<String> = reply.split_ascii_whitespace().map(String::from).collect();
+    assert_eq!(
+        fields.first().map(String::as_str),
+        Some("ok"),
+        "reply {reply:?}"
+    );
+    fields[1..].to_vec()
+}
+
+/// Batch rows via the `Runner`, artifact via `Runner::build_artifact`
+/// (identical training paths), then every row queried back over TCP: the
+/// served counts and metrics must equal the batch's exactly.
+#[test]
+fn served_accuracy_is_bit_identical_to_the_batch_runner() {
+    let configs = vec![ExperimentConfig::table5(Property::Function, 3)];
+    let families = [ModelFamily::Dt, ModelFamily::Rft];
+    let runner = Runner::new()
+        .families(&families)
+        .engine(CountingEngine::from_env());
+    let rows = runner
+        .run(&configs, &CounterBackend::compiled())
+        .expect("well-formed batch");
+
+    let counter = CompiledCounter::new();
+    let artifact = runner
+        .build_artifact(&configs, &counter)
+        .expect("well-formed batch");
+    let store = CircuitStore::from_artifact(artifact).expect("resolvable covers");
+    assert_eq!(store.skipped_covers(), 0);
+    assert_eq!(store.len(), 2);
+    let handle = server::start(store, "127.0.0.1:0", 2).expect("bind");
+    let addr = handle.addr().to_string();
+
+    for row in &rows {
+        let ws = row.whole_space.as_ref().expect("no budget configured");
+        let reply = client::query(
+            &addr,
+            &format!(
+                "accuracy {} {} {}",
+                row.config.property.name(),
+                row.config.scope,
+                row.family.name()
+            ),
+        )
+        .expect("query");
+        let fields = ok_fields(&reply);
+        let counts: Vec<u128> = fields[..4].iter().map(|f| f.parse().unwrap()).collect();
+        assert_eq!(
+            counts,
+            vec![ws.counts.tp, ws.counts.fp, ws.counts.tn, ws.counts.fn_],
+            "count drift in {reply:?}"
+        );
+        let served: Vec<f64> = fields[4..8].iter().map(|f| f.parse().unwrap()).collect();
+        let batch = [
+            ws.metrics.accuracy,
+            ws.metrics.precision,
+            ws.metrics.recall,
+            ws.metrics.f1,
+        ];
+        for (s, b) in served.iter().zip(batch) {
+            assert_eq!(s.to_bits(), b.to_bits(), "metric drift in {reply:?}");
+        }
+    }
+
+    assert_eq!(client::query(&addr, "ping").expect("ping"), "ok pong");
+    assert_eq!(
+        client::query(&addr, "shutdown").expect("shutdown"),
+        "ok bye"
+    );
+    handle.join();
+}
+
+/// Hand-built artifact for two models, served diff vs `DiffMc::compare` on
+/// the very same trained models. The ground truth carries no symmetry
+/// breaking, so φ ∨ ¬φ covers the full feature space and the served
+/// pairwise-intersection plan must agree exactly — plus conditioned-count
+/// and error-path coverage over the same connection.
+#[test]
+fn served_diff_and_counts_match_the_batch_analyses() {
+    let property = Property::Reflexive;
+    let scope = 3;
+    let dataset = labeled_dataset(property, scope).subsample(90, 3);
+    let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+    let forest = RandomForest::fit(
+        &dataset,
+        ForestConfig {
+            num_trees: 3,
+            seed: 11,
+            ..ForestConfig::default()
+        },
+    );
+    let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+    let expected = DiffMc::with_engine(&CounterBackend::compiled(), CountingEngine::from_env())
+        .compare(&tree, &forest)
+        .expect("feature counts match")
+        .expect("no budget configured");
+
+    let phi = gt.cnf_positive();
+    let not_phi = gt.cnf_negative();
+    let counter = CompiledCounter::new();
+    assert!(counter.count(&phi).is_exact());
+    assert!(counter.count(&not_phi).is_exact());
+    let cover = |family: &str, regions| RegionCover {
+        property: property.name().to_string(),
+        scope,
+        family: family.to_string(),
+        phi: cnf_fingerprint(&phi),
+        not_phi: cnf_fingerprint(&not_phi),
+        regions,
+    };
+    let artifact = CircuitArtifact {
+        backend: "compiled".to_string(),
+        circuits: counter.snapshot_circuits(),
+        covers: vec![
+            cover("DT", tree.decision_regions().expect("tree regions")),
+            cover("RFT", forest.decision_regions().expect("forest regions")),
+        ],
+    };
+    let store = CircuitStore::from_artifact(artifact).expect("resolvable covers");
+    let handle = server::start(store, "127.0.0.1:0", 3).expect("bind");
+    let addr = handle.addr().to_string();
+
+    let reply = client::query(&addr, &format!("diff {} {scope} DT RFT", property.name()))
+        .expect("diff query");
+    let fields = ok_fields(&reply);
+    let counts: Vec<u128> = fields[..4].iter().map(|f| f.parse().unwrap()).collect();
+    assert_eq!(
+        counts,
+        vec![
+            expected.counts.tt,
+            expected.counts.tf,
+            expected.counts.ft,
+            expected.counts.ff
+        ],
+        "count drift in {reply:?}"
+    );
+    let diff: f64 = fields[4].parse().unwrap();
+    let sim: f64 = fields[5].parse().unwrap();
+    assert_eq!(diff.to_bits(), expected.counts.diff().to_bits());
+    assert_eq!(sim.to_bits(), expected.counts.sim().to_bits());
+
+    // Conditioned counts against the preloaded φ: unconditioned equals the
+    // circuit count, a one-literal cube splits it, and the two sides of
+    // feature 1 sum back to the whole.
+    let total: u128 = ok_fields(
+        &client::query(&addr, &format!("count {} {scope} phi", property.name())).unwrap(),
+    )[0]
+    .parse()
+    .unwrap();
+    let pos: u128 = ok_fields(
+        &client::query(&addr, &format!("count {} {scope} phi 1", property.name())).unwrap(),
+    )[0]
+    .parse()
+    .unwrap();
+    let neg: u128 = ok_fields(
+        &client::query(&addr, &format!("count {} {scope} phi -1", property.name())).unwrap(),
+    )[0]
+    .parse()
+    .unwrap();
+    assert_eq!(pos + neg, total);
+
+    // Error paths: unknown unit, foreign literal, malformed requests — all
+    // `err` replies, never a dropped connection.
+    for bad in [
+        format!("accuracy {} {scope} GBDT", property.name()),
+        format!("count {} {scope} phi 999", property.name()),
+        format!("count {} {scope} phi 0", property.name()),
+        format!("count {} {scope} psi", property.name()),
+        "accuracy onlytwo 3".to_string(),
+        "frobnicate".to_string(),
+    ] {
+        let reply = client::query(&addr, &bad).expect("connection survives");
+        assert!(
+            reply.starts_with("err "),
+            "expected err for {bad:?}, got {reply:?}"
+        );
+    }
+
+    assert_eq!(
+        client::query(&addr, "shutdown").expect("shutdown"),
+        "ok bye"
+    );
+    handle.join();
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving path:
+#
+#   1. a compiled table3 run persists its circuits and region covers to an
+#      artifact directory (and prints the batch whole-space metrics);
+#   2. mcml-serve preloads that artifact and answers over TCP;
+#   3. a client accuracy query must reproduce the batch table's Acc(phi)
+#      cell exactly (both sides round the same f64 to four decimals).
+#
+# Usage: scripts/serve_smoke.sh   (from anywhere; builds in release mode)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PROPERTY=Function   # Property::name() spelling — used in the query and the table row
+SCOPE=3
+FAMILY=DT
+
+tmp="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+cargo build --release -p mcml-bench -p mcml-serve
+
+# 1. Warm run: build and persist the circuit artifact for one scope.
+table_out="$tmp/table3.txt"
+target/release/table3 --engine compiled --property "$PROPERTY" --scope "$SCOPE" \
+  --artifact-dir "$tmp/artifacts" | tee "$table_out"
+batch_acc="$(awk -v prop="$PROPERTY" -v fam="$FAMILY" \
+  '$1 == prop && $2 == fam { print $7 }' "$table_out")"
+if [[ -z "$batch_acc" || "$batch_acc" == "-" ]]; then
+  echo "smoke: no Acc(phi) cell for $PROPERTY/$FAMILY in the table output" >&2
+  exit 1
+fi
+
+# 2. Serve the artifact on an ephemeral port; wait for the address line.
+target/release/mcml-serve serve --artifact-dir "$tmp/artifacts" \
+  --addr 127.0.0.1:0 --workers 2 >"$tmp/serve.out" 2>"$tmp/serve.log" &
+server_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^listening on //p' "$tmp/serve.out" | head -n 1)"
+  [[ -n "$addr" ]] && break
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    cat "$tmp/serve.log" >&2
+    echo "smoke: server exited before listening" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+  echo "smoke: server never reported its address" >&2
+  exit 1
+fi
+echo "smoke: server listening on $addr"
+
+# 3. The served accuracy must match the batch cell after identical rounding.
+reply="$(target/release/mcml-serve client --addr "$addr" \
+  accuracy "$PROPERTY" "$SCOPE" "$FAMILY")"
+echo "smoke: served reply: $reply"
+served_acc="$(printf '%s\n' "$reply" | awk '$1 == "ok" { printf "%.4f", $6 }')"
+if [[ -z "$served_acc" ]]; then
+  echo "smoke: accuracy query failed: $reply" >&2
+  exit 1
+fi
+if [[ "$served_acc" != "$batch_acc" ]]; then
+  echo "smoke: served Acc(phi) $served_acc != batch $batch_acc" >&2
+  exit 1
+fi
+echo "smoke: served Acc(phi) $served_acc matches the batch table"
+
+target/release/mcml-serve client --addr "$addr" shutdown >/dev/null
+wait "$server_pid"
+server_pid=""
+echo "smoke: OK"
