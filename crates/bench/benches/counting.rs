@@ -311,9 +311,10 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Per-(property, scope) compile statistics of the φ / ¬φ circuits the
-/// compiled benches exercise: decisions, conflicts and component-cache hit
-/// rate, so a branching-heuristic regression is visible in the perf trail
-/// even before it shows up as slower wall-clock.
+/// compiled benches exercise: decisions, conflicts, component-cache hit
+/// rate and the cross-query shared-cache hit rate (¬φ reusing φ's
+/// components), so a branching-heuristic or reuse regression is visible in
+/// the perf trail even before it shows up as slower wall-clock.
 fn compile_stats_json() -> String {
     let scope = 3;
     let mut entries = Vec::new();
@@ -330,7 +331,8 @@ fn compile_stats_json() -> String {
         let stats = backend.compile_stats();
         entries.push(format!(
             "    \"{}/{}\": {{\"decisions\": {}, \"conflicts\": {}, \"cache_hits\": {}, \
-             \"cache_lookups\": {}, \"cache_hit_rate\": {:.4}, \"sat_calls\": {}}}",
+             \"cache_lookups\": {}, \"cache_hit_rate\": {:.4}, \"sat_calls\": {}, \
+             \"shared_hits\": {}, \"shared_lookups\": {}, \"shared_hit_rate\": {:.4}}}",
             json_escape(property.name()),
             scope,
             stats.decisions,
@@ -339,6 +341,9 @@ fn compile_stats_json() -> String {
             stats.cache_lookups,
             stats.cache_hit_rate(),
             stats.sat_calls,
+            stats.shared_hits,
+            stats.shared_lookups,
+            stats.shared_hit_rate(),
         ));
     }
     entries.join(",\n")

@@ -15,16 +15,96 @@
 //! `--artifact-dir DIR` (compiled engine only) additionally persists the
 //! compiled circuits and decision-region covers — preloaded on the next
 //! run, and the warm store the `mcml-serve` query service reads.
+//!
+//! Rows run through the streaming batch scheduler either way: `--stream`
+//! prints each row the moment its cell lands (completion order — the
+//! costliest cells start first, cheap rows overtake them), and without it
+//! the table is buffered and printed whole. In both modes a failed cell
+//! costs one stderr warning, not the batch.
 
 use crate::cli::HarnessArgs;
 use mcml::accmc::CountingEngine;
 use mcml::artifact;
 use mcml::counter::CachedCounter;
-use mcml::framework::{ExperimentConfig, Runner};
+use mcml::framework::{CellError, ExperimentConfig, Runner, RunnerRow, SinkDecision};
 use mcml::persist;
 use mcml::report::{format_count_guarantee, format_metric, TextTable};
 use relspec::properties::Property;
 use std::path::PathBuf;
+
+/// Column headers shared by the buffered and streaming renderers.
+const COLUMNS: [&str; 12] = [
+    "Property",
+    "Model",
+    "Acc(test)",
+    "Prec(test)",
+    "Rec(test)",
+    "F1(test)",
+    "Acc(phi)",
+    "Prec(phi)",
+    "Rec(phi)",
+    "F1(phi)",
+    "Count",
+    "Time[s]",
+];
+
+/// Fixed column widths for `--stream` mode, where a row prints before the
+/// batch's widest cell is known.
+const STREAM_WIDTHS: [usize; 12] = [16, 5, 9, 10, 9, 8, 8, 9, 8, 7, 26, 7];
+
+/// One streamed table line with the fixed column layout.
+fn stream_line<S: AsRef<str>>(cells: &[S]) -> String {
+    cells
+        .iter()
+        .zip(STREAM_WIDTHS)
+        .map(|(cell, width)| format!("{:<width$}", cell.as_ref()))
+        .collect::<Vec<_>>()
+        .join(" ")
+        .trim_end()
+        .to_string()
+}
+
+/// The printable cells of one finished row, in [`COLUMNS`] order.
+fn row_cells(row: &RunnerRow) -> Vec<String> {
+    let t = &row.test_metrics;
+    let (phi, time) = match &row.whole_space {
+        Some(ws) => (
+            [
+                Some(ws.metrics.accuracy),
+                Some(ws.metrics.precision),
+                Some(ws.metrics.recall),
+                Some(ws.metrics.f1),
+            ],
+            format!("{:.1}", ws.counting_time.as_secs_f64()),
+        ),
+        None => ([None, None, None, None], "-".to_string()),
+    };
+    vec![
+        row.config.property.name().to_string(),
+        row.family.name().to_string(),
+        format_metric(Some(t.accuracy)),
+        format_metric(Some(t.precision)),
+        format_metric(Some(t.recall)),
+        format_metric(Some(t.f1)),
+        format_metric(phi[0]),
+        format_metric(phi[1]),
+        format_metric(phi[2]),
+        format_metric(phi[3]),
+        format_count_guarantee(row.whole_space.as_ref()),
+        time,
+    ]
+}
+
+/// One stderr warning per failed cell; the rest of the batch still prints.
+fn warn_failed_cell(cell: &CellError) {
+    eprintln!(
+        "warning: row {}/{} (scope {}) failed: {}",
+        cell.config.property.name(),
+        cell.family,
+        cell.config.scope,
+        cell.error
+    );
+}
 
 /// The cache file under `--cache-dir`, if configured. The file name spells
 /// out the backend so differently-configured runs (exact / approx /
@@ -114,58 +194,41 @@ pub fn run_accmc_table(
         .threads(args.threads)
         .engine(args.engine)
         .vote_node_bound(args.vote_nodes);
-    let rows = runner
-        .run(&configs, &backend)
-        .unwrap_or_else(|e| panic!("malformed experiment batch: {e}"));
-
-    let mut table = TextTable::new(vec![
-        "Property",
-        "Model",
-        "Acc(test)",
-        "Prec(test)",
-        "Rec(test)",
-        "F1(test)",
-        "Acc(phi)",
-        "Prec(phi)",
-        "Rec(phi)",
-        "F1(phi)",
-        "Count",
-        "Time[s]",
-    ]);
-
-    for row in &rows {
-        let t = &row.test_metrics;
-        let (phi, time) = match &row.whole_space {
-            Some(ws) => (
-                [
-                    Some(ws.metrics.accuracy),
-                    Some(ws.metrics.precision),
-                    Some(ws.metrics.recall),
-                    Some(ws.metrics.f1),
-                ],
-                format!("{:.1}", ws.counting_time.as_secs_f64()),
-            ),
-            None => ([None, None, None, None], "-".to_string()),
-        };
-        table.push_row(vec![
-            row.config.property.name().to_string(),
-            row.family.name().to_string(),
-            format_metric(Some(t.accuracy)),
-            format_metric(Some(t.precision)),
-            format_metric(Some(t.recall)),
-            format_metric(Some(t.f1)),
-            format_metric(phi[0]),
-            format_metric(phi[1]),
-            format_metric(phi[2]),
-            format_metric(phi[3]),
-            format_count_guarantee(row.whole_space.as_ref()),
-            time,
-        ]);
+    if args.stream {
+        println!("{title}");
+        println!(
+            "(counting engine: {}; streaming rows in completion order)",
+            args.engine
+        );
+        println!("{}", stream_line(&COLUMNS));
+        runner
+            .run_stream(
+                &configs,
+                &backend,
+                |cell: Result<&RunnerRow, &CellError>| {
+                    match cell {
+                        Ok(row) => println!("{}", stream_line(&row_cells(row))),
+                        Err(failed) => warn_failed_cell(failed),
+                    }
+                    SinkDecision::Continue
+                },
+            )
+            .unwrap_or_else(|e| panic!("malformed experiment batch: {e}"));
+    } else {
+        let outcome = runner
+            .run_collect(&configs, &backend)
+            .unwrap_or_else(|e| panic!("malformed experiment batch: {e}"));
+        for failed in &outcome.errors {
+            warn_failed_cell(failed);
+        }
+        let mut table = TextTable::new(COLUMNS.to_vec());
+        for row in &outcome.rows {
+            table.push_row(row_cells(row));
+        }
+        println!("{title}");
+        println!("(counting engine: {})", args.engine);
+        println!("{}", table.render());
     }
-
-    println!("{title}");
-    println!("(counting engine: {})", args.engine);
-    println!("{}", table.render());
     let stats = backend.stats();
     if stats.hits > 0 {
         println!(

@@ -17,6 +17,10 @@
 //!   compiled engine's region-extraction BDDs and the ABT CNF vote
 //!   diagram); an ensemble exceeding it fails with a typed
 //!   `VoteCircuitTooLarge` error instead of exhausting memory;
+//! * `--stream` — print each table row the moment its cell finishes
+//!   (completion order, costliest cells scheduled first) instead of
+//!   holding the whole table until the batch ends; per-cell errors are
+//!   reported inline and the run keeps going;
 //! * `--cache-dir DIR` — persist the count cache to `DIR` and reload it on
 //!   the next run (cross-process reuse);
 //! * `--artifact-dir DIR` — with `--engine compiled`, persist the compiled
@@ -51,6 +55,9 @@ pub struct HarnessArgs {
     pub engine: CountingEngine,
     /// Node budget for ensemble vote circuits (region-extraction BDDs).
     pub vote_nodes: usize,
+    /// Stream table rows as their cells finish instead of waiting for the
+    /// whole batch.
+    pub stream: bool,
     /// Directory holding the persistent count cache (`None` = in-memory
     /// only).
     pub cache_dir: Option<PathBuf>,
@@ -71,6 +78,7 @@ impl Default for HarnessArgs {
             threads: 0,
             engine: CountingEngine::Classic,
             vote_nodes: mcml::encode::MAX_VOTE_NODES,
+            stream: false,
             cache_dir: None,
             artifact_dir: None,
         }
@@ -145,6 +153,7 @@ impl HarnessArgs {
                     out.vote_nodes = v.parse().expect("--vote-nodes must be a number");
                     assert!(out.vote_nodes > 0, "--vote-nodes must be positive");
                 }
+                "--stream" => out.stream = true,
                 "--cache-dir" => {
                     let v = iter.next().expect("--cache-dir requires a path");
                     out.cache_dir = Some(PathBuf::from(v));
@@ -177,6 +186,9 @@ impl HarnessArgs {
         }
         if self.threads != 0 {
             eprintln!("warning: {binary} ignores --threads (only tables 3, 5, 6 and 7 use it)");
+        }
+        if self.stream {
+            eprintln!("warning: {binary} ignores --stream (only tables 3, 5, 6 and 7 use it)");
         }
     }
 
@@ -254,6 +266,12 @@ mod tests {
         assert_eq!(single.models, vec![ModelFamily::Rft]);
         let boosted = parse(&["--models", "GBDT"]);
         assert_eq!(boosted.models, vec![ModelFamily::Gbdt]);
+    }
+
+    #[test]
+    fn parses_stream() {
+        assert!(parse(&["--stream"]).stream);
+        assert!(!parse(&[]).stream);
     }
 
     #[test]

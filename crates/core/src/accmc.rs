@@ -329,19 +329,19 @@ impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
         regions: &[crate::encode::DecisionRegion],
         meta: &mut OutcomeMeta,
     ) -> Option<SpaceCounts> {
-        let positive = ground_truth.cnf_positive();
-        let negative = ground_truth.cnf_negative();
+        let positive = ground_truth.cnf_positive_ref();
+        let negative = ground_truth.cnf_negative_ref();
         let cubes: Vec<&[Lit]> = regions.iter().map(|r| r.cube.as_slice()).collect();
         // Absorb the φ side before paying for the ¬φ batch: if a count
         // already blew the budget here, the evaluation is void and the
         // second batch would be wasted work.
-        let phi_outcomes = self.backend.count_cubes(&positive, &cubes);
+        let phi_outcomes = self.backend.count_cubes(positive, &cubes);
         crate::counter::debug_assert_batch_complete(&phi_outcomes, cubes.len());
         let mut in_phi = Vec::with_capacity(regions.len());
         for outcome in phi_outcomes {
             in_phi.push(meta.absorb(outcome)?);
         }
-        let in_not_phi = self.backend.count_cubes(&negative, &cubes);
+        let in_not_phi = self.backend.count_cubes(negative, &cubes);
         crate::counter::debug_assert_batch_complete(&in_not_phi, cubes.len());
         let mut counts = SpaceCounts::default();
         for (region, (in_phi, not_phi)) in regions.iter().zip(in_phi.into_iter().zip(in_not_phi)) {

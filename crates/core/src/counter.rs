@@ -27,7 +27,7 @@ use crate::backend::CounterBackend;
 use modelcount::approx::ApproxCounter;
 use modelcount::exact::ExactCounter;
 use satkit::cnf::{Cnf, Lit};
-use satkit::ddnnf::{CompileError, CompileStats, Compiler, Ddnnf};
+use satkit::ddnnf::{CompileError, CompileStats, Compiler, Ddnnf, SharedComponentCache};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -271,6 +271,16 @@ pub struct CompileCacheStats {
 /// [`Runner`](crate::framework::Runner) whether shared by reference or by
 /// clone.
 ///
+/// Beyond whole-circuit reuse, the counter owns a cross-query
+/// [`SharedComponentCache`] for the lifetime of the batch: every
+/// compilation it runs feeds and probes one content-addressed component
+/// store, so φ, φ∧ψ and the per-family label CNFs reuse each other's
+/// interned components even though their fingerprints differ. The
+/// cross-query hit rate is surfaced through
+/// [`compile_stats`](Self::compile_stats) (`shared_hits` /
+/// `shared_lookups`); [`advance_shared_generation`](Self::advance_shared_generation)
+/// bounds the component store to its live working set at batch boundaries.
+///
 /// A formula whose projection set exceeds the circuit representation's
 /// 128-variable limit (beyond every scope of the study) falls back to an
 /// in-place [`ExactCounter`] search with the same node budget.
@@ -279,6 +289,7 @@ pub struct CompiledCounter {
     compiler: Compiler,
     fallback: ExactCounter,
     circuits: Arc<Mutex<CircuitCache>>,
+    shared: Arc<SharedComponentCache>,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
 }
@@ -318,13 +329,30 @@ impl CompiledCounter {
     }
 
     fn with_budget(compiler: Compiler, fallback: ExactCounter) -> Self {
+        let shared = Arc::new(SharedComponentCache::new());
         CompiledCounter {
-            compiler,
+            compiler: compiler.with_shared_cache(Arc::clone(&shared)),
             fallback,
             circuits: Arc::new(Mutex::new(HashMap::new())),
+            shared,
             hits: Arc::new(AtomicU64::new(0)),
             misses: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// The cross-query component cache every compilation of this counter
+    /// (and its clones) feeds and probes. Exposed so long-lived owners —
+    /// the query server, a multi-batch harness — can inspect its size and
+    /// cumulative hit counters.
+    pub fn shared_cache(&self) -> &Arc<SharedComponentCache> {
+        &self.shared
+    }
+
+    /// Closes the component cache's current generation, dropping entries
+    /// the finished batch never touched. Call between batches to keep the
+    /// cross-query store bounded to its live working set.
+    pub fn advance_shared_generation(&self) {
+        self.shared.advance_generation();
     }
 
     /// Hit/miss statistics of the circuit cache.
@@ -358,6 +386,8 @@ impl CompiledCounter {
                 total.cache_lookups += s.cache_lookups;
                 total.conflicts += s.conflicts;
                 total.sat_calls += s.sat_calls;
+                total.shared_hits += s.shared_hits;
+                total.shared_lookups += s.shared_lookups;
             }
         }
         total
@@ -1007,6 +1037,41 @@ mod tests {
             outcomes.len() as u64,
             "one hit-or-miss increment per delivered outcome, got {stats:?}"
         );
+    }
+
+    #[test]
+    fn compiled_counter_shares_components_across_distinct_formulas() {
+        // φ and φ∧ψ have distinct fingerprints (no whole-circuit reuse),
+        // but φ's connected components reappear untouched in φ∧ψ over the
+        // disjoint ψ variables — exactly the cross-query shape the shared
+        // component cache exists for.
+        // One connected φ component, large enough to clear the sharing
+        // gate (small components are cheaper to recompile than to intern).
+        let mut phi = Cnf::new(8);
+        phi.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        phi.add_clause(vec![Lit::neg(1), Lit::pos(2), Lit::pos(3)]);
+        phi.add_clause(vec![Lit::neg(2), Lit::pos(3)]);
+        phi.add_clause(vec![Lit::pos(0), Lit::neg(3), Lit::pos(1)]);
+        let mut phi_and_psi = phi.clone();
+        phi_and_psi.add_clause(vec![Lit::pos(4), Lit::neg(5)]);
+        phi_and_psi.add_clause(vec![Lit::pos(6), Lit::pos(7)]);
+
+        let compiled = CompiledCounter::new();
+        let phi_count = compiled.count(&phi);
+        let both_count = compiled.count(&phi_and_psi);
+        assert_eq!(compiled.stats().misses, 2, "two distinct circuits");
+        let stats = compiled.compile_stats();
+        assert!(
+            stats.shared_hits > 0,
+            "φ∧ψ must reuse φ's components, stats {stats:?}"
+        );
+        // Reuse never changes the counts: a cold counter agrees bit for bit.
+        let cold = CompiledCounter::new();
+        assert_eq!(cold.count(&phi), phi_count);
+        assert_eq!(cold.count(&phi_and_psi), both_count);
+        // Generation hygiene: the owner can close a batch.
+        compiled.advance_shared_generation();
+        assert_eq!(compiled.shared_cache().generation(), 1);
     }
 
     #[test]

@@ -219,24 +219,42 @@ impl CnfEncodable for DecisionTree {
     }
 }
 
-/// Compiles a decision tree into a BDD over the feature variables: the
-/// disjunction of its positive root-to-leaf path cubes. The ordered apply
-/// operations canonicalize the (arbitrary) per-path test order.
+/// Compiles a decision tree into a BDD over the feature variables by
+/// mirroring the tree's own branching structure: the paths are grouped on
+/// their first remaining condition and the two halves combined with one
+/// `ite(feature, then, else)` per internal split. The ordered apply
+/// canonicalizes the (arbitrary) tree test order, and building one `ite`
+/// per split — instead of OR-ing every positive path cube into a growing
+/// disjunction — touches each subfunction once.
 fn tree_bdd(bdd: &mut Bdd, tree: &DecisionTree) -> Result<NodeRef, BddError> {
-    let mut f = bdd.constant(false);
-    for path in tree.paths() {
-        if !path.label {
-            continue;
-        }
-        let mut cube = bdd.constant(true);
-        for &(feature, value) in &path.conditions {
-            let lit = bdd.literal(feature as u32, value)?;
-            cube = bdd.and(cube, lit)?;
-        }
-        // True paths are disjoint, so the running disjunction stays small.
-        f = bdd.or(f, cube)?;
+    let paths = tree.paths();
+    let refs: Vec<&mlkit::tree::TreePath> = paths.iter().collect();
+    tree_bdd_rec(bdd, &refs, 0)
+}
+
+/// The split at `depth` of the tree node all of `paths` pass through:
+/// every path carries the same feature there (they came from one tree), a
+/// lone exhausted path is the leaf itself.
+fn tree_bdd_rec(
+    bdd: &mut Bdd,
+    paths: &[&mlkit::tree::TreePath],
+    depth: usize,
+) -> Result<NodeRef, BddError> {
+    if paths.len() == 1 && paths[0].conditions.len() == depth {
+        return Ok(bdd.constant(paths[0].label));
     }
-    Ok(f)
+    let feature = paths[0].conditions[depth].0;
+    let split = |value: bool| -> Vec<&mlkit::tree::TreePath> {
+        paths
+            .iter()
+            .filter(|p| p.conditions[depth] == (feature, value))
+            .copied()
+            .collect()
+    };
+    let hi = tree_bdd_rec(bdd, &split(true), depth + 1)?;
+    let lo = tree_bdd_rec(bdd, &split(false), depth + 1)?;
+    let test = bdd.literal(feature as u32, true)?;
+    bdd.ite(test, hi, lo)
 }
 
 /// Reads the root-to-sink path cubes of a compiled vote diagram off as

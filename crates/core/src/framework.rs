@@ -12,6 +12,12 @@
 //! across rows, trains any subset of the [`ModelFamily`] encodable families
 //! per row, executes rows in parallel with `std::thread::scope`, and
 //! surfaces malformed rows as typed [`EvalError`]s instead of panicking.
+//! Rows are scheduled as *cells* — `(property × scope × family × config)`
+//! units ordered largest-estimated-cost-first over work-stealing deques —
+//! and every finished cell can be streamed out through a [`RowSink`] the
+//! moment it lands ([`Runner::run_stream`]), or collected with a typed
+//! per-cell error list ([`Runner::run_collect`]) so one bad row no longer
+//! discards the rest of the batch.
 //!
 //! [`evaluate_all_models`] covers Tables 2 and 4: it trains all six model
 //! families on the same split and reports their test-set metrics.
@@ -34,8 +40,8 @@ use mlkit::Classifier;
 use relspec::properties::Property;
 use relspec::symmetry::SymmetryBreaking;
 use relspec::translate::{translate_to_cnf, GroundTruth, TranslateOptions};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Configuration of one whole-space experiment (one table row).
@@ -340,18 +346,116 @@ pub struct RunnerRow {
     pub train_size: usize,
 }
 
+/// A typed per-cell failure from a batch: which `(config, family)` cell
+/// went wrong and why. [`Runner::run_collect`] and [`Runner::run_stream`]
+/// report these alongside the rows that did land, instead of discarding
+/// the whole batch at the first error the way [`Runner::run`] does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// The experiment configuration of the failed cell.
+    pub config: ExperimentConfig,
+    /// The model family of the failed cell.
+    pub family: ModelFamily,
+    /// What went wrong.
+    pub error: EvalError,
+}
+
+/// Partial outcome of a batch: every row that landed plus the typed error
+/// list, both in job order (`configs` outer, families inner). A stopped
+/// stream simply omits the cells that were never claimed.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Cells that completed successfully.
+    pub rows: Vec<RunnerRow>,
+    /// Cells that failed with a typed error.
+    pub errors: Vec<CellError>,
+}
+
+/// What a [`RowSink`] tells the scheduler after absorbing a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkDecision {
+    /// Keep scheduling the remaining cells.
+    Continue,
+    /// Claim no further cells. Cells already in flight still land (and are
+    /// still delivered to the sink), so the batch ends with a consistent
+    /// partial table rather than mid-cell.
+    Stop,
+}
+
+/// A streaming consumer of finished cells, fed by
+/// [`Runner::run_stream`] in **completion order** — the scheduler starts
+/// the costliest cells first, but cheap cells overtake them, which is
+/// exactly what lets a table print its fast rows while a scope-4 cell is
+/// still counting. Implemented for every `FnMut` closure of the right
+/// shape; the sink is called from worker threads (serialized by the
+/// scheduler), hence `Send`.
+pub trait RowSink: Send {
+    /// Absorbs one finished cell — a completed row or its typed error —
+    /// and decides whether the scheduler keeps claiming cells.
+    fn absorb(&mut self, cell: Result<&RunnerRow, &CellError>) -> SinkDecision;
+}
+
+impl<F> RowSink for F
+where
+    F: FnMut(Result<&RunnerRow, &CellError>) -> SinkDecision + Send,
+{
+    fn absorb(&mut self, cell: Result<&RunnerRow, &CellError>) -> SinkDecision {
+        self(cell)
+    }
+}
+
+/// Estimated cost of one `(config, family)` cell, used to schedule the
+/// most expensive cells first. The whole-space sweep over `2^(scope²)`
+/// instances dominates a row, so scope towers over everything else; the
+/// family weight breaks ties at equal scope in favour of the ensemble and
+/// boosting encodings, whose vote circuits multiply the per-instance work.
+fn cell_cost(config: &ExperimentConfig, family: ModelFamily) -> u128 {
+    let bits = (config.scope * config.scope).min(100) as u32;
+    let family_weight: u128 = match family {
+        ModelFamily::Dt => 1,
+        ModelFamily::Rft => 6,
+        ModelFamily::Abt => 6,
+        ModelFamily::Gbdt => 10,
+    };
+    (1u128 << bits).saturating_mul(family_weight)
+}
+
+/// Claims the next cell for worker `me`: its own deque front first (the
+/// costliest cells it was dealt), then the **back** of the other workers'
+/// deques — stealing their cheapest remaining cells, which keeps the big
+/// cells with the workers that started them.
+fn claim_cell(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(index) = deques[me].lock().expect("cell deque poisoned").pop_front() {
+        return Some(index);
+    }
+    for offset in 1..deques.len() {
+        let victim = (me + offset) % deques.len();
+        if let Some(index) = deques[victim]
+            .lock()
+            .expect("cell deque poisoned")
+            .pop_back()
+        {
+            return Some(index);
+        }
+    }
+    None
+}
+
 /// Batch executor for whole-space experiments.
 ///
 /// Compared to looping over [`Experiment::run`], a `Runner`:
 ///
 /// * builds each distinct dataset and translates each distinct ground truth
 ///   **once**, no matter how many rows share them;
-/// * executes rows concurrently on scoped threads (work-stealing over the
-///   row list; the counting backend is shared, so a
+/// * executes cells concurrently on scoped threads, largest estimated cost
+///   first over work-stealing deques (the counting backend is shared, so a
 ///   [`CachedCounter`](crate::counter::CachedCounter) also shares its memo
 ///   across rows);
 /// * trains any subset of the encodable [`ModelFamily`] values per row;
-/// * returns typed [`EvalError`]s instead of panicking.
+/// * returns typed [`EvalError`]s instead of panicking — per cell via
+///   [`run_collect`](Runner::run_collect), streamed through a [`RowSink`]
+///   via [`run_stream`](Runner::run_stream), or strictly via
+///   [`run`](Runner::run).
 ///
 /// # Example
 ///
@@ -481,7 +585,14 @@ impl Runner {
         self
     }
 
+    /// Worker threads for `jobs` live cells: the configured thread count
+    /// (or one per available core), clamped so no worker sits idle — a
+    /// scope-2 smoke table with two cells gets two workers, and an empty
+    /// batch spawns none at all.
     fn worker_count(&self, jobs: usize) -> usize {
+        if jobs == 0 {
+            return 0;
+        }
         let threads = if self.threads > 0 {
             self.threads
         } else {
@@ -489,7 +600,7 @@ impl Runner {
                 .map(|n| n.get())
                 .unwrap_or(1)
         };
-        threads.clamp(1, jobs.max(1))
+        threads.clamp(1, jobs)
     }
 
     /// Builds every distinct dataset and ground truth exactly once, using
@@ -553,14 +664,54 @@ impl Runner {
     }
 
     /// Runs all `configs × families` rows in parallel, preserving the order
-    /// `configs` outer, families inner. Fails with the first [`EvalError`]
-    /// encountered (rows are independent, so an error means the batch itself
-    /// is malformed).
+    /// `configs` outer, families inner. Fails with the first (in job order)
+    /// [`EvalError`] encountered — the strict wrapper around
+    /// [`run_collect`](Self::run_collect) for callers that treat any cell
+    /// error as a malformed batch.
     pub fn run<C: QueryCounter + ?Sized>(
         &self,
         configs: &[ExperimentConfig],
         backend: &C,
     ) -> Result<Vec<RunnerRow>, EvalError> {
+        let outcome = self.run_collect(configs, backend)?;
+        match outcome.errors.into_iter().next() {
+            Some(first) => Err(first.error),
+            None => Ok(outcome.rows),
+        }
+    }
+
+    /// Runs the batch like [`run`](Self::run) but never discards finished
+    /// work: every row that landed comes back together with a typed
+    /// [`CellError`] per failed cell, both in job order. A cell error
+    /// (say, one family's vote circuit over budget) costs that cell, not
+    /// the batch.
+    pub fn run_collect<C: QueryCounter + ?Sized>(
+        &self,
+        configs: &[ExperimentConfig],
+        backend: &C,
+    ) -> Result<BatchOutcome, EvalError> {
+        self.run_stream(configs, backend, |_: Result<&RunnerRow, &CellError>| {
+            SinkDecision::Continue
+        })
+    }
+
+    /// Runs the batch, delivering every finished cell to `sink` the moment
+    /// it lands (completion order, not job order). Returning
+    /// [`SinkDecision::Stop`] keeps the scheduler from claiming further
+    /// cells while in-flight cells still finish and reach the sink, so an
+    /// interrupted batch yields a consistent partial table instead of
+    /// nothing. The returned [`BatchOutcome`] holds the same cells the
+    /// sink saw, re-ordered into job order.
+    pub fn run_stream<C, S>(
+        &self,
+        configs: &[ExperimentConfig],
+        backend: &C,
+        mut sink: S,
+    ) -> Result<BatchOutcome, EvalError>
+    where
+        C: QueryCounter + ?Sized,
+        S: RowSink,
+    {
         if self.families.is_empty() {
             return Err(EvalError::NoModelFamilies);
         }
@@ -568,13 +719,36 @@ impl Runner {
             .iter()
             .flat_map(|c| self.families.iter().map(move |f| (*c, *f)))
             .collect();
-        self.execute(
+        let slots = self.execute_cells(
             &jobs,
             backend,
             |config, family, dataset, ground_truth, backend| {
                 self.run_family_row(config, family, dataset, ground_truth, backend)
             },
-        )
+            |config, family, outcome: &Result<RunnerRow, EvalError>| match outcome {
+                Ok(row) => sink.absorb(Ok(row)),
+                Err(error) => sink.absorb(Err(&CellError {
+                    config: *config,
+                    family,
+                    error: error.clone(),
+                })),
+            },
+        );
+        let mut rows = Vec::new();
+        let mut errors = Vec::new();
+        for ((config, family), slot) in jobs.iter().zip(slots) {
+            match slot {
+                Some(Ok(row)) => rows.push(row),
+                Some(Err(error)) => errors.push(CellError {
+                    config: *config,
+                    family: *family,
+                    error,
+                }),
+                // Never claimed: the sink stopped the batch first.
+                None => {}
+            }
+        }
+        Ok(BatchOutcome { rows, errors })
     }
 
     /// Runs `configs` as decision-tree rows, producing results identical to
@@ -603,7 +777,8 @@ impl Runner {
         )
     }
 
-    /// Generic parallel driver over `(config, family)` jobs.
+    /// Strict parallel driver over `(config, family)` jobs: every cell
+    /// runs, and the result fails with the first error in job order.
     fn execute<C, T, F>(
         &self,
         jobs: &[(ExperimentConfig, ModelFamily)],
@@ -622,34 +797,104 @@ impl Runner {
             ) -> Result<T, EvalError>
             + Sync,
     {
+        self.execute_cells(jobs, backend, job_fn, |_, _, _: &Result<T, EvalError>| {
+            SinkDecision::Continue
+        })
+        .into_iter()
+        .map(|slot| slot.expect("a never-stopping sink claims every cell"))
+        .collect()
+    }
+
+    /// Streaming cost-aware driver over `(config, family)` cells.
+    ///
+    /// Cells are dealt largest-estimated-cost-first across per-worker
+    /// deques; a worker drains its own deque from the front and steals
+    /// from the back of its neighbours' when empty, so the batch's big
+    /// cells start immediately on distinct workers while the cheap tail is
+    /// rebalanced onto whoever runs dry. Every finished cell is reported
+    /// to `sink` as it lands (completion order); [`SinkDecision::Stop`]
+    /// keeps workers from claiming further cells. The returned slots are
+    /// in job order, with `None` marking cells never claimed because of an
+    /// early stop.
+    fn execute_cells<C, T, F, S>(
+        &self,
+        jobs: &[(ExperimentConfig, ModelFamily)],
+        backend: &C,
+        job_fn: F,
+        sink: S,
+    ) -> Vec<Option<Result<T, EvalError>>>
+    where
+        C: QueryCounter + ?Sized,
+        T: Send,
+        F: Fn(
+                &ExperimentConfig,
+                ModelFamily,
+                &PropertyDataset,
+                &GroundTruth,
+                &C,
+            ) -> Result<T, EvalError>
+            + Sync,
+        S: FnMut(&ExperimentConfig, ModelFamily, &Result<T, EvalError>) -> SinkDecision + Send,
+    {
         let configs: Vec<ExperimentConfig> = jobs.iter().map(|(c, _)| *c).collect();
         let (datasets, ground_truths) = self.shared_inputs(&configs);
-        let next = AtomicUsize::new(0);
+        let workers = self.worker_count(jobs.len());
         let slots: Vec<Mutex<Option<Result<T, EvalError>>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
+        if workers == 0 {
+            return Vec::new();
+        }
 
+        // Deal cells round-robin in descending cost order: stable sort, so
+        // equal-cost cells keep job order and a single worker visits them
+        // deterministically.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(cell_cost(&jobs[i].0, jobs[i].1)));
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (turn, &index) in order.iter().enumerate() {
+            deques[turn % workers]
+                .lock()
+                .expect("cell deque poisoned")
+                .push_back(index);
+        }
+
+        let stop = AtomicBool::new(false);
+        let sink = Mutex::new(sink);
         std::thread::scope(|scope| {
-            for _ in 0..self.worker_count(jobs.len()) {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((config, family)) = jobs.get(index) else {
-                        break;
-                    };
-                    let dataset = &datasets[&config.dataset_config()];
-                    let ground_truth = &ground_truths[&config.ground_truth_key()];
-                    let outcome = job_fn(config, *family, dataset, ground_truth, backend);
-                    *slots[index].lock().expect("result slot poisoned") = Some(outcome);
+            for me in 0..workers {
+                let deques = &deques;
+                let slots = &slots;
+                let datasets = &datasets;
+                let ground_truths = &ground_truths;
+                let stop = &stop;
+                let sink = &sink;
+                let job_fn = &job_fn;
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let Some(index) = claim_cell(deques, me) else {
+                            break;
+                        };
+                        let (config, family) = &jobs[index];
+                        let dataset = &datasets[&config.dataset_config()];
+                        let ground_truth = &ground_truths[&config.ground_truth_key()];
+                        let outcome = job_fn(config, *family, dataset, ground_truth, backend);
+                        let decision = {
+                            let mut sink = sink.lock().expect("row sink poisoned");
+                            (*sink)(config, *family, &outcome)
+                        };
+                        *slots[index].lock().expect("result slot poisoned") = Some(outcome);
+                        if decision == SinkDecision::Stop {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
                 });
             }
         });
 
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every job index below jobs.len() is claimed exactly once")
-            })
+            .map(|slot| slot.into_inner().expect("result slot poisoned"))
             .collect()
     }
 
@@ -724,18 +969,18 @@ impl Runner {
                 let regions = model
                     .as_encodable()
                     .decision_regions_bounded(self.vote_node_bound)?;
-                let phi_cnf = ground_truth.cnf_positive();
-                let not_phi_cnf = ground_truth.cnf_negative();
+                let phi_cnf = ground_truth.cnf_positive_ref();
+                let not_phi_cnf = ground_truth.cnf_negative_ref();
                 // Force both circuits into the cache; a budget-exhausted
                 // compilation simply stays out of the snapshot.
-                let _ = ModelCounter::count(counter, &phi_cnf);
-                let _ = ModelCounter::count(counter, &not_phi_cnf);
+                let _ = ModelCounter::count(counter, phi_cnf);
+                let _ = ModelCounter::count(counter, not_phi_cnf);
                 Ok(RegionCover {
                     property: config.property.name().to_string(),
                     scope: config.scope,
                     family: family.name().to_string(),
-                    phi: cnf_fingerprint(&phi_cnf),
-                    not_phi: cnf_fingerprint(&not_phi_cnf),
+                    phi: cnf_fingerprint(phi_cnf),
+                    not_phi: cnf_fingerprint(not_phi_cnf),
                     regions,
                 })
             },
@@ -1081,6 +1326,122 @@ mod tests {
         let backend = CounterBackend::exact();
         let result = Runner::new().families(&[]).run(&[], &backend);
         assert!(matches!(result, Err(EvalError::NoModelFamilies)));
+        let collected = Runner::new().families(&[]).run_collect(&[], &backend);
+        assert!(matches!(collected, Err(EvalError::NoModelFamilies)));
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_rows_without_workers() {
+        // Zero cells spawn zero workers (worker_count clamps to live
+        // cells); the batch still resolves to an empty, well-typed result.
+        let backend = CounterBackend::exact();
+        let rows = Runner::new().run(&[], &backend).expect("empty batch");
+        assert!(rows.is_empty());
+        let outcome = Runner::new()
+            .run_collect(&[], &backend)
+            .expect("empty batch");
+        assert!(outcome.rows.is_empty());
+        assert!(outcome.errors.is_empty());
+    }
+
+    #[test]
+    fn run_collect_keeps_partial_rows_and_types_the_failures() {
+        use crate::counter::CompiledCounter;
+        // Decision trees ignore the vote-node bound, ensembles honour it:
+        // with a bound of 1 every RFT cell fails while every DT cell
+        // lands, which is exactly the partial table `run` used to discard.
+        let configs = vec![
+            ExperimentConfig::table5(Property::Reflexive, 3),
+            ExperimentConfig::table5(Property::Function, 3),
+        ];
+        let backend = CompiledCounter::new();
+        let runner = Runner::new()
+            .families(&[ModelFamily::Dt, ModelFamily::Rft])
+            .rft_trees(5)
+            .engine(CountingEngine::Compiled)
+            .vote_node_bound(1);
+        let outcome = runner
+            .run_collect(&configs, &backend)
+            .expect("families configured");
+        assert_eq!(outcome.rows.len(), 2);
+        assert!(outcome.rows.iter().all(|r| r.family == ModelFamily::Dt));
+        assert_eq!(outcome.errors.len(), 2);
+        for cell in &outcome.errors {
+            assert_eq!(cell.family, ModelFamily::Rft);
+            assert!(
+                matches!(cell.error, EvalError::VoteCircuitTooLarge { bound: 1, .. }),
+                "unexpected cell error: {:?}",
+                cell.error
+            );
+        }
+        // Rows and errors come back in job order: configs outer, families
+        // inner.
+        assert_eq!(outcome.rows[0].config.property, Property::Reflexive);
+        assert_eq!(outcome.rows[1].config.property, Property::Function);
+        assert_eq!(outcome.errors[0].config.property, Property::Reflexive);
+        assert_eq!(outcome.errors[1].config.property, Property::Function);
+
+        // And `run` is the strict wrapper: same batch, first job-order
+        // error.
+        let strict = runner.run(&configs, &backend);
+        assert!(
+            matches!(strict, Err(EvalError::VoteCircuitTooLarge { bound: 1, .. })),
+            "unexpected strict outcome: {strict:?}"
+        );
+    }
+
+    #[test]
+    fn run_stream_emits_cells_as_they_land_costliest_first() {
+        // One worker drains its deque in descending cost order, so the
+        // scope-4 cell must stream out before the scope-3 one even though
+        // job order lists scope 3 first.
+        let configs = vec![
+            ExperimentConfig::table5(Property::Reflexive, 3),
+            ExperimentConfig::table5(Property::Reflexive, 4),
+        ];
+        let backend = CounterBackend::exact();
+        let mut seen: Vec<(usize, bool)> = Vec::new();
+        let outcome = Runner::new()
+            .threads(1)
+            .run_stream(
+                &configs,
+                &backend,
+                |cell: Result<&RunnerRow, &CellError>| {
+                    let row = cell.expect("reflexive rows are well-formed");
+                    seen.push((row.config.scope, row.whole_space.is_some()));
+                    SinkDecision::Continue
+                },
+            )
+            .expect("families configured");
+        assert_eq!(seen, vec![(4, true), (3, true)]);
+        // The collected outcome is re-ordered into job order.
+        assert_eq!(outcome.rows.len(), 2);
+        assert_eq!(outcome.rows[0].config.scope, 3);
+        assert_eq!(outcome.rows[1].config.scope, 4);
+        assert!(outcome.errors.is_empty());
+    }
+
+    #[test]
+    fn run_stream_stop_yields_a_partial_table() {
+        let configs = vec![
+            ExperimentConfig::table5(Property::Reflexive, 3),
+            ExperimentConfig::table5(Property::Function, 3),
+            ExperimentConfig::table5(Property::Irreflexive, 3),
+        ];
+        let backend = CounterBackend::exact();
+        let mut delivered = 0usize;
+        let outcome = Runner::new()
+            .threads(1)
+            .run_stream(&configs, &backend, |_: Result<&RunnerRow, &CellError>| {
+                delivered += 1;
+                SinkDecision::Stop
+            })
+            .expect("families configured");
+        // The sink stopped after the first cell: exactly one row landed,
+        // the unclaimed cells are neither rows nor errors.
+        assert_eq!(delivered, 1);
+        assert_eq!(outcome.rows.len(), 1);
+        assert!(outcome.errors.is_empty());
     }
 
     #[test]

@@ -58,6 +58,8 @@ pub struct GroundTruth {
     cnf: Cnf,
     property_root: Lit,
     symmetry: SymmetryBreaking,
+    positive: Cnf,
+    negative: Cnf,
 }
 
 impl GroundTruth {
@@ -89,16 +91,24 @@ impl GroundTruth {
 
     /// CNF asserting the property (φ, optionally ∧ SB).
     pub fn cnf_positive(&self) -> Cnf {
-        let mut cnf = self.cnf.clone();
-        cnf.add_unit(self.property_root);
-        cnf
+        self.positive.clone()
     }
 
     /// CNF asserting the negation of the property (¬φ, optionally ∧ SB).
     pub fn cnf_negative(&self) -> Cnf {
-        let mut cnf = self.cnf.clone();
-        cnf.add_unit(!self.property_root);
-        cnf
+        self.negative.clone()
+    }
+
+    /// Borrowed view of [`Self::cnf_positive`] — both assertions are built
+    /// once at translation time, so per-model counting loops can hand the
+    /// counter a reference instead of cloning the whole formula per query.
+    pub fn cnf_positive_ref(&self) -> &Cnf {
+        &self.positive
+    }
+
+    /// Borrowed view of [`Self::cnf_negative`].
+    pub fn cnf_negative_ref(&self) -> &Cnf {
+        &self.negative
     }
 }
 
@@ -435,11 +445,18 @@ pub fn translate_to_cnf(formula: &Formula, options: TranslateOptions) -> GroundT
         let sb_expr = symmetry_breaking_expr(n, options.symmetry);
         enc.assert(&sb_expr);
     }
+    let cnf = enc.into_cnf();
+    let mut positive = cnf.clone();
+    positive.add_unit(property_root);
+    let mut negative = cnf.clone();
+    negative.add_unit(!property_root);
     GroundTruth {
         scope: n,
-        cnf: enc.into_cnf(),
+        cnf,
         property_root,
         symmetry: options.symmetry,
+        positive,
+        negative,
     }
 }
 

@@ -170,6 +170,19 @@ pub struct BddCube {
 /// typed error.
 const MAX_FOLD_SIFTS: usize = 32;
 
+/// Immutable context of one [`staged_vote_fold`](Bdd::staged_vote_fold).
+/// The fold recurses once per reachable abstract vote state; hoisting the
+/// loop-invariant arguments into one borrowed struct keeps each recursion
+/// frame down to the two values that actually change (`stage`, `state`)
+/// plus the mutable tables.
+struct FoldCtx<'a, C, D> {
+    stages: &'a [Vec<NodeRef>],
+    guards: &'a [NodeRef],
+    cast: &'a C,
+    decide: &'a D,
+    bound: usize,
+}
+
 impl Node {
     /// Sentinel filling a garbage-collected arena slot. Never interned:
     /// real nodes cannot carry the reserved sink variable.
@@ -233,11 +246,16 @@ impl Bdd {
     /// decision nodes (sinks excluded, garbage-collected slots reusable)
     /// past `bound`.
     pub fn with_node_budget(bound: usize) -> Self {
+        // Seed the node store and both operation tables with room for a
+        // typical vote diagram: growing them from empty costs a rehash of
+        // every entry at each doubling, which shows up on the region
+        // extraction hot path (many short-lived managers, one per model).
+        let seed_capacity = bound.saturating_add(1).min(1 << 10);
         Bdd {
-            nodes: Vec::new(),
+            nodes: Vec::with_capacity(seed_capacity),
             free: Vec::new(),
-            unique: FxHashMap::default(),
-            ite_cache: FxHashMap::default(),
+            unique: FxHashMap::with_capacity_and_hasher(seed_capacity, Default::default()),
+            ite_cache: FxHashMap::with_capacity_and_hasher(seed_capacity, Default::default()),
             vote_memo: FxHashMap::default(),
             level_of: Vec::new(),
             var_at: Vec::new(),
@@ -318,7 +336,10 @@ impl Bdd {
     }
 
     /// The level `r` branches at ([`SINK_LEVEL`](Self::SINK_LEVEL) for the
-    /// sinks, which sit below every variable).
+    /// sinks, which sit below every variable). The hot paths use
+    /// [`branch_info`](Self::branch_info) instead; this remains the
+    /// readable form for invariant checks.
+    #[cfg(test)]
     fn level_of_ref(&self, r: NodeRef) -> u32 {
         if r == Bdd::FALSE || r == Bdd::TRUE {
             Bdd::SINK_LEVEL
@@ -388,6 +409,18 @@ impl Bdd {
         self.alloc(node)
     }
 
+    /// The level an operand branches at and its children, fetched in one
+    /// arena read ([`SINK_LEVEL`](Self::SINK_LEVEL) and self-children for
+    /// the sinks, which branch nowhere).
+    fn branch_info(&self, r: NodeRef) -> (u32, NodeRef, NodeRef) {
+        if r == Bdd::FALSE || r == Bdd::TRUE {
+            (Bdd::SINK_LEVEL, r, r)
+        } else {
+            let n = self.node(r);
+            (self.level_of[n.var as usize], n.lo, n.hi)
+        }
+    }
+
     /// If-then-else: the function `(f ∧ g) ∨ (¬f ∧ h)`. Every binary (and
     /// the unary) connective reduces to this.
     pub fn ite(&mut self, f: NodeRef, g: NodeRef, h: NodeRef) -> Result<NodeRef, BddError> {
@@ -397,6 +430,13 @@ impl Bdd {
         if f == Bdd::FALSE {
             return Ok(h);
         }
+        // Standard-triple rewrites: a branch equal to the selector is the
+        // selector's value on that branch (ite(f, f, h) = f ∨ h and
+        // ite(f, g, f) = f ∧ g — without complement edges these are the
+        // applicable identities). Canonicalizing improves cache hits and
+        // lets the terminal checks below fire more often.
+        let g = if g == f { Bdd::TRUE } else { g };
+        let h = if h == f { Bdd::FALSE } else { h };
         if g == h {
             return Ok(g);
         }
@@ -406,14 +446,16 @@ impl Bdd {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return Ok(r);
         }
-        let level = self
-            .level_of_ref(f)
-            .min(self.level_of_ref(g))
-            .min(self.level_of_ref(h));
+        // One arena read per operand: level and both children together,
+        // instead of separate level/cofactor lookups re-reading the node.
+        let (fl, f_lo, f_hi) = self.branch_info(f);
+        let (gl, g_lo, g_hi) = self.branch_info(g);
+        let (hl, h_lo, h_hi) = self.branch_info(h);
+        let level = fl.min(gl).min(hl);
         let var = self.var_at[level as usize];
-        let (f0, f1) = self.cofactors(f, var);
-        let (g0, g1) = self.cofactors(g, var);
-        let (h0, h1) = self.cofactors(h, var);
+        let (f0, f1) = if fl == level { (f_lo, f_hi) } else { (f, f) };
+        let (g0, g1) = if gl == level { (g_lo, g_hi) } else { (g, g) };
+        let (h0, h1) = if hl == level { (h_lo, h_hi) } else { (h, h) };
         let lo = self.ite(f0, g0, h0)?;
         let hi = self.ite(f1, g1, h1)?;
         let r = self.mk(var, lo, hi)?;
@@ -421,13 +463,19 @@ impl Bdd {
         Ok(r)
     }
 
-    /// Conjunction.
+    /// Conjunction. Commutative, so the operands are ordered by handle
+    /// before the [`ite`](Self::ite) call — `a ∧ b` and `b ∧ a` share one
+    /// cache entry.
     pub fn and(&mut self, a: NodeRef, b: NodeRef) -> Result<NodeRef, BddError> {
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
         self.ite(a, b, Bdd::FALSE)
     }
 
-    /// Disjunction.
+    /// Disjunction. Commutative, so the operands are ordered by handle
+    /// before the [`ite`](Self::ite) call — `a ∨ b` and `b ∨ a` share one
+    /// cache entry.
     pub fn or(&mut self, a: NodeRef, b: NodeRef) -> Result<NodeRef, BddError> {
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
         self.ite(a, Bdd::TRUE, b)
     }
 
@@ -726,82 +774,70 @@ impl Bdd {
     ) -> Result<NodeRef, BddError> {
         let mut memo = std::mem::take(&mut self.vote_memo);
         memo.clear();
+        // The memo holds one entry per reachable abstract vote state; the
+        // product of per-stage alternative counts bounds that from above.
+        // Reserving up front (capped by the state budget and a sanity
+        // ceiling) avoids rehashing the table several times mid-fold.
+        let state_space = stages
+            .iter()
+            .try_fold(1usize, |acc, s| acc.checked_mul(s.len() + 1))
+            .unwrap_or(usize::MAX);
+        memo.reserve(state_space.min(vote_node_bound).min(1 << 13));
         let guards: Vec<NodeRef> = stages.iter().flatten().copied().collect();
+        let ctx = FoldCtx {
+            stages,
+            guards: &guards,
+            cast,
+            decide,
+            bound: vote_node_bound,
+        };
         // Intermediate fold results alive across recursive calls; the
         // pressure sift must treat them as roots.
         let mut protect: Vec<NodeRef> = Vec::new();
         self.fold_sifts = 0;
-        let result = self.staged_fold_rec(
-            stages,
-            &guards,
-            0,
-            initial,
-            cast,
-            decide,
-            vote_node_bound,
-            &mut memo,
-            &mut protect,
-        );
+        let result = self.staged_fold_rec(&ctx, 0, initial, &mut memo, &mut protect);
         // Hand the allocation back to the manager even on failure.
         self.vote_memo = memo;
         result
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn staged_fold_rec(
+    fn staged_fold_rec<C: Fn(usize, usize, u64) -> u64, D: Fn(u64) -> bool>(
         &mut self,
-        stages: &[Vec<NodeRef>],
-        guards: &[NodeRef],
+        ctx: &FoldCtx<'_, C, D>,
         stage: usize,
         state: u64,
-        cast: &impl Fn(usize, usize, u64) -> u64,
-        decide: &impl Fn(u64) -> bool,
-        bound: usize,
         memo: &mut FxHashMap<(u32, u64), NodeRef>,
         protect: &mut Vec<NodeRef>,
     ) -> Result<NodeRef, BddError> {
-        if stage == stages.len() {
-            return Ok(self.constant(decide(state)));
+        if stage == ctx.stages.len() {
+            return Ok(self.constant((ctx.decide)(state)));
         }
         if let Some(&r) = memo.get(&(stage as u32, state)) {
             return Ok(r);
         }
-        if memo.len() >= bound {
+        if memo.len() >= ctx.bound {
             return Err(BddError::TooManyNodes {
                 nodes: memo.len() + 1,
-                bound,
+                bound: ctx.bound,
             });
         }
-        let alts = &stages[stage];
+        let alts = &ctx.stages[stage];
         // Build the if-then-else chain from the otherwise-branch backwards:
         // acc = g₀ ? s₀ : (g₁ ? s₁ : (… : s_otherwise)).
         let mut acc = self.staged_fold_rec(
-            stages,
-            guards,
+            ctx,
             stage + 1,
-            cast(stage, alts.len(), state),
-            cast,
-            decide,
-            bound,
+            (ctx.cast)(stage, alts.len(), state),
             memo,
             protect,
         )?;
         for j in (0..alts.len()).rev() {
             // `acc` must survive any pressure sift happening below `sub`.
             protect.push(acc);
-            let sub = self.staged_fold_rec(
-                stages,
-                guards,
-                stage + 1,
-                cast(stage, j, state),
-                cast,
-                decide,
-                bound,
-                memo,
-                protect,
-            );
+            let sub =
+                self.staged_fold_rec(ctx, stage + 1, (ctx.cast)(stage, j, state), memo, protect);
             protect.pop();
-            acc = self.pressure_ite(alts[j], sub?, acc, guards, memo, protect)?;
+            acc = self.pressure_ite(alts[j], sub?, acc, ctx.guards, memo, protect)?;
         }
         memo.insert((stage as u32, state), acc);
         Ok(acc)
@@ -840,32 +876,58 @@ impl Bdd {
         }
     }
 
-    /// Number of root-to-sink paths below each reachable node, saturated at
-    /// `cap` (paths, not nodes: a small DAG can have exponentially many).
-    fn path_counts(&self, root: NodeRef, cap: usize) -> FxHashMap<NodeRef, usize> {
-        let mut counts: FxHashMap<NodeRef, usize> = FxHashMap::default();
-        counts.insert(Bdd::FALSE, 1);
-        counts.insert(Bdd::TRUE, 1);
-        // Post-order without recursion: push children first.
+    /// Number of root-to-sink paths under `root`, saturated at `cap`
+    /// (paths, not nodes: a small DAG can have exponentially many).
+    fn path_count(&self, root: NodeRef, cap: usize) -> usize {
+        if root == Bdd::FALSE || root == Bdd::TRUE {
+            return 1;
+        }
+        // Dense per-slot tables: the sweep touches every reachable node
+        // exactly once, and arena-indexed vectors beat a hash map on that
+        // walk. A separate `done` bitmap (instead of a sentinel count)
+        // keeps every saturated value — including `usize::MAX` — distinct
+        // from "not computed yet".
+        let mut counts = vec![0usize; self.nodes.len()];
+        let mut done = vec![false; self.nodes.len()];
+        let resolved = |counts: &[usize], done: &[bool], r: NodeRef| -> Option<usize> {
+            if r == Bdd::FALSE || r == Bdd::TRUE {
+                Some(1)
+            } else if done[r.0 as usize - 2] {
+                Some(counts[r.0 as usize - 2])
+            } else {
+                None
+            }
+        };
+        // Post-order without recursion: push unresolved children first
+        // (sinks are always resolved, so only decision nodes are stacked).
         let mut stack = vec![root];
         while let Some(&r) = stack.last() {
-            if counts.contains_key(&r) {
+            let slot = r.0 as usize - 2;
+            if done[slot] {
                 stack.pop();
                 continue;
             }
             let n = self.node(r);
-            match (counts.get(&n.lo), counts.get(&n.hi)) {
-                (Some(&lo), Some(&hi)) => {
-                    counts.insert(r, lo.saturating_add(hi).min(cap));
+            match (
+                resolved(&counts, &done, n.lo),
+                resolved(&counts, &done, n.hi),
+            ) {
+                (Some(lo), Some(hi)) => {
+                    counts[slot] = lo.saturating_add(hi).min(cap);
+                    done[slot] = true;
                     stack.pop();
                 }
-                _ => {
-                    stack.push(n.lo);
-                    stack.push(n.hi);
+                (lo, hi) => {
+                    if lo.is_none() {
+                        stack.push(n.lo);
+                    }
+                    if hi.is_none() {
+                        stack.push(n.hi);
+                    }
                 }
             }
         }
-        counts
+        counts[root.0 as usize - 2]
     }
 
     /// The root-to-sink path cubes of the function: a **disjoint and
@@ -877,7 +939,7 @@ impl Bdd {
     /// Fails with [`BddError::TooManyCubes`] when the cover would exceed the
     /// manager's budget — path counts can be exponential in the node count.
     pub fn cube_cover(&self, root: NodeRef) -> Result<Vec<BddCube>, BddError> {
-        let total = self.path_counts(root, self.bound.saturating_add(1))[&root];
+        let total = self.path_count(root, self.bound.saturating_add(1));
         if total > self.bound {
             return Err(BddError::TooManyCubes {
                 cubes: total,

@@ -43,6 +43,14 @@
 //!   propagation splits the component, decayed per decision) replace pure
 //!   occurrence counting. [`CompileStats`] exposes decisions, conflicts and
 //!   the component-cache hit rate so heuristic regressions are measurable.
+//! * **Cross-query component reuse.** A [`SharedComponentCache`] attached
+//!   via [`Compiler::with_shared_cache`] outlives any single run: it keys
+//!   component *content* (canonical residual clauses plus projection
+//!   membership) and stores portable sub-circuits, so the φ / φ∧ψ halves
+//!   and the per-family label CNFs of one batch reuse each other's
+//!   components instead of recompiling them. The cross-query hit rate is
+//!   surfaced in [`CompileStats::shared_hits`] /
+//!   [`CompileStats::shared_lookups`].
 //!
 //! The compiled [`Ddnnf`] supports [`count`](Ddnnf::count), conditioned
 //! counting on a cube of projection literals
@@ -60,10 +68,12 @@
 //! bitmasks and gap ("smoothing") factors are popcounts.
 
 use crate::cnf::{Cnf, Lit, Var};
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::solver::Solver;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Index of a node inside a [`Ddnnf`] circuit.
 pub type NodeId = usize;
@@ -147,6 +157,12 @@ pub struct CompileStats {
     pub conflicts: u64,
     /// SAT-solver calls on projection-free components.
     pub sat_calls: u64,
+    /// Cross-query probes of the attached [`SharedComponentCache`] that
+    /// found a reusable sub-circuit from an earlier compilation.
+    pub shared_hits: u64,
+    /// Total cross-query shared-cache probes (only made on local-cache
+    /// misses, and only when a shared cache is attached).
+    pub shared_lookups: u64,
 }
 
 impl CompileStats {
@@ -157,6 +173,16 @@ impl CompileStats {
             0.0
         } else {
             self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
+    /// Fraction of cross-query shared-cache probes answered from the cache
+    /// (`0.0` when no shared cache was attached or no probe was made).
+    pub fn shared_hit_rate(&self) -> f64 {
+        if self.shared_lookups == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / self.shared_lookups as f64
         }
     }
 }
@@ -187,6 +213,66 @@ fn pow2(exp: u32) -> u128 {
         u128::MAX
     } else {
         1u128 << exp
+    }
+}
+
+/// Count cell of the batched sweep: `u64` when the projection is narrow
+/// enough that no count — every count is at most `2^|projection|`, and
+/// decomposability keeps every intermediate product under the same bound —
+/// can overflow, `u128` otherwise. The narrow cells halve the scratch
+/// traffic and replace two-word arithmetic with single instructions on the
+/// sweep's inner loop.
+trait CountCell: Copy {
+    const ZERO: Self;
+    const ONE: Self;
+    fn is_zero(self) -> bool;
+    fn sat_mul(self, other: Self) -> Self;
+    fn sat_add(self, other: Self) -> Self;
+    fn pow2(exp: u32) -> Self;
+    fn widen(self) -> u128;
+}
+
+impl CountCell for u64 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+    fn sat_mul(self, other: Self) -> Self {
+        self.saturating_mul(other)
+    }
+    fn sat_add(self, other: Self) -> Self {
+        self.saturating_add(other)
+    }
+    fn pow2(exp: u32) -> Self {
+        if exp >= 64 {
+            u64::MAX
+        } else {
+            1u64 << exp
+        }
+    }
+    fn widen(self) -> u128 {
+        u128::from(self)
+    }
+}
+
+impl CountCell for u128 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+    fn sat_mul(self, other: Self) -> Self {
+        self.saturating_mul(other)
+    }
+    fn sat_add(self, other: Self) -> Self {
+        self.saturating_add(other)
+    }
+    fn pow2(exp: u32) -> Self {
+        pow2(exp)
+    }
+    fn widen(self) -> u128 {
+        self
     }
 }
 
@@ -233,7 +319,7 @@ impl Ddnnf {
     ///
     /// Panics if a cube literal mentions a non-projection variable.
     pub fn count_conditioned(&self, cube: &[Lit]) -> u128 {
-        self.sweep(&[self.cube_masks(cube)], &mut Vec::new())[0]
+        self.count_cubes(&[cube])[0]
     }
 
     /// The conditioned counts of **all** `cubes` in iterative topological
@@ -255,10 +341,21 @@ impl Ddnnf {
     ///
     /// Panics if a cube literal mentions a non-projection variable.
     pub fn count_cubes<C: AsRef<[Lit]>>(&self, cubes: &[C]) -> Vec<u128> {
+        // Narrow projections cannot overflow a u64 count (≤ 2^|projection|,
+        // and decomposability bounds every intermediate the same way), so
+        // the sweep runs on single-word cells whenever it can.
+        if self.proj_vars.len() < 64 {
+            self.count_cubes_with::<u64, C>(cubes)
+        } else {
+            self.count_cubes_with::<u128, C>(cubes)
+        }
+    }
+
+    fn count_cubes_with<T: CountCell, C: AsRef<[Lit]>>(&self, cubes: &[C]) -> Vec<u128> {
         const SWEEP_CHUNK: usize = 64;
         let mut counts = Vec::with_capacity(cubes.len());
         // One scratch buffer for the whole batch, reused across chunks.
-        let mut scratch = Vec::new();
+        let mut scratch: Vec<T> = Vec::new();
         for chunk in cubes.chunks(SWEEP_CHUNK) {
             let parsed: Vec<Option<(u128, u128)>> =
                 chunk.iter().map(|c| self.cube_masks(c.as_ref())).collect();
@@ -394,20 +491,24 @@ impl Ddnnf {
     ///
     /// `parsed[j]` is the `(fixed, values)` mask pair of cube `j`, or
     /// `None` for a self-contradictory cube (whose count is 0).
-    fn sweep(&self, parsed: &[Option<(u128, u128)>], scratch: &mut Vec<u128>) -> Vec<u128> {
+    fn sweep<T: CountCell>(
+        &self,
+        parsed: &[Option<(u128, u128)>],
+        scratch: &mut Vec<T>,
+    ) -> Vec<u128> {
         let k = parsed.len();
         if k == 0 {
             return Vec::new();
         }
         scratch.clear();
-        scratch.resize(self.order.len() * k, 0);
+        scratch.resize(self.order.len() * k, T::ZERO);
         for (oi, &id) in self.order.iter().enumerate() {
             let base = oi * k;
             match &self.nodes[id as usize] {
                 Node::False => {}
                 Node::True => {
                     for slot in &mut scratch[base..base + k] {
-                        *slot = 1;
+                        *slot = T::ONE;
                     }
                 }
                 Node::Lit(l) => {
@@ -416,9 +517,9 @@ impl Ddnnf {
                         let Some((fixed, values)) = *p else { continue };
                         scratch[base + j] =
                             if fixed & bit != 0 && (values & bit != 0) != l.is_positive() {
-                                0
+                                T::ZERO
                             } else {
-                                1
+                                T::ONE
                             };
                     }
                 }
@@ -427,14 +528,14 @@ impl Ddnnf {
                         if parsed[j].is_none() {
                             continue;
                         }
-                        let mut total: u128 = 1;
+                        let mut total = T::ONE;
                         for &c in children {
                             let n = scratch[self.dense[c] as usize * k + j];
-                            if n == 0 {
-                                total = 0;
+                            if n.is_zero() {
+                                total = T::ZERO;
                                 break;
                             }
-                            total = total.saturating_mul(n);
+                            total = total.sat_mul(n);
                         }
                         scratch[base + j] = total;
                     }
@@ -444,16 +545,14 @@ impl Ddnnf {
                     let scope = self.masks[id as usize] & !bit;
                     for (j, p) in parsed.iter().enumerate() {
                         let Some((fixed, values)) = *p else { continue };
-                        let mut total: u128 = 0;
+                        let mut total = T::ZERO;
                         for (branch, wanted) in [(*hi, true), (*lo, false)] {
                             if fixed & bit != 0 && (values & bit != 0) != wanted {
                                 continue;
                             }
                             let branch_count = scratch[self.dense[branch] as usize * k + j];
                             let gap = scope & !self.masks[branch] & !fixed;
-                            total = total.saturating_add(
-                                branch_count.saturating_mul(pow2(gap.count_ones())),
-                            );
+                            total = total.sat_add(branch_count.sat_mul(T::pow2(gap.count_ones())));
                         }
                         scratch[base + j] = total;
                     }
@@ -467,9 +566,9 @@ impl Ddnnf {
             .enumerate()
             .map(|(j, p)| match *p {
                 None => 0,
-                Some((fixed, _)) => {
-                    scratch[root_base + j].saturating_mul(pow2((root_gap & !fixed).count_ones()))
-                }
+                Some((fixed, _)) => scratch[root_base + j]
+                    .sat_mul(T::pow2((root_gap & !fixed).count_ones()))
+                    .widen(),
             })
             .collect()
     }
@@ -592,7 +691,10 @@ impl Ddnnf {
     /// (children by id). Variable masks and the evaluation schedule are
     /// *not* stored — [`from_bytes`](Self::from_bytes) recomputes them, so
     /// the image stays compact and the derived structures can never
-    /// disagree with the nodes they were derived from.
+    /// disagree with the nodes they were derived from. The cross-query
+    /// shared-cache counters are not stored either: they describe the batch
+    /// the circuit was compiled in, not the circuit, and keeping them out
+    /// leaves the `ddn1` layout unchanged.
     pub fn to_bytes(&self) -> Vec<u8> {
         assert!(
             self.nodes.len() <= u32::MAX as usize,
@@ -681,6 +783,7 @@ impl Ddnnf {
             cache_lookups: r.u64()?,
             conflicts: r.u64()?,
             sat_calls: r.u64()?,
+            ..CompileStats::default()
         };
         let root = r.u32()? as NodeId;
         let num_nodes = r.u32()? as usize;
@@ -925,6 +1028,7 @@ fn evaluation_schedule(nodes: &[Node], root: NodeId) -> (Vec<u32>, Vec<u32>) {
 #[derive(Debug, Clone)]
 pub struct Compiler {
     max_decisions: u64,
+    shared: Option<Arc<SharedComponentCache>>,
 }
 
 impl Default for Compiler {
@@ -938,6 +1042,7 @@ impl Compiler {
     pub fn new() -> Self {
         Compiler {
             max_decisions: u64::MAX,
+            shared: None,
         }
     }
 
@@ -946,7 +1051,20 @@ impl Compiler {
     ///
     /// [`modelcount`]: https://docs.rs/modelcount
     pub fn with_decision_budget(max_decisions: u64) -> Self {
-        Compiler { max_decisions }
+        Compiler {
+            max_decisions,
+            shared: None,
+        }
+    }
+
+    /// Attaches a cross-query [`SharedComponentCache`]: local component
+    /// misses probe (and, when freshly compiled, feed) the shared cache, so
+    /// later compilations over the same variable numbering — φ then φ∧ψ,
+    /// or the label CNFs of a batch — splice in this run's sub-circuits
+    /// instead of re-searching them.
+    pub fn with_shared_cache(mut self, cache: Arc<SharedComponentCache>) -> Self {
+        self.shared = Some(cache);
+        self
     }
 
     /// Compiles `cnf` into a d-DNNF circuit whose counts are projected onto
@@ -1019,6 +1137,8 @@ impl Compiler {
             var_stamp: vec![0; num_vars],
             stamp: 0,
             cache: FxHashMap::default(),
+            shared: self.shared.clone(),
+            depth: 0,
             stats: CompileStats::default(),
             max_decisions: self.max_decisions,
             exhausted: false,
@@ -1092,6 +1212,327 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Content-addressed key of a shared (cross-query) component: the canonical
+/// length-prefixed encoding of its residual clauses (per-clause literal
+/// codes sorted, clause list sorted and deduplicated) plus the sorted
+/// projection members of its free variables, with a precomputed 64-bit
+/// signature. Unlike [`CompKey`], which names clauses by per-run arena ids,
+/// this key survives across compilation runs: equal keys mean equal
+/// residual Boolean functions over equal variables with equal projection
+/// membership, so any valid d-DNNF of one is a valid d-DNNF of the other.
+struct PortableKey {
+    sig: u64,
+    data: Box<[u32]>,
+    proj: Box<[u32]>,
+}
+
+impl PortableKey {
+    fn new(data: Vec<u32>, proj: Vec<u32>) -> Self {
+        let mut sig: u64 = 0x4528_21E6_38D0_1377;
+        for &w in &data {
+            sig = splitmix64(sig ^ (u64::from(w) + 1));
+        }
+        sig = splitmix64(sig ^ 0x9E37_79B9_7F4A_7C15);
+        for &v in &proj {
+            sig = splitmix64(sig ^ (u64::from(v) + 1));
+        }
+        PortableKey {
+            sig,
+            data: data.into_boxed_slice(),
+            proj: proj.into_boxed_slice(),
+        }
+    }
+}
+
+impl Hash for PortableKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.sig);
+    }
+}
+
+impl PartialEq for PortableKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.sig == other.sig && self.data == other.data && self.proj == other.proj
+    }
+}
+
+impl Eq for PortableKey {}
+
+/// One node of a [`PortableCircuit`], referencing children by local index.
+#[derive(Debug)]
+enum PortableNode {
+    False,
+    True,
+    Lit(Lit),
+    And(Box<[u32]>),
+    Decision { var: u32, hi: u32, lo: u32 },
+}
+
+/// A self-contained sub-circuit image stored by the shared cache: nodes in
+/// children-before-parents order with local ids. Importable into any
+/// [`Builder`] whose projection covers the circuit's variables — which a
+/// [`PortableKey`] match guarantees, because the key records the projection
+/// membership of every free variable.
+#[derive(Debug)]
+struct PortableCircuit {
+    nodes: Vec<PortableNode>,
+    root: u32,
+}
+
+/// Components larger than this are recompiled rather than copied through
+/// the shared cache's lock: past a few thousand nodes the copy (and the
+/// lock hold) costs more than the compile it would save.
+const EXPORT_NODE_CAP: usize = 4096;
+
+/// Components with fewer residual clauses than this skip the shared cache
+/// entirely — no key, no probe, no export. The recursion bottoms out in a
+/// stream of tiny components whose canonical keys cost more to build than
+/// the one or two decisions a hit would save; sharing only pays for the
+/// larger components where real compilation work is at stake.
+const MIN_SHARED_CLAUSES: usize = 4;
+
+/// Components discovered deeper than this many decisions skip the shared
+/// cache. Cross-query reuse comes from whole sub-formulas — φ inside φ∧ψ,
+/// the ground-truth clauses inside a label CNF — which component
+/// decomposition isolates at or near the top of the search; the deep
+/// residual components are query-specific, so keying and exporting each of
+/// them taxes every cold compile for hits that never come.
+const MAX_SHARED_DEPTH: usize = 1;
+
+impl PortableCircuit {
+    /// Extracts the reachable subgraph under `root` from `builder`, or
+    /// `None` when it exceeds [`EXPORT_NODE_CAP`]. Traversal touches only
+    /// the reachable nodes (with an early exit at the cap), so the cost
+    /// scales with the exported component, not with the whole builder —
+    /// components are exported once per local-cache miss, and a scan over
+    /// every interned node each time would be quadratic across a run.
+    fn export(builder: &Builder, root: NodeId) -> Option<PortableCircuit> {
+        let mut ids: Vec<NodeId> = Vec::new();
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        let mut stack = vec![root];
+        seen.insert(root);
+        while let Some(id) = stack.pop() {
+            ids.push(id);
+            if ids.len() > EXPORT_NODE_CAP {
+                return None;
+            }
+            let mut visit = |c: NodeId, stack: &mut Vec<NodeId>| {
+                if seen.insert(c) {
+                    stack.push(c);
+                }
+            };
+            match &builder.nodes[id] {
+                Node::And(children) => {
+                    for &c in children {
+                        visit(c, &mut stack);
+                    }
+                }
+                Node::Decision { hi, lo, .. } => {
+                    visit(*hi, &mut stack);
+                    visit(*lo, &mut stack);
+                }
+                _ => {}
+            }
+        }
+        // The builder interns bottom-up (children carry smaller ids), so
+        // ascending id order is already topological; children then map to
+        // local indices by binary search over the sorted id list.
+        ids.sort_unstable();
+        let local = |ids: &[NodeId], c: NodeId| -> u32 {
+            ids.binary_search(&c).expect("child was visited") as u32
+        };
+        let mut nodes = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            nodes.push(match &builder.nodes[id] {
+                Node::False => PortableNode::False,
+                Node::True => PortableNode::True,
+                Node::Lit(l) => PortableNode::Lit(*l),
+                Node::And(children) => {
+                    PortableNode::And(children.iter().map(|&c| local(&ids, c)).collect())
+                }
+                Node::Decision { var, hi, lo } => PortableNode::Decision {
+                    var: *var,
+                    hi: local(&ids, *hi),
+                    lo: local(&ids, *lo),
+                },
+            });
+        }
+        Some(PortableCircuit {
+            nodes,
+            root: local(&ids, root),
+        })
+    }
+
+    /// Splices the circuit into `builder`, returning the new id of the
+    /// root. Hash-consing and the builder's reductions apply as usual, so
+    /// an import never duplicates nodes the builder already holds.
+    fn import(&self, builder: &mut Builder) -> NodeId {
+        let mut map: Vec<NodeId> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let id = match node {
+                PortableNode::False => builder.false_node(),
+                PortableNode::True => builder.true_node(),
+                PortableNode::Lit(l) => builder.lit_node(*l),
+                PortableNode::And(children) => {
+                    let mapped: Vec<NodeId> = children.iter().map(|&c| map[c as usize]).collect();
+                    builder.and_node(mapped)
+                }
+                PortableNode::Decision { var, hi, lo } => {
+                    builder.decision_node(*var, map[*hi as usize], map[*lo as usize])
+                }
+            };
+            map.push(id);
+        }
+        map[self.root as usize]
+    }
+}
+
+/// Entries beyond this are not inserted (existing keys still refresh), so a
+/// pathological batch cannot grow the shared cache without bound.
+const SHARED_CACHE_CAPACITY: usize = 1 << 16;
+
+struct SharedEntry {
+    circuit: Arc<PortableCircuit>,
+    /// Generation of the last insert or hit — the eviction criterion of
+    /// [`SharedComponentCache::advance_generation`].
+    stamp: u64,
+}
+
+struct SharedInner {
+    entries: FxHashMap<PortableKey, SharedEntry>,
+    generation: u64,
+}
+
+/// A thread-safe, generation-stamped cache of compiled components shared
+/// **across** compilation runs.
+///
+/// The per-run component cache keys components by arena [`ClauseId`]s,
+/// which are meaningless outside the run that interned them; it dies with
+/// its `Builder`. A `SharedComponentCache` instead keys component *content*
+/// (the internal `PortableKey`: canonical residual clauses plus projection
+/// membership) and stores self-contained sub-circuits, so φ,
+/// φ∧ψ and the per-family label CNFs of one batch — which share most of
+/// their connected components under a common variable numbering — reuse
+/// each other's compilation work. Attach one with
+/// [`Compiler::with_shared_cache`]; [`CompileStats::shared_hits`] /
+/// [`CompileStats::shared_lookups`] surface the per-run cross-query hit
+/// rate, and [`hits`](Self::hits) / [`lookups`](Self::lookups) the
+/// cumulative one.
+///
+/// Entries are generation-stamped: a probe hit restamps the entry with the
+/// current generation, and [`advance_generation`](Self::advance_generation)
+/// drops every entry the generation that just ended never touched before
+/// opening the next one. A long-lived owner (a batch counter, a query
+/// server) calls it at batch boundaries to bound the cache to its live
+/// working set.
+pub struct SharedComponentCache {
+    inner: Mutex<SharedInner>,
+    hits: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl Default for SharedComponentCache {
+    fn default() -> Self {
+        SharedComponentCache::new()
+    }
+}
+
+impl std::fmt::Debug for SharedComponentCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (len, generation) = {
+            let inner = self.inner.lock().expect("shared cache poisoned");
+            (inner.entries.len(), inner.generation)
+        };
+        f.debug_struct("SharedComponentCache")
+            .field("entries", &len)
+            .field("generation", &generation)
+            .field("hits", &self.hits())
+            .field("lookups", &self.lookups())
+            .finish()
+    }
+}
+
+impl SharedComponentCache {
+    /// An empty cache at generation 0.
+    pub fn new() -> Self {
+        SharedComponentCache {
+            inner: Mutex::new(SharedInner {
+                entries: FxHashMap::default(),
+                generation: 0,
+            }),
+            hits: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// Closes the current generation: drops every entry it never inserted
+    /// or hit, then opens the next one. Call at batch boundaries to keep
+    /// the cache bounded to the working set of the batch that just ran.
+    pub fn advance_generation(&self) {
+        let mut inner = self.inner.lock().expect("shared cache poisoned");
+        let current = inner.generation;
+        inner.entries.retain(|_, e| e.stamp == current);
+        inner.generation += 1;
+    }
+
+    /// The current generation (starts at 0, bumped by
+    /// [`advance_generation`](Self::advance_generation)).
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().expect("shared cache poisoned").generation
+    }
+
+    /// Number of cached components.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("shared cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// Whether the cache holds no component.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative cross-query probes answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative cross-query probes.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    fn lookup(&self, key: &PortableKey) -> Option<Arc<PortableCircuit>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("shared cache poisoned");
+        let generation = inner.generation;
+        let entry = inner.entries.get_mut(key)?;
+        entry.stamp = generation;
+        let circuit = Arc::clone(&entry.circuit);
+        drop(inner);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(circuit)
+    }
+
+    fn store(&self, key: PortableKey, circuit: PortableCircuit) {
+        let mut inner = self.inner.lock().expect("shared cache poisoned");
+        if inner.entries.len() >= SHARED_CACHE_CAPACITY && !inner.entries.contains_key(&key) {
+            return;
+        }
+        let stamp = inner.generation;
+        inner.entries.insert(
+            key,
+            SharedEntry {
+                circuit: Arc::new(circuit),
+                stamp,
+            },
+        );
+    }
+}
+
 /// A connected component of the residual formula under the current
 /// assignment: sorted active clause ids and sorted free variables.
 struct Component {
@@ -1123,6 +1564,11 @@ struct Search {
     var_stamp: Vec<u32>,
     stamp: u32,
     cache: FxHashMap<CompKey, NodeId>,
+    /// The cross-query cache, when the [`Compiler`] attached one.
+    shared: Option<Arc<SharedComponentCache>>,
+    /// Decisions on the current search path — the shared cache only admits
+    /// components found within [`MAX_SHARED_DEPTH`] of the top.
+    depth: usize,
     stats: CompileStats,
     max_decisions: u64,
     exhausted: bool,
@@ -1350,9 +1796,11 @@ impl Search {
         builder.and_node(children)
     }
 
-    /// Compiles one component: probe the signature-keyed cache, pick the
-    /// highest-activity projection variable, branch (or SAT-check a
-    /// projection-free component), cache the node.
+    /// Compiles one component: probe the run-local signature-keyed cache,
+    /// then the cross-query shared cache (importing a hit's portable
+    /// sub-circuit), pick the highest-activity projection variable, branch
+    /// (or SAT-check a projection-free component), cache the node both
+    /// locally and — freshly compiled, within the export cap — shared.
     fn compile_component(&mut self, comp: Component, builder: &mut Builder) -> NodeId {
         if self.exhausted {
             return builder.false_node();
@@ -1362,6 +1810,20 @@ impl Search {
         if let Some(&id) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
             return id;
+        }
+        let portable = self
+            .shared
+            .clone()
+            .filter(|_| self.depth <= MAX_SHARED_DEPTH && key.clauses.len() >= MIN_SHARED_CLAUSES)
+            .map(|shared| (shared, self.portable_key(&key)));
+        if let Some((shared, pk)) = &portable {
+            self.stats.shared_lookups += 1;
+            if let Some(circuit) = shared.lookup(pk) {
+                self.stats.shared_hits += 1;
+                let id = circuit.import(builder);
+                self.cache.insert(key, id);
+                return id;
+            }
         }
         let mut branch: Option<u32> = None;
         for &v in key.vars.iter() {
@@ -1403,8 +1865,10 @@ impl Search {
                     match self.assign(lit, &mut pending) {
                         Err(c) => self.on_conflict(c),
                         Ok(()) => {
+                            self.depth += 1;
                             *slot =
                                 self.compile_subproblem(&key.clauses, pending, Some(v), builder);
+                            self.depth -= 1;
                         }
                     }
                     self.undo_to(mark);
@@ -1413,9 +1877,61 @@ impl Search {
             }
         };
         if !self.exhausted {
+            // Mirror the local-cache guard: a budget-truncated trace must
+            // never leak into the shared cache either.
+            if let Some((shared, pk)) = portable {
+                if let Some(circuit) = PortableCircuit::export(builder, id) {
+                    shared.store(pk, circuit);
+                }
+            }
             self.cache.insert(key, id);
         }
         id
+    }
+
+    /// Builds the content-addressed shared-cache key of a component: the
+    /// canonical encoding of its residual clauses (each active clause
+    /// reduced to its unassigned literals — assigned literals of an active
+    /// clause are always falsified) plus the projection members of its free
+    /// variables. The residual fixes the component's Boolean function and
+    /// the projection membership fixes its count semantics, so equal keys
+    /// across runs compile to interchangeable sub-circuits.
+    fn portable_key(&self, key: &CompKey) -> PortableKey {
+        // Residual clauses live as ranges over one flat literal buffer —
+        // this runs on every local-cache miss, and a `Vec` per clause is
+        // most of the keying cost.
+        let mut flat: Vec<u32> = Vec::new();
+        let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(key.clauses.len());
+        for &c in key.clauses.iter() {
+            let (s, e) = self.clause_range(c);
+            let start = flat.len();
+            flat.extend(
+                self.pool[s..e]
+                    .iter()
+                    .filter(|l| self.value[l.var().index()] == UNASSIGNED)
+                    .map(|l| l.code() as u32),
+            );
+            flat[start..].sort_unstable();
+            ranges.push((start as u32, flat.len() as u32));
+        }
+        let slice = |r: &(u32, u32)| &flat[r.0 as usize..r.1 as usize];
+        // Duplicate residual clauses don't change the Boolean function;
+        // dropping them widens the match.
+        ranges.sort_unstable_by(|a, b| slice(a).cmp(slice(b)));
+        ranges.dedup_by(|a, b| slice(a) == slice(b));
+        let mut data = Vec::with_capacity(flat.len() + ranges.len());
+        for r in &ranges {
+            let cl = slice(r);
+            data.push(cl.len() as u32);
+            data.extend_from_slice(cl);
+        }
+        let proj: Vec<u32> = key
+            .vars
+            .iter()
+            .copied()
+            .filter(|&v| self.is_proj[v as usize])
+            .collect();
+        PortableKey::new(data, proj)
     }
 
     /// Plain satisfiability of a projection-free component: materialize the
@@ -1761,6 +2277,112 @@ mod tests {
     #[test]
     fn empty_cache_hit_rate_is_zero() {
         assert_eq!(CompileStats::default().cache_hit_rate(), 0.0);
+        assert_eq!(CompileStats::default().shared_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn shared_cache_reuses_components_across_runs() {
+        let mut cnf = Cnf::new(10);
+        for i in 0..9u32 {
+            cnf.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)]);
+            cnf.add_clause(vec![Lit::neg(i), Lit::pos(i + 1), Lit::pos((i + 5) % 10)]);
+        }
+        let cold = compile(&cnf);
+        let shared = Arc::new(SharedComponentCache::new());
+        let compiler = Compiler::new().with_shared_cache(Arc::clone(&shared));
+        let first = compiler.compile(&cnf).expect("no budget configured");
+        assert_eq!(first.count(), cold.count());
+        assert!(first.stats().shared_lookups > 0, "probes must be counted");
+        assert!(!shared.is_empty(), "first run must feed the cache");
+        // A second run over the same formula resolves every probed
+        // component from the shared cache.
+        let second = compiler.compile(&cnf).expect("no budget configured");
+        assert_eq!(second.count(), cold.count());
+        assert!(
+            second.stats().shared_hits > 0,
+            "second run must hit the shared cache, stats {:?}",
+            second.stats()
+        );
+        assert_eq!(second.stats().shared_hits, second.stats().shared_lookups);
+        assert_eq!(second.stats().shared_hit_rate(), 1.0);
+        assert_eq!(shared.hits(), second.stats().shared_hits);
+    }
+
+    #[test]
+    fn shared_cache_counts_agree_with_cold_compiles_on_random_cnfs() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x5EED);
+        let shared = Arc::new(SharedComponentCache::new());
+        let warm = Compiler::new().with_shared_cache(Arc::clone(&shared));
+        for round in 0..40 {
+            let mut cnf = random_cnf(&mut rng, 9, 18);
+            if round % 2 == 0 {
+                cnf.set_projection((0..5u32).map(Var).collect());
+            }
+            let cold = compile(&cnf);
+            // Twice through the warm compiler: once feeding the cache,
+            // once (mostly) reading it. Counts and models must be
+            // bit-identical to the cold compile in both.
+            for pass in 0..2 {
+                let d = warm.compile(&cnf).expect("no budget configured");
+                assert_eq!(d.count(), cold.count(), "round {round} pass {pass}");
+                assert_eq!(d.models(), cold.models(), "round {round} pass {pass}");
+            }
+        }
+        assert!(shared.hits() > 0, "the sweep must produce cross-query hits");
+    }
+
+    #[test]
+    fn advance_generation_evicts_untouched_entries() {
+        // One connected component comfortably above the shared-cache size
+        // gate (tiny components skip the cache by design).
+        let mut cnf = Cnf::new(6);
+        for i in 0..5u32 {
+            cnf.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)]);
+            cnf.add_clause(vec![Lit::neg(i), Lit::pos((i + 2) % 6)]);
+        }
+        let shared = Arc::new(SharedComponentCache::new());
+        let compiler = Compiler::new().with_shared_cache(Arc::clone(&shared));
+        compiler.compile(&cnf).expect("no budget configured");
+        let populated = shared.len();
+        assert!(populated > 0);
+        // Generation 0 inserted the entries, so closing it keeps them.
+        shared.advance_generation();
+        assert_eq!(shared.len(), populated);
+        assert_eq!(shared.generation(), 1);
+        // Generation 1 never touched them, so closing it drops them.
+        shared.advance_generation();
+        assert!(shared.is_empty());
+        // A hit restamps: probed entries survive the next boundary again.
+        // (Only the components actually probed survive — a hit imports its
+        // whole sub-circuit without recursing, so nested entries lapse.)
+        compiler.compile(&cnf).expect("no budget configured");
+        shared.advance_generation();
+        compiler.compile(&cnf).expect("no budget configured");
+        shared.advance_generation();
+        assert!(!shared.is_empty());
+        assert!(shared.len() <= populated);
+    }
+
+    #[test]
+    fn budget_truncated_traces_never_feed_the_shared_cache() {
+        let mut cnf = Cnf::new(20);
+        for i in 0..19u32 {
+            cnf.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)]);
+        }
+        let shared = Arc::new(SharedComponentCache::new());
+        let result = Compiler::with_decision_budget(3)
+            .with_shared_cache(Arc::clone(&shared))
+            .compile(&cnf);
+        assert!(matches!(result, Err(CompileError::BudgetExhausted { .. })));
+        // Components cached before exhaustion are complete and reusable;
+        // verify nothing poisoned: a fresh full compile through the same
+        // cache must still agree with a cold one.
+        let warm = Compiler::new()
+            .with_shared_cache(Arc::clone(&shared))
+            .compile(&cnf)
+            .expect("no budget configured");
+        assert_eq!(warm.count(), compile(&cnf).count());
     }
 
     #[test]

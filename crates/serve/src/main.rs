@@ -11,7 +11,7 @@ const USAGE: &str = "usage:
   mcml-serve client [--addr 127.0.0.1:7171] REQUEST WORDS...
 
 requests: ping | accuracy PROP SCOPE FAMILY | diff PROP SCOPE FAM_A FAM_B |
-          count PROP SCOPE phi|nphi [LIT...] | shutdown";
+          count PROP SCOPE phi|nphi [LIT...] | stats | shutdown";
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 

@@ -15,6 +15,7 @@
 //! accuracy <property> <scope> <family>
 //! diff     <property> <scope> <familyA> <familyB>
 //! count    <property> <scope> phi|nphi [lit ...]
+//! stats
 //! shutdown
 //! ```
 //!
@@ -26,7 +27,16 @@
 //! accuracy → ok <tp> <fp> <tn> <fn> <accuracy> <precision> <recall> <f1>
 //! diff     → ok <tt> <tf> <ft> <ff> <diff> <sim>
 //! count    → ok <count>
+//! stats    → ok queries <n> sweep_ns <t> units <k>
+//!               [<property> <scope> <family> <hits>]...
 //! ```
+//!
+//! `stats` reports cumulative serving statistics: how many queries were
+//! answered successfully, the total wall-clock nanoseconds spent inside
+//! those answers (the batched count sweeps dominate the serving path), and
+//! per-unit hit counts sorted by key. A `diff` touches both of its units;
+//! a `count` hits the `(property, scope)` ground-truth pair rather than
+//! one family's unit and is recorded under the pseudo-family `truth`.
 //!
 //! Counts are exact `u128` sums; derived metrics are printed with Rust's
 //! shortest-round-trip float formatting, so parsing a reply back yields
@@ -58,9 +68,76 @@ use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Cumulative serving statistics, shared by every shard and reported by
+/// the `stats` verb. Only successfully answered queries are recorded, so
+/// the per-unit table never grows entries for units that do not exist.
+#[derive(Default)]
+struct ServerStats {
+    /// Queries answered with `ok` by the sharded sweep path
+    /// (accuracy / diff / count).
+    queries: AtomicU64,
+    /// Cumulative wall-clock nanoseconds spent answering them — on the
+    /// serving path that time is the batched count sweeps.
+    sweep_nanos: AtomicU64,
+    /// Per-unit hit counts. `count` queries hit the `(property, scope)`
+    /// ground-truth pair rather than one family's unit and are recorded
+    /// under the pseudo-family `truth`.
+    unit_hits: Mutex<HashMap<(String, usize, String), u64>>,
+}
+
+impl ServerStats {
+    fn record(&self, query: &Query, nanos: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.sweep_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let mut hits = self.unit_hits.lock().expect("stats table poisoned");
+        let mut bump = |property: &str, scope: usize, family: &str| {
+            *hits
+                .entry((property.to_string(), scope, family.to_string()))
+                .or_insert(0) += 1;
+        };
+        match query {
+            Query::Accuracy { key } => bump(&key.0, key.1, &key.2),
+            Query::Diff {
+                property,
+                scope,
+                family_a,
+                family_b,
+            } => {
+                bump(property, *scope, family_a);
+                bump(property, *scope, family_b);
+            }
+            Query::Count {
+                property, scope, ..
+            } => bump(property, *scope, "truth"),
+        }
+    }
+
+    fn reply(&self) -> String {
+        let mut entries: Vec<((String, usize, String), u64)> = self
+            .unit_hits
+            .lock()
+            .expect("stats table poisoned")
+            .iter()
+            .map(|(key, hits)| (key.clone(), *hits))
+            .collect();
+        entries.sort();
+        let mut reply = format!(
+            "ok queries {} sweep_ns {} units {}",
+            self.queries.load(Ordering::Relaxed),
+            self.sweep_nanos.load(Ordering::Relaxed),
+            entries.len()
+        );
+        for ((property, scope, family), hits) in entries {
+            reply.push_str(&format!(" {property} {scope} {family} {hits}"));
+        }
+        reply
+    }
+}
 
 /// A running server: the bound address and the acceptor to join.
 pub struct ServerHandle {
@@ -87,7 +164,14 @@ pub fn start(store: CircuitStore, addr: &str, workers: usize) -> io::Result<Serv
     let local = listener.local_addr()?;
     let workers = workers.max(1);
 
-    let mut shards: Vec<Shard> = (0..workers).map(|_| Shard::default()).collect();
+    let stats = Arc::new(ServerStats::default());
+    let mut shards: Vec<Shard> = (0..workers)
+        .map(|_| Shard {
+            units: HashMap::new(),
+            truths: HashMap::new(),
+            stats: Arc::clone(&stats),
+        })
+        .collect();
     for (key, unit) in store.into_units() {
         let shard = &mut shards[shard_of(&key.0, key.1, workers)];
         shard
@@ -118,10 +202,11 @@ pub fn start(store: CircuitStore, addr: &str, workers: usize) -> io::Result<Serv
             let Ok(stream) = stream else { continue };
             let senders = senders.clone();
             let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
             std::thread::spawn(move || {
                 // A torn frame or reset connection only ends that
                 // connection; the server keeps serving.
-                let _ = handle_connection(stream, &senders, &shutdown, local);
+                let _ = handle_connection(stream, &senders, &shutdown, &stats, local);
             });
         }
         drop(senders);
@@ -136,15 +221,25 @@ pub fn start(store: CircuitStore, addr: &str, workers: usize) -> io::Result<Serv
 }
 
 /// One worker's slice of the store: its units plus a `(property, scope)`
-/// index of the ground-truth circuit pairs for `count` queries.
-#[derive(Default)]
+/// index of the ground-truth circuit pairs for `count` queries, and a
+/// handle on the server-wide statistics it reports into.
 struct Shard {
     units: HashMap<UnitKey, Unit>,
     truths: HashMap<(String, usize), (Arc<Ddnnf>, Arc<Ddnnf>)>,
+    stats: Arc<ServerStats>,
 }
 
 impl Shard {
     fn answer(&self, query: &Query) -> String {
+        let start = Instant::now();
+        let reply = self.answer_inner(query);
+        if reply.starts_with("ok") {
+            self.stats.record(query, start.elapsed().as_nanos() as u64);
+        }
+        reply
+    }
+
+    fn answer_inner(&self, query: &Query) -> String {
         match query {
             Query::Accuracy { key } => match self.units.get(key) {
                 Some(unit) => accuracy_reply(unit),
@@ -321,7 +416,8 @@ impl Query {
                 })
             }
             [verb, ..] => Err(format!(
-                "unknown request {verb:?} (expected ping, accuracy, diff, count or shutdown)"
+                "unknown request {verb:?} \
+                 (expected ping, accuracy, diff, count, stats or shutdown)"
             )),
             [] => Err("empty request".to_string()),
         }
@@ -363,12 +459,17 @@ fn handle_connection(
     mut stream: TcpStream,
     senders: &[mpsc::Sender<Job>],
     shutdown: &AtomicBool,
+    stats: &ServerStats,
     local: SocketAddr,
 ) -> io::Result<()> {
     while let Some(request) = read_frame(&mut stream)? {
         let words: Vec<&str> = request.split_ascii_whitespace().collect();
         if words.first() == Some(&"ping") {
             write_frame(&mut stream, "ok pong")?;
+            continue;
+        }
+        if words.first() == Some(&"stats") {
+            write_frame(&mut stream, &stats.reply())?;
             continue;
         }
         if words.first() == Some(&"shutdown") {

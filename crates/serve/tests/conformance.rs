@@ -98,6 +98,15 @@ fn served_accuracy_is_bit_identical_to_the_batch_runner() {
     }
 
     assert_eq!(client::query(&addr, "ping").expect("ping"), "ok pong");
+
+    // Two accuracy queries landed (one per row); ping is not a counting
+    // query and must not inflate the stats.
+    let stats = ok_fields(&client::query(&addr, "stats").expect("stats"));
+    assert_eq!(stats[..2], ["queries", "2"].map(String::from));
+    assert_eq!(stats[2], "sweep_ns");
+    assert!(stats[3].parse::<u64>().expect("sweep_ns is a number") > 0);
+    assert_eq!(stats[4..6], ["units", "2"].map(String::from));
+
     assert_eq!(
         client::query(&addr, "shutdown").expect("shutdown"),
         "ok bye"
@@ -210,6 +219,34 @@ fn served_diff_and_counts_match_the_batch_analyses() {
             "expected err for {bad:?}, got {reply:?}"
         );
     }
+
+    // The stats verb tallies exactly the queries that were answered `ok`:
+    // one diff (hitting both units), three conditioned counts (recorded
+    // under the `truth` pseudo-family) — the error-path probes above must
+    // not appear, so no phantom GBDT unit shows up.
+    let stats = ok_fields(&client::query(&addr, "stats").expect("stats"));
+    assert_eq!(stats[..2], ["queries", "4"].map(String::from));
+    assert_eq!(stats[2], "sweep_ns");
+    assert!(stats[3].parse::<u64>().expect("sweep_ns is a number") > 0);
+    assert_eq!(stats[4..6], ["units", "3"].map(String::from));
+    assert_eq!(
+        stats[6..],
+        [
+            "Reflexive",
+            "3",
+            "DT",
+            "1", //
+            "Reflexive",
+            "3",
+            "RFT",
+            "1", //
+            "Reflexive",
+            "3",
+            "truth",
+            "3",
+        ]
+        .map(String::from)
+    );
 
     assert_eq!(
         client::query(&addr, "shutdown").expect("shutdown"),

@@ -6,7 +6,9 @@
 # Usage: bench_trend.sh BASELINE.json FRESH.json [FACTOR]
 #
 #   BASELINE.json  the previous run's report (missing file => first run:
-#                  the gate warns loudly and passes vacuously)
+#                  the gate seeds the baseline from FRESH.json, warns
+#                  loudly, and passes — so the trajectory starts *now*
+#                  instead of silently never)
 #   FRESH.json     the report this run just wrote
 #   FACTOR         regression threshold on mean_ns (default 1.5)
 #
@@ -29,7 +31,9 @@ if [ ! -f "$fresh" ]; then
 fi
 
 if [ ! -f "$baseline" ]; then
-    echo "::warning::bench-trend: no baseline report at $baseline — first run (or expired artifact), nothing to compare against. The gate passes vacuously; the next run will use this run's artifact as its baseline."
+    mkdir -p "$(dirname "$baseline")"
+    cp "$fresh" "$baseline"
+    echo "::warning::bench-trend: no baseline report at $baseline — seeded it from $fresh. This run had nothing to compare against and passes; every later run is gated against the trajectory that starts here."
     exit 0
 fi
 

@@ -1,0 +1,165 @@
+//! Agreement suite for the cross-query shared component cache.
+//!
+//! A `CompiledCounter` keeps one `SharedComponentCache` alive for its whole
+//! batch, so φ, ¬φ and the per-family label CNFs of different rows import
+//! each other's interned d-DNNF components. Soundness rests on the
+//! portable component key (canonical residual clauses + projection
+//! membership): these tests pin that a warm, heavily shared batch produces
+//! **bit-identical** counts and metrics to cold single-row counters and to
+//! the search-based exact engine — across all four model families, scopes
+//! 2 and 3, and both counting engines — and that a φ / φ∧ψ query pair
+//! actually crosses queries in the shared cache (nonzero hit rate in
+//! `CompileStats`).
+
+use mcml::accmc::CountingEngine;
+use mcml::backend::CounterBackend;
+use mcml::counter::{CompiledCounter, CountOutcome, ModelCounter};
+use mcml::framework::{ExperimentConfig, ModelFamily, Runner, RunnerRow};
+use modelcount::exact::ExactCounter;
+use relspec::properties::Property;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+use satkit::cnf::{Cnf, Lit, Var};
+
+fn study_runner(engine: CountingEngine) -> Runner {
+    Runner::new()
+        .families(ModelFamily::all())
+        .rft_trees(5)
+        .abt_rounds(5)
+        .gbdt_rounds(4)
+        .engine(engine)
+}
+
+fn assert_rows_agree(shared: &[RunnerRow], cold: &[RunnerRow], context: &str) {
+    assert_eq!(shared.len(), cold.len(), "{context}: row count");
+    for (a, b) in shared.iter().zip(cold) {
+        assert_eq!(a.config, b.config, "{context}");
+        assert_eq!(a.family, b.family, "{context}");
+        let label = format!("{context}, {} {}", a.config.property, a.family);
+        assert_eq!(a.test_metrics, b.test_metrics, "{label}");
+        match (&a.whole_space, &b.whole_space) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.counts, y.counts, "{label}");
+                // Metrics derive from the counts; compare the bits anyway
+                // so a float-path drift cannot hide behind PartialEq.
+                for (m, n) in [
+                    (x.metrics.accuracy, y.metrics.accuracy),
+                    (x.metrics.precision, y.metrics.precision),
+                    (x.metrics.recall, y.metrics.recall),
+                    (x.metrics.f1, y.metrics.f1),
+                ] {
+                    assert_eq!(m.to_bits(), n.to_bits(), "{label}");
+                }
+            }
+            (None, None) => {}
+            (x, y) => panic!("{label}: budget drift ({x:?} vs {y:?})"),
+        }
+    }
+}
+
+/// Warm shared-cache batches vs cold per-row counters vs the search-based
+/// exact engine: all four families, scopes 2 and 3, both engines, two
+/// properties with different symmetry settings so the batch genuinely
+/// mixes formulas in one shared cache.
+#[test]
+fn shared_cache_batches_agree_with_cold_counters_and_search() {
+    for scope in [2usize, 3] {
+        let configs = vec![
+            ExperimentConfig::table5(Property::Function, scope),
+            ExperimentConfig::table3(Property::Antisymmetric, scope),
+        ];
+        for engine in [CountingEngine::Classic, CountingEngine::Compiled] {
+            let runner = study_runner(engine);
+
+            // One counter for the whole batch: every row reuses the same
+            // shared component cache (this is the default wiring).
+            let warm = CompiledCounter::new();
+            let shared_rows = runner.run(&configs, &warm).expect("well-formed batch");
+            assert_eq!(shared_rows.len(), configs.len() * ModelFamily::all().len());
+
+            // Cold reference: a fresh counter per row, so nothing is ever
+            // imported across rows.
+            let mut cold_rows = Vec::new();
+            for config in &configs {
+                for family in ModelFamily::all() {
+                    let row = study_runner(engine)
+                        .families(&[*family])
+                        .run(&[*config], &CompiledCounter::new())
+                        .expect("well-formed row");
+                    cold_rows.extend(row);
+                }
+            }
+            assert_rows_agree(
+                &shared_rows,
+                &cold_rows,
+                &format!("scope {scope}, engine {engine}"),
+            );
+
+            // Search-based reference: no circuits, no shared cache at all.
+            let exact_rows = study_runner(CountingEngine::Classic)
+                .run(&configs, &CounterBackend::exact())
+                .expect("well-formed batch");
+            assert_rows_agree(
+                &shared_rows,
+                &exact_rows,
+                &format!("scope {scope}, engine {engine} vs search"),
+            );
+        }
+    }
+}
+
+fn exact_u128(outcome: CountOutcome) -> u128 {
+    match outcome {
+        CountOutcome::Exact(v) => v,
+        other => panic!("compiled counts are exact, got {other:?}"),
+    }
+}
+
+/// Pinned cross-query regression: counting φ and then φ∧ψ (ψ over fresh
+/// variables, so component decomposition isolates φ's clauses verbatim)
+/// must hit the shared component cache — the hit rate in `CompileStats`
+/// is required to be nonzero, and both counts must match the independent
+/// search-based counter.
+///
+/// Function's φ is the interesting shape here: each scope row yields one
+/// connected multi-clause component, big enough to clear the sharing
+/// gate (tiny components — e.g. Antisymmetric's per-pair unit clauses —
+/// are deliberately recompiled rather than interned, because a probe
+/// costs more than the recompile).
+#[test]
+fn phi_and_phi_and_psi_share_components_across_queries() {
+    let gt = translate_to_cnf(&Property::Function.spec(), TranslateOptions::new(3));
+    let phi = gt.cnf_positive();
+
+    // φ∧ψ: the same φ clauses plus a small ψ over four fresh variables.
+    // ψ touches no φ variable, so the compiler's component decomposition
+    // reproduces φ's sub-components exactly — the deterministic shape of
+    // cross-query reuse (the batch analogue is φ under two symmetry
+    // settings, or φ next to a model's label CNF).
+    let fresh = phi.num_vars();
+    let mut phi_and_psi = Cnf::new(fresh + 4);
+    for clause in phi.clauses() {
+        phi_and_psi.add_clause(clause.lits().to_vec());
+    }
+    let v = |k: usize| (fresh + k) as u32;
+    phi_and_psi.add_clause(vec![Lit::pos(v(0)), Lit::pos(v(1))]);
+    phi_and_psi.add_clause(vec![Lit::neg(v(1)), Lit::pos(v(2))]);
+    phi_and_psi.add_clause(vec![Lit::pos(v(2)), Lit::neg(v(3))]);
+    let mut projection = phi.effective_projection();
+    projection.extend((0..4).map(|k| Var(v(k))));
+    phi_and_psi.set_projection(projection);
+
+    let counter = CompiledCounter::new();
+    let phi_count = exact_u128(ModelCounter::count(&counter, &phi));
+    let both_count = exact_u128(ModelCounter::count(&counter, &phi_and_psi));
+
+    let stats = counter.compile_stats();
+    assert!(
+        stats.shared_hits > 0,
+        "φ∧ψ must import φ components: {stats:?}"
+    );
+    assert!(stats.shared_hit_rate() > 0.0, "{stats:?}");
+
+    let search = ExactCounter::new();
+    assert_eq!(phi_count, search.count(&phi).expect("no budget"));
+    assert_eq!(both_count, search.count(&phi_and_psi).expect("no budget"));
+}
