@@ -12,9 +12,11 @@
 //! (all four families ride it through their decision regions, with
 //! `--vote-nodes` bounding the ensemble vote circuits), and
 //! `--cache-dir DIR` persists the count cache across processes.
-//! `--artifact-dir DIR` (compiled engine only) additionally persists the
-//! compiled circuits and decision-region covers — preloaded on the next
-//! run, and the warm store the `mcml-serve` query service reads.
+//! `--artifact-dir DIR` (compiled engine only, repeatable) additionally
+//! persists the compiled circuits and decision-region covers — every
+//! named directory is preloaded on the next run and the fresh build is
+//! saved to the first, forming the warm store(s) the `mcml-serve` query
+//! service reads.
 //!
 //! Rows run through the streaming batch scheduler either way: `--stream`
 //! prints each row the moment its cell lands (completion order — the
@@ -115,16 +117,22 @@ fn cache_file(args: &HarnessArgs) -> Option<PathBuf> {
         .map(|dir| dir.join(persist::cache_file_name(args.backend().name())))
 }
 
-/// The circuit-artifact file under `--artifact-dir`, if configured and
-/// meaningful: only the compiled engine has circuits to persist, so the
-/// flag warns and is ignored otherwise.
-fn artifact_file(args: &HarnessArgs) -> Option<PathBuf> {
-    let dir = args.artifact_dir.as_ref()?;
+/// The circuit-artifact files under the `--artifact-dir`s, if configured
+/// and meaningful: only the compiled engine has circuits to persist, so
+/// the flag warns and is ignored otherwise. Every file is preloaded; a
+/// fresh build is saved to the first.
+fn artifact_files(args: &HarnessArgs) -> Vec<PathBuf> {
+    if args.artifact_dirs.is_empty() {
+        return Vec::new();
+    }
     if args.engine != CountingEngine::Compiled {
         eprintln!("warning: --artifact-dir is ignored without --engine compiled");
-        return None;
+        return Vec::new();
     }
-    Some(dir.join(artifact::artifact_file_name("compiled")))
+    args.artifact_dirs
+        .iter()
+        .map(|dir| dir.join(artifact::artifact_file_name("compiled")))
+        .collect()
 }
 
 /// Runs one AccMC-style table and prints it.
@@ -141,22 +149,24 @@ pub fn run_accmc_table(
     // one here lets the artifact path preload/snapshot the same cache the
     // runner counts through.
     let compiled = inner.as_compiled().cloned();
-    let artifact_path = artifact_file(args);
-    if let (Some(path), Some(counter)) = (&artifact_path, &compiled) {
-        match artifact::load_artifact(path, "compiled") {
-            Ok(loaded) => {
-                eprintln!(
-                    "(preloaded {} compiled circuits from {})",
-                    loaded.circuits.len(),
+    let artifact_paths = artifact_files(args);
+    if let Some(counter) = &compiled {
+        for path in &artifact_paths {
+            match artifact::load_artifact(path, "compiled") {
+                Ok(loaded) => {
+                    eprintln!(
+                        "(preloaded {} compiled circuits from {})",
+                        loaded.circuits.len(),
+                        path.display()
+                    );
+                    counter.preload_circuits(loaded.circuits);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => eprintln!(
+                    "warning: ignoring unreadable circuit artifact {}: {e}",
                     path.display()
-                );
-                counter.preload_circuits(loaded.circuits);
+                ),
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => eprintln!(
-                "warning: ignoring unreadable circuit artifact {}: {e}",
-                path.display()
-            ),
         }
     }
     let backend = CachedCounter::new(inner);
@@ -247,7 +257,7 @@ pub fn run_accmc_table(
         }
     }
 
-    if let (Some(path), Some(counter)) = (&artifact_path, &compiled) {
+    if let (Some(path), Some(counter)) = (artifact_paths.first(), &compiled) {
         match runner.build_artifact(&configs, counter) {
             Ok(built) => match artifact::save_artifact(path, &built) {
                 Ok(written) => eprintln!(

@@ -24,9 +24,10 @@
 //! * `--cache-dir DIR` — persist the count cache to `DIR` and reload it on
 //!   the next run (cross-process reuse);
 //! * `--artifact-dir DIR` — with `--engine compiled`, persist the compiled
-//!   circuits and decision-region covers to `DIR` (one
-//!   `circuits.compiled.v1.bin` per run, overwritten) and preload them on
-//!   the next run — the warm store `mcml-serve` reads at startup.
+//!   circuits and decision-region covers (one `circuits.compiled.v2.bin`
+//!   per directory, overwritten) and preload them on the next run — the
+//!   warm store `mcml-serve` reads at startup. Repeatable: every named
+//!   directory's artifact is preloaded; the build is saved to the first.
 
 use mcml::accmc::CountingEngine;
 use mcml::backend::CounterBackend;
@@ -61,9 +62,10 @@ pub struct HarnessArgs {
     /// Directory holding the persistent count cache (`None` = in-memory
     /// only).
     pub cache_dir: Option<PathBuf>,
-    /// Directory holding the circuit artifact store (`None` = no circuit
-    /// persistence). Only meaningful with the compiled engine.
-    pub artifact_dir: Option<PathBuf>,
+    /// Directories holding circuit artifact stores (empty = no circuit
+    /// persistence). Only meaningful with the compiled engine. All are
+    /// preloaded; a fresh build is saved to the first.
+    pub artifact_dirs: Vec<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -80,7 +82,7 @@ impl Default for HarnessArgs {
             vote_nodes: mcml::encode::MAX_VOTE_NODES,
             stream: false,
             cache_dir: None,
-            artifact_dir: None,
+            artifact_dirs: Vec::new(),
         }
     }
 }
@@ -160,7 +162,7 @@ impl HarnessArgs {
                 }
                 "--artifact-dir" => {
                     let v = iter.next().expect("--artifact-dir requires a path");
-                    out.artifact_dir = Some(PathBuf::from(v));
+                    out.artifact_dirs.push(PathBuf::from(v));
                 }
                 other => panic!("unknown argument {other:?}"),
             }
@@ -304,17 +306,24 @@ mod tests {
 
     #[test]
     fn parses_artifact_dir() {
+        // The flag is repeatable: every directory is preloaded, the build
+        // is saved to the first.
         let a = parse(&[
             "--engine",
             "compiled",
             "--artifact-dir",
             "/tmp/mcml-artifacts",
+            "--artifact-dir",
+            "/tmp/mcml-artifacts-2",
         ]);
         assert_eq!(
-            a.artifact_dir.as_deref(),
-            Some(std::path::Path::new("/tmp/mcml-artifacts"))
+            a.artifact_dirs,
+            vec![
+                std::path::PathBuf::from("/tmp/mcml-artifacts"),
+                std::path::PathBuf::from("/tmp/mcml-artifacts-2"),
+            ]
         );
-        assert_eq!(parse(&[]).artifact_dir, None);
+        assert!(parse(&[]).artifact_dirs.is_empty());
     }
 
     #[test]

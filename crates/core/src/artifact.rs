@@ -9,12 +9,17 @@
 //! One [`CircuitArtifact`] file per backend lives under `--artifact-dir`:
 //!
 //! ```text
-//! mcml-circuits v1 backend=compiled encoder=0123456789abcdef
+//! mcml-circuits v2 backend=compiled encoder=0123456789abcdef
 //! <u64 checksum> <u64 payload length> <binary payload>
 //! ```
 //!
-//! The ASCII header follows the [`crate::persist`] store discipline (kind,
-//! schema version and producing backend spelled out, mismatches rejected
+//! The artifact store carries its own schema version
+//! ([`ARTIFACT_VERSION`], bumped to 2 when region covers grew the
+//! ground truth's symmetry-breaking setting) — the count cache's
+//! [`crate::persist::STORE_VERSION`] stays independent, so bumping one
+//! store never invalidates the other. The ASCII header follows the
+//! [`crate::persist`] store discipline (kind, schema version and
+//! producing backend spelled out, mismatches rejected
 //! with [`std::io::ErrorKind::InvalidData`]) and additionally pins the
 //! **encoder fingerprint**: a hash over the cache-key fingerprints of
 //! canonical CNFs and the byte image of a canonically compiled circuit.
@@ -31,8 +36,9 @@
 
 use crate::counter::cnf_fingerprint;
 use crate::encode::DecisionRegion;
-use crate::persist::{invalid, store_file_name, store_header};
+use crate::persist::invalid;
 use crate::tree2cnf::TreeLabel;
+use relspec::symmetry::SymmetryBreaking;
 use satkit::cnf::{Cnf, Lit};
 use satkit::ddnnf::{Compiler, Ddnnf};
 use std::io;
@@ -51,6 +57,12 @@ pub struct RegionCover {
     pub scope: usize,
     /// Model family name as spelled by `ModelFamily::name` (`DT`, `RFT`, …).
     pub family: String,
+    /// The symmetry-breaking setting baked into the ground truth's φ / ¬φ
+    /// circuits. When it is enabled, those circuits partition the
+    /// *symmetry-constrained* space, not the full feature space — the
+    /// serving layer must refuse whole-space plans (`diff`) that would
+    /// silently disagree with `DiffMc` over the full space.
+    pub symmetry: SymmetryBreaking,
     /// Circuit-cache fingerprint of the property's φ CNF.
     pub phi: u128,
     /// Circuit-cache fingerprint of the property's ¬φ CNF.
@@ -72,10 +84,17 @@ pub struct CircuitArtifact {
     pub covers: Vec<RegionCover>,
 }
 
+/// Schema version of the circuit artifact store, independent of the count
+/// cache's [`crate::persist::STORE_VERSION`]. v2 added the ground truth's
+/// symmetry-breaking setting to every region cover; v1 files are rejected
+/// by the header check instead of being misread.
+pub const ARTIFACT_VERSION: u32 = 2;
+
 /// The artifact file name for a backend under `--artifact-dir` (e.g.
-/// `circuits.compiled.v1.bin`).
+/// `circuits.compiled.v2.bin`) — kind, backend and schema version all
+/// spelled out so differently-configured runs never collide on disk.
 pub fn artifact_file_name(backend: &str) -> String {
-    store_file_name("circuits", backend, "bin")
+    format!("circuits.{backend}.v{ARTIFACT_VERSION}.bin")
 }
 
 /// Fingerprint of the fingerprint-and-compile pipeline itself, pinned into
@@ -128,6 +147,7 @@ pub fn save_artifact(path: &Path, artifact: &CircuitArtifact) -> io::Result<usiz
         push_str(&mut payload, &cover.property)?;
         push_u32(&mut payload, cover.scope)?;
         push_str(&mut payload, &cover.family)?;
+        payload.push(symmetry_tag(cover.symmetry));
         payload.extend_from_slice(&cover.phi.to_le_bytes());
         payload.extend_from_slice(&cover.not_phi.to_le_bytes());
         push_u32(&mut payload, cover.regions.len())?;
@@ -213,6 +233,7 @@ pub fn load_artifact(path: &Path, expected_backend: &str) -> io::Result<CircuitA
         let property = r.string()?;
         let scope = r.u32()? as usize;
         let family = r.string()?;
+        let symmetry = symmetry_from_tag(r.u8()?)?;
         let phi = r.u128()?;
         let not_phi = r.u128()?;
         let num_regions = r.u32()? as usize;
@@ -234,6 +255,7 @@ pub fn load_artifact(path: &Path, expected_backend: &str) -> io::Result<CircuitA
             property,
             scope,
             family,
+            symmetry,
             phi,
             not_phi,
             regions,
@@ -255,10 +277,29 @@ pub fn load_artifact(path: &Path, expected_backend: &str) -> io::Result<CircuitA
 /// The artifact's full header line, newline included.
 fn header_line(backend: &str) -> String {
     format!(
-        "{} encoder={:016x}\n",
-        store_header("circuits", backend),
+        "mcml-circuits v{ARTIFACT_VERSION} backend={backend} encoder={:016x}\n",
         encoder_fingerprint()
     )
+}
+
+/// One stable byte per [`SymmetryBreaking`] setting in the payload.
+fn symmetry_tag(sb: SymmetryBreaking) -> u8 {
+    match sb {
+        SymmetryBreaking::None => 0,
+        SymmetryBreaking::Adjacent => 1,
+        SymmetryBreaking::Transpositions => 2,
+        SymmetryBreaking::Full => 3,
+    }
+}
+
+fn symmetry_from_tag(tag: u8) -> io::Result<SymmetryBreaking> {
+    match tag {
+        0 => Ok(SymmetryBreaking::None),
+        1 => Ok(SymmetryBreaking::Adjacent),
+        2 => Ok(SymmetryBreaking::Transpositions),
+        3 => Ok(SymmetryBreaking::Full),
+        other => Err(invalid(format!("unknown symmetry-breaking tag {other}"))),
+    }
 }
 
 fn push_u32(out: &mut Vec<u8>, value: usize) -> io::Result<()> {
@@ -371,6 +412,7 @@ mod tests {
                 property: "function".to_string(),
                 scope: 2,
                 family: "DT".to_string(),
+                symmetry: SymmetryBreaking::Transpositions,
                 phi: cnf_fingerprint(&phi),
                 not_phi: cnf_fingerprint(&not_phi),
                 regions: vec![
@@ -465,8 +507,21 @@ mod tests {
 
     #[test]
     fn artifact_naming_follows_the_store_policy() {
-        assert_eq!(artifact_file_name("compiled"), "circuits.compiled.v1.bin");
+        assert_eq!(artifact_file_name("compiled"), "circuits.compiled.v2.bin");
         // One fingerprint per process, stable across calls.
         assert_eq!(encoder_fingerprint(), encoder_fingerprint());
+    }
+
+    #[test]
+    fn symmetry_settings_survive_the_round_trip() {
+        for &sb in SymmetryBreaking::all() {
+            let mut artifact = sample_artifact();
+            artifact.covers[0].symmetry = sb;
+            let path = temp_path(&format!("symmetry-{}.bin", sb.name()));
+            save_artifact(&path, &artifact).expect("save");
+            let loaded = load_artifact(&path, "compiled").expect("load");
+            std::fs::remove_file(&path).ok();
+            assert_eq!(loaded.covers[0].symmetry, sb);
+        }
     }
 }

@@ -946,8 +946,10 @@ impl Runner {
     /// `train_model` path as [`run`](Self::run) —
     /// deterministic hyper-parameters and seeds — so the covers reproduce
     /// the evaluated models exactly and served results can match batch
-    /// rows bit for bit. Failed compilations are not persisted (the
-    /// snapshot skips them).
+    /// rows bit for bit. Each cover records the ground truth's
+    /// `eval_symmetry`, so the serving layer can refuse whole-space plans
+    /// that a symmetry-constrained φ would silently skew. Failed
+    /// compilations are not persisted (the snapshot skips them).
     pub fn build_artifact(
         &self,
         configs: &[ExperimentConfig],
@@ -979,6 +981,7 @@ impl Runner {
                     property: config.property.name().to_string(),
                     scope: config.scope,
                     family: family.name().to_string(),
+                    symmetry: config.eval_symmetry,
                     phi: cnf_fingerprint(phi_cnf),
                     not_phi: cnf_fingerprint(not_phi_cnf),
                     regions,

@@ -33,10 +33,11 @@ use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-/// Schema version shared by every mcml on-disk store (the count cache here
-/// and the circuit artifact store in [`crate::artifact`]). Bump it when any
-/// store's layout changes incompatibly; both file names and headers spell
-/// it, so stale files fail the header check instead of being misread.
+/// Schema version of the count-cache store. The circuit artifact store
+/// carries its own [`crate::artifact::ARTIFACT_VERSION`], so bumping one
+/// store's layout never invalidates the other's files. Both file names and
+/// headers spell their version, so stale files fail the header check
+/// instead of being misread.
 pub const STORE_VERSION: u32 = 1;
 
 /// The on-disk file name for a store of `kind` produced by `backend`, e.g.

@@ -40,6 +40,41 @@ impl SymmetryBreaking {
         !matches!(self, SymmetryBreaking::None)
     }
 
+    /// The setting's canonical lower-case name, stable across releases —
+    /// persisted stores (e.g. circuit artifacts) and wire replies spell
+    /// it, so [`from_name`](Self::from_name) must keep parsing it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SymmetryBreaking::None => "none",
+            SymmetryBreaking::Adjacent => "adjacent",
+            SymmetryBreaking::Transpositions => "transpositions",
+            SymmetryBreaking::Full => "full",
+        }
+    }
+
+    /// Parses a [`name`](Self::name) back into the setting
+    /// (case-insensitive); `None` for unknown spellings.
+    pub fn from_name(name: &str) -> Option<SymmetryBreaking> {
+        match name.to_ascii_lowercase().as_str() {
+            "none" => Some(SymmetryBreaking::None),
+            "adjacent" => Some(SymmetryBreaking::Adjacent),
+            "transpositions" => Some(SymmetryBreaking::Transpositions),
+            "full" => Some(SymmetryBreaking::Full),
+            _ => None,
+        }
+    }
+
+    /// Every setting, in tag order (the order persisted stores number
+    /// them in).
+    pub fn all() -> &'static [SymmetryBreaking] {
+        &[
+            SymmetryBreaking::None,
+            SymmetryBreaking::Adjacent,
+            SymmetryBreaking::Transpositions,
+            SymmetryBreaking::Full,
+        ]
+    }
+
     /// The generator permutations for a universe of `n` atoms. Each
     /// permutation maps atom `a` to `perm[a]`; the identity is never
     /// included.
@@ -151,6 +186,21 @@ pub fn symmetry_breaking_expr(n: usize, sb: SymmetryBreaking) -> Rc<BoolExpr> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for &sb in SymmetryBreaking::all() {
+            assert_eq!(SymmetryBreaking::from_name(sb.name()), Some(sb));
+        }
+        assert_eq!(
+            SymmetryBreaking::from_name("Transpositions"),
+            Some(SymmetryBreaking::Transpositions)
+        );
+        assert_eq!(SymmetryBreaking::from_name("lexleader"), None);
+        // The spellings are persisted in circuit artifacts — pin them.
+        assert_eq!(SymmetryBreaking::Transpositions.name(), "transpositions");
+        assert_eq!(SymmetryBreaking::None.name(), "none");
+    }
 
     #[test]
     fn generator_counts() {

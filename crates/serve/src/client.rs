@@ -1,19 +1,53 @@
-//! A one-shot scripting client: connect, send one request frame, return
-//! the reply text. The `mcml-serve client` subcommand wraps [`query`].
+//! Scripting clients over the frame protocol: a persistent
+//! [`Connection`] issuing any number of requests over one TCP stream
+//! (the server keeps connections open between requests), and the
+//! one-shot [`query`] helper the `mcml-serve client` subcommand wraps.
 
 use crate::protocol::{read_frame, write_frame};
 use std::io;
 use std::net::TcpStream;
 
-/// Sends `request` to the server at `addr` and returns the reply text
-/// (`ok ...` or `err ...`).
+/// A persistent client connection: one TCP stream, any number of
+/// request/reply round trips. Dropping it closes the connection (a
+/// frame-boundary close the server treats as a normal goodbye).
+pub struct Connection {
+    stream: TcpStream,
+}
+
+impl Connection {
+    /// Connects to the server at `addr`.
+    pub fn connect(addr: &str) -> io::Result<Connection> {
+        Ok(Connection {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request and returns the reply text (`ok ...` or
+    /// `err ...`). An `UnexpectedEof` means the server closed the
+    /// connection instead of replying — after `shutdown`, an idle
+    /// disconnect, or a refused overload connection that already spent
+    /// its one reply frame.
+    pub fn request(&mut self, request: &str) -> io::Result<String> {
+        write_frame(&mut self.stream, request)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection without replying",
+            )
+        })
+    }
+
+    /// Reads one reply frame without sending anything — for replies the
+    /// server pushes unprompted (`err server busy` on an overloaded
+    /// accept queue, `err idle timeout` before an idle disconnect).
+    /// Returns `None` if the server closed the connection instead.
+    pub fn read_reply(&mut self) -> io::Result<Option<String>> {
+        read_frame(&mut self.stream)
+    }
+}
+
+/// Sends `request` to the server at `addr` over a fresh connection and
+/// returns the reply text (`ok ...` or `err ...`).
 pub fn query(addr: &str, request: &str) -> io::Result<String> {
-    let mut stream = TcpStream::connect(addr)?;
-    write_frame(&mut stream, request)?;
-    read_frame(&mut stream)?.ok_or_else(|| {
-        io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "server closed the connection without replying",
-        )
-    })
+    Connection::connect(addr)?.request(request)
 }

@@ -7,23 +7,31 @@
 //! extraction on every run. `mcml-serve` moves that cost entirely offline:
 //! a table run with `--engine compiled --artifact-dir DIR` persists its
 //! compiled circuits and region covers (see [`mcml::artifact`]); the server
-//! preloads them at startup into a [`store::CircuitStore`], shards the warm
-//! units across worker threads, and answers accuracy / diff /
-//! conditioned-count queries over a length-prefixed TCP line protocol —
-//! each query resolved through batched
+//! preloads them at startup into a [`store::CircuitStore`] (merging any
+//! number of artifact directories), shards the warm units across worker
+//! threads, and answers accuracy / diff / conditioned-count queries over a
+//! length-prefixed TCP line protocol — each query resolved through batched
 //! [`count_cubes`](satkit::ddnnf::Ddnnf::count_cubes) sweeps, with zero
 //! compilation on the serving path.
 //!
+//! The connection runtime is bounded and observable: a fixed
+//! connection-handler pool with a bounded accept queue (`err server busy`
+//! under overload), per-connection idle and mid-frame deadlines, a
+//! graceful `shutdown` drain, and hot reload of the artifact store — by
+//! `reload` verb or mtime polling — that atomically swaps in a validated
+//! new generation while in-flight queries finish on the old one (see
+//! [`server::ServeOptions`]).
+//!
 //! * [`protocol`] — `u32`-length-prefixed UTF-8 frames;
 //! * [`store`] — artifacts resolved into `(property, scope, family)` units;
-//! * [`server`] — the sharded workers, request grammar and query plans;
-//! * [`client`] — the one-shot scripting client.
+//! * [`server`] — the connection runtime, request grammar and query plans;
+//! * [`client`] — persistent and one-shot scripting clients.
 
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
-pub use client::query;
-pub use server::{start, ServerHandle};
+pub use client::{query, Connection};
+pub use server::{start, ServeOptions, ServerHandle};
 pub use store::{CircuitStore, Unit, UnitKey};

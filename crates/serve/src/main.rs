@@ -1,17 +1,31 @@
-//! The `mcml-serve` binary: `serve` preloads an artifact directory and
-//! answers queries until a client sends `shutdown`; `client` sends one
-//! request and prints the reply.
+//! The `mcml-serve` binary: `serve` preloads one or more artifact
+//! directories and answers queries until a client sends `shutdown`;
+//! `client` sends one request (or, with `--stdin`, a whole session over
+//! one persistent connection) and prints the replies.
 
+use mcml_serve::client::Connection;
 use mcml_serve::{client, server, store::CircuitStore};
+use std::io::BufRead;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage:
-  mcml-serve serve --artifact-dir DIR [--addr 127.0.0.1:7171] [--workers N]
+  mcml-serve serve --artifact-dir DIR [--artifact-dir DIR]...
+                   [--addr 127.0.0.1:7171] [--workers N] [--connections N]
+                   [--backlog N] [--idle-timeout SECS] [--io-timeout SECS]
+                   [--poll SECS]
   mcml-serve client [--addr 127.0.0.1:7171] REQUEST WORDS...
+  mcml-serve client [--addr 127.0.0.1:7171] --stdin
 
 requests: ping | accuracy PROP SCOPE FAMILY | diff PROP SCOPE FAM_A FAM_B |
-          count PROP SCOPE phi|nphi [LIT...] | stats | shutdown";
+          count PROP SCOPE phi|nphi [LIT...] | stats | reload | shutdown
+
+--artifact-dir is repeatable; the directories' units are merged (duplicate
+unit keys are an error). --poll SECS re-checks the artifact files' mtimes
+and hot-reloads on change (0 disables polling; the reload verb always
+works). --stdin reads one request per line over a single persistent
+connection and prints one reply per line.";
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 
@@ -27,49 +41,78 @@ fn main() -> ExitCode {
     }
 }
 
+fn parse_secs(value: &str, flag: &str) -> f64 {
+    let secs: f64 = value
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag} must be a number of seconds"));
+    assert!(
+        secs.is_finite() && secs >= 0.0,
+        "{flag} must be a non-negative number of seconds"
+    );
+    secs
+}
+
 fn run_serve(args: &[String]) -> ExitCode {
-    let mut artifact_dir: Option<PathBuf> = None;
+    let mut artifact_dirs: Vec<PathBuf> = Vec::new();
     let mut addr = DEFAULT_ADDR.to_string();
-    let mut workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let mut options = server::ServeOptions::default();
+    let mut poll_secs = 2.0f64;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+                .clone()
+        };
         match arg.as_str() {
-            "--artifact-dir" => {
-                artifact_dir = Some(PathBuf::from(
-                    iter.next().expect("--artifact-dir requires a path"),
-                ));
-            }
-            "--addr" => addr = iter.next().expect("--addr requires HOST:PORT").clone(),
+            "--artifact-dir" => artifact_dirs.push(PathBuf::from(value("--artifact-dir"))),
+            "--addr" => addr = value("--addr"),
             "--workers" => {
-                workers = iter
-                    .next()
-                    .expect("--workers requires a value")
+                options.workers = value("--workers")
                     .parse()
                     .expect("--workers must be a number");
             }
+            "--connections" => {
+                options.connections = value("--connections")
+                    .parse()
+                    .expect("--connections must be a number");
+            }
+            "--backlog" => {
+                options.backlog = value("--backlog")
+                    .parse()
+                    .expect("--backlog must be a number");
+            }
+            "--idle-timeout" => {
+                options.idle_timeout =
+                    Duration::from_secs_f64(parse_secs(&value("--idle-timeout"), "--idle-timeout"));
+            }
+            "--io-timeout" => {
+                options.io_timeout =
+                    Duration::from_secs_f64(parse_secs(&value("--io-timeout"), "--io-timeout"));
+            }
+            "--poll" => poll_secs = parse_secs(&value("--poll"), "--poll"),
             other => {
                 eprintln!("unknown argument {other:?}\n{USAGE}");
                 return ExitCode::FAILURE;
             }
         }
     }
-    let Some(dir) = artifact_dir else {
-        eprintln!("serve requires --artifact-dir\n{USAGE}");
+    if artifact_dirs.is_empty() {
+        eprintln!("serve requires at least one --artifact-dir\n{USAGE}");
         return ExitCode::FAILURE;
-    };
-    let store = match CircuitStore::load_dir(&dir) {
+    }
+    let store = match CircuitStore::load_dirs(&artifact_dirs) {
         Ok(store) => store,
         Err(e) => {
-            eprintln!("failed to load artifacts from {}: {e}", dir.display());
+            eprintln!("failed to load artifacts: {e}");
             return ExitCode::FAILURE;
         }
     };
     eprintln!(
-        "(preloaded {} units from {}{})",
+        "(preloaded {} units from {} director{}{})",
         store.len(),
-        dir.display(),
+        artifact_dirs.len(),
+        if artifact_dirs.len() == 1 { "y" } else { "ies" },
         if store.skipped_covers() > 0 {
             format!(", skipped {} unservable covers", store.skipped_covers())
         } else {
@@ -79,7 +122,13 @@ fn run_serve(args: &[String]) -> ExitCode {
     for (property, scope, family) in store.keys() {
         eprintln!("  {property} scope={scope} {family}");
     }
-    match server::start(store, &addr, workers) {
+    options.reload_dirs = artifact_dirs;
+    options.poll_interval = if poll_secs > 0.0 {
+        Some(Duration::from_secs_f64(poll_secs))
+    } else {
+        None
+    };
+    match server::start(store, &addr, options) {
         Ok(handle) => {
             // The smoke script and tests wait for this line to connect.
             println!("listening on {}", handle.addr());
@@ -95,13 +144,22 @@ fn run_serve(args: &[String]) -> ExitCode {
 
 fn run_client(args: &[String]) -> ExitCode {
     let mut addr = DEFAULT_ADDR.to_string();
+    let mut stdin_session = false;
     let mut words: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--addr" => addr = iter.next().expect("--addr requires HOST:PORT").clone(),
+            "--stdin" => stdin_session = true,
             _ => words.push(arg.clone()),
         }
+    }
+    if stdin_session {
+        if !words.is_empty() {
+            eprintln!("--stdin takes requests from stdin, not the command line\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        return run_stdin_session(&addr);
     }
     if words.is_empty() {
         eprintln!("client requires a request\n{USAGE}");
@@ -120,5 +178,47 @@ fn run_client(args: &[String]) -> ExitCode {
             eprintln!("query failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// One persistent connection, one request per stdin line, one reply per
+/// stdout line. Exits non-zero if any reply was an `err` — so a scripted
+/// session (the smoke test) fails loudly on the first protocol surprise.
+fn run_stdin_session(addr: &str) -> ExitCode {
+    let mut connection = match Connection::connect(addr) {
+        Ok(connection) => connection,
+        Err(e) => {
+            eprintln!("connect failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut all_ok = true;
+    for line in std::io::stdin().lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("stdin read failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let request = line.trim();
+        if request.is_empty() || request.starts_with('#') {
+            continue;
+        }
+        match connection.request(request) {
+            Ok(reply) => {
+                println!("{reply}");
+                all_ok &= reply.starts_with("ok");
+            }
+            Err(e) => {
+                eprintln!("request {request:?} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -1,10 +1,46 @@
-//! The query server: sharded workers over a warm circuit store.
+//! The query server: a bounded connection runtime over sharded workers
+//! and hot-swappable store generations.
 //!
-//! [`start`] shards the store's units across worker threads by
-//! `(property, scope)` — so a diff query's two families always live on one
-//! shard — and accepts TCP connections, each handled by its own thread
-//! that parses frames, routes queries to the owning shard over an mpsc
-//! channel, and writes the reply frame back.
+//! # Connection runtime
+//!
+//! [`start`] binds the address and spins up three kinds of threads, all
+//! bounded up front by [`ServeOptions`]:
+//!
+//! * one **acceptor**, which accepts TCP connections into a bounded
+//!   hand-off queue ([`ServeOptions::backlog`]); when the queue is full
+//!   every further connection is answered `err server busy` and closed
+//!   instead of piling up unboundedly;
+//! * a fixed pool of [`ServeOptions::connections`] **connection
+//!   handlers**, each claiming one queued connection at a time and
+//!   serving its frames until the peer closes, idles past
+//!   [`ServeOptions::idle_timeout`] (the handler replies
+//!   `err idle timeout` and disconnects — an idle client can never pin a
+//!   handler forever), stalls mid-frame past
+//!   [`ServeOptions::io_timeout`], or the server shuts down;
+//! * [`ServeOptions::workers`] **count workers**, each owning one shard
+//!   of the store (units sharded by `(property, scope)` hash, so a diff
+//!   query's two families always live on one shard) and answering the
+//!   queries routed to it over an mpsc channel.
+//!
+//! Shutdown is a drain, not a race: the `shutdown` verb stops the
+//! acceptor, refuses whatever was queued but never claimed, lets every
+//! handler finish the request it is serving (workers stay alive until
+//! all handlers have exited, so an in-flight query racing `shutdown`
+//! still completes with `ok`), then joins every thread before
+//! [`ServerHandle::join`] returns.
+//!
+//! # Store generations and hot reload
+//!
+//! The store is immutable and swapped whole: every request snapshots the
+//! current [`Arc`] store *generation* and is answered entirely from that
+//! snapshot, so a query can never observe a half-reloaded (torn) store.
+//! The `reload` verb — and, when [`ServeOptions::poll_interval`] is set,
+//! a background mtime poller watching the artifact files — loads a fresh
+//! [`CircuitStore`] from [`ServeOptions::reload_dirs`], validates it
+//! completely, and atomically publishes it as the next generation;
+//! in-flight queries finish on the generation they started with. A
+//! reload that fails to load or validate leaves the serving generation
+//! untouched.
 //!
 //! # Request grammar
 //!
@@ -16,12 +52,15 @@
 //! diff     <property> <scope> <familyA> <familyB>
 //! count    <property> <scope> phi|nphi [lit ...]
 //! stats
+//! reload
 //! shutdown
 //! ```
 //!
-//! Cube literals are signed 1-indexed DIMACS over the feature variables
-//! (`3` = feature 2 true, `-1` = feature 0 false). Replies are
-//! `ok <fields...>` or `err <message>`:
+//! Connections are persistent: any number of requests may be issued over
+//! one connection, interleaving verbs freely. Cube literals are signed
+//! 1-indexed DIMACS over the feature variables (`3` = feature 2 true,
+//! `-1` = feature 0 false). Replies are `ok <fields...>` or
+//! `err <message>`:
 //!
 //! ```text
 //! accuracy → ok <tp> <fp> <tn> <fn> <accuracy> <precision> <recall> <f1>
@@ -29,6 +68,7 @@
 //! count    → ok <count>
 //! stats    → ok queries <n> sweep_ns <t> units <k>
 //!               [<property> <scope> <family> <hits>]...
+//! reload   → ok reloaded generation <id> units <n>
 //! ```
 //!
 //! `stats` reports cumulative serving statistics: how many queries were
@@ -51,27 +91,107 @@
 //! ¬φ). Diff counts each pairwise region intersection `cube_a ∧ cube_b`
 //! as `mc(φ | cube) + mc(¬φ | cube)`: φ and ¬φ partition the space the
 //! ground truth constrains, so the sum is the intersection's size
-//! (contradictory concatenations count 0). With an unconstrained ground
-//! truth (no symmetry breaking) this equals `DiffMc` over the full feature
-//! space — the conformance tests pin that; under symmetry breaking the
-//! served diff is restricted to the symmetry-constrained space.
+//! (contradictory concatenations count 0). That plan equals `DiffMc` over
+//! the full feature space **only** when the ground truth carries no
+//! symmetry breaking — so when a unit's artifact recorded an enabled
+//! [`SymmetryBreaking`] setting, `diff` answers a typed
+//! `err diff unavailable under symmetry breaking <setting> ...` instead
+//! of silently serving restricted-space numbers. Accuracy and
+//! conditioned counts are defined over the constrained space by
+//! construction (they match the batch `AccMc` bit for bit either way)
+//! and stay available.
 
-use crate::protocol::{read_frame, write_frame};
+use crate::protocol::{write_frame, MAX_FRAME};
 use crate::store::{CircuitStore, Unit, UnitKey};
 use mcml::diffmc::DiffCounts;
 use mcml::tree2cnf::TreeLabel;
 use mlkit::metrics::BinaryMetrics;
+use relspec::symmetry::SymmetryBreaking;
 use satkit::cnf::Lit;
 use satkit::ddnnf::Ddnnf;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::io;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Granularity at which blocked reads, idle handlers and the mtime
+/// poller re-check deadlines and the shutdown flag.
+const TICK: Duration = Duration::from_millis(25);
+
+/// Bounds and behaviors of the connection runtime. Every field has a
+/// serving-oriented default; the zero values are sanitized up to their
+/// minimum (1 thread / 1 queue slot / 1 ms) rather than rejected.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Count-worker threads the store is sharded across (at least one).
+    pub workers: usize,
+    /// Connection-handler threads — the hard bound on concurrently
+    /// served connections.
+    pub connections: usize,
+    /// Accepted-but-unclaimed connections queued for a free handler;
+    /// when the queue is full further connections get `err server busy`.
+    pub backlog: usize,
+    /// How long a connection may sit between requests before the server
+    /// replies `err idle timeout` and disconnects it.
+    pub idle_timeout: Duration,
+    /// Per-frame read deadline (measured from a frame's first byte) and
+    /// the write timeout for replies — a stalled peer costs at most this
+    /// long before its handler is reclaimed.
+    pub io_timeout: Duration,
+    /// Artifact directories `reload` (and the mtime poller) re-load the
+    /// store from; empty makes `reload` answer a typed error.
+    pub reload_dirs: Vec<PathBuf>,
+    /// Interval at which the artifact files' mtimes are polled for
+    /// automatic reload; `None` disables polling (the `reload` verb
+    /// still works when `reload_dirs` is set).
+    pub poll_interval: Option<Duration>,
+    /// Artificial latency added to every worker answer — a testing aid
+    /// for pinning drain/atomicity races; leave zero in production.
+    pub answer_latency: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            connections: 64,
+            backlog: 64,
+            idle_timeout: Duration::from_secs(60),
+            io_timeout: Duration::from_secs(10),
+            reload_dirs: Vec::new(),
+            poll_interval: None,
+            answer_latency: Duration::ZERO,
+        }
+    }
+}
+
+impl ServeOptions {
+    fn sanitized(mut self) -> ServeOptions {
+        self.workers = self.workers.max(1);
+        self.connections = self.connections.max(1);
+        self.backlog = self.backlog.max(1);
+        self.idle_timeout = self.idle_timeout.max(Duration::from_millis(1));
+        self.io_timeout = self.io_timeout.max(Duration::from_millis(1));
+        self
+    }
+}
+
+/// Locks a mutex, recovering from poisoning: the protected state is
+/// either a swap-only `Arc` or monotone statistics, both valid after a
+/// panicking holder, so inheriting the lock beats killing every later
+/// request with a poisoning panic.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Cumulative serving statistics, shared by every shard and reported by
 /// the `stats` verb. Only successfully answered queries are recorded, so
@@ -94,7 +214,7 @@ impl ServerStats {
     fn record(&self, query: &Query, nanos: u64) {
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.sweep_nanos.fetch_add(nanos, Ordering::Relaxed);
-        let mut hits = self.unit_hits.lock().expect("stats table poisoned");
+        let mut hits = lock(&self.unit_hits);
         let mut bump = |property: &str, scope: usize, family: &str| {
             *hits
                 .entry((property.to_string(), scope, family.to_string()))
@@ -118,10 +238,7 @@ impl ServerStats {
     }
 
     fn reply(&self) -> String {
-        let mut entries: Vec<((String, usize, String), u64)> = self
-            .unit_hits
-            .lock()
-            .expect("stats table poisoned")
+        let mut entries: Vec<((String, usize, String), u64)> = lock(&self.unit_hits)
             .iter()
             .map(|(key, hits)| (key.clone(), *hits))
             .collect();
@@ -151,27 +268,37 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Blocks until the server shuts down (a client sent `shutdown`).
+    /// Blocks until the server has fully drained and shut down (a client
+    /// sent `shutdown`): every connection handler and count worker is
+    /// joined before this returns.
     pub fn join(self) {
         self.acceptor.join().expect("acceptor thread panicked");
     }
 }
 
-/// Binds `addr`, shards `store` across `workers` worker threads (at least
-/// one), and starts accepting connections in the background.
-pub fn start(store: CircuitStore, addr: &str, workers: usize) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let local = listener.local_addr()?;
-    let workers = workers.max(1);
+/// One immutable snapshot of the servable store, sharded for the worker
+/// pool. Requests answer entirely from the generation they snapshot, so
+/// a reload can never tear a query.
+struct Generation {
+    id: u64,
+    units: usize,
+    shards: Vec<ShardData>,
+}
 
-    let stats = Arc::new(ServerStats::default());
-    let mut shards: Vec<Shard> = (0..workers)
-        .map(|_| Shard {
-            units: HashMap::new(),
-            truths: HashMap::new(),
-            stats: Arc::clone(&stats),
-        })
-        .collect();
+/// One worker's slice of a generation: its units plus a
+/// `(property, scope)` index of the ground-truth circuit pairs for
+/// `count` queries.
+#[derive(Default)]
+struct ShardData {
+    units: HashMap<UnitKey, Unit>,
+    truths: HashMap<(String, usize), (Arc<Ddnnf>, Arc<Ddnnf>)>,
+}
+
+/// Shards a store across `workers` slices by `(property, scope)` hash —
+/// a diff query's two families always land on one shard.
+fn shard_store(store: CircuitStore, workers: usize, id: u64) -> Generation {
+    let units = store.len();
+    let mut shards: Vec<ShardData> = (0..workers).map(|_| ShardData::default()).collect();
     for (key, unit) in store.into_units() {
         let shard = &mut shards[shard_of(&key.0, key.1, workers)];
         shard
@@ -180,61 +307,245 @@ pub fn start(store: CircuitStore, addr: &str, workers: usize) -> io::Result<Serv
             .or_insert_with(|| (Arc::clone(&unit.phi), Arc::clone(&unit.not_phi)));
         shard.units.insert(key, unit);
     }
+    Generation { id, units, shards }
+}
 
-    let mut senders = Vec::with_capacity(workers);
-    let mut worker_handles = Vec::with_capacity(workers);
-    for shard in shards {
+/// State shared by the acceptor, handler pool, workers and poller.
+struct Shared {
+    options: ServeOptions,
+    local: SocketAddr,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    /// Accepted connections awaiting a free handler, bounded by
+    /// `options.backlog`.
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_signal: Condvar,
+    /// The serving store generation; swapped whole by reloads.
+    generation: Mutex<Arc<Generation>>,
+    next_generation: AtomicU64,
+    /// Serializes reloads (verb vs. poller) so generation ids publish in
+    /// order.
+    reload_serial: Mutex<()>,
+}
+
+impl Shared {
+    fn current_generation(&self) -> Arc<Generation> {
+        Arc::clone(&lock(&self.generation))
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Binds `addr`, shards `store` across the worker pool, and starts the
+/// bounded connection runtime in the background. The returned handle
+/// resolves the bound address immediately; the server runs until a
+/// client sends `shutdown`.
+pub fn start(store: CircuitStore, addr: &str, options: ServeOptions) -> io::Result<ServerHandle> {
+    let options = options.sanitized();
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        local,
+        stats: ServerStats::default(),
+        shutdown: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        queue_signal: Condvar::new(),
+        generation: Mutex::new(Arc::new(shard_store(store, options.workers, 0))),
+        next_generation: AtomicU64::new(1),
+        reload_serial: Mutex::new(()),
+        options,
+    });
+
+    // Count workers: one shard index each, alive until every handler has
+    // exited (their job senders are only dropped after the handler join
+    // below), so an in-flight query can always collect its reply.
+    let mut senders = Vec::with_capacity(shared.options.workers);
+    let mut worker_handles = Vec::with_capacity(shared.options.workers);
+    for index in 0..shared.options.workers {
         let (sender, receiver) = mpsc::channel::<Job>();
         senders.push(sender);
+        let shared = Arc::clone(&shared);
         worker_handles.push(std::thread::spawn(move || {
             while let Ok(job) = receiver.recv() {
-                let _ = job.reply.send(shard.answer(&job.query));
+                if !shared.options.answer_latency.is_zero() {
+                    std::thread::sleep(shared.options.answer_latency);
+                }
+                // A panicking query (a bug, not a protocol error) costs
+                // one `err` reply, never the shard: the worker keeps
+                // serving and the stats lock recovers from poisoning.
+                let reply = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    job.generation.shards[index].answer(&job.query, &shared.stats)
+                }))
+                .unwrap_or_else(|_| "err internal error (query panicked)".to_string());
+                let _ = job.reply.send(reply);
             }
         }));
     }
 
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let acceptor = std::thread::spawn(move || {
-        for stream in listener.incoming() {
-            if shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            let senders = senders.clone();
-            let shutdown = Arc::clone(&shutdown);
-            let stats = Arc::clone(&stats);
-            std::thread::spawn(move || {
+    // The fixed connection-handler pool.
+    let mut handler_handles = Vec::with_capacity(shared.options.connections);
+    for _ in 0..shared.options.connections {
+        let shared = Arc::clone(&shared);
+        let senders = senders.clone();
+        handler_handles.push(std::thread::spawn(move || {
+            while let Some(stream) = next_connection(&shared) {
                 // A torn frame or reset connection only ends that
-                // connection; the server keeps serving.
-                let _ = handle_connection(stream, &senders, &shutdown, &stats, local);
-            });
-        }
-        drop(senders);
-        for handle in worker_handles {
-            let _ = handle.join();
-        }
-    });
+                // connection; the handler returns to the pool.
+                let _ = handle_connection(stream, &shared, &senders);
+            }
+        }));
+    }
+
+    let poller_handle = spawn_poller(Arc::clone(&shared));
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.is_shutting_down() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let mut queue = lock(&shared.queue);
+                if queue.len() >= shared.options.backlog {
+                    // Overload: reply instead of queueing unboundedly.
+                    drop(queue);
+                    refuse(stream, "err server busy", &shared.options);
+                } else {
+                    queue.push_back(stream);
+                    shared.queue_signal.notify_one();
+                }
+            }
+            // Drain: refuse whatever was queued but never claimed, wake
+            // every idle handler, and join the pools in dependency order
+            // (handlers first — workers must outlive their last job).
+            for stream in lock(&shared.queue).drain(..) {
+                refuse(stream, "err server is shutting down", &shared.options);
+            }
+            shared.queue_signal.notify_all();
+            for handle in handler_handles {
+                let _ = handle.join();
+            }
+            drop(senders);
+            for handle in worker_handles {
+                let _ = handle.join();
+            }
+            if let Some(handle) = poller_handle {
+                let _ = handle.join();
+            }
+        })
+    };
     Ok(ServerHandle {
         addr: local,
         acceptor,
     })
 }
 
-/// One worker's slice of the store: its units plus a `(property, scope)`
-/// index of the ground-truth circuit pairs for `count` queries, and a
-/// handle on the server-wide statistics it reports into.
-struct Shard {
-    units: HashMap<UnitKey, Unit>,
-    truths: HashMap<(String, usize), (Arc<Ddnnf>, Arc<Ddnnf>)>,
-    stats: Arc<ServerStats>,
+/// Best-effort one-frame refusal of a connection the pool cannot serve.
+fn refuse(mut stream: TcpStream, message: &str, options: &ServeOptions) {
+    let _ = stream.set_write_timeout(Some(options.io_timeout));
+    let _ = write_frame(&mut stream, message);
 }
 
-impl Shard {
-    fn answer(&self, query: &Query) -> String {
+/// Claims the next queued connection, or `None` once the server is
+/// shutting down and the queue has been drained.
+fn next_connection(shared: &Shared) -> Option<TcpStream> {
+    let mut queue = lock(&shared.queue);
+    loop {
+        // The shutdown check comes first: a draining server leaves queued
+        // connections for the acceptor's refusal pass instead of starting
+        // to serve them.
+        if shared.is_shutting_down() {
+            return None;
+        }
+        if let Some(stream) = queue.pop_front() {
+            return Some(stream);
+        }
+        queue = shared
+            .queue_signal
+            .wait_timeout(queue, TICK)
+            .unwrap_or_else(PoisonError::into_inner)
+            .0;
+    }
+}
+
+/// Performs one validated reload: load + resolve the artifact
+/// directories, and only then atomically publish the new generation.
+/// Failure leaves the serving generation untouched.
+fn reload_now(shared: &Shared) -> Result<(u64, usize), String> {
+    if shared.options.reload_dirs.is_empty() {
+        return Err("reload unavailable (no artifact directories configured)".to_string());
+    }
+    let _serial = lock(&shared.reload_serial);
+    let store = CircuitStore::load_dirs(&shared.options.reload_dirs)
+        .map_err(|e| format!("reload failed: {e}"))?;
+    let skipped = store.skipped_covers();
+    let id = shared.next_generation.fetch_add(1, Ordering::Relaxed);
+    let generation = Arc::new(shard_store(store, shared.options.workers, id));
+    let (id, units) = (generation.id, generation.units);
+    *lock(&shared.generation) = generation;
+    if skipped > 0 {
+        eprintln!("(reload: generation {id} skipped {skipped} unservable covers)");
+    }
+    Ok((id, units))
+}
+
+/// What the poller remembers per artifact file: modification time and
+/// length, `None` while the file is absent.
+type PollState = Vec<Option<(std::time::SystemTime, u64)>>;
+
+fn poll_state(dirs: &[PathBuf]) -> PollState {
+    dirs.iter()
+        .map(|dir| {
+            let path = dir.join(mcml::artifact::artifact_file_name("compiled"));
+            std::fs::metadata(&path)
+                .ok()
+                .and_then(|m| m.modified().ok().map(|t| (t, m.len())))
+        })
+        .collect()
+}
+
+/// Watches the artifact files' (mtime, length) and reloads on change. A
+/// failed reload (e.g. a mid-write torn file) is logged and retried when
+/// the file changes again — the completed write bumps the mtime.
+fn spawn_poller(shared: Arc<Shared>) -> Option<JoinHandle<()>> {
+    let interval = shared.options.poll_interval?;
+    if shared.options.reload_dirs.is_empty() {
+        return None;
+    }
+    Some(std::thread::spawn(move || {
+        let mut seen = poll_state(&shared.options.reload_dirs);
+        loop {
+            let wake = Instant::now() + interval;
+            while Instant::now() < wake {
+                if shared.is_shutting_down() {
+                    return;
+                }
+                std::thread::sleep(TICK.min(interval));
+            }
+            let state = poll_state(&shared.options.reload_dirs);
+            if state != seen {
+                seen = state;
+                match reload_now(&shared) {
+                    Ok((id, units)) => {
+                        eprintln!("(artifact change: now serving generation {id}, {units} units)");
+                    }
+                    Err(e) => eprintln!("warning: artifact change detected but {e}"),
+                }
+            }
+        }
+    }))
+}
+
+impl ShardData {
+    fn answer(&self, query: &Query, stats: &ServerStats) -> String {
         let start = Instant::now();
         let reply = self.answer_inner(query);
         if reply.starts_with("ok") {
-            self.stats.record(query, start.elapsed().as_nanos() as u64);
+            stats.record(query, start.elapsed().as_nanos() as u64);
         }
         reply
     }
@@ -258,7 +569,15 @@ impl Shard {
                     .units
                     .get(&(property.clone(), *scope, family_b.clone()));
                 match (a, b) {
-                    (Some(a), Some(b)) => diff_reply(a, b),
+                    (Some(a), Some(b)) => match diff_symmetry(a, b) {
+                        Some(symmetry) => format!(
+                            "err diff unavailable under symmetry breaking {}: the artifact's \
+                             ground truth constrains the space, so served counts would \
+                             disagree with DiffMc over the full feature space",
+                            symmetry.name()
+                        ),
+                        None => diff_reply(a, b),
+                    },
                     (None, _) => format!("err unknown unit {property} {scope} {family_a}"),
                     (_, None) => format!("err unknown unit {property} {scope} {family_b}"),
                 }
@@ -276,6 +595,14 @@ impl Shard {
             },
         }
     }
+}
+
+/// The symmetry-breaking setting that makes a served diff disagree with
+/// `DiffMc`, if either side's ground truth carries one.
+fn diff_symmetry(a: &Unit, b: &Unit) -> Option<SymmetryBreaking> {
+    [a.symmetry, b.symmetry]
+        .into_iter()
+        .find(SymmetryBreaking::is_enabled)
 }
 
 /// The AccMC region-sum plan over preloaded circuits: one batched sweep
@@ -307,7 +634,9 @@ fn accuracy_reply(unit: &Unit) -> String {
 /// Pairwise region intersections, each sized as
 /// `mc(φ | cube_a ∧ cube_b) + mc(¬φ | cube_a ∧ cube_b)` in two batched
 /// sweeps (φ / ¬φ partition the constrained space; a contradictory
-/// concatenation counts 0 on both sides).
+/// concatenation counts 0 on both sides). Only reachable when neither
+/// unit carries symmetry breaking, so the partitioned space is the full
+/// feature space and the counts equal `DiffMc`'s.
 fn diff_reply(a: &Unit, b: &Unit) -> String {
     let mut cubes = Vec::with_capacity(a.regions.len() * b.regions.len());
     let mut labels = Vec::with_capacity(cubes.capacity());
@@ -358,9 +687,11 @@ fn conditioned_reply(circuit: &Ddnnf, cube: &[Lit]) -> String {
     format!("ok {}", circuit.count_conditioned(cube))
 }
 
-/// A parsed query with its reply channel, sent to the owning shard.
+/// A parsed query with its reply channel and the store generation it
+/// must be answered from, sent to the owning shard.
 struct Job {
     query: Query,
+    generation: Arc<Generation>,
     reply: mpsc::Sender<String>,
 }
 
@@ -417,7 +748,7 @@ impl Query {
             }
             [verb, ..] => Err(format!(
                 "unknown request {verb:?} \
-                 (expected ping, accuracy, diff, count, stats or shutdown)"
+                 (expected ping, accuracy, diff, count, stats, reload or shutdown)"
             )),
             [] => Err("empty request".to_string()),
         }
@@ -436,16 +767,22 @@ impl Query {
     }
 }
 
-/// A signed 1-indexed DIMACS literal (`3` / `-1`) as a [`Lit`].
+/// A signed 1-indexed DIMACS literal (`3` / `-1`) as a [`Lit`]. The zero
+/// check runs before the 1-index conversion — `0u64.wrapping_sub(1)`
+/// would otherwise overflow the `u32` conversion first and misreport
+/// `0` as out of range.
 fn parse_dimacs_lit(word: &str) -> Result<Lit, String> {
     let value: i64 = word.parse().map_err(|_| format!("bad literal {word:?}"))?;
-    let var = u32::try_from(value.unsigned_abs().wrapping_sub(1))
-        .map_err(|_| format!("literal {word} out of range"))?;
-    match value {
-        0 => Err("literal 0 is not valid DIMACS".to_string()),
-        v if v > 0 => Ok(Lit::pos(var)),
-        _ => Ok(Lit::neg(var)),
+    if value == 0 {
+        return Err("literal 0 is not valid DIMACS".to_string());
     }
+    let var = u32::try_from(value.unsigned_abs() - 1)
+        .map_err(|_| format!("literal {word} out of range"))?;
+    Ok(if value > 0 {
+        Lit::pos(var)
+    } else {
+        Lit::neg(var)
+    })
 }
 
 /// The shard owning a `(property, scope)` — both sides of a diff share it.
@@ -455,53 +792,261 @@ fn shard_of(property: &str, scope: usize, workers: usize) -> usize {
     (hasher.finish() % workers as u64) as usize
 }
 
-fn handle_connection(
-    mut stream: TcpStream,
-    senders: &[mpsc::Sender<Job>],
-    shutdown: &AtomicBool,
-    stats: &ServerStats,
-    local: SocketAddr,
-) -> io::Result<()> {
-    while let Some(request) = read_frame(&mut stream)? {
-        let words: Vec<&str> = request.split_ascii_whitespace().collect();
-        if words.first() == Some(&"ping") {
-            write_frame(&mut stream, "ok pong")?;
-            continue;
+/// How one attempt to read the next request frame ended.
+enum RequestRead {
+    /// A complete frame arrived.
+    Request(String),
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// No request arrived within the idle deadline.
+    IdleTimeout,
+    /// The server is draining for shutdown and no frame had started.
+    ShuttingDown,
+}
+
+fn retriable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one length-prefixed request frame under the connection
+/// deadlines. The stream's read timeout is [`TICK`], so the loop can
+/// re-check the idle deadline and shutdown flag while no frame has
+/// started, and the per-frame deadline (from the frame's first byte)
+/// once one has — a client stalling mid-frame is disconnected instead of
+/// pinning the handler.
+fn read_request(stream: &mut TcpStream, shared: &Shared) -> io::Result<RequestRead> {
+    let idle_deadline = Instant::now() + shared.options.idle_timeout;
+    let mut frame_deadline: Option<Instant> = None;
+    let stalled = || {
+        io::Error::new(
+            io::ErrorKind::TimedOut,
+            "client stalled mid-frame past the io timeout",
+        )
+    };
+
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < len_buf.len() {
+        match stream.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(RequestRead::Closed),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame header",
+                ))
+            }
+            Ok(n) => {
+                if frame_deadline.is_none() {
+                    frame_deadline = Some(Instant::now() + shared.options.io_timeout);
+                }
+                filled += n;
+            }
+            Err(e) if retriable(&e) => match frame_deadline {
+                None => {
+                    if shared.is_shutting_down() {
+                        return Ok(RequestRead::ShuttingDown);
+                    }
+                    if Instant::now() >= idle_deadline {
+                        return Ok(RequestRead::IdleTimeout);
+                    }
+                }
+                Some(deadline) if Instant::now() >= deadline => return Err(stalled()),
+                Some(_) => {}
+            },
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
-        if words.first() == Some(&"stats") {
-            write_frame(&mut stream, &stats.reply())?;
-            continue;
-        }
-        if words.first() == Some(&"shutdown") {
-            shutdown.store(true, Ordering::SeqCst);
-            // The acceptor is blocked in accept(); a self-connection wakes
-            // it so it observes the flag and drains.
-            let _ = TcpStream::connect(local);
-            write_frame(&mut stream, "ok bye")?;
-            return Ok(());
-        }
-        let reply = match Query::parse(&words) {
-            Err(message) => format!("err {message}"),
-            Ok(query) => {
-                let (property, scope) = query.route();
-                let index = shard_of(property, scope, senders.len());
-                let (reply_sender, reply_receiver) = mpsc::channel();
-                if senders[index]
-                    .send(Job {
-                        query,
-                        reply: reply_sender,
-                    })
-                    .is_err()
-                {
-                    "err server is shutting down".to_string()
-                } else {
-                    reply_receiver
-                        .recv()
-                        .unwrap_or_else(|_| "err worker unavailable".to_string())
+    }
+
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte bound"),
+        ));
+    }
+    let frame_deadline =
+        frame_deadline.unwrap_or_else(|| Instant::now() + shared.options.io_timeout);
+    let mut payload = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame payload",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if retriable(&e) => {
+                if Instant::now() >= frame_deadline {
+                    return Err(stalled());
                 }
             }
-        };
-        write_frame(&mut stream, &reply)?;
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
-    Ok(())
+    String::from_utf8(payload)
+        .map(RequestRead::Request)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 frame payload"))
+}
+
+/// Serves one connection until the peer closes, a deadline fires, the
+/// server drains, or the peer sends `shutdown`.
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    senders: &[mpsc::Sender<Job>],
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(TICK))?;
+    stream.set_write_timeout(Some(shared.options.io_timeout))?;
+    loop {
+        match read_request(&mut stream, shared)? {
+            RequestRead::Closed | RequestRead::ShuttingDown => return Ok(()),
+            RequestRead::IdleTimeout => {
+                let _ = write_frame(&mut stream, "err idle timeout");
+                return Ok(());
+            }
+            RequestRead::Request(request) => {
+                let words: Vec<&str> = request.split_ascii_whitespace().collect();
+                match words.first().copied() {
+                    Some("ping") => write_frame(&mut stream, "ok pong")?,
+                    Some("stats") => write_frame(&mut stream, &shared.stats.reply())?,
+                    Some("reload") => {
+                        let reply = match reload_now(shared) {
+                            Ok((id, units)) => {
+                                format!("ok reloaded generation {id} units {units}")
+                            }
+                            Err(message) => format!("err {message}"),
+                        };
+                        write_frame(&mut stream, &reply)?;
+                    }
+                    Some("shutdown") => {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        shared.queue_signal.notify_all();
+                        // The acceptor is blocked in accept(); a
+                        // self-connection wakes it so it observes the
+                        // flag and starts the drain.
+                        let _ = TcpStream::connect(shared.local);
+                        write_frame(&mut stream, "ok bye")?;
+                        return Ok(());
+                    }
+                    _ => {
+                        let reply = match Query::parse(&words) {
+                            Err(message) => format!("err {message}"),
+                            Ok(query) => dispatch_query(query, shared, senders),
+                        };
+                        write_frame(&mut stream, &reply)?;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Routes a parsed query to its owning shard under a generation
+/// snapshot and waits for the reply. Workers outlive every handler, so
+/// the error arms are anomaly paths (a worker died on a panic storm),
+/// not shutdown races.
+fn dispatch_query(query: Query, shared: &Shared, senders: &[mpsc::Sender<Job>]) -> String {
+    let generation = shared.current_generation();
+    let (property, scope) = query.route();
+    let index = shard_of(property, scope, senders.len());
+    let (reply_sender, reply_receiver) = mpsc::channel();
+    if senders[index]
+        .send(Job {
+            query,
+            generation,
+            reply: reply_sender,
+        })
+        .is_err()
+    {
+        return "err worker unavailable".to_string();
+    }
+    reply_receiver
+        .recv()
+        .unwrap_or_else(|_| "err worker unavailable".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_literal_parsing_covers_the_edges() {
+        assert_eq!(parse_dimacs_lit("3"), Ok(Lit::pos(2)));
+        assert_eq!(parse_dimacs_lit("-1"), Ok(Lit::neg(0)));
+        // The zero check must win over the range check.
+        assert_eq!(
+            parse_dimacs_lit("0"),
+            Err("literal 0 is not valid DIMACS".to_string())
+        );
+        // i64::MIN survives `unsigned_abs` and fails the range check.
+        let min = i64::MIN.to_string();
+        assert_eq!(
+            parse_dimacs_lit(&min),
+            Err(format!("literal {min} out of range"))
+        );
+        // An out-of-range positive literal is a range error, not a parse
+        // error.
+        let big = (u64::from(u32::MAX) + 2).to_string();
+        assert_eq!(
+            parse_dimacs_lit(&big),
+            Err(format!("literal {big} out of range"))
+        );
+        assert_eq!(
+            parse_dimacs_lit("x7"),
+            Err("bad literal \"x7\"".to_string())
+        );
+    }
+
+    #[test]
+    fn stats_recover_from_a_poisoned_hit_table() {
+        let stats = Arc::new(ServerStats::default());
+        let query = Query::Accuracy {
+            key: ("Function".to_string(), 3, "DT".to_string()),
+        };
+        stats.record(&query, 17);
+
+        // Poison the lock: a thread panics while holding `unit_hits`.
+        let poisoner = Arc::clone(&stats);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.unit_hits.lock().unwrap();
+            panic!("poison the stats table");
+        })
+        .join();
+        assert!(stats.unit_hits.lock().is_err(), "lock must be poisoned");
+
+        // Recording and reporting must keep working — one bad query can
+        // never disable stats server-wide.
+        stats.record(&query, 25);
+        let reply = stats.reply();
+        assert!(
+            reply.starts_with("ok queries 2 sweep_ns 42 units 1"),
+            "unexpected stats reply {reply:?}"
+        );
+        assert!(reply.ends_with("Function 3 DT 2"), "reply {reply:?}");
+    }
+
+    #[test]
+    fn sanitized_options_never_zero_out_the_runtime() {
+        let opts = ServeOptions {
+            workers: 0,
+            connections: 0,
+            backlog: 0,
+            idle_timeout: Duration::ZERO,
+            io_timeout: Duration::ZERO,
+            ..ServeOptions::default()
+        }
+        .sanitized();
+        assert_eq!(opts.workers, 1);
+        assert_eq!(opts.connections, 1);
+        assert_eq!(opts.backlog, 1);
+        assert!(opts.idle_timeout >= Duration::from_millis(1));
+        assert!(opts.io_timeout >= Duration::from_millis(1));
+    }
 }

@@ -1,15 +1,22 @@
 //! The warm circuit store: artifacts resolved into servable units.
 //!
-//! A [`CircuitStore`] is a [`CircuitArtifact`]
-//! with its fingerprint indirection resolved: every region cover is joined
-//! to its φ / ¬φ circuits, producing one [`Unit`] per
-//! `(property, scope, family)` — exactly the coordinates a query addresses.
-//! Circuits are shared via [`Arc`], so the 16-property store holds each
-//! property's two circuits once no matter how many model families cover
-//! them.
+//! A [`CircuitStore`] is one or more [`CircuitArtifact`]s
+//! with their fingerprint indirection resolved: every region cover is
+//! joined to its φ / ¬φ circuits, producing one [`Unit`] per
+//! `(property, scope, family)` — exactly the coordinates a query
+//! addresses. Circuits are shared via [`Arc`], so the 16-property store
+//! holds each property's two circuits once no matter how many model
+//! families cover them.
+//!
+//! [`CircuitStore::load_dirs`] merges several artifact directories (one
+//! store per scope, per table, per training run — however the operator
+//! shards them) into one store; a unit key appearing in more than one
+//! directory is rejected as [`std::io::ErrorKind::InvalidData`] instead
+//! of letting load order silently pick a winner.
 
 use mcml::artifact::{self, CircuitArtifact};
 use mcml::encode::DecisionRegion;
+use relspec::symmetry::SymmetryBreaking;
 use satkit::ddnnf::Ddnnf;
 use std::collections::HashMap;
 use std::io;
@@ -30,9 +37,16 @@ pub struct Unit {
     pub not_phi: Arc<Ddnnf>,
     /// The model's decision regions partitioning the input space.
     pub regions: Arc<Vec<DecisionRegion>>,
+    /// The symmetry-breaking setting baked into `phi` / `not_phi`. When
+    /// enabled, the circuits partition the symmetry-constrained space —
+    /// accuracy and conditioned counts are defined over that space by
+    /// construction, but a whole-space `diff` must be refused (it would
+    /// silently disagree with `DiffMc` over the full feature space).
+    pub symmetry: SymmetryBreaking,
 }
 
-/// The preloaded units of one artifact, keyed by query coordinates.
+/// The preloaded units of one or more artifacts, keyed by query
+/// coordinates.
 pub struct CircuitStore {
     units: HashMap<UnitKey, Unit>,
     skipped_covers: usize,
@@ -44,6 +58,38 @@ impl CircuitStore {
     pub fn load_dir(dir: &Path) -> io::Result<CircuitStore> {
         let path = dir.join(artifact::artifact_file_name("compiled"));
         CircuitStore::from_artifact(artifact::load_artifact(&path, "compiled")?)
+    }
+
+    /// Loads and merges the artifacts of several directories into one
+    /// store. Every directory must hold a valid artifact, and no two
+    /// directories may serve the same `(property, scope, family)` unit —
+    /// a duplicate key is `InvalidData`, never a silent overwrite.
+    pub fn load_dirs<P: AsRef<Path>>(dirs: &[P]) -> io::Result<CircuitStore> {
+        let mut merged = CircuitStore {
+            units: HashMap::new(),
+            skipped_covers: 0,
+        };
+        if dirs.is_empty() {
+            return Err(invalid("no artifact directory configured".to_string()));
+        }
+        for dir in dirs {
+            let dir = dir.as_ref();
+            let store = CircuitStore::load_dir(dir)?;
+            merged.skipped_covers += store.skipped_covers;
+            for (key, unit) in store.units {
+                if merged.units.contains_key(&key) {
+                    return Err(invalid(format!(
+                        "duplicate unit {} {} {} (also in {})",
+                        key.0,
+                        key.1,
+                        key.2,
+                        dir.display()
+                    )));
+                }
+                merged.units.insert(key, unit);
+            }
+        }
+        Ok(merged)
     }
 
     /// Resolves an in-memory artifact. A cover whose φ or ¬φ circuit is
@@ -72,6 +118,7 @@ impl CircuitStore {
                     phi: Arc::clone(phi),
                     not_phi: Arc::clone(not_phi),
                     regions: Arc::new(cover.regions),
+                    symmetry: cover.symmetry,
                 },
             );
         }
@@ -107,4 +154,8 @@ impl CircuitStore {
     pub fn into_units(self) -> HashMap<UnitKey, Unit> {
         self.units
     }
+}
+
+fn invalid(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
 }

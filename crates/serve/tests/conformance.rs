@@ -12,13 +12,21 @@ use mcml::counter::{cnf_fingerprint, CompiledCounter, ModelCounter};
 use mcml::diffmc::DiffMc;
 use mcml::encode::CnfEncodable;
 use mcml::framework::{ExperimentConfig, ModelFamily, Runner};
-use mcml_serve::{client, server, CircuitStore};
+use mcml_serve::{client, server, CircuitStore, ServeOptions};
 use mlkit::data::Dataset;
 use mlkit::forest::{ForestConfig, RandomForest};
 use mlkit::tree::{DecisionTree, TreeConfig};
 use relspec::instance::RelInstance;
 use relspec::properties::Property;
+use relspec::symmetry::SymmetryBreaking;
 use relspec::translate::{translate_to_cnf, TranslateOptions};
+
+fn two_workers() -> ServeOptions {
+    ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    }
+}
 
 fn labeled_dataset(property: Property, scope: usize) -> Dataset {
     let mut d = Dataset::new(scope * scope);
@@ -30,6 +38,63 @@ fn labeled_dataset(property: Property, scope: usize) -> Dataset {
         d.push(inst.to_features(), property.holds(&inst));
     }
     d
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mcml-serve-conf-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&p).expect("create temp dir");
+    p
+}
+
+/// A hand-built compiled artifact for `Reflexive` scope 3 covering the
+/// named families (`"DT"` / `"RFT"`), no symmetry breaking — the
+/// building block for the reload and multi-directory tests.
+fn reflexive_artifact(families: &[&str]) -> CircuitArtifact {
+    let property = Property::Reflexive;
+    let scope = 3;
+    let dataset = labeled_dataset(property, scope).subsample(90, 3);
+    let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+    let phi = gt.cnf_positive();
+    let not_phi = gt.cnf_negative();
+    let counter = CompiledCounter::new();
+    assert!(counter.count(&phi).is_exact());
+    assert!(counter.count(&not_phi).is_exact());
+    let cover = |family: &str, regions| RegionCover {
+        property: property.name().to_string(),
+        scope,
+        family: family.to_string(),
+        phi: cnf_fingerprint(&phi),
+        not_phi: cnf_fingerprint(&not_phi),
+        symmetry: SymmetryBreaking::None,
+        regions,
+    };
+    let covers = families
+        .iter()
+        .map(|family| match *family {
+            "DT" => {
+                let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+                cover("DT", tree.decision_regions().expect("tree regions"))
+            }
+            "RFT" => {
+                let forest = RandomForest::fit(
+                    &dataset,
+                    ForestConfig {
+                        num_trees: 3,
+                        seed: 11,
+                        ..ForestConfig::default()
+                    },
+                );
+                cover("RFT", forest.decision_regions().expect("forest regions"))
+            }
+            other => panic!("unknown family {other}"),
+        })
+        .collect();
+    CircuitArtifact {
+        backend: "compiled".to_string(),
+        circuits: counter.snapshot_circuits(),
+        covers,
+    }
 }
 
 fn ok_fields(reply: &str) -> Vec<String> {
@@ -63,7 +128,7 @@ fn served_accuracy_is_bit_identical_to_the_batch_runner() {
     let store = CircuitStore::from_artifact(artifact).expect("resolvable covers");
     assert_eq!(store.skipped_covers(), 0);
     assert_eq!(store.len(), 2);
-    let handle = server::start(store, "127.0.0.1:0", 2).expect("bind");
+    let handle = server::start(store, "127.0.0.1:0", two_workers()).expect("bind");
     let addr = handle.addr().to_string();
 
     for row in &rows {
@@ -150,6 +215,7 @@ fn served_diff_and_counts_match_the_batch_analyses() {
         family: family.to_string(),
         phi: cnf_fingerprint(&phi),
         not_phi: cnf_fingerprint(&not_phi),
+        symmetry: SymmetryBreaking::None,
         regions,
     };
     let artifact = CircuitArtifact {
@@ -161,7 +227,15 @@ fn served_diff_and_counts_match_the_batch_analyses() {
         ],
     };
     let store = CircuitStore::from_artifact(artifact).expect("resolvable covers");
-    let handle = server::start(store, "127.0.0.1:0", 3).expect("bind");
+    let handle = server::start(
+        store,
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 3,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
     let addr = handle.addr().to_string();
 
     let reply = client::query(&addr, &format!("diff {} {scope} DT RFT", property.name()))
@@ -253,4 +327,252 @@ fn served_diff_and_counts_match_the_batch_analyses() {
         "ok bye"
     );
     handle.join();
+}
+
+/// Table 3's ground truth bakes lex-leader symmetry breaking into φ/¬φ,
+/// so the artifact's covers record it, served accuracy stays bit-identical
+/// to the batch runner (both are defined over the constrained space), and
+/// `diff` — whose batch counterpart `DiffMc` counts the full feature
+/// space — answers a typed refusal instead of silently wrong numbers.
+#[test]
+fn symmetry_broken_artifacts_serve_accuracy_but_refuse_diff() {
+    let configs = vec![ExperimentConfig::table3(Property::Function, 3)];
+    let families = [ModelFamily::Dt, ModelFamily::Rft];
+    let runner = Runner::new()
+        .families(&families)
+        .engine(CountingEngine::from_env());
+    let rows = runner
+        .run(&configs, &CounterBackend::compiled())
+        .expect("well-formed batch");
+
+    let counter = CompiledCounter::new();
+    let artifact = runner
+        .build_artifact(&configs, &counter)
+        .expect("well-formed batch");
+    for cover in &artifact.covers {
+        assert_eq!(
+            cover.symmetry,
+            SymmetryBreaking::Transpositions,
+            "table3 covers must record the eval symmetry"
+        );
+    }
+    let store = CircuitStore::from_artifact(artifact).expect("resolvable covers");
+    let handle = server::start(store, "127.0.0.1:0", two_workers()).expect("bind");
+    let addr = handle.addr().to_string();
+
+    // Accuracy is still served, bit-identical to the batch rows.
+    for row in &rows {
+        let ws = row.whole_space.as_ref().expect("no budget configured");
+        let reply = client::query(
+            &addr,
+            &format!(
+                "accuracy {} {} {}",
+                row.config.property.name(),
+                row.config.scope,
+                row.family.name()
+            ),
+        )
+        .expect("query");
+        let fields = ok_fields(&reply);
+        let counts: Vec<u128> = fields[..4].iter().map(|f| f.parse().unwrap()).collect();
+        assert_eq!(
+            counts,
+            vec![ws.counts.tp, ws.counts.fp, ws.counts.tn, ws.counts.fn_],
+            "count drift in {reply:?}"
+        );
+        let served_acc: f64 = fields[4].parse().unwrap();
+        assert_eq!(served_acc.to_bits(), ws.metrics.accuracy.to_bits());
+    }
+
+    // The whole-space diff is refused with the setting spelled out.
+    let reply = client::query(&addr, "diff Function 3 DT RFT").expect("diff query");
+    assert!(
+        reply.starts_with("err diff unavailable under symmetry breaking transpositions"),
+        "expected the typed symmetry refusal, got {reply:?}"
+    );
+    // The refusal is not a counting answer, so stats must not record it.
+    let stats = ok_fields(&client::query(&addr, "stats").expect("stats"));
+    assert_eq!(stats[..2], ["queries", "2"].map(String::from));
+
+    assert_eq!(
+        client::query(&addr, "shutdown").expect("shutdown"),
+        "ok bye"
+    );
+    handle.join();
+}
+
+/// The `reload` verb swaps in a validated new store generation atomically:
+/// a query in flight across the swap answers from the generation it
+/// started on, later queries see the new units, and a reload that fails
+/// to load leaves the serving generation untouched.
+#[test]
+fn reload_swaps_generations_atomically_and_survives_bad_artifacts() {
+    use std::time::Duration;
+
+    let dir = temp_dir("reload");
+    let path = dir.join(mcml::artifact::artifact_file_name("compiled"));
+    mcml::artifact::save_artifact(&path, &reflexive_artifact(&["DT"])).expect("save v1");
+
+    let store = CircuitStore::load_dirs(&[&dir]).expect("load");
+    let options = ServeOptions {
+        workers: 2,
+        reload_dirs: vec![dir.clone()],
+        // Slow every counting answer down so a query provably spans the
+        // reload below. Verb replies (reload itself) are not delayed.
+        answer_latency: Duration::from_millis(500),
+        ..ServeOptions::default()
+    };
+    let handle = server::start(store, "127.0.0.1:0", options).expect("bind");
+    let addr = handle.addr().to_string();
+
+    // Generation 0 serves DT only; reloading the unchanged file works.
+    assert_eq!(
+        client::query(&addr, "reload").expect("reload"),
+        "ok reloaded generation 1 units 1"
+    );
+
+    // Grow the on-disk artifact, then race a query against the reload:
+    // the query parses (and snapshots its generation) before the reload
+    // lands, so it must answer from the old store even though the worker
+    // finishes well after the swap.
+    mcml::artifact::save_artifact(&path, &reflexive_artifact(&["DT", "RFT"])).expect("save v2");
+    let (dispatched, wait_dispatched) = std::sync::mpsc::channel();
+    let in_flight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut conn = mcml_serve::Connection::connect(&addr).expect("connect");
+            // The write returns once the request is on the wire; the
+            // handler parses and dispatches it within one read tick.
+            dispatched.send(()).expect("signal");
+            conn.request("accuracy Reflexive 3 RFT").expect("reply")
+        })
+    };
+    wait_dispatched.recv().expect("in-flight query started");
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(
+        client::query(&addr, "reload").expect("reload"),
+        "ok reloaded generation 2 units 2"
+    );
+    assert_eq!(
+        in_flight.join().expect("in-flight query"),
+        "err unknown unit Reflexive 3 RFT",
+        "a query in flight across a reload must answer from its own generation"
+    );
+
+    // After the swap, the new unit serves.
+    let reply = client::query(&addr, "accuracy Reflexive 3 RFT").expect("query");
+    assert!(reply.starts_with("ok "), "got {reply:?}");
+
+    // A corrupt artifact fails the reload and leaves the store serving.
+    std::fs::write(&path, b"not an artifact").expect("corrupt");
+    let reply = client::query(&addr, "reload").expect("reload");
+    assert!(
+        reply.starts_with("err reload failed:"),
+        "expected a typed reload failure, got {reply:?}"
+    );
+    let reply = client::query(&addr, "accuracy Reflexive 3 RFT").expect("query");
+    assert!(
+        reply.starts_with("ok "),
+        "a failed reload must not disturb the serving generation, got {reply:?}"
+    );
+
+    assert_eq!(
+        client::query(&addr, "shutdown").expect("shutdown"),
+        "ok bye"
+    );
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The mtime poller notices an artifact overwrite and hot-reloads without
+/// any client asking.
+#[test]
+fn mtime_polling_hot_reloads_on_artifact_change() {
+    use std::time::{Duration, Instant};
+
+    let dir = temp_dir("poll");
+    let path = dir.join(mcml::artifact::artifact_file_name("compiled"));
+    mcml::artifact::save_artifact(&path, &reflexive_artifact(&["DT"])).expect("save v1");
+
+    let store = CircuitStore::load_dirs(&[&dir]).expect("load");
+    let options = ServeOptions {
+        workers: 2,
+        reload_dirs: vec![dir.clone()],
+        poll_interval: Some(Duration::from_millis(100)),
+        ..ServeOptions::default()
+    };
+    let handle = server::start(store, "127.0.0.1:0", options).expect("bind");
+    let addr = handle.addr().to_string();
+
+    let probe = "accuracy Reflexive 3 RFT";
+    assert!(client::query(&addr, probe)
+        .expect("query")
+        .starts_with("err unknown unit"));
+
+    mcml::artifact::save_artifact(&path, &reflexive_artifact(&["DT", "RFT"])).expect("save v2");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let reply = client::query(&addr, probe).expect("query");
+        if reply.starts_with("ok ") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "poller never picked up the artifact change; last reply {reply:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    assert_eq!(
+        client::query(&addr, "shutdown").expect("shutdown"),
+        "ok bye"
+    );
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--artifact-dir` is repeatable: several directories merge into one
+/// store, duplicate unit keys are rejected loudly, and the merged store
+/// serves every directory's units.
+#[test]
+fn multi_directory_stores_merge_and_reject_duplicates() {
+    let dir_a = temp_dir("multi-a");
+    let dir_b = temp_dir("multi-b");
+    let file = mcml::artifact::artifact_file_name("compiled");
+    mcml::artifact::save_artifact(&dir_a.join(&file), &reflexive_artifact(&["DT"]))
+        .expect("save A");
+    mcml::artifact::save_artifact(&dir_b.join(&file), &reflexive_artifact(&["RFT"]))
+        .expect("save B");
+
+    // The same directory twice is a duplicate-unit error, not a silent
+    // overwrite; no directories at all is an error too.
+    let err = match CircuitStore::load_dirs(&[&dir_a, &dir_a]) {
+        Err(err) => err,
+        Ok(_) => panic!("duplicate units must be rejected"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("duplicate unit Reflexive 3 DT"),
+        "got {err}"
+    );
+    assert!(CircuitStore::load_dirs(&Vec::<std::path::PathBuf>::new()).is_err());
+
+    let store = CircuitStore::load_dirs(&[&dir_a, &dir_b]).expect("merge");
+    assert_eq!(store.len(), 2);
+    let handle = server::start(store, "127.0.0.1:0", two_workers()).expect("bind");
+    let addr = handle.addr().to_string();
+    for family in ["DT", "RFT"] {
+        let reply = client::query(&addr, &format!("accuracy Reflexive 3 {family}")).expect("query");
+        assert!(
+            reply.starts_with("ok "),
+            "unit {family} not served: {reply:?}"
+        );
+    }
+    assert_eq!(
+        client::query(&addr, "shutdown").expect("shutdown"),
+        "ok bye"
+    );
+    handle.join();
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
 }

@@ -1,0 +1,165 @@
+//! Connection-runtime behavior: the bounded handler pool, overload and
+//! idle-timeout replies, persistent connections interleaving verbs, and
+//! the shutdown drain. These tests serve an empty store — the runtime
+//! under test is the connection machinery, not the query plans.
+
+use mcml::artifact::CircuitArtifact;
+use mcml_serve::{client, server, CircuitStore, Connection, ServeOptions};
+use std::time::{Duration, Instant};
+
+fn empty_store() -> CircuitStore {
+    CircuitStore::from_artifact(CircuitArtifact {
+        backend: "compiled".to_string(),
+        circuits: Vec::new(),
+        covers: Vec::new(),
+    })
+    .expect("empty artifact resolves")
+}
+
+#[test]
+fn a_persistent_connection_interleaves_every_verb() {
+    let handle = server::start(
+        empty_store(),
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 1,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let mut conn = Connection::connect(&addr).expect("connect");
+    assert_eq!(conn.request("ping").expect("ping"), "ok pong");
+    assert_eq!(
+        conn.request("stats").expect("stats"),
+        "ok queries 0 sweep_ns 0 units 0"
+    );
+    // Errors never drop the connection.
+    assert!(conn
+        .request("frobnicate")
+        .expect("reply")
+        .starts_with("err unknown request"));
+    assert!(conn
+        .request("accuracy Nowhere 3 DT")
+        .expect("reply")
+        .starts_with("err unknown unit"));
+    assert_eq!(conn.request("ping").expect("ping again"), "ok pong");
+    // Without configured artifact directories, reload is a typed error.
+    assert_eq!(
+        conn.request("reload").expect("reload"),
+        "err reload unavailable (no artifact directories configured)"
+    );
+    assert_eq!(conn.request("shutdown").expect("shutdown"), "ok bye");
+    handle.join();
+}
+
+#[test]
+fn a_saturated_pool_replies_server_busy() {
+    let handle = server::start(
+        empty_store(),
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 1,
+            connections: 1,
+            backlog: 1,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    // conn1 occupies the single handler (the reply proves it was claimed);
+    // conn2 fills the one-slot accept queue; conn3 must be refused.
+    let mut conn1 = Connection::connect(&addr).expect("connect 1");
+    assert_eq!(conn1.request("ping").expect("ping"), "ok pong");
+    let mut conn2 = Connection::connect(&addr).expect("connect 2");
+    std::thread::sleep(Duration::from_millis(300));
+    let mut conn3 = Connection::connect(&addr).expect("connect 3");
+    assert_eq!(
+        conn3.read_reply().expect("read refusal"),
+        Some("err server busy".to_string()),
+        "the connection past the backlog must be refused, not queued"
+    );
+
+    // Shutdown drains: the queued-but-never-claimed conn2 is refused with
+    // the shutdown message instead of being silently dropped.
+    assert_eq!(conn1.request("shutdown").expect("shutdown"), "ok bye");
+    assert_eq!(
+        conn2.read_reply().expect("read drain refusal"),
+        Some("err server is shutting down".to_string())
+    );
+    handle.join();
+}
+
+#[test]
+fn idle_connections_are_reaped_with_a_timeout_reply() {
+    let handle = server::start(
+        empty_store(),
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 1,
+            idle_timeout: Duration::from_millis(200),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let mut idle = Connection::connect(&addr).expect("connect");
+    assert_eq!(idle.request("ping").expect("ping"), "ok pong");
+    let waited = Instant::now();
+    assert_eq!(
+        idle.read_reply().expect("read timeout reply"),
+        Some("err idle timeout".to_string())
+    );
+    assert!(
+        waited.elapsed() >= Duration::from_millis(150),
+        "the idle reply must come from the deadline, not immediately"
+    );
+    assert_eq!(idle.read_reply().expect("read EOF"), None);
+
+    // The handler is back in the pool and keeps serving.
+    assert_eq!(client::query(&addr, "ping").expect("ping"), "ok pong");
+    assert_eq!(
+        client::query(&addr, "shutdown").expect("shutdown"),
+        "ok bye"
+    );
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_in_flight_queries() {
+    let handle = server::start(
+        empty_store(),
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 1,
+            // Every counting answer sleeps long enough for shutdown to
+            // land while the query is in flight.
+            answer_latency: Duration::from_millis(400),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let in_flight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || client::query(&addr, "accuracy Nowhere 3 DT").expect("reply"))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        client::query(&addr, "shutdown").expect("shutdown"),
+        "ok bye"
+    );
+
+    // The racing query still gets its real answer — the workers outlive
+    // every handler, so `err worker unavailable` can never be the reply
+    // for a query accepted before shutdown.
+    assert_eq!(
+        in_flight.join().expect("in-flight thread"),
+        "err unknown unit Nowhere 3 DT"
+    );
+    handle.join();
+}

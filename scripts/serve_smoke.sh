@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the serving path:
 #
-#   1. a compiled table3 run persists its circuits and region covers to an
-#      artifact directory (and prints the batch whole-space metrics);
-#   2. mcml-serve preloads that artifact and answers over TCP;
-#   3. a client accuracy query must reproduce the batch table's Acc(phi)
-#      cell exactly (both sides round the same f64 to four decimals).
+#   1. two compiled table3 runs persist their circuits and region covers
+#      to two separate artifact directories (and print the batch
+#      whole-space metrics);
+#   2. mcml-serve merges both directories into one store and answers over
+#      TCP;
+#   3. one persistent connection (client --stdin) issues accuracy queries
+#      for both artifacts, stats, a hot reload, a post-reload accuracy
+#      query and the shutdown — every served accuracy must reproduce the
+#      batch table's Acc(phi) cell exactly (both sides round the same f64
+#      to four decimals), before and after the reload.
 #
 # Usage: scripts/serve_smoke.sh   (from anywhere; builds in release mode)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PROPERTY=Function   # Property::name() spelling — used in the query and the table row
+PROPERTY_A=Function    # Property::name() spellings — used in queries and table rows
+PROPERTY_B=Reflexive
 SCOPE=3
 FAMILY=DT
 
@@ -28,20 +34,32 @@ trap cleanup EXIT
 
 cargo build --release -p mcml-bench -p mcml-serve
 
-# 1. Warm run: build and persist the circuit artifact for one scope.
-table_out="$tmp/table3.txt"
-target/release/table3 --engine compiled --property "$PROPERTY" --scope "$SCOPE" \
-  --artifact-dir "$tmp/artifacts" | tee "$table_out"
-batch_acc="$(awk -v prop="$PROPERTY" -v fam="$FAMILY" \
-  '$1 == prop && $2 == fam { print $7 }' "$table_out")"
-if [[ -z "$batch_acc" || "$batch_acc" == "-" ]]; then
-  echo "smoke: no Acc(phi) cell for $PROPERTY/$FAMILY in the table output" >&2
-  exit 1
-fi
+# 1. Warm runs: build and persist one circuit artifact per property, in
+# separate directories, to exercise the multi-directory store merge.
+batch_acc_for() {
+  local property="$1" out="$2"
+  awk -v prop="$property" -v fam="$FAMILY" \
+    '$1 == prop && $2 == fam { print $7 }' "$out"
+}
+target/release/table3 --engine compiled --property "$PROPERTY_A" --scope "$SCOPE" \
+  --artifact-dir "$tmp/artifacts-a" | tee "$tmp/table3-a.txt"
+target/release/table3 --engine compiled --property "$PROPERTY_B" --scope "$SCOPE" \
+  --artifact-dir "$tmp/artifacts-b" | tee "$tmp/table3-b.txt"
+batch_acc_a="$(batch_acc_for "$PROPERTY_A" "$tmp/table3-a.txt")"
+batch_acc_b="$(batch_acc_for "$PROPERTY_B" "$tmp/table3-b.txt")"
+for acc in "$batch_acc_a" "$batch_acc_b"; do
+  if [[ -z "$acc" || "$acc" == "-" ]]; then
+    echo "smoke: missing Acc(phi) cell in the table output" >&2
+    exit 1
+  fi
+done
 
-# 2. Serve the artifact on an ephemeral port; wait for the address line.
-target/release/mcml-serve serve --artifact-dir "$tmp/artifacts" \
-  --addr 127.0.0.1:0 --workers 2 >"$tmp/serve.out" 2>"$tmp/serve.log" &
+# 2. Serve both artifact directories on an ephemeral port; wait for the
+# address line.
+target/release/mcml-serve serve \
+  --artifact-dir "$tmp/artifacts-a" --artifact-dir "$tmp/artifacts-b" \
+  --addr 127.0.0.1:0 --workers 2 --connections 4 \
+  >"$tmp/serve.out" 2>"$tmp/serve.log" &
 server_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -60,22 +78,60 @@ if [[ -z "$addr" ]]; then
 fi
 echo "smoke: server listening on $addr"
 
-# 3. The served accuracy must match the batch cell after identical rounding.
-reply="$(target/release/mcml-serve client --addr "$addr" \
-  accuracy "$PROPERTY" "$SCOPE" "$FAMILY")"
-echo "smoke: served reply: $reply"
-served_acc="$(printf '%s\n' "$reply" | awk '$1 == "ok" { printf "%.4f", $6 }')"
-if [[ -z "$served_acc" ]]; then
-  echo "smoke: accuracy query failed: $reply" >&2
+# 3. One persistent connection, the whole session: both artifacts'
+# accuracies, stats, a hot reload, the same accuracy again (the reload
+# must not change what is served — the artifacts are unchanged on disk),
+# and the shutdown.
+target/release/mcml-serve client --addr "$addr" --stdin \
+  >"$tmp/session.out" <<EOF
+accuracy $PROPERTY_A $SCOPE $FAMILY
+accuracy $PROPERTY_B $SCOPE $FAMILY
+stats
+reload
+accuracy $PROPERTY_A $SCOPE $FAMILY
+shutdown
+EOF
+mapfile -t replies <"$tmp/session.out"
+sed 's/^/smoke: reply: /' "$tmp/session.out"
+if [[ "${#replies[@]}" -ne 6 ]]; then
+  echo "smoke: expected 6 replies, got ${#replies[@]}" >&2
   exit 1
 fi
-if [[ "$served_acc" != "$batch_acc" ]]; then
-  echo "smoke: served Acc(phi) $served_acc != batch $batch_acc" >&2
-  exit 1
-fi
-echo "smoke: served Acc(phi) $served_acc matches the batch table"
 
-target/release/mcml-serve client --addr "$addr" shutdown >/dev/null
+check_acc() {
+  local reply="$1" batch="$2" label="$3"
+  local served
+  served="$(printf '%s\n' "$reply" | awk '$1 == "ok" { printf "%.4f", $6 }')"
+  if [[ -z "$served" ]]; then
+    echo "smoke: $label accuracy query failed: $reply" >&2
+    exit 1
+  fi
+  if [[ "$served" != "$batch" ]]; then
+    echo "smoke: $label served Acc(phi) $served != batch $batch" >&2
+    exit 1
+  fi
+  echo "smoke: $label served Acc(phi) $served matches the batch table"
+}
+check_acc "${replies[0]}" "$batch_acc_a" "$PROPERTY_A"
+check_acc "${replies[1]}" "$batch_acc_b" "$PROPERTY_B"
+case "${replies[2]}" in
+  "ok queries 2 sweep_ns "*) ;;
+  *) echo "smoke: unexpected stats reply: ${replies[2]}" >&2; exit 1 ;;
+esac
+if [[ "${replies[3]}" != "ok reloaded generation 1 units 2" ]]; then
+  echo "smoke: unexpected reload reply: ${replies[3]}" >&2
+  exit 1
+fi
+check_acc "${replies[4]}" "$batch_acc_a" "post-reload $PROPERTY_A"
+if [[ "${replies[4]}" != "${replies[0]}" ]]; then
+  echo "smoke: reload changed the served reply for unchanged artifacts" >&2
+  exit 1
+fi
+if [[ "${replies[5]}" != "ok bye" ]]; then
+  echo "smoke: unexpected shutdown reply: ${replies[5]}" >&2
+  exit 1
+fi
+
 wait "$server_pid"
 server_pid=""
 echo "smoke: OK"

@@ -255,12 +255,12 @@ fn artifact_store_rejects_foreign_versions_and_corruption() {
     let err = load_artifact(&path, "exact").expect_err("foreign backend");
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
 
-    // Store-version drift: bump the `v1` in the ASCII header line.
+    // Store-version drift: bump the `v2` in the ASCII header line.
     let header_end = pristine.iter().position(|&b| b == b'\n').unwrap();
     let mut bumped = pristine.clone();
     let v = bumped[..header_end]
         .windows(2)
-        .position(|w| w == b"v1")
+        .position(|w| w == b"v2")
         .expect("versioned header");
     bumped[v + 1] = b'9';
     std::fs::write(&path, &bumped).unwrap();
