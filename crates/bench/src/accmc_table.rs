@@ -114,7 +114,7 @@ fn warn_failed_cell(cell: &CellError) {
 fn cache_file(args: &HarnessArgs) -> Option<PathBuf> {
     args.cache_dir
         .as_ref()
-        .map(|dir| dir.join(persist::cache_file_name(args.backend().name())))
+        .map(|dir| dir.join(persist::cache_file_name(&args.backend().cache_tag())))
 }
 
 /// The circuit-artifact files under the `--artifact-dir`s, if configured
@@ -171,7 +171,7 @@ pub fn run_accmc_table(
     }
     let backend = CachedCounter::new(inner);
     if let Some(path) = cache_file(args) {
-        match persist::load_outcomes(&path, args.backend().name()) {
+        match persist::load_outcomes(&path, &args.backend().cache_tag()) {
             Ok(entries) => {
                 eprintln!(
                     "(loaded {} cached counts from {})",
@@ -203,7 +203,8 @@ pub fn run_accmc_table(
         .families(&args.models)
         .threads(args.threads)
         .engine(args.engine)
-        .vote_node_bound(args.vote_nodes);
+        .vote_node_bound(args.vote_nodes)
+        .fallback(args.fallback);
     if args.stream {
         println!("{title}");
         println!(
@@ -248,7 +249,7 @@ pub fn run_accmc_table(
     }
 
     if let Some(path) = cache_file(args) {
-        match persist::save_outcomes(&path, args.backend().name(), &backend.snapshot()) {
+        match persist::save_outcomes(&path, &args.backend().cache_tag(), &backend.snapshot()) {
             Ok(written) => eprintln!("(saved {} cached counts to {})", written, path.display()),
             Err(e) => eprintln!(
                 "warning: failed to save count cache {}: {e}",

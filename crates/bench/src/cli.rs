@@ -17,6 +17,13 @@
 //!   compiled engine's region-extraction BDDs and the ABT CNF vote
 //!   diagram); an ensemble exceeding it fails with a typed
 //!   `VoteCircuitTooLarge` error instead of exhausting memory;
+//! * `--budget N` — decision/node budget for the exact and compiled
+//!   backends (default 20 000 000); a count exceeding it reports
+//!   `BudgetExhausted` instead of hanging;
+//! * `--fallback exact|approx[:eps,delta]` — what a blown budget does to a
+//!   row: `exact` (the default) keeps today's "-" cells, `approx` climbs
+//!   the degradation ladder (symmetry-broken exact retry, then per-region
+//!   (ε, δ)-approximate counts) so the row completes `A`-labeled;
 //! * `--stream` — print each table row the moment its cell finishes
 //!   (completion order, costliest cells scheduled first) instead of
 //!   holding the whole table until the batch ends; per-cell errors are
@@ -31,6 +38,7 @@
 
 use mcml::accmc::CountingEngine;
 use mcml::backend::CounterBackend;
+use mcml::fallback::FallbackPolicy;
 use mcml::framework::ModelFamily;
 use relspec::properties::Property;
 use std::path::PathBuf;
@@ -56,6 +64,10 @@ pub struct HarnessArgs {
     pub engine: CountingEngine,
     /// Node budget for ensemble vote circuits (region-extraction BDDs).
     pub vote_nodes: usize,
+    /// Decision/node budget for the exact and compiled counting backends.
+    pub budget: u64,
+    /// Degradation policy applied when a count exhausts the budget.
+    pub fallback: FallbackPolicy,
     /// Stream table rows as their cells finish instead of waiting for the
     /// whole batch.
     pub stream: bool,
@@ -80,6 +92,8 @@ impl Default for HarnessArgs {
             threads: 0,
             engine: CountingEngine::Classic,
             vote_nodes: mcml::encode::MAX_VOTE_NODES,
+            budget: 20_000_000,
+            fallback: FallbackPolicy::default(),
             stream: false,
             cache_dir: None,
             artifact_dirs: Vec::new(),
@@ -155,6 +169,16 @@ impl HarnessArgs {
                     out.vote_nodes = v.parse().expect("--vote-nodes must be a number");
                     assert!(out.vote_nodes > 0, "--vote-nodes must be positive");
                 }
+                "--budget" => {
+                    let v = iter.next().expect("--budget requires a value");
+                    out.budget = v.parse().expect("--budget must be a number");
+                    assert!(out.budget > 0, "--budget must be positive");
+                }
+                "--fallback" => {
+                    let v = iter.next().expect("--fallback requires a policy");
+                    out.fallback =
+                        FallbackPolicy::parse(&v).unwrap_or_else(|message| panic!("{message}"));
+                }
                 "--stream" => out.stream = true,
                 "--cache-dir" => {
                     let v = iter.next().expect("--cache-dir requires a path");
@@ -195,15 +219,17 @@ impl HarnessArgs {
     }
 
     /// The counting backend selected by the flags. The exact and compiled
-    /// backends carry a generous budget so a pathological instance reports
-    /// "-" instead of hanging (the analogue of the paper's 5 000 s timeout).
+    /// backends carry the `--budget` allowance (20M by default — generous
+    /// enough that a pathological instance reports "-" instead of hanging,
+    /// the analogue of the paper's 5 000 s timeout; small values are the
+    /// degradation ladder's test bench).
     pub fn backend(&self) -> CounterBackend {
         if self.approx {
             CounterBackend::approx()
         } else if self.engine == CountingEngine::Compiled {
-            CounterBackend::compiled_with_budget(20_000_000)
+            CounterBackend::compiled_with_budget(self.budget)
         } else {
-            CounterBackend::exact_with_budget(20_000_000)
+            CounterBackend::exact_with_budget(self.budget)
         }
     }
 
@@ -274,6 +300,44 @@ mod tests {
     fn parses_stream() {
         assert!(parse(&["--stream"]).stream);
         assert!(!parse(&[]).stream);
+    }
+
+    #[test]
+    fn parses_budget_and_fallback() {
+        let defaults = parse(&[]);
+        assert_eq!(defaults.budget, 20_000_000);
+        assert_eq!(defaults.fallback, FallbackPolicy::Fail);
+        let a = parse(&["--budget", "1", "--fallback", "approx"]);
+        assert_eq!(a.budget, 1);
+        assert_eq!(a.fallback, FallbackPolicy::approx());
+        let tuned = parse(&["--fallback", "approx:0.8,0.1"]);
+        assert_eq!(
+            tuned.fallback,
+            FallbackPolicy::SymmetryThenApprox {
+                epsilon: 0.8,
+                delta: 0.1
+            }
+        );
+        assert_eq!(
+            parse(&["--fallback", "exact"]).fallback,
+            FallbackPolicy::Fail
+        );
+        // The ladder is a budget response, not a backend: it composes with
+        // the compiled engine (unlike --approx, which replaces the backend).
+        let compiled = parse(&["--engine", "compiled", "--fallback", "approx"]);
+        assert_eq!(compiled.backend().name(), "compiled");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fallback policy")]
+    fn unknown_fallback_panics() {
+        parse(&["--fallback", "magic"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--budget must be positive")]
+    fn zero_budget_panics() {
+        parse(&["--budget", "0"]);
     }
 
     #[test]

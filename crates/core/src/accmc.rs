@@ -38,6 +38,7 @@ use crate::backend::CounterBackend;
 use crate::counter::{CountOutcome, QueryCounter};
 use crate::encode::CnfEncodable;
 use crate::error::EvalError;
+use crate::fallback::{rescue_batch, FallbackLadder, FallbackPolicy};
 use crate::tree2cnf::TreeLabel;
 use mlkit::metrics::BinaryMetrics;
 use relspec::translate::GroundTruth;
@@ -205,6 +206,7 @@ pub struct AccMc<'a, C: QueryCounter + ?Sized = CounterBackend> {
     backend: &'a C,
     engine: CountingEngine,
     vote_node_bound: usize,
+    fallback: FallbackPolicy,
 }
 
 impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
@@ -220,7 +222,16 @@ impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
             backend,
             engine,
             vote_node_bound: crate::encode::MAX_VOTE_NODES,
+            fallback: FallbackPolicy::default(),
         }
+    }
+
+    /// Sets the degradation policy applied when a count exhausts its
+    /// budget (default [`FallbackPolicy::Fail`], which preserves the
+    /// exact-or-`None` contract of [`AccMc::evaluate`]).
+    pub fn fallback(mut self, policy: FallbackPolicy) -> Self {
+        self.fallback = policy;
+        self
     }
 
     /// Sets the vote-circuit node budget (default
@@ -261,12 +272,19 @@ impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
         }
         let start = Instant::now();
         let mut meta = OutcomeMeta::default();
+        let ladder = FallbackLadder::new(
+            self.fallback,
+            Some(ground_truth.scope()),
+            ground_truth.symmetry(),
+        );
         let counts = match self.engine {
             CountingEngine::Compiled => {
                 let regions = model.decision_regions_bounded(self.vote_node_bound)?;
-                self.counts_by_regions(ground_truth, &regions, &mut meta)
+                self.counts_by_regions(ground_truth, &regions, ladder.as_ref(), &mut meta)
             }
-            CountingEngine::Classic => self.counts_classic(ground_truth, model, &mut meta)?,
+            CountingEngine::Classic => {
+                self.counts_classic(ground_truth, model, ladder.as_ref(), &mut meta)?
+            }
         };
         Ok(counts.map(|counts| AccMcResult {
             counts,
@@ -281,6 +299,7 @@ impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
         &self,
         ground_truth: &GroundTruth,
         model: &M,
+        ladder: Option<&FallbackLadder>,
         meta: &mut OutcomeMeta,
     ) -> Result<Option<SpaceCounts>, EvalError> {
         let mut values = [0u128; 4];
@@ -300,7 +319,13 @@ impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
             // The conjunction is unique to this (model, cell) pair: count
             // it transiently so compiling backends don't cache a circuit
             // that can never be reused.
-            match meta.absorb(self.backend.count_transient(&cnf)) {
+            let mut outcome = self.backend.count_transient(&cnf);
+            if outcome.is_budget_exhausted() {
+                if let Some(ladder) = ladder {
+                    outcome = ladder.rescue(&cnf, &[]);
+                }
+            }
+            match meta.absorb(outcome) {
                 None => return Ok(None),
                 Some(v) => *slot = v,
             }
@@ -327,6 +352,7 @@ impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
         &self,
         ground_truth: &GroundTruth,
         regions: &[crate::encode::DecisionRegion],
+        ladder: Option<&FallbackLadder>,
         meta: &mut OutcomeMeta,
     ) -> Option<SpaceCounts> {
         let positive = ground_truth.cnf_positive_ref();
@@ -334,15 +360,19 @@ impl<'a, C: QueryCounter + ?Sized> AccMc<'a, C> {
         let cubes: Vec<&[Lit]> = regions.iter().map(|r| r.cube.as_slice()).collect();
         // Absorb the φ side before paying for the ¬φ batch: if a count
         // already blew the budget here, the evaluation is void and the
-        // second batch would be wasted work.
+        // second batch would be wasted work. An enabled fallback ladder
+        // rescues exhausted (and batch-omitted) outcomes per region first,
+        // so under it nothing here short-circuits.
         let phi_outcomes = self.backend.count_cubes(positive, &cubes);
         crate::counter::debug_assert_batch_complete(&phi_outcomes, cubes.len());
+        let phi_outcomes = rescue_batch(ladder, positive, &cubes, phi_outcomes);
         let mut in_phi = Vec::with_capacity(regions.len());
         for outcome in phi_outcomes {
             in_phi.push(meta.absorb(outcome)?);
         }
         let in_not_phi = self.backend.count_cubes(negative, &cubes);
         crate::counter::debug_assert_batch_complete(&in_not_phi, cubes.len());
+        let in_not_phi = rescue_batch(ladder, negative, &cubes, in_not_phi);
         let mut counts = SpaceCounts::default();
         for (region, (in_phi, not_phi)) in regions.iter().zip(in_phi.into_iter().zip(in_not_phi)) {
             let in_not_phi = meta.absorb(not_phi)?;

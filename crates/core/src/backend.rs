@@ -71,6 +71,27 @@ impl CounterBackend {
         }
     }
 
+    /// The tag the persisted count cache is keyed by. For the exact and
+    /// compiled backends this is just [`CounterBackend::name`] — their
+    /// outcomes mean the same thing under any configuration — but an
+    /// approximate backend's estimates are only reusable under the *same*
+    /// `(ε, δ, seed)`, so its tag spells the configuration out. A cache
+    /// saved under one tolerance is therefore never served to a query
+    /// demanding a tighter one: the file name and header simply don't
+    /// match.
+    pub fn cache_tag(&self) -> String {
+        match self {
+            CounterBackend::Exact(_) | CounterBackend::Compiled(_) => self.name().to_string(),
+            CounterBackend::Approx(counter) => {
+                let config = counter.config();
+                format!(
+                    "approx-e{}-d{}-s{:#x}",
+                    config.epsilon, config.delta, config.seed
+                )
+            }
+        }
+    }
+
     /// The inner [`CompiledCounter`] when this is the compiled backend —
     /// the handle the artifact warm-start path needs for
     /// preloading/snapshotting circuits (a clone of it shares the cache).
@@ -120,5 +141,25 @@ mod tests {
     fn names() {
         assert_eq!(CounterBackend::exact().name(), "exact");
         assert_eq!(CounterBackend::approx().name(), "approx");
+    }
+
+    #[test]
+    fn cache_tags_distinguish_approx_configurations() {
+        assert_eq!(CounterBackend::exact().cache_tag(), "exact");
+        assert_eq!(CounterBackend::compiled().cache_tag(), "compiled");
+        let defaults = CounterBackend::approx().cache_tag();
+        let tighter = CounterBackend::approx_with(ApproxConfig {
+            epsilon: 0.1,
+            ..ApproxConfig::default()
+        })
+        .cache_tag();
+        assert_ne!(defaults, tighter);
+        assert!(defaults.starts_with("approx-e"));
+        let reseeded = CounterBackend::approx_with(ApproxConfig {
+            seed: 7,
+            ..ApproxConfig::default()
+        })
+        .cache_tag();
+        assert_ne!(defaults, reseeded);
     }
 }

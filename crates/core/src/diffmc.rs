@@ -26,7 +26,9 @@ use crate::backend::CounterBackend;
 use crate::counter::QueryCounter;
 use crate::encode::{CnfEncodable, DecisionRegion};
 use crate::error::EvalError;
+use crate::fallback::{rescue_batch, FallbackLadder, FallbackPolicy};
 use crate::tree2cnf::TreeLabel;
+use relspec::symmetry::SymmetryBreaking;
 use satkit::cnf::{Cnf, Lit, Var};
 use std::time::{Duration, Instant};
 
@@ -91,6 +93,7 @@ pub struct DiffMc<'a, C: QueryCounter + ?Sized = CounterBackend> {
     backend: &'a C,
     engine: CountingEngine,
     vote_node_bound: usize,
+    fallback: FallbackPolicy,
 }
 
 impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
@@ -106,7 +109,27 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
             backend,
             engine,
             vote_node_bound: crate::encode::MAX_VOTE_NODES,
+            fallback: FallbackPolicy::default(),
         }
+    }
+
+    /// Sets the degradation policy applied when a count exhausts its
+    /// budget (default [`FallbackPolicy::Fail`], which preserves the
+    /// exact-or-`None` contract of [`DiffMc::compare`]).
+    pub fn fallback(mut self, policy: FallbackPolicy) -> Self {
+        self.fallback = policy;
+        self
+    }
+
+    /// The rescue ladder for this comparison. Model label CNFs carry no
+    /// baked symmetry; the adjacency-matrix scope is recovered from the
+    /// feature count when it is a perfect square (the rung-2 symmetry
+    /// retry is skipped otherwise).
+    fn ladder(&self, num_features: usize) -> Option<FallbackLadder> {
+        let scope = (1..=num_features)
+            .take_while(|n| n * n <= num_features)
+            .find(|n| n * n == num_features);
+        FallbackLadder::new(self.fallback, scope, SymmetryBreaking::None)
     }
 
     /// Sets the vote-circuit node budget (default
@@ -138,10 +161,13 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
         }
         let start = Instant::now();
         let mut meta = OutcomeMeta::default();
+        let ladder = self.ladder(m1.num_features());
         let counts = match self.engine {
             CountingEngine::Compiled => {
                 match m1.decision_regions_bounded(self.vote_node_bound) {
-                    Ok(regions) => self.counts_by_regions(&regions, m2, false, &mut meta)?,
+                    Ok(regions) => {
+                        self.counts_by_regions(&regions, m2, false, ladder.as_ref(), &mut meta)?
+                    }
                     // If only m1's vote circuit blows the budget, m2's
                     // regions still carry the plan: conditioning on them
                     // computes the transposed matrix, and the disagreement
@@ -151,12 +177,12 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
                         let regions = m2
                             .decision_regions_bounded(self.vote_node_bound)
                             .map_err(|_| e)?;
-                        self.counts_by_regions(&regions, m1, true, &mut meta)?
+                        self.counts_by_regions(&regions, m1, true, ladder.as_ref(), &mut meta)?
                     }
                     Err(e) => return Err(e),
                 }
             }
-            CountingEngine::Classic => self.counts_classic(m1, m2, &mut meta)?,
+            CountingEngine::Classic => self.counts_classic(m1, m2, ladder.as_ref(), &mut meta)?,
         };
         Ok(counts.map(|counts| DiffMcResult {
             counts,
@@ -170,6 +196,7 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
         &self,
         m1: &A,
         m2: &B,
+        ladder: Option<&FallbackLadder>,
         meta: &mut OutcomeMeta,
     ) -> Result<Option<DiffCounts>, EvalError> {
         let mut values = [0u128; 4];
@@ -187,7 +214,13 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
             m2.try_encode_label_bounded(&mut cnf, l2, self.vote_node_bound)?;
             // Unique per (model pair, cell): count transiently so compiling
             // backends don't cache one-shot circuits.
-            match meta.absorb(self.backend.count_transient(&cnf)) {
+            let mut outcome = self.backend.count_transient(&cnf);
+            if outcome.is_budget_exhausted() {
+                if let Some(ladder) = ladder {
+                    outcome = ladder.rescue(&cnf, &[]);
+                }
+            }
+            match meta.absorb(outcome) {
                 None => return Ok(None),
                 Some(v) => *slot = v,
             }
@@ -211,6 +244,7 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
         regions: &[DecisionRegion],
         other: &B,
         transposed: bool,
+        ladder: Option<&FallbackLadder>,
         meta: &mut OutcomeMeta,
     ) -> Result<Option<DiffCounts>, EvalError> {
         let other_true = other.try_label_cnf_bounded(TreeLabel::True, self.vote_node_bound)?;
@@ -218,9 +252,12 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
         let cubes: Vec<&[Lit]> = regions.iter().map(|r| r.cube.as_slice()).collect();
         // Absorb the first label circuit's batch before paying for the
         // second: if a count already blew the budget, the evaluation is
-        // void and the second batch would be wasted work.
+        // void and the second batch would be wasted work. An enabled
+        // fallback ladder rescues exhausted (and batch-omitted) outcomes
+        // per region first, so under it nothing here short-circuits.
         let true_outcomes = self.backend.count_cubes(&other_true, &cubes);
         crate::counter::debug_assert_batch_complete(&true_outcomes, cubes.len());
+        let true_outcomes = rescue_batch(ladder, &other_true, &cubes, true_outcomes);
         let mut in_true = Vec::with_capacity(regions.len());
         for outcome in true_outcomes {
             match meta.absorb(outcome) {
@@ -230,6 +267,7 @@ impl<'a, C: QueryCounter + ?Sized> DiffMc<'a, C> {
         }
         let in_false = self.backend.count_cubes(&other_false, &cubes);
         crate::counter::debug_assert_batch_complete(&in_false, cubes.len());
+        let in_false = rescue_batch(ladder, &other_false, &cubes, in_false);
         let mut counts = DiffCounts::default();
         for (region, (both, only_region)) in regions.iter().zip(in_true.into_iter().zip(in_false)) {
             let Some(only_region) = meta.absorb(only_region) else {

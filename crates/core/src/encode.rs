@@ -260,9 +260,27 @@ fn tree_bdd_rec(
 /// Reads the root-to-sink path cubes of a compiled vote diagram off as
 /// [`DecisionRegion`]s. The cubes are disjoint and exhaustive by
 /// construction (every input follows exactly one path).
-fn regions_from_diagram(bdd: &Bdd, root: NodeRef) -> Result<Vec<DecisionRegion>, EvalError> {
-    Ok(bdd
-        .cube_cover(root)?
+///
+/// The cube budget can blow where the node budget did not: a diagram
+/// comfortably within its node allowance may still spell exponentially
+/// many root-to-sink paths under an unlucky variable order. Under
+/// [`ReorderPolicy::OnPressure`] a [`BddError::TooManyCubes`] triggers one
+/// sift-and-retry — the same pressure response the *build* already gets —
+/// before the typed error surfaces; [`ReorderPolicy::Off`] pins the
+/// static-order behaviour for tests.
+fn regions_from_diagram(
+    bdd: &mut Bdd,
+    root: NodeRef,
+    policy: ReorderPolicy,
+) -> Result<Vec<DecisionRegion>, EvalError> {
+    let cubes = match bdd.cube_cover(root) {
+        Err(BddError::TooManyCubes { .. }) if policy == ReorderPolicy::OnPressure => {
+            bdd.sift(&[root]);
+            bdd.cube_cover(root)?
+        }
+        other => other?,
+    };
+    Ok(cubes
         .into_iter()
         .map(|cube| DecisionRegion {
             cube: cube
@@ -304,7 +322,7 @@ fn ensemble_decision_regions(
         .map(|tree| tree_bdd(&mut bdd, tree.borrow()))
         .collect::<Result<_, _>>()?;
     let root = bdd.vote_fold(&voters, initial, &cast, &decide, vote_node_bound)?;
-    regions_from_diagram(&bdd, root)
+    regions_from_diagram(&mut bdd, root, policy)
 }
 
 /// One stage of the GBDT additive-score fold: the guard leaf paths of one
@@ -412,7 +430,7 @@ pub(crate) fn gbdt_decision_regions(
         &plan.decide(model),
         vote_node_bound,
     )?;
-    regions_from_diagram(&bdd, root)
+    regions_from_diagram(&mut bdd, root, policy)
 }
 
 /// Defines a fresh variable equivalent to `tree`'s positive decision region
@@ -1180,6 +1198,65 @@ mod tests {
                 TreeLabel::False
             };
             assert_eq!(matching[0].label, expected, "input {features:?}");
+        }
+    }
+
+    /// The cube-budget twin of the sifting scenario above: a diagram whose
+    /// *nodes* fit the budget comfortably but whose root-to-sink *paths* do
+    /// not — region extraction, not the build, is what blows. The function
+    /// is the disjunction of pairs `(x_i ∧ x_{i+6})` in the blocked index
+    /// order (all left members before all right members): 189 nodes but 256
+    /// paths, while sifting regroups the pairs down to 12 nodes and 127
+    /// paths. At bound 200 the build succeeds under either policy and
+    /// `cube_cover` fails under the static order; only the on-pressure
+    /// sift-and-retry in `regions_from_diagram` rescues the extraction.
+    #[test]
+    fn cube_budget_blown_by_static_order_succeeds_with_sifting() {
+        let k = 6u32;
+        let bound = 200;
+        let build = |policy| {
+            let mut bdd = Bdd::with_node_budget(bound).with_reorder_policy(policy);
+            let mut root = bdd.constant(false);
+            for i in 0..k {
+                let a = bdd.literal(i, true).expect("within budget");
+                let b = bdd.literal(i + k, true).expect("within budget");
+                let pair = bdd.and(a, b).expect("within budget");
+                root = bdd.or(root, pair).expect("within budget");
+            }
+            (bdd, root)
+        };
+
+        let (mut bdd, root) = build(ReorderPolicy::Off);
+        let err = regions_from_diagram(&mut bdd, root, ReorderPolicy::Off)
+            .expect_err("256 static-order paths must exceed the 200-cube budget");
+        assert!(
+            matches!(err, EvalError::VoteCircuitTooLarge { bound: 200, .. }),
+            "unexpected error {err:?}"
+        );
+
+        let (mut bdd, root) = build(ReorderPolicy::OnPressure);
+        let regions = regions_from_diagram(&mut bdd, root, ReorderPolicy::OnPressure)
+            .expect("sifting must fit the cover into the same budget");
+        // The rescued regions still partition the space with the function's
+        // own labels.
+        let n = 2 * k as usize;
+        for bits in 0u32..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|j| bits >> j & 1 == 1).collect();
+            let matching: Vec<&DecisionRegion> = regions
+                .iter()
+                .filter(|r| r.cube.iter().all(|l| l.eval(assignment[l.var().index()])))
+                .collect();
+            assert_eq!(
+                matching.len(),
+                1,
+                "input {assignment:?} must hit one region"
+            );
+            let expected = if (0..k as usize).any(|i| assignment[i] && assignment[i + k as usize]) {
+                TreeLabel::True
+            } else {
+                TreeLabel::False
+            };
+            assert_eq!(matching[0].label, expected, "input {assignment:?}");
         }
     }
 

@@ -27,6 +27,7 @@ use crate::artifact::{CircuitArtifact, RegionCover};
 use crate::counter::{cnf_fingerprint, CompiledCounter, ModelCounter, QueryCounter};
 use crate::encode::CnfEncodable;
 use crate::error::EvalError;
+use crate::fallback::FallbackPolicy;
 use datagen::builder::{DatasetBuilder, DatasetConfig, PropertyDataset, SplitRatio};
 use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::Dataset;
@@ -200,6 +201,7 @@ impl Experiment {
             backend,
             engine,
             crate::encode::MAX_VOTE_NODES,
+            FallbackPolicy::default(),
         )
         .expect("dataset and ground truth share the scope by construction")
     }
@@ -219,6 +221,7 @@ impl Experiment {
 /// on the test set and against the whole space. Both the sequential
 /// [`Experiment::run`] and the parallel [`Runner`] call this, which is what
 /// guarantees their metrics are identical.
+#[allow(clippy::too_many_arguments)]
 fn run_dt_row<C: QueryCounter + ?Sized>(
     config: &ExperimentConfig,
     dataset: &PropertyDataset,
@@ -226,12 +229,14 @@ fn run_dt_row<C: QueryCounter + ?Sized>(
     backend: &C,
     engine: CountingEngine,
     vote_node_bound: usize,
+    fallback: FallbackPolicy,
 ) -> Result<ExperimentResult, EvalError> {
     let (train, test) = dataset.split(config.ratio);
     let tree = DecisionTree::fit(&train, TreeConfig::default());
     let test_metrics = evaluate_classifier(&tree, &test);
     let whole_space = AccMc::with_engine(backend, engine)
         .vote_node_bound(vote_node_bound)
+        .fallback(fallback)
         .evaluate(ground_truth, &tree)?;
     Ok(ExperimentResult {
         config: *config,
@@ -481,6 +486,7 @@ pub struct Runner {
     families: Vec<ModelFamily>,
     engine: CountingEngine,
     vote_node_bound: usize,
+    fallback: FallbackPolicy,
     rft_trees: usize,
     abt_rounds: usize,
     abt_depth: usize,
@@ -503,6 +509,7 @@ impl Runner {
             families: vec![ModelFamily::Dt],
             engine: CountingEngine::Classic,
             vote_node_bound: crate::encode::MAX_VOTE_NODES,
+            fallback: FallbackPolicy::default(),
             rft_trees: 15,
             abt_rounds: 10,
             abt_depth: 2,
@@ -540,6 +547,17 @@ impl Runner {
     /// it fail with [`EvalError::VoteCircuitTooLarge`].
     pub fn vote_node_bound(mut self, bound: usize) -> Self {
         self.vote_node_bound = bound;
+        self
+    }
+
+    /// Sets the degradation [`FallbackPolicy`] every row evaluates under
+    /// (default [`FallbackPolicy::Fail`]): an enabled ladder turns
+    /// budget-exhausted cells into (ε, δ)-labeled approximate rows instead
+    /// of the paper's "-" cells. Rescue seeds are derived from the queries
+    /// themselves, so the policy never makes the batch
+    /// scheduler's completion order observable in the results.
+    pub fn fallback(mut self, policy: FallbackPolicy) -> Self {
+        self.fallback = policy;
         self
     }
 
@@ -772,6 +790,7 @@ impl Runner {
                     backend,
                     self.engine,
                     self.vote_node_bound,
+                    self.fallback,
                 )
             },
         )
@@ -1009,6 +1028,7 @@ impl Runner {
         let test_metrics = evaluate_classifier(model.as_classifier(), &test);
         let whole_space = AccMc::with_engine(backend, self.engine)
             .vote_node_bound(self.vote_node_bound)
+            .fallback(self.fallback)
             .evaluate(ground_truth, model.as_encodable())?;
         Ok(RunnerRow {
             config: *config,

@@ -81,6 +81,7 @@ pub mod counter;
 pub mod diffmc;
 pub mod encode;
 pub mod error;
+pub mod fallback;
 pub mod framework;
 pub mod persist;
 pub mod report;
@@ -93,6 +94,7 @@ pub use counter::{CachedCounter, CompiledCounter, CountOutcome, ModelCounter, Qu
 pub use diffmc::{DiffCounts, DiffMc, DiffMcResult};
 pub use encode::CnfEncodable;
 pub use error::EvalError;
+pub use fallback::FallbackPolicy;
 pub use framework::{
     evaluate_all_models, Experiment, ExperimentConfig, ExperimentResult, ModelFamily, Runner,
     RunnerRow,

@@ -8,7 +8,7 @@
 //! versioned text file so a later run can start warm:
 //!
 //! ```text
-//! mcml-count-cache v1
+//! mcml-count-cache v2 backend=exact
 //! 0123456789abcdef0123456789abcdef E 42
 //! fedcba9876543210fedcba9876543210 A 1280 0.8 0.2
 //! ```
@@ -18,11 +18,15 @@
 //! entries are **not** persisted — a later run may carry a larger budget
 //! and should retry them.
 //!
-//! Caches are **per backend**: the header records the backend that
-//! produced the outcomes, loading verifies it against the requesting run's
-//! backend, and [`cache_file_name`] spells the backend into the file name.
-//! Without that check, a cache written by `--approx` would silently serve
-//! estimates to an exact run. Loading rejects unknown versions, backend
+//! Caches are **per backend configuration**: the header records the tag of
+//! the backend that produced the outcomes, loading verifies it against the
+//! requesting run's tag, and [`cache_file_name`] spells the tag into the
+//! file name. Callers pass
+//! [`CounterBackend::cache_tag`](crate::backend::CounterBackend::cache_tag),
+//! which for the approximate backend includes its `(ε, δ, seed)`
+//! configuration — so a cache written by `--approx` can neither seed an
+//! exact run nor serve loose estimates to a run demanding a tighter
+//! tolerance. Loading rejects unknown versions, backend/configuration
 //! mismatches and malformed lines with
 //! [`std::io::ErrorKind::InvalidData`], so a stale or foreign cache file
 //! surfaces as an error instead of silently corrupting counts (callers
@@ -37,25 +41,28 @@ use std::path::Path;
 /// carries its own [`crate::artifact::ARTIFACT_VERSION`], so bumping one
 /// store's layout never invalidates the other's files. Both file names and
 /// headers spell their version, so stale files fail the header check
-/// instead of being misread.
-pub const STORE_VERSION: u32 = 1;
+/// instead of being misread. v2 switched the backend field from the bare
+/// backend name to its configuration-carrying cache tag (the approximate
+/// backend's `(ε, δ, seed)`), retiring v1 files whose `approx` outcomes
+/// were reusable across tolerances.
+pub const STORE_VERSION: u32 = 2;
 
 /// The on-disk file name for a store of `kind` produced by `backend`, e.g.
-/// `counts.exact.v1.cache` — kind, backend and schema version all spelled
-/// out so differently-configured runs never collide on disk.
+/// `counts.exact.v2.cache` — kind, backend tag and schema version all
+/// spelled out so differently-configured runs never collide on disk.
 pub fn store_file_name(kind: &str, backend: &str, ext: &str) -> String {
     format!("{kind}.{backend}.v{STORE_VERSION}.{ext}")
 }
 
 /// The header line identifying a store's format, version and producing
-/// backend, e.g. `mcml-count-cache v1 backend=exact`. Every store writes
+/// backend, e.g. `mcml-count-cache v2 backend=exact`. Every store writes
 /// it first and verifies it (string-equal) on load.
 pub fn store_header(kind: &str, backend: &str) -> String {
     format!("mcml-{kind} v{STORE_VERSION} backend={backend}")
 }
 
-/// The count-cache file name for a backend under `--cache-dir` (e.g.
-/// `counts.exact.v1.cache`), so differently-configured runs never collide.
+/// The count-cache file name for a backend tag under `--cache-dir` (e.g.
+/// `counts.exact.v2.cache`), so differently-configured runs never collide.
 pub fn cache_file_name(backend: &str) -> String {
     store_file_name("counts", backend, "cache")
 }
@@ -165,13 +172,48 @@ mod tests {
 
     #[test]
     fn store_naming_is_pinned() {
-        // Existing cache files must keep loading across this refactor: the
-        // shared helpers must reproduce the v1 strings byte for byte.
-        assert_eq!(cache_file_name("exact"), "counts.exact.v1.cache");
+        // v2: the backend field carries the configuration-aware cache tag.
+        // v1 files (whose name and header spell v1) fail the string-equal
+        // header check below and are started cold, never misread.
+        assert_eq!(cache_file_name("exact"), "counts.exact.v2.cache");
         assert_eq!(
             store_header("count-cache", "exact"),
-            "mcml-count-cache v1 backend=exact"
+            "mcml-count-cache v2 backend=exact"
         );
+    }
+
+    #[test]
+    fn approx_cache_is_rejected_across_configurations() {
+        use crate::backend::CounterBackend;
+        use modelcount::approx::ApproxConfig;
+
+        // A cache saved under the default (ε, δ, seed) must never be served
+        // to a run demanding a tighter tolerance: the tags differ, so both
+        // the file name and the header check reject it.
+        let loose = CounterBackend::approx().cache_tag();
+        let tight = CounterBackend::approx_with(ApproxConfig {
+            epsilon: 0.1,
+            delta: 0.05,
+            ..ApproxConfig::default()
+        })
+        .cache_tag();
+        assert_ne!(cache_file_name(&loose), cache_file_name(&tight));
+
+        let path = temp_path("approx-tolerance.cache");
+        let mut entries = HashMap::new();
+        entries.insert(
+            1u128,
+            CountOutcome::Approx {
+                estimate: 100,
+                epsilon: 0.8,
+                delta: 0.2,
+            },
+        );
+        save_outcomes(&path, &loose, &entries).expect("save");
+        let err = load_outcomes(&path, &tight).expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(load_outcomes(&path, &loose).is_ok());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -30,14 +30,16 @@ pub fn format_metric(value: Option<f64>) -> String {
 }
 
 /// Formats the counter-guarantee cell of a table row: `exact` for exact
-/// counts, the (ε, δ) parameters for approximate ones, `-` when the row
-/// timed out and carries no counts at all.
+/// counts, an `A` marker followed by the (ε, δ) parameters for rows whose
+/// counts are approximate (whether by an approximate backend or the
+/// degradation ladder), `-` when the row timed out and carries no counts
+/// at all.
 pub fn format_count_guarantee(info: Option<&crate::accmc::AccMcResult>) -> String {
     match info {
         None => "-".to_string(),
         Some(r) => match r.approx {
             None => "exact".to_string(),
-            Some(a) => format!("ε≤{:.2} δ≤{:.2}", a.epsilon, a.delta),
+            Some(a) => format!("A ε≤{:.2} δ≤{:.2}", a.epsilon, a.delta),
         },
     }
 }
@@ -141,7 +143,7 @@ mod tests {
             epsilon: 0.8,
             delta: 0.2,
         });
-        assert_eq!(format_count_guarantee(Some(&result)), "ε≤0.80 δ≤0.20");
+        assert_eq!(format_count_guarantee(Some(&result)), "A ε≤0.80 δ≤0.20");
     }
 
     #[test]
@@ -160,7 +162,7 @@ mod tests {
     #[test]
     fn unicode_cells_stay_aligned() {
         let mut t = TextTable::new(vec!["Property", "Count"]);
-        t.push_row(vec!["Reflexive", "ε≤0.40 δ≤0.20"]);
+        t.push_row(vec!["Reflexive", "A ε≤0.40 δ≤0.20"]);
         t.push_row(vec!["Function", "exact"]);
         let s = t.render();
         let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();

@@ -34,4 +34,4 @@ pub mod store;
 
 pub use client::{query, Connection};
 pub use server::{start, ServeOptions, ServerHandle};
-pub use store::{CircuitStore, Unit, UnitKey};
+pub use store::{CircuitStore, Circuits, Unit, UnitKey};

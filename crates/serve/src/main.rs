@@ -14,7 +14,7 @@ const USAGE: &str = "usage:
   mcml-serve serve --artifact-dir DIR [--artifact-dir DIR]...
                    [--addr 127.0.0.1:7171] [--workers N] [--connections N]
                    [--backlog N] [--idle-timeout SECS] [--io-timeout SECS]
-                   [--poll SECS]
+                   [--poll SECS] [--fallback exact|approx[:EPS,DELTA]]
   mcml-serve client [--addr 127.0.0.1:7171] REQUEST WORDS...
   mcml-serve client [--addr 127.0.0.1:7171] --stdin
 
@@ -24,8 +24,11 @@ requests: ping | accuracy PROP SCOPE FAMILY | diff PROP SCOPE FAM_A FAM_B |
 --artifact-dir is repeatable; the directories' units are merged (duplicate
 unit keys are an error). --poll SECS re-checks the artifact files' mtimes
 and hot-reloads on change (0 disables polling; the reload verb always
-works). --stdin reads one request per line over a single persistent
-connection and prints one reply per line.";
+works). --fallback approx serves covers whose circuits were never
+persisted as degraded units: approximate counts with deterministic seeds,
+every degraded reply labeled 'approx EPS DELTA' (the default, exact,
+skips such covers). --stdin reads one request per line over a single
+persistent connection and prints one reply per line.";
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 
@@ -91,6 +94,10 @@ fn run_serve(args: &[String]) -> ExitCode {
                     Duration::from_secs_f64(parse_secs(&value("--io-timeout"), "--io-timeout"));
             }
             "--poll" => poll_secs = parse_secs(&value("--poll"), "--poll"),
+            "--fallback" => {
+                options.fallback = mcml::fallback::FallbackPolicy::parse(&value("--fallback"))
+                    .unwrap_or_else(|message| panic!("{message}"));
+            }
             other => {
                 eprintln!("unknown argument {other:?}\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -101,7 +108,7 @@ fn run_serve(args: &[String]) -> ExitCode {
         eprintln!("serve requires at least one --artifact-dir\n{USAGE}");
         return ExitCode::FAILURE;
     }
-    let store = match CircuitStore::load_dirs(&artifact_dirs) {
+    let store = match CircuitStore::load_dirs_with(&artifact_dirs, options.fallback) {
         Ok(store) => store,
         Err(e) => {
             eprintln!("failed to load artifacts: {e}");
@@ -109,10 +116,15 @@ fn run_serve(args: &[String]) -> ExitCode {
         }
     };
     eprintln!(
-        "(preloaded {} units from {} director{}{})",
+        "(preloaded {} units from {} director{}{}{})",
         store.len(),
         artifact_dirs.len(),
         if artifact_dirs.len() == 1 { "y" } else { "ies" },
+        if store.degraded_units() > 0 {
+            format!(", {} degraded (approx fallback)", store.degraded_units())
+        } else {
+            String::new()
+        },
         if store.skipped_covers() > 0 {
             format!(", skipped {} unservable covers", store.skipped_covers())
         } else {

@@ -64,16 +64,18 @@
 //!
 //! ```text
 //! accuracy → ok <tp> <fp> <tn> <fn> <accuracy> <precision> <recall> <f1>
+//!               [approx <epsilon> <delta>]
 //! diff     → ok <tt> <tf> <ft> <ff> <diff> <sim>
-//! count    → ok <count>
-//! stats    → ok queries <n> sweep_ns <t> units <k>
+//! count    → ok <count> [approx <epsilon> <delta>]
+//! stats    → ok queries <n> sweep_ns <t> degraded <d> units <k>
 //!               [<property> <scope> <family> <hits>]...
 //! reload   → ok reloaded generation <id> units <n>
 //! ```
 //!
 //! `stats` reports cumulative serving statistics: how many queries were
 //! answered successfully, the total wall-clock nanoseconds spent inside
-//! those answers (the batched count sweeps dominate the serving path), and
+//! those answers (the batched count sweeps dominate the serving path),
+//! how many of those answers were degraded (approximate, labeled), and
 //! per-unit hit counts sorted by key. A `diff` touches both of its units;
 //! a `count` hits the `(property, scope)` ground-truth pair rather than
 //! one family's unit and is recorded under the pseudo-family `truth`.
@@ -85,30 +87,44 @@
 //!
 //! # Query plans
 //!
-//! Every query resolves through batched [`Ddnnf::count_cubes`] sweeps over
-//! preloaded circuits — the serving path performs **zero** compilation.
-//! Accuracy is the AccMC region-sum plan (one batch against φ, one against
-//! ¬φ). Diff counts each pairwise region intersection `cube_a ∧ cube_b`
-//! as `mc(φ | cube) + mc(¬φ | cube)`: φ and ¬φ partition the space the
-//! ground truth constrains, so the sum is the intersection's size
-//! (contradictory concatenations count 0). That plan equals `DiffMc` over
-//! the full feature space **only** when the ground truth carries no
-//! symmetry breaking — so when a unit's artifact recorded an enabled
-//! [`SymmetryBreaking`] setting, `diff` answers a typed
-//! `err diff unavailable under symmetry breaking <setting> ...` instead
-//! of silently serving restricted-space numbers. Accuracy and
-//! conditioned counts are defined over the constrained space by
-//! construction (they match the batch `AccMc` bit for bit either way)
-//! and stay available.
+//! Queries against compiled units resolve through batched
+//! [`satkit::ddnnf::Ddnnf::count_cubes`] sweeps over preloaded circuits — that serving
+//! path performs **zero** compilation. Accuracy is the AccMC region-sum
+//! plan (one batch against φ, one against ¬φ).
+//!
+//! Diff has two exact plans. When neither unit carries symmetry breaking
+//! (and both are compiled), each pairwise region intersection
+//! `cube_a ∧ cube_b` is counted as `mc(φ | cube) + mc(¬φ | cube)` in two
+//! batched sweeps: φ and ¬φ partition the full feature space, so the sum
+//! is the intersection's size (contradictory concatenations count 0).
+//! When either ground truth bakes in symmetry breaking — where that sweep
+//! would count the *constrained* space and silently disagree with the
+//! batch `DiffMc` — the server instead recounts both models over the full
+//! feature space combinatorially: an intersection of two region cubes
+//! fixes some set of distinct feature variables (or is contradictory and
+//! counts 0), so its size is exactly `2^(features − fixed)`. Region
+//! covers partition the space by construction, so both plans reproduce
+//! the unconstrained `DiffMc` counts bit for bit; the combinatorial plan
+//! touches no circuits at all and therefore also serves degraded units.
+//!
+//! Queries against **degraded** units (covers whose circuits were never
+//! persisted, rescued by `--fallback approx[:eps,delta]` — see
+//! [`crate::store`]) are answered by the (ε, δ)-approximate XOR-hash
+//! counter over the re-translated CNF, with seeds derived from the
+//! `(CNF, cube)` fingerprint so replies are deterministic across
+//! restarts, workers and thread counts. Every degraded `ok` reply is
+//! suffixed `approx <ε> <δ>` and counted in `stats` under `degraded`.
+//! Accuracy and conditioned counts are defined over whatever space the
+//! ground truth constrains by construction (they match the batch `AccMc`
+//! either way) and are always available.
 
 use crate::protocol::{write_frame, MAX_FRAME};
-use crate::store::{CircuitStore, Unit, UnitKey};
+use crate::store::{CircuitStore, Circuits, Unit, UnitKey};
 use mcml::diffmc::DiffCounts;
+use mcml::fallback::{approx_conditioned, FallbackPolicy};
 use mcml::tree2cnf::TreeLabel;
 use mlkit::metrics::BinaryMetrics;
-use relspec::symmetry::SymmetryBreaking;
-use satkit::cnf::Lit;
-use satkit::ddnnf::Ddnnf;
+use satkit::cnf::{Cnf, Lit};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -155,6 +171,12 @@ pub struct ServeOptions {
     /// Artificial latency added to every worker answer — a testing aid
     /// for pinning drain/atomicity races; leave zero in production.
     pub answer_latency: Duration,
+    /// Degradation policy for covers whose circuits were never persisted:
+    /// [`FallbackPolicy::Fail`] (the default) skips them at load time,
+    /// [`FallbackPolicy::SymmetryThenApprox`] serves them as degraded
+    /// units with `approx <ε> <δ>`-labeled replies. Reloads resolve the
+    /// fresh store under the same policy.
+    pub fallback: FallbackPolicy,
 }
 
 impl Default for ServeOptions {
@@ -170,6 +192,7 @@ impl Default for ServeOptions {
             reload_dirs: Vec::new(),
             poll_interval: None,
             answer_latency: Duration::ZERO,
+            fallback: FallbackPolicy::Fail,
         }
     }
 }
@@ -204,6 +227,9 @@ struct ServerStats {
     /// Cumulative wall-clock nanoseconds spent answering them — on the
     /// serving path that time is the batched count sweeps.
     sweep_nanos: AtomicU64,
+    /// The subset of `queries` answered degraded: approximate counts with
+    /// an `approx <ε> <δ>` label in the reply frame.
+    degraded: AtomicU64,
     /// Per-unit hit counts. `count` queries hit the `(property, scope)`
     /// ground-truth pair rather than one family's unit and are recorded
     /// under the pseudo-family `truth`.
@@ -211,9 +237,12 @@ struct ServerStats {
 }
 
 impl ServerStats {
-    fn record(&self, query: &Query, nanos: u64) {
+    fn record(&self, query: &Query, nanos: u64, degraded: bool) {
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.sweep_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
         let mut hits = lock(&self.unit_hits);
         let mut bump = |property: &str, scope: usize, family: &str| {
             *hits
@@ -244,9 +273,10 @@ impl ServerStats {
             .collect();
         entries.sort();
         let mut reply = format!(
-            "ok queries {} sweep_ns {} units {}",
+            "ok queries {} sweep_ns {} degraded {} units {}",
             self.queries.load(Ordering::Relaxed),
             self.sweep_nanos.load(Ordering::Relaxed),
+            self.degraded.load(Ordering::Relaxed),
             entries.len()
         );
         for ((property, scope, family), hits) in entries {
@@ -291,7 +321,7 @@ struct Generation {
 #[derive(Default)]
 struct ShardData {
     units: HashMap<UnitKey, Unit>,
-    truths: HashMap<(String, usize), (Arc<Ddnnf>, Arc<Ddnnf>)>,
+    truths: HashMap<(String, usize), Circuits>,
 }
 
 /// Shards a store across `workers` slices by `(property, scope)` hash —
@@ -301,10 +331,21 @@ fn shard_store(store: CircuitStore, workers: usize, id: u64) -> Generation {
     let mut shards: Vec<ShardData> = (0..workers).map(|_| ShardData::default()).collect();
     for (key, unit) in store.into_units() {
         let shard = &mut shards[shard_of(&key.0, key.1, workers)];
-        shard
-            .truths
-            .entry((key.0.clone(), key.1))
-            .or_insert_with(|| (Arc::clone(&unit.phi), Arc::clone(&unit.not_phi)));
+        // A compiled truth always wins over a degraded stand-in for the
+        // same `(property, scope)` — `count` answers exactly when any
+        // family's cover kept its circuits.
+        match shard.truths.entry((key.0.clone(), key.1)) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(unit.circuits.clone());
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                if matches!(slot.get(), Circuits::Degraded { .. })
+                    && matches!(unit.circuits, Circuits::Compiled { .. })
+                {
+                    slot.insert(unit.circuits.clone());
+                }
+            }
+        }
         shard.units.insert(key, unit);
     }
     Generation { id, units, shards }
@@ -480,7 +521,7 @@ fn reload_now(shared: &Shared) -> Result<(u64, usize), String> {
         return Err("reload unavailable (no artifact directories configured)".to_string());
     }
     let _serial = lock(&shared.reload_serial);
-    let store = CircuitStore::load_dirs(&shared.options.reload_dirs)
+    let store = CircuitStore::load_dirs_with(&shared.options.reload_dirs, shared.options.fallback)
         .map_err(|e| format!("reload failed: {e}"))?;
     let skipped = store.skipped_covers();
     let id = shared.next_generation.fetch_add(1, Ordering::Relaxed);
@@ -545,7 +586,8 @@ impl ShardData {
         let start = Instant::now();
         let reply = self.answer_inner(query);
         if reply.starts_with("ok") {
-            stats.record(query, start.elapsed().as_nanos() as u64);
+            let degraded = reply.split_ascii_whitespace().any(|word| word == "approx");
+            stats.record(query, start.elapsed().as_nanos() as u64, degraded);
         }
         reply
     }
@@ -569,15 +611,7 @@ impl ShardData {
                     .units
                     .get(&(property.clone(), *scope, family_b.clone()));
                 match (a, b) {
-                    (Some(a), Some(b)) => match diff_symmetry(a, b) {
-                        Some(symmetry) => format!(
-                            "err diff unavailable under symmetry breaking {}: the artifact's \
-                             ground truth constrains the space, so served counts would \
-                             disagree with DiffMc over the full feature space",
-                            symmetry.name()
-                        ),
-                        None => diff_reply(a, b),
-                    },
+                    (Some(a), Some(b)) => diff_reply(a, b, *scope),
                     (None, _) => format!("err unknown unit {property} {scope} {family_a}"),
                     (_, None) => format!("err unknown unit {property} {scope} {family_b}"),
                 }
@@ -588,29 +622,38 @@ impl ShardData {
                 negated,
                 cube,
             } => match self.truths.get(&(property.clone(), *scope)) {
-                Some((phi, not_phi)) => {
-                    conditioned_reply(if *negated { not_phi } else { phi }, cube)
-                }
+                Some(circuits) => conditioned_reply(circuits, *negated, cube),
                 None => format!("err unknown property/scope {property} {scope}"),
             },
         }
     }
 }
 
-/// The symmetry-breaking setting that makes a served diff disagree with
-/// `DiffMc`, if either side's ground truth carries one.
-fn diff_symmetry(a: &Unit, b: &Unit) -> Option<SymmetryBreaking> {
-    [a.symmetry, b.symmetry]
-        .into_iter()
-        .find(SymmetryBreaking::is_enabled)
-}
-
-/// The AccMC region-sum plan over preloaded circuits: one batched sweep
-/// against φ, one against ¬φ, summed by region label.
+/// The AccMC region-sum plan: one batched circuit sweep against φ, one
+/// against ¬φ, summed by region label — or, for a degraded unit, one
+/// deterministic approximate count per `(region, side)` with the reply
+/// labeled `approx <ε> <δ>`.
 fn accuracy_reply(unit: &Unit) -> String {
-    let cubes: Vec<&[Lit]> = unit.regions.iter().map(|r| r.cube.as_slice()).collect();
-    let in_phi = unit.phi.count_cubes(&cubes);
-    let in_not_phi = unit.not_phi.count_cubes(&cubes);
+    let (in_phi, in_not_phi, label) = match &unit.circuits {
+        Circuits::Compiled { phi, not_phi } => {
+            let cubes: Vec<&[Lit]> = unit.regions.iter().map(|r| r.cube.as_slice()).collect();
+            (phi.count_cubes(&cubes), not_phi.count_cubes(&cubes), None)
+        }
+        Circuits::Degraded {
+            phi,
+            not_phi,
+            epsilon,
+            delta,
+        } => {
+            let sweep = |cnf: &Cnf| {
+                unit.regions
+                    .iter()
+                    .map(|r| degraded_count(cnf, &r.cube, *epsilon, *delta))
+                    .collect::<Vec<u128>>()
+            };
+            (sweep(phi), sweep(not_phi), Some((*epsilon, *delta)))
+        }
+    };
     let (mut tp, mut fp, mut tn, mut fn_) = (0u128, 0u128, 0u128, 0u128);
     for (region, (p, n)) in unit.regions.iter().zip(in_phi.into_iter().zip(in_not_phi)) {
         match region.label {
@@ -625,39 +668,80 @@ fn accuracy_reply(unit: &Unit) -> String {
         }
     }
     let m = BinaryMetrics::from_counts(tp, fp, tn, fn_);
-    format!(
+    let mut reply = format!(
         "ok {tp} {fp} {tn} {fn_} {} {} {} {}",
         m.accuracy, m.precision, m.recall, m.f1
-    )
+    );
+    if let Some((epsilon, delta)) = label {
+        reply.push_str(&format!(" approx {epsilon} {delta}"));
+    }
+    reply
 }
 
-/// Pairwise region intersections, each sized as
-/// `mc(φ | cube_a ∧ cube_b) + mc(¬φ | cube_a ∧ cube_b)` in two batched
-/// sweeps (φ / ¬φ partition the constrained space; a contradictory
-/// concatenation counts 0 on both sides). Only reachable when neither
-/// unit carries symmetry breaking, so the partitioned space is the full
-/// feature space and the counts equal `DiffMc`'s.
-fn diff_reply(a: &Unit, b: &Unit) -> String {
-    let mut cubes = Vec::with_capacity(a.regions.len() * b.regions.len());
-    let mut labels = Vec::with_capacity(cubes.capacity());
-    for ra in a.regions.iter() {
-        for rb in b.regions.iter() {
-            let mut cube = ra.cube.clone();
-            cube.extend_from_slice(&rb.cube);
-            cubes.push(cube);
-            labels.push((ra.label, rb.label));
+/// One (ε, δ)-approximate conditioned count over a degraded unit's CNF.
+/// The seed derives from the `(CNF, cube)` fingerprint inside
+/// [`approx_conditioned`], so the estimate is a pure function of the
+/// query — identical across restarts, workers and thread counts.
+fn degraded_count(cnf: &Cnf, cube: &[Lit], epsilon: f64, delta: f64) -> u128 {
+    approx_conditioned(cnf, cube, epsilon, delta)
+        .value()
+        .unwrap_or(0)
+}
+
+/// The served diff: both models recounted over the **full feature
+/// space**, exactly, by one of two plans that agree bit for bit with the
+/// unconstrained batch `DiffMc`.
+///
+/// With compiled circuits and no symmetry breaking, each pairwise region
+/// intersection `cube_a ∧ cube_b` is sized as
+/// `mc(φ | cube) + mc(¬φ | cube)` in two batched sweeps — φ / ¬φ
+/// partition the full space, so the sum is the intersection's size (a
+/// contradictory concatenation counts 0 on both sides).
+///
+/// When either ground truth bakes in symmetry breaking, the circuits
+/// partition the *constrained* space and that sweep would silently
+/// disagree with `DiffMc` — so the intersections are counted
+/// combinatorially instead: a non-contradictory intersection fixes some
+/// distinct feature variables and has exactly `2^(features − fixed)`
+/// models. The combinatorial plan needs no circuits, so it also serves
+/// degraded units.
+fn diff_reply(a: &Unit, b: &Unit, scope: usize) -> String {
+    let sweeps = match (&a.circuits, &b.circuits) {
+        (Circuits::Compiled { phi, not_phi }, Circuits::Compiled { .. })
+            if !a.symmetry.is_enabled() && !b.symmetry.is_enabled() =>
+        {
+            Some((phi, not_phi))
         }
-    }
-    let in_phi = a.phi.count_cubes(&cubes);
-    let in_not_phi = a.not_phi.count_cubes(&cubes);
+        _ => None,
+    };
     let mut counts = DiffCounts::default();
-    for ((la, lb), (p, n)) in labels.iter().zip(in_phi.into_iter().zip(in_not_phi)) {
-        let size = p + n;
-        match (la, lb) {
-            (TreeLabel::True, TreeLabel::True) => counts.tt += size,
-            (TreeLabel::True, TreeLabel::False) => counts.tf += size,
-            (TreeLabel::False, TreeLabel::True) => counts.ft += size,
-            (TreeLabel::False, TreeLabel::False) => counts.ff += size,
+    if let Some((phi, not_phi)) = sweeps {
+        let mut cubes = Vec::with_capacity(a.regions.len() * b.regions.len());
+        let mut labels = Vec::with_capacity(cubes.capacity());
+        for ra in a.regions.iter() {
+            for rb in b.regions.iter() {
+                let mut cube = ra.cube.clone();
+                cube.extend_from_slice(&rb.cube);
+                cubes.push(cube);
+                labels.push((ra.label, rb.label));
+            }
+        }
+        let in_phi = phi.count_cubes(&cubes);
+        let in_not_phi = not_phi.count_cubes(&cubes);
+        for ((la, lb), (p, n)) in labels.iter().zip(in_phi.into_iter().zip(in_not_phi)) {
+            tally_diff(&mut counts, *la, *lb, p + n);
+        }
+    } else {
+        let num_features = scope * scope;
+        if num_features >= 128 {
+            return format!("err scope {scope} overflows the full-space diff count");
+        }
+        for ra in a.regions.iter() {
+            for rb in b.regions.iter() {
+                if let Some(size) = cube_intersection_size(&ra.cube, &rb.cube, num_features) {
+                    tally_diff(&mut counts, ra.label, rb.label, size);
+                }
+            }
         }
     }
     format!(
@@ -671,11 +755,51 @@ fn diff_reply(a: &Unit, b: &Unit) -> String {
     )
 }
 
-/// One conditioned count. The cube is validated against the circuit's
-/// projection first — [`Ddnnf::count_conditioned`] panics on foreign
-/// variables, and a malformed query must never take the server down.
-fn conditioned_reply(circuit: &Ddnnf, cube: &[Lit]) -> String {
-    let projection: HashSet<usize> = circuit.projection().iter().map(|v| v.index()).collect();
+/// Adds one region-pair intersection to the diff's label-pair counter.
+fn tally_diff(counts: &mut DiffCounts, la: TreeLabel, lb: TreeLabel, size: u128) {
+    match (la, lb) {
+        (TreeLabel::True, TreeLabel::True) => counts.tt += size,
+        (TreeLabel::True, TreeLabel::False) => counts.tf += size,
+        (TreeLabel::False, TreeLabel::True) => counts.ft += size,
+        (TreeLabel::False, TreeLabel::False) => counts.ff += size,
+    }
+}
+
+/// The exact full-space size of `cube_a ∧ cube_b` over `num_features`
+/// boolean variables: `None` when the cubes fix some variable to both
+/// polarities (empty intersection), otherwise `2^(features − fixed)`.
+fn cube_intersection_size(cube_a: &[Lit], cube_b: &[Lit], num_features: usize) -> Option<u128> {
+    let mut fixed: HashMap<u32, bool> = HashMap::with_capacity(cube_a.len() + cube_b.len());
+    for lit in cube_a.iter().chain(cube_b) {
+        if let Some(previous) = fixed.insert(lit.var().0, lit.is_positive()) {
+            if previous != lit.is_positive() {
+                return None;
+            }
+        }
+    }
+    Some(1u128 << (num_features - fixed.len()))
+}
+
+/// One conditioned count. Compiled truths answer exactly from the
+/// circuit; degraded truths answer approximately from the re-translated
+/// CNF with the `approx <ε> <δ>` label. Either way the cube is validated
+/// against the projection first — [`satkit::ddnnf::Ddnnf::count_conditioned`] panics on
+/// foreign variables, and a malformed query must never take the server
+/// down.
+fn conditioned_reply(circuits: &Circuits, negated: bool, cube: &[Lit]) -> String {
+    let projection: HashSet<usize> = match circuits {
+        Circuits::Compiled { phi, not_phi } => {
+            let circuit = if negated { not_phi } else { phi };
+            circuit.projection().iter().map(|v| v.index()).collect()
+        }
+        Circuits::Degraded { phi, not_phi, .. } => {
+            let cnf = if negated { not_phi } else { phi };
+            cnf.effective_projection()
+                .iter()
+                .map(|v| v.index())
+                .collect()
+        }
+    };
     for lit in cube {
         if !projection.contains(&lit.var().index()) {
             return format!(
@@ -684,7 +808,24 @@ fn conditioned_reply(circuit: &Ddnnf, cube: &[Lit]) -> String {
             );
         }
     }
-    format!("ok {}", circuit.count_conditioned(cube))
+    match circuits {
+        Circuits::Compiled { phi, not_phi } => {
+            let circuit = if negated { not_phi } else { phi };
+            format!("ok {}", circuit.count_conditioned(cube))
+        }
+        Circuits::Degraded {
+            phi,
+            not_phi,
+            epsilon,
+            delta,
+        } => {
+            let cnf = if negated { not_phi } else { phi };
+            format!(
+                "ok {} approx {epsilon} {delta}",
+                degraded_count(cnf, cube, *epsilon, *delta)
+            )
+        }
+    }
 }
 
 /// A parsed query with its reply channel and the store generation it
@@ -1010,7 +1151,7 @@ mod tests {
         let query = Query::Accuracy {
             key: ("Function".to_string(), 3, "DT".to_string()),
         };
-        stats.record(&query, 17);
+        stats.record(&query, 17, false);
 
         // Poison the lock: a thread panics while holding `unit_hits`.
         let poisoner = Arc::clone(&stats);
@@ -1023,10 +1164,10 @@ mod tests {
 
         // Recording and reporting must keep working — one bad query can
         // never disable stats server-wide.
-        stats.record(&query, 25);
+        stats.record(&query, 25, true);
         let reply = stats.reply();
         assert!(
-            reply.starts_with("ok queries 2 sweep_ns 42 units 1"),
+            reply.starts_with("ok queries 2 sweep_ns 42 degraded 1 units 1"),
             "unexpected stats reply {reply:?}"
         );
         assert!(reply.ends_with("Function 3 DT 2"), "reply {reply:?}");

@@ -13,10 +13,30 @@
 //! shards them) into one store; a unit key appearing in more than one
 //! directory is rejected as [`std::io::ErrorKind::InvalidData`] instead
 //! of letting load order silently pick a winner.
+//!
+//! # Degraded units
+//!
+//! A cover whose φ / ¬φ circuits are missing from the artifact (their
+//! compilation blew the decision budget during the batch run, so they
+//! were never persisted) is unservable by the compiled plan. Under the
+//! default [`FallbackPolicy::Fail`] such covers are skipped, exactly as
+//! before. Under `--fallback approx[:eps,delta]`
+//! ([`FallbackPolicy::SymmetryThenApprox`]) the store instead
+//! re-translates the cover's property at its recorded scope and symmetry
+//! setting into raw CNF and builds a **degraded** unit
+//! ([`Circuits::Degraded`]): queries against it are answered by the
+//! XOR-hash (ε, δ)-approximate counter with seeds derived from the
+//! `(CNF, cube)` fingerprint — deterministic across restarts and worker
+//! counts — and every degraded reply is labeled `approx <ε> <δ>` so a
+//! client can tell a rescued answer from an exact one.
 
 use mcml::artifact::{self, CircuitArtifact};
 use mcml::encode::DecisionRegion;
+use mcml::fallback::FallbackPolicy;
+use relspec::properties::Property;
 use relspec::symmetry::SymmetryBreaking;
+use relspec::translate::{translate_to_cnf, TranslateOptions};
+use satkit::cnf::Cnf;
 use satkit::ddnnf::Ddnnf;
 use std::collections::HashMap;
 use std::io;
@@ -26,22 +46,48 @@ use std::sync::Arc;
 /// Query coordinates: `(property, scope, family)`.
 pub type UnitKey = (String, usize, String);
 
-/// One servable model evaluation: the ground truth's circuits and the
-/// model's decision-region cover, everything an accuracy / diff /
-/// conditioned-count query touches.
+/// How a unit's ground-truth counts are answered: the exact compiled
+/// plan when the circuits were persisted, the approximate degraded plan
+/// when they were not.
+#[derive(Clone)]
+pub enum Circuits {
+    /// The persisted d-DNNF circuits — conditioned counts are exact and
+    /// served by batched [`Ddnnf::count_cubes`] sweeps.
+    Compiled {
+        /// Compiled circuit of the property's φ.
+        phi: Arc<Ddnnf>,
+        /// Compiled circuit of the property's ¬φ.
+        not_phi: Arc<Ddnnf>,
+    },
+    /// The fallback rung: raw CNF re-translated server-side, counted by
+    /// the (ε, δ)-approximate XOR-hash counter with deterministic
+    /// per-`(CNF, cube)` seeds. Replies carry an `approx <ε> <δ>` label.
+    Degraded {
+        /// The property's φ as CNF (projection set to the feature vars).
+        phi: Arc<Cnf>,
+        /// The property's ¬φ as CNF.
+        not_phi: Arc<Cnf>,
+        /// Multiplicative tolerance of the approximate counts.
+        epsilon: f64,
+        /// Failure probability of each approximate count.
+        delta: f64,
+    },
+}
+
+/// One servable model evaluation: the ground truth's circuits (or their
+/// degraded CNF stand-ins) and the model's decision-region cover,
+/// everything an accuracy / diff / conditioned-count query touches.
 #[derive(Clone)]
 pub struct Unit {
-    /// Compiled circuit of the property's φ.
-    pub phi: Arc<Ddnnf>,
-    /// Compiled circuit of the property's ¬φ.
-    pub not_phi: Arc<Ddnnf>,
+    /// The ground truth φ / ¬φ, compiled or degraded.
+    pub circuits: Circuits,
     /// The model's decision regions partitioning the input space.
     pub regions: Arc<Vec<DecisionRegion>>,
-    /// The symmetry-breaking setting baked into `phi` / `not_phi`. When
+    /// The symmetry-breaking setting baked into the ground truth. When
     /// enabled, the circuits partition the symmetry-constrained space —
     /// accuracy and conditioned counts are defined over that space by
-    /// construction, but a whole-space `diff` must be refused (it would
-    /// silently disagree with `DiffMc` over the full feature space).
+    /// construction, while `diff` switches to the full-space
+    /// region-intersection plan (see `server`).
     pub symmetry: SymmetryBreaking,
 }
 
@@ -50,14 +96,21 @@ pub struct Unit {
 pub struct CircuitStore {
     units: HashMap<UnitKey, Unit>,
     skipped_covers: usize,
+    degraded_units: usize,
 }
 
 impl CircuitStore {
     /// Loads the compiled-backend artifact under `dir` (the file
     /// `--artifact-dir` runs write) and resolves it into units.
     pub fn load_dir(dir: &Path) -> io::Result<CircuitStore> {
+        CircuitStore::load_dir_with(dir, FallbackPolicy::Fail)
+    }
+
+    /// [`CircuitStore::load_dir`] with an explicit fallback policy for
+    /// covers whose circuits were never persisted.
+    pub fn load_dir_with(dir: &Path, fallback: FallbackPolicy) -> io::Result<CircuitStore> {
         let path = dir.join(artifact::artifact_file_name("compiled"));
-        CircuitStore::from_artifact(artifact::load_artifact(&path, "compiled")?)
+        CircuitStore::from_artifact_with(artifact::load_artifact(&path, "compiled")?, fallback)
     }
 
     /// Loads and merges the artifacts of several directories into one
@@ -65,17 +118,27 @@ impl CircuitStore {
     /// directories may serve the same `(property, scope, family)` unit —
     /// a duplicate key is `InvalidData`, never a silent overwrite.
     pub fn load_dirs<P: AsRef<Path>>(dirs: &[P]) -> io::Result<CircuitStore> {
+        CircuitStore::load_dirs_with(dirs, FallbackPolicy::Fail)
+    }
+
+    /// [`CircuitStore::load_dirs`] with an explicit fallback policy.
+    pub fn load_dirs_with<P: AsRef<Path>>(
+        dirs: &[P],
+        fallback: FallbackPolicy,
+    ) -> io::Result<CircuitStore> {
         let mut merged = CircuitStore {
             units: HashMap::new(),
             skipped_covers: 0,
+            degraded_units: 0,
         };
         if dirs.is_empty() {
             return Err(invalid("no artifact directory configured".to_string()));
         }
         for dir in dirs {
             let dir = dir.as_ref();
-            let store = CircuitStore::load_dir(dir)?;
+            let store = CircuitStore::load_dir_with(dir, fallback)?;
             merged.skipped_covers += store.skipped_covers;
+            merged.degraded_units += store.degraded_units;
             for (key, unit) in store.units {
                 if merged.units.contains_key(&key) {
                     return Err(invalid(format!(
@@ -92,12 +155,25 @@ impl CircuitStore {
         Ok(merged)
     }
 
-    /// Resolves an in-memory artifact. A cover whose φ or ¬φ circuit is
-    /// missing (its compilation blew the budget during the artifact build,
-    /// so it was never persisted) is skipped, not fatal — the remaining
-    /// units still serve; [`skipped_covers`](Self::skipped_covers) reports
-    /// how many were dropped.
+    /// Resolves an in-memory artifact under the default
+    /// [`FallbackPolicy::Fail`]: a cover whose φ or ¬φ circuit is missing
+    /// (its compilation blew the budget during the artifact build, so it
+    /// was never persisted) is skipped, not fatal — the remaining units
+    /// still serve; [`skipped_covers`](Self::skipped_covers) reports how
+    /// many were dropped.
     pub fn from_artifact(artifact: CircuitArtifact) -> io::Result<CircuitStore> {
+        CircuitStore::from_artifact_with(artifact, FallbackPolicy::Fail)
+    }
+
+    /// [`CircuitStore::from_artifact`] with an explicit fallback policy:
+    /// under [`FallbackPolicy::SymmetryThenApprox`] a circuit-less cover
+    /// becomes a degraded unit (re-translated CNF, approximate counts)
+    /// instead of being skipped. A cover naming a property the server
+    /// does not know is still skipped — there is nothing to re-translate.
+    pub fn from_artifact_with(
+        artifact: CircuitArtifact,
+        fallback: FallbackPolicy,
+    ) -> io::Result<CircuitStore> {
         let circuits: HashMap<u128, Arc<Ddnnf>> = artifact
             .circuits
             .into_iter()
@@ -105,18 +181,46 @@ impl CircuitStore {
             .collect();
         let mut units = HashMap::new();
         let mut skipped_covers = 0usize;
+        let mut degraded_units = 0usize;
+        // Re-translations are shared across families: every cover of one
+        // `(property, scope, symmetry)` degrades onto the same CNF pair.
+        type TranslationKey = (String, usize, SymmetryBreaking);
+        let mut translations: HashMap<TranslationKey, (Arc<Cnf>, Arc<Cnf>)> = HashMap::new();
         for cover in artifact.covers {
-            let (Some(phi), Some(not_phi)) =
-                (circuits.get(&cover.phi), circuits.get(&cover.not_phi))
-            else {
-                skipped_covers += 1;
-                continue;
+            let resolved = match (circuits.get(&cover.phi), circuits.get(&cover.not_phi)) {
+                (Some(phi), Some(not_phi)) => Circuits::Compiled {
+                    phi: Arc::clone(phi),
+                    not_phi: Arc::clone(not_phi),
+                },
+                _ => {
+                    let (FallbackPolicy::SymmetryThenApprox { epsilon, delta }, Some(property)) =
+                        (fallback, Property::from_name(&cover.property))
+                    else {
+                        skipped_covers += 1;
+                        continue;
+                    };
+                    let (phi, not_phi) = translations
+                        .entry((cover.property.clone(), cover.scope, cover.symmetry))
+                        .or_insert_with(|| {
+                            let gt = translate_to_cnf(
+                                &property.spec(),
+                                TranslateOptions::new(cover.scope).with_symmetry(cover.symmetry),
+                            );
+                            (Arc::new(gt.cnf_positive()), Arc::new(gt.cnf_negative()))
+                        });
+                    degraded_units += 1;
+                    Circuits::Degraded {
+                        phi: Arc::clone(phi),
+                        not_phi: Arc::clone(not_phi),
+                        epsilon,
+                        delta,
+                    }
+                }
             };
             units.insert(
                 (cover.property, cover.scope, cover.family),
                 Unit {
-                    phi: Arc::clone(phi),
-                    not_phi: Arc::clone(not_phi),
+                    circuits: resolved,
                     regions: Arc::new(cover.regions),
                     symmetry: cover.symmetry,
                 },
@@ -125,6 +229,7 @@ impl CircuitStore {
         Ok(CircuitStore {
             units,
             skipped_covers,
+            degraded_units,
         })
     }
 
@@ -138,9 +243,16 @@ impl CircuitStore {
         self.units.is_empty()
     }
 
-    /// Covers dropped because their circuits were not persisted.
+    /// Covers dropped because their circuits were not persisted (and the
+    /// fallback policy did not rescue them).
     pub fn skipped_covers(&self) -> usize {
         self.skipped_covers
+    }
+
+    /// Units serving degraded (approximate, labeled) answers because
+    /// their circuits were not persisted.
+    pub fn degraded_units(&self) -> usize {
+        self.degraded_units
     }
 
     /// The sorted unit keys (for startup logging).

@@ -170,7 +170,8 @@ fn served_accuracy_is_bit_identical_to_the_batch_runner() {
     assert_eq!(stats[..2], ["queries", "2"].map(String::from));
     assert_eq!(stats[2], "sweep_ns");
     assert!(stats[3].parse::<u64>().expect("sweep_ns is a number") > 0);
-    assert_eq!(stats[4..6], ["units", "2"].map(String::from));
+    assert_eq!(stats[4..6], ["degraded", "0"].map(String::from));
+    assert_eq!(stats[6..8], ["units", "2"].map(String::from));
 
     assert_eq!(
         client::query(&addr, "shutdown").expect("shutdown"),
@@ -302,9 +303,10 @@ fn served_diff_and_counts_match_the_batch_analyses() {
     assert_eq!(stats[..2], ["queries", "4"].map(String::from));
     assert_eq!(stats[2], "sweep_ns");
     assert!(stats[3].parse::<u64>().expect("sweep_ns is a number") > 0);
-    assert_eq!(stats[4..6], ["units", "3"].map(String::from));
+    assert_eq!(stats[4..6], ["degraded", "0"].map(String::from));
+    assert_eq!(stats[6..8], ["units", "3"].map(String::from));
     assert_eq!(
-        stats[6..],
+        stats[8..],
         [
             "Reflexive",
             "3",
@@ -333,9 +335,11 @@ fn served_diff_and_counts_match_the_batch_analyses() {
 /// so the artifact's covers record it, served accuracy stays bit-identical
 /// to the batch runner (both are defined over the constrained space), and
 /// `diff` — whose batch counterpart `DiffMc` counts the full feature
-/// space — answers a typed refusal instead of silently wrong numbers.
+/// space — switches to the full-space combinatorial region-intersection
+/// plan instead of refusing (or silently serving constrained-space
+/// numbers).
 #[test]
-fn symmetry_broken_artifacts_serve_accuracy_but_refuse_diff() {
+fn symmetry_broken_artifacts_serve_accuracy_and_full_space_diff() {
     let configs = vec![ExperimentConfig::table3(Property::Function, 3)];
     let families = [ModelFamily::Dt, ModelFamily::Rft];
     let runner = Runner::new()
@@ -384,15 +388,247 @@ fn symmetry_broken_artifacts_serve_accuracy_but_refuse_diff() {
         assert_eq!(served_acc.to_bits(), ws.metrics.accuracy.to_bits());
     }
 
-    // The whole-space diff is refused with the setting spelled out.
+    // The whole-space diff is served over the full feature space (2^9
+    // inputs at scope 3): the four label-pair counts must sum to the
+    // whole space, and the answer is exact — no approx label.
     let reply = client::query(&addr, "diff Function 3 DT RFT").expect("diff query");
-    assert!(
-        reply.starts_with("err diff unavailable under symmetry breaking transpositions"),
-        "expected the typed symmetry refusal, got {reply:?}"
+    let fields = ok_fields(&reply);
+    let counts: Vec<u128> = fields[..4].iter().map(|f| f.parse().unwrap()).collect();
+    assert_eq!(
+        counts.iter().sum::<u128>(),
+        1u128 << 9,
+        "full-space diff counts must partition the whole feature space: {reply:?}"
     );
-    // The refusal is not a counting answer, so stats must not record it.
+    assert_eq!(fields.len(), 6, "exact diff carries no approx label");
+    // The diff is a counting answer now and hits both units in the stats.
     let stats = ok_fields(&client::query(&addr, "stats").expect("stats"));
-    assert_eq!(stats[..2], ["queries", "2"].map(String::from));
+    assert_eq!(stats[..2], ["queries", "3"].map(String::from));
+    assert_eq!(stats[4..6], ["degraded", "0"].map(String::from));
+
+    assert_eq!(
+        client::query(&addr, "shutdown").expect("shutdown"),
+        "ok bye"
+    );
+    handle.join();
+}
+
+/// The satellite conformance pin for the symmetry-breaking diff: a
+/// hand-built artifact whose ground truth bakes in `Transpositions`, with
+/// both families trained exactly as the batch side — the served diff
+/// must reproduce the **unconstrained** batch `DiffMc::compare` counts
+/// bit for bit, because the server recounts both models over the full
+/// feature space instead of sweeping the constrained circuits.
+#[test]
+fn symmetry_broken_diff_is_bit_identical_to_unconstrained_diffmc() {
+    let property = Property::Reflexive;
+    let scope = 3;
+    let dataset = labeled_dataset(property, scope).subsample(90, 3);
+    let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+    let forest = RandomForest::fit(
+        &dataset,
+        ForestConfig {
+            num_trees: 3,
+            seed: 11,
+            ..ForestConfig::default()
+        },
+    );
+    // The batch side: DiffMc over the full feature space — it never sees
+    // the ground truth, so the symmetry setting below cannot leak in.
+    let expected = DiffMc::with_engine(&CounterBackend::compiled(), CountingEngine::from_env())
+        .compare(&tree, &forest)
+        .expect("feature counts match")
+        .expect("no budget configured");
+
+    // The served side: the artifact's circuits bake in transposition
+    // symmetry breaking, which the covers record.
+    let gt = translate_to_cnf(
+        &property.spec(),
+        TranslateOptions::new(scope).with_symmetry(SymmetryBreaking::Transpositions),
+    );
+    let phi = gt.cnf_positive();
+    let not_phi = gt.cnf_negative();
+    let counter = CompiledCounter::new();
+    assert!(counter.count(&phi).is_exact());
+    assert!(counter.count(&not_phi).is_exact());
+    let cover = |family: &str, regions| RegionCover {
+        property: property.name().to_string(),
+        scope,
+        family: family.to_string(),
+        phi: cnf_fingerprint(&phi),
+        not_phi: cnf_fingerprint(&not_phi),
+        symmetry: SymmetryBreaking::Transpositions,
+        regions,
+    };
+    let artifact = CircuitArtifact {
+        backend: "compiled".to_string(),
+        circuits: counter.snapshot_circuits(),
+        covers: vec![
+            cover("DT", tree.decision_regions().expect("tree regions")),
+            cover("RFT", forest.decision_regions().expect("forest regions")),
+        ],
+    };
+    let store = CircuitStore::from_artifact(artifact).expect("resolvable covers");
+    let handle = server::start(store, "127.0.0.1:0", two_workers()).expect("bind");
+    let addr = handle.addr().to_string();
+
+    let reply = client::query(&addr, &format!("diff {} {scope} DT RFT", property.name()))
+        .expect("diff query");
+    let fields = ok_fields(&reply);
+    let counts: Vec<u128> = fields[..4].iter().map(|f| f.parse().unwrap()).collect();
+    assert_eq!(
+        counts,
+        vec![
+            expected.counts.tt,
+            expected.counts.tf,
+            expected.counts.ft,
+            expected.counts.ff
+        ],
+        "count drift in {reply:?}"
+    );
+    let diff: f64 = fields[4].parse().unwrap();
+    let sim: f64 = fields[5].parse().unwrap();
+    assert_eq!(diff.to_bits(), expected.counts.diff().to_bits());
+    assert_eq!(sim.to_bits(), expected.counts.sim().to_bits());
+
+    assert_eq!(
+        client::query(&addr, "shutdown").expect("shutdown"),
+        "ok bye"
+    );
+    handle.join();
+}
+
+/// The per-unit fallback ladder on the serving path: an artifact whose
+/// circuits were never persisted (every compilation blew its budget
+/// during the batch run) yields only degraded units under
+/// `--fallback approx`. Accuracy and conditioned counts answer with the
+/// `approx <ε> <δ>` label, deterministically; the diff between two
+/// degraded units is still exact (the combinatorial full-space plan needs
+/// no circuits) and matches the batch `DiffMc` bit for bit; `stats`
+/// counts the degraded answers.
+#[test]
+fn circuitless_artifacts_serve_degraded_labeled_answers_under_approx_fallback() {
+    use mcml::fallback::FallbackPolicy;
+
+    let property = Property::Reflexive;
+    let scope = 3;
+    let dataset = labeled_dataset(property, scope).subsample(90, 3);
+    let tree = DecisionTree::fit(&dataset, TreeConfig::default());
+    let forest = RandomForest::fit(
+        &dataset,
+        ForestConfig {
+            num_trees: 3,
+            seed: 11,
+            ..ForestConfig::default()
+        },
+    );
+    let expected_diff =
+        DiffMc::with_engine(&CounterBackend::compiled(), CountingEngine::from_env())
+            .compare(&tree, &forest)
+            .expect("feature counts match")
+            .expect("no budget configured");
+    let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+    let phi = gt.cnf_positive();
+    let cover = |family: &str, regions| RegionCover {
+        property: property.name().to_string(),
+        scope,
+        family: family.to_string(),
+        phi: cnf_fingerprint(&phi),
+        not_phi: cnf_fingerprint(&gt.cnf_negative()),
+        symmetry: SymmetryBreaking::None,
+        regions,
+    };
+    // No circuits at all: every cover's fingerprints dangle, exactly as
+    // after a batch run whose compilations all exhausted their budgets.
+    let artifact = CircuitArtifact {
+        backend: "compiled".to_string(),
+        circuits: Vec::new(),
+        covers: vec![
+            cover("DT", tree.decision_regions().expect("tree regions")),
+            cover("RFT", forest.decision_regions().expect("forest regions")),
+        ],
+    };
+
+    // The default policy skips the covers; the approx policy rescues them.
+    let strict = CircuitStore::from_artifact(CircuitArtifact {
+        backend: "compiled".to_string(),
+        circuits: Vec::new(),
+        covers: vec![cover("DT", tree.decision_regions().expect("tree regions"))],
+    })
+    .expect("resolves");
+    assert_eq!(strict.len(), 0);
+    assert_eq!(strict.skipped_covers(), 1);
+
+    let policy = FallbackPolicy::SymmetryThenApprox {
+        epsilon: 0.4,
+        delta: 0.2,
+    };
+    let store = CircuitStore::from_artifact_with(artifact, policy).expect("resolves");
+    assert_eq!(store.len(), 2);
+    assert_eq!(store.skipped_covers(), 0);
+    assert_eq!(store.degraded_units(), 2);
+    let handle = server::start(store, "127.0.0.1:0", two_workers()).expect("bind");
+    let addr = handle.addr().to_string();
+
+    // Degraded accuracy: an ok reply, labeled, and deterministic (the
+    // seeds derive from the (CNF, cube) fingerprints, not from any
+    // run-time state).
+    let request = format!("accuracy {} {scope} DT", property.name());
+    let first = client::query(&addr, &request).expect("degraded accuracy");
+    assert!(first.starts_with("ok "), "got {first:?}");
+    assert!(
+        first.ends_with("approx 0.4 0.2"),
+        "degraded replies must be labeled: {first:?}"
+    );
+    let second = client::query(&addr, &request).expect("degraded accuracy again");
+    assert_eq!(first, second, "degraded answers must be deterministic");
+    // The four cell estimates are (ε, δ)-approximations of a partition of
+    // the 2^9 full space; with the fingerprint-derived seeds they are
+    // fixed, and a wildly wrong sum would mean the ladder miscounted.
+    let fields = ok_fields(&first);
+    let counts: Vec<u128> = fields[..4].iter().map(|f| f.parse().unwrap()).collect();
+    let sum = counts.iter().sum::<u128>();
+    assert!(
+        (256..=1024).contains(&sum),
+        "cell estimates should roughly partition the 512-input space: {first:?}"
+    );
+
+    // Degraded conditioned count, also labeled and deterministic.
+    let count_req = format!("count {} {scope} phi 1", property.name());
+    let count_reply = client::query(&addr, &count_req).expect("degraded count");
+    assert!(count_reply.starts_with("ok "), "got {count_reply:?}");
+    assert!(
+        count_reply.ends_with("approx 0.4 0.2"),
+        "got {count_reply:?}"
+    );
+    assert_eq!(
+        count_reply,
+        client::query(&addr, &count_req).expect("degraded count again")
+    );
+
+    // The diff between two degraded units is exact — the combinatorial
+    // full-space plan never touches circuits — and reproduces the batch
+    // DiffMc bit for bit, unlabeled.
+    let reply = client::query(&addr, &format!("diff {} {scope} DT RFT", property.name()))
+        .expect("diff query");
+    let fields = ok_fields(&reply);
+    assert_eq!(fields.len(), 6, "exact diff carries no approx label");
+    let counts: Vec<u128> = fields[..4].iter().map(|f| f.parse().unwrap()).collect();
+    assert_eq!(
+        counts,
+        vec![
+            expected_diff.counts.tt,
+            expected_diff.counts.tf,
+            expected_diff.counts.ft,
+            expected_diff.counts.ff
+        ],
+        "count drift in {reply:?}"
+    );
+
+    // stats: 5 ok queries, of which 4 were degraded (2 accuracy + 2
+    // count); the exact diff is not degraded.
+    let stats = ok_fields(&client::query(&addr, "stats").expect("stats"));
+    assert_eq!(stats[..2], ["queries", "5"].map(String::from));
+    assert_eq!(stats[4..6], ["degraded", "4"].map(String::from));
 
     assert_eq!(
         client::query(&addr, "shutdown").expect("shutdown"),

@@ -6,11 +6,18 @@
 #      whole-space metrics);
 #   2. mcml-serve merges both directories into one store and answers over
 #      TCP;
-#   3. one persistent connection (client --stdin) issues accuracy queries
-#      for both artifacts, stats, a hot reload, a post-reload accuracy
-#      query and the shutdown — every served accuracy must reproduce the
-#      batch table's Acc(phi) cell exactly (both sides round the same f64
-#      to four decimals), before and after the reload.
+#   3. a third table3 run under a tiny counting budget (--budget 1,
+#      --fallback approx) persists region covers whose circuits never
+#      compiled — the server, started with --fallback approx, serves that
+#      unit degraded: approximate counts, every reply labeled
+#      'approx EPS DELTA';
+#   4. one persistent connection (client --stdin) issues accuracy queries
+#      for both exact artifacts, stats, a hot reload, a post-reload
+#      accuracy query, a degraded-unit accuracy query and the shutdown —
+#      every served exact accuracy must reproduce the batch table's
+#      Acc(phi) cell exactly (both sides round the same f64 to four
+#      decimals), before and after the reload, and the degraded reply
+#      must carry the approx label.
 #
 # Usage: scripts/serve_smoke.sh   (from anywhere; builds in release mode)
 set -euo pipefail
@@ -19,6 +26,7 @@ cd "$(dirname "$0")/.."
 
 PROPERTY_A=Function    # Property::name() spellings — used in queries and table rows
 PROPERTY_B=Reflexive
+PROPERTY_C=Transitive  # served degraded: its circuits never fit --budget 1
 SCOPE=3
 FAMILY=DT
 
@@ -45,6 +53,12 @@ target/release/table3 --engine compiled --property "$PROPERTY_A" --scope "$SCOPE
   --artifact-dir "$tmp/artifacts-a" | tee "$tmp/table3-a.txt"
 target/release/table3 --engine compiled --property "$PROPERTY_B" --scope "$SCOPE" \
   --artifact-dir "$tmp/artifacts-b" | tee "$tmp/table3-b.txt"
+# A third artifact built under a budget too small to compile anything:
+# its covers are persisted without circuits, so only the approx fallback
+# can serve it.
+target/release/table3 --engine compiled --property "$PROPERTY_C" --scope "$SCOPE" \
+  --budget 1 --fallback approx --artifact-dir "$tmp/artifacts-c" \
+  | tee "$tmp/table3-c.txt"
 batch_acc_a="$(batch_acc_for "$PROPERTY_A" "$tmp/table3-a.txt")"
 batch_acc_b="$(batch_acc_for "$PROPERTY_B" "$tmp/table3-b.txt")"
 for acc in "$batch_acc_a" "$batch_acc_b"; do
@@ -58,6 +72,7 @@ done
 # address line.
 target/release/mcml-serve serve \
   --artifact-dir "$tmp/artifacts-a" --artifact-dir "$tmp/artifacts-b" \
+  --artifact-dir "$tmp/artifacts-c" --fallback approx \
   --addr 127.0.0.1:0 --workers 2 --connections 4 \
   >"$tmp/serve.out" 2>"$tmp/serve.log" &
 server_pid=$!
@@ -78,10 +93,10 @@ if [[ -z "$addr" ]]; then
 fi
 echo "smoke: server listening on $addr"
 
-# 3. One persistent connection, the whole session: both artifacts'
+# 3. One persistent connection, the whole session: both exact artifacts'
 # accuracies, stats, a hot reload, the same accuracy again (the reload
 # must not change what is served — the artifacts are unchanged on disk),
-# and the shutdown.
+# the degraded unit's accuracy, and the shutdown.
 target/release/mcml-serve client --addr "$addr" --stdin \
   >"$tmp/session.out" <<EOF
 accuracy $PROPERTY_A $SCOPE $FAMILY
@@ -89,12 +104,13 @@ accuracy $PROPERTY_B $SCOPE $FAMILY
 stats
 reload
 accuracy $PROPERTY_A $SCOPE $FAMILY
+accuracy $PROPERTY_C $SCOPE $FAMILY
 shutdown
 EOF
 mapfile -t replies <"$tmp/session.out"
 sed 's/^/smoke: reply: /' "$tmp/session.out"
-if [[ "${#replies[@]}" -ne 6 ]]; then
-  echo "smoke: expected 6 replies, got ${#replies[@]}" >&2
+if [[ "${#replies[@]}" -ne 7 ]]; then
+  echo "smoke: expected 7 replies, got ${#replies[@]}" >&2
   exit 1
 fi
 
@@ -118,7 +134,7 @@ case "${replies[2]}" in
   "ok queries 2 sweep_ns "*) ;;
   *) echo "smoke: unexpected stats reply: ${replies[2]}" >&2; exit 1 ;;
 esac
-if [[ "${replies[3]}" != "ok reloaded generation 1 units 2" ]]; then
+if [[ "${replies[3]}" != "ok reloaded generation 1 units 3" ]]; then
   echo "smoke: unexpected reload reply: ${replies[3]}" >&2
   exit 1
 fi
@@ -127,8 +143,13 @@ if [[ "${replies[4]}" != "${replies[0]}" ]]; then
   echo "smoke: reload changed the served reply for unchanged artifacts" >&2
   exit 1
 fi
-if [[ "${replies[5]}" != "ok bye" ]]; then
-  echo "smoke: unexpected shutdown reply: ${replies[5]}" >&2
+# The circuit-less unit answers, degraded and labeled.
+case "${replies[5]}" in
+  ok*" approx "*) echo "smoke: degraded $PROPERTY_C reply carries the approx label" ;;
+  *) echo "smoke: expected a labeled degraded reply, got: ${replies[5]}" >&2; exit 1 ;;
+esac
+if [[ "${replies[6]}" != "ok bye" ]]; then
+  echo "smoke: unexpected shutdown reply: ${replies[6]}" >&2
   exit 1
 fi
 

@@ -1,0 +1,110 @@
+//! The graceful-degradation ladder end to end: a batch whose counting
+//! budget is too small for even one exact count must still produce a
+//! complete table of (ε, δ)-labeled approximate rows under
+//! `FallbackPolicy::SymmetryThenApprox` — no `EvalError`s, every row's
+//! guarantee column rendering as `A ε≤… δ≤…` — and the degraded numbers
+//! must be byte-identical whether one worker thread or eight raced over
+//! the cells.
+
+use mcml::accmc::CountingEngine;
+use mcml::backend::CounterBackend;
+use mcml::fallback::FallbackPolicy;
+use mcml::framework::{BatchOutcome, ExperimentConfig, ModelFamily, Runner};
+use mcml::report::format_count_guarantee;
+use relspec::properties::Property;
+
+/// A backend whose very first count exhausts, under whichever engine
+/// `MCML_ENGINE` selects — so every whole-space cell hits the ladder.
+fn tiny_budget_backend() -> CounterBackend {
+    match CountingEngine::from_env() {
+        CountingEngine::Compiled => CounterBackend::compiled_with_budget(1),
+        CountingEngine::Classic => CounterBackend::exact_with_budget(1),
+    }
+}
+
+fn table3_configs() -> Vec<ExperimentConfig> {
+    vec![
+        ExperimentConfig::table3(Property::Reflexive, 3),
+        ExperimentConfig::table3(Property::Function, 3),
+        ExperimentConfig::table3(Property::Antisymmetric, 3),
+    ]
+}
+
+fn run_degraded(threads: usize) -> BatchOutcome {
+    Runner::new()
+        .threads(threads)
+        .families(&[ModelFamily::Dt, ModelFamily::Rft])
+        .engine(CountingEngine::from_env())
+        .fallback(FallbackPolicy::approx())
+        .run_collect(&table3_configs(), &tiny_budget_backend())
+        .expect("well-formed configs")
+}
+
+#[test]
+fn tiny_budget_yields_complete_approx_labeled_rows_instead_of_errors() {
+    let outcome = run_degraded(1);
+    assert!(
+        outcome.errors.is_empty(),
+        "the ladder must rescue every exhausted cell: {:?}",
+        outcome.errors
+    );
+    assert_eq!(outcome.rows.len(), 6, "3 properties × 2 families");
+    for row in &outcome.rows {
+        let ws = row.whole_space.as_ref().unwrap_or_else(|| {
+            panic!(
+                "{} {}: missing whole-space result",
+                row.config.property, row.family
+            )
+        });
+        let approx = ws.approx.unwrap_or_else(|| {
+            panic!(
+                "{} {}: rescued row must be labeled",
+                row.config.property, row.family
+            )
+        });
+        // Aggregation: largest per-count ε, union-bound (summed) δ over
+        // however many of the row's counts were rescued, capped at 1.
+        assert_eq!(approx.epsilon, 0.4);
+        assert!(
+            (0.2..=1.0).contains(&approx.delta),
+            "union-bound delta out of range: {}",
+            approx.delta
+        );
+        // The report renders the degraded guarantee as an `A` cell.
+        let guarantee = format_count_guarantee(Some(ws));
+        assert!(
+            guarantee.starts_with("A "),
+            "{} {}: guarantee cell {guarantee:?}",
+            row.config.property,
+            row.family
+        );
+        // Labeled, but not nonsense: the four cells still partition (an
+        // estimate of) the full space.
+        assert!(ws.counts.total() > 0);
+    }
+}
+
+/// Rescue seeds derive from the conditioned queries themselves, so the
+/// scheduler's completion order must be unobservable: a one-thread and an
+/// eight-thread batch must agree on every count bit for bit.
+#[test]
+fn degraded_tables_are_identical_across_thread_counts() {
+    let sequential = run_degraded(1);
+    let racing = run_degraded(8);
+    assert_eq!(sequential.rows.len(), racing.rows.len());
+    assert!(sequential.errors.is_empty() && racing.errors.is_empty());
+    for (a, b) in sequential.rows.iter().zip(&racing.rows) {
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.family, b.family);
+        let (wa, wb) = (a.whole_space.as_ref(), b.whole_space.as_ref());
+        let wa = wa.expect("rescued");
+        let wb = wb.expect("rescued");
+        assert_eq!(
+            wa.counts, wb.counts,
+            "{} {}: thread count changed a degraded count",
+            a.config.property, a.family
+        );
+        assert_eq!(wa.approx, wb.approx);
+        assert_eq!(wa.metrics.accuracy.to_bits(), wb.metrics.accuracy.to_bits());
+    }
+}

@@ -5,8 +5,10 @@
 
 use mcml::accmc::AccMc;
 use mcml::backend::CounterBackend;
+use mcml::counter::CountOutcome;
 use mcml::diffmc::DiffMc;
 use mcml::encode::CnfEncodable;
+use mcml::fallback::approx_conditioned;
 use mcml::tree2cnf::{tree_label_cnf, TreeLabel};
 use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::{Dataset, SplitSpec};
@@ -312,6 +314,53 @@ proptest! {
         for inst in &negatives {
             prop_assert!(!property.holds(inst));
         }
+    }
+}
+
+// The approximate rung of the degradation ladder hashes the conditioned
+// formula up to `rounds` times per case, so it runs with a smaller case
+// budget than the cheap invariants above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The rung-3 contract of [`mcml::fallback`], mechanically: an
+    /// approx-fallback conditioned count is **exact** whenever the true
+    /// count of `cnf ∧ cube` fits under the counter's pivot (the base case
+    /// enumerates), and within a `1 + ε` factor otherwise. The seed derives
+    /// from the `(formula, cube)` fingerprint, so every generated case is
+    /// one fixed, reproducible estimate.
+    #[test]
+    fn approx_conditioned_is_exact_below_the_pivot_and_within_epsilon_above(
+        cnf in arb_cnf(8, 12),
+        cube in prop::collection::vec((0..8u32, any::<bool>()), 0..=3),
+    ) {
+        let cube: Vec<Lit> = cube
+            .into_iter()
+            .map(|(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
+            .collect();
+        let mut conditioned = cnf.clone();
+        for &lit in &cube {
+            conditioned.add_unit(lit);
+        }
+        let truth = brute_force_count(&conditioned);
+        let config = ApproxConfig::default();
+        let outcome = approx_conditioned(&cnf, &cube, config.epsilon, config.delta);
+        let CountOutcome::Approx { estimate, epsilon, delta } = outcome else {
+            return Err(TestCaseError::fail(format!("expected Approx, got {outcome:?}")));
+        };
+        prop_assert_eq!(epsilon, config.epsilon);
+        prop_assert_eq!(delta, config.delta);
+        if truth <= config.pivot() as u128 {
+            prop_assert_eq!(estimate, truth, "below the pivot the count enumerates exactly");
+        } else {
+            let (est, tru) = (estimate as f64, truth as f64);
+            prop_assert!(
+                est <= tru * (1.0 + config.epsilon) && est >= tru / (1.0 + config.epsilon),
+                "estimate {} of true count {} outside the 1+ε band", estimate, truth
+            );
+        }
+        // Determinism: the fingerprint-derived seed pins the estimate.
+        prop_assert_eq!(approx_conditioned(&cnf, &cube, config.epsilon, config.delta), outcome);
     }
 }
 
