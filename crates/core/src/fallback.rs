@@ -8,30 +8,37 @@
 //!
 //! 1. **Exact** — whatever the configured backend produced. Anything other
 //!    than `BudgetExhausted` passes through untouched.
-//! 2. **Symmetry-broken exact retry** — conjoin the
+//! 2. **Symmetry-broken exact retry, verified** — conjoin the
 //!    [`relspec::symmetry`] lex-leader predicates for
 //!    [`SymmetryBreaking::Full`] onto the query, shrinking the space by the
 //!    orbit structure of the property, and recount exactly under a fresh
 //!    allowance. The constrained count is scaled back to the full space by
 //!    the correction factor `kept(baked) / kept(Full)` — the ratio of
 //!    lex-leader representatives admitted by the symmetry already baked
-//!    into the formula to those admitted by the full generator set. The
+//!    into the formula to those admitted by the full generator set. That
 //!    scaling is an orbit-average heuristic (decision-region cubes are not
-//!    symmetry-invariant), so the result is reported as
-//!    [`CountOutcome::Approx`] with the policy's (ε, δ) label, never as
-//!    exact.
+//!    symmetry-invariant), so on its own it carries **no** (ε, δ)
+//!    guarantee. It is therefore never reported unverified: the ladder
+//!    always computes the rung-3 anchor at the tightened tolerance
+//!    ε′ = √(1+ε) − 1 and accepts the rung-2 value only when it lies
+//!    inside the anchor's `[a/(1+ε′), a·(1+ε′)]` band. Since the anchor is
+//!    within `1+ε′` of the truth with probability ≥ 1 − δ, an accepted
+//!    rung-2 value is within `(1+ε′)² = 1+ε` of the truth with the same
+//!    probability — the advertised label holds either way.
 //! 3. **(ε, δ)-approximate count** — the
-//!    [`modelcount::approx`] XOR-hash counter over the conditioned query.
-//!    The seed is derived from [`cnf_cube_fingerprint`], i.e. from the
-//!    `(formula, region cube)` pair itself, so the estimate for a given
-//!    region is one deterministic value no matter which scheduler thread
-//!    reaches it first or in what order.
+//!    [`modelcount::approx`] XOR-hash counter over the conditioned query,
+//!    run at ε′ so it doubles as the rung-2 verifier. The seed is derived
+//!    from [`cnf_cube_fingerprint`], i.e. from the `(formula, region
+//!    cube)` pair itself, so the estimate for a given region is one
+//!    deterministic value no matter which scheduler thread reaches it
+//!    first or in what order.
 //!
 //! The ladder always lands: rung 3 is enumeration-based and has no budget,
 //! so an enabled policy turns every `BudgetExhausted` into an `Approx`
-//! outcome. Aggregation then follows the existing largest-ε /
-//! union-bound-δ rules into `AccMcResult::approx` / `DiffMcResult::approx`,
-//! and degraded rows are marked `A` in the reports.
+//! outcome that genuinely satisfies the policy's (ε, δ). Aggregation then
+//! follows the existing largest-ε / union-bound-δ rules into
+//! `AccMcResult::approx` / `DiffMcResult::approx`, and degraded rows are
+//! marked `A` in the reports.
 
 use crate::counter::{cnf_cube_fingerprint, CountOutcome};
 use modelcount::approx::{ApproxConfig, ApproxCounter};
@@ -166,22 +173,38 @@ impl FallbackLadder {
     }
 
     /// Rescues one exhausted conditioned count `cnf ∧ cube` into an
-    /// [`CountOutcome::Approx`]. Never returns `BudgetExhausted`.
+    /// [`CountOutcome::Approx`] that genuinely satisfies the policy's
+    /// (ε, δ). Never returns `BudgetExhausted`.
+    ///
+    /// The rung-3 anchor always runs, at the tightened tolerance
+    /// [`verification_epsilon`] — it is the only rung with a PAC
+    /// guarantee. The rung-2 orbit-scaled exact count, when available and
+    /// inside the anchor's band, replaces the anchor as the reported
+    /// estimate (it is typically far closer to the truth than a hash
+    /// estimate); outside the band it is discarded as the heuristic it is.
     pub fn rescue(&self, cnf: &Cnf, cube: &[Lit]) -> CountOutcome {
-        if let Some(estimate) = self.symmetry_retry(cnf, cube) {
-            return CountOutcome::Approx {
-                estimate,
-                epsilon: self.epsilon,
-                delta: self.delta,
-            };
+        let anchor_epsilon = verification_epsilon(self.epsilon);
+        let anchor = match approx_conditioned(cnf, cube, anchor_epsilon, self.delta) {
+            CountOutcome::Approx { estimate, .. } => estimate,
+            other => return other,
+        };
+        let estimate = match self.symmetry_retry(cnf, cube) {
+            Some(scaled) if within_band(scaled, anchor, anchor_epsilon) => scaled,
+            _ => anchor,
+        };
+        CountOutcome::Approx {
+            estimate,
+            epsilon: self.epsilon,
+            delta: self.delta,
         }
-        approx_conditioned(cnf, cube, self.epsilon, self.delta)
     }
 
     /// Rung 2: recount `cnf ∧ SB_full ∧ cube` exactly under a fresh
-    /// allowance and scale back to the full space. `None` when the space
-    /// shape is unknown, the formula is already fully broken, or the
-    /// constrained count blows the fresh budget too.
+    /// allowance and scale back to the full space in integer arithmetic
+    /// (round-half-up), so counts past 2^53 lose no precision. `None`
+    /// when the space shape is unknown, the formula is already fully
+    /// broken, the constrained count blows the fresh budget too, or the
+    /// scaling overflows `u128`.
     fn symmetry_retry(&self, cnf: &Cnf, cube: &[Lit]) -> Option<u128> {
         let n = self.scope?;
         if self.baked == SymmetryBreaking::Full {
@@ -199,9 +222,31 @@ impl FallbackLadder {
         }
         let constrained_count =
             ExactCounter::with_node_budget(RETRY_NODE_BUDGET).count(&constrained)?;
-        let ratio = kept_baked as f64 / kept_full as f64;
-        Some((constrained_count as f64 * ratio).round() as u128)
+        constrained_count
+            .checked_mul(kept_baked)?
+            .checked_add(kept_full / 2)?
+            .checked_div(kept_full)
     }
+}
+
+/// The tightened rung-3 tolerance ε′ with `(1+ε′)² ≤ 1+ε`: an anchor
+/// within `1+ε′` of the truth certifies any value inside its `1+ε′` band
+/// as within `1+ε` of the truth. The nominal √(1+ε) − 1 is shaved by one
+/// part in 10⁹ so f64 rounding in the square root can never push the
+/// squared factor past `1+ε`.
+fn verification_epsilon(epsilon: f64) -> f64 {
+    ((1.0 + epsilon).sqrt() - 1.0) * (1.0 - 1e-9)
+}
+
+/// Whether `candidate` lies in `[anchor/(1+epsilon), anchor·(1+epsilon)]`.
+/// The band is shrunk by one part in 10⁹ so u128→f64 conversion and
+/// multiplication rounding only ever *reject* a borderline candidate
+/// (which falls back to the anchor — still guaranteed), never accept one
+/// outside the true band.
+fn within_band(candidate: u128, anchor: u128, epsilon: f64) -> bool {
+    let factor = (1.0 + epsilon) * (1.0 - 1e-9);
+    let (candidate, anchor) = (candidate as f64, anchor as f64);
+    candidate <= anchor * factor && anchor <= candidate * factor
 }
 
 /// Rescues the outcomes of a batched [`count_cubes`] call. Batch counters
@@ -398,6 +443,67 @@ mod tests {
         assert_eq!(kept_count(3, SymmetryBreaking::Full), Some(104));
         let transpositions = kept_count(3, SymmetryBreaking::Transpositions).unwrap();
         assert!((104..512).contains(&(transpositions as usize)));
+    }
+
+    #[test]
+    fn verification_epsilon_squared_stays_within_the_policy_tolerance() {
+        for epsilon in [0.05, 0.1, 0.4, 0.8, 1.0, 2.0, 10.0] {
+            let inner = verification_epsilon(epsilon);
+            assert!(
+                inner > 0.0 && inner < epsilon,
+                "ε′ out of range for {epsilon}"
+            );
+            assert!(
+                (1.0 + inner) * (1.0 + inner) <= 1.0 + epsilon,
+                "(1+ε′)² must not exceed 1+ε for {epsilon}"
+            );
+        }
+    }
+
+    #[test]
+    fn band_check_rejects_candidates_outside_the_anchor_tolerance() {
+        // ε′ for the default ε = 0.4 is ≈ 0.1832.
+        let inner = verification_epsilon(0.4);
+        assert!(within_band(100, 100, inner));
+        assert!(within_band(110, 100, inner));
+        assert!(within_band(100, 110, inner));
+        assert!(!within_band(130, 100, inner));
+        assert!(!within_band(100, 130, inner));
+        assert!(within_band(0, 0, inner));
+        assert!(!within_band(0, 100, inner));
+        assert!(!within_band(100, 0, inner));
+    }
+
+    #[test]
+    fn rescue_respects_the_advertised_tolerance() {
+        // Rung 2 engages here (scope known, nothing baked), so this pins
+        // the whole rescue — orbit-scaled value or anchor, whichever was
+        // reported — inside the advertised 1+ε of the brute-force truth.
+        let formula = Property::Transitive.spec();
+        let truth = translate_to_cnf(&formula, TranslateOptions::new(3));
+        let cnf = truth.cnf_positive_ref();
+        let ladder =
+            FallbackLadder::new(FallbackPolicy::approx(), Some(3), SymmetryBreaking::None).unwrap();
+        for cube in [&[][..], &[Lit::pos(0)][..], &[Lit::pos(0), Lit::neg(4)][..]] {
+            let mut conditioned = cnf.clone();
+            for &lit in cube {
+                conditioned.add_unit(lit);
+            }
+            let expected = brute_force_count(&conditioned);
+            match ladder.rescue(cnf, cube) {
+                CountOutcome::Approx {
+                    estimate, epsilon, ..
+                } => {
+                    let (est, truth_count) = (estimate as f64, expected as f64);
+                    assert!(
+                        est <= truth_count * (1.0 + epsilon)
+                            && truth_count <= est * (1.0 + epsilon),
+                        "estimate {estimate} outside 1+{epsilon} of {expected}"
+                    );
+                }
+                other => panic!("expected an approx outcome, got {other:?}"),
+            }
+        }
     }
 
     #[test]

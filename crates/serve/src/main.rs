@@ -95,8 +95,14 @@ fn run_serve(args: &[String]) -> ExitCode {
             }
             "--poll" => poll_secs = parse_secs(&value("--poll"), "--poll"),
             "--fallback" => {
-                options.fallback = mcml::fallback::FallbackPolicy::parse(&value("--fallback"))
-                    .unwrap_or_else(|message| panic!("{message}"));
+                options.fallback = match mcml::fallback::FallbackPolicy::parse(&value("--fallback"))
+                {
+                    Ok(policy) => policy,
+                    Err(message) => {
+                        eprintln!("{message}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
             }
             other => {
                 eprintln!("unknown argument {other:?}\n{USAGE}");

@@ -581,22 +581,38 @@ fn spawn_poller(shared: Arc<Shared>) -> Option<JoinHandle<()>> {
     }))
 }
 
+/// A formatted reply plus whether the answer plan degraded — the flag
+/// comes from the plan that produced the text, never from re-parsing it,
+/// so the `stats` accounting cannot drift from the reply format.
+struct Reply {
+    text: String,
+    degraded: bool,
+}
+
+impl Reply {
+    fn exact(text: String) -> Reply {
+        Reply {
+            text,
+            degraded: false,
+        }
+    }
+}
+
 impl ShardData {
     fn answer(&self, query: &Query, stats: &ServerStats) -> String {
         let start = Instant::now();
         let reply = self.answer_inner(query);
-        if reply.starts_with("ok") {
-            let degraded = reply.split_ascii_whitespace().any(|word| word == "approx");
-            stats.record(query, start.elapsed().as_nanos() as u64, degraded);
+        if reply.text.starts_with("ok") {
+            stats.record(query, start.elapsed().as_nanos() as u64, reply.degraded);
         }
-        reply
+        reply.text
     }
 
-    fn answer_inner(&self, query: &Query) -> String {
+    fn answer_inner(&self, query: &Query) -> Reply {
         match query {
             Query::Accuracy { key } => match self.units.get(key) {
                 Some(unit) => accuracy_reply(unit),
-                None => format!("err unknown unit {} {} {}", key.0, key.1, key.2),
+                None => Reply::exact(format!("err unknown unit {} {} {}", key.0, key.1, key.2)),
             },
             Query::Diff {
                 property,
@@ -610,11 +626,11 @@ impl ShardData {
                 let b = self
                     .units
                     .get(&(property.clone(), *scope, family_b.clone()));
-                match (a, b) {
+                Reply::exact(match (a, b) {
                     (Some(a), Some(b)) => diff_reply(a, b, *scope),
                     (None, _) => format!("err unknown unit {property} {scope} {family_a}"),
                     (_, None) => format!("err unknown unit {property} {scope} {family_b}"),
-                }
+                })
             }
             Query::Count {
                 property,
@@ -623,7 +639,7 @@ impl ShardData {
                 cube,
             } => match self.truths.get(&(property.clone(), *scope)) {
                 Some(circuits) => conditioned_reply(circuits, *negated, cube),
-                None => format!("err unknown property/scope {property} {scope}"),
+                None => Reply::exact(format!("err unknown property/scope {property} {scope}")),
             },
         }
     }
@@ -633,7 +649,7 @@ impl ShardData {
 /// against ¬φ, summed by region label — or, for a degraded unit, one
 /// deterministic approximate count per `(region, side)` with the reply
 /// labeled `approx <ε> <δ>`.
-fn accuracy_reply(unit: &Unit) -> String {
+fn accuracy_reply(unit: &Unit) -> Reply {
     let (in_phi, in_not_phi, label) = match &unit.circuits {
         Circuits::Compiled { phi, not_phi } => {
             let cubes: Vec<&[Lit]> = unit.regions.iter().map(|r| r.cube.as_slice()).collect();
@@ -668,14 +684,17 @@ fn accuracy_reply(unit: &Unit) -> String {
         }
     }
     let m = BinaryMetrics::from_counts(tp, fp, tn, fn_);
-    let mut reply = format!(
+    let mut text = format!(
         "ok {tp} {fp} {tn} {fn_} {} {} {} {}",
         m.accuracy, m.precision, m.recall, m.f1
     );
     if let Some((epsilon, delta)) = label {
-        reply.push_str(&format!(" approx {epsilon} {delta}"));
+        text.push_str(&format!(" approx {epsilon} {delta}"));
     }
-    reply
+    Reply {
+        text,
+        degraded: label.is_some(),
+    }
 }
 
 /// One (ε, δ)-approximate conditioned count over a degraded unit's CNF.
@@ -738,8 +757,9 @@ fn diff_reply(a: &Unit, b: &Unit, scope: usize) -> String {
         }
         for ra in a.regions.iter() {
             for rb in b.regions.iter() {
-                if let Some(size) = cube_intersection_size(&ra.cube, &rb.cube, num_features) {
-                    tally_diff(&mut counts, ra.label, rb.label, size);
+                match cube_intersection_size(&ra.cube, &rb.cube, num_features) {
+                    Ok(size) => tally_diff(&mut counts, ra.label, rb.label, size),
+                    Err(e) => return format!("err {e}"),
                 }
             }
         }
@@ -766,18 +786,31 @@ fn tally_diff(counts: &mut DiffCounts, la: TreeLabel, lb: TreeLabel, size: u128)
 }
 
 /// The exact full-space size of `cube_a ∧ cube_b` over `num_features`
-/// boolean variables: `None` when the cubes fix some variable to both
+/// boolean variables: `0` when the cubes fix some variable to both
 /// polarities (empty intersection), otherwise `2^(features − fixed)`.
-fn cube_intersection_size(cube_a: &[Lit], cube_b: &[Lit], num_features: usize) -> Option<u128> {
+/// A cube variable outside the feature space is an error — every fixed
+/// variable must be a feature, or the `features − fixed` exponent would
+/// underflow and the count would be meaningless.
+fn cube_intersection_size(
+    cube_a: &[Lit],
+    cube_b: &[Lit],
+    num_features: usize,
+) -> Result<u128, String> {
     let mut fixed: HashMap<u32, bool> = HashMap::with_capacity(cube_a.len() + cube_b.len());
     for lit in cube_a.iter().chain(cube_b) {
+        if lit.var().index() >= num_features {
+            return Err(format!(
+                "region cube variable {} is outside the {num_features}-feature space",
+                lit.var().index() + 1
+            ));
+        }
         if let Some(previous) = fixed.insert(lit.var().0, lit.is_positive()) {
             if previous != lit.is_positive() {
-                return None;
+                return Ok(0);
             }
         }
     }
-    Some(1u128 << (num_features - fixed.len()))
+    Ok(1u128 << (num_features - fixed.len()))
 }
 
 /// One conditioned count. Compiled truths answer exactly from the
@@ -786,7 +819,7 @@ fn cube_intersection_size(cube_a: &[Lit], cube_b: &[Lit], num_features: usize) -
 /// against the projection first — [`satkit::ddnnf::Ddnnf::count_conditioned`] panics on
 /// foreign variables, and a malformed query must never take the server
 /// down.
-fn conditioned_reply(circuits: &Circuits, negated: bool, cube: &[Lit]) -> String {
+fn conditioned_reply(circuits: &Circuits, negated: bool, cube: &[Lit]) -> Reply {
     let projection: HashSet<usize> = match circuits {
         Circuits::Compiled { phi, not_phi } => {
             let circuit = if negated { not_phi } else { phi };
@@ -802,16 +835,16 @@ fn conditioned_reply(circuits: &Circuits, negated: bool, cube: &[Lit]) -> String
     };
     for lit in cube {
         if !projection.contains(&lit.var().index()) {
-            return format!(
+            return Reply::exact(format!(
                 "err literal {} is outside the circuit's projection",
                 lit.var().index() + 1
-            );
+            ));
         }
     }
     match circuits {
         Circuits::Compiled { phi, not_phi } => {
             let circuit = if negated { not_phi } else { phi };
-            format!("ok {}", circuit.count_conditioned(cube))
+            Reply::exact(format!("ok {}", circuit.count_conditioned(cube)))
         }
         Circuits::Degraded {
             phi,
@@ -820,10 +853,13 @@ fn conditioned_reply(circuits: &Circuits, negated: bool, cube: &[Lit]) -> String
             delta,
         } => {
             let cnf = if negated { not_phi } else { phi };
-            format!(
-                "ok {} approx {epsilon} {delta}",
-                degraded_count(cnf, cube, *epsilon, *delta)
-            )
+            Reply {
+                text: format!(
+                    "ok {} approx {epsilon} {delta}",
+                    degraded_count(cnf, cube, *epsilon, *delta)
+                ),
+                degraded: true,
+            }
         }
     }
 }
