@@ -12,6 +12,9 @@ use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::Dataset;
 use mlkit::forest::{ForestConfig, RandomForest};
 use mlkit::gbdt::{GbdtConfig, GradientBoosting};
+use mlkit::mlp::{Mlp, MlpConfig};
+use mlkit::quant::{QuantizedMlp, QuantizedSvm, DEFAULT_QUANT_BITS};
+use mlkit::svm::{LinearSvm, SvmConfig};
 use mlkit::tree::{DecisionTree, TreeConfig};
 use modelcount::approx::{ApproxConfig, ApproxCounter};
 use modelcount::exact::ExactCounter;
@@ -277,6 +280,93 @@ fn bench_accmc_gbdt_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Trains an 8-model quantized neural/margin batch — four calibrated
+/// sign-activation MLPs and four integer-weight SVMs on different
+/// subsamples — for one (property, scope) pair. These are the models the
+/// MLP/SVM table rows evaluate: the float parents are discarded.
+fn quant_batch(property: Property, scope: usize) -> Vec<Box<dyn CnfEncodable>> {
+    let mut full = Dataset::new(scope * scope);
+    for bits in 0u64..(1 << (scope * scope)) {
+        let inst = RelInstance::from_bits(
+            scope,
+            (0..scope * scope).map(|k| bits >> k & 1 == 1).collect(),
+        );
+        full.push(inst.to_features(), property.holds(&inst));
+    }
+    let mut models: Vec<Box<dyn CnfEncodable>> = Vec::with_capacity(8);
+    for seed in 0..4u64 {
+        let train = full.subsample(80, seed);
+        let mlp = Mlp::fit(
+            &train,
+            MlpConfig {
+                hidden_units: 4,
+                epochs: 30,
+                seed,
+                ..MlpConfig::default()
+            },
+        );
+        models.push(Box::new(QuantizedMlp::from_mlp_calibrated(
+            &mlp,
+            DEFAULT_QUANT_BITS,
+            train.features(),
+        )));
+        let svm = LinearSvm::fit(
+            &full.subsample(80, seed + 4),
+            SvmConfig {
+                seed,
+                ..SvmConfig::default()
+            },
+        );
+        models.push(Box::new(QuantizedSvm::from_svm(&svm, DEFAULT_QUANT_BITS)));
+    }
+    models
+}
+
+/// Classic vs compiled engine on an 8-model quantized MLP + SVM batch:
+/// the classic engine asserts the signed pseudo-Boolean thresholds into
+/// four conjunction CNFs per model and searches them, the compiled engine
+/// builds weighted-threshold BDDs (the MLP output stage through the
+/// staged vote fold) and conditions the φ / ¬φ circuits compiled once per
+/// property.
+fn bench_accmc_mlp_svm_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accmc_mlp_svm_batch8");
+    group.sample_size(10);
+    let scope = 3;
+    for property in [Property::Antisymmetric, Property::Function] {
+        let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+        let models = quant_batch(property, scope);
+        group.bench_with_input(
+            BenchmarkId::new(format!("classic/{}", property.name()), scope),
+            &models,
+            |b, models| {
+                b.iter(|| {
+                    let backend = CounterBackend::exact();
+                    let accmc = AccMc::new(&backend);
+                    for model in models {
+                        black_box(accmc.evaluate(&gt, model.as_ref()).unwrap().unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("compiled/{}", property.name()), scope),
+            &models,
+            |b, models| {
+                b.iter(|| {
+                    // A fresh counter per iteration charges the compiled
+                    // engine its full φ / ¬φ compilation cost.
+                    let backend = CompiledCounter::new();
+                    let accmc = AccMc::with_engine(&backend, CountingEngine::Compiled);
+                    for model in models {
+                        black_box(accmc.evaluate(&gt, model.as_ref()).unwrap().unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn fast_config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -293,6 +383,7 @@ criterion_group!(
     bench_accmc_engine_batch,
     bench_accmc_ensemble_batch,
     bench_accmc_gbdt_batch,
+    bench_accmc_mlp_svm_batch,
     bench_symmetry_breaking_translation
 );
 

@@ -6,11 +6,12 @@
 //! dataset and the ground truth use. The rows are executed by the batch
 //! [`Runner`], which deduplicates dataset construction and ground-truth
 //! translation, shares one memoizing counter across all rows, and runs them
-//! in parallel; `--models dt,rft,abt,gbdt` evaluates any subset of the
-//! CNF-encodable model families per property, `--engine compiled` switches
-//! the whole-space evaluation to the d-DNNF compile-once/query-many plan
-//! (all four families ride it through their decision regions, with
-//! `--vote-nodes` bounding the ensemble vote circuits), and
+//! in parallel; `--models dt,rft,gbdt,abt,mlp,svm` evaluates any subset of
+//! the CNF-encodable model families per property (`--mlp-hidden` and
+//! `--quant-bits` tune the quantized neural/margin families), `--engine
+//! compiled` switches the whole-space evaluation to the d-DNNF
+//! compile-once/query-many plan (all six families ride it through their
+//! decision regions, with `--vote-nodes` bounding the vote circuits), and
 //! `--cache-dir DIR` persists the count cache across processes.
 //! `--artifact-dir DIR` (compiled engine only, repeatable) additionally
 //! persists the compiled circuits and decision-region covers — every
@@ -204,7 +205,9 @@ pub fn run_accmc_table(
         .threads(args.threads)
         .engine(args.engine)
         .vote_node_bound(args.vote_nodes)
-        .fallback(args.fallback);
+        .fallback(args.fallback)
+        .mlp_hidden(args.mlp_hidden)
+        .quant_bits(args.quant_bits);
     if args.stream {
         println!("{title}");
         println!(

@@ -7,8 +7,15 @@
 //! * `--max-positive N` — cap on enumerated positive samples;
 //! * `--seed N` — RNG seed;
 //! * `--property NAME` — restrict to a single property (tables 1, 3, 5–8);
-//! * `--models dt,rft,abt,gbdt` — model families for the whole-space
-//!   tables (3, 5, 6, 7), exercising the generic `CnfEncodable` path;
+//! * `--models dt,rft,gbdt,abt,mlp,svm` — model families for the
+//!   whole-space tables (3, 5, 6, 7), exercising the generic
+//!   `CnfEncodable` path (MLP and SVM rows evaluate the post-training
+//!   quantized models);
+//! * `--mlp-hidden N` — hidden units of the quantized MLP family
+//!   (default 4; each unit is one threshold circuit plus one stage of
+//!   the output fold, so large values inflate the vote diagrams);
+//! * `--quant-bits N` — fractional bits of the MLP/SVM fixed-point
+//!   quantization (default 8);
 //! * `--threads N` — worker threads for the batch `Runner` (0 = one per
 //!   core);
 //! * `--engine classic|compiled` — whole-space counting strategy: fresh
@@ -35,13 +42,43 @@
 //!   per directory, overwritten) and preload them on the next run — the
 //!   warm store `mcml-serve` reads at startup. Repeatable: every named
 //!   directory's artifact is preloaded; the build is saved to the first.
+//!
+//! A malformed or unknown argument makes [`HarnessArgs::from_env`] print
+//! the error and [`USAGE`] on stderr and exit with status 1 — a usage
+//! mistake is not a crash, so the binaries never panic over one.
 
 use mcml::accmc::CountingEngine;
 use mcml::backend::CounterBackend;
 use mcml::fallback::FallbackPolicy;
 use mcml::framework::ModelFamily;
+use mlkit::quant::DEFAULT_QUANT_BITS;
 use relspec::properties::Property;
 use std::path::PathBuf;
+
+/// Usage summary printed (with the offending error) when argument parsing
+/// fails.
+pub const USAGE: &str = "\
+usage: table* [flags]
+  --scope N                     override the per-property study scope
+  --approx                      use the approximate counter
+  --exact                       use the exact counter (default)
+  --max-positive N              cap on enumerated positive samples
+  --seed N                      RNG seed
+  --property NAME               restrict to a single property
+  --models dt,rft,gbdt,abt,mlp,svm
+                                model families for the whole-space tables
+  --mlp-hidden N                hidden units of the quantized MLP (default 4)
+  --quant-bits N                fractional bits of the MLP/SVM fixed-point
+                                quantization (default 8, max 24)
+  --threads N                   worker threads for the batch runner (0 = cores)
+  --engine classic|compiled     whole-space counting strategy
+  --vote-nodes N                node budget for ensemble vote circuits
+  --budget N                    decision/node budget for counting backends
+  --fallback exact|approx[:eps,delta]
+                                what a blown counting budget does to a row
+  --stream                      print rows in completion order
+  --cache-dir DIR               persist the count cache across runs
+  --artifact-dir DIR            persist/preload compiled circuit artifacts";
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone)]
@@ -58,6 +95,10 @@ pub struct HarnessArgs {
     pub property: Option<Property>,
     /// Model families evaluated by the whole-space tables.
     pub models: Vec<ModelFamily>,
+    /// Hidden units of the quantized MLP family.
+    pub mlp_hidden: usize,
+    /// Fractional bits of the MLP/SVM fixed-point quantization.
+    pub quant_bits: u32,
     /// Worker threads for the batch runner (0 = one per core).
     pub threads: usize,
     /// Whole-space counting engine.
@@ -89,6 +130,8 @@ impl Default for HarnessArgs {
             seed: 0,
             property: None,
             models: vec![ModelFamily::Dt],
+            mlp_hidden: 4,
+            quant_bits: DEFAULT_QUANT_BITS,
             threads: 0,
             engine: CountingEngine::Classic,
             vote_nodes: mcml::encode::MAX_VOTE_NODES,
@@ -103,104 +146,134 @@ impl Default for HarnessArgs {
 
 impl HarnessArgs {
     /// Parses arguments from an iterator of strings (excluding the program
-    /// name). Unknown flags abort with a message.
-    ///
-    /// # Panics
-    ///
-    /// Panics on malformed or unknown arguments; the binaries treat that as
-    /// a usage error.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// name). A malformed or unknown argument is a usage error returned as
+    /// `Err`, not a panic; [`from_env`](Self::from_env) turns it into a
+    /// [`USAGE`] message and exit status 1.
+    pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        fn value<I: Iterator<Item = String>>(
+            iter: &mut I,
+            flag: &str,
+            what: &str,
+        ) -> Result<String, String> {
+            iter.next().ok_or_else(|| format!("{flag} requires {what}"))
+        }
+        fn number<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+            v.parse().map_err(|_| format!("{flag} must be a number"))
+        }
         let mut out = HarnessArgs::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--scope" => {
-                    let v = iter.next().expect("--scope requires a value");
-                    out.scope = Some(v.parse().expect("--scope must be a number"));
+                    let v = value(&mut iter, "--scope", "a value")?;
+                    out.scope = Some(number(&v, "--scope")?);
                 }
                 "--approx" => out.approx = true,
                 "--exact" => out.approx = false,
                 "--max-positive" => {
-                    let v = iter.next().expect("--max-positive requires a value");
-                    out.max_positive = v.parse().expect("--max-positive must be a number");
+                    let v = value(&mut iter, "--max-positive", "a value")?;
+                    out.max_positive = number(&v, "--max-positive")?;
                 }
                 "--seed" => {
-                    let v = iter.next().expect("--seed requires a value");
-                    out.seed = v.parse().expect("--seed must be a number");
+                    let v = value(&mut iter, "--seed", "a value")?;
+                    out.seed = number(&v, "--seed")?;
                 }
                 "--property" => {
-                    let v = iter.next().expect("--property requires a name");
+                    let v = value(&mut iter, "--property", "a name")?;
                     out.property = Some(
-                        Property::from_name(&v).unwrap_or_else(|| panic!("unknown property {v:?}")),
+                        Property::from_name(&v).ok_or_else(|| format!("unknown property {v:?}"))?,
                     );
                 }
                 "--models" => {
-                    let v = iter
-                        .next()
-                        .expect("--models requires a comma-separated list");
+                    let v = value(&mut iter, "--models", "a comma-separated list")?;
                     out.models = v
                         .split(',')
                         .map(|name| {
-                            ModelFamily::parse(name.trim()).unwrap_or_else(|| {
-                                panic!(
+                            ModelFamily::parse(name.trim()).ok_or_else(|| {
+                                format!(
                                     "unknown model family {name:?} \
-                                     (expected dt, rft, gbdt or abt)"
+                                     (expected dt, rft, gbdt, abt, mlp or svm)"
                                 )
                             })
                         })
-                        .collect();
-                    assert!(
-                        !out.models.is_empty(),
-                        "--models requires at least one family"
-                    );
+                        .collect::<Result<_, _>>()?;
+                    if out.models.is_empty() {
+                        return Err("--models requires at least one family".to_string());
+                    }
+                }
+                "--mlp-hidden" => {
+                    let v = value(&mut iter, "--mlp-hidden", "a value")?;
+                    out.mlp_hidden = number(&v, "--mlp-hidden")?;
+                    if out.mlp_hidden == 0 {
+                        return Err("--mlp-hidden must be positive".to_string());
+                    }
+                }
+                "--quant-bits" => {
+                    let v = value(&mut iter, "--quant-bits", "a value")?;
+                    out.quant_bits = number(&v, "--quant-bits")?;
+                    if out.quant_bits == 0 || out.quant_bits > 24 {
+                        return Err("--quant-bits must be between 1 and 24".to_string());
+                    }
                 }
                 "--threads" => {
-                    let v = iter.next().expect("--threads requires a value");
-                    out.threads = v.parse().expect("--threads must be a number");
+                    let v = value(&mut iter, "--threads", "a value")?;
+                    out.threads = number(&v, "--threads")?;
                 }
                 "--engine" => {
-                    let v = iter.next().expect("--engine requires a name");
-                    out.engine = CountingEngine::parse(&v).unwrap_or_else(|| {
-                        panic!("unknown engine {v:?} (expected classic or compiled)")
-                    });
+                    let v = value(&mut iter, "--engine", "a name")?;
+                    out.engine = CountingEngine::parse(&v)
+                        .ok_or_else(|| format!("unknown engine {v:?} (expected classic or compiled)"))?;
                 }
                 "--vote-nodes" => {
-                    let v = iter.next().expect("--vote-nodes requires a value");
-                    out.vote_nodes = v.parse().expect("--vote-nodes must be a number");
-                    assert!(out.vote_nodes > 0, "--vote-nodes must be positive");
+                    let v = value(&mut iter, "--vote-nodes", "a value")?;
+                    out.vote_nodes = number(&v, "--vote-nodes")?;
+                    if out.vote_nodes == 0 {
+                        return Err("--vote-nodes must be positive".to_string());
+                    }
                 }
                 "--budget" => {
-                    let v = iter.next().expect("--budget requires a value");
-                    out.budget = v.parse().expect("--budget must be a number");
-                    assert!(out.budget > 0, "--budget must be positive");
+                    let v = value(&mut iter, "--budget", "a value")?;
+                    out.budget = number(&v, "--budget")?;
+                    if out.budget == 0 {
+                        return Err("--budget must be positive".to_string());
+                    }
                 }
                 "--fallback" => {
-                    let v = iter.next().expect("--fallback requires a policy");
-                    out.fallback =
-                        FallbackPolicy::parse(&v).unwrap_or_else(|message| panic!("{message}"));
+                    let v = value(&mut iter, "--fallback", "a policy")?;
+                    out.fallback = FallbackPolicy::parse(&v)?;
                 }
                 "--stream" => out.stream = true,
                 "--cache-dir" => {
-                    let v = iter.next().expect("--cache-dir requires a path");
+                    let v = value(&mut iter, "--cache-dir", "a path")?;
                     out.cache_dir = Some(PathBuf::from(v));
                 }
                 "--artifact-dir" => {
-                    let v = iter.next().expect("--artifact-dir requires a path");
+                    let v = value(&mut iter, "--artifact-dir", "a path")?;
                     out.artifact_dirs.push(PathBuf::from(v));
                 }
-                other => panic!("unknown argument {other:?}"),
+                other => return Err(format!("unknown argument {other:?}")),
             }
         }
-        assert!(
-            !(out.approx && out.engine == CountingEngine::Compiled),
-            "--approx is incompatible with --engine compiled (the d-DNNF engine is exact)"
-        );
-        out
+        if out.approx && out.engine == CountingEngine::Compiled {
+            return Err(
+                "--approx is incompatible with --engine compiled (the d-DNNF engine is exact)"
+                    .to_string(),
+            );
+        }
+        Ok(out)
     }
 
-    /// Parses the process arguments.
+    /// Parses the process arguments; a usage error prints the message and
+    /// [`USAGE`] on stderr and exits with status 1.
     pub fn from_env() -> Self {
-        HarnessArgs::parse(std::env::args().skip(1))
+        match HarnessArgs::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("{USAGE}");
+                std::process::exit(1);
+            }
+        }
     }
 
     /// Warns on stderr when flags only honoured by the `Runner`-backed
@@ -253,7 +326,12 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> HarnessArgs {
-        HarnessArgs::parse(args.iter().map(|s| s.to_string()))
+        HarnessArgs::try_parse(args.iter().map(|s| s.to_string())).expect("well-formed flags")
+    }
+
+    fn parse_err(args: &[&str]) -> String {
+        HarnessArgs::try_parse(args.iter().map(|s| s.to_string()))
+            .expect_err("malformed flags must be a usage error")
     }
 
     #[test]
@@ -287,13 +365,38 @@ mod tests {
 
     #[test]
     fn parses_model_families() {
-        let a = parse(&["--models", "dt,rft,gbdt,abt", "--threads", "2"]);
+        let a = parse(&["--models", "dt,rft,gbdt,abt,mlp,svm", "--threads", "2"]);
         assert_eq!(a.models, ModelFamily::all().to_vec());
         assert_eq!(a.threads, 2);
         let single = parse(&["--models", "RFT"]);
         assert_eq!(single.models, vec![ModelFamily::Rft]);
-        let boosted = parse(&["--models", "GBDT"]);
-        assert_eq!(boosted.models, vec![ModelFamily::Gbdt]);
+        let quantized = parse(&["--models", "mlp,svm"]);
+        assert_eq!(
+            quantized.models,
+            vec![ModelFamily::Mlp, ModelFamily::Svm]
+        );
+    }
+
+    #[test]
+    fn parses_quantization_knobs() {
+        let defaults = parse(&[]);
+        assert_eq!(defaults.mlp_hidden, 4);
+        assert_eq!(defaults.quant_bits, DEFAULT_QUANT_BITS);
+        let a = parse(&["--mlp-hidden", "8", "--quant-bits", "6"]);
+        assert_eq!(a.mlp_hidden, 8);
+        assert_eq!(a.quant_bits, 6);
+        assert_eq!(
+            parse_err(&["--mlp-hidden", "0"]),
+            "--mlp-hidden must be positive"
+        );
+        assert_eq!(
+            parse_err(&["--quant-bits", "0"]),
+            "--quant-bits must be between 1 and 24"
+        );
+        assert_eq!(
+            parse_err(&["--quant-bits", "30"]),
+            "--quant-bits must be between 1 and 24"
+        );
     }
 
     #[test]
@@ -329,15 +432,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown fallback policy")]
-    fn unknown_fallback_panics() {
-        parse(&["--fallback", "magic"]);
+    fn unknown_fallback_is_a_usage_error() {
+        assert!(parse_err(&["--fallback", "magic"]).contains("unknown fallback policy"));
     }
 
     #[test]
-    #[should_panic(expected = "--budget must be positive")]
-    fn zero_budget_panics() {
-        parse(&["--budget", "0"]);
+    fn zero_budget_is_a_usage_error() {
+        assert_eq!(parse_err(&["--budget", "0"]), "--budget must be positive");
     }
 
     #[test]
@@ -348,9 +449,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "--vote-nodes must be positive")]
-    fn zero_vote_nodes_panics() {
-        parse(&["--vote-nodes", "0"]);
+    fn zero_vote_nodes_is_a_usage_error() {
+        assert_eq!(
+            parse_err(&["--vote-nodes", "0"]),
+            "--vote-nodes must be positive"
+        );
     }
 
     #[test]
@@ -391,32 +494,67 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown engine")]
-    fn unknown_engine_panics() {
-        parse(&["--engine", "magic"]);
+    fn unknown_engine_is_a_usage_error() {
+        assert!(parse_err(&["--engine", "magic"]).contains("unknown engine"));
     }
 
     #[test]
-    #[should_panic(expected = "incompatible")]
-    fn approx_with_compiled_engine_panics() {
-        parse(&["--approx", "--engine", "compiled"]);
+    fn approx_with_compiled_engine_is_a_usage_error() {
+        assert!(parse_err(&["--approx", "--engine", "compiled"]).contains("incompatible"));
     }
 
     #[test]
-    #[should_panic(expected = "unknown argument")]
-    fn unknown_flag_panics() {
-        parse(&["--bogus"]);
+    fn unknown_flag_is_a_usage_error() {
+        assert!(parse_err(&["--bogus"]).contains("unknown argument"));
     }
 
     #[test]
-    #[should_panic(expected = "unknown property")]
-    fn unknown_property_panics() {
-        parse(&["--property", "nope"]);
+    fn unknown_property_is_a_usage_error() {
+        assert!(parse_err(&["--property", "nope"]).contains("unknown property"));
     }
 
     #[test]
-    #[should_panic(expected = "unknown model family")]
-    fn unknown_model_family_panics() {
-        parse(&["--models", "dt,svm"]);
+    fn unknown_model_family_is_a_usage_error() {
+        assert!(parse_err(&["--models", "dt,xgb"]).contains("unknown model family"));
+    }
+
+    #[test]
+    fn missing_values_are_usage_errors_not_panics() {
+        assert_eq!(parse_err(&["--scope"]), "--scope requires a value");
+        assert_eq!(parse_err(&["--scope", "many"]), "--scope must be a number");
+        assert_eq!(parse_err(&["--property"]), "--property requires a name");
+        assert_eq!(
+            parse_err(&["--models"]),
+            "--models requires a comma-separated list"
+        );
+        assert_eq!(parse_err(&["--fallback"]), "--fallback requires a policy");
+        assert_eq!(parse_err(&["--cache-dir"]), "--cache-dir requires a path");
+    }
+
+    #[test]
+    fn usage_covers_every_flag() {
+        // Keep the printed usage in sync with the parser: every flag the
+        // parser matches must appear in USAGE.
+        for flag in [
+            "--scope",
+            "--approx",
+            "--exact",
+            "--max-positive",
+            "--seed",
+            "--property",
+            "--models",
+            "--mlp-hidden",
+            "--quant-bits",
+            "--threads",
+            "--engine",
+            "--vote-nodes",
+            "--budget",
+            "--fallback",
+            "--stream",
+            "--cache-dir",
+            "--artifact-dir",
+        ] {
+            assert!(USAGE.contains(flag), "USAGE is missing {flag}");
+        }
     }
 }

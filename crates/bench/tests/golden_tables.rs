@@ -18,7 +18,9 @@ use std::process::Command;
 
 /// The fixed arguments of every snapshot run: scope 2 keeps all sixteen
 /// properties cheap enough that both engines finish in well under a
-/// second, and all four model families exercise the generic rows.
+/// second, and all six model families exercise the generic rows —
+/// including the quantized MLP/SVM pair, whose rows pin the calibrated
+/// quantization end to end.
 const SNAPSHOT_ARGS: &[&str] = &[
     "--scope",
     "2",
@@ -27,7 +29,7 @@ const SNAPSHOT_ARGS: &[&str] = &[
     "--seed",
     "3",
     "--models",
-    "dt,rft,gbdt,abt",
+    "dt,rft,gbdt,abt,mlp,svm",
     "--threads",
     "1",
 ];

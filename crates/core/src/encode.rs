@@ -172,7 +172,7 @@ pub trait CnfEncodable {
     }
 }
 
-fn assert_feature_block(cnf: &Cnf, num_features: usize) {
+pub(crate) fn assert_feature_block(cnf: &Cnf, num_features: usize) {
     assert!(
         cnf.num_vars() >= num_features,
         "CNF has {} variables but the model uses {} features",
@@ -268,7 +268,7 @@ fn tree_bdd_rec(
 /// sift-and-retry — the same pressure response the *build* already gets —
 /// before the typed error surfaces; [`ReorderPolicy::Off`] pins the
 /// static-order behaviour for tests.
-fn regions_from_diagram(
+pub(crate) fn regions_from_diagram(
     bdd: &mut Bdd,
     root: NodeRef,
     policy: ReorderPolicy,
@@ -550,7 +550,7 @@ enum VoteNode {
 /// [`EvalError::VoteCircuitTooLarge`] instead of exhausting memory — the
 /// memo cap keeps the failure fast even when every ITE collapses to a
 /// constant and no variable is ever materialized.
-struct AdditiveVoteCompiler<'a, Cast, Decide>
+pub(crate) struct AdditiveVoteCompiler<'a, Cast, Decide>
 where
     Cast: Fn(usize, usize, u64) -> u64,
     Decide: Fn(u64) -> bool,
@@ -571,7 +571,7 @@ where
     Cast: Fn(usize, usize, u64) -> u64,
     Decide: Fn(u64) -> bool,
 {
-    fn new(
+    pub(crate) fn new(
         stages: &[Vec<Lit>],
         cast: Cast,
         decide: Decide,
@@ -625,7 +625,7 @@ where
 
     /// Compiles the whole program from `initial` and asserts that the CNF's
     /// models are exactly the inputs the program maps to `label`.
-    fn assert_label(
+    pub(crate) fn assert_label(
         &mut self,
         cnf: &mut Cnf,
         initial: u64,

@@ -35,6 +35,7 @@ use mlkit::forest::{ForestConfig, RandomForest};
 use mlkit::gbdt::{GbdtConfig, GradientBoosting};
 use mlkit::metrics::{BinaryMetrics, ConfusionMatrix};
 use mlkit::mlp::{Mlp, MlpConfig};
+use mlkit::quant::{QuantizedMlp, QuantizedSvm, DEFAULT_QUANT_BITS};
 use mlkit::svm::{LinearSvm, SvmConfig};
 use mlkit::tree::{DecisionTree, TreeConfig};
 use mlkit::Classifier;
@@ -260,40 +261,55 @@ pub enum ModelFamily {
     Gbdt,
     /// AdaBoost over depth-limited stumps (weighted vote).
     Abt,
+    /// Binarized multi-layer perceptron: trained as a float ReLU network,
+    /// then post-training quantized to sign activations and fixed-point
+    /// integer weights ([`QuantizedMlp`]) so every hidden unit becomes a
+    /// pseudo-Boolean threshold over the input literals.
+    Mlp,
+    /// Linear SVM quantized to integer weights ([`QuantizedSvm`]): a single
+    /// pseudo-Boolean threshold over the input literals.
+    Svm,
 }
 
 impl ModelFamily {
-    /// All encodable families, in the order the paper's tables list them
-    /// (DT, RFT, GBDT, ABT). Returned as a slice so call sites iterate the
-    /// roster instead of pattern-matching a fixed arity — adding a family
-    /// extends every `all()` consumer automatically.
+    /// All encodable families, in the order the paper's tables list the
+    /// tree ensembles (DT, RFT, GBDT, ABT) followed by the quantized
+    /// neural/margin families (MLP, SVM). Returned as a slice so call sites
+    /// iterate the roster instead of pattern-matching a fixed arity —
+    /// adding a family extends every `all()` consumer automatically.
     pub fn all() -> &'static [ModelFamily] {
         &[
             ModelFamily::Dt,
             ModelFamily::Rft,
             ModelFamily::Gbdt,
             ModelFamily::Abt,
+            ModelFamily::Mlp,
+            ModelFamily::Svm,
         ]
     }
 
-    /// The paper's short name (`DT`, `RFT`, `GBDT`, `ABT`).
+    /// The paper's short name (`DT`, `RFT`, `GBDT`, `ABT`, `MLP`, `SVM`).
     pub fn name(&self) -> &'static str {
         match self {
             ModelFamily::Dt => "DT",
             ModelFamily::Rft => "RFT",
             ModelFamily::Gbdt => "GBDT",
             ModelFamily::Abt => "ABT",
+            ModelFamily::Mlp => "MLP",
+            ModelFamily::Svm => "SVM",
         }
     }
 
     /// Parses a case-insensitive family name (`"dt"`, `"rft"`, `"gbdt"`,
-    /// `"abt"`).
+    /// `"abt"`, `"mlp"`, `"svm"`).
     pub fn parse(name: &str) -> Option<ModelFamily> {
         match name.to_ascii_lowercase().as_str() {
             "dt" => Some(ModelFamily::Dt),
             "rft" => Some(ModelFamily::Rft),
             "gbdt" => Some(ModelFamily::Gbdt),
             "abt" => Some(ModelFamily::Abt),
+            "mlp" => Some(ModelFamily::Mlp),
+            "svm" => Some(ModelFamily::Svm),
             _ => None,
         }
     }
@@ -311,6 +327,8 @@ enum TrainedModel {
     Rft(RandomForest),
     Gbdt(GradientBoosting),
     Abt(AdaBoost),
+    Mlp(QuantizedMlp),
+    Svm(QuantizedSvm),
 }
 
 impl TrainedModel {
@@ -320,6 +338,8 @@ impl TrainedModel {
             TrainedModel::Rft(m) => m,
             TrainedModel::Gbdt(m) => m,
             TrainedModel::Abt(m) => m,
+            TrainedModel::Mlp(m) => m,
+            TrainedModel::Svm(m) => m,
         }
     }
 
@@ -329,6 +349,8 @@ impl TrainedModel {
             TrainedModel::Rft(m) => m,
             TrainedModel::Gbdt(m) => m,
             TrainedModel::Abt(m) => m,
+            TrainedModel::Mlp(m) => m,
+            TrainedModel::Svm(m) => m,
         }
     }
 }
@@ -418,8 +440,13 @@ fn cell_cost(config: &ExperimentConfig, family: ModelFamily) -> u128 {
     let bits = (config.scope * config.scope).min(100) as u32;
     let family_weight: u128 = match family {
         ModelFamily::Dt => 1,
+        // A quantized SVM is a single threshold circuit: barely costlier
+        // than a tree, cheaper than any ensemble fold.
+        ModelFamily::Svm => 2,
         ModelFamily::Rft => 6,
         ModelFamily::Abt => 6,
+        // One threshold circuit per hidden unit plus the output fold.
+        ModelFamily::Mlp => 6,
         ModelFamily::Gbdt => 10,
     };
     (1u128 << bits).saturating_mul(family_weight)
@@ -492,6 +519,8 @@ pub struct Runner {
     abt_depth: usize,
     gbdt_rounds: usize,
     gbdt_depth: usize,
+    mlp_hidden: usize,
+    quant_bits: u32,
 }
 
 impl Default for Runner {
@@ -515,6 +544,8 @@ impl Runner {
             abt_depth: 2,
             gbdt_rounds: 6,
             gbdt_depth: 2,
+            mlp_hidden: 4,
+            quant_bits: DEFAULT_QUANT_BITS,
         }
     }
 
@@ -600,6 +631,26 @@ impl Runner {
     /// Depth of the GBDT regression trees.
     pub fn gbdt_depth(mut self, gbdt_depth: usize) -> Self {
         self.gbdt_depth = gbdt_depth.max(1);
+        self
+    }
+
+    /// Number of MLP hidden units. Much smaller than the float
+    /// [`MlpConfig`] default: after quantization every hidden unit becomes
+    /// one stage of the output-layer fold, whose abstract-state count grows
+    /// with the number of distinct partial sums, so the default (4) keeps
+    /// the compiled vote diagram far under the vote-node budget while still
+    /// fitting the small-scope properties.
+    pub fn mlp_hidden(mut self, mlp_hidden: usize) -> Self {
+        self.mlp_hidden = mlp_hidden.max(1);
+        self
+    }
+
+    /// Fractional bits of the post-training fixed-point quantization
+    /// (default [`DEFAULT_QUANT_BITS`]) applied to the MLP and SVM weights:
+    /// `q = round(w · 2^bits)`. More bits track the float model more
+    /// faithfully but widen the threshold DP's reachable partial-sum range.
+    pub fn quant_bits(mut self, quant_bits: u32) -> Self {
+        self.quant_bits = quant_bits;
         self
     }
 
@@ -954,6 +1005,35 @@ impl Runner {
                     seed: config.seed,
                 },
             )),
+            // The float networks are training scaffolding only: the
+            // quantized model IS the evaluated classifier, so its test-set
+            // metrics and its CNF/region encodings describe the same
+            // function bit for bit.
+            ModelFamily::Mlp => {
+                let float = Mlp::fit(
+                    train,
+                    MlpConfig {
+                        hidden_units: self.mlp_hidden,
+                        seed: config.seed,
+                        ..MlpConfig::default()
+                    },
+                );
+                TrainedModel::Mlp(QuantizedMlp::from_mlp_calibrated(
+                    &float,
+                    self.quant_bits,
+                    train.features(),
+                ))
+            }
+            ModelFamily::Svm => {
+                let float = LinearSvm::fit(
+                    train,
+                    SvmConfig {
+                        seed: config.seed,
+                        ..SvmConfig::default()
+                    },
+                );
+                TrainedModel::Svm(QuantizedSvm::from_svm(&float, self.quant_bits))
+            }
         }
     }
 
@@ -1469,7 +1549,7 @@ mod tests {
 
     #[test]
     fn model_family_parsing_round_trips() {
-        assert_eq!(ModelFamily::all().len(), 4, "the four-family roster");
+        assert_eq!(ModelFamily::all().len(), 6, "the six-family roster");
         for &family in ModelFamily::all() {
             assert_eq!(ModelFamily::parse(family.name()), Some(family));
             assert_eq!(
@@ -1478,6 +1558,8 @@ mod tests {
             );
         }
         assert_eq!(ModelFamily::parse("gbdt"), Some(ModelFamily::Gbdt));
-        assert_eq!(ModelFamily::parse("svm"), None, "SVMs are not encodable");
+        assert_eq!(ModelFamily::parse("mlp"), Some(ModelFamily::Mlp));
+        assert_eq!(ModelFamily::parse("svm"), Some(ModelFamily::Svm));
+        assert_eq!(ModelFamily::parse("cnn"), None, "CNNs are not encodable");
     }
 }

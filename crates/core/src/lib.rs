@@ -83,6 +83,7 @@ pub mod encode;
 pub mod error;
 pub mod fallback;
 pub mod framework;
+pub mod neural;
 pub mod persist;
 pub mod report;
 pub mod tree2cnf;

@@ -23,6 +23,7 @@ pub mod forest;
 pub mod gbdt;
 pub mod metrics;
 pub mod mlp;
+pub mod quant;
 pub mod svm;
 pub mod tree;
 

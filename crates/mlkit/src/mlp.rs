@@ -45,11 +45,12 @@ impl Default for MlpConfig {
 #[derive(Debug, Clone)]
 pub struct Mlp {
     // Hidden layer: w1[h][d], b1[h]; output layer: w2[h], b2.
-    w1: Vec<Vec<f64>>,
-    b1: Vec<f64>,
-    w2: Vec<f64>,
-    b2: f64,
-    config: MlpConfig,
+    // Crate-visible so `quant` can derive fixed-point models.
+    pub(crate) w1: Vec<Vec<f64>>,
+    pub(crate) b1: Vec<f64>,
+    pub(crate) w2: Vec<f64>,
+    pub(crate) b2: f64,
+    pub(crate) config: MlpConfig,
 }
 
 impl Mlp {

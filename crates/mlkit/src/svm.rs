@@ -35,8 +35,8 @@ impl Default for SvmConfig {
 /// A trained linear SVM.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinearSvm {
-    weights: Vec<f64>,
-    bias: f64,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) bias: f64,
     config: SvmConfig,
 }
 

@@ -14,8 +14,16 @@
 //! The encoding introduces `O(n log n)` auxiliary variables and `O(n²)`
 //! clauses; at the ensemble sizes used by the MCML whole-space metrics
 //! (tens of trees) this is negligible next to the counting itself.
+//!
+//! Beyond unit-weight cardinality, [`weighted_at_least`] /
+//! [`assert_weighted_at_least`] encode **signed pseudo-Boolean**
+//! thresholds `Σ wᵢ·ℓᵢ ≥ t` (integer weights of either sign) as a
+//! memoized branching program over partial sums — the substrate for the
+//! quantized MLP/SVM encoders, whose fixed-point weights do not reduce
+//! to counting literals.
 
 use crate::cnf::{Cnf, Lit};
+use std::collections::HashMap;
 
 /// A built totalizer: the unary counter outputs of the root node.
 #[derive(Debug, Clone)]
@@ -150,6 +158,144 @@ pub fn encode_at_most_k(cnf: &mut Cnf, lits: &[Lit], k: usize) {
     tot.assert_at_most(cnf, k);
 }
 
+/// The result of a pseudo-Boolean threshold encoding: a defined literal
+/// equivalent to the threshold, or a constant when the weights decide it
+/// outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdLit {
+    /// The threshold holds for every (`true`) or no (`false`) assignment.
+    Const(bool),
+    /// A literal equivalent to "the weighted sum meets the threshold".
+    Lit(Lit),
+}
+
+/// Defines a literal equivalent to the signed pseudo-Boolean threshold
+/// `Σ wᵢ·ℓᵢ ≥ threshold`, where each term `(ℓᵢ, wᵢ)` contributes `wᵢ`
+/// exactly when `ℓᵢ` is true. Weights may be negative.
+///
+/// The encoding is a memoized branching program over `(index, partial
+/// sum)` states: at most one auxiliary variable per reachable state,
+/// each defined by *equivalence* clauses, so model counts projected onto
+/// the original variables are preserved — every input assignment extends
+/// to exactly one assignment of the auxiliaries. States whose best- or
+/// worst-case suffix already decides the comparison fold to constants,
+/// which keeps the program near-linear for the sharply-peaked weight
+/// profiles trained models produce.
+pub fn weighted_at_least(cnf: &mut Cnf, terms: &[(Lit, i64)], threshold: i64) -> ThresholdLit {
+    let n = terms.len();
+    // suffix_min[i] / suffix_max[i]: bounds of Σ_{j ≥ i} wⱼ·ℓⱼ.
+    let mut suffix_min = vec![0i64; n + 1];
+    let mut suffix_max = vec![0i64; n + 1];
+    for i in (0..n).rev() {
+        let w = terms[i].1;
+        suffix_min[i] = suffix_min[i + 1] + w.min(0);
+        suffix_max[i] = suffix_max[i + 1] + w.max(0);
+    }
+    let mut builder = ThresholdBuilder {
+        terms,
+        threshold,
+        suffix_min,
+        suffix_max,
+        memo: HashMap::new(),
+    };
+    builder.node(cnf, 0, 0)
+}
+
+/// Asserts `Σ wᵢ·ℓᵢ ≥ threshold` on `cnf` (an empty clause when the
+/// threshold is unsatisfiable, nothing when it is trivial).
+pub fn assert_weighted_at_least(cnf: &mut Cnf, terms: &[(Lit, i64)], threshold: i64) {
+    match weighted_at_least(cnf, terms, threshold) {
+        ThresholdLit::Const(true) => {}
+        ThresholdLit::Const(false) => cnf.add_clause(Vec::new()),
+        ThresholdLit::Lit(lit) => cnf.add_unit(lit),
+    }
+}
+
+struct ThresholdBuilder<'a> {
+    terms: &'a [(Lit, i64)],
+    threshold: i64,
+    suffix_min: Vec<i64>,
+    suffix_max: Vec<i64>,
+    memo: HashMap<(usize, i64), ThresholdLit>,
+}
+
+impl ThresholdBuilder<'_> {
+    /// The node for "`sum` + Σ_{j ≥ index} wⱼ·ℓⱼ ≥ threshold" as a
+    /// function of the suffix literals.
+    fn node(&mut self, cnf: &mut Cnf, index: usize, sum: i64) -> ThresholdLit {
+        if sum + self.suffix_min[index] >= self.threshold {
+            return ThresholdLit::Const(true);
+        }
+        if sum + self.suffix_max[index] < self.threshold {
+            return ThresholdLit::Const(false);
+        }
+        // Both bounds are 0 at index == n, so one constant arm fired
+        // above; reaching here implies index < n.
+        if let Some(&node) = self.memo.get(&(index, sum)) {
+            return node;
+        }
+        let (lit, weight) = self.terms[index];
+        let hi = self.node(cnf, index + 1, sum + weight);
+        let lo = self.node(cnf, index + 1, sum);
+        let node = ite_lit(cnf, lit, hi, lo);
+        self.memo.insert((index, sum), node);
+        node
+    }
+}
+
+/// Defines `u ↔ (v ? hi : lo)` with equivalence (Tseitin) clauses,
+/// folding constant branches so trivial nodes cost no variables.
+fn ite_lit(cnf: &mut Cnf, v: Lit, hi: ThresholdLit, lo: ThresholdLit) -> ThresholdLit {
+    use ThresholdLit::{Const, Lit as L};
+    match (hi, lo) {
+        (a, b) if a == b => a,
+        (Const(true), Const(false)) => L(v),
+        (Const(false), Const(true)) => L(!v),
+        (Const(true), L(l)) => {
+            // u ↔ (v ∨ l)
+            let u = cnf.new_var().pos();
+            cnf.add_clause(vec![!v, u]);
+            cnf.add_clause(vec![!l, u]);
+            cnf.add_clause(vec![v, l, !u]);
+            L(u)
+        }
+        (Const(false), L(l)) => {
+            // u ↔ (¬v ∧ l)
+            let u = cnf.new_var().pos();
+            cnf.add_clause(vec![!u, !v]);
+            cnf.add_clause(vec![!u, l]);
+            cnf.add_clause(vec![v, !l, u]);
+            L(u)
+        }
+        (L(h), Const(true)) => {
+            // u ↔ (¬v ∨ h)
+            let u = cnf.new_var().pos();
+            cnf.add_clause(vec![v, u]);
+            cnf.add_clause(vec![!h, u]);
+            cnf.add_clause(vec![!u, !v, h]);
+            L(u)
+        }
+        (L(h), Const(false)) => {
+            // u ↔ (v ∧ h)
+            let u = cnf.new_var().pos();
+            cnf.add_clause(vec![!u, v]);
+            cnf.add_clause(vec![!u, h]);
+            cnf.add_clause(vec![!v, !h, u]);
+            L(u)
+        }
+        (L(h), L(l)) => {
+            // u ↔ (v ? h : l)
+            let u = cnf.new_var().pos();
+            cnf.add_clause(vec![!v, !h, u]);
+            cnf.add_clause(vec![!v, h, !u]);
+            cnf.add_clause(vec![v, !l, u]);
+            cnf.add_clause(vec![v, l, !u]);
+            L(u)
+        }
+        (Const(_), Const(_)) => unreachable!("equal constants folded above"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +410,122 @@ mod tests {
         assert_eq!(cnf.num_vars(), 1);
         assert_eq!(tot.at_least(1), Some(Var(0).pos()));
         assert_eq!(tot.at_least(2), None);
+    }
+
+    /// Assignments of `n` boolean inputs whose weighted sum meets the
+    /// threshold, by brute force over the raw weights.
+    fn brute_weighted(weights: &[i64], threshold: i64) -> usize {
+        let n = weights.len();
+        (0u64..1 << n)
+            .filter(|bits| {
+                let sum: i64 = weights
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| bits >> i & 1 == 1)
+                    .map(|(_, &w)| w)
+                    .sum();
+                sum >= threshold
+            })
+            .count()
+    }
+
+    #[test]
+    fn weighted_at_least_matches_brute_force_with_signed_weights() {
+        let profiles: [&[i64]; 5] = [
+            &[3, -2, 1],
+            &[-5, 4, 4, -1],
+            &[7, 0, -7, 2, -3],
+            &[1, 1, 1, 1],
+            &[-1, -2, -4],
+        ];
+        for weights in profiles {
+            let lo: i64 = weights.iter().map(|w| w.min(&0)).sum();
+            let hi: i64 = weights.iter().map(|w| w.max(&0)).sum();
+            for threshold in (lo - 1)..=(hi + 2) {
+                let mut cnf = Cnf::new(weights.len());
+                let terms: Vec<(Lit, i64)> = weights
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| (Var(i as u32).pos(), w))
+                    .collect();
+                assert_weighted_at_least(&mut cnf, &terms, threshold);
+                assert_eq!(
+                    projected_count(&cnf, weights.len()),
+                    brute_weighted(weights, threshold),
+                    "weights {weights:?}, threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_indicator_is_an_equivalence() {
+        // Asserting the indicator's *negation* must keep exactly the
+        // below-threshold assignments — the reverse implication at work.
+        let weights: [i64; 4] = [2, -3, 5, -1];
+        let threshold = 2;
+        let mut cnf = Cnf::new(weights.len());
+        let terms: Vec<(Lit, i64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (Var(i as u32).pos(), w))
+            .collect();
+        match weighted_at_least(&mut cnf, &terms, threshold) {
+            ThresholdLit::Lit(lit) => cnf.add_unit(!lit),
+            other => panic!("expected a defined literal, got {other:?}"),
+        }
+        assert_eq!(
+            projected_count(&cnf, weights.len()),
+            (1 << weights.len()) - brute_weighted(&weights, threshold)
+        );
+    }
+
+    #[test]
+    fn weighted_at_least_over_negated_literals() {
+        // 3·¬x0 − 2·x1 ≥ 1 ⇔ ¬x0 (the −2 term can never rescue x0 = 1).
+        let mut cnf = Cnf::new(2);
+        let terms = vec![(Var(0).neg(), 3i64), (Var(1).pos(), -2i64)];
+        assert_weighted_at_least(&mut cnf, &terms, 1);
+        assert_eq!(projected_count(&cnf, 2), 2);
+    }
+
+    #[test]
+    fn weighted_threshold_constants_fold() {
+        let mut cnf = Cnf::new(2);
+        let terms = vec![(Var(0).pos(), 1i64), (Var(1).pos(), 2i64)];
+        // Trivially true: worst case 0 ≥ -1.
+        assert_eq!(
+            weighted_at_least(&mut cnf, &terms, -1),
+            ThresholdLit::Const(true)
+        );
+        // Unsatisfiable: best case 3 < 4.
+        assert_eq!(
+            weighted_at_least(&mut cnf, &terms, 4),
+            ThresholdLit::Const(false)
+        );
+        // Empty sum compares 0 against the threshold.
+        assert_eq!(weighted_at_least(&mut cnf, &[], 0), ThresholdLit::Const(true));
+        assert_eq!(
+            weighted_at_least(&mut cnf, &[], 1),
+            ThresholdLit::Const(false)
+        );
+        assert_eq!(cnf.num_vars(), 2, "constant folds must allocate nothing");
+        // Unsatisfiable assertion emits the empty clause.
+        assert_weighted_at_least(&mut cnf, &terms, 4);
+        assert_eq!(projected_count(&cnf, 2), 0);
+    }
+
+    #[test]
+    fn weighted_states_are_memoized() {
+        // Eight unit weights: without memoization the branching program
+        // would be exponential; with it, at most O(n·range) states exist.
+        let n = 8usize;
+        let mut cnf = Cnf::new(n);
+        let terms: Vec<(Lit, i64)> = (0..n as u32).map(|v| (Var(v).pos(), 1i64)).collect();
+        assert_weighted_at_least(&mut cnf, &terms, 4);
+        let aux = cnf.num_vars() - n;
+        assert!(aux <= n * n, "expected O(n²) aux vars, got {aux}");
+        let expected: u64 = (4..=8).map(|j| binomial(8, j)).sum();
+        assert_eq!(projected_count(&cnf, n) as u64, expected);
     }
 }

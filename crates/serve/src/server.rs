@@ -67,18 +67,27 @@
 //!               [approx <epsilon> <delta>]
 //! diff     → ok <tt> <tf> <ft> <ff> <diff> <sim>
 //! count    → ok <count> [approx <epsilon> <delta>]
-//! stats    → ok queries <n> sweep_ns <t> degraded <d> units <k>
-//!               [<property> <scope> <family> <hits>]...
+//! stats    → ok queries <n> degraded <d> units <k> p50_ns <p> p99_ns <q>
+//!               [<property> <scope> <family> <hits> <bucket>:<count>...]...
 //! reload   → ok reloaded generation <id> units <n>
 //! ```
 //!
 //! `stats` reports cumulative serving statistics: how many queries were
-//! answered successfully, the total wall-clock nanoseconds spent inside
-//! those answers (the batched count sweeps dominate the serving path),
-//! how many of those answers were degraded (approximate, labeled), and
-//! per-unit hit counts sorted by key. A `diff` touches both of its units;
-//! a `count` hits the `(property, scope)` ground-truth pair rather than
-//! one family's unit and is recorded under the pseudo-family `truth`.
+//! answered successfully, how many of those answers were degraded
+//! (approximate, labeled), and per-unit hit counts sorted by key. A
+//! `diff` touches both of its units; a `count` hits the
+//! `(property, scope)` ground-truth pair rather than one family's unit
+//! and is recorded under the pseudo-family `truth`.
+//!
+//! Each unit carries its query latency histogram over fixed log-scale
+//! buckets: `<bucket>:<count>` says `count` answers landed in the
+//! half-open nanosecond range `[2^bucket, 2^(bucket+1))` (bucket 0 also
+//! absorbs sub-nanosecond readings; the last bucket, 31, is unbounded
+//! above). Only non-empty buckets print, and their counts sum to the
+//! unit's `<hits>`. The `p50_ns`/`p99_ns` pair summarizes the same
+//! histogram aggregated over all queries — each quantile is the upper
+//! bound of the bucket where the cumulative count crosses the rank, so
+//! it is a deterministic over-estimate, never an interpolation.
 //!
 //! Counts are exact `u128` sums; derived metrics are printed with Rust's
 //! shortest-round-trip float formatting, so parsing a reply back yields
@@ -216,6 +225,72 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Number of log-scale latency buckets: bucket `i` covers the half-open
+/// nanosecond range `[2^i, 2^(i+1))`, bucket 0 also absorbs 0 ns, and
+/// the last bucket is unbounded above (2^31 ns ≈ 2.1 s — far past the
+/// bounded connection runtime, so real sweeps never saturate it).
+const LATENCY_BUCKETS: usize = 32;
+
+/// A fixed log-scale latency histogram. Copy-cheap (one cache line of
+/// counters) so per-unit histograms live inside the stats map and the
+/// reply path can snapshot them under the same lock as the hit counts.
+#[derive(Clone, Copy, Default)]
+struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// The bucket a reading falls in: `floor(log2(nanos))`, clamped into
+    /// the fixed range.
+    fn bucket(nanos: u64) -> usize {
+        match nanos.checked_ilog2() {
+            Some(log) => (log as usize).min(LATENCY_BUCKETS - 1),
+            None => 0,
+        }
+    }
+
+    fn record(&mut self, nanos: u64) {
+        self.buckets[Self::bucket(nanos)] += 1;
+    }
+
+    /// The upper bound (in ns) of the bucket where the cumulative count
+    /// reaches `percent` of the samples — a deterministic over-estimate
+    /// of the quantile, 0 when nothing was recorded.
+    fn quantile_ns(&self, percent: u64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (total * percent).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (i, count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+
+    /// The non-empty buckets as ` <bucket>:<count>` reply words.
+    fn reply_words(&self) -> String {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count > 0)
+            .map(|(i, count)| format!(" {i}:{count}"))
+            .collect()
+    }
+}
+
+/// One unit's row in the stats table: how often it was hit and how long
+/// those answers took.
+#[derive(Clone, Copy, Default)]
+struct UnitStats {
+    hits: u64,
+    latency: LatencyHistogram,
+}
+
 /// Cumulative serving statistics, shared by every shard and reported by
 /// the `stats` verb. Only successfully answered queries are recorded, so
 /// the per-unit table never grows entries for units that do not exist.
@@ -224,30 +299,35 @@ struct ServerStats {
     /// Queries answered with `ok` by the sharded sweep path
     /// (accuracy / diff / count).
     queries: AtomicU64,
-    /// Cumulative wall-clock nanoseconds spent answering them — on the
-    /// serving path that time is the batched count sweeps.
-    sweep_nanos: AtomicU64,
     /// The subset of `queries` answered degraded: approximate counts with
     /// an `approx <ε> <δ>` label in the reply frame.
     degraded: AtomicU64,
-    /// Per-unit hit counts. `count` queries hit the `(property, scope)`
-    /// ground-truth pair rather than one family's unit and are recorded
-    /// under the pseudo-family `truth`.
-    unit_hits: Mutex<HashMap<(String, usize, String), u64>>,
+    /// Per-unit hit counts and latency histograms. `count` queries hit
+    /// the `(property, scope)` ground-truth pair rather than one family's
+    /// unit and are recorded under the pseudo-family `truth`. A `diff`
+    /// records its latency under both units it touched; the aggregate
+    /// `p50_ns`/`p99_ns` pair is instead computed per query, so it never
+    /// double-weights diffs.
+    unit_hits: Mutex<HashMap<(String, usize, String), UnitStats>>,
+    /// One latency sample per answered query, for the aggregate
+    /// `p50_ns`/`p99_ns` summary.
+    latency: Mutex<LatencyHistogram>,
 }
 
 impl ServerStats {
     fn record(&self, query: &Query, nanos: u64, degraded: bool) {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        self.sweep_nanos.fetch_add(nanos, Ordering::Relaxed);
         if degraded {
             self.degraded.fetch_add(1, Ordering::Relaxed);
         }
+        lock(&self.latency).record(nanos);
         let mut hits = lock(&self.unit_hits);
         let mut bump = |property: &str, scope: usize, family: &str| {
-            *hits
+            let unit = hits
                 .entry((property.to_string(), scope, family.to_string()))
-                .or_insert(0) += 1;
+                .or_default();
+            unit.hits += 1;
+            unit.latency.record(nanos);
         };
         match query {
             Query::Accuracy { key } => bump(&key.0, key.1, &key.2),
@@ -267,20 +347,23 @@ impl ServerStats {
     }
 
     fn reply(&self) -> String {
-        let mut entries: Vec<((String, usize, String), u64)> = lock(&self.unit_hits)
+        let mut entries: Vec<((String, usize, String), UnitStats)> = lock(&self.unit_hits)
             .iter()
-            .map(|(key, hits)| (key.clone(), *hits))
+            .map(|(key, unit)| (key.clone(), *unit))
             .collect();
-        entries.sort();
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let aggregate = *lock(&self.latency);
         let mut reply = format!(
-            "ok queries {} sweep_ns {} degraded {} units {}",
+            "ok queries {} degraded {} units {} p50_ns {} p99_ns {}",
             self.queries.load(Ordering::Relaxed),
-            self.sweep_nanos.load(Ordering::Relaxed),
             self.degraded.load(Ordering::Relaxed),
-            entries.len()
+            entries.len(),
+            aggregate.quantile_ns(50),
+            aggregate.quantile_ns(99),
         );
-        for ((property, scope, family), hits) in entries {
-            reply.push_str(&format!(" {property} {scope} {family} {hits}"));
+        for ((property, scope, family), unit) in entries {
+            reply.push_str(&format!(" {property} {scope} {family} {}", unit.hits));
+            reply.push_str(&unit.latency.reply_words());
         }
         reply
     }
@@ -1202,11 +1285,49 @@ mod tests {
         // never disable stats server-wide.
         stats.record(&query, 25, true);
         let reply = stats.reply();
+        // 17 ns and 25 ns both land in bucket 4 ([16, 32)), so both
+        // quantiles report its 32 ns upper bound.
         assert!(
-            reply.starts_with("ok queries 2 sweep_ns 42 degraded 1 units 1"),
+            reply.starts_with("ok queries 2 degraded 1 units 1 p50_ns 32 p99_ns 32"),
             "unexpected stats reply {reply:?}"
         );
-        assert!(reply.ends_with("Function 3 DT 2"), "reply {reply:?}");
+        assert!(reply.ends_with("Function 3 DT 2 4:2"), "reply {reply:?}");
+    }
+
+    #[test]
+    fn latency_buckets_are_log_scale_and_quantiles_over_estimate() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(3), 1);
+        assert_eq!(LatencyHistogram::bucket(4), 2);
+        assert_eq!(LatencyHistogram::bucket(1023), 9);
+        assert_eq!(LatencyHistogram::bucket(1024), 10);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), LATENCY_BUCKETS - 1);
+
+        let empty = LatencyHistogram::default();
+        assert_eq!(empty.quantile_ns(50), 0);
+        assert_eq!(empty.quantile_ns(99), 0);
+        assert_eq!(empty.reply_words(), "");
+
+        // 99 fast samples and one slow straggler: the median stays in the
+        // fast bucket, the p99 rank (ceil(100 · 0.99) = 99) is still the
+        // last fast sample, and only a p100 read reaches the straggler.
+        let mut skewed = LatencyHistogram::default();
+        for _ in 0..99 {
+            skewed.record(100); // bucket 6: [64, 128)
+        }
+        skewed.record(1 << 20); // bucket 20
+        assert_eq!(skewed.quantile_ns(50), 128);
+        assert_eq!(skewed.quantile_ns(99), 128);
+        assert_eq!(skewed.quantile_ns(100), 1 << 21);
+        assert_eq!(skewed.reply_words(), " 6:99 20:1");
+
+        // The unbounded top bucket still reports a finite bound: its
+        // nominal 2^32 ns upper edge.
+        let mut top = LatencyHistogram::default();
+        top.record(u64::MAX);
+        assert_eq!(top.quantile_ns(50), 1u64 << LATENCY_BUCKETS);
     }
 
     #[test]

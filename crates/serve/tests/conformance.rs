@@ -107,6 +107,72 @@ fn ok_fields(reply: &str) -> Vec<String> {
     fields[1..].to_vec()
 }
 
+/// Asserts the fixed `stats` summary header — `queries <n> degraded <d>
+/// units <k> p50_ns <p> p99_ns <q>` — and returns the per-unit tail.
+/// With at least one query recorded, both quantiles must be positive and
+/// ordered.
+fn check_stats_header<'a>(stats: &'a [String], queries: u64, degraded: u64, units: u64) -> &'a [String] {
+    assert_eq!(stats[..2], ["queries".to_string(), queries.to_string()]);
+    assert_eq!(stats[2..4], ["degraded".to_string(), degraded.to_string()]);
+    assert_eq!(stats[4..6], ["units".to_string(), units.to_string()]);
+    assert_eq!(stats[6], "p50_ns");
+    let p50: u64 = stats[7].parse().expect("p50_ns is a number");
+    assert_eq!(stats[8], "p99_ns");
+    let p99: u64 = stats[9].parse().expect("p99_ns is a number");
+    if queries > 0 {
+        assert!(0 < p50 && p50 <= p99, "quantiles out of order in {stats:?}");
+    } else {
+        assert_eq!((p50, p99), (0, 0), "no queries, no latency: {stats:?}");
+    }
+    &stats[10..]
+}
+
+/// One parsed per-unit stats entry: the unit key, its hit count, and the
+/// sparse `<bucket>:<count>` histogram words that follow it.
+struct UnitEntry {
+    key: String,
+    hits: u64,
+    buckets: Vec<(usize, u64)>,
+}
+
+/// Splits the stats tail into per-unit entries — four plain words
+/// (`<property> <scope> <family> <hits>`), then any number of
+/// `<bucket>:<count>` words — and checks the per-unit histogram
+/// invariants: bucket indices in range and counts summing to the hits.
+fn parse_unit_entries(tail: &[String]) -> Vec<UnitEntry> {
+    let mut entries: Vec<UnitEntry> = Vec::new();
+    let mut i = 0;
+    while i < tail.len() {
+        assert!(i + 4 <= tail.len(), "truncated unit entry in {tail:?}");
+        let mut entry = UnitEntry {
+            key: format!("{} {} {}", tail[i], tail[i + 1], tail[i + 2]),
+            hits: tail[i + 3].parse().expect("hits is a number"),
+            buckets: Vec::new(),
+        };
+        i += 4;
+        while i < tail.len() && tail[i].contains(':') {
+            let (bucket, count) = tail[i].split_once(':').expect("bucket word");
+            entry.buckets.push((
+                bucket.parse().expect("bucket index"),
+                count.parse().expect("bucket count"),
+            ));
+            i += 1;
+        }
+        assert!(
+            entry.buckets.iter().all(|(bucket, _)| *bucket < 32),
+            "bucket index out of range in {tail:?}"
+        );
+        assert_eq!(
+            entry.buckets.iter().map(|(_, count)| count).sum::<u64>(),
+            entry.hits,
+            "histogram of {} must sum to its hits",
+            entry.key
+        );
+        entries.push(entry);
+    }
+    entries
+}
+
 /// Batch rows via the `Runner`, artifact via `Runner::build_artifact`
 /// (identical training paths), then every row queried back over TCP: the
 /// served counts and metrics must equal the batch's exactly.
@@ -167,11 +233,53 @@ fn served_accuracy_is_bit_identical_to_the_batch_runner() {
     // Two accuracy queries landed (one per row); ping is not a counting
     // query and must not inflate the stats.
     let stats = ok_fields(&client::query(&addr, "stats").expect("stats"));
-    assert_eq!(stats[..2], ["queries", "2"].map(String::from));
-    assert_eq!(stats[2], "sweep_ns");
-    assert!(stats[3].parse::<u64>().expect("sweep_ns is a number") > 0);
-    assert_eq!(stats[4..6], ["degraded", "0"].map(String::from));
-    assert_eq!(stats[6..8], ["units", "2"].map(String::from));
+    let tail = check_stats_header(&stats, 2, 0, 2);
+    assert_eq!(parse_unit_entries(tail).len(), 2);
+
+    assert_eq!(
+        client::query(&addr, "shutdown").expect("shutdown"),
+        "ok bye"
+    );
+    handle.join();
+}
+
+/// The conformance pin for the per-unit latency histograms: the `stats`
+/// reply format is `ok queries <n> degraded <d> units <k> p50_ns <p>
+/// p99_ns <q>` followed by per-unit entries, each carrying its
+/// `<bucket>:<count>` log-scale histogram whose counts sum to the unit's
+/// hits. Before any query both quantiles read 0; after queries they are
+/// positive, ordered, and every recorded sample is accounted for.
+#[test]
+fn stats_report_per_unit_latency_histograms() {
+    let store =
+        CircuitStore::from_artifact(reflexive_artifact(&["DT"])).expect("resolvable covers");
+    let handle = server::start(store, "127.0.0.1:0", two_workers()).expect("bind");
+    let addr = handle.addr().to_string();
+
+    // A fresh server has recorded nothing: empty histogram, zero
+    // quantiles, no unit entries.
+    let stats = ok_fields(&client::query(&addr, "stats").expect("stats"));
+    assert!(check_stats_header(&stats, 0, 0, 0).is_empty());
+
+    for _ in 0..5 {
+        let reply = client::query(&addr, "accuracy Reflexive 3 DT").expect("accuracy");
+        assert!(reply.starts_with("ok "), "got {reply:?}");
+    }
+
+    let stats = ok_fields(&client::query(&addr, "stats").expect("stats"));
+    let entries = parse_unit_entries(check_stats_header(&stats, 5, 0, 1));
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].key, "Reflexive 3 DT");
+    assert_eq!(entries[0].hits, 5);
+    // parse_unit_entries already checked the histogram sums to the hits
+    // and stays within the 32 fixed buckets; the buckets must also be
+    // sorted and non-empty, so the sparse encoding is canonical.
+    let indices: Vec<usize> = entries[0].buckets.iter().map(|(bucket, _)| *bucket).collect();
+    let mut sorted = indices.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(indices, sorted, "bucket words must be sorted and unique");
+    assert!(entries[0].buckets.iter().all(|(_, count)| *count > 0));
 
     assert_eq!(
         client::query(&addr, "shutdown").expect("shutdown"),
@@ -300,28 +408,19 @@ fn served_diff_and_counts_match_the_batch_analyses() {
     // under the `truth` pseudo-family) — the error-path probes above must
     // not appear, so no phantom GBDT unit shows up.
     let stats = ok_fields(&client::query(&addr, "stats").expect("stats"));
-    assert_eq!(stats[..2], ["queries", "4"].map(String::from));
-    assert_eq!(stats[2], "sweep_ns");
-    assert!(stats[3].parse::<u64>().expect("sweep_ns is a number") > 0);
-    assert_eq!(stats[4..6], ["degraded", "0"].map(String::from));
-    assert_eq!(stats[6..8], ["units", "3"].map(String::from));
+    let tail = check_stats_header(&stats, 4, 0, 3);
+    let entries = parse_unit_entries(tail);
+    let summary: Vec<(&str, u64)> = entries
+        .iter()
+        .map(|entry| (entry.key.as_str(), entry.hits))
+        .collect();
     assert_eq!(
-        stats[8..],
-        [
-            "Reflexive",
-            "3",
-            "DT",
-            "1", //
-            "Reflexive",
-            "3",
-            "RFT",
-            "1", //
-            "Reflexive",
-            "3",
-            "truth",
-            "3",
+        summary,
+        vec![
+            ("Reflexive 3 DT", 1),
+            ("Reflexive 3 RFT", 1),
+            ("Reflexive 3 truth", 3),
         ]
-        .map(String::from)
     );
 
     assert_eq!(
@@ -402,8 +501,7 @@ fn symmetry_broken_artifacts_serve_accuracy_and_full_space_diff() {
     assert_eq!(fields.len(), 6, "exact diff carries no approx label");
     // The diff is a counting answer now and hits both units in the stats.
     let stats = ok_fields(&client::query(&addr, "stats").expect("stats"));
-    assert_eq!(stats[..2], ["queries", "3"].map(String::from));
-    assert_eq!(stats[4..6], ["degraded", "0"].map(String::from));
+    check_stats_header(&stats, 3, 0, 2);
 
     assert_eq!(
         client::query(&addr, "shutdown").expect("shutdown"),
@@ -625,10 +723,9 @@ fn circuitless_artifacts_serve_degraded_labeled_answers_under_approx_fallback() 
     );
 
     // stats: 5 ok queries, of which 4 were degraded (2 accuracy + 2
-    // count); the exact diff is not degraded.
+    // count); the exact diff is not degraded. Units: DT, RFT, truth.
     let stats = ok_fields(&client::query(&addr, "stats").expect("stats"));
-    assert_eq!(stats[..2], ["queries", "5"].map(String::from));
-    assert_eq!(stats[4..6], ["degraded", "4"].map(String::from));
+    check_stats_header(&stats, 5, 4, 3);
 
     assert_eq!(
         client::query(&addr, "shutdown").expect("shutdown"),

@@ -33,7 +33,7 @@ fn a_persistent_connection_interleaves_every_verb() {
     assert_eq!(conn.request("ping").expect("ping"), "ok pong");
     assert_eq!(
         conn.request("stats").expect("stats"),
-        "ok queries 0 sweep_ns 0 degraded 0 units 0"
+        "ok queries 0 degraded 0 units 0 p50_ns 0 p99_ns 0"
     );
     // Errors never drop the connection.
     assert!(conn

@@ -131,7 +131,7 @@ check_acc() {
 check_acc "${replies[0]}" "$batch_acc_a" "$PROPERTY_A"
 check_acc "${replies[1]}" "$batch_acc_b" "$PROPERTY_B"
 case "${replies[2]}" in
-  "ok queries 2 sweep_ns "*) ;;
+  "ok queries 2 degraded "*) ;;
   *) echo "smoke: unexpected stats reply: ${replies[2]}" >&2; exit 1 ;;
 esac
 if [[ "${replies[3]}" != "ok reloaded generation 1 units 3" ]]; then

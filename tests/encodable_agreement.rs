@@ -12,6 +12,9 @@ use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::Dataset;
 use mlkit::forest::{ForestConfig, RandomForest};
 use mlkit::gbdt::{GbdtConfig, GradientBoosting};
+use mlkit::mlp::{Mlp, MlpConfig};
+use mlkit::quant::{QuantizedMlp, QuantizedSvm, DEFAULT_QUANT_BITS};
+use mlkit::svm::{LinearSvm, SvmConfig};
 use mlkit::tree::{DecisionTree, TreeConfig};
 use mlkit::Classifier;
 use modelcount::exact::ExactCounter;
@@ -155,6 +158,97 @@ fn adaboost_counts_match_predictions_exhaustively() {
     });
 }
 
+/// Trains the float MLP and returns its calibrated quantization — the
+/// model the MLP table rows actually evaluate.
+fn quantized_mlp(train: &Dataset, seed: u64) -> QuantizedMlp {
+    let float = Mlp::fit(
+        train,
+        MlpConfig {
+            hidden_units: 3,
+            epochs: 30,
+            seed,
+            ..MlpConfig::default()
+        },
+    );
+    QuantizedMlp::from_mlp_calibrated(&float, DEFAULT_QUANT_BITS, train.features())
+}
+
+/// Trains the float SVM and returns its integer-weight quantization.
+fn quantized_svm(train: &Dataset, seed: u64) -> QuantizedSvm {
+    let float = LinearSvm::fit(
+        train,
+        SvmConfig {
+            seed,
+            ..SvmConfig::default()
+        },
+    );
+    QuantizedSvm::from_svm(&float, DEFAULT_QUANT_BITS)
+}
+
+#[test]
+fn quantized_mlp_counts_match_predictions_exhaustively() {
+    check_family(&[2, 3], &PROPERTIES, quantized_mlp);
+}
+
+#[test]
+fn quantized_svm_counts_match_predictions_exhaustively() {
+    check_family(&[2, 3], &PROPERTIES, quantized_svm);
+}
+
+#[test]
+fn quantized_predictions_equal_encoded_semantics_on_every_input() {
+    // The quantization-agreement pin: on every one of the 2^(scope²)
+    // inputs, the quantized integer prediction must equal the semantics of
+    // the compiled encoding — the decision regions contain the input in
+    // exactly one cube whose label is the prediction.
+    for scope in [2usize, 3] {
+        let sample = labeled_space(Property::Function, scope).subsample(70, 7);
+        let models: Vec<Box<dyn EncodableClassifier>> = vec![
+            Box::new(quantized_mlp(&sample, 7)),
+            Box::new(quantized_svm(&sample, 7)),
+        ];
+        for model in &models {
+            let regions = model.as_encodable().decision_regions().expect("in budget");
+            for bits in 0u64..(1 << (scope * scope)) {
+                let features: Vec<u8> = (0..scope * scope).map(|k| (bits >> k & 1) as u8).collect();
+                let holding: Vec<&TreeLabel> = regions
+                    .iter()
+                    .filter(|region| {
+                        region.cube.iter().all(|lit| {
+                            let value = features[lit.var().index()] == 1;
+                            value == lit.is_positive()
+                        })
+                    })
+                    .map(|region| &region.label)
+                    .collect();
+                assert_eq!(holding.len(), 1, "input {bits:b} must fall in exactly one cube");
+                let predicted = model.as_classifier().predict(&features);
+                assert_eq!(
+                    *holding[0] == TreeLabel::True,
+                    predicted,
+                    "scope {scope} input {bits:b}"
+                );
+            }
+        }
+    }
+}
+
+/// Object-safe pairing of the two sides compared by the
+/// quantization-agreement pin.
+trait EncodableClassifier {
+    fn as_encodable(&self) -> &dyn CnfEncodable;
+    fn as_classifier(&self) -> &dyn Classifier;
+}
+
+impl<M: CnfEncodable + Classifier> EncodableClassifier for M {
+    fn as_encodable(&self) -> &dyn CnfEncodable {
+        self
+    }
+    fn as_classifier(&self) -> &dyn Classifier {
+        self
+    }
+}
+
 #[test]
 fn label_regions_partition_the_space_for_every_family() {
     let scope = 3;
@@ -199,6 +293,8 @@ fn label_regions_partition_the_space_for_every_family() {
                 },
             )),
         ),
+        ("MLP", Box::new(quantized_mlp(&sample, 2))),
+        ("SVM", Box::new(quantized_svm(&sample, 2))),
     ];
     for (name, model) in &models {
         let t = counter

@@ -12,6 +12,9 @@ use mlkit::adaboost::{AdaBoost, AdaBoostConfig};
 use mlkit::data::Dataset;
 use mlkit::forest::{ForestConfig, RandomForest};
 use mlkit::gbdt::{GbdtConfig, GradientBoosting};
+use mlkit::mlp::{Mlp, MlpConfig};
+use mlkit::quant::{QuantizedMlp, QuantizedSvm, DEFAULT_QUANT_BITS};
+use mlkit::svm::{LinearSvm, SvmConfig};
 use mlkit::tree::{DecisionTree, TreeConfig};
 use modelcount::exact::ExactCounter;
 use proptest::prelude::*;
@@ -290,6 +293,148 @@ fn ensemble_region_sums_equal_classic_four_counts() {
         // The region sums, computed directly (not through AccMc): for each
         // region, count φ and ¬φ conditioned on its cube, and accumulate
         // into the confusion cells by region label.
+        let compiled_backend = CompiledCounter::new();
+        let (mut tp, mut fp, mut tn, mut fn_) = (0u128, 0u128, 0u128, 0u128);
+        for region in &regions {
+            let pos = match compiled_backend.count_conditioned(&gt.cnf_positive(), &region.cube) {
+                CountOutcome::Exact(v) => v,
+                other => panic!("compiled counts are exact, got {other:?}"),
+            };
+            let neg = match compiled_backend.count_conditioned(&gt.cnf_negative(), &region.cube) {
+                CountOutcome::Exact(v) => v,
+                other => panic!("compiled counts are exact, got {other:?}"),
+            };
+            match region.label {
+                mcml::tree2cnf::TreeLabel::True => {
+                    tp += pos;
+                    fp += neg;
+                }
+                mcml::tree2cnf::TreeLabel::False => {
+                    fn_ += pos;
+                    tn += neg;
+                }
+            }
+        }
+        assert_eq!(
+            (tp, fp, tn, fn_),
+            (
+                classic.counts.tp,
+                classic.counts.fp,
+                classic.counts.tn,
+                classic.counts.fn_
+            ),
+            "{name}"
+        );
+        assert_eq!(
+            tp + fp + tn + fn_,
+            1u128 << (scope * scope),
+            "{name} region sums must cover the space exactly once"
+        );
+    }
+}
+
+/// Trains the quantized neural/margin pair the conformance tests use: a
+/// calibrated three-unit binarized MLP and an integer-weight SVM, the
+/// exact models the MLP/SVM table rows evaluate.
+fn fit_quantized(train: &Dataset, seed: u64) -> (QuantizedMlp, QuantizedSvm) {
+    let float_mlp = Mlp::fit(
+        train,
+        MlpConfig {
+            hidden_units: 3,
+            epochs: 30,
+            seed,
+            ..MlpConfig::default()
+        },
+    );
+    let mlp = QuantizedMlp::from_mlp_calibrated(&float_mlp, DEFAULT_QUANT_BITS, train.features());
+    let float_svm = LinearSvm::fit(
+        train,
+        SvmConfig {
+            seed,
+            ..SvmConfig::default()
+        },
+    );
+    (mlp, QuantizedSvm::from_svm(&float_svm, DEFAULT_QUANT_BITS))
+}
+
+/// Exhaustive engine conformance for the quantized neural/margin families:
+/// on every table property at scopes 2 and 3, the binarized MLP and the
+/// integer-weight SVM must produce bit-identical whole-space counts under
+/// the classic threshold-CNF plan and the compiled region-sum plan — with
+/// φ and ¬φ compiled once and shared by both models.
+#[test]
+fn quantized_engines_agree_on_all_table_properties() {
+    for property in Property::all() {
+        for scope in [2usize, 3] {
+            let full = labeled_dataset(property, scope);
+            let train = if scope == 3 {
+                full.subsample(80, 13)
+            } else {
+                full
+            };
+            let (mlp, svm) = fit_quantized(&train, 7);
+            let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+
+            let exact = CounterBackend::exact();
+            let compiled_backend = CompiledCounter::new();
+            let models: [(&str, &dyn CnfEncodable); 2] = [("MLP", &mlp), ("SVM", &svm)];
+            for (name, model) in models {
+                let classic = AccMc::new(&exact)
+                    .evaluate(&gt, model)
+                    .expect("scopes match")
+                    .expect("no budget");
+                let compiled = AccMc::with_engine(&compiled_backend, CountingEngine::Compiled)
+                    .evaluate(&gt, model)
+                    .expect("scopes match")
+                    .expect("no budget");
+                assert_eq!(
+                    compiled.counts, classic.counts,
+                    "{name}, property {property}, scope {scope}"
+                );
+                assert_eq!(
+                    compiled.metrics, classic.metrics,
+                    "{name}, property {property}, scope {scope}"
+                );
+                assert_eq!(
+                    compiled.counts.total(),
+                    1u128 << (scope * scope),
+                    "{name} regions must partition the space \
+                     (property {property}, scope {scope})"
+                );
+            }
+            assert_eq!(
+                compiled_backend.stats().misses,
+                2,
+                "φ and ¬φ compiled once, shared by both quantized models \
+                 (property {property}, scope {scope})"
+            );
+        }
+    }
+}
+
+/// Region-sum regression for the quantized families, mirroring
+/// [`ensemble_region_sums_equal_classic_four_counts`]: hand-accumulated
+/// per-region conditioned counts must reproduce the classic four
+/// conjunction counts and cover the space exactly once.
+#[test]
+fn quantized_region_sums_equal_classic_four_counts() {
+    let property = Property::Antisymmetric;
+    let scope = 3;
+    let train = labeled_dataset(property, scope).subsample(100, 17);
+    let gt = translate_to_cnf(&property.spec(), TranslateOptions::new(scope));
+    let (mlp, svm) = fit_quantized(&train, 23);
+
+    let models: [(&str, &dyn CnfEncodable); 2] = [("MLP", &mlp), ("SVM", &svm)];
+    for (name, model) in models {
+        let regions = model.decision_regions().expect("within the default bound");
+        assert!(!regions.is_empty(), "{name} must expose regions");
+
+        let exact = CounterBackend::exact();
+        let classic = AccMc::new(&exact)
+            .evaluate(&gt, model)
+            .expect("scopes match")
+            .expect("no budget");
+
         let compiled_backend = CompiledCounter::new();
         let (mut tp, mut fp, mut tn, mut fn_) = (0u128, 0u128, 0u128, 0u128);
         for region in &regions {

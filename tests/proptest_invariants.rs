@@ -15,6 +15,9 @@ use mlkit::data::{Dataset, SplitSpec};
 use mlkit::forest::{ForestConfig, RandomForest};
 use mlkit::gbdt::{GbdtConfig, GradientBoosting};
 use mlkit::metrics::BinaryMetrics;
+use mlkit::mlp::{Mlp, MlpConfig};
+use mlkit::quant::{QuantizedMlp, QuantizedSvm, DEFAULT_QUANT_BITS};
+use mlkit::svm::{LinearSvm, SvmConfig};
 use mlkit::tree::{DecisionTree, TreeConfig};
 use mlkit::Classifier;
 use modelcount::approx::ApproxConfig;
@@ -257,6 +260,35 @@ proptest! {
             &dataset,
             GbdtConfig { num_rounds: rounds, max_depth: 2, ..GbdtConfig::default() },
         );
+        check_region_cover(&model);
+    }
+
+    /// Binarized MLP → the per-unit threshold BDDs and the output-layer
+    /// staged fold yield the same disjoint + exhaustive cube cover.
+    #[test]
+    fn quantized_mlp_regions_are_disjoint_and_exhaustive(
+        dataset in arb_dataset(4), seed in 0u64..100
+    ) {
+        let float = Mlp::fit(
+            &dataset,
+            MlpConfig { hidden_units: 3, epochs: 15, seed, ..MlpConfig::default() },
+        );
+        let model = QuantizedMlp::from_mlp_calibrated(
+            &float,
+            DEFAULT_QUANT_BITS,
+            dataset.features(),
+        );
+        check_region_cover(&model);
+    }
+
+    /// Integer-weight SVM → the single threshold BDD yields the same
+    /// disjoint + exhaustive cube cover.
+    #[test]
+    fn quantized_svm_regions_are_disjoint_and_exhaustive(
+        dataset in arb_dataset(4), seed in 0u64..100
+    ) {
+        let float = LinearSvm::fit(&dataset, SvmConfig { seed, ..SvmConfig::default() });
+        let model = QuantizedSvm::from_svm(&float, DEFAULT_QUANT_BITS);
         check_region_cover(&model);
     }
 
